@@ -1,0 +1,270 @@
+//! Directed call graphs and reachability analysis.
+//!
+//! This is the analysis the paper ran for Figure 3: "we statically
+//! analyzed the Linux kernel version 5.18 to compute the call graph of
+//! each helper function ... the number of unique nodes in the call graph
+//! of each of the 249 helper functions." [`CallGraph::reach_count`] is
+//! that metric (transitively reachable callees, excluding the root).
+
+use std::collections::VecDeque;
+
+/// A node index.
+pub type NodeId = u32;
+
+/// A directed graph of named functions.
+#[derive(Debug, Default, Clone)]
+pub struct CallGraph {
+    names: Vec<String>,
+    adj: Vec<Vec<NodeId>>,
+}
+
+impl CallGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a function, returning its node id.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.names.push(name.into());
+        self.adj.push(Vec::new());
+        (self.names.len() - 1) as NodeId
+    }
+
+    /// Adds a call edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist.
+    pub fn add_edge(&mut self, caller: NodeId, callee: NodeId) {
+        assert!((callee as usize) < self.names.len(), "callee out of range");
+        self.adj[caller as usize].push(callee);
+    }
+
+    /// Number of functions.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// The name of a node.
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.names[node as usize]
+    }
+
+    /// Direct callees of a node.
+    pub fn callees(&self, node: NodeId) -> &[NodeId] {
+        &self.adj[node as usize]
+    }
+
+    /// Number of functions transitively reachable from `root`, excluding
+    /// `root` itself — the Figure 3 metric.
+    pub fn reach_count(&self, root: NodeId) -> usize {
+        let mut seen = vec![false; self.names.len()];
+        let mut queue = VecDeque::new();
+        seen[root as usize] = true;
+        queue.push_back(root);
+        let mut count = 0usize;
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.adj[n as usize] {
+                if !seen[m as usize] {
+                    seen[m as usize] = true;
+                    count += 1;
+                    queue.push_back(m);
+                }
+            }
+        }
+        count
+    }
+
+    /// Strongly connected components (Tarjan, iterative), largest first.
+    pub fn sccs(&self) -> Vec<Vec<NodeId>> {
+        let n = self.names.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<NodeId>> = Vec::new();
+
+        // Iterative Tarjan with an explicit work stack.
+        enum Frame {
+            Enter(NodeId),
+            Resume(NodeId, usize),
+        }
+        for start in 0..n as NodeId {
+            if index[start as usize] != usize::MAX {
+                continue;
+            }
+            let mut work = vec![Frame::Enter(start)];
+            while let Some(frame) = work.pop() {
+                match frame {
+                    Frame::Enter(v) => {
+                        index[v as usize] = next_index;
+                        low[v as usize] = next_index;
+                        next_index += 1;
+                        stack.push(v);
+                        on_stack[v as usize] = true;
+                        work.push(Frame::Resume(v, 0));
+                    }
+                    Frame::Resume(v, mut child) => {
+                        let mut descended = false;
+                        while child < self.adj[v as usize].len() {
+                            let w = self.adj[v as usize][child];
+                            child += 1;
+                            if index[w as usize] == usize::MAX {
+                                work.push(Frame::Resume(v, child));
+                                work.push(Frame::Enter(w));
+                                descended = true;
+                                break;
+                            } else if on_stack[w as usize] {
+                                low[v as usize] = low[v as usize].min(index[w as usize]);
+                            }
+                        }
+                        if descended {
+                            continue;
+                        }
+                        // All children done.
+                        if low[v as usize] == index[v as usize] {
+                            let mut component = Vec::new();
+                            loop {
+                                let w = stack.pop().expect("stack holds the component");
+                                on_stack[w as usize] = false;
+                                component.push(w);
+                                if w == v {
+                                    break;
+                                }
+                            }
+                            components.push(component);
+                        }
+                        // Propagate lowlink to parent.
+                        if let Some(Frame::Resume(parent, _)) = work.last() {
+                            let p = *parent as usize;
+                            low[p] = low[p].min(low[v as usize]);
+                        }
+                    }
+                }
+            }
+        }
+        components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        components
+    }
+}
+
+/// Summary statistics over a set of reachability counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReachStats {
+    /// Number of roots analyzed.
+    pub count: usize,
+    /// Smallest reach.
+    pub min: usize,
+    /// Largest reach.
+    pub max: usize,
+    /// Median reach.
+    pub median: usize,
+    /// Fraction of roots reaching >= 30 nodes.
+    pub pct_ge_30: f64,
+    /// Fraction of roots reaching >= 500 nodes.
+    pub pct_ge_500: f64,
+}
+
+/// Computes the Figure 3 summary statistics.
+pub fn reach_stats(sizes: &[usize]) -> ReachStats {
+    assert!(!sizes.is_empty(), "no sizes");
+    let mut sorted = sizes.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len();
+    ReachStats {
+        count,
+        min: sorted[0],
+        max: sorted[count - 1],
+        median: sorted[count / 2],
+        pct_ge_30: sorted.iter().filter(|s| **s >= 30).count() as f64 / count as f64,
+        pct_ge_500: sorted.iter().filter(|s| **s >= 500).count() as f64 / count as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CallGraph {
+        // a -> b, a -> c, b -> d, c -> d
+        let mut g = CallGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        g
+    }
+
+    #[test]
+    fn reach_counts_unique_nodes() {
+        let g = diamond();
+        assert_eq!(g.reach_count(0), 3); // b, c, d — d counted once
+        assert_eq!(g.reach_count(1), 1);
+        assert_eq!(g.reach_count(3), 0);
+    }
+
+    #[test]
+    fn reach_handles_cycles() {
+        let mut g = CallGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        assert_eq!(g.reach_count(a), 1); // b (a itself not re-counted)
+    }
+
+    #[test]
+    fn scc_detects_cycles() {
+        let mut g = CallGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        g.add_edge(c, d);
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0].len(), 3);
+        assert_eq!(sccs[1].len(), 1);
+    }
+
+    #[test]
+    fn scc_of_dag_is_all_singletons() {
+        let g = diamond();
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn stats_quantiles() {
+        let sizes = vec![0, 10, 30, 100, 600, 700];
+        let s = reach_stats(&sizes);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 700);
+        assert!((s.pct_ge_30 - 4.0 / 6.0).abs() < 1e-9);
+        assert!((s.pct_ge_500 - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts_track() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.name(0), "a");
+        assert_eq!(g.callees(0).len(), 2);
+    }
+}

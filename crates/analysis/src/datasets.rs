@@ -1,0 +1,199 @@
+//! Digitized paper data.
+//!
+//! The paper plots Figures 2 and 4 from historical Linux trees we do not
+//! ship; the values below are digitized approximations of the published
+//! curves, recorded as such (EXPERIMENTS.md reports them side by side
+//! with the series measured from this artifact). Table 1 is exact — the
+//! paper prints the numbers.
+
+use ebpf::version::KernelVersion;
+
+/// Figure 2 (digitized): eBPF verifier LoC by kernel release.
+pub const FIG2_VERIFIER_LOC: [(KernelVersion, u32); 9] = [
+    (KernelVersion::V3_18, 1_700),
+    (KernelVersion::V4_3, 2_200),
+    (KernelVersion::V4_9, 2_950),
+    (KernelVersion::V4_14, 4_800),
+    (KernelVersion::V4_20, 6_300),
+    (KernelVersion::V5_4, 8_700),
+    (KernelVersion::V5_10, 10_500),
+    (KernelVersion::V5_15, 11_200),
+    (KernelVersion::V6_1, 12_200),
+];
+
+/// Figure 4 (digitized): number of helper functions by kernel release.
+pub const FIG4_HELPER_COUNT: [(KernelVersion, u32); 9] = [
+    (KernelVersion::V3_18, 15),
+    (KernelVersion::V4_3, 30),
+    (KernelVersion::V4_9, 55),
+    (KernelVersion::V4_14, 75),
+    (KernelVersion::V4_20, 100),
+    (KernelVersion::V5_4, 130),
+    (KernelVersion::V5_10, 160),
+    (KernelVersion::V5_15, 195),
+    (KernelVersion::V6_1, 220),
+];
+
+/// §2.2: helpers counted in Linux 5.18 for the Figure 3 analysis.
+pub const FIG3_HELPER_COUNT: usize = 249;
+/// §2.2: fraction of helpers calling 30+ other kernel functions.
+pub const FIG3_PCT_GE_30: f64 = 0.522;
+/// §2.2: fraction of helpers calling 500+ other functions.
+pub const FIG3_PCT_GE_500: f64 = 0.345;
+/// §2.2: the largest call graph (`bpf_sys_bpf`).
+pub const FIG3_MAX_NODES: usize = 4_845;
+/// §2.2: the smallest call graph (`bpf_get_current_pid_tgid`).
+pub const FIG3_MIN_NODES: usize = 0;
+
+/// §2.2: how long the paper ran its RCU-stall exploit, in seconds.
+pub const EXPLOIT_RUNTIME_SECS: u64 = 800;
+
+/// §2.1: growth claim — roughly this many helpers added every two years.
+pub const HELPERS_PER_TWO_YEARS: f64 = 50.0;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Vulnerability/bug class.
+    pub class: &'static str,
+    /// Total bugs found in 2021-2022.
+    pub total: u32,
+    /// Of which in helper functions.
+    pub helper: u32,
+    /// Of which in the verifier.
+    pub verifier: u32,
+}
+
+/// Table 1, exactly as published: bug statistics in eBPF helper functions
+/// and verifier for 2021-2022.
+pub const TABLE1: [Table1Row; 10] = [
+    Table1Row {
+        class: "Arbitrary read/write",
+        total: 3,
+        helper: 1,
+        verifier: 2,
+    },
+    Table1Row {
+        class: "Deadlock/Hang",
+        total: 2,
+        helper: 1,
+        verifier: 1,
+    },
+    Table1Row {
+        class: "Integer overflow/underflow",
+        total: 2,
+        helper: 2,
+        verifier: 0,
+    },
+    Table1Row {
+        class: "Kernel pointer leak",
+        total: 5,
+        helper: 0,
+        verifier: 5,
+    },
+    Table1Row {
+        class: "Memory leak",
+        total: 2,
+        helper: 0,
+        verifier: 2,
+    },
+    Table1Row {
+        class: "Null-pointer dereference",
+        total: 7,
+        helper: 6,
+        verifier: 1,
+    },
+    Table1Row {
+        class: "Out-of-bound access",
+        total: 7,
+        helper: 1,
+        verifier: 6,
+    },
+    Table1Row {
+        class: "Reference count leak",
+        total: 1,
+        helper: 1,
+        verifier: 0,
+    },
+    Table1Row {
+        class: "Use-after-free",
+        total: 2,
+        helper: 1,
+        verifier: 1,
+    },
+    Table1Row {
+        class: "Misc",
+        total: 9,
+        helper: 5,
+        verifier: 4,
+    },
+];
+
+/// Table 1's published totals.
+pub const TABLE1_TOTAL: Table1Row = Table1Row {
+    class: "Total",
+    total: 40,
+    helper: 18,
+    verifier: 22,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_sum_to_published_totals() {
+        let total: u32 = TABLE1.iter().map(|r| r.total).sum();
+        let helper: u32 = TABLE1.iter().map(|r| r.helper).sum();
+        let verifier: u32 = TABLE1.iter().map(|r| r.verifier).sum();
+        assert_eq!(total, TABLE1_TOTAL.total);
+        assert_eq!(helper, TABLE1_TOTAL.helper);
+        assert_eq!(verifier, TABLE1_TOTAL.verifier);
+    }
+
+    #[test]
+    fn every_row_is_internally_consistent() {
+        for row in TABLE1 {
+            assert_eq!(row.total, row.helper + row.verifier, "{}", row.class);
+        }
+    }
+
+    #[test]
+    fn digitized_series_are_monotone() {
+        for pair in FIG2_VERIFIER_LOC.windows(2) {
+            assert!(pair[0].1 < pair[1].1);
+            assert!(pair[0].0 < pair[1].0);
+        }
+        for pair in FIG4_HELPER_COUNT.windows(2) {
+            assert!(pair[0].1 < pair[1].1);
+        }
+    }
+
+    #[test]
+    fn fig2_endpoint_matches_paper_scale() {
+        // The published curve ends around 12 kLoC at v6.1.
+        let (v, loc) = FIG2_VERIFIER_LOC[8];
+        assert_eq!(v, KernelVersion::V6_1);
+        assert!((11_000..13_000).contains(&loc));
+    }
+
+    #[test]
+    fn fig4_growth_rate_is_about_50_per_two_years() {
+        // Linear fit over (year, count): slope * 2 should be ~50.
+        let points: Vec<(f64, f64)> = FIG4_HELPER_COUNT
+            .iter()
+            .map(|(v, c)| (v.release_year() as f64, *c as f64))
+            .collect();
+        let n = points.len() as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+        let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        let per_two_years = slope * 2.0;
+        assert!(
+            (40.0..60.0).contains(&per_two_years),
+            "got {per_two_years}"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 3 machinery: BFS reachability over the calibrated synthetic
+//! kernel — the cost of the paper's static analysis itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_generation(c: &mut Criterion) {
+    c.bench_function("fig3/generate-synthetic-kernel", |b| {
+        b.iter(|| analysis::kerngen::generate(42));
+    });
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let kernel = analysis::kerngen::generate(42);
+    c.bench_function("fig3/analyze-249-helpers", |b| {
+        b.iter(|| kernel.analyze());
+    });
+    let sys_bpf = kernel
+        .helpers
+        .iter()
+        .find(|(n, _)| n == "bpf_sys_bpf")
+        .map(|(_, id)| *id)
+        .unwrap();
+    c.bench_function("fig3/bfs-bpf_sys_bpf", |b| {
+        b.iter(|| kernel.graph.reach_count(sys_bpf));
+    });
+}
+
+fn bench_sccs(c: &mut Criterion) {
+    let kernel = analysis::kerngen::generate(42);
+    c.bench_function("fig3/sccs-whole-kernel", |b| {
+        b.iter(|| kernel.graph.sccs().len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_generation, bench_reachability, bench_sccs
+}
+criterion_main!(benches);

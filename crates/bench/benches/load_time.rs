@@ -1,0 +1,84 @@
+//! §3.1 load path: in-kernel verification vs signature validation +
+//! load-time fixup — the cost the paper proposes to remove from the
+//! kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::workloads;
+use ebpf::helpers::HelperRegistry;
+use ebpf::maps::MapRegistry;
+use ebpf::program::ProgType;
+use kernel_sim::Kernel;
+use safe_ext::toolchain::Toolchain;
+use safe_ext::{Extension, ExtensionRegistry, Loader};
+use signing::{KeyStore, SigningKey};
+use verifier::Verifier;
+
+fn bench_load_paths(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    let helpers = HelperRegistry::standard();
+    let verifier = Verifier::new(&maps, &helpers);
+
+    let key = SigningKey::derive(1);
+    let toolchain = Toolchain::new(key.clone());
+    let mut keyring = KeyStore::new();
+    keyring.enroll(&key).unwrap();
+    keyring.seal();
+    let loader = Loader::new(&kernel, keyring);
+    let mut registry = ExtensionRegistry::new();
+    registry.link(
+        "entry",
+        Extension::new("e", ProgType::SocketFilter, |_| Ok(0)),
+    );
+
+    let mut group = c.benchmark_group("load-path");
+    for n in [256usize, 1024, 4096] {
+        let prog = workloads::straightline(n);
+        group.bench_with_input(
+            BenchmarkId::new("baseline-verify", n),
+            &prog,
+            |b, prog| {
+                b.iter(|| verifier.verify(prog).expect("verifies"));
+            },
+        );
+        let source = format!(
+            "fn ext(ctx: &ExtCtx) -> Result<u64, ExtError> {{\n{}    Ok(0)\n}}\n",
+            "    let _ = 1 + 1;\n".repeat(n / 2)
+        );
+        let signed = toolchain
+            .build(&source, "e", ProgType::SocketFilter, "entry", &["maps"])
+            .expect("builds");
+        group.bench_with_input(
+            BenchmarkId::new("safe-ext-signed-load", n),
+            &signed,
+            |b, signed| {
+                b.iter(|| loader.load(signed, &registry).expect("loads"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_toolchain(c: &mut Criterion) {
+    // The cost that *moved to userspace*: the safety scan + signing.
+    let toolchain = Toolchain::new(SigningKey::derive(2));
+    let source = format!(
+        "fn ext(ctx: &ExtCtx) -> Result<u64, ExtError> {{\n{}    Ok(0)\n}}\n",
+        "    let value = ctx.pid_tgid()?;\n".repeat(500)
+    );
+    c.bench_function("toolchain/check-and-sign-1kloc", |b| {
+        b.iter(|| {
+            toolchain
+                .build(&source, "e", ProgType::SocketFilter, "entry", &["task"])
+                .expect("builds")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_load_paths, bench_toolchain
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! §4 dynamic allocation: the pre-allocated pool vs the global allocator,
+//! plus cleanup-registry costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use safe_ext::cleanup::{CleanupRegistry, Resource};
+use safe_ext::pool::Pool;
+
+fn bench_pool_vs_global(c: &mut Criterion) {
+    let pool = Pool::new(64);
+    c.bench_function("alloc/pool-64B-roundtrip", |b| {
+        b.iter(|| {
+            let a = pool.alloc(64).expect("pool has room");
+            pool.free(a).expect("valid free");
+        });
+    });
+    c.bench_function("alloc/global-64B-roundtrip", |b| {
+        b.iter(|| {
+            let v = vec![0u8; 64];
+            criterion::black_box(&v);
+        });
+    });
+    c.bench_function("alloc/pool-mixed-sizes", |b| {
+        b.iter(|| {
+            let a = pool.alloc(16).unwrap();
+            let bb = pool.alloc(128).unwrap();
+            let c2 = pool.alloc(512).unwrap();
+            pool.free(bb).unwrap();
+            pool.free(a).unwrap();
+            pool.free(c2).unwrap();
+        });
+    });
+}
+
+fn bench_cleanup_registry(c: &mut Criterion) {
+    c.bench_function("cleanup/register-deregister", |b| {
+        let reg = CleanupRegistry::with_capacity(64);
+        b.iter(|| {
+            let t = reg
+                .register(Resource::SocketRef(kernel_sim::refcount::ObjId(1)))
+                .expect("capacity");
+            assert!(reg.deregister(t));
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pool_vs_global, bench_cleanup_registry
+}
+criterion_main!(benches);

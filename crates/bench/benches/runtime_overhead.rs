@@ -1,0 +1,143 @@
+//! §3.1 runtime cost: the per-event price of the lightweight runtime
+//! mechanisms vs the interpreted baseline, on identical packet workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::workloads;
+use ebpf::helpers::HelperRegistry;
+use ebpf::interp::{CtxInput, Vm};
+use ebpf::maps::{MapDef, MapRegistry};
+use ebpf::program::ProgType;
+use kernel_sim::Kernel;
+use safe_ext::{ExtInput, Extension, Runtime};
+use verifier::Verifier;
+
+fn bench_packet_path(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    kernel.populate_demo_env();
+    let maps = MapRegistry::default();
+    let helpers = HelperRegistry::standard();
+    let fd = maps
+        .create(&kernel, MapDef::array("counts", 8, 4))
+        .unwrap();
+
+    let prog = workloads::packet_filter(fd);
+    Verifier::new(&maps, &helpers).verify(&prog).unwrap();
+    let mut vm = Vm::new(&kernel, &maps, &helpers);
+    let id = vm.load(prog);
+    c.bench_function("runtime/baseline-interpreted-filter", |b| {
+        b.iter(|| {
+            let result = vm.run(id, CtxInput::Packet(vec![1, 0xaa, 0xbb]));
+            assert!(result.result.is_ok());
+        });
+    });
+
+    let ext = Extension::new("filter.rs", ProgType::SocketFilter, move |ctx| {
+        let pkt = ctx.packet()?;
+        if pkt.len() < 2 {
+            return Ok(0);
+        }
+        let proto = (pkt.load_u8(0)? & 3) as u32;
+        ctx.array(fd)?.fetch_add_u64(proto, 0, 1)?;
+        Ok(pkt.len() as u64)
+    });
+    let runtime = Runtime::new(&kernel, &maps);
+    c.bench_function("runtime/safe-ext-filter", |b| {
+        b.iter(|| {
+            let outcome = runtime.run(&ext, ExtInput::Packet(vec![1, 0xaa, 0xbb]));
+            assert!(outcome.result.is_ok());
+        });
+    });
+}
+
+fn bench_guard_costs(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    kernel.populate_demo_env();
+    let maps = MapRegistry::default();
+    let runtime = Runtime::new(&kernel, &maps);
+
+    // The watchdog poll itself.
+    let tick_ext = Extension::new("ticker", ProgType::Kprobe, |ctx| {
+        for _ in 0..1000 {
+            ctx.tick()?;
+        }
+        Ok(0)
+    });
+    c.bench_function("runtime/1000-watchdog-polls", |b| {
+        b.iter(|| {
+            let outcome = runtime.run(&tick_ext, ExtInput::None);
+            assert!(outcome.result.is_ok());
+        });
+    });
+
+    // RAII guard acquire/release round trip.
+    let sk_ext = Extension::new("sk", ProgType::SocketFilter, |ctx| {
+        let guard = ctx.lookup_tcp(
+            kernel_sim::objects::SockAddr::new(0x0a00_0001, 443),
+            kernel_sim::objects::SockAddr::new(0x0a00_0064, 51724),
+        )?;
+        Ok(guard.is_some() as u64)
+    });
+    c.bench_function("runtime/raii-socket-guard-roundtrip", |b| {
+        b.iter(|| {
+            let outcome = runtime.run(&sk_ext, ExtInput::None);
+            assert_eq!(outcome.unwrap(), 1);
+        });
+    });
+}
+
+fn bench_map_access(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    kernel.populate_demo_env();
+    let maps = MapRegistry::default();
+    let helpers = HelperRegistry::standard();
+    let fd = maps.create(&kernel, MapDef::array("m", 8, 16)).unwrap();
+
+    // Baseline: helper-call + raw pointer write, interpreted.
+    let prog = {
+        use ebpf::asm::Asm;
+        use ebpf::insn::*;
+        let insns = Asm::new()
+            .st(BPF_W, Reg::R10, -4, 3)
+            .ld_map_fd(Reg::R1, fd)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .alu64_imm(BPF_ADD, Reg::R2, -4)
+            .call_helper(ebpf::helpers::BPF_MAP_LOOKUP_ELEM as i32)
+            .jmp64_imm(BPF_JNE, Reg::R0, 0, "hit")
+            .exit()
+            .label("hit")
+            .ldx(BPF_DW, Reg::R1, Reg::R0, 0)
+            .alu64_imm(BPF_ADD, Reg::R1, 1)
+            .stx(BPF_DW, Reg::R0, 0, Reg::R1)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build()
+            .unwrap();
+        ebpf::Program::new("bump", ProgType::Kprobe, insns)
+    };
+    Verifier::new(&maps, &helpers).verify(&prog).unwrap();
+    let mut vm = Vm::new(&kernel, &maps, &helpers);
+    let id = vm.load(prog);
+    c.bench_function("map-access/baseline-lookup-bump", |b| {
+        b.iter(|| {
+            assert!(vm.run(id, CtxInput::None).result.is_ok());
+        });
+    });
+
+    let ext = Extension::new("bump.rs", ProgType::Kprobe, move |ctx| {
+        ctx.array(fd)?.fetch_add_u64(3, 0, 1)
+    });
+    let runtime = Runtime::new(&kernel, &maps);
+    c.bench_function("map-access/safe-ext-handle-bump", |b| {
+        b.iter(|| {
+            assert!(runtime.run(&ext, ExtInput::None).result.is_ok());
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_packet_path, bench_guard_costs, bench_map_access
+}
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! §2.2 termination: the staller's cost grows linearly with iteration
+//! count (the attacker's "linear control over total runtime"), and the
+//! watchdog's cost of stopping a runaway safe extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bench::workloads;
+use ebpf::helpers::HelperRegistry;
+use ebpf::interp::{CtxInput, Vm};
+use ebpf::maps::MapRegistry;
+use ebpf::program::ProgType;
+use kernel_sim::Kernel;
+use safe_ext::{ExtInput, Extension, Runtime, RuntimeConfig};
+use verifier::Verifier;
+
+fn bench_staller_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("staller/iterations");
+    group.sample_size(10);
+    for inner in [512i32, 2048, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(inner), &inner, |b, &inner| {
+            b.iter_with_setup(
+                || {
+                    let kernel = Kernel::new();
+                    kernel.populate_demo_env();
+                    let maps = MapRegistry::default();
+                    let helpers = HelperRegistry::standard();
+                    let fd = workloads::scratch_map(&kernel, &maps);
+                    let prog = workloads::staller(fd, 4, inner);
+                    Verifier::new(&maps, &helpers).verify(&prog).unwrap();
+                    (kernel, maps, helpers)
+                },
+                |(kernel, maps, helpers)| {
+                    let fd = 1; // scratch_map created fd 1 in setup
+                    let prog = workloads::staller(fd, 4, inner);
+                    let mut vm = Vm::new(&kernel, &maps, &helpers);
+                    let id = vm.load(prog);
+                    assert!(vm.run(id, CtxInput::None).result.is_ok());
+                },
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_watchdog_budgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("watchdog/fuel-budget");
+    group.sample_size(10);
+    for fuel in [10_000u64, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(fuel), &fuel, |b, &fuel| {
+            let kernel = Kernel::new();
+            kernel.populate_demo_env();
+            let maps = MapRegistry::default();
+            let ext = Extension::new("spinner", ProgType::Kprobe, |ctx| {
+                loop {
+                    ctx.tick()?;
+                }
+            });
+            let runtime = Runtime::new(&kernel, &maps).with_config(RuntimeConfig {
+                fuel,
+                deadline_ns: u64::MAX / 2,
+                ..RuntimeConfig::default()
+            });
+            b.iter(|| {
+                let outcome = runtime.run(&ext, ExtInput::None);
+                assert!(outcome.result.is_err());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_staller_linear, bench_watchdog_budgets
+}
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Benchmark and reproduction harness.
+//!
+//! [`workloads`] builds the programs and extensions the experiments run;
+//! [`experiments`] contains the structured experiment runners shared by
+//! the Criterion benches (`benches/`) and the `repro` binary, which
+//! regenerates every figure and table of the paper (see EXPERIMENTS.md).
+
+pub mod experiments;
+pub mod workloads;

@@ -1,0 +1,128 @@
+//! Shared workload builders for benchmarks and the `repro` binary.
+
+use ebpf::asm::Asm;
+use ebpf::helpers;
+use ebpf::insn::*;
+use ebpf::maps::{MapDef, MapRegistry};
+use ebpf::program::{ProgType, Program};
+use kernel_sim::Kernel;
+
+/// A straight-line ALU program of roughly `n` instructions.
+pub fn straightline(n: usize) -> Program {
+    let mut asm = Asm::new().mov64_imm(Reg::R0, 0);
+    for i in 0..n {
+        asm = asm.alu64_imm(BPF_ADD, Reg::R0, (i % 7) as i32);
+    }
+    let insns = asm.alu64_imm(BPF_AND, Reg::R0, 0).exit().build().unwrap();
+    Program::new("straightline", ProgType::SocketFilter, insns)
+}
+
+/// A program with `n` branch diamonds (state-merge pressure for the
+/// verifier; converges under pruning).
+pub fn diamonds(n: usize) -> Program {
+    let mut asm = Asm::new().mov64_imm(Reg::R0, 0);
+    for i in 0..n {
+        let t = format!("t{i}");
+        asm = asm
+            .ldx(BPF_DW, Reg::R6, Reg::R1, 16)
+            .jmp64_imm(BPF_JEQ, Reg::R6, i as i32, &t)
+            .mov64_imm(Reg::R6, 0)
+            .label(&t);
+    }
+    let insns = asm.mov64_imm(Reg::R0, 0).exit().build().unwrap();
+    Program::new("diamonds", ProgType::SocketFilter, insns)
+}
+
+/// A counted loop of `n` iterations (the verifier explores it iteration
+/// by iteration; cost grows with `n`, as §2.1 describes).
+pub fn counted_loop(n: i32) -> Program {
+    let insns = Asm::new()
+        .mov64_imm(Reg::R0, 0)
+        .mov64_imm(Reg::R1, n)
+        .label("loop")
+        .alu64_imm(BPF_ADD, Reg::R0, 1)
+        .alu64_imm(BPF_SUB, Reg::R1, 1)
+        .jmp64_imm(BPF_JNE, Reg::R1, 0, "loop")
+        .alu64_imm(BPF_AND, Reg::R0, 0)
+        .exit()
+        .build()
+        .unwrap();
+    Program::new("counted-loop", ProgType::SocketFilter, insns)
+}
+
+/// The §2.2 nested `bpf_loop` staller: `outer * inner` iterations of
+/// map read-modify-write.
+pub fn staller(scratch_fd: u32, outer: i32, inner: i32) -> Program {
+    let insns = Asm::new()
+        .mov64_imm(Reg::R1, outer)
+        .ld_fn_ptr(Reg::R2, "outer_body")
+        .mov64_imm(Reg::R3, inner)
+        .mov64_imm(Reg::R4, 0)
+        .call_helper(helpers::BPF_LOOP as i32)
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .label("outer_body")
+        .mov64_reg(Reg::R1, Reg::R2)
+        .ld_fn_ptr(Reg::R2, "inner_body")
+        .mov64_imm(Reg::R3, 0)
+        .mov64_imm(Reg::R4, 0)
+        .call_helper(helpers::BPF_LOOP as i32)
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .label("inner_body")
+        .alu64_imm(BPF_AND, Reg::R1, 3)
+        .stx(BPF_W, Reg::R10, -4, Reg::R1)
+        .ld_map_fd(Reg::R1, scratch_fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -4)
+        .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+        .jmp64_imm(BPF_JNE, Reg::R0, 0, "hit")
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .label("hit")
+        .ldx(BPF_DW, Reg::R1, Reg::R0, 0)
+        .alu64_imm(BPF_ADD, Reg::R1, 1)
+        .stx(BPF_DW, Reg::R0, 0, Reg::R1)
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build()
+        .unwrap();
+    Program::new("staller", ProgType::Tracepoint, insns)
+}
+
+/// A realistic packet filter: bounds check + map count + accept.
+pub fn packet_filter(fd: u32) -> Program {
+    let insns = Asm::new()
+        .mov64_reg(Reg::R6, Reg::R1)
+        .ldx(BPF_DW, Reg::R2, Reg::R6, 0)
+        .ldx(BPF_DW, Reg::R3, Reg::R6, 8)
+        .mov64_reg(Reg::R4, Reg::R2)
+        .alu64_imm(BPF_ADD, Reg::R4, 2)
+        .mov64_imm(Reg::R0, 0)
+        .jmp64_reg(BPF_JGT, Reg::R4, Reg::R3, "out")
+        .ldx(BPF_B, Reg::R7, Reg::R2, 0)
+        .alu64_imm(BPF_AND, Reg::R7, 3)
+        .stx(BPF_W, Reg::R10, -4, Reg::R7)
+        .ld_map_fd(Reg::R1, fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -4)
+        .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+        .jmp64_imm(BPF_JNE, Reg::R0, 0, "count")
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .label("count")
+        .mov64_imm(Reg::R1, 1)
+        .atomic(BPF_DW, Reg::R0, 0, Reg::R1, BPF_ATOMIC_ADD)
+        .ldx(BPF_DW, Reg::R0, Reg::R6, 16)
+        .label("out")
+        .exit()
+        .build()
+        .unwrap();
+    Program::new("packet-filter", ProgType::SocketFilter, insns)
+}
+
+/// Creates the scratch array map used by several workloads.
+pub fn scratch_map(kernel: &Kernel, maps: &MapRegistry) -> u32 {
+    maps.create(kernel, MapDef::array("scratch", 8, 4))
+        .expect("map creation")
+}

@@ -1,0 +1,54 @@
+//! §2.1 scalability claims, asserted end-to-end.
+
+use bench::experiments;
+
+#[test]
+fn pruning_is_the_difference_between_linear_and_exponential() {
+    let points = experiments::pruning_ablation();
+    // With pruning: linear-ish growth.
+    let first = &points[0];
+    let last = points.last().unwrap();
+    let growth = last.with_pruning as f64 / first.with_pruning as f64;
+    let size_growth = last.diamonds as f64 / first.diamonds as f64;
+    assert!(
+        growth < size_growth * 3.0,
+        "pruned cost should grow ~linearly: {growth} vs size {size_growth}"
+    );
+    // Without pruning: exponential, eventually exhausting the budget.
+    assert!(points
+        .iter()
+        .any(|p| p.without_pruning.is_none()), "expected a budget rejection");
+    // And where both complete, the unpruned cost dwarfs the pruned one.
+    for p in &points[2..] {
+        if let Some(unpruned) = p.without_pruning {
+            assert!(
+                unpruned > 50 * p.with_pruning,
+                "at {} diamonds: {unpruned} vs {}",
+                p.diamonds,
+                p.with_pruning
+            );
+        }
+    }
+}
+
+#[test]
+fn oversized_programs_must_be_split_and_splitting_costs() {
+    let p = experiments::program_splitting(6000, 2);
+    assert!(!p.monolith_verifies, "6000 insns exceed the 4096 limit");
+    // The split version runs MORE instructions for the same work: the
+    // overhead §2.1 attributes to forced program splitting.
+    assert!(p.split_insns > p.monolith_insns);
+    // And the overhead is the tail-call + map-state plumbing, not noise.
+    let overhead = p.split_insns - p.monolith_insns;
+    assert!(
+        (5..200).contains(&overhead),
+        "unexpected split overhead: {overhead}"
+    );
+}
+
+#[test]
+fn splitting_more_pieces_costs_more() {
+    let two = experiments::program_splitting(6000, 2);
+    let four = experiments::program_splitting(6000, 4);
+    assert!(four.split_insns > two.split_insns);
+}

@@ -1,0 +1,70 @@
+//! The extension model: safe Rust code behind a narrow entry point.
+//!
+//! An [`Extension`] is what the paper's user writes: **safe** Rust whose
+//! only view of the kernel is the [`crate::kernel_crate::ExtCtx`] handed
+//! to its entry function. There is no bytecode and no verifier — the Rust
+//! compiler enforced memory/type safety at build time, the trusted
+//! toolchain enforced the no-`unsafe` policy (see [`crate::toolchain`]),
+//! and the runtime supplies the properties the language cannot
+//! (termination, resource cleanup).
+
+use std::sync::Arc;
+
+use ebpf::program::ProgType;
+
+use crate::{error::ExtError, kernel_crate::ExtCtx};
+
+/// The entry-point signature of an extension.
+pub type EntryFn = Arc<dyn Fn(&ExtCtx<'_>) -> Result<u64, ExtError> + Send + Sync>;
+
+/// A loadable safe-Rust extension.
+#[derive(Clone)]
+pub struct Extension {
+    /// Display name.
+    pub name: String,
+    /// Attachment type (same taxonomy as the baseline).
+    pub prog_type: ProgType,
+    entry: EntryFn,
+}
+
+impl std::fmt::Debug for Extension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Extension")
+            .field("name", &self.name)
+            .field("prog_type", &self.prog_type)
+            .finish()
+    }
+}
+
+impl Extension {
+    /// Wraps an entry function as an extension.
+    pub fn new(
+        name: &str,
+        prog_type: ProgType,
+        entry: impl Fn(&ExtCtx<'_>) -> Result<u64, ExtError> + Send + Sync + 'static,
+    ) -> Self {
+        Extension {
+            name: name.to_string(),
+            prog_type,
+            entry: Arc::new(entry),
+        }
+    }
+
+    /// Invokes the entry point.
+    pub fn invoke(&self, ctx: &ExtCtx<'_>) -> Result<u64, ExtError> {
+        (self.entry)(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_omits_entry() {
+        let ext = Extension::new("e", ProgType::Kprobe, |_| Ok(0));
+        let s = format!("{ext:?}");
+        assert!(s.contains("\"e\""));
+        assert!(s.contains("Kprobe") || s.contains("kprobe"));
+    }
+}

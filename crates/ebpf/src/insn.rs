@@ -1,0 +1,397 @@
+//! The eBPF instruction set.
+//!
+//! Encoding follows the real eBPF ISA: each instruction is 8 bytes —
+//! `code:8 dst:4 src:4 off:16 imm:32` — with the 64-bit-immediate load
+//! (`LDDW`) occupying two slots. The opcode space (classes, ALU/JMP
+//! operations, size and mode bits) matches `linux/bpf.h`, so programs in
+//! this reproduction are structured exactly like the programs the paper's
+//! verifier arguments are about.
+
+/// Instruction class mask (low 3 bits of the opcode).
+pub const BPF_CLASS_MASK: u8 = 0x07;
+
+/// Non-standard load.
+pub const BPF_LD: u8 = 0x00;
+/// Load into register.
+pub const BPF_LDX: u8 = 0x01;
+/// Store immediate.
+pub const BPF_ST: u8 = 0x02;
+/// Store register.
+pub const BPF_STX: u8 = 0x03;
+/// 32-bit arithmetic.
+pub const BPF_ALU: u8 = 0x04;
+/// 64-bit jumps.
+pub const BPF_JMP: u8 = 0x05;
+/// 32-bit jumps.
+pub const BPF_JMP32: u8 = 0x06;
+/// 64-bit arithmetic.
+pub const BPF_ALU64: u8 = 0x07;
+
+/// Source operand is the immediate.
+pub const BPF_K: u8 = 0x00;
+/// Source operand is a register.
+pub const BPF_X: u8 = 0x08;
+
+// ALU / ALU64 operations (high 4 bits).
+/// dst += src.
+pub const BPF_ADD: u8 = 0x00;
+/// dst -= src.
+pub const BPF_SUB: u8 = 0x10;
+/// dst *= src.
+pub const BPF_MUL: u8 = 0x20;
+/// dst /= src (division by zero yields zero, as in the in-kernel runtime).
+pub const BPF_DIV: u8 = 0x30;
+/// dst |= src.
+pub const BPF_OR: u8 = 0x40;
+/// dst &= src.
+pub const BPF_AND: u8 = 0x50;
+/// dst <<= src (shift amount masked to the operand width).
+pub const BPF_LSH: u8 = 0x60;
+/// dst >>= src (logical).
+pub const BPF_RSH: u8 = 0x70;
+/// dst = -dst.
+pub const BPF_NEG: u8 = 0x80;
+/// dst %= src (modulo by zero leaves dst unchanged).
+pub const BPF_MOD: u8 = 0x90;
+/// dst ^= src.
+pub const BPF_XOR: u8 = 0xa0;
+/// dst = src.
+pub const BPF_MOV: u8 = 0xb0;
+/// dst >>= src (arithmetic).
+pub const BPF_ARSH: u8 = 0xc0;
+/// Byte-order conversion.
+pub const BPF_END: u8 = 0xd0;
+
+// JMP operations (high 4 bits).
+/// Unconditional jump.
+pub const BPF_JA: u8 = 0x00;
+/// Jump if equal.
+pub const BPF_JEQ: u8 = 0x10;
+/// Jump if greater (unsigned).
+pub const BPF_JGT: u8 = 0x20;
+/// Jump if greater-or-equal (unsigned).
+pub const BPF_JGE: u8 = 0x30;
+/// Jump if `dst & src`.
+pub const BPF_JSET: u8 = 0x40;
+/// Jump if not equal.
+pub const BPF_JNE: u8 = 0x50;
+/// Jump if greater (signed).
+pub const BPF_JSGT: u8 = 0x60;
+/// Jump if greater-or-equal (signed).
+pub const BPF_JSGE: u8 = 0x70;
+/// Helper or bpf2bpf call.
+pub const BPF_CALL: u8 = 0x80;
+/// Program exit.
+pub const BPF_EXIT: u8 = 0x90;
+/// Jump if less (unsigned).
+pub const BPF_JLT: u8 = 0xa0;
+/// Jump if less-or-equal (unsigned).
+pub const BPF_JLE: u8 = 0xb0;
+/// Jump if less (signed).
+pub const BPF_JSLT: u8 = 0xc0;
+/// Jump if less-or-equal (signed).
+pub const BPF_JSLE: u8 = 0xd0;
+
+// Size bits for load/store (bits 3-4).
+/// 32-bit word.
+pub const BPF_W: u8 = 0x00;
+/// 16-bit half word.
+pub const BPF_H: u8 = 0x08;
+/// 8-bit byte.
+pub const BPF_B: u8 = 0x10;
+/// 64-bit double word.
+pub const BPF_DW: u8 = 0x18;
+
+// Mode bits for load/store (bits 5-7).
+/// Immediate (LDDW).
+pub const BPF_IMM: u8 = 0x00;
+/// Legacy absolute packet load (unsupported here, as in modern kernels).
+pub const BPF_ABS: u8 = 0x20;
+/// Legacy indirect packet load (unsupported here).
+pub const BPF_IND: u8 = 0x40;
+/// Regular memory access.
+pub const BPF_MEM: u8 = 0x60;
+/// Atomic operation.
+pub const BPF_ATOMIC: u8 = 0xc0;
+
+// Atomic operation immediates.
+/// Atomic add.
+pub const BPF_ATOMIC_ADD: i32 = 0x00;
+/// Atomic or.
+pub const BPF_ATOMIC_OR: i32 = 0x40;
+/// Atomic and.
+pub const BPF_ATOMIC_AND: i32 = 0x50;
+/// Atomic xor.
+pub const BPF_ATOMIC_XOR: i32 = 0xa0;
+/// Fetch flag: the old value is returned in the source register.
+pub const BPF_FETCH: i32 = 0x01;
+/// Atomic exchange (implies fetch).
+pub const BPF_XCHG: i32 = 0xe0 | BPF_FETCH;
+/// Atomic compare-and-exchange (implies fetch, old value lands in R0).
+pub const BPF_CMPXCHG: i32 = 0xf0 | BPF_FETCH;
+
+/// `src` value marking an LDDW whose immediate is a map fd.
+pub const BPF_PSEUDO_MAP_FD: u8 = 1;
+/// `src` value marking a CALL to a bpf2bpf function (imm = pc-relative).
+pub const BPF_PSEUDO_CALL: u8 = 1;
+/// `src` value marking an LDDW whose immediate is a bpf2bpf function
+/// address (imm = absolute instruction index).
+pub const BPF_PSEUDO_FUNC: u8 = 4;
+
+/// Number of usable registers (R0..=R10).
+pub const BPF_NUM_REGS: usize = 11;
+/// The frame-pointer register (read-only).
+pub const BPF_REG_FP: u8 = 10;
+/// Per-frame stack size in bytes, as in the kernel.
+pub const BPF_STACK_SIZE: u64 = 512;
+
+/// A register name, checked to be in `R0..=R10`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Return-value / scratch register.
+    pub const R0: Reg = Reg(0);
+    /// First argument register (program context on entry).
+    pub const R1: Reg = Reg(1);
+    /// Second argument register.
+    pub const R2: Reg = Reg(2);
+    /// Third argument register.
+    pub const R3: Reg = Reg(3);
+    /// Fourth argument register.
+    pub const R4: Reg = Reg(4);
+    /// Fifth argument register.
+    pub const R5: Reg = Reg(5);
+    /// Callee-saved register.
+    pub const R6: Reg = Reg(6);
+    /// Callee-saved register.
+    pub const R7: Reg = Reg(7);
+    /// Callee-saved register.
+    pub const R8: Reg = Reg(8);
+    /// Callee-saved register.
+    pub const R9: Reg = Reg(9);
+    /// Frame pointer (read-only).
+    pub const R10: Reg = Reg(10);
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 10`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n <= 10, "register out of range");
+        Reg(n)
+    }
+
+    /// The register number.
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One 8-byte eBPF instruction slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Insn {
+    /// Opcode.
+    pub code: u8,
+    /// Destination register number.
+    pub dst: u8,
+    /// Source register number.
+    pub src: u8,
+    /// Signed 16-bit offset (jumps, memory).
+    pub off: i16,
+    /// Signed 32-bit immediate.
+    pub imm: i32,
+}
+
+impl Insn {
+    /// Creates an instruction.
+    pub const fn new(code: u8, dst: u8, src: u8, off: i16, imm: i32) -> Self {
+        Self {
+            code,
+            dst,
+            src,
+            off,
+            imm,
+        }
+    }
+
+    /// The instruction class.
+    pub const fn class(&self) -> u8 {
+        self.code & BPF_CLASS_MASK
+    }
+
+    /// The ALU/JMP operation bits.
+    pub const fn op(&self) -> u8 {
+        self.code & 0xf0
+    }
+
+    /// Whether the source operand is a register.
+    pub const fn is_src_reg(&self) -> bool {
+        self.code & 0x08 != 0
+    }
+
+    /// The size bits of a load/store.
+    pub const fn size_bits(&self) -> u8 {
+        self.code & 0x18
+    }
+
+    /// The access size in bytes of a load/store.
+    pub const fn access_size(&self) -> u8 {
+        match self.size_bits() {
+            BPF_W => 4,
+            BPF_H => 2,
+            BPF_B => 1,
+            _ => 8,
+        }
+    }
+
+    /// The mode bits of a load/store.
+    pub const fn mode(&self) -> u8 {
+        self.code & 0xe0
+    }
+
+    /// Whether this is the first slot of a two-slot LDDW.
+    pub const fn is_lddw(&self) -> bool {
+        self.code == BPF_LD | BPF_IMM | BPF_DW
+    }
+
+    /// Encodes to the 8-byte wire format.
+    pub fn encode(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.code;
+        b[1] = (self.src << 4) | (self.dst & 0x0f);
+        b[2..4].copy_from_slice(&self.off.to_le_bytes());
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Decodes from the 8-byte wire format.
+    pub fn decode(b: &[u8; 8]) -> Self {
+        Self {
+            code: b[0],
+            dst: b[1] & 0x0f,
+            src: b[1] >> 4,
+            off: i16::from_le_bytes([b[2], b[3]]),
+            imm: i32::from_le_bytes([b[4], b[5], b[6], b[7]]),
+        }
+    }
+}
+
+/// Encodes a program to its byte image (8 bytes per slot).
+pub fn encode_program(insns: &[Insn]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(insns.len() * 8);
+    for insn in insns {
+        out.extend_from_slice(&insn.encode());
+    }
+    out
+}
+
+/// Decodes a byte image back into instruction slots.
+///
+/// Returns `None` if the image length is not a multiple of 8.
+pub fn decode_program(bytes: &[u8]) -> Option<Vec<Insn>> {
+    if !bytes.len().is_multiple_of(8) {
+        return None;
+    }
+    Some(
+        bytes
+            .chunks_exact(8)
+            .map(|c| Insn::decode(c.try_into().expect("chunk is 8 bytes")))
+            .collect(),
+    )
+}
+
+/// Returns the 64-bit immediate of an LDDW given its two slots.
+pub fn lddw_imm(lo: &Insn, hi: &Insn) -> u64 {
+    (lo.imm as u32 as u64) | ((hi.imm as u32 as u64) << 32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let insn = Insn::new(BPF_ALU64 | BPF_ADD | BPF_X, 3, 7, -12, -100);
+        let decoded = Insn::decode(&insn.encode());
+        assert_eq!(insn, decoded);
+    }
+
+    #[test]
+    fn class_and_op_extraction() {
+        let insn = Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, 1, 0, 0, 5);
+        assert_eq!(insn.class(), BPF_ALU64);
+        assert_eq!(insn.op(), BPF_MOV);
+        assert!(!insn.is_src_reg());
+        let insn = Insn::new(BPF_JMP | BPF_JEQ | BPF_X, 1, 2, 4, 0);
+        assert_eq!(insn.class(), BPF_JMP);
+        assert_eq!(insn.op(), BPF_JEQ);
+        assert!(insn.is_src_reg());
+    }
+
+    #[test]
+    fn sizes_decode() {
+        for (bits, bytes) in [(BPF_B, 1u8), (BPF_H, 2), (BPF_W, 4), (BPF_DW, 8)] {
+            let insn = Insn::new(BPF_LDX | BPF_MEM | bits, 0, 1, 0, 0);
+            assert_eq!(insn.access_size(), bytes);
+        }
+    }
+
+    #[test]
+    fn lddw_detection_and_imm() {
+        let lo = Insn::new(BPF_LD | BPF_IMM | BPF_DW, 1, 0, 0, 0x5678_1234u32 as i32);
+        let hi = Insn::new(0, 0, 0, 0, 0x0badu32 as i32);
+        assert!(lo.is_lddw());
+        assert_eq!(lddw_imm(&lo, &hi), 0x0000_0bad_5678_1234);
+    }
+
+    #[test]
+    fn lddw_imm_negative_low_word_not_sign_extended() {
+        let lo = Insn::new(BPF_LD | BPF_IMM | BPF_DW, 1, 0, 0, -1);
+        let hi = Insn::new(0, 0, 0, 0, 0);
+        assert_eq!(lddw_imm(&lo, &hi), 0xffff_ffff);
+    }
+
+    #[test]
+    fn program_image_roundtrip() {
+        let prog = vec![
+            Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, 0, 0, 0, 1),
+            Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+        ];
+        let image = encode_program(&prog);
+        assert_eq!(image.len(), 16);
+        assert_eq!(decode_program(&image).unwrap(), prog);
+        assert!(decode_program(&image[..15]).is_none());
+    }
+
+    #[test]
+    fn reg_constants() {
+        assert_eq!(Reg::R0.num(), 0);
+        assert_eq!(Reg::R10.num(), 10);
+        assert_eq!(Reg::new(5), Reg::R5);
+        assert_eq!(Reg::R3.to_string(), "r3");
+    }
+
+    #[test]
+    #[should_panic(expected = "register out of range")]
+    fn reg_out_of_range_panics() {
+        Reg::new(11);
+    }
+
+    #[test]
+    fn dst_src_nibbles_packed_correctly() {
+        let insn = Insn::new(BPF_ALU64 | BPF_ADD | BPF_X, 10, 9, 0, 0);
+        let b = insn.encode();
+        assert_eq!(b[1], (9 << 4) | 10);
+        let back = Insn::decode(&b);
+        assert_eq!(back.dst, 10);
+        assert_eq!(back.src, 9);
+    }
+}

@@ -1,0 +1,947 @@
+//! The eBPF bytecode interpreter.
+//!
+//! Executes programs against the simulated kernel: every memory access is
+//! checked (a bad one oopses the kernel, as §2.2's exploit demonstrates),
+//! the whole run holds the RCU read lock (so the stall detector sees
+//! over-long runs), `bpf_tail_call` and `bpf_loop` are inlined exactly as
+//! in the kernel, and bpf2bpf calls get fresh 512-byte stack frames.
+//!
+//! The interpreter deliberately has **no termination enforcement of its
+//! own** (`VmConfig::max_insns` defaults to unlimited): in the baseline
+//! architecture, termination is the verifier's job — which is precisely
+//! the guarantee the paper's `bpf_loop` exploit voids.
+
+use kernel_sim::{
+    exec::{ExecCtx, ExecReport},
+    mem::{Addr, Fault, Perms},
+    objects::SkBuff,
+    oops::OopsReason,
+    Kernel,
+};
+
+use crate::{
+    helpers::{
+        tagged,
+        untag,
+        FaultConfig,
+        HelperCtx,
+        HelperError,
+        HelperRegistry,
+        RunState,
+        BPF_LOOP,
+        BPF_TAIL_CALL,
+        E2BIG,
+        EINVAL,
+        FUNC_PTR_TAG,
+        MAP_PTR_TAG,
+        neg_errno,
+    },
+    insn::{
+        lddw_imm,
+        Insn,
+        BPF_ADD,
+        BPF_ALU,
+        BPF_ALU64,
+        BPF_AND,
+        BPF_ARSH,
+        BPF_ATOMIC,
+        BPF_ATOMIC_ADD,
+        BPF_ATOMIC_AND,
+        BPF_ATOMIC_OR,
+        BPF_ATOMIC_XOR,
+        BPF_CALL,
+        BPF_CMPXCHG,
+        BPF_DIV,
+        BPF_END,
+        BPF_EXIT,
+        BPF_FETCH,
+        BPF_JA,
+        BPF_JEQ,
+        BPF_JGE,
+        BPF_JGT,
+        BPF_JLE,
+        BPF_JLT,
+        BPF_JMP,
+        BPF_JMP32,
+        BPF_JNE,
+        BPF_JSET,
+        BPF_JSGE,
+        BPF_JSGT,
+        BPF_JSLE,
+        BPF_JSLT,
+        BPF_LD,
+        BPF_LDX,
+        BPF_LSH,
+        BPF_MEM,
+        BPF_MOD,
+        BPF_MOV,
+        BPF_MUL,
+        BPF_NEG,
+        BPF_OR,
+        BPF_PSEUDO_CALL,
+        BPF_PSEUDO_FUNC,
+        BPF_PSEUDO_MAP_FD,
+        BPF_RSH,
+        BPF_ST,
+        BPF_STACK_SIZE,
+        BPF_STX,
+        BPF_SUB,
+        BPF_XCHG,
+        BPF_XOR,
+    },
+    maps::MapRegistry,
+    program::{Program, ProgType},
+};
+
+/// Interpreter configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct VmConfig {
+    /// Virtual nanoseconds charged per executed instruction.
+    pub time_per_insn_ns: u64,
+    /// Poll the RCU stall detector every this many instructions.
+    pub rcu_poll_interval: u64,
+    /// Optional hard runtime instruction budget (`None` = rely on the
+    /// verifier for termination, as the baseline does).
+    pub max_insns: Option<u64>,
+    /// Maximum bpf2bpf call depth (kernel: 8).
+    pub max_call_depth: usize,
+    /// Maximum chained tail calls (kernel: 33).
+    pub max_tail_calls: u32,
+    /// Maximum `bpf_loop` iteration count per call (kernel: 1 << 23).
+    pub max_loop_iterations: u64,
+    /// PRNG seed for `bpf_get_prandom_u32`.
+    pub seed: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        Self {
+            time_per_insn_ns: 1,
+            rcu_poll_interval: 4096,
+            max_insns: None,
+            max_call_depth: 8,
+            max_tail_calls: 33,
+            max_loop_iterations: 1 << 23,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// The input handed to a program run, determining its context structure.
+#[derive(Debug, Clone)]
+pub enum CtxInput {
+    /// No meaningful context.
+    None,
+    /// A packet; builds the skb-style `{data, data_end, len}` context.
+    Packet(Vec<u8>),
+    /// A kprobe register file.
+    Kprobe([u64; 8]),
+    /// A tracepoint record.
+    Tracepoint([u64; 4]),
+}
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A memory fault in program or helper code: the kernel oopsed.
+    Fault {
+        /// The fault.
+        fault: Fault,
+        /// Program counter at the faulting instruction.
+        pc: usize,
+    },
+    /// A helper failed in a non-recoverable way.
+    HelperFailure {
+        /// Description.
+        msg: String,
+        /// Call site.
+        pc: usize,
+    },
+    /// A deadlock was detected (the CPU would spin forever).
+    Deadlock {
+        /// Call site.
+        pc: usize,
+    },
+    /// An undecodable or unsupported instruction.
+    BadInstruction {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// A jump or call left the program text: control-flow hijack.
+    ControlFlowEscape {
+        /// Jump site.
+        pc: usize,
+        /// The escaped target.
+        target: i64,
+    },
+    /// bpf2bpf call depth exceeded.
+    CallDepthExceeded {
+        /// Call site.
+        pc: usize,
+    },
+    /// The configured runtime instruction budget was exhausted.
+    InsnLimit {
+        /// The budget.
+        limit: u64,
+    },
+    /// A CALL named an unknown helper.
+    UnknownHelper {
+        /// Helper id.
+        id: u32,
+        /// Call site.
+        pc: usize,
+    },
+    /// A tail call was attempted from inside a subprogram.
+    TailCallInSubprog {
+        /// Call site.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Fault { fault, pc } => write!(f, "fault at pc {pc}: {fault}"),
+            ExecError::HelperFailure { msg, pc } => write!(f, "helper failure at pc {pc}: {msg}"),
+            ExecError::Deadlock { pc } => write!(f, "deadlock at pc {pc}"),
+            ExecError::BadInstruction { pc } => write!(f, "bad instruction at pc {pc}"),
+            ExecError::ControlFlowEscape { pc, target } => {
+                write!(f, "control flow escaped program text at pc {pc} (target {target})")
+            }
+            ExecError::CallDepthExceeded { pc } => write!(f, "call depth exceeded at pc {pc}"),
+            ExecError::InsnLimit { limit } => write!(f, "instruction budget {limit} exhausted"),
+            ExecError::UnknownHelper { id, pc } => write!(f, "unknown helper {id} at pc {pc}"),
+            ExecError::TailCallInSubprog { pc } => write!(f, "tail call in subprogram at pc {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The program's return value, or why it was aborted.
+    pub result: Result<u64, ExecError>,
+    /// Instructions executed (across tail calls, subprograms, loops).
+    pub insns: u64,
+    /// Helper invocations.
+    pub helper_calls: u64,
+    /// Deepest call depth reached.
+    pub max_depth: usize,
+    /// Resource-leak report from execution finish.
+    pub leak_report: ExecReport,
+    /// Captured `bpf_trace_printk` output.
+    pub printk: Vec<String>,
+    /// Captured perf-event records.
+    pub perf_events: Vec<Vec<u8>>,
+    /// Redirect actions taken.
+    pub redirects: u32,
+}
+
+impl RunResult {
+    /// The return value; panics if the run failed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run ended in an error.
+    pub fn unwrap(&self) -> u64 {
+        match &self.result {
+            Ok(v) => *v,
+            Err(e) => panic!("program run failed: {e}"),
+        }
+    }
+}
+
+/// The baseline framework's virtual machine: loaded programs plus the
+/// kernel facilities they run against.
+pub struct Vm<'a> {
+    /// The kernel everything executes against.
+    pub kernel: &'a Kernel,
+    /// The map registry programs reference by fd.
+    pub maps: &'a MapRegistry,
+    /// The helper registry.
+    pub helpers: &'a HelperRegistry,
+    /// Which helper bugs are present.
+    pub faults: FaultConfig,
+    /// Interpreter configuration.
+    pub config: VmConfig,
+    programs: Vec<Program>,
+}
+
+enum FnExit {
+    Return(u64),
+    TailCall(u32),
+}
+
+struct St {
+    regs: [u64; 11],
+    insns: u64,
+    helper_calls: u64,
+    depth: usize,
+    max_depth: usize,
+    tail_calls: u32,
+    run: RunState,
+    exec: ExecCtx,
+    skb: Option<SkBuff>,
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM with patched helpers and the default configuration.
+    pub fn new(kernel: &'a Kernel, maps: &'a MapRegistry, helpers: &'a HelperRegistry) -> Self {
+        Self {
+            kernel,
+            maps,
+            helpers,
+            faults: FaultConfig::patched(),
+            config: VmConfig::default(),
+            programs: Vec::new(),
+        }
+    }
+
+    /// Sets the helper fault configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the interpreter configuration.
+    pub fn with_config(mut self, config: VmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Loads a program, returning its index (usable in prog-array maps).
+    pub fn load(&mut self, prog: Program) -> u32 {
+        self.programs.push(prog);
+        (self.programs.len() - 1) as u32
+    }
+
+    /// Number of loaded programs.
+    pub fn program_count(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Runs program `prog_id` on `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prog_id` has not been loaded.
+    pub fn run(&self, prog_id: u32, input: CtxInput) -> RunResult {
+        let prog = &self.programs[prog_id as usize];
+        let (ctx_addr, ctx_region, skb) = match self.build_ctx(prog.prog_type, &input) {
+            Ok(parts) => parts,
+            Err(fault) => {
+                return RunResult {
+                    result: Err(ExecError::Fault { fault, pc: 0 }),
+                    insns: 0,
+                    helper_calls: 0,
+                    max_depth: 0,
+                    leak_report: ExecReport {
+                        owner: 0,
+                        leaked_refs: vec![],
+                        leaked_locks: vec![],
+                    },
+                    printk: vec![],
+                    perf_events: vec![],
+                    redirects: 0,
+                }
+            }
+        };
+
+        let mut st = St {
+            regs: [0; 11],
+            insns: 0,
+            helper_calls: 0,
+            depth: 0,
+            max_depth: 0,
+            tail_calls: 0,
+            run: RunState::with_seed(self.config.seed),
+            exec: ExecCtx::new(),
+            skb,
+        };
+        st.regs[1] = ctx_addr;
+
+        // The whole run executes under the RCU read lock, as in the kernel.
+        let rcu_guard = self.kernel.rcu.read_lock();
+        let mut current = prog;
+        let result;
+        loop {
+            match self.exec_function(current, &mut st, 0, ctx_addr) {
+                Ok(FnExit::Return(v)) => {
+                    result = Ok(v);
+                    break;
+                }
+                Ok(FnExit::TailCall(next)) => {
+                    match self.programs.get(next as usize) {
+                        Some(p) => {
+                            current = p;
+                            st.regs = [0; 11];
+                            st.regs[1] = ctx_addr;
+                        }
+                        None => {
+                            result = Err(ExecError::HelperFailure {
+                                msg: format!("tail call to unloaded program {next}"),
+                                pc: 0,
+                            });
+                            break;
+                        }
+                    }
+                }
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        // Final stall poll before leaving the read-side section.
+        self.kernel.rcu.check_stall(&self.kernel.audit);
+        drop(rcu_guard);
+
+        let leak_report = st.exec.finish(self.kernel);
+        let _ = self.kernel.mem.unmap(ctx_region);
+        RunResult {
+            result,
+            insns: st.insns,
+            helper_calls: st.helper_calls,
+            max_depth: st.max_depth,
+            leak_report,
+            printk: std::mem::take(&mut st.run.printk),
+            perf_events: std::mem::take(&mut st.run.perf_events),
+            redirects: st.run.redirects,
+        }
+    }
+
+    fn build_ctx(
+        &self,
+        prog_type: ProgType,
+        input: &CtxInput,
+    ) -> Result<(Addr, Addr, Option<SkBuff>), Fault> {
+        let layout = prog_type.ctx_layout();
+        let ctx = self
+            .kernel
+            .mem
+            .map("prog-ctx", layout.size as u64, Perms::rw())?;
+        let mut skb = None;
+        match input {
+            CtxInput::Packet(payload) => {
+                let sk_buff = self.kernel.objects.create_skb(&self.kernel.mem, payload)?;
+                self.kernel.mem.write_u64(ctx, sk_buff.data)?;
+                self.kernel.mem.write_u64(ctx + 8, sk_buff.data_end())?;
+                self.kernel.mem.write_u64(ctx + 16, sk_buff.len as u64)?;
+                skb = Some(sk_buff);
+            }
+            CtxInput::Kprobe(regs) => {
+                for (i, r) in regs.iter().enumerate() {
+                    self.kernel.mem.write_u64(ctx + i as u64 * 8, *r)?;
+                }
+            }
+            CtxInput::Tracepoint(fields) => {
+                for (i, v) in fields.iter().enumerate() {
+                    self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
+                }
+            }
+            CtxInput::None => {}
+        }
+        Ok((ctx, ctx, skb))
+    }
+
+    fn charge(&self, st: &mut St, pc: usize) -> Result<(), ExecError> {
+        st.insns += 1;
+        self.kernel.clock.advance(self.config.time_per_insn_ns);
+        if st.insns.is_multiple_of(self.config.rcu_poll_interval) {
+            self.kernel.rcu.check_stall(&self.kernel.audit);
+        }
+        if let Some(limit) = self.config.max_insns {
+            if st.insns > limit {
+                let _ = pc;
+                return Err(ExecError::InsnLimit { limit });
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_function(
+        &self,
+        prog: &Program,
+        st: &mut St,
+        entry: usize,
+        ctx_addr: Addr,
+    ) -> Result<FnExit, ExecError> {
+        if st.depth >= self.config.max_call_depth {
+            return Err(ExecError::CallDepthExceeded { pc: entry });
+        }
+        st.depth += 1;
+        st.max_depth = st.max_depth.max(st.depth);
+        let frame = self
+            .kernel
+            .mem
+            .map("bpf-stack", BPF_STACK_SIZE, Perms::rw())
+            .map_err(|fault| ExecError::Fault { fault, pc: entry })?;
+        let saved_r10 = st.regs[10];
+        st.regs[10] = frame + BPF_STACK_SIZE;
+
+        let out = self.exec_body(prog, st, entry, ctx_addr);
+
+        st.regs[10] = saved_r10;
+        let _ = self.kernel.mem.unmap(frame);
+        st.depth -= 1;
+        out
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_body(
+        &self,
+        prog: &Program,
+        st: &mut St,
+        entry: usize,
+        ctx_addr: Addr,
+    ) -> Result<FnExit, ExecError> {
+        let insns = &prog.insns;
+        let len = insns.len();
+        let mut pc = entry;
+        loop {
+            if pc >= len {
+                return Err(ExecError::ControlFlowEscape {
+                    pc,
+                    target: pc as i64,
+                });
+            }
+            let insn = insns[pc];
+            self.charge(st, pc)?;
+            match insn.class() {
+                BPF_ALU64 | BPF_ALU => {
+                    if insn.op() == BPF_END {
+                        let width = insn.imm;
+                        let v = st.regs[insn.dst as usize];
+                        let out = match (insn.is_src_reg(), width) {
+                            // to_le on a little-endian model: truncate.
+                            (false, 16) => v & 0xffff,
+                            (false, 32) => v & 0xffff_ffff,
+                            (false, 64) => v,
+                            // to_be: byte-swap within the width.
+                            (true, 16) => (v as u16).swap_bytes() as u64,
+                            (true, 32) => (v as u32).swap_bytes() as u64,
+                            (true, 64) => v.swap_bytes(),
+                            _ => return Err(ExecError::BadInstruction { pc }),
+                        };
+                        st.regs[insn.dst as usize] = out;
+                        pc += 1;
+                        continue;
+                    }
+                    let is64 = insn.class() == BPF_ALU64;
+                    let src_val = if insn.op() == BPF_NEG {
+                        0
+                    } else if insn.is_src_reg() {
+                        st.regs[insn.src as usize]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let dst_val = st.regs[insn.dst as usize];
+                    let result = if is64 {
+                        alu64(insn.op(), dst_val, src_val).ok_or(ExecError::BadInstruction { pc })?
+                    } else {
+                        alu32(insn.op(), dst_val as u32, src_val as u32)
+                            .ok_or(ExecError::BadInstruction { pc })? as u64
+                    };
+                    st.regs[insn.dst as usize] = result;
+                    pc += 1;
+                }
+                BPF_LD
+                    if insn.is_lddw() => {
+                        let hi = insns.get(pc + 1).ok_or(ExecError::BadInstruction { pc })?;
+                        let value = match insn.src {
+                            0 => lddw_imm(&insn, hi),
+                            BPF_PSEUDO_MAP_FD => tagged(MAP_PTR_TAG, insn.imm as u32 as u64),
+                            BPF_PSEUDO_FUNC => tagged(FUNC_PTR_TAG, insn.imm as u32 as u64),
+                            _ => return Err(ExecError::BadInstruction { pc }),
+                        };
+                        st.regs[insn.dst as usize] = value;
+                        // The second slot is charged too, as in the kernel.
+                        self.charge(st, pc)?;
+                        pc += 2;
+                    }
+                BPF_LDX => {
+                    if insn.mode() != BPF_MEM {
+                        return Err(ExecError::BadInstruction { pc });
+                    }
+                    let addr = st.regs[insn.src as usize].wrapping_add(insn.off as i64 as u64);
+                    let value = self
+                        .kernel
+                        .mem
+                        .read_sized(addr, insn.access_size())
+                        .map_err(|fault| self.oops(fault, pc, prog))?;
+                    st.regs[insn.dst as usize] = value;
+                    pc += 1;
+                }
+                BPF_ST | BPF_STX => {
+                    let addr = st.regs[insn.dst as usize].wrapping_add(insn.off as i64 as u64);
+                    match insn.mode() {
+                        BPF_MEM => {
+                            let value = if insn.class() == BPF_ST {
+                                insn.imm as i64 as u64
+                            } else {
+                                st.regs[insn.src as usize]
+                            };
+                            self.kernel
+                                .mem
+                                .write_sized(addr, insn.access_size(), value)
+                                .map_err(|fault| self.oops(fault, pc, prog))?;
+                            pc += 1;
+                        }
+                        BPF_ATOMIC if insn.class() == BPF_STX => {
+                            self.exec_atomic(st, insn, addr, pc, prog)?;
+                            pc += 1;
+                        }
+                        _ => return Err(ExecError::BadInstruction { pc }),
+                    }
+                }
+                BPF_JMP | BPF_JMP32 => {
+                    let wide = insn.class() == BPF_JMP;
+                    match insn.op() {
+                        BPF_JA => {
+                            if !wide {
+                                return Err(ExecError::BadInstruction { pc });
+                            }
+                            pc = jump_target(pc, insn.off, len)?;
+                        }
+                        BPF_EXIT => {
+                            return Ok(FnExit::Return(st.regs[0]));
+                        }
+                        BPF_CALL => {
+                            if insn.src == BPF_PSEUDO_CALL {
+                                let target = pc as i64 + 1 + insn.imm as i64;
+                                if target < 0 || target >= len as i64 {
+                                    return Err(ExecError::ControlFlowEscape { pc, target });
+                                }
+                                let saved: [u64; 4] = [
+                                    st.regs[6], st.regs[7], st.regs[8], st.regs[9],
+                                ];
+                                match self.exec_function(prog, st, target as usize, ctx_addr)? {
+                                    FnExit::Return(v) => {
+                                        st.regs[0] = v;
+                                        st.regs[6..10].copy_from_slice(&saved);
+                                        for r in 1..=5 {
+                                            st.regs[r] = 0;
+                                        }
+                                    }
+                                    FnExit::TailCall(_) => {
+                                        return Err(ExecError::TailCallInSubprog { pc })
+                                    }
+                                }
+                                pc += 1;
+                            } else {
+                                match self.exec_helper_call(prog, st, insn.imm as u32, pc, ctx_addr)? {
+                                    Some(exit) => return Ok(exit),
+                                    None => pc += 1,
+                                }
+                            }
+                        }
+                        op => {
+                            let src_val = if insn.is_src_reg() {
+                                st.regs[insn.src as usize]
+                            } else {
+                                insn.imm as i64 as u64
+                            };
+                            let dst_val = st.regs[insn.dst as usize];
+                            let taken = if wide {
+                                jmp_taken(op, dst_val, src_val)
+                            } else {
+                                jmp_taken32(op, dst_val as u32, src_val as u32)
+                            }
+                            .ok_or(ExecError::BadInstruction { pc })?;
+                            if taken {
+                                pc = jump_target(pc, insn.off, len)?;
+                            } else {
+                                pc += 1;
+                            }
+                        }
+                    }
+                }
+                _ => return Err(ExecError::BadInstruction { pc }),
+            }
+        }
+    }
+
+    fn exec_atomic(
+        &self,
+        st: &mut St,
+        insn: Insn,
+        addr: Addr,
+        pc: usize,
+        prog: &Program,
+    ) -> Result<(), ExecError> {
+        let size = insn.access_size();
+        if size != 4 && size != 8 {
+            return Err(ExecError::BadInstruction { pc });
+        }
+        let mask = if size == 4 { 0xffff_ffff } else { u64::MAX };
+        let src_val = st.regs[insn.src as usize] & mask;
+        let op = insn.imm;
+        let fetch = op & BPF_FETCH != 0;
+        let old = match op & !BPF_FETCH {
+            x if x == BPF_ATOMIC_ADD => self
+                .kernel
+                .mem
+                .fetch_update(addr, size, |v| (v.wrapping_add(src_val)) & mask),
+            x if x == BPF_ATOMIC_OR => {
+                self.kernel.mem.fetch_update(addr, size, |v| (v | src_val) & mask)
+            }
+            x if x == BPF_ATOMIC_AND => {
+                self.kernel.mem.fetch_update(addr, size, |v| (v & src_val) & mask)
+            }
+            x if x == BPF_ATOMIC_XOR => {
+                self.kernel.mem.fetch_update(addr, size, |v| (v ^ src_val) & mask)
+            }
+            x if x == BPF_XCHG & !BPF_FETCH => {
+                self.kernel.mem.fetch_update(addr, size, |_| src_val)
+            }
+            x if x == BPF_CMPXCHG & !BPF_FETCH => {
+                let expected = st.regs[0] & mask;
+                let old = self.kernel.mem.fetch_update(addr, size, |v| {
+                    if v == expected {
+                        src_val
+                    } else {
+                        v
+                    }
+                });
+                match old {
+                    Ok(v) => {
+                        st.regs[0] = v;
+                        return Ok(());
+                    }
+                    Err(fault) => return Err(self.oops(fault, pc, prog)),
+                }
+            }
+            _ => return Err(ExecError::BadInstruction { pc }),
+        };
+        let old = old.map_err(|fault| self.oops(fault, pc, prog))?;
+        if fetch {
+            st.regs[insn.src as usize] = old;
+        }
+        Ok(())
+    }
+
+    fn exec_helper_call(
+        &self,
+        prog: &Program,
+        st: &mut St,
+        id: u32,
+        pc: usize,
+        ctx_addr: Addr,
+    ) -> Result<Option<FnExit>, ExecError> {
+        st.helper_calls += 1;
+        match id {
+            BPF_TAIL_CALL => {
+                if st.depth > 1 {
+                    return Err(ExecError::TailCallInSubprog { pc });
+                }
+                let map = untag(MAP_PTR_TAG, st.regs[2]).and_then(|fd| self.maps.get(fd as u32));
+                let index = st.regs[3] as u32;
+                if st.tail_calls >= self.config.max_tail_calls {
+                    // Limit reached: the tail call silently does not
+                    // happen, execution continues (kernel semantics).
+                    st.regs[0] = neg_errno(EINVAL);
+                    return Ok(None);
+                }
+                match map.and_then(|m| m.prog_slot(index).ok().flatten()) {
+                    Some(next) => {
+                        st.tail_calls += 1;
+                        Ok(Some(FnExit::TailCall(next)))
+                    }
+                    None => {
+                        st.regs[0] = neg_errno(EINVAL);
+                        Ok(None)
+                    }
+                }
+            }
+            BPF_LOOP => {
+                let nr = st.regs[1];
+                if nr > self.config.max_loop_iterations {
+                    st.regs[0] = neg_errno(E2BIG);
+                    return Ok(None);
+                }
+                let cb_pc = match untag(FUNC_PTR_TAG, st.regs[2]) {
+                    Some(target) if (target as usize) < prog.insns.len() => target as usize,
+                    _ => {
+                        st.regs[0] = neg_errno(EINVAL);
+                        return Ok(None);
+                    }
+                };
+                let cb_ctx = st.regs[3];
+                let saved: [u64; 4] = [st.regs[6], st.regs[7], st.regs[8], st.regs[9]];
+                let mut performed = 0u64;
+                for i in 0..nr {
+                    st.regs[1] = i;
+                    st.regs[2] = cb_ctx;
+                    let ret = match self.exec_function(prog, st, cb_pc, ctx_addr)? {
+                        FnExit::Return(v) => v,
+                        FnExit::TailCall(_) => {
+                            return Err(ExecError::TailCallInSubprog { pc })
+                        }
+                    };
+                    performed += 1;
+                    if ret != 0 {
+                        break;
+                    }
+                }
+                st.regs[6..10].copy_from_slice(&saved);
+                st.regs[0] = performed;
+                for r in 1..=5 {
+                    st.regs[r] = 0;
+                }
+                Ok(None)
+            }
+            _ => {
+                let args = [st.regs[1], st.regs[2], st.regs[3], st.regs[4], st.regs[5]];
+                let mut hctx = HelperCtx {
+                    kernel: self.kernel,
+                    maps: self.maps,
+                    exec: &st.exec,
+                    faults: &self.faults,
+                    prog_type: prog.prog_type,
+                    skb: st.skb,
+                    run: &mut st.run,
+                };
+                match self.helpers.call(id, &mut hctx, args) {
+                    Ok(v) => {
+                        st.regs[0] = v;
+                        for r in 1..=5 {
+                            st.regs[r] = 0;
+                        }
+                        Ok(None)
+                    }
+                    Err(HelperError::Fault(fault)) => Err(self.oops(fault, pc, prog)),
+                    Err(HelperError::Deadlock(_)) => {
+                        self.kernel
+                            .oops(OopsReason::HardLockup, format!("{}:pc{}", prog.name, pc));
+                        Err(ExecError::Deadlock { pc })
+                    }
+                    Err(HelperError::UnknownHelper(id)) => {
+                        Err(ExecError::UnknownHelper { id, pc })
+                    }
+                    Err(other) => Err(ExecError::HelperFailure {
+                        msg: other.to_string(),
+                        pc,
+                    }),
+                }
+            }
+        }
+    }
+
+    fn oops(&self, fault: Fault, pc: usize, prog: &Program) -> ExecError {
+        self.kernel.oops(
+            OopsReason::Fault(fault),
+            format!("{}:pc{}", prog.name, pc),
+        );
+        ExecError::Fault { fault, pc }
+    }
+}
+
+fn jump_target(pc: usize, off: i16, len: usize) -> Result<usize, ExecError> {
+    let target = pc as i64 + 1 + off as i64;
+    if target < 0 || target >= len as i64 {
+        return Err(ExecError::ControlFlowEscape { pc, target });
+    }
+    Ok(target as usize)
+}
+
+// The explicit zero checks mirror the kernel's documented div/mod
+// semantics; `checked_div` would obscure that correspondence.
+#[allow(clippy::manual_checked_ops)]
+fn alu64(op: u8, dst: u64, src: u64) -> Option<u64> {
+    Some(match op {
+        BPF_ADD => dst.wrapping_add(src),
+        BPF_SUB => dst.wrapping_sub(src),
+        BPF_MUL => dst.wrapping_mul(src),
+        BPF_DIV => {
+            if src == 0 {
+                0
+            } else {
+                dst / src
+            }
+        }
+        BPF_OR => dst | src,
+        BPF_AND => dst & src,
+        BPF_LSH => dst.wrapping_shl((src & 63) as u32),
+        BPF_RSH => dst.wrapping_shr((src & 63) as u32),
+        BPF_NEG => (dst as i64).wrapping_neg() as u64,
+        BPF_MOD => {
+            if src == 0 {
+                dst
+            } else {
+                dst % src
+            }
+        }
+        BPF_XOR => dst ^ src,
+        BPF_MOV => src,
+        BPF_ARSH => ((dst as i64) >> (src & 63)) as u64,
+        _ => return None,
+    })
+}
+
+#[allow(clippy::manual_checked_ops)]
+fn alu32(op: u8, dst: u32, src: u32) -> Option<u32> {
+    Some(match op {
+        BPF_ADD => dst.wrapping_add(src),
+        BPF_SUB => dst.wrapping_sub(src),
+        BPF_MUL => dst.wrapping_mul(src),
+        BPF_DIV => {
+            if src == 0 {
+                0
+            } else {
+                dst / src
+            }
+        }
+        BPF_OR => dst | src,
+        BPF_AND => dst & src,
+        BPF_LSH => dst.wrapping_shl(src & 31),
+        BPF_RSH => dst.wrapping_shr(src & 31),
+        BPF_NEG => (dst as i32).wrapping_neg() as u32,
+        BPF_MOD => {
+            if src == 0 {
+                dst
+            } else {
+                dst % src
+            }
+        }
+        BPF_XOR => dst ^ src,
+        BPF_MOV => src,
+        BPF_ARSH => ((dst as i32) >> (src & 31)) as u32,
+        _ => return None,
+    })
+}
+
+fn jmp_taken(op: u8, dst: u64, src: u64) -> Option<bool> {
+    Some(match op {
+        BPF_JEQ => dst == src,
+        BPF_JNE => dst != src,
+        BPF_JGT => dst > src,
+        BPF_JGE => dst >= src,
+        BPF_JLT => dst < src,
+        BPF_JLE => dst <= src,
+        BPF_JSET => dst & src != 0,
+        BPF_JSGT => (dst as i64) > (src as i64),
+        BPF_JSGE => (dst as i64) >= (src as i64),
+        BPF_JSLT => (dst as i64) < (src as i64),
+        BPF_JSLE => (dst as i64) <= (src as i64),
+        _ => return None,
+    })
+}
+
+fn jmp_taken32(op: u8, dst: u32, src: u32) -> Option<bool> {
+    Some(match op {
+        BPF_JEQ => dst == src,
+        BPF_JNE => dst != src,
+        BPF_JGT => dst > src,
+        BPF_JGE => dst >= src,
+        BPF_JLT => dst < src,
+        BPF_JLE => dst <= src,
+        BPF_JSET => dst & src != 0,
+        BPF_JSGT => (dst as i32) > (src as i32),
+        BPF_JSGE => (dst as i32) >= (src as i32),
+        BPF_JSLT => (dst as i32) < (src as i32),
+        BPF_JSLE => (dst as i32) <= (src as i32),
+        _ => return None,
+    })
+}

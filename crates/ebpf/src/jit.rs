@@ -1,0 +1,263 @@
+//! The "JIT" stage: validation, pre-decoding, and a faithful compiler bug.
+//!
+//! The paper notes (§2.1) that "even a perfectly coded verifier cannot
+//! prevent malicious eBPF programs from exploiting bugs in downstream
+//! components of the eBPF ecosystem such as the JIT compiler", citing
+//! CVE-2021-29154 — a branch-displacement miscalculation that let verified
+//! programs hijack kernel control flow.
+//!
+//! Our JIT is a translation pass over bytecode: it validates the program
+//! (decodable opcodes, in-range branch targets, intact LDDW pairs) and
+//! re-emits it with resolved branches. [`JitConfig::branch_offset_bug`]
+//! replicates the CVE: backward branches with displacements beyond the
+//! "short encoding" range are emitted with an off-by-one displacement, so
+//! a *verified* program executes different control flow than the verifier
+//! reasoned about — including jumps out of the program text, which the
+//! interpreter surfaces as [`crate::interp::ExecError::ControlFlowEscape`].
+
+use crate::{
+    insn::{BPF_CALL, BPF_EXIT, BPF_JMP, BPF_JMP32},
+    program::Program,
+};
+
+/// The displacement magnitude beyond which the buggy encoder miscomputes
+/// backward branches (modelled on the x86 rel8/rel32 selection boundary).
+pub const SHORT_BRANCH_RANGE: i16 = 0x80;
+
+/// JIT configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JitConfig {
+    /// Enable the CVE-2021-29154 replica: miscompute large backward
+    /// branch displacements by one instruction.
+    pub branch_offset_bug: bool,
+}
+
+/// Errors found while compiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JitError {
+    /// A branch target outside the program (caught at compile time when
+    /// the bug is disabled).
+    BadBranchTarget {
+        /// Branch site.
+        pc: usize,
+        /// Target instruction index.
+        target: i64,
+    },
+    /// A dangling LDDW first slot at the end of the program.
+    TruncatedLddw {
+        /// Offending pc.
+        pc: usize,
+    },
+}
+
+impl std::fmt::Display for JitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JitError::BadBranchTarget { pc, target } => {
+                write!(f, "branch at pc {pc} targets out-of-range {target}")
+            }
+            JitError::TruncatedLddw { pc } => write!(f, "truncated LDDW at pc {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for JitError {}
+
+/// Compilation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JitStats {
+    /// Instructions translated.
+    pub insns: usize,
+    /// Branches resolved.
+    pub branches: usize,
+    /// Branches emitted through the (buggy) long-displacement path.
+    pub long_branches: usize,
+}
+
+/// Compiles `prog`, returning the translated program and statistics.
+///
+/// With [`JitConfig::branch_offset_bug`] disabled this is a validating
+/// identity transform; with it enabled, large backward branches come out
+/// subtly wrong — exactly the CVE's failure mode.
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::asm::Asm;
+/// use ebpf::insn::Reg;
+/// use ebpf::jit::{jit_compile, JitConfig};
+/// use ebpf::program::{ProgType, Program};
+///
+/// let insns = Asm::new().mov64_imm(Reg::R0, 0).exit().build().unwrap();
+/// let prog = Program::new("p", ProgType::SocketFilter, insns);
+/// let (jitted, stats) = jit_compile(&prog, JitConfig::default()).unwrap();
+/// assert_eq!(jitted.insns, prog.insns);
+/// assert_eq!(stats.insns, 2);
+/// ```
+pub fn jit_compile(prog: &Program, config: JitConfig) -> Result<(Program, JitStats), JitError> {
+    let len = prog.insns.len() as i64;
+    let mut out = Vec::with_capacity(prog.insns.len());
+    let mut stats = JitStats::default();
+    let mut pc = 0usize;
+    while pc < prog.insns.len() {
+        let insn = prog.insns[pc];
+        stats.insns += 1;
+        if insn.is_lddw() {
+            let hi = *prog
+                .insns
+                .get(pc + 1)
+                .ok_or(JitError::TruncatedLddw { pc })?;
+            out.push(insn);
+            out.push(hi);
+            stats.insns += 1;
+            pc += 2;
+            continue;
+        }
+        let class = insn.class();
+        let is_branch = (class == BPF_JMP || class == BPF_JMP32)
+            && insn.op() != BPF_CALL
+            && insn.op() != BPF_EXIT;
+        if is_branch {
+            stats.branches += 1;
+            let target = pc as i64 + 1 + insn.off as i64;
+            if target < 0 || target >= len {
+                return Err(JitError::BadBranchTarget { pc, target });
+            }
+            let mut emitted = insn;
+            if insn.off <= -SHORT_BRANCH_RANGE || insn.off >= SHORT_BRANCH_RANGE {
+                stats.long_branches += 1;
+                if config.branch_offset_bug && insn.off < 0 {
+                    // BUG replica (CVE-2021-29154): the long-displacement
+                    // encoding path computes the branch base one
+                    // instruction too early for backward branches.
+                    emitted.off = insn.off.saturating_sub(1);
+                }
+            }
+            out.push(emitted);
+        } else {
+            out.push(insn);
+        }
+        pc += 1;
+    }
+    let mut compiled = prog.clone();
+    compiled.name = format!("{}.jit", prog.name);
+    compiled.insns = out;
+    Ok((compiled, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::insn::{Insn, Reg, BPF_ADD, BPF_DW, BPF_IMM, BPF_JA, BPF_JNE, BPF_LD};
+    use crate::program::ProgType;
+
+    fn small_loop() -> Program {
+        let insns = Asm::new()
+            .mov64_imm(Reg::R0, 3)
+            .label("l")
+            .alu64_imm(BPF_ADD, Reg::R0, -1)
+            .jmp64_imm(BPF_JNE, Reg::R0, 0, "l")
+            .exit()
+            .build()
+            .unwrap();
+        Program::new("loop", ProgType::SocketFilter, insns)
+    }
+
+    /// A program whose loop body is long enough that the backward branch
+    /// falls in the long-displacement range.
+    fn long_loop() -> Program {
+        let mut asm = Asm::new().mov64_imm(Reg::R0, 200).label("l");
+        for _ in 0..SHORT_BRANCH_RANGE + 10 {
+            asm = asm.alu64_imm(BPF_ADD, Reg::R1, 1);
+        }
+        let insns = asm
+            .alu64_imm(BPF_ADD, Reg::R0, -1)
+            .jmp64_imm(BPF_JNE, Reg::R0, 0, "l")
+            .exit()
+            .build()
+            .unwrap();
+        Program::new("long-loop", ProgType::SocketFilter, insns)
+    }
+
+    #[test]
+    fn correct_jit_is_identity() {
+        let prog = small_loop();
+        let (jitted, stats) = jit_compile(&prog, JitConfig::default()).unwrap();
+        assert_eq!(jitted.insns, prog.insns);
+        assert_eq!(stats.branches, 1);
+        assert_eq!(stats.long_branches, 0);
+    }
+
+    #[test]
+    fn long_backward_branch_counted() {
+        let prog = long_loop();
+        let (jitted, stats) = jit_compile(&prog, JitConfig::default()).unwrap();
+        assert_eq!(jitted.insns, prog.insns);
+        assert_eq!(stats.long_branches, 1);
+    }
+
+    #[test]
+    fn buggy_jit_corrupts_long_backward_branch() {
+        let prog = long_loop();
+        let (jitted, _) = jit_compile(
+            &prog,
+            JitConfig {
+                branch_offset_bug: true,
+            },
+        )
+        .unwrap();
+        assert_ne!(jitted.insns, prog.insns);
+        // Exactly one instruction differs: the backward branch, off by one.
+        let diffs: Vec<_> = prog
+            .insns
+            .iter()
+            .zip(&jitted.insns)
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].1.off, diffs[0].0.off - 1);
+    }
+
+    #[test]
+    fn buggy_jit_leaves_short_branches_alone() {
+        let prog = small_loop();
+        let (jitted, _) = jit_compile(
+            &prog,
+            JitConfig {
+                branch_offset_bug: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(jitted.insns, prog.insns);
+    }
+
+    #[test]
+    fn out_of_range_branch_rejected() {
+        let prog = Program::new(
+            "bad",
+            ProgType::SocketFilter,
+            vec![
+                Insn::new(BPF_JMP | BPF_JA, 0, 0, 50, 0),
+                Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+            ],
+        );
+        assert!(matches!(
+            jit_compile(&prog, JitConfig::default()),
+            Err(JitError::BadBranchTarget { pc: 0, target: 51 })
+        ));
+    }
+
+    #[test]
+    fn truncated_lddw_rejected() {
+        let prog = Program::new(
+            "bad",
+            ProgType::SocketFilter,
+            vec![Insn::new(BPF_LD | BPF_IMM | BPF_DW, 0, 0, 0, 0)],
+        );
+        assert!(matches!(
+            jit_compile(&prog, JitConfig::default()),
+            Err(JitError::TruncatedLddw { pc: 0 })
+        ));
+    }
+}

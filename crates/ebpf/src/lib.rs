@@ -1,0 +1,46 @@
+//! The eBPF-style baseline extension framework.
+//!
+//! This crate implements the system the paper argues *against*: restricted
+//! bytecode, an interpreter, maps, and a growing set of unverified helper
+//! functions — including faithful replicas of the documented helper bugs
+//! from Table 1, toggleable via [`helpers::FaultConfig`]. The static
+//! verifier that gate-keeps this bytecode lives in the sibling `verifier`
+//! crate; the paper's proposed replacement lives in `safe-ext`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebpf::asm::Asm;
+//! use ebpf::insn::Reg;
+//! use ebpf::interp::{CtxInput, Vm};
+//! use ebpf::helpers::HelperRegistry;
+//! use ebpf::maps::MapRegistry;
+//! use ebpf::program::{ProgType, Program};
+//! use kernel_sim::Kernel;
+//!
+//! let kernel = Kernel::new();
+//! let maps = MapRegistry::default();
+//! let helpers = HelperRegistry::standard();
+//!
+//! let insns = Asm::new().mov64_imm(Reg::R0, 42).exit().build().unwrap();
+//! let mut vm = Vm::new(&kernel, &maps, &helpers);
+//! let id = vm.load(Program::new("answer", ProgType::SocketFilter, insns));
+//! assert_eq!(vm.run(id, CtxInput::None).unwrap(), 42);
+//! ```
+
+pub mod asm;
+pub mod helpers;
+pub mod disasm;
+pub mod insn;
+pub mod interp;
+pub mod jit;
+pub mod maps;
+pub mod program;
+pub mod text;
+pub mod version;
+
+pub use helpers::{FaultConfig, HelperRegistry};
+pub use interp::{CtxInput, ExecError, RunResult, Vm, VmConfig};
+pub use maps::{MapDef, MapRegistry};
+pub use program::{ProgType, Program};
+pub use version::KernelVersion;

@@ -1,0 +1,793 @@
+//! eBPF maps.
+//!
+//! Maps are the shared-state mechanism of the baseline framework. Value
+//! storage lives in checked kernel memory ([`kernel_sim::mem::KernelMem`]),
+//! so a map lookup hands the program a *real simulated kernel pointer* —
+//! which is exactly the surface the verifier's pointer tracking exists to
+//! police, and the surface the injected CVE replicas abuse.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use kernel_sim::{
+    mem::{Addr, Fault, KernelMem, Perms},
+    Kernel,
+};
+
+/// Map kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MapKind {
+    /// Fixed-size array indexed by `u32`.
+    Array,
+    /// Per-CPU array: one value per (index, cpu).
+    PerCpuArray,
+    /// Hash map with arbitrary fixed-size keys.
+    Hash,
+    /// Hash map that evicts the least-recently-updated entry when full.
+    LruHash,
+    /// Program array for tail calls.
+    ProgArray,
+    /// Byte ring buffer with reserve/submit semantics.
+    RingBuf,
+}
+
+/// Map definition: the shape a map is created with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapDef {
+    /// Kind.
+    pub kind: MapKind,
+    /// Key size in bytes (4 for arrays; record alignment for ring buffers).
+    pub key_size: u32,
+    /// Value size in bytes.
+    pub value_size: u32,
+    /// Maximum entries (capacity in bytes for ring buffers).
+    pub max_entries: u32,
+    /// Display name.
+    pub name: String,
+}
+
+impl MapDef {
+    /// An array map of `max_entries` values of `value_size` bytes.
+    pub fn array(name: &str, value_size: u32, max_entries: u32) -> Self {
+        Self {
+            kind: MapKind::Array,
+            key_size: 4,
+            value_size,
+            max_entries,
+            name: name.to_string(),
+        }
+    }
+
+    /// A per-CPU array map.
+    pub fn percpu_array(name: &str, value_size: u32, max_entries: u32) -> Self {
+        Self {
+            kind: MapKind::PerCpuArray,
+            ..Self::array(name, value_size, max_entries)
+        }
+    }
+
+    /// A hash map.
+    pub fn hash(name: &str, key_size: u32, value_size: u32, max_entries: u32) -> Self {
+        Self {
+            kind: MapKind::Hash,
+            key_size,
+            value_size,
+            max_entries,
+            name: name.to_string(),
+        }
+    }
+
+    /// An LRU hash map.
+    pub fn lru_hash(name: &str, key_size: u32, value_size: u32, max_entries: u32) -> Self {
+        Self {
+            kind: MapKind::LruHash,
+            ..Self::hash(name, key_size, value_size, max_entries)
+        }
+    }
+
+    /// A program array for tail calls.
+    pub fn prog_array(name: &str, max_entries: u32) -> Self {
+        Self {
+            kind: MapKind::ProgArray,
+            key_size: 4,
+            value_size: 4,
+            max_entries,
+            name: name.to_string(),
+        }
+    }
+
+    /// A ring buffer of `capacity` bytes.
+    pub fn ringbuf(name: &str, capacity: u32) -> Self {
+        Self {
+            kind: MapKind::RingBuf,
+            key_size: 0,
+            value_size: 0,
+            max_entries: capacity,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Errors from map operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// Key length does not match `key_size`.
+    BadKeySize,
+    /// Value length does not match `value_size`.
+    BadValueSize,
+    /// Array index or prog-array slot out of range.
+    IndexOutOfRange,
+    /// Map is full.
+    NoSpace,
+    /// Key not present.
+    NotFound,
+    /// Operation not supported for this map kind.
+    WrongKind,
+    /// Invalid definition at creation time.
+    BadDef,
+    /// Underlying memory fault.
+    Fault(Fault),
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::BadKeySize => write!(f, "bad key size"),
+            MapError::BadValueSize => write!(f, "bad value size"),
+            MapError::IndexOutOfRange => write!(f, "index out of range"),
+            MapError::NoSpace => write!(f, "map full"),
+            MapError::NotFound => write!(f, "key not found"),
+            MapError::WrongKind => write!(f, "operation unsupported for map kind"),
+            MapError::BadDef => write!(f, "invalid map definition"),
+            MapError::Fault(fault) => write!(f, "memory fault: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+impl From<Fault> for MapError {
+    fn from(f: Fault) -> Self {
+        MapError::Fault(f)
+    }
+}
+
+#[derive(Debug)]
+enum MapInner {
+    Array {
+        base: Addr,
+    },
+    PerCpu {
+        base: Addr,
+        nr_cpus: usize,
+    },
+    Hash {
+        entries: HashMap<Vec<u8>, Addr>,
+        /// Present for LRU maps: update order, oldest first.
+        lru: Option<VecDeque<Vec<u8>>>,
+    },
+    Prog {
+        slots: Vec<Option<u32>>,
+    },
+    Ring {
+        used: u32,
+        /// Outstanding reservations: record address -> size.
+        reserved: HashMap<Addr, u32>,
+        committed: VecDeque<Vec<u8>>,
+    },
+}
+
+/// A map instance.
+#[derive(Debug)]
+pub struct Map {
+    /// The definition the map was created with.
+    pub def: MapDef,
+    inner: Mutex<MapInner>,
+}
+
+impl Map {
+    fn create(kernel: &Kernel, def: MapDef) -> Result<Self, MapError> {
+        let inner = match def.kind {
+            MapKind::Array => {
+                if def.key_size != 4 || def.value_size == 0 || def.max_entries == 0 {
+                    return Err(MapError::BadDef);
+                }
+                let base = kernel.mem.map(
+                    &format!("map:{}", def.name),
+                    def.value_size as u64 * def.max_entries as u64,
+                    Perms::rw(),
+                )?;
+                MapInner::Array { base }
+            }
+            MapKind::PerCpuArray => {
+                if def.key_size != 4 || def.value_size == 0 || def.max_entries == 0 {
+                    return Err(MapError::BadDef);
+                }
+                let nr_cpus = kernel.cpus.nr_cpus();
+                let base = kernel.mem.map(
+                    &format!("map:{}", def.name),
+                    def.value_size as u64 * def.max_entries as u64 * nr_cpus as u64,
+                    Perms::rw(),
+                )?;
+                MapInner::PerCpu { base, nr_cpus }
+            }
+            MapKind::Hash | MapKind::LruHash => {
+                if def.key_size == 0 || def.value_size == 0 || def.max_entries == 0 {
+                    return Err(MapError::BadDef);
+                }
+                MapInner::Hash {
+                    entries: HashMap::new(),
+                    lru: (def.kind == MapKind::LruHash).then(VecDeque::new),
+                }
+            }
+            MapKind::ProgArray => {
+                if def.max_entries == 0 {
+                    return Err(MapError::BadDef);
+                }
+                MapInner::Prog {
+                    slots: vec![None; def.max_entries as usize],
+                }
+            }
+            MapKind::RingBuf => {
+                if def.max_entries == 0 {
+                    return Err(MapError::BadDef);
+                }
+                MapInner::Ring {
+                    used: 0,
+                    reserved: HashMap::new(),
+                    committed: VecDeque::new(),
+                }
+            }
+        };
+        Ok(Self {
+            def,
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The checked element address of array index `index` on `cpu`.
+    ///
+    /// Returns `None` when the index is out of range.
+    pub fn elem_addr(&self, index: u32, cpu: usize) -> Option<Addr> {
+        let inner = self.inner.lock();
+        match &*inner {
+            MapInner::Array { base } => (index < self.def.max_entries)
+                .then(|| base + index as u64 * self.def.value_size as u64),
+            MapInner::PerCpu { base, nr_cpus } => {
+                (index < self.def.max_entries && cpu < *nr_cpus).then(|| {
+                    base + (cpu as u64 * self.def.max_entries as u64 + index as u64)
+                        * self.def.value_size as u64
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// The element address computed with **32-bit** offset arithmetic and
+    /// no range re-check, replicating the ARRAY-map overflow bug the paper
+    /// cites from Table 1 (\[36\], fixed July 2022).
+    ///
+    /// With a large `index`, `index * value_size` wraps in 32 bits and the
+    /// resulting address escapes the element range; on a real kernel that
+    /// is an out-of-bounds kernel access. Here it faults in checked memory.
+    pub fn elem_addr_overflow_bug(&self, index: u32) -> Option<Addr> {
+        let inner = self.inner.lock();
+        match &*inner {
+            MapInner::Array { base } => {
+                // BUG (replica): 32-bit multiply, checked only against a
+                // 32-bit bound that the wrap can satisfy.
+                let offset32 = index.wrapping_mul(self.def.value_size);
+                Some(base + offset32 as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up `key`, returning the address of the value (a real pointer
+    /// into kernel memory) or `None` when absent.
+    pub fn lookup(&self, key: &[u8], cpu: usize) -> Result<Option<Addr>, MapError> {
+        if key.len() != self.def.key_size as usize {
+            return Err(MapError::BadKeySize);
+        }
+        let max_entries = self.def.max_entries;
+        let value_size = self.def.value_size as u64;
+        match &mut *self.inner.lock() {
+            MapInner::Array { base } => {
+                let index = u32::from_le_bytes(key.try_into().expect("key_size is 4"));
+                Ok((index < max_entries).then(|| *base + index as u64 * value_size))
+            }
+            MapInner::PerCpu { base, nr_cpus } => {
+                let index = u32::from_le_bytes(key.try_into().expect("key_size is 4"));
+                Ok((index < max_entries && cpu < *nr_cpus).then(|| {
+                    *base + (cpu as u64 * max_entries as u64 + index as u64) * value_size
+                }))
+            }
+            MapInner::Hash { entries, lru } => {
+                let addr = entries.get(key).copied();
+                if addr.is_some() {
+                    if let Some(order) = lru {
+                        touch_lru(order, key);
+                    }
+                }
+                Ok(addr)
+            }
+            MapInner::Prog { .. } | MapInner::Ring { .. } => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Inserts or updates `key -> value`; for array maps `key` is the
+    /// little-endian index.
+    pub fn update(
+        &self,
+        mem: &KernelMem,
+        key: &[u8],
+        value: &[u8],
+        cpu: usize,
+    ) -> Result<(), MapError> {
+        if key.len() != self.def.key_size as usize {
+            return Err(MapError::BadKeySize);
+        }
+        if value.len() != self.def.value_size as usize {
+            return Err(MapError::BadValueSize);
+        }
+        let name = self.def.name.clone();
+        let max_entries = self.def.max_entries;
+        match &mut *self.inner.lock() {
+            MapInner::Array { base } => {
+                let index = u32::from_le_bytes(key.try_into().expect("key_size is 4"));
+                if index >= max_entries {
+                    return Err(MapError::IndexOutOfRange);
+                }
+                mem.write_from(*base + index as u64 * value.len() as u64, value)?;
+                Ok(())
+            }
+            MapInner::PerCpu { base, nr_cpus } => {
+                let index = u32::from_le_bytes(key.try_into().expect("key_size is 4"));
+                if index >= max_entries || cpu >= *nr_cpus {
+                    return Err(MapError::IndexOutOfRange);
+                }
+                let addr = *base
+                    + (cpu as u64 * max_entries as u64 + index as u64) * value.len() as u64;
+                mem.write_from(addr, value)?;
+                Ok(())
+            }
+            MapInner::Hash { entries, lru } => {
+                if let Some(addr) = entries.get(key) {
+                    mem.write_from(*addr, value)?;
+                    if let Some(order) = lru {
+                        touch_lru(order, key);
+                    }
+                    return Ok(());
+                }
+                if entries.len() as u32 >= max_entries {
+                    match lru {
+                        Some(order) => {
+                            // Evict the least-recently-used entry.
+                            if let Some(victim) = order.pop_front() {
+                                if let Some(addr) = entries.remove(&victim) {
+                                    mem.unmap(addr)?;
+                                }
+                            }
+                        }
+                        None => return Err(MapError::NoSpace),
+                    }
+                }
+                let addr = mem.map(
+                    &format!("map:{name}:entry"),
+                    value.len() as u64,
+                    Perms::rw(),
+                )?;
+                mem.write_from(addr, value)?;
+                entries.insert(key.to_vec(), addr);
+                if let Some(order) = lru {
+                    order.push_back(key.to_vec());
+                }
+                Ok(())
+            }
+            MapInner::Prog { slots } => {
+                let index = u32::from_le_bytes(key.try_into().expect("key_size is 4")) as usize;
+                let prog = u32::from_le_bytes(value.try_into().map_err(|_| MapError::BadValueSize)?);
+                if index >= slots.len() {
+                    return Err(MapError::IndexOutOfRange);
+                }
+                slots[index] = Some(prog);
+                Ok(())
+            }
+            MapInner::Ring { .. } => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Deletes `key`; array maps do not support delete (as in the kernel).
+    pub fn delete(&self, mem: &KernelMem, key: &[u8]) -> Result<(), MapError> {
+        if key.len() != self.def.key_size as usize {
+            return Err(MapError::BadKeySize);
+        }
+        match &mut *self.inner.lock() {
+            MapInner::Hash { entries, lru } => {
+                let addr = entries.remove(key).ok_or(MapError::NotFound)?;
+                if let Some(order) = lru {
+                    order.retain(|k| k != key);
+                }
+                mem.unmap(addr)?;
+                Ok(())
+            }
+            MapInner::Prog { slots } => {
+                let index = u32::from_le_bytes(key.try_into().expect("key_size is 4")) as usize;
+                if index >= slots.len() {
+                    return Err(MapError::IndexOutOfRange);
+                }
+                slots[index] = None;
+                Ok(())
+            }
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Snapshot of the keys of a hash-like map (unspecified order).
+    pub fn keys(&self) -> Result<Vec<Vec<u8>>, MapError> {
+        match &*self.inner.lock() {
+            MapInner::Hash { entries, .. } => Ok(entries.keys().cloned().collect()),
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Reads a prog-array slot.
+    pub fn prog_slot(&self, index: u32) -> Result<Option<u32>, MapError> {
+        match &*self.inner.lock() {
+            MapInner::Prog { slots } => Ok(slots.get(index as usize).copied().flatten()),
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Reserves `size` bytes in a ring buffer, returning the record address
+    /// or `None` when the buffer is full (as `bpf_ringbuf_reserve` does).
+    pub fn ringbuf_reserve(&self, mem: &KernelMem, size: u32) -> Result<Option<Addr>, MapError> {
+        if size == 0 {
+            return Err(MapError::BadValueSize);
+        }
+        let name = self.def.name.clone();
+        let capacity = self.def.max_entries;
+        match &mut *self.inner.lock() {
+            MapInner::Ring { used, reserved, .. } => {
+                if *used + size > capacity {
+                    return Ok(None);
+                }
+                let addr = mem.map(&format!("map:{name}:rec"), size as u64, Perms::rw())?;
+                *used += size;
+                reserved.insert(addr, size);
+                Ok(Some(addr))
+            }
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Submits a previously reserved record.
+    pub fn ringbuf_submit(&self, mem: &KernelMem, addr: Addr) -> Result<(), MapError> {
+        match &mut *self.inner.lock() {
+            MapInner::Ring {
+                reserved,
+                committed,
+                ..
+            } => {
+                let size = reserved.remove(&addr).ok_or(MapError::NotFound)?;
+                let data = mem.read_bytes(addr, size as u64)?;
+                mem.unmap(addr)?;
+                committed.push_back(data);
+                Ok(())
+            }
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Discards a previously reserved record without publishing it
+    /// (`bpf_ringbuf_discard`), freeing its capacity.
+    pub fn ringbuf_discard(&self, mem: &KernelMem, addr: Addr) -> Result<(), MapError> {
+        match &mut *self.inner.lock() {
+            MapInner::Ring { used, reserved, .. } => {
+                let size = reserved.remove(&addr).ok_or(MapError::NotFound)?;
+                mem.unmap(addr)?;
+                *used -= size.min(*used);
+                Ok(())
+            }
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Copies `data` into the ring buffer in one step (`bpf_ringbuf_output`).
+    pub fn ringbuf_output(&self, data: &[u8]) -> Result<(), MapError> {
+        if data.is_empty() {
+            return Err(MapError::BadValueSize);
+        }
+        let capacity = self.def.max_entries;
+        match &mut *self.inner.lock() {
+            MapInner::Ring {
+                used, committed, ..
+            } => {
+                if *used + data.len() as u32 > capacity {
+                    return Err(MapError::NoSpace);
+                }
+                *used += data.len() as u32;
+                committed.push_back(data.to_vec());
+                Ok(())
+            }
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Consumes all committed ring-buffer records (the userspace side),
+    /// freeing their capacity.
+    pub fn ringbuf_consume(&self) -> Result<Vec<Vec<u8>>, MapError> {
+        match &mut *self.inner.lock() {
+            MapInner::Ring {
+                used, committed, ..
+            } => {
+                let records: Vec<Vec<u8>> = committed.drain(..).collect();
+                let freed: u32 = records.iter().map(|r| r.len() as u32).sum();
+                *used -= freed.min(*used);
+                Ok(records)
+            }
+            _ => Err(MapError::WrongKind),
+        }
+    }
+
+    /// Number of live entries (hash-like maps only).
+    pub fn len(&self) -> usize {
+        match &*self.inner.lock() {
+            MapInner::Hash { entries, .. } => entries.len(),
+            MapInner::Prog { slots } => slots.iter().filter(|s| s.is_some()).count(),
+            MapInner::Ring { committed, .. } => committed.len(),
+            MapInner::Array { .. } | MapInner::PerCpu { .. } => self.def.max_entries as usize,
+        }
+    }
+
+    /// Whether the map has no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn touch_lru(order: &mut VecDeque<Vec<u8>>, key: &[u8]) {
+    order.retain(|k| k != key);
+    order.push_back(key.to_vec());
+}
+
+/// A map file descriptor, as referenced from bytecode via
+/// [`crate::insn::BPF_PSEUDO_MAP_FD`] loads.
+pub type MapFd = u32;
+
+/// The per-kernel map registry (the fd table).
+#[derive(Debug, Default)]
+pub struct MapRegistry {
+    state: Mutex<RegistryState>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    next_fd: MapFd,
+    maps: HashMap<MapFd, Arc<Map>>,
+}
+
+impl MapRegistry {
+    /// Creates a map and returns its fd.
+    pub fn create(&self, kernel: &Kernel, def: MapDef) -> Result<MapFd, MapError> {
+        let map = Arc::new(Map::create(kernel, def)?);
+        let mut st = self.state.lock();
+        st.next_fd += 1;
+        let fd = st.next_fd;
+        st.maps.insert(fd, map);
+        Ok(fd)
+    }
+
+    /// Looks up a map by fd.
+    pub fn get(&self, fd: MapFd) -> Option<Arc<Map>> {
+        self.state.lock().maps.get(&fd).cloned()
+    }
+
+    /// Number of live maps.
+    pub fn len(&self) -> usize {
+        self.state.lock().maps.len()
+    }
+
+    /// Whether no maps exist.
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().maps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_and_registry() -> (Kernel, MapRegistry) {
+        (Kernel::new(), MapRegistry::default())
+    }
+
+    #[test]
+    fn array_map_lookup_update() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::array("counts", 8, 4)).unwrap();
+        let map = reg.get(fd).unwrap();
+        let key = 2u32.to_le_bytes();
+        map.update(&kernel.mem, &key, &77u64.to_le_bytes(), 0).unwrap();
+        let addr = map.lookup(&key, 0).unwrap().unwrap();
+        assert_eq!(kernel.mem.read_u64(addr).unwrap(), 77);
+        // Out-of-range index: lookup returns None, update errors.
+        assert_eq!(map.lookup(&4u32.to_le_bytes(), 0).unwrap(), None);
+        assert_eq!(
+            map.update(&kernel.mem, &4u32.to_le_bytes(), &0u64.to_le_bytes(), 0),
+            Err(MapError::IndexOutOfRange)
+        );
+    }
+
+    #[test]
+    fn array_lookup_pointer_is_writable_kernel_memory() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::array("vals", 4, 2)).unwrap();
+        let map = reg.get(fd).unwrap();
+        let addr = map.lookup(&0u32.to_le_bytes(), 0).unwrap().unwrap();
+        kernel.mem.write_u32(addr, 0xabcd).unwrap();
+        assert_eq!(kernel.mem.read_u32(addr).unwrap(), 0xabcd);
+        // Writing past the whole map region faults.
+        let last = map.lookup(&1u32.to_le_bytes(), 0).unwrap().unwrap();
+        assert!(kernel.mem.write_u32(last + 4, 0).is_err());
+    }
+
+    #[test]
+    fn percpu_array_slots_are_disjoint() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg
+            .create(&kernel, MapDef::percpu_array("pc", 8, 2))
+            .unwrap();
+        let map = reg.get(fd).unwrap();
+        let key = 1u32.to_le_bytes();
+        map.update(&kernel.mem, &key, &1u64.to_le_bytes(), 0).unwrap();
+        map.update(&kernel.mem, &key, &2u64.to_le_bytes(), 3).unwrap();
+        let a0 = map.lookup(&key, 0).unwrap().unwrap();
+        let a3 = map.lookup(&key, 3).unwrap().unwrap();
+        assert_ne!(a0, a3);
+        assert_eq!(kernel.mem.read_u64(a0).unwrap(), 1);
+        assert_eq!(kernel.mem.read_u64(a3).unwrap(), 2);
+        // CPU out of range.
+        assert_eq!(map.lookup(&key, 8).unwrap(), None);
+    }
+
+    #[test]
+    fn hash_map_crud() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::hash("h", 4, 8, 2)).unwrap();
+        let map = reg.get(fd).unwrap();
+        let k1 = [1, 0, 0, 0];
+        let k2 = [2, 0, 0, 0];
+        assert_eq!(map.lookup(&k1, 0).unwrap(), None);
+        map.update(&kernel.mem, &k1, &10u64.to_le_bytes(), 0).unwrap();
+        map.update(&kernel.mem, &k2, &20u64.to_le_bytes(), 0).unwrap();
+        assert_eq!(map.len(), 2);
+        // Full: a third distinct key is rejected.
+        assert_eq!(
+            map.update(&kernel.mem, &[3, 0, 0, 0], &0u64.to_le_bytes(), 0),
+            Err(MapError::NoSpace)
+        );
+        // In-place update of an existing key is fine.
+        map.update(&kernel.mem, &k1, &11u64.to_le_bytes(), 0).unwrap();
+        let addr = map.lookup(&k1, 0).unwrap().unwrap();
+        assert_eq!(kernel.mem.read_u64(addr).unwrap(), 11);
+        map.delete(&kernel.mem, &k1).unwrap();
+        assert_eq!(map.lookup(&k1, 0).unwrap(), None);
+        assert_eq!(map.delete(&kernel.mem, &k1), Err(MapError::NotFound));
+        // The deleted entry's memory is unmapped: a stale pointer faults.
+        assert!(kernel.mem.read_u64(addr).is_err());
+    }
+
+    #[test]
+    fn lru_hash_evicts_oldest() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::lru_hash("l", 4, 4, 2)).unwrap();
+        let map = reg.get(fd).unwrap();
+        let (k1, k2, k3) = ([1, 0, 0, 0], [2, 0, 0, 0], [3, 0, 0, 0]);
+        map.update(&kernel.mem, &k1, &[1; 4], 0).unwrap();
+        map.update(&kernel.mem, &k2, &[2; 4], 0).unwrap();
+        // Touch k1 so k2 becomes the LRU victim.
+        map.lookup(&k1, 0).unwrap();
+        map.update(&kernel.mem, &k3, &[3; 4], 0).unwrap();
+        assert!(map.lookup(&k1, 0).unwrap().is_some());
+        assert!(map.lookup(&k2, 0).unwrap().is_none());
+        assert!(map.lookup(&k3, 0).unwrap().is_some());
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn key_and_value_sizes_enforced() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::hash("h", 4, 8, 4)).unwrap();
+        let map = reg.get(fd).unwrap();
+        assert_eq!(map.lookup(&[0; 3], 0), Err(MapError::BadKeySize));
+        assert_eq!(
+            map.update(&kernel.mem, &[0; 4], &[0; 7], 0),
+            Err(MapError::BadValueSize)
+        );
+    }
+
+    #[test]
+    fn prog_array_slots() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::prog_array("tail", 4)).unwrap();
+        let map = reg.get(fd).unwrap();
+        map.update(&kernel.mem, &1u32.to_le_bytes(), &7u32.to_le_bytes(), 0)
+            .unwrap();
+        assert_eq!(map.prog_slot(1).unwrap(), Some(7));
+        assert_eq!(map.prog_slot(0).unwrap(), None);
+        assert_eq!(map.prog_slot(9).unwrap(), None);
+        map.delete(&kernel.mem, &1u32.to_le_bytes()).unwrap();
+        assert_eq!(map.prog_slot(1).unwrap(), None);
+    }
+
+    #[test]
+    fn ringbuf_reserve_submit_consume() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::ringbuf("rb", 64)).unwrap();
+        let map = reg.get(fd).unwrap();
+        let rec = map.ringbuf_reserve(&kernel.mem, 16).unwrap().unwrap();
+        kernel.mem.write_u64(rec, 42).unwrap();
+        kernel.mem.write_u64(rec + 8, 43).unwrap();
+        map.ringbuf_submit(&kernel.mem, rec).unwrap();
+        // The record region is unmapped after submit.
+        assert!(kernel.mem.read_u64(rec).is_err());
+        map.ringbuf_output(&[9u8; 8]).unwrap();
+        let records = map.ringbuf_consume().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(&records[0][..8], &42u64.to_le_bytes());
+        assert_eq!(records[1], vec![9u8; 8]);
+        // Consumption freed capacity.
+        assert!(map.ringbuf_reserve(&kernel.mem, 64).unwrap().is_some());
+    }
+
+    #[test]
+    fn ringbuf_reserve_fails_when_full() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::ringbuf("rb", 32)).unwrap();
+        let map = reg.get(fd).unwrap();
+        assert!(map.ringbuf_reserve(&kernel.mem, 32).unwrap().is_some());
+        assert!(map.ringbuf_reserve(&kernel.mem, 1).unwrap().is_none());
+        assert_eq!(map.ringbuf_output(&[0; 4]), Err(MapError::NoSpace));
+    }
+
+    #[test]
+    fn elem_addr_overflow_bug_escapes_element_range() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::array("a", 8, 4)).unwrap();
+        let map = reg.get(fd).unwrap();
+        // index chosen so that index * 8 wraps in 32 bits: 0x2000_0001 * 8
+        // = 0x1_0000_0008 -> wraps to 8, but a correct implementation
+        // rejects the index outright.
+        let index = 0x2000_0001u32;
+        assert_eq!(map.elem_addr(index, 0), None);
+        let buggy = map.elem_addr_overflow_bug(index).unwrap();
+        // The wrapped offset silently aliases element 1.
+        assert_eq!(buggy, map.elem_addr(1, 0).unwrap());
+        // And a non-wrapping large index escapes the region entirely.
+        let buggy_oob = map.elem_addr_overflow_bug(0x10_000).unwrap();
+        assert!(kernel.mem.read_u64(buggy_oob).is_err());
+    }
+
+    #[test]
+    fn registry_hands_out_unique_fds() {
+        let (kernel, reg) = kernel_and_registry();
+        let a = reg.create(&kernel, MapDef::array("a", 4, 1)).unwrap();
+        let b = reg.create(&kernel, MapDef::array("b", 4, 1)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get(a).is_some());
+        assert!(reg.get(999).is_none());
+    }
+
+    #[test]
+    fn bad_defs_rejected() {
+        let (kernel, reg) = kernel_and_registry();
+        assert!(reg.create(&kernel, MapDef::array("z", 0, 4)).is_err());
+        assert!(reg.create(&kernel, MapDef::array("z", 4, 0)).is_err());
+        assert!(reg.create(&kernel, MapDef::hash("z", 0, 4, 4)).is_err());
+        assert!(reg.create(&kernel, MapDef::ringbuf("z", 0)).is_err());
+    }
+}

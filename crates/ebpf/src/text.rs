@@ -1,0 +1,710 @@
+//! Text assembler: parses the [`crate::disasm`] syntax back into
+//! instructions.
+//!
+//! Supports everything the disassembler emits (numeric branch targets
+//! like `goto +3`) plus named labels (`loop:` ... `goto loop`), comments
+//! (`;` or `//` to end of line), and helper-name suffixes
+//! (`call 1#bpf_map_lookup_elem`). Round-tripping
+//! `parse(disasm(insns)) == insns` is property-tested.
+//!
+//! # Examples
+//!
+//! ```
+//! let insns = ebpf::text::parse_program(r#"
+//!     r0 = 0
+//!     r1 = 10
+//! loop:
+//!     r0 += r1
+//!     r1 -= 1
+//!     if r1 != 0 goto loop
+//!     exit
+//! "#).unwrap();
+//! assert_eq!(insns.len(), 6);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::insn::{
+    Insn,
+    BPF_ADD,
+    BPF_ALU,
+    BPF_ALU64,
+    BPF_AND,
+    BPF_ARSH,
+    BPF_ATOMIC,
+    BPF_ATOMIC_ADD,
+    BPF_ATOMIC_AND,
+    BPF_ATOMIC_OR,
+    BPF_ATOMIC_XOR,
+    BPF_B,
+    BPF_CALL,
+    BPF_CMPXCHG,
+    BPF_DIV,
+    BPF_DW,
+    BPF_END,
+    BPF_EXIT,
+    BPF_FETCH,
+    BPF_H,
+    BPF_IMM,
+    BPF_JA,
+    BPF_JEQ,
+    BPF_JGE,
+    BPF_JGT,
+    BPF_JLE,
+    BPF_JLT,
+    BPF_JMP,
+    BPF_JMP32,
+    BPF_JNE,
+    BPF_JSET,
+    BPF_JSGE,
+    BPF_JSGT,
+    BPF_JSLE,
+    BPF_JSLT,
+    BPF_K,
+    BPF_LD,
+    BPF_LDX,
+    BPF_LSH,
+    BPF_MEM,
+    BPF_MOD,
+    BPF_MOV,
+    BPF_MUL,
+    BPF_NEG,
+    BPF_OR,
+    BPF_PSEUDO_CALL,
+    BPF_PSEUDO_FUNC,
+    BPF_PSEUDO_MAP_FD,
+    BPF_RSH,
+    BPF_ST,
+    BPF_STX,
+    BPF_SUB,
+    BPF_W,
+    BPF_X,
+    BPF_XCHG,
+    BPF_XOR,
+};
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses a whole program.
+pub fn parse_program(source: &str) -> Result<Vec<Insn>, ParseError> {
+    let mut insns: Vec<Insn> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    // (slot index, line, label, is_call_imm)
+    let mut fixups: Vec<(usize, usize, String, bool)> = Vec::new();
+
+    for (line_no, raw) in source.lines().enumerate() {
+        let line_no = line_no + 1;
+        let mut line = raw;
+        if let Some(i) = line.find(';') {
+            line = &line[..i];
+        }
+        if let Some(i) = line.find("//") {
+            line = &line[..i];
+        }
+        // Strip a leading "N:" pc prefix emitted by the disassembler —
+        // but not a label definition "name:".
+        let trimmed = line.trim();
+        let line = match trimmed.split_once(':') {
+            Some((head, rest)) if head.chars().all(|c| c.is_ascii_digit()) && !head.is_empty() => {
+                rest.trim()
+            }
+            Some((head, rest))
+                if rest.trim().is_empty()
+                    && !head.is_empty()
+                    && head
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.') =>
+            {
+                // A label definition.
+                if labels.insert(head.to_string(), insns.len()).is_some() {
+                    return err(line_no, format!("duplicate label `{head}`"));
+                }
+                continue;
+            }
+            _ => trimmed,
+        };
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(line, line_no, &mut insns, &mut fixups)?;
+    }
+
+    for (slot, line, label, is_call) in fixups {
+        let target = *labels
+            .get(&label)
+            .ok_or(ParseError {
+                line,
+                message: format!("undefined label `{label}`"),
+            })?;
+        let rel = target as i64 - (slot as i64 + 1);
+        if is_call {
+            insns[slot].imm = rel as i32;
+        } else {
+            insns[slot].off = i16::try_from(rel).map_err(|_| ParseError {
+                line,
+                message: format!("jump to `{label}` out of range"),
+            })?;
+        }
+    }
+    Ok(insns)
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<(u8, bool), ParseError> {
+    let (wide, rest) = match tok.as_bytes().first() {
+        Some(b'r') => (true, &tok[1..]),
+        Some(b'w') => (false, &tok[1..]),
+        _ => return err(line, format!("expected register, got `{tok}`")),
+    };
+    match rest.parse::<u8>() {
+        Ok(n) if n <= 10 => Ok((n, wide)),
+        _ => err(line, format!("bad register `{tok}`")),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, ParseError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).map_err(|_| ParseError {
+            line,
+            message: format!("bad immediate `{tok}`"),
+        })?
+    } else {
+        body.parse::<u64>().map_err(|_| ParseError {
+            line,
+            message: format!("bad immediate `{tok}`"),
+        })?
+    };
+    Ok(if neg { -(value as i64) } else { value as i64 })
+}
+
+fn size_bits_of(name: &str, line: usize) -> Result<u8, ParseError> {
+    match name {
+        "u8" => Ok(BPF_B),
+        "u16" => Ok(BPF_H),
+        "u32" => Ok(BPF_W),
+        "u64" => Ok(BPF_DW),
+        other => err(line, format!("bad access size `{other}`")),
+    }
+}
+
+fn alu_op_of(op: &str) -> Option<u8> {
+    Some(match op {
+        "+=" => BPF_ADD,
+        "-=" => BPF_SUB,
+        "*=" => BPF_MUL,
+        "/=" => BPF_DIV,
+        "|=" => BPF_OR,
+        "&=" => BPF_AND,
+        "<<=" => BPF_LSH,
+        ">>=" => BPF_RSH,
+        "%=" => BPF_MOD,
+        "^=" => BPF_XOR,
+        "=" => BPF_MOV,
+        "s>>=" => BPF_ARSH,
+        _ => return None,
+    })
+}
+
+fn jmp_op_of(op: &str) -> Option<u8> {
+    Some(match op {
+        "==" => BPF_JEQ,
+        "!=" => BPF_JNE,
+        ">" => BPF_JGT,
+        ">=" => BPF_JGE,
+        "<" => BPF_JLT,
+        "<=" => BPF_JLE,
+        "s>" => BPF_JSGT,
+        "s>=" => BPF_JSGE,
+        "s<" => BPF_JSLT,
+        "s<=" => BPF_JSLE,
+        "&" => BPF_JSET,
+        _ => return None,
+    })
+}
+
+/// Parses a memory operand `*(u32 *)(r10 - 4)`, returning
+/// `(size_bits, reg, off)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(u8, u8, i16), ParseError> {
+    let rest = tok
+        .strip_prefix("*(")
+        .ok_or(ParseError {
+            line,
+            message: format!("expected memory operand, got `{tok}`"),
+        })?;
+    let (size_name, rest) = rest.split_once("*)").ok_or(ParseError {
+        line,
+        message: "malformed memory operand".into(),
+    })?;
+    let size = size_bits_of(size_name.trim(), line)?;
+    let inner = rest
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or(ParseError {
+            line,
+            message: "malformed memory operand address".into(),
+        })?;
+    // `r10 - 4` | `r1 + 3` | `r1`
+    let parts: Vec<&str> = inner.split_whitespace().collect();
+    let (reg, _) = parse_reg(parts[0], line)?;
+    let off = match parts.len() {
+        1 => 0i16,
+        3 => {
+            let magnitude = parse_imm(parts[2], line)?;
+            let signed = match parts[1] {
+                "+" => magnitude,
+                "-" => -magnitude,
+                other => return err(line, format!("bad offset operator `{other}`")),
+            };
+            i16::try_from(signed).map_err(|_| ParseError {
+                line,
+                message: "offset out of range".into(),
+            })?
+        }
+        _ => return err(line, "malformed memory offset"),
+    };
+    Ok((size, reg, off))
+}
+
+/// Resolves a branch target token: `+N` / `-N` numeric, else a label.
+fn branch_target(
+    tok: &str,
+    slot: usize,
+    line: usize,
+    fixups: &mut Vec<(usize, usize, String, bool)>,
+    is_call: bool,
+) -> Result<(i16, i32), ParseError> {
+    let tok = tok.trim();
+    if tok.starts_with('+') || tok.starts_with('-') || tok.chars().all(|c| c.is_ascii_digit()) {
+        let rel = parse_imm(tok, line)?;
+        return Ok((rel as i16, rel as i32));
+    }
+    fixups.push((slot, line, tok.to_string(), is_call));
+    Ok((0, 0))
+}
+
+fn parse_line(
+    line: &str,
+    line_no: usize,
+    insns: &mut Vec<Insn>,
+    fixups: &mut Vec<(usize, usize, String, bool)>,
+) -> Result<(), ParseError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    match toks[0] {
+        "exit" => {
+            insns.push(Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0));
+            Ok(())
+        }
+        "goto" => {
+            if toks.len() != 2 {
+                return err(line_no, "goto takes one target");
+            }
+            let slot = insns.len();
+            insns.push(Insn::new(BPF_JMP | BPF_JA, 0, 0, 0, 0));
+            let (off, _) = branch_target(toks[1], slot, line_no, fixups, false)?;
+            insns[slot].off = off;
+            Ok(())
+        }
+        "call" => {
+            if toks.len() != 2 {
+                return err(line_no, "call takes one target");
+            }
+            let target = toks[1].split('#').next().expect("split yields at least one");
+            if let Some(pc_rel) = target.strip_prefix("pc") {
+                let slot = insns.len();
+                insns.push(Insn::new(BPF_JMP | BPF_CALL, 0, BPF_PSEUDO_CALL, 0, 0));
+                let (_, imm) = branch_target(pc_rel, slot, line_no, fixups, true)?;
+                insns[slot].imm = imm;
+            } else if target.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                let id = parse_imm(target, line_no)?;
+                insns.push(Insn::new(BPF_JMP | BPF_CALL, 0, 0, 0, id as i32));
+            } else {
+                // `call label` — a bpf2bpf call to a named function.
+                let slot = insns.len();
+                insns.push(Insn::new(BPF_JMP | BPF_CALL, 0, BPF_PSEUDO_CALL, 0, 0));
+                fixups.push((slot, line_no, target.to_string(), true));
+            }
+            Ok(())
+        }
+        "if" => {
+            // if rD OP (rS|IMM) goto TGT
+            let goto_pos = toks
+                .iter()
+                .position(|t| *t == "goto")
+                .ok_or(ParseError {
+                    line: line_no,
+                    message: "conditional without goto".into(),
+                })?;
+            if goto_pos != 4 || toks.len() != 6 {
+                return err(line_no, "malformed conditional");
+            }
+            let (dst, wide) = parse_reg(toks[1], line_no)?;
+            let op = jmp_op_of(toks[2]).ok_or(ParseError {
+                line: line_no,
+                message: format!("bad compare op `{}`", toks[2]),
+            })?;
+            let class = if wide { BPF_JMP } else { BPF_JMP32 };
+            let slot = insns.len();
+            if toks[3].starts_with('r') || toks[3].starts_with('w') {
+                let (src, src_wide) = parse_reg(toks[3], line_no)?;
+                if src_wide != wide {
+                    return err(line_no, "mixed register widths in compare");
+                }
+                insns.push(Insn::new(class | op | BPF_X, dst, src, 0, 0));
+            } else {
+                let imm = parse_imm(toks[3], line_no)?;
+                insns.push(Insn::new(class | op | BPF_K, dst, 0, 0, imm as i32));
+            }
+            let (off, _) = branch_target(toks[5], slot, line_no, fixups, false)?;
+            insns[slot].off = off;
+            Ok(())
+        }
+        "lock" => {
+            // lock OP [fetch] *(SIZE *)(rD +- OFF) rS
+            let mut i = 1;
+            let op_name = toks[i];
+            i += 1;
+            let fetch = toks.get(i) == Some(&"fetch");
+            if fetch {
+                i += 1;
+            }
+            let atomic_imm = match op_name {
+                "add" => BPF_ATOMIC_ADD | if fetch { BPF_FETCH } else { 0 },
+                "or" => BPF_ATOMIC_OR | if fetch { BPF_FETCH } else { 0 },
+                "and" => BPF_ATOMIC_AND | if fetch { BPF_FETCH } else { 0 },
+                "xor" => BPF_ATOMIC_XOR | if fetch { BPF_FETCH } else { 0 },
+                "xchg" => BPF_XCHG,
+                "cmpxchg" => BPF_CMPXCHG,
+                other => return err(line_no, format!("bad atomic op `{other}`")),
+            };
+            let mem: String = toks[i..toks.len() - 1].join(" ");
+            let (size, dst, off) = parse_mem(&mem, line_no)?;
+            if size != BPF_W && size != BPF_DW {
+                return err(line_no, "atomics are u32/u64 only");
+            }
+            let (src, _) = parse_reg(toks[toks.len() - 1], line_no)?;
+            insns.push(Insn::new(
+                BPF_STX | BPF_ATOMIC | size,
+                dst,
+                src,
+                off,
+                atomic_imm,
+            ));
+            Ok(())
+        }
+        tok if tok.starts_with("*(") => {
+            // Store: *(SIZE *)(rD +- OFF) = rS|IMM
+            let eq = toks
+                .iter()
+                .position(|t| *t == "=")
+                .ok_or(ParseError {
+                    line: line_no,
+                    message: "store without `=`".into(),
+                })?;
+            let mem: String = toks[..eq].join(" ");
+            let (size, dst, off) = parse_mem(&mem, line_no)?;
+            let value: String = toks[eq + 1..].join(" ");
+            if value.starts_with('r') || value.starts_with('w') {
+                let (src, _) = parse_reg(&value, line_no)?;
+                insns.push(Insn::new(BPF_STX | BPF_MEM | size, dst, src, off, 0));
+            } else {
+                let imm = parse_imm(&value, line_no)?;
+                insns.push(Insn::new(BPF_ST | BPF_MEM | size, dst, 0, off, imm as i32));
+            }
+            Ok(())
+        }
+        _ => parse_alu_or_load(line, &toks, line_no, insns),
+    }
+}
+
+fn parse_alu_or_load(
+    line: &str,
+    toks: &[&str],
+    line_no: usize,
+    insns: &mut Vec<Insn>,
+) -> Result<(), ParseError> {
+    // Forms starting with a register.
+    let (dst, wide) = parse_reg(toks[0], line_no)?;
+    let op_tok = toks.get(1).copied().ok_or(ParseError {
+        line: line_no,
+        message: format!("incomplete statement `{line}`"),
+    })?;
+    let rest: Vec<&str> = toks[2..].to_vec();
+
+    if op_tok == "=" {
+        // Special right-hand sides first.
+        match rest.as_slice() {
+            // rD = -rD
+            [neg] if neg.starts_with("-r") || neg.starts_with("-w") => {
+                let class = if wide { BPF_ALU64 } else { BPF_ALU };
+                insns.push(Insn::new(class | BPF_NEG, dst, 0, 0, 0));
+                return Ok(());
+            }
+            // rD = le16 rD / be64 rD
+            [conv, _src] if conv.starts_with("le") || conv.starts_with("be") => {
+                let width = parse_imm(&conv[2..], line_no)?;
+                let src_bit = if conv.starts_with("be") { BPF_X } else { BPF_K };
+                insns.push(Insn::new(
+                    BPF_ALU | BPF_END | src_bit,
+                    dst,
+                    0,
+                    0,
+                    width as i32,
+                ));
+                return Ok(());
+            }
+            // rD = IMM ll (lddw)
+            [imm, "ll"] => {
+                let value = parse_imm(imm, line_no)? as u64;
+                insns.push(Insn::new(
+                    BPF_LD | BPF_IMM | BPF_DW,
+                    dst,
+                    0,
+                    0,
+                    value as u32 as i32,
+                ));
+                insns.push(Insn::new(0, 0, 0, 0, (value >> 32) as u32 as i32));
+                return Ok(());
+            }
+            // rD = map_fd N
+            ["map_fd", fd] => {
+                let fd = parse_imm(fd, line_no)?;
+                insns.push(Insn::new(
+                    BPF_LD | BPF_IMM | BPF_DW,
+                    dst,
+                    BPF_PSEUDO_MAP_FD,
+                    0,
+                    fd as i32,
+                ));
+                insns.push(Insn::new(0, 0, 0, 0, 0));
+                return Ok(());
+            }
+            // rD = func pcN
+            ["func", pc] => {
+                let target = parse_imm(pc.strip_prefix("pc").unwrap_or(pc), line_no)?;
+                insns.push(Insn::new(
+                    BPF_LD | BPF_IMM | BPF_DW,
+                    dst,
+                    BPF_PSEUDO_FUNC,
+                    0,
+                    target as i32,
+                ));
+                insns.push(Insn::new(0, 0, 0, 0, 0));
+                return Ok(());
+            }
+            // rD = *(SIZE *)(rS +- OFF)
+            mem if mem.first().is_some_and(|t| t.starts_with("*(")) => {
+                let mem: String = mem.join(" ");
+                let (size, src, off) = parse_mem(&mem, line_no)?;
+                insns.push(Insn::new(BPF_LDX | BPF_MEM | size, dst, src, off, 0));
+                return Ok(());
+            }
+            _ => {}
+        }
+    }
+
+    // Plain ALU: rD OP= (rS | IMM).
+    let op = alu_op_of(op_tok).ok_or(ParseError {
+        line: line_no,
+        message: format!("unknown statement `{line}`"),
+    })?;
+    let class = if wide { BPF_ALU64 } else { BPF_ALU };
+    let value: String = rest.join(" ");
+    if value.starts_with('r') || value.starts_with('w') {
+        let (src, src_wide) = parse_reg(&value, line_no)?;
+        if src_wide != wide {
+            return err(line_no, "mixed register widths");
+        }
+        insns.push(Insn::new(class | op | BPF_X, dst, src, 0, 0));
+    } else {
+        let imm = parse_imm(&value, line_no)?;
+        insns.push(Insn::new(class | op | BPF_K, dst, 0, 0, imm as i32));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::disasm::disasm_program;
+    use crate::insn::Reg;
+
+    #[test]
+    fn parses_simple_program() {
+        let insns = parse_program(
+            r#"
+            r0 = 0
+            r1 = 10
+        sum:
+            r0 += r1
+            r1 -= 1
+            if r1 != 0 goto sum
+            exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(insns.len(), 6);
+        assert_eq!(insns[4].off, -3);
+    }
+
+    #[test]
+    fn parses_memory_and_atomics() {
+        let insns = parse_program(
+            r#"
+            *(u32 *)(r10 - 4) = 9
+            *(u64 *)(r10 - 16) = r1
+            r2 = *(u8 *)(r1 + 3)
+            lock add *(u64 *)(r10 - 8) r1
+            lock cmpxchg *(u64 *)(r10 - 8) r2
+            exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(insns.len(), 6);
+        assert_eq!(insns[0].imm, 9);
+        assert_eq!(insns[2].off, 3);
+        assert_eq!(insns[3].imm, BPF_ATOMIC_ADD);
+        assert_eq!(insns[4].imm, BPF_CMPXCHG);
+    }
+
+    #[test]
+    fn parses_lddw_and_pseudo() {
+        let insns = parse_program(
+            r#"
+            r1 = 0xdeadbeef00000001 ll
+            r2 = map_fd 5
+            r3 = func pc7
+            exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(insns.len(), 7);
+        assert_eq!(
+            crate::insn::lddw_imm(&insns[0], &insns[1]),
+            0xdead_beef_0000_0001
+        );
+        assert_eq!(insns[2].src, BPF_PSEUDO_MAP_FD);
+        assert_eq!(insns[4].src, BPF_PSEUDO_FUNC);
+        assert_eq!(insns[4].imm, 7);
+    }
+
+    #[test]
+    fn parses_calls_and_comments() {
+        let insns = parse_program(
+            r#"
+            ; a comment line
+            call 1#bpf_map_lookup_elem   // helper call with name suffix
+            call sub
+            exit
+        sub:
+            w0 = 0
+            exit
+            "#,
+        )
+        .unwrap();
+        assert_eq!(insns[0].imm, 1);
+        assert_eq!(insns[1].src, BPF_PSEUDO_CALL);
+        assert_eq!(insns[1].imm, 1); // pc-relative to `sub` at slot 3
+        assert_eq!(insns[3].class(), BPF_ALU);
+    }
+
+    #[test]
+    fn roundtrip_disasm_parse() {
+        let original = Asm::new()
+            .mov64_imm(Reg::R0, 0)
+            .lddw(Reg::R1, 0x1234_5678_9abc_def0)
+            .ld_map_fd(Reg::R2, 3)
+            .st(crate::insn::BPF_W, Reg::R10, -4, 7)
+            .stx(BPF_DW, Reg::R10, -16, Reg::R1)
+            .ldx(BPF_B, Reg::R3, Reg::R10, -4)
+            .alu64_reg(BPF_ADD, Reg::R0, Reg::R3)
+            .alu32_imm(BPF_XOR, Reg::R0, 0xf)
+            .atomic(BPF_DW, Reg::R10, -16, Reg::R0, BPF_ATOMIC_ADD | BPF_FETCH)
+            .jmp64_imm(BPF_JSGT, Reg::R0, -5, "out")
+            .call_helper(5)
+            .label("out")
+            .exit()
+            .build()
+            .unwrap();
+        let text = disasm_program(&original, None);
+        let reparsed = parse_program(&text).unwrap();
+        assert_eq!(reparsed, original, "text was:\n{text}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_program("r0 = 0\nbogus statement\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_program("goto nowhere\nexit\n").unwrap_err();
+        assert!(err.message.contains("nowhere"));
+        let err = parse_program("x:\nx:\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn parsed_program_verifies_and_runs() {
+        use crate::helpers::HelperRegistry;
+        use crate::interp::{CtxInput, Vm};
+        use crate::maps::MapRegistry;
+        use crate::program::{ProgType, Program};
+        use kernel_sim::Kernel;
+
+        let insns = parse_program(
+            r#"
+            r0 = 0
+            r1 = 5
+        sum:
+            r0 += r1
+            r1 -= 1
+            if r1 != 0 goto sum
+            exit
+            "#,
+        )
+        .unwrap();
+        let kernel = Kernel::new();
+        let maps = MapRegistry::default();
+        let helpers = HelperRegistry::standard();
+        let prog = Program::new("text", ProgType::SocketFilter, insns);
+        verifier_check(&maps, &helpers, &prog);
+        let mut vm = Vm::new(&kernel, &maps, &helpers);
+        let id = vm.load(prog);
+        assert_eq!(vm.run(id, CtxInput::None).unwrap(), 15);
+    }
+
+    // The verifier crate depends on us, so do the check indirectly: the
+    // program at least decodes into the structural validator (JIT).
+    fn verifier_check(
+        _maps: &crate::maps::MapRegistry,
+        _helpers: &crate::helpers::HelperRegistry,
+        prog: &crate::program::Program,
+    ) {
+        crate::jit::jit_compile(prog, crate::jit::JitConfig::default()).expect("valid program");
+    }
+}

@@ -1,0 +1,111 @@
+//! Kernel version identifiers.
+//!
+//! Helper metadata carries the version each helper was introduced in, which
+//! Figure 4's measured series is computed from; the datasets for Figures 2
+//! and 4 are keyed by the same type.
+
+/// A `major.minor` kernel release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KernelVersion {
+    /// Major version.
+    pub major: u16,
+    /// Minor version.
+    pub minor: u16,
+}
+
+impl KernelVersion {
+    /// Creates a version.
+    pub const fn new(major: u16, minor: u16) -> Self {
+        Self { major, minor }
+    }
+
+    /// v3.18, the release that introduced eBPF (2014).
+    pub const V3_18: KernelVersion = KernelVersion::new(3, 18);
+    /// v4.3 (2015).
+    pub const V4_3: KernelVersion = KernelVersion::new(4, 3);
+    /// v4.9 (2016).
+    pub const V4_9: KernelVersion = KernelVersion::new(4, 9);
+    /// v4.14 (2017).
+    pub const V4_14: KernelVersion = KernelVersion::new(4, 14);
+    /// v4.20 (2018).
+    pub const V4_20: KernelVersion = KernelVersion::new(4, 20);
+    /// v5.4 (2019).
+    pub const V5_4: KernelVersion = KernelVersion::new(5, 4);
+    /// v5.10 (2020).
+    pub const V5_10: KernelVersion = KernelVersion::new(5, 10);
+    /// v5.15 (2021).
+    pub const V5_15: KernelVersion = KernelVersion::new(5, 15);
+    /// v5.18, the version the paper's Figure 3 analysis ran on (2022).
+    pub const V5_18: KernelVersion = KernelVersion::new(5, 18);
+    /// v6.1 (2022).
+    pub const V6_1: KernelVersion = KernelVersion::new(6, 1);
+
+    /// The versions plotted on the x-axes of Figures 2 and 4, in order.
+    pub const FIGURE_SERIES: [KernelVersion; 9] = [
+        Self::V3_18,
+        Self::V4_3,
+        Self::V4_9,
+        Self::V4_14,
+        Self::V4_20,
+        Self::V5_4,
+        Self::V5_10,
+        Self::V5_15,
+        Self::V6_1,
+    ];
+
+    /// The calendar year the release shipped, for the figure x-axes.
+    pub fn release_year(&self) -> u16 {
+        match (self.major, self.minor) {
+            (3, 18) => 2014,
+            (4, 3) => 2015,
+            (4, 9) => 2016,
+            (4, 14) => 2017,
+            (4, 20) => 2018,
+            (5, 4) => 2019,
+            (5, 10) => 2020,
+            (5, 15) => 2021,
+            (5, 18) | (6, 1) => 2022,
+            // Rough linear interpolation for anything else we ever meet.
+            (major, minor) => 2014 + (u16::from(major >= 4)) * (minor / 6 + (major - 4) * 2),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}.{}", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(KernelVersion::V3_18 < KernelVersion::V4_3);
+        assert!(KernelVersion::V4_20 < KernelVersion::V5_4);
+        assert!(KernelVersion::V5_18 < KernelVersion::V6_1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(KernelVersion::V5_18.to_string(), "v5.18");
+    }
+
+    #[test]
+    fn release_years_match_paper_axes() {
+        assert_eq!(KernelVersion::V3_18.release_year(), 2014);
+        assert_eq!(KernelVersion::V4_20.release_year(), 2018);
+        assert_eq!(KernelVersion::V6_1.release_year(), 2022);
+        assert_eq!(KernelVersion::V5_18.release_year(), 2022);
+    }
+
+    #[test]
+    fn figure_series_is_sorted() {
+        let series = KernelVersion::FIGURE_SERIES;
+        for pair in series.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Property-based tests: ISA round-trips, interpreter ALU semantics
+//! against a reference oracle, and hash-map behaviour against `BTreeMap`.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use ebpf::asm::Asm;
+use ebpf::helpers::HelperRegistry;
+use ebpf::insn::*;
+use ebpf::interp::{CtxInput, Vm};
+use ebpf::maps::{MapDef, MapError, MapRegistry};
+use ebpf::program::{ProgType, Program};
+use kernel_sim::Kernel;
+
+fn run_alu(op: u8, is64: bool, by_reg: bool, dst: u64, src: u64) -> u64 {
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    let helpers = HelperRegistry::standard();
+    let mut asm = Asm::new().lddw(Reg::R1, dst).lddw(Reg::R2, src);
+    // Use the immediate form only when src fits in a sign-extended i32.
+    asm = if by_reg {
+        if is64 {
+            asm.alu64_reg(op, Reg::R1, Reg::R2)
+        } else {
+            asm.alu32_reg(op, Reg::R1, Reg::R2)
+        }
+    } else if is64 {
+        asm.alu64_imm(op, Reg::R1, src as i32)
+    } else {
+        asm.alu32_imm(op, Reg::R1, src as i32)
+    };
+    let insns = asm.mov64_reg(Reg::R0, Reg::R1).exit().build().unwrap();
+    let mut vm = Vm::new(&kernel, &maps, &helpers);
+    let id = vm.load(Program::new("alu", ProgType::SocketFilter, insns));
+    vm.run(id, CtxInput::None).unwrap()
+}
+
+fn oracle64(op: u8, dst: u64, src: u64) -> u64 {
+    match op {
+        BPF_ADD => dst.wrapping_add(src),
+        BPF_SUB => dst.wrapping_sub(src),
+        BPF_MUL => dst.wrapping_mul(src),
+        BPF_DIV => {
+            if src == 0 {
+                0
+            } else {
+                dst / src
+            }
+        }
+        BPF_OR => dst | src,
+        BPF_AND => dst & src,
+        BPF_LSH => dst.wrapping_shl((src & 63) as u32),
+        BPF_RSH => dst.wrapping_shr((src & 63) as u32),
+        BPF_MOD => {
+            if src == 0 {
+                dst
+            } else {
+                dst % src
+            }
+        }
+        BPF_XOR => dst ^ src,
+        BPF_MOV => src,
+        BPF_ARSH => ((dst as i64) >> (src & 63)) as u64,
+        _ => unreachable!(),
+    }
+}
+
+fn oracle32(op: u8, dst: u32, src: u32) -> u32 {
+    match op {
+        BPF_ADD => dst.wrapping_add(src),
+        BPF_SUB => dst.wrapping_sub(src),
+        BPF_MUL => dst.wrapping_mul(src),
+        BPF_DIV => {
+            if src == 0 {
+                0
+            } else {
+                dst / src
+            }
+        }
+        BPF_OR => dst | src,
+        BPF_AND => dst & src,
+        BPF_LSH => dst.wrapping_shl(src & 31),
+        BPF_RSH => dst.wrapping_shr(src & 31),
+        BPF_MOD => {
+            if src == 0 {
+                dst
+            } else {
+                dst % src
+            }
+        }
+        BPF_XOR => dst ^ src,
+        BPF_MOV => src,
+        BPF_ARSH => ((dst as i32) >> (src & 31)) as u32,
+        _ => unreachable!(),
+    }
+}
+
+fn alu_op_strategy() -> impl Strategy<Value = u8> {
+    prop::sample::select(vec![
+        BPF_ADD, BPF_SUB, BPF_MUL, BPF_OR, BPF_AND, BPF_LSH, BPF_RSH, BPF_MOD, BPF_XOR, BPF_MOV,
+        BPF_ARSH,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn insn_encode_decode_roundtrip(code in any::<u8>(), dst in 0u8..16, src in 0u8..16,
+                                    off in any::<i16>(), imm in any::<i32>()) {
+        let insn = Insn::new(code, dst, src, off, imm);
+        prop_assert_eq!(Insn::decode(&insn.encode()), insn);
+    }
+
+    #[test]
+    fn alu64_reg_matches_oracle(op in alu_op_strategy(), dst in any::<u64>(), src in any::<u64>()) {
+        let got = run_alu(op, true, true, dst, src);
+        prop_assert_eq!(got, oracle64(op, dst, src));
+    }
+
+    #[test]
+    fn alu32_reg_matches_oracle(op in alu_op_strategy(), dst in any::<u64>(), src in any::<u64>()) {
+        let got = run_alu(op, false, true, dst, src);
+        prop_assert_eq!(got, oracle32(op, dst as u32, src as u32) as u64);
+    }
+
+    #[test]
+    fn div_semantics_including_zero(dst in any::<u64>(), src in prop::option::of(any::<u64>())) {
+        let src = src.unwrap_or(0);
+        let got = run_alu(BPF_DIV, true, true, dst, src);
+        let want = if src == 0 { 0 } else { dst / src };
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn program_image_roundtrip(ops in prop::collection::vec((any::<u8>(), any::<i16>(), any::<i32>()), 1..40)) {
+        let insns: Vec<Insn> = ops.iter().map(|(c, o, i)| Insn::new(*c, 1, 2, *o, *i)).collect();
+        let image = encode_program(&insns);
+        prop_assert_eq!(decode_program(&image).unwrap(), insns);
+    }
+}
+
+/// Random hash-map operation sequences behave like a `BTreeMap` oracle.
+#[derive(Debug, Clone)]
+enum MapOp {
+    Update(u8, u64),
+    Delete(u8),
+    Lookup(u8),
+}
+
+fn map_op_strategy() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(k, v)| MapOp::Update(k, v)),
+        any::<u8>().prop_map(MapOp::Delete),
+        any::<u8>().prop_map(MapOp::Lookup),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hash_map_matches_btreemap_oracle(ops in prop::collection::vec(map_op_strategy(), 1..120)) {
+        let kernel = Kernel::new();
+        let reg = MapRegistry::default();
+        // Capacity 256 >= number of distinct u8 keys, so NoSpace never hits.
+        let fd = reg.create(&kernel, MapDef::hash("h", 1, 8, 256)).unwrap();
+        let map = reg.get(fd).unwrap();
+        let mut oracle: BTreeMap<u8, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                MapOp::Update(k, v) => {
+                    map.update(&kernel.mem, &[k], &v.to_le_bytes(), 0).unwrap();
+                    oracle.insert(k, v);
+                }
+                MapOp::Delete(k) => {
+                    let got = map.delete(&kernel.mem, &[k]);
+                    let want = oracle.remove(&k);
+                    prop_assert_eq!(got.is_ok(), want.is_some());
+                    if got.is_err() {
+                        prop_assert_eq!(got.unwrap_err(), MapError::NotFound);
+                    }
+                }
+                MapOp::Lookup(k) => {
+                    let got = map.lookup(&[k], 0).unwrap();
+                    match oracle.get(&k) {
+                        Some(v) => {
+                            let addr = got.expect("oracle has the key");
+                            prop_assert_eq!(kernel.mem.read_u64(addr).unwrap(), *v);
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(map.len(), oracle.len());
+    }
+
+    #[test]
+    fn lru_map_never_exceeds_capacity(ops in prop::collection::vec((any::<u8>(), any::<u64>()), 1..100)) {
+        let kernel = Kernel::new();
+        let reg = MapRegistry::default();
+        let fd = reg.create(&kernel, MapDef::lru_hash("l", 1, 8, 8)).unwrap();
+        let map = reg.get(fd).unwrap();
+        for (k, v) in ops {
+            map.update(&kernel.mem, &[k], &v.to_le_bytes(), 0).unwrap();
+            prop_assert!(map.len() <= 8);
+            // The just-written key is always present.
+            prop_assert!(map.lookup(&[k], 0).unwrap().is_some());
+        }
+    }
+}
+
+// ---- Disassembler / text-assembler round trip ------------------------------------
+
+use ebpf::disasm::disasm_program;
+use ebpf::text::parse_program;
+
+/// Generates one random (disassemblable) instruction, possibly two slots.
+fn insn_strategy() -> impl Strategy<Value = Vec<Insn>> {
+    let reg = 0u8..=10;
+    let alu_op = prop::sample::select(vec![
+        BPF_ADD, BPF_SUB, BPF_MUL, BPF_DIV, BPF_OR, BPF_AND, BPF_LSH, BPF_RSH, BPF_MOD, BPF_XOR,
+        BPF_MOV, BPF_ARSH,
+    ]);
+    let jmp_op = prop::sample::select(vec![
+        BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JGE, BPF_JLT, BPF_JLE, BPF_JSGT, BPF_JSGE, BPF_JSLT,
+        BPF_JSLE, BPF_JSET,
+    ]);
+    let size = prop::sample::select(vec![BPF_B, BPF_H, BPF_W, BPF_DW]);
+    prop_oneof![
+        // ALU imm (both widths).
+        (reg.clone(), alu_op.clone(), any::<i32>(), any::<bool>()).prop_map(|(d, op, imm, wide)| {
+            let class = if wide { BPF_ALU64 } else { BPF_ALU };
+            vec![Insn::new(class | op | BPF_K, d, 0, 0, imm)]
+        }),
+        // ALU reg.
+        (reg.clone(), reg.clone(), alu_op, any::<bool>()).prop_map(|(d, s, op, wide)| {
+            let class = if wide { BPF_ALU64 } else { BPF_ALU };
+            vec![Insn::new(class | op | BPF_X, d, s, 0, 0)]
+        }),
+        // Load.
+        (reg.clone(), reg.clone(), size.clone(), any::<i16>()).prop_map(|(d, s, sz, off)| {
+            vec![Insn::new(BPF_LDX | BPF_MEM | sz, d, s, off, 0)]
+        }),
+        // Store reg / imm.
+        (reg.clone(), reg.clone(), size.clone(), any::<i16>()).prop_map(|(d, s, sz, off)| {
+            vec![Insn::new(BPF_STX | BPF_MEM | sz, d, s, off, 0)]
+        }),
+        (reg.clone(), size, any::<i16>(), any::<i32>()).prop_map(|(d, sz, off, imm)| {
+            vec![Insn::new(BPF_ST | BPF_MEM | sz, d, 0, off, imm)]
+        }),
+        // Conditional jump imm (offset kept small and non-label).
+        (reg.clone(), jmp_op, any::<i32>(), -20i16..20).prop_map(|(d, op, imm, off)| {
+            vec![Insn::new(BPF_JMP | op | BPF_K, d, 0, off, imm)]
+        }),
+        // LDDW.
+        (reg.clone(), any::<u64>()).prop_map(|(d, v)| {
+            vec![
+                Insn::new(BPF_LD | BPF_IMM | BPF_DW, d, 0, 0, v as u32 as i32),
+                Insn::new(0, 0, 0, 0, (v >> 32) as u32 as i32),
+            ]
+        }),
+        // Atomics.
+        (reg.clone(), reg, prop::sample::select(vec![
+            BPF_ATOMIC_ADD, BPF_ATOMIC_OR, BPF_ATOMIC_AND, BPF_ATOMIC_XOR,
+            BPF_ATOMIC_ADD | BPF_FETCH, BPF_XCHG, BPF_CMPXCHG,
+        ]), any::<i16>(), any::<bool>()).prop_map(|(d, s, op, off, wide)| {
+            let sz = if wide { BPF_DW } else { BPF_W };
+            vec![Insn::new(BPF_STX | BPF_ATOMIC | sz, d, s, off, op)]
+        }),
+        // Helper call + exit.
+        (1i32..500).prop_map(|id| vec![Insn::new(BPF_JMP | BPF_CALL, 0, 0, 0, id)]),
+        Just(vec![Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0)]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn disasm_parse_roundtrip(groups in prop::collection::vec(insn_strategy(), 1..30)) {
+        let insns: Vec<Insn> = groups.into_iter().flatten().collect();
+        let text = disasm_program(&insns, None);
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("parse failed: {e}\ntext:\n{text}"));
+        prop_assert_eq!(reparsed, insns, "text was:\n{}", text);
+    }
+}

@@ -1,0 +1,169 @@
+//! Structured audit log.
+//!
+//! Every subsystem appends [`AuditEvent`]s here; integration tests and the
+//! experiment harness assert on the log instead of scraping text output.
+
+use parking_lot::Mutex;
+
+use crate::mem::Fault;
+
+/// The kind of a recorded event, used for counting and filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// A kernel oops was recorded (fault or panic in kernel context).
+    Oops,
+    /// The RCU stall detector fired for an over-long read-side section.
+    RcuStall,
+    /// `synchronize_rcu` was invoked from within a read-side section.
+    RcuDeadlock,
+    /// An execution finished while still holding object references.
+    RefLeak,
+    /// A reference count was decremented below zero.
+    RefUnderflow,
+    /// An execution finished while still holding spinlocks.
+    LockLeak,
+    /// A spinlock was re-acquired by its current owner (AA deadlock).
+    LockDeadlock,
+    /// A watchdog terminated an extension.
+    WatchdogFired,
+    /// An extension panicked and was terminated safely.
+    ExtensionPanic,
+    /// An extension exceeded its stack-depth guard.
+    StackOverflowGuard,
+    /// An extension was loaded (either framework).
+    ExtensionLoaded,
+    /// An extension load was rejected.
+    LoadRejected,
+    /// A sanitizing wrapper rejected a bad argument before unsafe code.
+    WrapperRejected,
+    /// Free-form informational event.
+    Info,
+}
+
+/// A single audit record.
+#[derive(Debug, Clone)]
+pub struct AuditEvent {
+    /// Virtual-clock timestamp at which the event was recorded.
+    pub at_ns: u64,
+    /// Event kind, for counting.
+    pub kind: EventKind,
+    /// Human-readable detail.
+    pub detail: String,
+    /// Fault payload, when the event was caused by a memory fault.
+    pub fault: Option<Fault>,
+}
+
+/// An append-only, thread-safe event log.
+///
+/// # Examples
+///
+/// ```
+/// use kernel_sim::audit::{AuditLog, EventKind};
+///
+/// let log = AuditLog::default();
+/// log.record(0, EventKind::Info, "hello");
+/// assert_eq!(log.count(EventKind::Info), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    events: Mutex<Vec<AuditEvent>>,
+}
+
+impl AuditLog {
+    /// Appends an event with no fault payload.
+    pub fn record(&self, at_ns: u64, kind: EventKind, detail: impl Into<String>) {
+        self.events.lock().push(AuditEvent {
+            at_ns,
+            kind,
+            detail: detail.into(),
+            fault: None,
+        });
+    }
+
+    /// Appends an event carrying the fault that caused it.
+    pub fn record_fault(
+        &self,
+        at_ns: u64,
+        kind: EventKind,
+        detail: impl Into<String>,
+        fault: Fault,
+    ) {
+        self.events.lock().push(AuditEvent {
+            at_ns,
+            kind,
+            detail: detail.into(),
+            fault: Some(fault),
+        });
+    }
+
+    /// Returns the number of events of `kind`.
+    pub fn count(&self, kind: EventKind) -> usize {
+        self.events.lock().iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Returns a snapshot of all events recorded so far.
+    pub fn snapshot(&self) -> Vec<AuditEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Returns snapshots of events of one kind.
+    pub fn of_kind(&self, kind: EventKind) -> Vec<AuditEvent> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Clears the log; used by benchmarks between iterations.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let log = AuditLog::default();
+        log.record(1, EventKind::Info, "a");
+        log.record(2, EventKind::RcuStall, "b");
+        log.record(3, EventKind::RcuStall, "c");
+        assert_eq!(log.count(EventKind::RcuStall), 2);
+        assert_eq!(log.count(EventKind::Info), 1);
+        assert_eq!(log.count(EventKind::Oops), 0);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn fault_payload_is_preserved() {
+        let log = AuditLog::default();
+        log.record_fault(5, EventKind::Oops, "deref", Fault::NullDeref { addr: 0 });
+        let events = log.of_kind(EventKind::Oops);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0].fault, Some(Fault::NullDeref { addr: 0 })));
+        assert_eq!(events[0].at_ns, 5);
+    }
+
+    #[test]
+    fn clear_empties_log() {
+        let log = AuditLog::default();
+        log.record(0, EventKind::Info, "x");
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

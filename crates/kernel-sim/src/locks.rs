@@ -1,0 +1,259 @@
+//! Kernel spinlocks with discipline checking.
+//!
+//! The eBPF verifier grew dedicated logic to check that a program holds at
+//! most one `bpf_spin_lock` at a time and releases it before exit. Here the
+//! *substrate* detects violations of that discipline at runtime: self
+//! deadlock (re-acquiring a held lock), releasing a lock that is not held,
+//! and leaking a lock past program exit.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Identifies a simulated execution (one run of one extension).
+pub type OwnerId = u64;
+
+/// Handle to a kernel spinlock object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LockId(pub u64);
+
+/// Errors from lock operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// The lock id does not exist.
+    UnknownLock(LockId),
+    /// The owner already holds this lock: an AA deadlock on real hardware.
+    SelfDeadlock(LockId),
+    /// Another owner holds the lock (contention; fatal in a simulated
+    /// single-runqueue model since the holder cannot run).
+    Contended(LockId, OwnerId),
+    /// Release of a lock the owner does not hold.
+    NotHeld(LockId),
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::UnknownLock(id) => write!(f, "unknown lock {:?}", id),
+            LockError::SelfDeadlock(id) => write!(f, "AA deadlock on {:?}", id),
+            LockError::Contended(id, owner) => {
+                write!(f, "{:?} contended (held by owner {owner})", id)
+            }
+            LockError::NotHeld(id) => write!(f, "release of un-held {:?}", id),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Debug)]
+struct LockInfo {
+    name: String,
+    holder: Option<OwnerId>,
+    acquisitions: u64,
+}
+
+/// The spinlock table.
+///
+/// # Examples
+///
+/// ```
+/// use kernel_sim::locks::SpinTable;
+///
+/// let locks = SpinTable::default();
+/// let id = locks.create("map-bucket");
+/// locks.acquire(1, id).unwrap();
+/// assert!(locks.acquire(1, id).is_err()); // AA deadlock detected.
+/// locks.release(1, id).unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct SpinTable {
+    state: Mutex<TableState>,
+}
+
+#[derive(Debug, Default)]
+struct TableState {
+    next_id: u64,
+    locks: HashMap<LockId, LockInfo>,
+    /// Stable mapping from an external key (e.g. the address of a
+    /// `bpf_spin_lock` cell inside a map value) to its lock identity.
+    keyed: HashMap<u64, LockId>,
+}
+
+impl SpinTable {
+    /// Creates a new named lock and returns its id.
+    pub fn create(&self, name: &str) -> LockId {
+        let mut st = self.state.lock();
+        st.next_id += 1;
+        let id = LockId(st.next_id);
+        st.locks.insert(
+            id,
+            LockInfo {
+                name: name.to_string(),
+                holder: None,
+                acquisitions: 0,
+            },
+        );
+        id
+    }
+
+    /// Returns the lock identified by `key`, creating it on first use.
+    ///
+    /// This is how `bpf_spin_lock` cells embedded in map values get a
+    /// *stable* kernel identity: every execution — and both extension
+    /// frameworks — locking the same cell contends on the same lock.
+    pub fn lock_for_key(&self, key: u64, name: &str) -> LockId {
+        let mut st = self.state.lock();
+        if let Some(id) = st.keyed.get(&key) {
+            return *id;
+        }
+        st.next_id += 1;
+        let id = LockId(st.next_id);
+        st.locks.insert(
+            id,
+            LockInfo {
+                name: name.to_string(),
+                holder: None,
+                acquisitions: 0,
+            },
+        );
+        st.keyed.insert(key, id);
+        id
+    }
+
+    /// Acquires `id` on behalf of `owner`.
+    pub fn acquire(&self, owner: OwnerId, id: LockId) -> Result<(), LockError> {
+        let mut st = self.state.lock();
+        let info = st.locks.get_mut(&id).ok_or(LockError::UnknownLock(id))?;
+        match info.holder {
+            Some(h) if h == owner => Err(LockError::SelfDeadlock(id)),
+            Some(h) => Err(LockError::Contended(id, h)),
+            None => {
+                info.holder = Some(owner);
+                info.acquisitions += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Releases `id` on behalf of `owner`.
+    pub fn release(&self, owner: OwnerId, id: LockId) -> Result<(), LockError> {
+        let mut st = self.state.lock();
+        let info = st.locks.get_mut(&id).ok_or(LockError::UnknownLock(id))?;
+        match info.holder {
+            Some(h) if h == owner => {
+                info.holder = None;
+                Ok(())
+            }
+            Some(_) | None => Err(LockError::NotHeld(id)),
+        }
+    }
+
+    /// Returns all locks currently held by `owner`.
+    pub fn held_by(&self, owner: OwnerId) -> Vec<LockId> {
+        let st = self.state.lock();
+        let mut held: Vec<LockId> = st
+            .locks
+            .iter()
+            .filter(|(_, info)| info.holder == Some(owner))
+            .map(|(id, _)| *id)
+            .collect();
+        held.sort();
+        held
+    }
+
+    /// Forcibly releases everything held by `owner` (termination cleanup);
+    /// returns what was released.
+    pub fn force_release_all(&self, owner: OwnerId) -> Vec<LockId> {
+        let mut st = self.state.lock();
+        let mut released = Vec::new();
+        for (id, info) in st.locks.iter_mut() {
+            if info.holder == Some(owner) {
+                info.holder = None;
+                released.push(*id);
+            }
+        }
+        released.sort();
+        released
+    }
+
+    /// The display name of a lock.
+    pub fn name(&self, id: LockId) -> Option<String> {
+        self.state.lock().locks.get(&id).map(|i| i.name.clone())
+    }
+
+    /// Total successful acquisitions of a lock.
+    pub fn acquisitions(&self, id: LockId) -> u64 {
+        self.state
+            .lock()
+            .locks
+            .get(&id)
+            .map(|i| i.acquisitions)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let t = SpinTable::default();
+        let id = t.create("l");
+        t.acquire(1, id).unwrap();
+        assert_eq!(t.held_by(1), vec![id]);
+        t.release(1, id).unwrap();
+        assert!(t.held_by(1).is_empty());
+        assert_eq!(t.acquisitions(id), 1);
+    }
+
+    #[test]
+    fn self_deadlock_detected() {
+        let t = SpinTable::default();
+        let id = t.create("l");
+        t.acquire(1, id).unwrap();
+        assert_eq!(t.acquire(1, id), Err(LockError::SelfDeadlock(id)));
+    }
+
+    #[test]
+    fn contention_detected() {
+        let t = SpinTable::default();
+        let id = t.create("l");
+        t.acquire(1, id).unwrap();
+        assert_eq!(t.acquire(2, id), Err(LockError::Contended(id, 1)));
+    }
+
+    #[test]
+    fn bad_release_detected() {
+        let t = SpinTable::default();
+        let id = t.create("l");
+        assert_eq!(t.release(1, id), Err(LockError::NotHeld(id)));
+        t.acquire(2, id).unwrap();
+        assert_eq!(t.release(1, id), Err(LockError::NotHeld(id)));
+    }
+
+    #[test]
+    fn unknown_lock_rejected() {
+        let t = SpinTable::default();
+        assert!(matches!(
+            t.acquire(1, LockId(99)),
+            Err(LockError::UnknownLock(_))
+        ));
+    }
+
+    #[test]
+    fn force_release_all_sweeps_owner() {
+        let t = SpinTable::default();
+        let a = t.create("a");
+        let b = t.create("b");
+        let c = t.create("c");
+        t.acquire(1, a).unwrap();
+        t.acquire(1, b).unwrap();
+        t.acquire(2, c).unwrap();
+        let released = t.force_release_all(1);
+        assert_eq!(released.len(), 2);
+        assert!(t.held_by(1).is_empty());
+        assert_eq!(t.held_by(2), vec![c]);
+    }
+}

@@ -1,0 +1,286 @@
+//! RCU read-side critical sections with a stall detector.
+//!
+//! eBPF programs run under `rcu_read_lock()`; §2.2's termination exploit
+//! holds that lock for ~forever via nested `bpf_loop`, provoking RCU CPU
+//! stall warnings. This module reproduces the mechanism: read-side sections
+//! are tracked against the virtual clock and a detector (polled by the
+//! interpreter and the safe-ext runtime) reports a stall for every elapsed
+//! stall period, mirroring Linux's repeating 21-second stall warnings.
+
+use parking_lot::Mutex;
+
+use crate::{
+    audit::{AuditLog, EventKind},
+    time::{VirtualClock, NANOS_PER_SEC},
+};
+
+/// Linux's default `RCU_CPU_STALL_TIMEOUT` (21 s), in nanoseconds.
+pub const DEFAULT_STALL_TIMEOUT_NS: u64 = 21 * NANOS_PER_SEC;
+
+/// Errors from RCU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RcuError {
+    /// `synchronize` called from inside a read-side critical section.
+    SynchronizeInReader,
+    /// `read_unlock` without a matching `read_lock`.
+    UnbalancedUnlock,
+}
+
+impl std::fmt::Display for RcuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RcuError::SynchronizeInReader => {
+                write!(f, "synchronize_rcu() called inside a read-side critical section")
+            }
+            RcuError::UnbalancedUnlock => write!(f, "rcu_read_unlock() without read_lock()"),
+        }
+    }
+}
+
+impl std::error::Error for RcuError {}
+
+#[derive(Debug, Default)]
+struct RcuState {
+    depth: u32,
+    outermost_enter_ns: u64,
+    stalls_reported_this_section: u64,
+    gp_seq: u64,
+    total_stalls: u64,
+}
+
+/// The RCU subsystem.
+///
+/// # Examples
+///
+/// ```
+/// use kernel_sim::{rcu::Rcu, time::VirtualClock, audit::AuditLog};
+///
+/// let clock = VirtualClock::new();
+/// let rcu = Rcu::new(clock.clone());
+/// let audit = AuditLog::default();
+///
+/// {
+///     let _guard = rcu.read_lock();
+///     clock.advance_secs(30); // Longer than the 21 s stall timeout.
+///     assert_eq!(rcu.check_stall(&audit), 1);
+/// }
+/// assert!(rcu.quiescent());
+/// ```
+#[derive(Debug)]
+pub struct Rcu {
+    clock: VirtualClock,
+    stall_timeout_ns: u64,
+    state: Mutex<RcuState>,
+}
+
+impl Rcu {
+    /// Creates an RCU subsystem with the default stall timeout.
+    pub fn new(clock: VirtualClock) -> Self {
+        Self::with_stall_timeout(clock, DEFAULT_STALL_TIMEOUT_NS)
+    }
+
+    /// Creates an RCU subsystem with a custom stall timeout.
+    pub fn with_stall_timeout(clock: VirtualClock, stall_timeout_ns: u64) -> Self {
+        Self {
+            clock,
+            stall_timeout_ns: stall_timeout_ns.max(1),
+            state: Mutex::new(RcuState::default()),
+        }
+    }
+
+    /// Enters a read-side critical section; the returned guard exits it on
+    /// drop. Sections nest.
+    pub fn read_lock(&self) -> RcuReadGuard<'_> {
+        let mut st = self.state.lock();
+        if st.depth == 0 {
+            st.outermost_enter_ns = self.clock.now_ns();
+            st.stalls_reported_this_section = 0;
+        }
+        st.depth += 1;
+        RcuReadGuard { rcu: self }
+    }
+
+    fn read_unlock(&self) {
+        let mut st = self.state.lock();
+        debug_assert!(st.depth > 0, "unbalanced rcu_read_unlock");
+        st.depth = st.depth.saturating_sub(1);
+    }
+
+    /// Whether no read-side critical section is active.
+    pub fn quiescent(&self) -> bool {
+        self.state.lock().depth == 0
+    }
+
+    /// Current read-side nesting depth.
+    pub fn depth(&self) -> u32 {
+        self.state.lock().depth
+    }
+
+    /// Waits for a grace period; fails (and would deadlock on real hardware)
+    /// when called from inside a read-side section.
+    pub fn synchronize(&self, audit: &AuditLog) -> Result<u64, RcuError> {
+        let mut st = self.state.lock();
+        if st.depth > 0 {
+            audit.record(
+                self.clock.now_ns(),
+                EventKind::RcuDeadlock,
+                "synchronize_rcu() inside read-side critical section",
+            );
+            return Err(RcuError::SynchronizeInReader);
+        }
+        st.gp_seq += 1;
+        Ok(st.gp_seq)
+    }
+
+    /// Grace-period sequence number (number of completed grace periods).
+    pub fn gp_seq(&self) -> u64 {
+        self.state.lock().gp_seq
+    }
+
+    /// Polls the stall detector.
+    ///
+    /// Reports one [`EventKind::RcuStall`] event for every full stall
+    /// timeout that has elapsed inside the current read-side section since
+    /// the last report, and returns how many new stalls were reported.
+    pub fn check_stall(&self, audit: &AuditLog) -> u64 {
+        let now = self.clock.now_ns();
+        let mut st = self.state.lock();
+        if st.depth == 0 {
+            return 0;
+        }
+        let elapsed = now.saturating_sub(st.outermost_enter_ns);
+        let due = elapsed / self.stall_timeout_ns;
+        let new = due.saturating_sub(st.stalls_reported_this_section);
+        for i in 0..new {
+            let nth = st.stalls_reported_this_section + i + 1;
+            audit.record(
+                now,
+                EventKind::RcuStall,
+                format!(
+                    "rcu: INFO: rcu_sched detected stall on CPU ({}s in read-side section, report #{nth})",
+                    elapsed / NANOS_PER_SEC
+                ),
+            );
+        }
+        st.stalls_reported_this_section = due;
+        st.total_stalls += new;
+        new
+    }
+
+    /// Total stalls reported since creation.
+    pub fn total_stalls(&self) -> u64 {
+        self.state.lock().total_stalls
+    }
+}
+
+/// RAII guard for an RCU read-side critical section.
+#[derive(Debug)]
+pub struct RcuReadGuard<'a> {
+    rcu: &'a Rcu,
+}
+
+impl Drop for RcuReadGuard<'_> {
+    fn drop(&mut self) {
+        self.rcu.read_unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (VirtualClock, Rcu, AuditLog) {
+        let clock = VirtualClock::new();
+        let rcu = Rcu::new(clock.clone());
+        (clock, rcu, AuditLog::default())
+    }
+
+    #[test]
+    fn guard_tracks_depth_and_nests() {
+        let (_, rcu, _) = setup();
+        assert!(rcu.quiescent());
+        {
+            let _a = rcu.read_lock();
+            assert_eq!(rcu.depth(), 1);
+            {
+                let _b = rcu.read_lock();
+                assert_eq!(rcu.depth(), 2);
+            }
+            assert_eq!(rcu.depth(), 1);
+        }
+        assert!(rcu.quiescent());
+    }
+
+    #[test]
+    fn no_stall_below_timeout() {
+        let (clock, rcu, audit) = setup();
+        let _g = rcu.read_lock();
+        clock.advance_secs(20);
+        assert_eq!(rcu.check_stall(&audit), 0);
+        assert_eq!(audit.count(EventKind::RcuStall), 0);
+    }
+
+    #[test]
+    fn stall_reported_past_timeout_and_repeats() {
+        let (clock, rcu, audit) = setup();
+        let _g = rcu.read_lock();
+        clock.advance_secs(22);
+        assert_eq!(rcu.check_stall(&audit), 1);
+        // No duplicate report until the next full period elapses.
+        assert_eq!(rcu.check_stall(&audit), 0);
+        clock.advance_secs(21);
+        assert_eq!(rcu.check_stall(&audit), 1);
+        assert_eq!(rcu.total_stalls(), 2);
+    }
+
+    #[test]
+    fn eight_hundred_seconds_reports_many_stalls() {
+        // The paper ran its exploit for 800 s, "more than enough to observe
+        // RCU stalls": 800 / 21 = 38 full stall periods.
+        let (clock, rcu, audit) = setup();
+        let _g = rcu.read_lock();
+        clock.advance_secs(800);
+        assert_eq!(rcu.check_stall(&audit), 800 / 21);
+    }
+
+    #[test]
+    fn no_stall_when_quiescent() {
+        let (clock, rcu, audit) = setup();
+        clock.advance_secs(100);
+        assert_eq!(rcu.check_stall(&audit), 0);
+    }
+
+    #[test]
+    fn section_reset_clears_stall_accounting() {
+        let (clock, rcu, audit) = setup();
+        {
+            let _g = rcu.read_lock();
+            clock.advance_secs(30);
+            assert_eq!(rcu.check_stall(&audit), 1);
+        }
+        {
+            let _g = rcu.read_lock();
+            clock.advance_secs(5);
+            assert_eq!(rcu.check_stall(&audit), 0);
+        }
+    }
+
+    #[test]
+    fn synchronize_outside_reader_advances_gp() {
+        let (_, rcu, audit) = setup();
+        assert_eq!(rcu.synchronize(&audit).unwrap(), 1);
+        assert_eq!(rcu.synchronize(&audit).unwrap(), 2);
+        assert_eq!(rcu.gp_seq(), 2);
+    }
+
+    #[test]
+    fn synchronize_inside_reader_is_deadlock() {
+        let (_, rcu, audit) = setup();
+        let _g = rcu.read_lock();
+        assert_eq!(
+            rcu.synchronize(&audit),
+            Err(RcuError::SynchronizeInReader)
+        );
+        assert_eq!(audit.count(EventKind::RcuDeadlock), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests for the kernel substrate: the checked address space
+//! behaves like a byte-array oracle, and refcounts never go negative.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use kernel_sim::mem::{KernelMem, Perms};
+use kernel_sim::refcount::{ObjKind, RefTable};
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Write { region: usize, off: u16, data: Vec<u8> },
+    Read { region: usize, off: u16, len: u8 },
+    Fill { region: usize, off: u16, len: u8, byte: u8 },
+    FetchAdd { region: usize, off: u16, delta: u32 },
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (0usize..4, 0u16..512, prop::collection::vec(any::<u8>(), 1..16))
+            .prop_map(|(region, off, data)| MemOp::Write { region, off, data }),
+        (0usize..4, 0u16..512, 1u8..16)
+            .prop_map(|(region, off, len)| MemOp::Read { region, off, len }),
+        (0usize..4, 0u16..512, 1u8..32, any::<u8>())
+            .prop_map(|(region, off, len, byte)| MemOp::Fill { region, off, len, byte }),
+        (0usize..4, 0u16..512, any::<u32>())
+            .prop_map(|(region, off, delta)| MemOp::FetchAdd { region, off, delta }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every in-bounds operation matches a plain Vec<u8> oracle; every
+    /// out-of-bounds operation errors and leaves all state untouched.
+    #[test]
+    fn checked_memory_matches_oracle(sizes in prop::collection::vec(8u64..256, 4),
+                                     ops in prop::collection::vec(mem_op(), 1..80)) {
+        let mem = KernelMem::new();
+        let mut bases = Vec::new();
+        let mut oracle: Vec<Vec<u8>> = Vec::new();
+        for (i, size) in sizes.iter().enumerate() {
+            bases.push(mem.map(&format!("r{i}"), *size, Perms::rw()).unwrap());
+            oracle.push(vec![0u8; *size as usize]);
+        }
+        for op in ops {
+            match op {
+                MemOp::Write { region, off, data } => {
+                    let addr = bases[region] + off as u64;
+                    let fits = off as usize + data.len() <= oracle[region].len();
+                    let result = mem.write_from(addr, &data);
+                    prop_assert_eq!(result.is_ok(), fits);
+                    if fits {
+                        oracle[region][off as usize..off as usize + data.len()]
+                            .copy_from_slice(&data);
+                    }
+                }
+                MemOp::Read { region, off, len } => {
+                    let addr = bases[region] + off as u64;
+                    let fits = off as usize + len as usize <= oracle[region].len();
+                    let result = mem.read_bytes(addr, len as u64);
+                    prop_assert_eq!(result.is_ok(), fits);
+                    if let Ok(bytes) = result {
+                        prop_assert_eq!(
+                            &bytes[..],
+                            &oracle[region][off as usize..off as usize + len as usize]
+                        );
+                    }
+                }
+                MemOp::Fill { region, off, len, byte } => {
+                    let addr = bases[region] + off as u64;
+                    let fits = off as usize + len as usize <= oracle[region].len();
+                    let result = mem.fill(addr, len as u64, byte);
+                    prop_assert_eq!(result.is_ok(), fits);
+                    if fits {
+                        oracle[region][off as usize..off as usize + len as usize].fill(byte);
+                    }
+                }
+                MemOp::FetchAdd { region, off, delta } => {
+                    let addr = bases[region] + off as u64;
+                    let aligned = off % 4 == 0; // We only use 4-byte ops here.
+                    let fits = off as usize + 4 <= oracle[region].len();
+                    let result = mem.fetch_update(addr, 4, |v| (v as u32).wrapping_add(delta) as u64);
+                    prop_assert_eq!(result.is_ok(), fits, "aligned={}", aligned);
+                    if fits {
+                        let old = u32::from_le_bytes(
+                            oracle[region][off as usize..off as usize + 4].try_into().unwrap(),
+                        );
+                        prop_assert_eq!(result.unwrap(), old as u64);
+                        oracle[region][off as usize..off as usize + 4]
+                            .copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
+                    }
+                }
+            }
+        }
+        // Final state identical everywhere.
+        for (i, base) in bases.iter().enumerate() {
+            let bytes = mem.read_bytes(*base, oracle[i].len() as u64).unwrap();
+            prop_assert_eq!(&bytes, &oracle[i]);
+        }
+    }
+
+    /// Regions never alias: a write to one region is invisible to others.
+    #[test]
+    fn regions_are_disjoint(sizes in prop::collection::vec(1u64..128, 2..6),
+                            target in any::<prop::sample::Index>(),
+                            byte in any::<u8>()) {
+        let mem = KernelMem::new();
+        let bases: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, s)| mem.map(&format!("r{i}"), *s, Perms::rw()).unwrap())
+            .collect();
+        let t = target.index(bases.len());
+        mem.fill(bases[t], sizes[t], byte).unwrap();
+        for (i, base) in bases.iter().enumerate() {
+            if i == t {
+                continue;
+            }
+            let bytes = mem.read_bytes(*base, sizes[i]).unwrap();
+            prop_assert!(bytes.iter().all(|b| *b == 0), "region {i} corrupted");
+        }
+    }
+
+    /// Refcount get/put sequences match an integer oracle; underflow is
+    /// always detected and state-preserving.
+    #[test]
+    fn refcounts_match_oracle(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let table = RefTable::default();
+        let obj = table.register(ObjKind::Socket, 1);
+        let mut oracle: u64 = 1;
+        for is_get in ops {
+            if is_get {
+                prop_assert_eq!(table.get(obj).unwrap(), oracle + 1);
+                oracle += 1;
+            } else if oracle == 0 {
+                prop_assert!(table.put(obj).is_err());
+            } else {
+                prop_assert_eq!(table.put(obj).unwrap(), oracle - 1);
+                oracle -= 1;
+            }
+            prop_assert_eq!(table.count(obj), Some(oracle));
+        }
+    }
+}
+
+/// Many regions mapped and unmapped in arbitrary order never confuse the
+/// allocator: live regions stay readable, dead ones fault.
+#[test]
+fn map_unmap_interleaving() {
+    let mem = KernelMem::new();
+    let mut live: HashMap<u64, u64> = HashMap::new();
+    let mut dead: Vec<u64> = Vec::new();
+    for round in 0..50u64 {
+        let base = mem.map(&format!("r{round}"), 16 + round % 32, Perms::rw()).unwrap();
+        live.insert(base, 16 + round % 32);
+        if round % 3 == 0 {
+            let victim = *live.keys().next().unwrap();
+            mem.unmap(victim).unwrap();
+            live.remove(&victim);
+            dead.push(victim);
+        }
+    }
+    for (base, len) in &live {
+        assert!(mem.read_bytes(*base, *len).is_ok());
+    }
+    for base in &dead {
+        assert!(mem.read_u8(*base).is_err());
+    }
+}

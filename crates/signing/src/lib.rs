@@ -1,0 +1,33 @@
+//! Trust-chain substrate for the paper's proposed architecture.
+//!
+//! §3.1 moves safety checking out of the kernel: a trusted userspace
+//! toolchain checks and *signs* extensions; at load time the kernel only
+//! validates the signature against keys enrolled at boot. This crate
+//! provides that chain from scratch: SHA-256 ([`sha256`]), HMAC-SHA256
+//! ([`hmac`]), and the key-store / signature model ([`keys`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use signing::{KeyStore, SigningKey};
+//!
+//! // Boot: enroll the toolchain key, then seal the keyring.
+//! let toolchain_key = SigningKey::derive(42);
+//! let mut keyring = KeyStore::new();
+//! keyring.enroll(&toolchain_key).unwrap();
+//! keyring.seal();
+//!
+//! // Userspace: the toolchain signs a compiled extension.
+//! let artifact = b"...extension bytes...";
+//! let sig = toolchain_key.sign(artifact);
+//!
+//! // Load time: the kernel checks the signature — nothing else.
+//! assert!(keyring.validate(artifact, &sig).is_ok());
+//! assert!(keyring.validate(b"tampered", &sig).is_err());
+//! ```
+
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+
+pub use keys::{KeyId, KeyStore, SigError, Signature, SigningKey};

@@ -1,0 +1,79 @@
+//! `bpf_spin_lock` discipline (~v5.4).
+//!
+//! The verifier grew logic "to check that an eBPF program only holds one
+//! lock at a time and releases the lock before termination" (§2.1, \[48\]).
+//! This module is exactly that logic.
+
+use crate::{
+    checker::{Vctx, Verifier},
+    check_mem::{self, AccessKind},
+    error::VerifyError,
+    types::{RegType, VerifierState},
+};
+
+/// Validates the lock-pointer argument: a non-null map-value pointer with
+/// a constant offset and an 8-byte lock window inside the value.
+fn check_lock_arg(
+    v: &Verifier<'_>,
+    ctx: &mut Vctx<'_>,
+    pc: usize,
+    state: &VerifierState,
+    reg: &RegType,
+    helper: &'static str,
+) -> Result<(), VerifyError> {
+    match reg {
+        RegType::PtrToMapValue {
+            or_null: false,
+            off_lo,
+            off_hi,
+            ..
+        } if off_lo == off_hi => {
+            check_mem::check_region(v, ctx, pc, state, reg, 0, 8, AccessKind::Write).map_err(
+                |e| VerifyError::BadHelperArg {
+                    pc,
+                    helper,
+                    arg: 0,
+                    reason: e.to_string(),
+                },
+            )
+        }
+        other => Err(VerifyError::BadHelperArg {
+            pc,
+            helper,
+            arg: 0,
+            reason: format!("expected map_value lock pointer, got {}", other.name()),
+        }),
+    }
+}
+
+/// Handles `bpf_spin_lock`.
+pub(crate) fn lock(
+    v: &Verifier<'_>,
+    ctx: &mut Vctx<'_>,
+    pc: usize,
+    state: &mut VerifierState,
+) -> Result<(), VerifyError> {
+    let reg = v.read_reg(state, pc, 1)?;
+    check_lock_arg(v, ctx, pc, state, &reg, "bpf_spin_lock")?;
+    if state.lock_held {
+        return Err(VerifyError::DoubleLock { pc });
+    }
+    state.lock_held = true;
+    Ok(())
+}
+
+/// Handles `bpf_spin_unlock`.
+pub(crate) fn unlock(
+    v: &Verifier<'_>,
+    ctx: &mut Vctx<'_>,
+    pc: usize,
+    state: &mut VerifierState,
+) -> Result<(), VerifyError> {
+    let reg = v.read_reg(state, pc, 1)?;
+    check_lock_arg(v, ctx, pc, state, &reg, "bpf_spin_unlock")?;
+    if !state.lock_held {
+        return Err(VerifyError::UnlockWithoutLock { pc });
+    }
+    state.lock_held = false;
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Reference tracking (~v4.20): acquire/release discipline.
+//!
+//! Helpers like `bpf_sk_lookup_tcp` return referenced objects; the
+//! verifier must prove every acquired reference is released (or
+//! null-checked away) on every path before exit. This is the machinery
+//! that the *helper-side* leak bugs of Table 1 silently bypass — the
+//! verifier sees a balanced program while the helper leaks internally.
+
+use crate::{error::VerifyError, types::VerifierState};
+
+/// Records a fresh acquired reference and returns its id.
+pub(crate) fn acquire(state: &mut VerifierState, id: u32) -> u32 {
+    state.acquired_refs.push(id);
+    id
+}
+
+/// Releases reference `id`; rejects double/unknown releases and
+/// invalidates every register alias of the released object.
+pub(crate) fn release(
+    state: &mut VerifierState,
+    pc: usize,
+    id: u32,
+) -> Result<(), VerifyError> {
+    let pos = state
+        .acquired_refs
+        .iter()
+        .position(|r| *r == id)
+        .ok_or(VerifyError::UnreleasedReference { pc })?;
+    state.acquired_refs.remove(pos);
+    state.invalidate_id(id);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegType;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let mut st = VerifierState::entry();
+        acquire(&mut st, 9);
+        assert_eq!(st.acquired_refs, vec![9]);
+        release(&mut st, 0, 9).unwrap();
+        assert!(st.acquired_refs.is_empty());
+    }
+
+    #[test]
+    fn release_unknown_rejected() {
+        let mut st = VerifierState::entry();
+        assert!(release(&mut st, 0, 3).is_err());
+    }
+
+    #[test]
+    fn release_invalidates_aliases() {
+        let mut st = VerifierState::entry();
+        acquire(&mut st, 5);
+        st.set_reg(
+            6,
+            RegType::PtrToSocket {
+                or_null: false,
+                ref_id: 5,
+            },
+        );
+        release(&mut st, 0, 5).unwrap();
+        assert!(matches!(st.reg(6), RegType::NotInit));
+    }
+}

@@ -1,0 +1,83 @@
+//! Ring-buffer helper checking (~v5.10).
+//!
+//! `bpf_ringbuf_reserve` acquires a record that **must** be submitted (or
+//! discarded) on every path — modelled as an acquired reference whose
+//! pointer is the `mem_or_null` return value; `bpf_ringbuf_submit`
+//! releases it and invalidates every alias.
+
+use crate::{
+    check_ref,
+    checker::{Vctx, Verifier},
+    error::VerifyError,
+    scalar::Scalar,
+    types::{RegType, VerifierState},
+};
+
+/// Applies the return-value semantics of `bpf_ringbuf_reserve`.
+///
+/// The reservation size (R2) must be a known constant so the returned
+/// region has a static size.
+pub(crate) fn reserve_ret(
+    v: &Verifier<'_>,
+    ctx: &mut Vctx<'_>,
+    pc: usize,
+    state: &mut VerifierState,
+) -> Result<(), VerifyError> {
+    let size_reg = v.read_reg(state, pc, 2)?;
+    let size = match size_reg {
+        RegType::Scalar(Scalar { .. }) => match size_reg {
+            RegType::Scalar(s) => s.const_val(),
+            _ => None,
+        },
+        _ => None,
+    }
+    .ok_or_else(|| VerifyError::BadHelperArg {
+        pc,
+        helper: "bpf_ringbuf_reserve",
+        arg: 1,
+        reason: "reservation size must be a known constant".into(),
+    })?;
+    if size == 0 {
+        return Err(VerifyError::BadHelperArg {
+            pc,
+            helper: "bpf_ringbuf_reserve",
+            arg: 1,
+            reason: "zero-size reservation".into(),
+        });
+    }
+    let id = ctx.fresh_id();
+    check_ref::acquire(state, id);
+    state.set_reg(
+        0,
+        RegType::PtrToMem {
+            size,
+            or_null: true,
+            id,
+        },
+    );
+    Ok(())
+}
+
+/// Applies `bpf_ringbuf_submit`: releases the record in R1.
+pub(crate) fn submit(
+    v: &Verifier<'_>,
+    pc: usize,
+    state: &mut VerifierState,
+) -> Result<(), VerifyError> {
+    let rec = v.read_reg(state, pc, 1)?;
+    match rec {
+        RegType::PtrToMem {
+            or_null: false, id, ..
+        } => {
+            check_ref::release(state, pc, id)?;
+            state.set_reg(0, RegType::unknown());
+            Ok(())
+        }
+        other => Err(VerifyError::BadHelperArg {
+            pc,
+            helper: "bpf_ringbuf_submit",
+            arg: 0,
+            reason: format!("expected non-null ringbuf record, got {}", other.name()),
+        }),
+    }
+}

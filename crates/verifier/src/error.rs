@@ -1,0 +1,261 @@
+//! Verifier rejection reasons.
+
+/// Why the verifier rejected a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program has no instructions.
+    EmptyProgram,
+    /// The program exceeds the instruction-count limit.
+    ProgramTooLarge {
+        /// Program length in slots.
+        len: usize,
+        /// The limit.
+        limit: usize,
+    },
+    /// Exploration exhausted the processed-instruction budget — the
+    /// verifier's fundamental scalability limit (§2.1).
+    TooComplex {
+        /// Instructions processed before giving up.
+        insns_processed: u64,
+    },
+    /// An undecodable or unsupported instruction.
+    BadInstruction {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// Read of an uninitialized register.
+    UninitializedRead {
+        /// Offending pc.
+        pc: usize,
+        /// Register number.
+        reg: u8,
+    },
+    /// Write to the read-only frame pointer.
+    FramePointerWrite {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// A memory access the verifier cannot prove safe.
+    BadMemAccess {
+        /// Offending pc.
+        pc: usize,
+        /// Diagnostic.
+        reason: String,
+    },
+    /// Disallowed pointer arithmetic.
+    PointerArithmetic {
+        /// Offending pc.
+        pc: usize,
+        /// Diagnostic.
+        reason: String,
+    },
+    /// A pointer would escape into unverified visibility (stored to a
+    /// map, returned, leaked via atomics, ...).
+    PointerLeak {
+        /// Offending pc.
+        pc: usize,
+        /// Diagnostic.
+        reason: String,
+    },
+    /// Context access outside the known fields.
+    BadCtxAccess {
+        /// Offending pc.
+        pc: usize,
+        /// Byte offset attempted.
+        off: i64,
+    },
+    /// A helper argument does not satisfy its declared type.
+    BadHelperArg {
+        /// Offending pc.
+        pc: usize,
+        /// Helper name.
+        helper: &'static str,
+        /// Argument index (0-based).
+        arg: u8,
+        /// Diagnostic.
+        reason: String,
+    },
+    /// Call to a helper id not in the registry.
+    UnknownHelper {
+        /// Offending pc.
+        pc: usize,
+        /// Helper id.
+        id: u32,
+    },
+    /// Helper exists but the active feature set does not support it.
+    HelperNotSupported {
+        /// Offending pc.
+        pc: usize,
+        /// Helper name.
+        helper: &'static str,
+    },
+    /// Malformed call instruction or bad call target.
+    BadCall {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// bpf2bpf call nesting exceeds the depth limit.
+    CallDepthExceeded {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// bpf2bpf calls present but the feature is disabled.
+    CallsNotSupported {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// A back edge was found and bounded loops are disabled.
+    BackEdge {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// The path revisited a program point with no abstract progress: the
+    /// loop cannot be proven to terminate (the kernel's "infinite loop
+    /// detected").
+    InfiniteLoop {
+        /// The loop head.
+        pc: usize,
+    },
+    /// Program can exit while still holding acquired references.
+    UnreleasedReference {
+        /// Offending pc (the exit site).
+        pc: usize,
+    },
+    /// Program can exit while holding the spin lock.
+    LockNotReleased {
+        /// Offending pc (the exit site).
+        pc: usize,
+    },
+    /// A second `bpf_spin_lock` while one is held.
+    DoubleLock {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// `bpf_spin_unlock` without a held lock.
+    UnlockWithoutLock {
+        /// Offending pc.
+        pc: usize,
+    },
+    /// The program's return value violates the program-type contract.
+    BadReturnValue {
+        /// Offending pc.
+        pc: usize,
+        /// Diagnostic.
+        reason: String,
+    },
+    /// An `ld_map_fd` referenced an fd not in the registry.
+    BadMapFd {
+        /// Offending pc.
+        pc: usize,
+        /// The fd.
+        fd: u32,
+    },
+    /// A speculative-execution gadget that the hardening pass rejects.
+    SpeculationGadget {
+        /// Offending pc.
+        pc: usize,
+        /// Diagnostic.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::EmptyProgram => write!(f, "empty program"),
+            VerifyError::ProgramTooLarge { len, limit } => {
+                write!(f, "program too large: {len} insns (limit {limit})")
+            }
+            VerifyError::TooComplex { insns_processed } => write!(
+                f,
+                "BPF program is too large. Processed {insns_processed} insn"
+            ),
+            VerifyError::BadInstruction { pc } => write!(f, "invalid instruction at {pc}"),
+            VerifyError::UninitializedRead { pc, reg } => {
+                write!(f, "R{reg} !read_ok at insn {pc}")
+            }
+            VerifyError::FramePointerWrite { pc } => {
+                write!(f, "frame pointer is read only (insn {pc})")
+            }
+            VerifyError::BadMemAccess { pc, reason } => {
+                write!(f, "invalid mem access at insn {pc}: {reason}")
+            }
+            VerifyError::PointerArithmetic { pc, reason } => {
+                write!(f, "invalid pointer arithmetic at insn {pc}: {reason}")
+            }
+            VerifyError::PointerLeak { pc, reason } => {
+                write!(f, "pointer leak at insn {pc}: {reason}")
+            }
+            VerifyError::BadCtxAccess { pc, off } => {
+                write!(f, "invalid bpf_context access off={off} at insn {pc}")
+            }
+            VerifyError::BadHelperArg {
+                pc,
+                helper,
+                arg,
+                reason,
+            } => write!(f, "{helper} arg{} at insn {pc}: {reason}", arg + 1),
+            VerifyError::UnknownHelper { pc, id } => {
+                write!(f, "invalid func id {id} at insn {pc}")
+            }
+            VerifyError::HelperNotSupported { pc, helper } => {
+                write!(f, "helper {helper} not supported by this kernel (insn {pc})")
+            }
+            VerifyError::BadCall { pc } => write!(f, "invalid call at insn {pc}"),
+            VerifyError::CallDepthExceeded { pc } => {
+                write!(f, "the call stack of 8 frames is too deep (insn {pc})")
+            }
+            VerifyError::CallsNotSupported { pc } => {
+                write!(f, "bpf2bpf calls not supported by this kernel (insn {pc})")
+            }
+            VerifyError::BackEdge { pc } => write!(f, "back-edge at insn {pc}"),
+            VerifyError::InfiniteLoop { pc } => {
+                write!(f, "infinite loop detected at insn {pc}")
+            }
+            VerifyError::UnreleasedReference { pc } => {
+                write!(f, "Unreleased reference at exit (insn {pc})")
+            }
+            VerifyError::LockNotReleased { pc } => {
+                write!(f, "bpf_spin_lock is not released at exit (insn {pc})")
+            }
+            VerifyError::DoubleLock { pc } => {
+                write!(f, "second bpf_spin_lock while one is held (insn {pc})")
+            }
+            VerifyError::UnlockWithoutLock { pc } => {
+                write!(f, "bpf_spin_unlock without a held lock (insn {pc})")
+            }
+            VerifyError::BadReturnValue { pc, reason } => {
+                write!(f, "invalid return value at insn {pc}: {reason}")
+            }
+            VerifyError::BadMapFd { pc, fd } => {
+                write!(f, "fd {fd} is not pointing to valid bpf_map (insn {pc})")
+            }
+            VerifyError::SpeculationGadget { pc, reason } => {
+                write!(f, "speculation hardening rejected insn {pc}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VerifyError::TooComplex {
+            insns_processed: 1_000_001,
+        };
+        assert!(e.to_string().contains("1000001"));
+        let e = VerifyError::BadHelperArg {
+            pc: 3,
+            helper: "bpf_map_lookup_elem",
+            arg: 1,
+            reason: "expected map pointer".into(),
+        };
+        assert!(e.to_string().contains("arg2"));
+        assert!(e.to_string().contains("bpf_map_lookup_elem"));
+    }
+}

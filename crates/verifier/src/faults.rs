@@ -1,0 +1,68 @@
+//! Injectable replicas of documented verifier bugs.
+//!
+//! §2.1's claim is that verifier bugs let unsafe programs through. Each
+//! toggle below re-opens one documented hole; the exploit gallery in the
+//! workspace `tests/` proves that the corresponding attack program (a)
+//! passes verification with the bug present, (b) is rejected with the bug
+//! fixed, and (c) violates the promised safety property at runtime.
+
+/// Which documented verifier bugs are present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifierFaults {
+    /// CVE-2022-23222 replica: pointer arithmetic permitted on
+    /// `*_or_null` pointer types before the null check, letting a NULL be
+    /// offset into an attacker-chosen "pointer" that then passes the
+    /// non-zero check.
+    pub ptr_arith_on_or_null: bool,
+    /// CVE-2021-31440 replica: 32-bit conditional jumps incorrectly
+    /// narrow the **64-bit** bounds, so a value with attacker-controlled
+    /// high bits is believed small.
+    pub jmp32_narrows_64bit_bounds: bool,
+    /// Bounds-propagation gap replica (\[15\], fixed July 2022): scalar
+    /// ADD/SUB bounds are computed with wrapping arithmetic and no
+    /// overflow fallback, so a wrap makes a huge value look tiny.
+    pub bounds_overflow_gap: bool,
+    /// Kernel-pointer leak via atomics replica (\[13\]\[14\], fixed Dec
+    /// 2021): `BPF_CMPXCHG`/fetch on a stack slot holding a spilled
+    /// pointer returns the pointer as a plain scalar.
+    pub atomic_pointer_leak: bool,
+}
+
+impl VerifierFaults {
+    /// All documented bugs present (the historical kernel).
+    pub const fn shipped() -> Self {
+        VerifierFaults {
+            ptr_arith_on_or_null: true,
+            jmp32_narrows_64bit_bounds: true,
+            bounds_overflow_gap: true,
+            atomic_pointer_leak: true,
+        }
+    }
+
+    /// All fixed.
+    pub const fn patched() -> Self {
+        VerifierFaults {
+            ptr_arith_on_or_null: false,
+            jmp32_narrows_64bit_bounds: false,
+            bounds_overflow_gap: false,
+            atomic_pointer_leak: false,
+        }
+    }
+}
+
+impl Default for VerifierFaults {
+    fn default() -> Self {
+        Self::patched()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ() {
+        assert_ne!(VerifierFaults::shipped(), VerifierFaults::patched());
+        assert!(!VerifierFaults::default().ptr_arith_on_or_null);
+    }
+}

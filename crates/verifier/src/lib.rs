@@ -1,0 +1,75 @@
+//! An in-kernel-style static verifier for the eBPF baseline.
+//!
+//! This crate is a working model of `kernel/bpf/verifier.c`: symbolic
+//! exploration of every program path over an abstract domain of tristate
+//! numbers and min/max bounds, typed pointers (context, stack, map
+//! values, packets, sockets, ring-buffer records), reference and lock
+//! discipline, state pruning, and hard complexity limits.
+//!
+//! It exists so the paper's §2.1 claims are *mechanically reproducible*:
+//!
+//! * the verifier is organized as accreting feature stages
+//!   ([`features::VerifierFeatures`]) whose source growth regenerates
+//!   Figure 2;
+//! * verification cost scales with explored paths and loop iterations,
+//!   hitting [`limits::VerifierLimits::max_insns_processed`] —
+//!   reproducing "verification is expensive";
+//! * documented verifier CVEs are replicated as [`faults::VerifierFaults`]
+//!   toggles, so unsafe programs demonstrably pass a buggy verifier.
+//!
+//! # Examples
+//!
+//! ```
+//! use ebpf::asm::Asm;
+//! use ebpf::insn::Reg;
+//! use ebpf::helpers::HelperRegistry;
+//! use ebpf::maps::MapRegistry;
+//! use ebpf::program::{ProgType, Program};
+//! use verifier::Verifier;
+//!
+//! let maps = MapRegistry::default();
+//! let helpers = HelperRegistry::standard();
+//! let verifier = Verifier::new(&maps, &helpers);
+//!
+//! let good = Program::new(
+//!     "ok",
+//!     ProgType::SocketFilter,
+//!     Asm::new().mov64_imm(Reg::R0, 0).exit().build().unwrap(),
+//! );
+//! assert!(verifier.verify(&good).is_ok());
+//!
+//! // Reading R3 before writing it is rejected.
+//! let bad = Program::new(
+//!     "bad",
+//!     ProgType::SocketFilter,
+//!     Asm::new().mov64_reg(Reg::R0, Reg::R3).exit().build().unwrap(),
+//! );
+//! assert!(verifier.verify(&bad).is_err());
+//! ```
+
+mod check_call;
+mod check_lock;
+mod check_loop_helper;
+mod check_mem;
+mod check_packet;
+mod check_ref;
+mod check_ringbuf;
+mod checker;
+
+pub mod error;
+pub mod faults;
+pub mod features;
+pub mod limits;
+pub mod loops;
+pub mod scalar;
+pub mod spec;
+pub mod stats;
+pub mod tnum;
+pub mod types;
+
+pub use checker::{Verification, Verifier};
+pub use error::VerifyError;
+pub use faults::VerifierFaults;
+pub use features::VerifierFeatures;
+pub use limits::VerifierLimits;
+pub use stats::VerifStats;

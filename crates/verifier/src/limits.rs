@@ -1,0 +1,73 @@
+//! Verifier complexity limits.
+//!
+//! §2.1: "Since the verifier needs to evaluate all possible execution
+//! paths, it has to limit the eBPF program size and complexity to complete
+//! the verification in time." These are those limits, with the kernel's
+//! values as defaults.
+
+/// Complexity limits applied during verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifierLimits {
+    /// Maximum program length in instruction slots (`BPF_MAXINSNS`-era
+    /// limit was 4096; privileged modern kernels allow 1M).
+    pub max_prog_len: usize,
+    /// Maximum instructions processed across all explored paths
+    /// (`BPF_COMPLEXITY_LIMIT_INSNS`, 1M in the kernel).
+    pub max_insns_processed: u64,
+    /// Maximum verifier states kept per instruction for pruning.
+    pub max_states_per_insn: usize,
+    /// Maximum bpf2bpf call depth (8 in the kernel).
+    pub max_call_depth: usize,
+}
+
+impl VerifierLimits {
+    /// Modern privileged-kernel limits.
+    pub const fn modern() -> Self {
+        VerifierLimits {
+            max_prog_len: 1_000_000,
+            max_insns_processed: 1_000_000,
+            max_states_per_insn: 64,
+            max_call_depth: 8,
+        }
+    }
+
+    /// The historical unprivileged limits (4096 instructions).
+    pub const fn unprivileged() -> Self {
+        VerifierLimits {
+            max_prog_len: 4096,
+            max_insns_processed: 131_072,
+            max_states_per_insn: 64,
+            max_call_depth: 8,
+        }
+    }
+
+    /// Tiny limits for tests that exercise the rejection paths.
+    pub const fn tiny() -> Self {
+        VerifierLimits {
+            max_prog_len: 64,
+            max_insns_processed: 512,
+            max_states_per_insn: 8,
+            max_call_depth: 2,
+        }
+    }
+}
+
+impl Default for VerifierLimits {
+    fn default() -> Self {
+        Self::modern()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let modern = VerifierLimits::modern();
+        let unpriv = VerifierLimits::unprivileged();
+        assert!(unpriv.max_prog_len < modern.max_prog_len);
+        assert!(unpriv.max_insns_processed < modern.max_insns_processed);
+        assert_eq!(modern.max_call_depth, 8);
+    }
+}

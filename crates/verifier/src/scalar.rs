@@ -1,0 +1,767 @@
+//! Abstract scalar values: tnum plus signed/unsigned min-max bounds.
+//!
+//! This mirrors the scalar portion of the kernel's `bpf_reg_state`: each
+//! scalar register carries a [`Tnum`] and four bounds (`umin/umax`,
+//! `smin/smax`), kept mutually consistent by [`Scalar::normalize`]. The
+//! ALU transfer functions and conditional-branch refinement implemented
+//! here are the machinery whose subtle interactions produced several of
+//! the Table-1 verifier CVEs — two of which are replicated as toggles in
+//! [`crate::faults`].
+
+use crate::tnum::Tnum;
+
+/// An abstract scalar value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scalar {
+    /// Bit-level knowledge.
+    pub tnum: Tnum,
+    /// Minimum as unsigned.
+    pub umin: u64,
+    /// Maximum as unsigned.
+    pub umax: u64,
+    /// Minimum as signed.
+    pub smin: i64,
+    /// Maximum as signed.
+    pub smax: i64,
+}
+
+impl Scalar {
+    /// The completely unknown scalar.
+    pub const UNKNOWN: Scalar = Scalar {
+        tnum: Tnum::UNKNOWN,
+        umin: 0,
+        umax: u64::MAX,
+        smin: i64::MIN,
+        smax: i64::MAX,
+    };
+
+    /// The constant `v`.
+    pub fn constant(v: u64) -> Self {
+        Scalar {
+            tnum: Tnum::constant(v),
+            umin: v,
+            umax: v,
+            smin: v as i64,
+            smax: v as i64,
+        }
+    }
+
+    /// A scalar known to lie in the unsigned range `[umin, umax]`.
+    pub fn from_urange(umin: u64, umax: u64) -> Self {
+        let mut s = Scalar {
+            tnum: Tnum::range(umin, umax),
+            umin,
+            umax,
+            smin: i64::MIN,
+            smax: i64::MAX,
+        };
+        s.normalize();
+        s
+    }
+
+    /// Whether this is a single concrete value.
+    pub fn is_const(&self) -> bool {
+        self.umin == self.umax
+    }
+
+    /// The concrete value, if constant.
+    pub fn const_val(&self) -> Option<u64> {
+        self.is_const().then_some(self.umin)
+    }
+
+    /// Whether the value is provably non-zero.
+    pub fn is_nonzero(&self) -> bool {
+        self.umin > 0 || !self.tnum.contains(0)
+    }
+
+    /// Makes the four bounds and the tnum mutually consistent
+    /// (the kernel's `__update_reg_bounds` + `__reg_deduce_bounds`).
+    pub fn normalize(&mut self) {
+        // Bounds from tnum.
+        self.umin = self.umin.max(self.tnum.umin());
+        self.umax = self.umax.min(self.tnum.umax());
+        // Unsigned and signed bounds inform each other when the sign bit
+        // is fixed across the range.
+        if (self.umin as i64) <= (self.umax as i64) {
+            // The unsigned range does not straddle the sign boundary.
+            self.smin = self.smin.max(self.umin as i64);
+            self.smax = self.smax.min(self.umax as i64);
+        }
+        if self.smin >= 0 {
+            self.umin = self.umin.max(self.smin as u64);
+            self.umax = self.umax.min(self.smax.max(0) as u64);
+        }
+        // Degenerate (empty) ranges collapse to unknown rather than UB;
+        // real verifier treats impossible states as dead paths, handled by
+        // callers here.
+        if self.umin > self.umax || self.smin > self.smax {
+            *self = Scalar::UNKNOWN;
+        }
+        // Tighten tnum from unsigned bounds.
+        self.tnum = self.tnum.intersect(Tnum::range(self.umin, self.umax));
+        if self.tnum.is_const() {
+            let v = self.tnum.value;
+            self.umin = v;
+            self.umax = v;
+            self.smin = v as i64;
+            self.smax = v as i64;
+        }
+    }
+
+    /// Whether every concrete value of `self` is admitted by `other`
+    /// (used for state-pruning subsumption).
+    pub fn is_subset_of(&self, other: &Scalar) -> bool {
+        self.umin >= other.umin
+            && self.umax <= other.umax
+            && self.smin >= other.smin
+            && self.smax <= other.smax
+            && self.tnum.is_subset_of(other.tnum)
+    }
+
+    /// Whether `v` is admitted by this abstract value.
+    pub fn contains(&self, v: u64) -> bool {
+        self.tnum.contains(v)
+            && v >= self.umin
+            && v <= self.umax
+            && (v as i64) >= self.smin
+            && (v as i64) <= self.smax
+    }
+
+    /// Truncation to the low 32 bits, zero-extended (ALU32 results).
+    pub fn cast32(&self) -> Self {
+        let tnum = self.tnum.cast(4);
+        let mut s = Scalar {
+            tnum,
+            umin: 0,
+            umax: u32::MAX as u64,
+            smin: 0,
+            smax: u32::MAX as i64,
+        };
+        // If the original fits in 32 bits, bounds carry over.
+        if self.umax <= u32::MAX as u64 {
+            s.umin = self.umin;
+            s.umax = self.umax;
+        }
+        s.normalize();
+        s
+    }
+}
+
+/// 64-bit ALU transfer function on abstract scalars.
+pub fn alu64(op: u8, dst: Scalar, src: Scalar) -> Scalar {
+    use ebpf::insn::*;
+    let mut out = match op {
+        BPF_MOV => src,
+        BPF_ADD => {
+            let tnum = dst.tnum.add(src.tnum);
+            let (umin, o1) = dst.umin.overflowing_add(src.umin);
+            let (umax, o2) = dst.umax.overflowing_add(src.umax);
+            let (smin, so1) = dst.smin.overflowing_add(src.smin);
+            let (smax, so2) = dst.smax.overflowing_add(src.smax);
+            Scalar {
+                tnum,
+                umin: if o1 || o2 { 0 } else { umin },
+                umax: if o1 || o2 { u64::MAX } else { umax },
+                smin: if so1 || so2 { i64::MIN } else { smin },
+                smax: if so1 || so2 { i64::MAX } else { smax },
+            }
+        }
+        BPF_SUB => {
+            let tnum = dst.tnum.sub(src.tnum);
+            let (umin, o1) = dst.umin.overflowing_sub(src.umax);
+            let (umax, o2) = dst.umax.overflowing_sub(src.umin);
+            let (smin, so1) = dst.smin.overflowing_sub(src.smax);
+            let (smax, so2) = dst.smax.overflowing_sub(src.smin);
+            Scalar {
+                tnum,
+                umin: if o1 || o2 { 0 } else { umin },
+                umax: if o1 || o2 { u64::MAX } else { umax },
+                smin: if so1 || so2 { i64::MIN } else { smin },
+                smax: if so1 || so2 { i64::MAX } else { smax },
+            }
+        }
+        BPF_MUL => {
+            let tnum = dst.tnum.mul(src.tnum);
+            match (dst.const_val(), src.const_val()) {
+                (Some(a), Some(b)) => Scalar::constant(a.wrapping_mul(b)),
+                _ => {
+                    // Bounded only when the product cannot overflow.
+                    match dst.umax.checked_mul(src.umax) {
+                        Some(umax) => {
+                            let mut s = Scalar {
+                                tnum,
+                                umin: dst.umin.saturating_mul(src.umin),
+                                umax,
+                                smin: 0,
+                                smax: umax.i64saturate(),
+                            };
+                            s.normalize();
+                            return s;
+                        }
+                        None => Scalar {
+                            tnum,
+                            ..Scalar::UNKNOWN
+                        },
+                    }
+                }
+            }
+        }
+        BPF_AND => {
+            let tnum = dst.tnum.and(src.tnum);
+            Scalar {
+                tnum,
+                umin: tnum.umin(),
+                umax: tnum.umax().min(dst.umax.min(src.umax)),
+                smin: i64::MIN,
+                smax: i64::MAX,
+            }
+        }
+        BPF_OR => {
+            let tnum = dst.tnum.or(src.tnum);
+            Scalar {
+                tnum,
+                umin: tnum.umin().max(dst.umin.max(src.umin)),
+                umax: tnum.umax(),
+                smin: i64::MIN,
+                smax: i64::MAX,
+            }
+        }
+        BPF_XOR => {
+            let tnum = dst.tnum.xor(src.tnum);
+            Scalar {
+                tnum,
+                umin: tnum.umin(),
+                umax: tnum.umax(),
+                smin: i64::MIN,
+                smax: i64::MAX,
+            }
+        }
+        BPF_LSH => match src.const_val() {
+            Some(shift) if shift < 64 => {
+                let tnum = dst.tnum.lshift(shift as u32);
+                let overflow = shift > dst.umax.leading_zeros() as u64;
+                Scalar {
+                    tnum,
+                    umin: if overflow { 0 } else { dst.umin << shift },
+                    umax: if overflow { u64::MAX } else { dst.umax << shift },
+                    smin: i64::MIN,
+                    smax: i64::MAX,
+                }
+            }
+            _ => Scalar::UNKNOWN,
+        },
+        BPF_RSH => match src.const_val() {
+            Some(shift) if shift < 64 => {
+                let tnum = dst.tnum.rshift(shift as u32);
+                Scalar {
+                    tnum,
+                    umin: dst.umin >> shift,
+                    umax: dst.umax >> shift,
+                    smin: 0,
+                    smax: (dst.umax >> shift).i64saturate(),
+                }
+            }
+            _ => Scalar::UNKNOWN,
+        },
+        BPF_ARSH => match src.const_val() {
+            Some(shift) if shift < 64 => {
+                let tnum = dst.tnum.arshift(shift as u32);
+                Scalar {
+                    tnum,
+                    umin: 0,
+                    umax: u64::MAX,
+                    smin: dst.smin >> shift,
+                    smax: dst.smax >> shift,
+                }
+            }
+            _ => Scalar::UNKNOWN,
+        },
+        BPF_DIV => match src.const_val() {
+            Some(0) => Scalar::constant(0),
+            Some(d) => Scalar {
+                tnum: Tnum::UNKNOWN,
+                umin: dst.umin / d,
+                umax: dst.umax / d,
+                smin: 0,
+                smax: (dst.umax / d).i64saturate(),
+            },
+            None => Scalar {
+                tnum: Tnum::UNKNOWN,
+                umin: 0,
+                umax: dst.umax,
+                smin: 0,
+                smax: dst.umax.i64saturate(),
+            },
+        },
+        BPF_MOD => match src.const_val() {
+            Some(0) => dst,
+            Some(d) => Scalar::from_urange(0, (d - 1).min(dst.umax)),
+            None => Scalar::from_urange(0, src.umax.saturating_sub(1).max(dst.umax)),
+        },
+        BPF_NEG => match dst.const_val() {
+            Some(v) => Scalar::constant((v as i64).wrapping_neg() as u64),
+            None => Scalar::UNKNOWN,
+        },
+        _ => Scalar::UNKNOWN,
+    };
+    out.normalize();
+    out
+}
+
+/// The bounds-propagation-gap bug replica (\[15\], fixed July 2022): ADD and
+/// SUB bounds computed with wrapping arithmetic and **no overflow
+/// fallback** — when the true maximum wraps past 2^64, the verifier is
+/// left believing the value is tiny.
+///
+/// Only meaningful when enabled through
+/// [`crate::faults::VerifierFaults::bounds_overflow_gap`].
+pub fn alu64_buggy_wrap(op: u8, dst: Scalar, src: Scalar) -> Scalar {
+    use ebpf::insn::{BPF_ADD, BPF_SUB};
+    let mut out = match op {
+        BPF_ADD => {
+            let (umin, omin) = dst.umin.overflowing_add(src.umin);
+            let (umax, omax) = dst.umax.overflowing_add(src.umax);
+            Scalar {
+                tnum: dst.tnum.add(src.tnum),
+                // BUG: keep the wrapped maximum; reset the minimum so the
+                // resulting (bogus) range is internally consistent and
+                // survives normalization.
+                umin: if omax || omin { 0 } else { umin },
+                umax,
+                smin: i64::MIN,
+                smax: i64::MAX,
+            }
+        }
+        BPF_SUB => {
+            let (umin, _) = dst.umin.overflowing_sub(src.umax);
+            let (umax, o) = dst.umax.overflowing_sub(src.umin);
+            Scalar {
+                tnum: dst.tnum.sub(src.tnum),
+                umin: if o { 0 } else { umin.min(umax) },
+                umax,
+                smin: i64::MIN,
+                smax: i64::MAX,
+            }
+        }
+        _ => return alu64(op, dst, src),
+    };
+    // Deliberately skip tnum re-tightening: intersecting the (correct)
+    // tnum with the bogus range would expose the inconsistency.
+    if out.umin > out.umax {
+        out.umin = 0;
+    }
+    // BUG continued: derive the *signed* bounds from the bogus unsigned
+    // range, so downstream pointer arithmetic trusts them too.
+    if out.umax <= i64::MAX as u64 {
+        out.smin = out.umin as i64;
+        out.smax = out.umax as i64;
+    }
+    out
+}
+
+/// 32-bit ALU transfer function: operate in 32 bits, zero-extend.
+pub fn alu32(op: u8, dst: Scalar, src: Scalar) -> Scalar {
+    let d = dst.cast32();
+    let s = src.cast32();
+    let wide = alu64(op, d, s);
+    wide.cast32()
+}
+
+#[allow(non_camel_case_types)]
+trait i64saturateExt {
+    fn i64saturate(self) -> i64;
+}
+
+impl i64saturateExt for u64 {
+    fn i64saturate(self) -> i64 {
+        i64::try_from(self).unwrap_or(i64::MAX)
+    }
+}
+
+/// Refines `(dst, src)` for a conditional branch `dst <op> src`.
+///
+/// Returns the refined pair for the **taken** branch when `taken` is true,
+/// or for the fall-through branch otherwise. `None` means the branch is
+/// impossible (dead path).
+pub fn refine_branch(
+    op: u8,
+    dst: Scalar,
+    src: Scalar,
+    taken: bool,
+) -> Option<(Scalar, Scalar)> {
+    use ebpf::insn::*;
+    // Normalize everything to "effective op under `taken`".
+    let eff = if taken { op } else { invert_jmp(op)? };
+    let (mut d, mut s) = (dst, src);
+    match eff {
+        BPF_JEQ => {
+            // Intersect both.
+            let umin = d.umin.max(s.umin);
+            let umax = d.umax.min(s.umax);
+            let smin = d.smin.max(s.smin);
+            let smax = d.smax.min(s.smax);
+            if umin > umax || smin > smax {
+                return None;
+            }
+            let tnum = d.tnum.intersect(s.tnum);
+            d = Scalar {
+                tnum,
+                umin,
+                umax,
+                smin,
+                smax,
+            };
+            s = d;
+        }
+        BPF_JNE => {
+            // Only useful when one side is a constant at a range edge.
+            if let Some(v) = s.const_val() {
+                if d.is_const() && d.umin == v {
+                    return None;
+                }
+                if d.umin == v {
+                    d.umin += 1;
+                }
+                if d.umax == v {
+                    d.umax -= 1;
+                }
+                if d.smin == v as i64 {
+                    d.smin += 1;
+                }
+                if d.smax == v as i64 {
+                    d.smax -= 1;
+                }
+            }
+        }
+        BPF_JGT => {
+            if d.umax <= s.umin {
+                return None;
+            }
+            d.umin = d.umin.max(s.umin.saturating_add(1));
+            s.umax = s.umax.min(d.umax.saturating_sub(1));
+        }
+        BPF_JGE => {
+            if d.umax < s.umin {
+                return None;
+            }
+            d.umin = d.umin.max(s.umin);
+            s.umax = s.umax.min(d.umax);
+        }
+        BPF_JLT => {
+            if d.umin >= s.umax {
+                return None;
+            }
+            d.umax = d.umax.min(s.umax.saturating_sub(1));
+            s.umin = s.umin.max(d.umin.saturating_add(1));
+        }
+        BPF_JLE => {
+            if d.umin > s.umax {
+                return None;
+            }
+            d.umax = d.umax.min(s.umax);
+            s.umin = s.umin.max(d.umin);
+        }
+        BPF_JSGT => {
+            if d.smax <= s.smin {
+                return None;
+            }
+            d.smin = d.smin.max(s.smin.saturating_add(1));
+            s.smax = s.smax.min(d.smax.saturating_sub(1));
+        }
+        BPF_JSGE => {
+            if d.smax < s.smin {
+                return None;
+            }
+            d.smin = d.smin.max(s.smin);
+            s.smax = s.smax.min(d.smax);
+        }
+        BPF_JSLT => {
+            if d.smin >= s.smax {
+                return None;
+            }
+            d.smax = d.smax.min(s.smax.saturating_sub(1));
+            s.smin = s.smin.max(d.smin.saturating_add(1));
+        }
+        BPF_JSLE => {
+            if d.smin > s.smax {
+                return None;
+            }
+            d.smax = d.smax.min(s.smax);
+            s.smin = s.smin.max(d.smin);
+        }
+        BPF_JSET => {
+            // taken: dst & src != 0. Weak refinement: if src is constant
+            // and dst's possible bits miss it entirely, dead.
+            if let Some(v) = s.const_val() {
+                if d.tnum.umax() & v == 0 {
+                    return None;
+                }
+            }
+        }
+        x if x == JSET_NOT_TAKEN => {
+            // !(dst & src): if src const and dst *must* intersect, dead.
+            if let Some(v) = s.const_val() {
+                if d.tnum.value & v != 0 {
+                    return None;
+                }
+                // Known-zero those bits.
+                d.tnum = d.tnum.and(Tnum::constant(!v));
+            }
+        }
+        _ => {}
+    }
+    d.normalize();
+    s.normalize();
+    Some((d, s))
+}
+
+/// Sentinel op for the fall-through of JSET (it has no dual in the ISA).
+const JSET_NOT_TAKEN: u8 = 0xfe;
+
+fn invert_jmp(op: u8) -> Option<u8> {
+    use ebpf::insn::*;
+    Some(match op {
+        BPF_JEQ => BPF_JNE,
+        BPF_JNE => BPF_JEQ,
+        BPF_JGT => BPF_JLE,
+        BPF_JGE => BPF_JLT,
+        BPF_JLT => BPF_JGE,
+        BPF_JLE => BPF_JGT,
+        BPF_JSGT => BPF_JSLE,
+        BPF_JSGE => BPF_JSLT,
+        BPF_JSLT => BPF_JSGE,
+        BPF_JSLE => BPF_JSGT,
+        BPF_JSET => JSET_NOT_TAKEN,
+        _ => return None,
+    })
+}
+
+/// Evaluates whether the branch outcome is statically known.
+///
+/// Returns `Some(true)` when always taken, `Some(false)` when never taken,
+/// `None` when both outcomes are possible.
+pub fn branch_known(op: u8, dst: &Scalar, src: &Scalar) -> Option<bool> {
+    use ebpf::insn::*;
+    match op {
+        BPF_JEQ => {
+            if let (Some(a), Some(b)) = (dst.const_val(), src.const_val()) {
+                return Some(a == b);
+            }
+            if dst.umax < src.umin || dst.umin > src.umax {
+                return Some(false);
+            }
+            None
+        }
+        BPF_JNE => branch_known(BPF_JEQ, dst, src).map(|b| !b),
+        BPF_JGT => {
+            if dst.umin > src.umax {
+                Some(true)
+            } else if dst.umax <= src.umin {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        BPF_JGE => {
+            if dst.umin >= src.umax {
+                Some(true)
+            } else if dst.umax < src.umin {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        BPF_JLT => branch_known(BPF_JGE, dst, src).map(|b| !b),
+        BPF_JLE => branch_known(BPF_JGT, dst, src).map(|b| !b),
+        BPF_JSGT => {
+            if dst.smin > src.smax {
+                Some(true)
+            } else if dst.smax <= src.smin {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        BPF_JSGE => {
+            if dst.smin >= src.smax {
+                Some(true)
+            } else if dst.smax < src.smin {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        BPF_JSLT => branch_known(BPF_JSGE, dst, src).map(|b| !b),
+        BPF_JSLE => branch_known(BPF_JSGT, dst, src).map(|b| !b),
+        BPF_JSET => {
+            if let Some(v) = src.const_val() {
+                if dst.tnum.umax() & v == 0 {
+                    return Some(false);
+                }
+                if dst.tnum.value & v != 0 {
+                    return Some(true);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebpf::insn::*;
+
+    #[test]
+    fn constant_arithmetic() {
+        let s = alu64(BPF_ADD, Scalar::constant(40), Scalar::constant(2));
+        assert_eq!(s.const_val(), Some(42));
+        let s = alu64(BPF_MUL, Scalar::constant(6), Scalar::constant(7));
+        assert_eq!(s.const_val(), Some(42));
+    }
+
+    #[test]
+    fn add_overflow_widens_to_unknown_bounds() {
+        let s = alu64(BPF_ADD, Scalar::constant(u64::MAX), Scalar::from_urange(0, 5));
+        assert_eq!(s.umin, 0);
+        assert_eq!(s.umax, u64::MAX);
+    }
+
+    #[test]
+    fn and_bounds_result() {
+        let s = alu64(BPF_AND, Scalar::UNKNOWN, Scalar::constant(0x3f));
+        assert!(s.umax <= 0x3f);
+        assert_eq!(s.umin, 0);
+    }
+
+    #[test]
+    fn range_addition_is_sound() {
+        let s = alu64(
+            BPF_ADD,
+            Scalar::from_urange(10, 20),
+            Scalar::from_urange(1, 2),
+        );
+        assert!(s.umin <= 11);
+        assert!(s.umax >= 22);
+        for v in 11..=22 {
+            assert!(s.contains(v), "{v} missing");
+        }
+    }
+
+    #[test]
+    fn alu32_zero_extends_bounds() {
+        let s = alu32(BPF_ADD, Scalar::constant(u32::MAX as u64), Scalar::constant(1));
+        assert_eq!(s.const_val(), Some(0));
+        let s = alu32(BPF_MOV, Scalar::UNKNOWN, Scalar::UNKNOWN);
+        assert_eq!(s.umax, u32::MAX as u64);
+        assert!(s.smin >= 0);
+    }
+
+    #[test]
+    fn rsh_bounds() {
+        let s = alu64(BPF_RSH, Scalar::from_urange(0, 1024), Scalar::constant(4));
+        assert_eq!(s.umax, 64);
+        assert!(s.smin >= 0);
+    }
+
+    #[test]
+    fn div_by_const_bounds() {
+        let s = alu64(BPF_DIV, Scalar::from_urange(0, 100), Scalar::constant(10));
+        assert_eq!(s.umax, 10);
+    }
+
+    #[test]
+    fn mod_by_const_bounds() {
+        let s = alu64(BPF_MOD, Scalar::UNKNOWN, Scalar::constant(16));
+        assert!(s.umax <= 15);
+    }
+
+    #[test]
+    fn refine_ult_constant() {
+        // if (r < 32) taken: r in [0, 31].
+        let (d, _) = refine_branch(BPF_JLT, Scalar::UNKNOWN, Scalar::constant(32), true).unwrap();
+        assert_eq!(d.umax, 31);
+        // Fall-through: r >= 32.
+        let (d, _) = refine_branch(BPF_JLT, Scalar::UNKNOWN, Scalar::constant(32), false).unwrap();
+        assert_eq!(d.umin, 32);
+    }
+
+    #[test]
+    fn refine_eq_intersects() {
+        let (d, s) = refine_branch(
+            BPF_JEQ,
+            Scalar::from_urange(0, 100),
+            Scalar::from_urange(50, 200),
+            true,
+        )
+        .unwrap();
+        assert_eq!(d.umin, 50);
+        assert_eq!(d.umax, 100);
+        assert_eq!(s.umin, 50);
+        assert_eq!(s.umax, 100);
+    }
+
+    #[test]
+    fn impossible_branch_is_dead() {
+        // if (5 > 10) is never taken.
+        assert!(refine_branch(BPF_JGT, Scalar::constant(5), Scalar::constant(10), true).is_none());
+        // And its fall-through is always live.
+        assert!(refine_branch(BPF_JGT, Scalar::constant(5), Scalar::constant(10), false).is_some());
+    }
+
+    #[test]
+    fn branch_known_cases() {
+        assert_eq!(
+            branch_known(BPF_JEQ, &Scalar::constant(5), &Scalar::constant(5)),
+            Some(true)
+        );
+        assert_eq!(
+            branch_known(BPF_JEQ, &Scalar::constant(5), &Scalar::constant(6)),
+            Some(false)
+        );
+        assert_eq!(
+            branch_known(BPF_JGT, &Scalar::from_urange(10, 20), &Scalar::constant(5)),
+            Some(true)
+        );
+        assert_eq!(
+            branch_known(BPF_JGT, &Scalar::from_urange(0, 20), &Scalar::constant(5)),
+            None
+        );
+    }
+
+    #[test]
+    fn signed_refinement() {
+        // if (r s< 0) taken: r negative.
+        let (d, _) = refine_branch(BPF_JSLT, Scalar::UNKNOWN, Scalar::constant(0), true).unwrap();
+        assert!(d.smax < 0);
+        let (d, _) = refine_branch(BPF_JSLT, Scalar::UNKNOWN, Scalar::constant(0), false).unwrap();
+        assert!(d.smin >= 0);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let narrow = Scalar::from_urange(5, 10);
+        let wide = Scalar::from_urange(0, 100);
+        assert!(narrow.is_subset_of(&wide));
+        assert!(!wide.is_subset_of(&narrow));
+        assert!(Scalar::constant(7).is_subset_of(&narrow));
+    }
+
+    #[test]
+    fn normalize_collapses_tnum_constants() {
+        let mut s = Scalar {
+            tnum: Tnum::constant(9),
+            ..Scalar::UNKNOWN
+        };
+        s.normalize();
+        assert_eq!(s.const_val(), Some(9));
+    }
+
+    #[test]
+    fn jset_not_taken_clears_bits() {
+        let (d, _) =
+            refine_branch(BPF_JSET, Scalar::UNKNOWN, Scalar::constant(0xf0), false).unwrap();
+        assert_eq!(d.tnum.umax() & 0xf0, 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Speculative-execution hardening (~v4.20, \[46\]\[47\]).
+//!
+//! The kernel verifier simulates speculative paths and rewrites pointer
+//! arithmetic with masking so a mispredicted branch cannot produce an
+//! out-of-bounds address. Our model does the cheap, honest part of that:
+//! the engine counts a sanitation each time variable-offset pointer
+//! arithmetic or a variable-offset map access is verified (see
+//! `checker::pointer_arith` and `check_mem::check_region`), and this
+//! module's gadget scan counts Spectre-v1-shaped instruction sequences —
+//! a conditional branch closely followed by a dependent pointer load —
+//! which the kernel would instrument with `lfence`-equivalent barriers.
+
+use ebpf::insn::{Insn, BPF_CALL, BPF_EXIT, BPF_JA, BPF_JMP, BPF_JMP32, BPF_LDX, BPF_MEM};
+
+/// Window (in instructions) after a branch within which a dependent load
+/// is considered a speculation gadget.
+pub const GADGET_WINDOW: usize = 4;
+
+/// Counts Spectre-v1-shaped gadgets: a conditional branch followed within
+/// [`GADGET_WINDOW`] instructions by a pointer load.
+pub fn count_gadgets(insns: &[Insn]) -> u64 {
+    let mut gadgets = 0u64;
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        let insn = insns[pc];
+        if insn.is_lddw() {
+            pc += 2;
+            continue;
+        }
+        let class = insn.class();
+        let is_cond_branch = (class == BPF_JMP || class == BPF_JMP32)
+            && insn.op() != BPF_JA
+            && insn.op() != BPF_CALL
+            && insn.op() != BPF_EXIT;
+        if is_cond_branch {
+            let window_end = (pc + 1 + GADGET_WINDOW).min(insns.len());
+            let mut scan = pc + 1;
+            while scan < window_end {
+                let w = insns[scan];
+                if w.is_lddw() {
+                    scan += 2;
+                    continue;
+                }
+                if w.class() == BPF_LDX && w.mode() == BPF_MEM && w.src != 10 {
+                    gadgets += 1;
+                    break;
+                }
+                scan += 1;
+            }
+        }
+        pc += 1;
+    }
+    gadgets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebpf::asm::Asm;
+    use ebpf::insn::{Reg, BPF_DW, BPF_JLT};
+
+    #[test]
+    fn bounds_checked_load_is_a_gadget() {
+        // The classic Spectre-v1 shape: branch on index, then load.
+        let insns = Asm::new()
+            .jmp64_imm(BPF_JLT, Reg::R1, 16, "load")
+            .exit()
+            .label("load")
+            .ldx(BPF_DW, Reg::R0, Reg::R2, 0)
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(count_gadgets(&insns), 1);
+    }
+
+    #[test]
+    fn stack_loads_are_not_gadgets() {
+        let insns = Asm::new()
+            .st(BPF_DW, Reg::R10, -8, 0)
+            .jmp64_imm(BPF_JLT, Reg::R1, 16, "load")
+            .exit()
+            .label("load")
+            .ldx(BPF_DW, Reg::R0, Reg::R10, -8)
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(count_gadgets(&insns), 0);
+    }
+
+    #[test]
+    fn distant_load_is_outside_window() {
+        let mut asm = Asm::new().jmp64_imm(BPF_JLT, Reg::R1, 16, "load").exit();
+        asm = asm.label("load");
+        for _ in 0..GADGET_WINDOW {
+            asm = asm.mov64_imm(Reg::R3, 0);
+        }
+        let insns = asm.ldx(BPF_DW, Reg::R0, Reg::R2, 0).exit().build().unwrap();
+        assert_eq!(count_gadgets(&insns), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Verification statistics.
+//!
+//! The verification-cost experiment (§2.1 "Verification is expensive")
+//! reads these counters: instructions processed across all paths, states
+//! explored and pruned, and peak tracked-state memory.
+
+/// Counters accumulated during one verification run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifStats {
+    /// Instructions processed across all explored paths.
+    pub insns_processed: u64,
+    /// Branch states pushed for later exploration.
+    pub states_pushed: u64,
+    /// States pruned by subsumption against a previously verified state.
+    pub states_pruned: u64,
+    /// Peak number of states retained for pruning.
+    pub peak_states: usize,
+    /// Approximate peak memory used by retained states, in bytes.
+    pub peak_state_bytes: usize,
+    /// Speculation-hardening sanitations applied.
+    pub spec_sanitations: u64,
+    /// Host wall-clock time of verification, in nanoseconds.
+    pub wall_ns: u128,
+}
+
+impl VerifStats {
+    /// Fraction of pushed states that were pruned (0 when none pushed).
+    pub fn prune_ratio(&self) -> f64 {
+        if self.states_pushed == 0 {
+            0.0
+        } else {
+            self.states_pruned as f64 / self.states_pushed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_ratio_handles_zero() {
+        assert_eq!(VerifStats::default().prune_ratio(), 0.0);
+        let s = VerifStats {
+            states_pushed: 10,
+            states_pruned: 5,
+            ..VerifStats::default()
+        };
+        assert!((s.prune_ratio() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,340 @@
+//! Tristate numbers — the kernel verifier's bit-level abstract domain.
+//!
+//! A [`Tnum`] `{value, mask}` represents the set of `u64` values that agree
+//! with `value` on every bit where `mask` is 0; mask bits are "unknown".
+//! This is a faithful port of `kernel/bpf/tnum.c`, the foundation of the
+//! register-state tracking whose growth Figure 2 charts.
+//!
+//! The key invariant (`value & mask == 0`) and the soundness property
+//! (every operation's result contains every concrete result of the
+//! corresponding operation on contained values) are property-tested in
+//! this crate's test suite.
+
+/// A tristate number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tnum {
+    /// Known bit values (where `mask` is 0).
+    pub value: u64,
+    /// Unknown bit positions.
+    pub mask: u64,
+}
+
+#[allow(clippy::should_implement_trait)] // Method names mirror kernel tnum.c.
+impl Tnum {
+    /// The completely unknown number.
+    pub const UNKNOWN: Tnum = Tnum {
+        value: 0,
+        mask: u64::MAX,
+    };
+
+    /// Creates a tnum, normalizing the invariant `value & mask == 0`.
+    pub const fn new(value: u64, mask: u64) -> Self {
+        Tnum {
+            value: value & !mask,
+            mask,
+        }
+    }
+
+    /// The constant `v`.
+    pub const fn constant(v: u64) -> Self {
+        Tnum { value: v, mask: 0 }
+    }
+
+    /// A tnum covering the inclusive unsigned range `[min, max]`
+    /// (`tnum_range` in the kernel).
+    pub fn range(min: u64, max: u64) -> Self {
+        if min > max {
+            return Tnum::UNKNOWN;
+        }
+        let chi = min ^ max;
+        let bits = 64 - chi.leading_zeros() as u64;
+        if bits > 63 {
+            return Tnum::UNKNOWN;
+        }
+        let delta = (1u64 << bits) - 1;
+        Tnum::new(min & !delta, delta)
+    }
+
+    /// Whether this is a single concrete value.
+    pub const fn is_const(&self) -> bool {
+        self.mask == 0
+    }
+
+    /// Whether `v` is a member of the represented set.
+    pub const fn contains(&self, v: u64) -> bool {
+        (v & !self.mask) == self.value
+    }
+
+    /// Whether every member of `self` is a member of `other`
+    /// (`tnum_in(other, self)` in kernel argument order).
+    pub const fn is_subset_of(&self, other: Tnum) -> bool {
+        // Other must not *know* any bit self doesn't, and must agree on
+        // the bits both know.
+        if self.mask & !other.mask != 0 {
+            return false;
+        }
+        self.value & !other.mask == other.value
+    }
+
+    /// Left shift by a constant.
+    pub fn lshift(self, shift: u32) -> Self {
+        Tnum::new(self.value.wrapping_shl(shift), self.mask.wrapping_shl(shift))
+    }
+
+    /// Logical right shift by a constant.
+    pub fn rshift(self, shift: u32) -> Self {
+        Tnum::new(self.value.wrapping_shr(shift), self.mask.wrapping_shr(shift))
+    }
+
+    /// Arithmetic right shift by a constant.
+    pub fn arshift(self, shift: u32) -> Self {
+        Tnum::new(
+            ((self.value as i64) >> shift) as u64,
+            ((self.mask as i64) >> shift) as u64,
+        )
+    }
+
+    /// Addition (kernel `tnum_add`).
+    pub fn add(self, other: Tnum) -> Self {
+        let sm = self.mask.wrapping_add(other.mask);
+        let sv = self.value.wrapping_add(other.value);
+        let sigma = sm.wrapping_add(sv);
+        let chi = sigma ^ sv;
+        let mu = chi | self.mask | other.mask;
+        Tnum::new(sv & !mu, mu)
+    }
+
+    /// Subtraction (kernel `tnum_sub`).
+    pub fn sub(self, other: Tnum) -> Self {
+        let dv = self.value.wrapping_sub(other.value);
+        let alpha = dv.wrapping_add(self.mask);
+        let beta = dv.wrapping_sub(other.mask);
+        let chi = alpha ^ beta;
+        let mu = chi | self.mask | other.mask;
+        Tnum::new(dv & !mu, mu)
+    }
+
+    /// Bitwise and (kernel `tnum_and`).
+    pub fn and(self, other: Tnum) -> Self {
+        let alpha = self.value | self.mask;
+        let beta = other.value | other.mask;
+        let v = self.value & other.value;
+        Tnum::new(v, alpha & beta & !v)
+    }
+
+    /// Bitwise or (kernel `tnum_or`).
+    pub fn or(self, other: Tnum) -> Self {
+        let v = self.value | other.value;
+        let mu = self.mask | other.mask;
+        Tnum::new(v, mu & !v)
+    }
+
+    /// Bitwise xor (kernel `tnum_xor`).
+    pub fn xor(self, other: Tnum) -> Self {
+        let v = self.value ^ other.value;
+        let mu = self.mask | other.mask;
+        Tnum::new(v & !mu, mu)
+    }
+
+    /// Multiplication (kernel `tnum_mul`, shift-and-add over known bits).
+    pub fn mul(self, other: Tnum) -> Self {
+        let acc_v = self.value.wrapping_mul(other.value);
+        let mut acc_m = Tnum::constant(0);
+        let mut a = self;
+        let mut b = other;
+        while a.value != 0 || a.mask != 0 {
+            if a.value & 1 != 0 {
+                acc_m = acc_m.add(Tnum::new(0, b.mask));
+            } else if a.mask & 1 != 0 {
+                acc_m = acc_m.add(Tnum::new(0, b.value | b.mask));
+            }
+            a = a.rshift(1);
+            b = b.lshift(1);
+        }
+        // The known product of the known parts, plus accumulated
+        // uncertainty from every unknown partial product.
+        Tnum::constant(acc_v).add(acc_m)
+    }
+
+    /// Intersection: keeps only knowledge present in both (kernel
+    /// `tnum_intersect`). Both inputs must represent overlapping sets for
+    /// the result to be meaningful.
+    pub fn intersect(self, other: Tnum) -> Self {
+        let v = self.value | other.value;
+        let mu = self.mask & other.mask;
+        Tnum::new(v & !mu, mu)
+    }
+
+    /// Union: the smallest tnum containing both sets.
+    pub fn union(self, other: Tnum) -> Self {
+        let chi = self.value ^ other.value;
+        let mu = self.mask | other.mask | chi;
+        Tnum::new(self.value & !mu, mu)
+    }
+
+    /// Truncates to the low `size` bytes (kernel `tnum_cast`).
+    pub fn cast(self, size: u8) -> Self {
+        if size >= 8 {
+            return self;
+        }
+        let keep = (1u64 << (size as u64 * 8)) - 1;
+        Tnum::new(self.value & keep, self.mask & keep)
+    }
+
+    /// The smallest unsigned value in the set.
+    pub const fn umin(&self) -> u64 {
+        self.value
+    }
+
+    /// The largest unsigned value in the set.
+    pub const fn umax(&self) -> u64 {
+        self.value | self.mask
+    }
+}
+
+impl std::fmt::Display for Tnum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_const() {
+            write!(f, "{:#x}", self.value)
+        } else if *self == Tnum::UNKNOWN {
+            write!(f, "unknown")
+        } else {
+            write!(f, "(value={:#x} mask={:#x})", self.value, self.mask)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_roundtrip() {
+        let t = Tnum::constant(42);
+        assert!(t.is_const());
+        assert!(t.contains(42));
+        assert!(!t.contains(43));
+        assert_eq!(t.umin(), 42);
+        assert_eq!(t.umax(), 42);
+    }
+
+    #[test]
+    fn new_normalizes_invariant() {
+        let t = Tnum::new(0xff, 0x0f);
+        assert_eq!(t.value & t.mask, 0);
+        assert_eq!(t.value, 0xf0);
+    }
+
+    #[test]
+    fn range_covers_endpoints() {
+        let t = Tnum::range(16, 31);
+        assert!(t.contains(16));
+        assert!(t.contains(31));
+        assert!(t.contains(20));
+        assert!(!t.contains(32));
+        assert!(!t.contains(15));
+    }
+
+    #[test]
+    fn range_degenerate() {
+        assert!(Tnum::range(7, 7).is_const());
+        assert_eq!(Tnum::range(9, 3), Tnum::UNKNOWN);
+    }
+
+    #[test]
+    fn add_of_constants_is_constant() {
+        let t = Tnum::constant(10).add(Tnum::constant(32));
+        assert_eq!(t, Tnum::constant(42));
+    }
+
+    #[test]
+    fn add_soundness_spot_checks() {
+        let a = Tnum::range(0, 15);
+        let b = Tnum::constant(100);
+        let sum = a.add(b);
+        for v in 0..=15u64 {
+            assert!(sum.contains(v + 100), "{} missing", v + 100);
+        }
+    }
+
+    #[test]
+    fn sub_of_constants() {
+        assert_eq!(Tnum::constant(50).sub(Tnum::constant(8)), Tnum::constant(42));
+    }
+
+    #[test]
+    fn bitwise_ops_on_constants() {
+        let a = Tnum::constant(0b1100);
+        let b = Tnum::constant(0b1010);
+        assert_eq!(a.and(b), Tnum::constant(0b1000));
+        assert_eq!(a.or(b), Tnum::constant(0b1110));
+        assert_eq!(a.xor(b), Tnum::constant(0b0110));
+    }
+
+    #[test]
+    fn and_with_mask_bounds_result() {
+        // x & 0xff is always <= 0xff regardless of x.
+        let t = Tnum::UNKNOWN.and(Tnum::constant(0xff));
+        assert_eq!(t.umax(), 0xff);
+        assert_eq!(t.umin(), 0);
+    }
+
+    #[test]
+    fn shifts_on_constants() {
+        assert_eq!(Tnum::constant(3).lshift(4), Tnum::constant(48));
+        assert_eq!(Tnum::constant(48).rshift(4), Tnum::constant(3));
+        assert_eq!(
+            Tnum::constant((-16i64) as u64).arshift(2),
+            Tnum::constant((-4i64) as u64)
+        );
+    }
+
+    #[test]
+    fn mul_of_constants() {
+        assert_eq!(Tnum::constant(6).mul(Tnum::constant(7)), Tnum::constant(42));
+    }
+
+    #[test]
+    fn mul_soundness_spot_check() {
+        let a = Tnum::range(0, 3);
+        let b = Tnum::constant(5);
+        let prod = a.mul(b);
+        for v in 0..=3u64 {
+            assert!(prod.contains(v * 5), "{} missing", v * 5);
+        }
+    }
+
+    #[test]
+    fn cast_truncates() {
+        let t = Tnum::constant(0x1122_3344_5566_7788).cast(4);
+        assert_eq!(t, Tnum::constant(0x5566_7788));
+        let t = Tnum::UNKNOWN.cast(2);
+        assert_eq!(t.umax(), 0xffff);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = Tnum::constant(5);
+        let big = Tnum::range(0, 7);
+        assert!(small.is_subset_of(big));
+        assert!(!big.is_subset_of(small));
+        assert!(big.is_subset_of(Tnum::UNKNOWN));
+        assert!(small.is_subset_of(small));
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let u = Tnum::constant(4).union(Tnum::constant(20));
+        assert!(u.contains(4));
+        assert!(u.contains(20));
+    }
+
+    #[test]
+    fn intersect_narrows() {
+        let a = Tnum::new(0, 0xff); // [0, 255]
+        let b = Tnum::new(0x10, 0x0f); // 0x10..=0x1f
+        let i = a.intersect(b);
+        assert!(i.contains(0x15));
+        assert!(!i.contains(0x25));
+    }
+}

@@ -1,0 +1,177 @@
+//! A storage-path scenario (the BMC memcached-acceleration use case of
+//! the paper's intro [20]): an in-kernel GET cache that answers hot keys
+//! before they ever reach userspace, with the cold path falling through.
+//!
+//! The BMC paper is also §2.1's example of verifier-limit pain ("find
+//! ways to break their program into small pieces"); the safe-Rust version
+//! below is ONE straightforward function — no splitting, no verifier
+//! massaging — protected by the runtime instead.
+//!
+//! Run with: `cargo run --example cache_accel`
+
+use ebpf::maps::MapDef;
+use ebpf::program::ProgType;
+use safe_ext::{ExtError, ExtInput, Extension};
+use untenable::TestBed;
+
+/// Request layout: `[0] op (1=GET, 2=SET) | [1] key_len | [2..2+key_len]
+/// key | rest: value (SET only)`.
+fn get_req(key: &[u8]) -> Vec<u8> {
+    let mut p = vec![1u8, key.len() as u8];
+    p.extend_from_slice(key);
+    p
+}
+
+fn set_req(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut p = vec![2u8, key.len() as u8];
+    p.extend_from_slice(key);
+    p.extend_from_slice(value);
+    p
+}
+
+/// Extension return codes.
+const PASS_TO_USERSPACE: u64 = 0;
+const SERVED_FROM_KERNEL: u64 = 1;
+
+fn main() {
+    let bed = TestBed::new();
+    // The cache: key (8 bytes, padded) -> value (16 bytes, len-prefixed).
+    let cache = bed
+        .maps
+        .create(&bed.kernel, MapDef::lru_hash("kv-cache", 8, 16, 4))
+        .unwrap();
+    let stats = bed
+        .maps
+        .create(&bed.kernel, MapDef::array("cache-stats", 8, 3))
+        .unwrap();
+    const HITS: u32 = 0;
+    const MISSES: u32 = 1;
+    const INVALIDATIONS: u32 = 2;
+    // Served responses stream back through a ring buffer.
+    let responses = bed
+        .maps
+        .create(&bed.kernel, MapDef::ringbuf("responses", 1024))
+        .unwrap();
+
+    let accel = Extension::new("kv-cache-accel", ProgType::SocketFilter, move |ctx| {
+        let pkt = ctx.packet()?;
+        let counters = ctx.array(stats)?;
+        if pkt.len() < 2 {
+            return Ok(PASS_TO_USERSPACE);
+        }
+        let op = pkt.load_u8(0)?;
+        let key_len = pkt.load_u8(1)? as u64;
+        if key_len == 0 || key_len > 8 || 2 + key_len > pkt.len() as u64 {
+            return Ok(PASS_TO_USERSPACE);
+        }
+        let mut key = [0u8; 8];
+        pkt.load_bytes(2, &mut key[..key_len as usize])?;
+
+        let cache_map = ctx.hash(cache)?;
+        match op {
+            1 => {
+                // GET: serve from the kernel cache when hot.
+                match cache_map.lookup(&key)? {
+                    Some(value) => {
+                        counters.fetch_add_u64(HITS, 0, 1)?;
+                        let rb = ctx.ringbuf(responses)?;
+                        if let Some(rec) = rb.reserve(24)? {
+                            rec.write(0, &key)?;
+                            rec.write(8, &value)?;
+                            rec.submit()?;
+                        }
+                        Ok(SERVED_FROM_KERNEL)
+                    }
+                    None => {
+                        counters.fetch_add_u64(MISSES, 0, 1)?;
+                        Ok(PASS_TO_USERSPACE)
+                    }
+                }
+            }
+            2 => {
+                // SET: invalidate (write-through handled by userspace).
+                if cache_map.remove(&key)? {
+                    counters.fetch_add_u64(INVALIDATIONS, 0, 1)?;
+                }
+                Ok(PASS_TO_USERSPACE)
+            }
+            _ => Err(ExtError::Invalid("unknown op")),
+        }
+    });
+
+    // Userspace side: on a miss, the "server" computes the value and
+    // populates the cache (as BMC's userspace memcached does).
+    let runtime = bed.runtime();
+    let cache_map = bed.maps.get(cache).unwrap();
+    let serve = |req: Vec<u8>| -> &'static str {
+        let outcome = runtime.run(&accel, ExtInput::Packet(req.clone()));
+        match outcome.unwrap() {
+            SERVED_FROM_KERNEL => "kernel cache",
+            PASS_TO_USERSPACE => {
+                if req[0] == 1 {
+                    // Userspace handles the GET and warms the cache.
+                    let key_len = req[1] as usize;
+                    let mut key = [0u8; 8];
+                    key[..key_len].copy_from_slice(&req[2..2 + key_len]);
+                    let mut value = [0u8; 16];
+                    value[0] = key_len as u8;
+                    for (i, b) in req[2..2 + key_len].iter().enumerate() {
+                        value[1 + i] = b.to_ascii_uppercase();
+                    }
+                    cache_map
+                        .update(&bed.kernel.mem, &key, &value, 0)
+                        .expect("cache insert");
+                }
+                "userspace"
+            }
+            other => panic!("unexpected return {other}"),
+        }
+    };
+
+    // A hot-key workload: "alpha" dominates.
+    let trace = [
+        get_req(b"alpha"),          // miss -> userspace warms it
+        get_req(b"alpha"),          // hit
+        get_req(b"alpha"),          // hit
+        get_req(b"beta"),           // miss
+        get_req(b"beta"),           // hit
+        set_req(b"alpha", b"NEW"),  // invalidation
+        get_req(b"alpha"),          // miss again
+        get_req(b"alpha"),          // hit
+    ];
+    for req in trace {
+        let label = if req[0] == 1 { "GET" } else { "SET" };
+        let key = String::from_utf8_lossy(&req[2..2 + req[1] as usize]).into_owned();
+        let served = serve(req);
+        println!("{label} {key:<6} -> {served}");
+    }
+
+    let stats_map = bed.maps.get(stats).unwrap();
+    let read = |i: u32| {
+        let addr = stats_map.lookup(&i.to_le_bytes(), 0).unwrap().unwrap();
+        bed.kernel.mem.read_u64(addr).unwrap()
+    };
+    println!(
+        "\ncache stats: hits={} misses={} invalidations={}",
+        read(HITS),
+        read(MISSES),
+        read(INVALIDATIONS)
+    );
+    assert_eq!(read(HITS), 4);
+    assert_eq!(read(MISSES), 3);
+    assert_eq!(read(INVALIDATIONS), 1);
+
+    let served = bed.maps.get(responses).unwrap().ringbuf_consume().unwrap();
+    println!("responses served from the kernel: {}", served.len());
+    for rec in &served {
+        let key_end = rec[..8].iter().position(|b| *b == 0).unwrap_or(8);
+        let vlen = rec[8] as usize;
+        println!(
+            "  {} = {}",
+            String::from_utf8_lossy(&rec[..key_end]),
+            String::from_utf8_lossy(&rec[9..9 + vlen])
+        );
+    }
+    assert!(bed.kernel.health().pristine());
+    println!("kernel pristine: true");
+}

@@ -1,0 +1,135 @@
+//! A tracing/observability scenario (the paper's intro use case [21]): a
+//! kprobe-attached latency profiler that records per-task syscall
+//! latencies into a histogram and streams slow-call events through a ring
+//! buffer — the BCC `funclatency`-style tool, as a safe-Rust extension.
+//!
+//! Run with: `cargo run --example tracing_profiler`
+
+use ebpf::maps::MapDef;
+use ebpf::program::ProgType;
+use safe_ext::{ExtInput, Extension};
+use untenable::TestBed;
+
+/// Log2 histogram buckets (ns): <1us, <10us, <100us, <1ms, <10ms, >=10ms.
+const BUCKETS: [u64; 5] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+fn bucket_index(latency_ns: u64) -> u32 {
+    BUCKETS
+        .iter()
+        .position(|b| latency_ns < *b)
+        .unwrap_or(BUCKETS.len()) as u32
+}
+
+fn main() {
+    let bed = TestBed::new();
+
+    // hist[task_slot * 8 + bucket]: one row of 8 buckets per demo task.
+    let hist = bed
+        .maps
+        .create(&bed.kernel, MapDef::array("latency-hist", 8, 24))
+        .unwrap();
+    // entry timestamps per pid.
+    let entry_ts = bed
+        .maps
+        .create(&bed.kernel, MapDef::hash("entry-ts", 4, 8, 64))
+        .unwrap();
+    // slow-call events for userspace.
+    let events = bed
+        .maps
+        .create(&bed.kernel, MapDef::ringbuf("slow-calls", 4096))
+        .unwrap();
+    const SLOW_NS: u64 = 1_000_000;
+
+    // Entry probe: stamp the clock for the current task.
+    let on_entry = Extension::new("sys-entry", ProgType::Kprobe, move |ctx| {
+        let pid = (ctx.pid_tgid()? & 0xffff_ffff) as u32;
+        let now = ctx.ktime_ns()?;
+        ctx.hash(entry_ts)?
+            .insert(&pid.to_le_bytes(), &now.to_le_bytes())?;
+        Ok(0)
+    });
+
+    // Return probe: compute latency, bin it, emit slow events.
+    let on_return = Extension::new("sys-return", ProgType::Kprobe, move |ctx| {
+        let pid_tgid = ctx.pid_tgid()?;
+        let pid = (pid_tgid & 0xffff_ffff) as u32;
+        let timestamps = ctx.hash(entry_ts)?;
+        let started = match timestamps.lookup(&pid.to_le_bytes())? {
+            Some(v) => u64::from_le_bytes(v.try_into().expect("8 bytes")),
+            None => return Ok(0), // missed entry
+        };
+        timestamps.remove(&pid.to_le_bytes())?;
+        let latency = ctx.ktime_ns()?.saturating_sub(started);
+
+        // Row: pid 100 -> 0, 200 -> 1, 300 -> 2.
+        let row = (pid / 100 - 1).min(2);
+        let histogram = ctx.array(hist)?;
+        histogram.fetch_add_u64(row * 8 + bucket_index(latency), 0, 1)?;
+
+        if latency >= SLOW_NS {
+            let rb = ctx.ringbuf(events)?;
+            if let Some(rec) = rb.reserve(16)? {
+                rec.write(0, &pid_tgid.to_le_bytes())?;
+                rec.write(8, &latency.to_le_bytes())?;
+                rec.submit()?;
+            }
+        }
+        Ok(0)
+    });
+
+    // Drive a synthetic workload: each task "syscalls" with a
+    // characteristic latency profile (virtual-clock advances between
+    // entry and return simulate time spent in the kernel).
+    let runtime = bed.runtime();
+    let workload: [(u32, &[u64]); 3] = [
+        (100, &[700, 900, 5_000, 800, 1_200_000]),       // nginx: fast + one slow
+        (200, &[50_000, 80_000, 120_000, 2_500_000]),    // postgres: mid + slow
+        (300, &[400, 600, 500, 450, 700, 650]),          // memcached: all fast
+    ];
+    let mut calls = 0u32;
+    for (pid, latencies) in workload {
+        bed.kernel.objects.set_current(pid);
+        for &lat in latencies {
+            assert_eq!(runtime.run(&on_entry, ExtInput::None).unwrap(), 0);
+            bed.kernel.clock.advance(lat);
+            assert_eq!(runtime.run(&on_return, ExtInput::None).unwrap(), 0);
+            calls += 1;
+        }
+    }
+
+    // Userspace: read the histogram and drain the ring buffer.
+    println!("latency histogram (calls per bucket):");
+    println!("  task        <1us <10us <100us <1ms <10ms >=10ms");
+    let hist_map = bed.maps.get(hist).unwrap();
+    let read = |i: u32| {
+        let addr = hist_map.lookup(&i.to_le_bytes(), 0).unwrap().unwrap();
+        bed.kernel.mem.read_u64(addr).unwrap()
+    };
+    let mut total = 0;
+    for (row, name) in [(0u32, "nginx"), (1, "postgres"), (2, "memcached")] {
+        print!("  {name:<10}");
+        for b in 0..6 {
+            let n = read(row * 8 + b);
+            total += n;
+            print!(" {n:>5}");
+        }
+        println!();
+    }
+    assert_eq!(total, calls as u64);
+
+    let events_map = bed.maps.get(events).unwrap();
+    let slow = events_map.ringbuf_consume().unwrap();
+    println!("\nslow calls streamed to userspace:");
+    for rec in &slow {
+        let pid_tgid = u64::from_le_bytes(rec[..8].try_into().unwrap());
+        let latency = u64::from_le_bytes(rec[8..].try_into().unwrap());
+        println!(
+            "  pid {} latency {:.3} ms",
+            pid_tgid & 0xffff_ffff,
+            latency as f64 / 1e6
+        );
+    }
+    assert_eq!(slow.len(), 2);
+    assert!(bed.kernel.health().pristine());
+    println!("\nkernel pristine: true");
+}

@@ -1,0 +1,117 @@
+//! `untenable`: a reproduction of *Kernel extension verification is
+//! untenable* (HotOS '23).
+//!
+//! The workspace contains both sides of the paper's argument, running on
+//! one simulated kernel:
+//!
+//! * the **baseline** the paper attacks: eBPF-style bytecode ([`ebpf`]),
+//!   an in-kernel-style static verifier ([`verifier`]), and helper
+//!   functions with faithful replicas of documented bugs;
+//! * the **proposal**: safe-Rust extensions with a trusted signing
+//!   toolchain and lightweight runtime protection ([`safe_ext`]);
+//! * the **evaluation**: figure/table regeneration ([`analysis`]) and the
+//!   exploit gallery in this package's integration tests.
+//!
+//! Start with [`TestBed`] — it wires a demo kernel with both frameworks.
+//!
+//! # Examples
+//!
+//! ```
+//! use untenable::TestBed;
+//! use ebpf::asm::Asm;
+//! use ebpf::insn::Reg;
+//! use ebpf::program::{ProgType, Program};
+//!
+//! let bed = TestBed::new();
+//!
+//! // Baseline: a program must pass the verifier before it can run.
+//! let prog = Program::new(
+//!     "answer",
+//!     ProgType::SocketFilter,
+//!     Asm::new().mov64_imm(Reg::R0, 42).exit().build().unwrap(),
+//! );
+//! let verified = bed.verifier().verify(&prog).expect("verifies");
+//! assert!(verified.stats.insns_processed > 0);
+//!
+//! let mut vm = bed.vm();
+//! let id = vm.load(prog);
+//! assert_eq!(vm.run(id, ebpf::CtxInput::None).unwrap(), 42);
+//!
+//! // Proposal: no verifier — safe Rust plus runtime protection.
+//! let ext = safe_ext::Extension::new("answer", ProgType::SocketFilter, |_| Ok(42));
+//! assert_eq!(bed.runtime().run(&ext, safe_ext::ExtInput::None).unwrap(), 42);
+//! ```
+
+pub use analysis;
+pub use ebpf;
+pub use kernel_sim;
+pub use safe_ext;
+pub use signing;
+pub use verifier;
+
+use ebpf::helpers::HelperRegistry;
+use ebpf::maps::MapRegistry;
+use ebpf::Vm;
+use kernel_sim::Kernel;
+use safe_ext::Runtime;
+use verifier::Verifier;
+
+/// A wired-up simulated kernel with both extension frameworks.
+///
+/// The demo environment contains three tasks (`nginx` pid 100 is
+/// current, `postgres` 200, `memcached` 300) and three sockets (TCP
+/// 10.0.0.1:443, UDP 10.0.0.1:53, TCP 10.0.0.1:11211).
+#[derive(Debug)]
+pub struct TestBed {
+    /// The simulated kernel.
+    pub kernel: Kernel,
+    /// The shared map registry (maps are kernel objects; both frameworks
+    /// use the same ones).
+    pub maps: MapRegistry,
+    /// The baseline helper registry.
+    pub helpers: HelperRegistry,
+}
+
+impl Default for TestBed {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TestBed {
+    /// Boots a kernel with the demo environment.
+    pub fn new() -> Self {
+        let kernel = Kernel::new();
+        kernel.populate_demo_env();
+        TestBed {
+            kernel,
+            maps: MapRegistry::default(),
+            helpers: HelperRegistry::standard(),
+        }
+    }
+
+    /// Boots a bare kernel (no demo tasks/sockets).
+    pub fn bare() -> Self {
+        TestBed {
+            kernel: Kernel::new(),
+            maps: MapRegistry::default(),
+            helpers: HelperRegistry::standard(),
+        }
+    }
+
+    /// A verifier over this bed's maps and helpers (all features, modern
+    /// limits, no injected bugs).
+    pub fn verifier(&self) -> Verifier<'_> {
+        Verifier::new(&self.maps, &self.helpers)
+    }
+
+    /// A baseline VM (patched helpers, default config).
+    pub fn vm(&self) -> Vm<'_> {
+        Vm::new(&self.kernel, &self.maps, &self.helpers)
+    }
+
+    /// A safe-ext runtime (default config).
+    pub fn runtime(&self) -> Runtime<'_> {
+        Runtime::new(&self.kernel, &self.maps)
+    }
+}

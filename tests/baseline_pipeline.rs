@@ -1,0 +1,195 @@
+//! Figure 1: the baseline eBPF pipeline — userspace program, in-kernel
+//! verification at load time, JIT, runtime with helper calls — and the
+//! gate it implies: nothing unverified runs.
+
+use ebpf::asm::Asm;
+use ebpf::helpers;
+use ebpf::insn::*;
+use ebpf::interp::CtxInput;
+use ebpf::jit::{jit_compile, JitConfig};
+use ebpf::maps::MapDef;
+use ebpf::program::{ProgType, Program};
+use untenable::TestBed;
+
+/// A realistic socket-filter: parse a (fake) header, count packets per
+/// protocol byte in an array map, pass or trim the packet.
+fn packet_counter(fd: u32) -> Program {
+    let insns = Asm::new()
+        // r6 = ctx; bounds-check 2 bytes of packet.
+        .mov64_reg(Reg::R6, Reg::R1)
+        .ldx(BPF_DW, Reg::R2, Reg::R6, 0)
+        .ldx(BPF_DW, Reg::R3, Reg::R6, 8)
+        .mov64_reg(Reg::R4, Reg::R2)
+        .alu64_imm(BPF_ADD, Reg::R4, 2)
+        .mov64_imm(Reg::R0, 0)
+        .jmp64_reg(BPF_JGT, Reg::R4, Reg::R3, "out")
+        // proto = pkt[0] & 3; counts[proto] += 1.
+        .ldx(BPF_B, Reg::R7, Reg::R2, 0)
+        .alu64_imm(BPF_AND, Reg::R7, 3)
+        .stx(BPF_W, Reg::R10, -4, Reg::R7)
+        .ld_map_fd(Reg::R1, fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -4)
+        .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+        .jmp64_imm(BPF_JNE, Reg::R0, 0, "count")
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .label("count")
+        .mov64_imm(Reg::R1, 1)
+        .atomic(BPF_DW, Reg::R0, 0, Reg::R1, BPF_ATOMIC_ADD)
+        // Accept the packet (return its length).
+        .ldx(BPF_DW, Reg::R0, Reg::R6, 16)
+        .label("out")
+        .exit()
+        .build()
+        .unwrap();
+    Program::new("pkt-counter", ProgType::SocketFilter, insns)
+}
+
+#[test]
+fn full_pipeline_verify_jit_run() {
+    let bed = TestBed::new();
+    let fd = bed
+        .maps
+        .create(&bed.kernel, MapDef::array("proto-counts", 8, 4))
+        .unwrap();
+    let prog = packet_counter(fd);
+
+    // Load-time: verification.
+    let verified = bed.verifier().verify(&prog).expect("verifies");
+    assert!(verified.stats.insns_processed > prog.len() as u64);
+
+    // JIT.
+    let (compiled, stats) = jit_compile(&prog, JitConfig::default()).unwrap();
+    assert_eq!(stats.insns, prog.len());
+
+    // Runtime, with packets.
+    let mut vm = bed.vm();
+    let id = vm.load(compiled);
+    for proto in [0u8, 1, 2, 3, 1, 1] {
+        let result = vm.run(id, CtxInput::Packet(vec![proto, 0xaa, 0xbb]));
+        assert_eq!(result.unwrap(), 3, "accepted packets return their length");
+    }
+    // Short packet takes the bounds branch.
+    assert_eq!(vm.run(id, CtxInput::Packet(vec![9])).unwrap(), 0);
+
+    // The map recorded the protocol histogram.
+    let map = bed.maps.get(fd).unwrap();
+    let count = |i: u32| {
+        let addr = map.lookup(&i.to_le_bytes(), 0).unwrap().unwrap();
+        bed.kernel.mem.read_u64(addr).unwrap()
+    };
+    assert_eq!(count(0), 1);
+    assert_eq!(count(1), 3);
+    assert_eq!(count(2), 1);
+    assert_eq!(count(3), 1);
+    assert!(bed.kernel.health().pristine());
+}
+
+#[test]
+fn unverified_programs_do_not_run() {
+    // The pipeline's contract: the verifier gates execution. An unsafe
+    // program is rejected at load time with a diagnostic.
+    let bed = TestBed::new();
+    let wild = Program::new(
+        "wild",
+        ProgType::SocketFilter,
+        Asm::new()
+            .lddw(Reg::R1, 0xffff_8800_dead_0000)
+            .ldx(BPF_DW, Reg::R0, Reg::R1, 0)
+            .exit()
+            .build()
+            .unwrap(),
+    );
+    let err = bed.verifier().verify(&wild).unwrap_err();
+    assert!(err.to_string().contains("mem access"), "{err}");
+}
+
+#[test]
+fn verification_cost_scales_with_program_size() {
+    // §2.1 "Verification is expensive": cost grows with program size and
+    // branch density, enforcing the size limits developers fight.
+    let bed = TestBed::new();
+    let mut costs = Vec::new();
+    for n in [8usize, 32, 128, 512] {
+        let mut asm = Asm::new().ldx(BPF_DW, Reg::R6, Reg::R1, 16);
+        for i in 0..n {
+            let t = format!("t{i}");
+            asm = asm
+                .ldx(BPF_DW, Reg::R6, Reg::R1, 16)
+                .jmp64_imm(BPF_JEQ, Reg::R6, i as i32, &t)
+                .mov64_imm(Reg::R7, 0)
+                .label(&t);
+        }
+        let prog = Program::new(
+            "diamonds",
+            ProgType::SocketFilter,
+            asm.mov64_imm(Reg::R0, 0).exit().build().unwrap(),
+        );
+        let v = bed.verifier().verify(&prog).unwrap();
+        costs.push((n as f64, v.stats.insns_processed as f64));
+    }
+    // Strictly increasing, roughly linear after pruning.
+    for pair in costs.windows(2) {
+        assert!(pair[1].1 > pair[0].1);
+    }
+    let ratio = costs[3].1 / costs[0].1;
+    assert!(ratio > 16.0, "cost barely grew: {ratio}");
+}
+
+#[test]
+fn tail_call_dispatch_pipeline() {
+    // A dispatcher tail-calling per-protocol handlers, all verified.
+    let bed = TestBed::new();
+    let table = bed
+        .maps
+        .create(&bed.kernel, MapDef::prog_array("handlers", 4))
+        .unwrap();
+
+    let handler = |ret: i32| {
+        Program::new(
+            "handler",
+            ProgType::SocketFilter,
+            Asm::new().mov64_imm(Reg::R0, ret).exit().build().unwrap(),
+        )
+    };
+    let dispatcher = Program::new(
+        "dispatcher",
+        ProgType::SocketFilter,
+        Asm::new()
+            .mov64_reg(Reg::R6, Reg::R1)
+            .ldx(BPF_DW, Reg::R2, Reg::R6, 0)
+            .ldx(BPF_DW, Reg::R3, Reg::R6, 8)
+            .mov64_reg(Reg::R4, Reg::R2)
+            .alu64_imm(BPF_ADD, Reg::R4, 1)
+            .mov64_imm(Reg::R0, 0)
+            .jmp64_reg(BPF_JGT, Reg::R4, Reg::R3, "out")
+            .ldx(BPF_B, Reg::R3, Reg::R2, 0)
+            .alu64_imm(BPF_AND, Reg::R3, 1)
+            .mov64_reg(Reg::R1, Reg::R6)
+            .ld_map_fd(Reg::R2, table)
+            .call_helper(helpers::BPF_TAIL_CALL as i32)
+            // Fallthrough when the slot is empty.
+            .mov64_imm(Reg::R0, 99)
+            .label("out")
+            .exit()
+            .build()
+            .unwrap(),
+    );
+    bed.verifier().verify(&dispatcher).unwrap();
+    bed.verifier().verify(&handler(10)).unwrap();
+    bed.verifier().verify(&handler(20)).unwrap();
+
+    let mut vm = bed.vm();
+    let h0 = vm.load(handler(10));
+    let h1 = vm.load(handler(20));
+    let d = vm.load(dispatcher);
+    let map = bed.maps.get(table).unwrap();
+    map.update(&bed.kernel.mem, &0u32.to_le_bytes(), &h0.to_le_bytes(), 0)
+        .unwrap();
+    map.update(&bed.kernel.mem, &1u32.to_le_bytes(), &h1.to_le_bytes(), 0)
+        .unwrap();
+
+    assert_eq!(vm.run(d, CtxInput::Packet(vec![2])).unwrap(), 10); // even
+    assert_eq!(vm.run(d, CtxInput::Packet(vec![3])).unwrap(), 20); // odd
+}

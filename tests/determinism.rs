@@ -1,0 +1,93 @@
+//! Determinism: the whole reproduction is seed-stable, so EXPERIMENTS.md
+//! numbers are reproducible run to run.
+
+use ebpf::asm::Asm;
+use ebpf::helpers;
+use ebpf::insn::*;
+use ebpf::interp::CtxInput;
+use ebpf::program::{ProgType, Program};
+use untenable::TestBed;
+
+#[test]
+fn interpreter_runs_are_deterministic() {
+    let run = || {
+        let bed = TestBed::new();
+        let insns = Asm::new()
+            .call_helper(helpers::BPF_GET_PRANDOM_U32 as i32)
+            .mov64_reg(Reg::R6, Reg::R0)
+            .call_helper(helpers::BPF_GET_PRANDOM_U32 as i32)
+            .alu64_reg(BPF_XOR, Reg::R0, Reg::R6)
+            .call_helper(helpers::BPF_KTIME_GET_NS as i32)
+            .exit()
+            .build()
+            .unwrap();
+        let prog = Program::new("rng", ProgType::Kprobe, insns);
+        bed.verifier().verify(&prog).unwrap();
+        let mut vm = bed.vm();
+        let id = vm.load(prog);
+        let r = vm.run(id, CtxInput::None);
+        (r.unwrap(), r.insns, bed.kernel.clock.now_ns())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn verifier_stats_are_deterministic() {
+    let run = || {
+        let bed = TestBed::new();
+        let mut asm = Asm::new().ldx(BPF_DW, Reg::R6, Reg::R1, 16);
+        for i in 0..16 {
+            let t = format!("t{i}");
+            asm = asm
+                .ldx(BPF_DW, Reg::R6, Reg::R1, 16)
+                .jmp64_imm(BPF_JEQ, Reg::R6, i, &t)
+                .mov64_imm(Reg::R6, 0)
+                .label(&t);
+        }
+        let prog = Program::new(
+            "d",
+            ProgType::SocketFilter,
+            asm.mov64_imm(Reg::R0, 0).exit().build().unwrap(),
+        );
+        let v = bed.verifier().verify(&prog).unwrap();
+        (
+            v.stats.insns_processed,
+            v.stats.states_pushed,
+            v.stats.states_pruned,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn synthetic_kernel_is_seed_stable() {
+    let a = analysis::kerngen::generate(99).analyze();
+    let b = analysis::kerngen::generate(99).analyze();
+    assert_eq!(a, b);
+    let c = analysis::kerngen::generate(100).analyze();
+    assert_ne!(a, c);
+}
+
+#[test]
+fn safe_ext_runs_are_deterministic() {
+    let run = || {
+        let bed = TestBed::new();
+        let ext = safe_ext::Extension::new("rng", ProgType::Kprobe, |ctx| {
+            let a = ctx.prandom_u32()? as u64;
+            let b = ctx.prandom_u32()? as u64;
+            Ok(a ^ (b << 32) ^ ctx.ktime_ns()?)
+        });
+        let outcome = bed.runtime().run(&ext, safe_ext::ExtInput::None);
+        (outcome.unwrap(), outcome.fuel_used)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn signing_is_deterministic() {
+    let sign = || {
+        let key = signing::SigningKey::derive(5);
+        key.sign(b"artifact").to_bytes()
+    };
+    assert_eq!(sign(), sign());
+}

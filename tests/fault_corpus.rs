@@ -1,0 +1,419 @@
+//! Table 1 corpus runner: every replicated bug, attacked twice.
+//!
+//! For each entry in `analysis::bugdb::CORPUS`, an attack runs once with
+//! the bug present (shipped) and once with it fixed (patched). The
+//! shipped run must exhibit the violation; the patched run must not.
+//! This is the mechanical counterpart of Table 1's counting.
+
+use ebpf::asm::Asm;
+use ebpf::helpers::{self, FaultConfig};
+use ebpf::insn::*;
+use ebpf::interp::CtxInput;
+use ebpf::jit::{jit_compile, JitConfig};
+use ebpf::maps::MapDef;
+use ebpf::program::{ProgType, Program};
+use untenable::TestBed;
+use verifier::VerifierFaults;
+
+/// Outcome of one attack run.
+#[derive(Debug, PartialEq, Eq)]
+enum Violation {
+    /// The promised property broke.
+    Exhibited,
+    /// The framework held.
+    Prevented,
+}
+
+/// Runs the attack for a corpus entry with `buggy` toggles.
+fn attack(id: &str, buggy: bool) -> Violation {
+    let helper_faults = if buggy {
+        FaultConfig::shipped()
+    } else {
+        FaultConfig::patched()
+    };
+    let verifier_faults = if buggy {
+        VerifierFaults::shipped()
+    } else {
+        VerifierFaults::patched()
+    };
+    match id {
+        "CVE-2022-2785" => {
+            let bed = TestBed::new();
+            let insns = Asm::new()
+                .st(BPF_DW, Reg::R10, -16, 0)
+                .st(BPF_DW, Reg::R10, -8, 0)
+                .mov64_imm(Reg::R1, helpers::SYS_BPF_PROG_RUN as i32)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -16)
+                .mov64_imm(Reg::R3, 16)
+                .call_helper(helpers::BPF_SYS_BPF as i32)
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::Tracepoint, insns);
+            bed.verifier().verify(&prog).expect("verifies either way");
+            let mut vm = bed.vm().with_faults(helper_faults);
+            let pid = vm.load(prog);
+            vm.run(pid, CtxInput::None);
+            tainted(&bed)
+        }
+        "paper [35] (June 2022)" => {
+            let bed = TestBed::new();
+            // A reference-balanced lookup/release program.
+            let insns = Asm::new()
+                .st(BPF_DW, Reg::R10, -16, 0)
+                .st(BPF_W, Reg::R10, -16, 0x0a00_0001u32 as i32)
+                .st(BPF_H, Reg::R10, -12, 443)
+                .st(BPF_W, Reg::R10, -10, 0x0a00_0064u32 as i32)
+                .st(BPF_H, Reg::R10, -6, 51724u16 as i32)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -16)
+                .mov64_imm(Reg::R3, 12)
+                .mov64_imm(Reg::R4, 0)
+                .mov64_imm(Reg::R5, 0)
+                .call_helper(helpers::BPF_SK_LOOKUP_TCP as i32)
+                .jmp64_imm(BPF_JNE, Reg::R0, 0, "found")
+                .exit()
+                .label("found")
+                .mov64_reg(Reg::R1, Reg::R0)
+                .call_helper(helpers::BPF_SK_RELEASE as i32)
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::SocketFilter, insns);
+            bed.verifier().verify(&prog).unwrap();
+            let mut vm = bed.vm().with_faults(helper_faults);
+            let pid = vm.load(prog);
+            assert!(vm.run(pid, CtxInput::None).result.is_ok());
+            let sock = bed
+                .kernel
+                .objects
+                .lookup_socket(
+                    kernel_sim::objects::Proto::Tcp,
+                    kernel_sim::objects::SockAddr::new(0x0a00_0001, 443),
+                    kernel_sim::objects::SockAddr::new(0x0a00_0064, 51724),
+                )
+                .unwrap();
+            if bed.kernel.refs.count(sock.obj) != Some(1) {
+                Violation::Exhibited
+            } else {
+                Violation::Prevented
+            }
+        }
+        "paper [34] (March 2021)" => {
+            let bed = TestBed::new();
+            let insns = Asm::new()
+                .call_helper(helpers::BPF_GET_CURRENT_TASK as i32)
+                .mov64_reg(Reg::R1, Reg::R0)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -64)
+                .mov64_imm(Reg::R3, 64)
+                .mov64_imm(Reg::R4, 0)
+                .call_helper(helpers::BPF_GET_TASK_STACK as i32)
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::Kprobe, insns);
+            bed.verifier().verify(&prog).unwrap();
+            let mut vm = bed.vm().with_faults(helper_faults);
+            let pid = vm.load(prog);
+            assert!(vm.run(pid, CtxInput::None).result.is_ok());
+            let task = bed.kernel.objects.current().unwrap();
+            if bed.kernel.refs.count(task.stack_obj) != Some(1) {
+                Violation::Exhibited
+            } else {
+                Violation::Prevented
+            }
+        }
+        "paper [36] (July 2022)" => {
+            let bed = TestBed::new();
+            let fd = bed
+                .maps
+                .create(&bed.kernel, MapDef::array("a", 8, 4))
+                .unwrap();
+            let insns = Asm::new()
+                .st(BPF_W, Reg::R10, -4, 0x10_0000)
+                .ld_map_fd(Reg::R1, fd)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -4)
+                .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::Kprobe, insns);
+            bed.verifier().verify(&prog).unwrap();
+            let mut vm = bed.vm().with_faults(helper_faults);
+            let pid = vm.load(prog);
+            vm.run(pid, CtxInput::None);
+            tainted(&bed)
+        }
+        "paper [42] (January 2021)" => {
+            let bed = TestBed::new();
+            let fd = bed
+                .maps
+                .create(&bed.kernel, MapDef::hash("tls", 4, 8, 8))
+                .unwrap();
+            let insns = Asm::new()
+                .ld_map_fd(Reg::R1, fd)
+                .mov64_imm(Reg::R2, 0)
+                .mov64_imm(Reg::R3, 0)
+                .mov64_imm(Reg::R4, 0)
+                .call_helper(helpers::BPF_TASK_STORAGE_GET as i32)
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::Kprobe, insns);
+            bed.verifier().verify(&prog).unwrap();
+            let mut vm = bed.vm().with_faults(helper_faults);
+            let pid = vm.load(prog);
+            vm.run(pid, CtxInput::None);
+            tainted(&bed)
+        }
+        "CVE-2022-23222" => {
+            let bed = TestBed::new();
+            let fd = bed
+                .maps
+                .create(&bed.kernel, MapDef::hash("h", 4, 64, 4))
+                .unwrap();
+            let insns = Asm::new()
+                .st(BPF_W, Reg::R10, -4, 0)
+                .ld_map_fd(Reg::R1, fd)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -4)
+                .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+                .alu64_imm(BPF_ADD, Reg::R0, 8)
+                .jmp64_imm(BPF_JNE, Reg::R0, 0, "write")
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .label("write")
+                .st(BPF_DW, Reg::R0, 0, 0x41)
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::SocketFilter, insns);
+            let verdict = bed
+                .verifier()
+                .with_faults(verifier_faults)
+                .verify(&prog);
+            match verdict {
+                Err(_) => Violation::Prevented, // rejected at load time
+                Ok(_) => {
+                    let mut vm = bed.vm();
+                    let pid = vm.load(prog);
+                    vm.run(pid, CtxInput::None);
+                    tainted(&bed)
+                }
+            }
+        }
+        "CVE-2021-31440" => {
+            let bed = TestBed::new();
+            let fd = bed
+                .maps
+                .create(&bed.kernel, MapDef::array("a", 64, 1))
+                .unwrap();
+            let insns = Asm::new()
+                .call_helper(helpers::BPF_KTIME_GET_NS as i32)
+                .mov64_reg(Reg::R6, Reg::R0)
+                .mov64_imm(Reg::R0, 0)
+                .jmp32_imm(BPF_JLT, Reg::R6, 8, "use")
+                .exit()
+                .label("use")
+                .st(BPF_W, Reg::R10, -4, 0)
+                .ld_map_fd(Reg::R1, fd)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -4)
+                .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+                .jmp64_imm(BPF_JNE, Reg::R0, 0, "hit")
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .label("hit")
+                .alu64_reg(BPF_ADD, Reg::R0, Reg::R6)
+                .ldx(BPF_DW, Reg::R0, Reg::R0, 0)
+                .alu64_imm(BPF_AND, Reg::R0, 1)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::SocketFilter, insns);
+            match bed.verifier().with_faults(verifier_faults).verify(&prog) {
+                Err(_) => Violation::Prevented,
+                Ok(_) => {
+                    bed.kernel.clock.advance((1u64 << 32) + 2);
+                    let mut vm = bed.vm();
+                    let pid = vm.load(prog);
+                    vm.run(pid, CtxInput::None);
+                    tainted(&bed)
+                }
+            }
+        }
+        "paper [15] (July 2022)" => {
+            let bed = TestBed::new();
+            let fd = bed
+                .maps
+                .create(&bed.kernel, MapDef::array("a", 64, 1))
+                .unwrap();
+            let insns = Asm::new()
+                .call_helper(helpers::BPF_KTIME_GET_NS as i32)
+                .alu64_imm(BPF_AND, Reg::R0, 0xf)
+                .mov64_reg(Reg::R6, Reg::R0)
+                .mov64_imm(Reg::R0, 0)
+                .jmp64_imm(BPF_JGE, Reg::R6, 16, "out")
+                .lddw(Reg::R7, u64::MAX - 5)
+                .alu64_reg(BPF_ADD, Reg::R6, Reg::R7)
+                .st(BPF_W, Reg::R10, -4, 0)
+                .ld_map_fd(Reg::R1, fd)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -4)
+                .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+                .jmp64_imm(BPF_JNE, Reg::R0, 0, "hit")
+                .mov64_imm(Reg::R0, 0)
+                .exit()
+                .label("hit")
+                .alu64_reg(BPF_ADD, Reg::R0, Reg::R6)
+                .ldx(BPF_B, Reg::R0, Reg::R0, 0)
+                .label("out")
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::SocketFilter, insns);
+            match bed.verifier().with_faults(verifier_faults).verify(&prog) {
+                Err(_) => Violation::Prevented,
+                Ok(_) => {
+                    let mut vm = bed.vm();
+                    let pid = vm.load(prog);
+                    vm.run(pid, CtxInput::None);
+                    tainted(&bed)
+                }
+            }
+        }
+        "paper [13][14] (Dec 2021)" => {
+            let bed = TestBed::new();
+            let fd = bed
+                .maps
+                .create(&bed.kernel, MapDef::array("a", 8, 1))
+                .unwrap();
+            let insns = Asm::new()
+                .st(BPF_W, Reg::R10, -4, 0)
+                .ld_map_fd(Reg::R1, fd)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -4)
+                .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+                .jmp64_imm(BPF_JNE, Reg::R0, 0, "hit")
+                .exit()
+                .label("hit")
+                .stx(BPF_DW, Reg::R10, -16, Reg::R0)
+                .mov64_imm(Reg::R1, 0)
+                .atomic(BPF_DW, Reg::R10, -16, Reg::R1, BPF_XCHG)
+                .mov64_reg(Reg::R0, Reg::R1)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::SocketFilter, insns);
+            match bed.verifier().with_faults(verifier_faults).verify(&prog) {
+                Err(_) => Violation::Prevented,
+                Ok(_) => {
+                    let mut vm = bed.vm();
+                    let pid = vm.load(prog);
+                    let leaked = vm.run(pid, CtxInput::None).unwrap();
+                    if leaked >= kernel_sim::mem::KERNEL_VA_BASE {
+                        Violation::Exhibited
+                    } else {
+                        Violation::Prevented
+                    }
+                }
+            }
+        }
+        "CVE-2021-29154" => {
+            let bed = TestBed::new();
+            let mut asm = Asm::new()
+                .mov64_imm(Reg::R6, 0)
+                .mov64_imm(Reg::R0, 3)
+                .mov64_imm(Reg::R7, 0)
+                .ja("head")
+                .label("poison")
+                .mov64_imm(Reg::R7, 1)
+                .label("head");
+            for _ in 0..130 {
+                asm = asm.alu64_imm(BPF_ADD, Reg::R6, 0);
+            }
+            let insns = asm
+                .alu64_imm(BPF_SUB, Reg::R0, 1)
+                .jmp64_imm(BPF_JNE, Reg::R0, 0, "head")
+                .mov64_reg(Reg::R0, Reg::R7)
+                .exit()
+                .build()
+                .unwrap();
+            let prog = Program::new("a", ProgType::SocketFilter, insns);
+            bed.verifier().verify(&prog).unwrap();
+            let (compiled, _) = jit_compile(
+                &prog,
+                JitConfig {
+                    branch_offset_bug: buggy,
+                },
+            )
+            .unwrap();
+            let mut vm = bed.vm();
+            let pid = vm.load(compiled);
+            let result = vm.run(pid, CtxInput::None);
+            // Executed control flow diverged from the verified program
+            // when the poison flag is set (or execution escaped).
+            match result.result {
+                Ok(0) => Violation::Prevented,
+                _ => Violation::Exhibited,
+            }
+        }
+        other => panic!("no attack implemented for corpus entry {other}"),
+    }
+}
+
+fn tainted(bed: &TestBed) -> Violation {
+    if bed.kernel.health().tainted {
+        Violation::Exhibited
+    } else {
+        Violation::Prevented
+    }
+}
+
+#[test]
+fn every_corpus_bug_reproduces_when_shipped() {
+    for bug in analysis::bugdb::CORPUS {
+        assert_eq!(
+            attack(bug.id, true),
+            Violation::Exhibited,
+            "{} did not reproduce",
+            bug.id
+        );
+    }
+}
+
+#[test]
+fn every_corpus_bug_is_prevented_when_patched() {
+    for bug in analysis::bugdb::CORPUS {
+        assert_eq!(
+            attack(bug.id, false),
+            Violation::Prevented,
+            "{} not prevented by the fix",
+            bug.id
+        );
+    }
+}
+
+#[test]
+fn corpus_component_split_echoes_table1_shape() {
+    // Table 1: more verifier bugs (22) than helper bugs (18), with the
+    // JIT as the extra downstream component §2.1 warns about. Our corpus
+    // keeps the same shape: both components well represented.
+    let counts = analysis::bugdb::corpus_counts();
+    let helpers: u32 = counts.iter().map(|(_, h, _, _)| h).sum();
+    let verifiers: u32 = counts.iter().map(|(_, _, v, _)| v).sum();
+    let jits: u32 = counts.iter().map(|(_, _, _, j)| j).sum();
+    assert!(helpers >= 4);
+    assert!(verifiers >= 4);
+    assert_eq!(jits, 1);
+    assert_eq!(helpers + verifiers + jits, 10);
+}

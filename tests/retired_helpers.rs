@@ -1,0 +1,218 @@
+//! §3.2 equivalence: the retired helpers and their safe-Rust replacements
+//! produce identical results on the same inputs.
+
+use ebpf::asm::Asm;
+use ebpf::helpers;
+use ebpf::insn::*;
+use ebpf::interp::CtxInput;
+use ebpf::program::{ProgType, Program};
+use safe_ext::retired;
+use untenable::TestBed;
+
+/// Runs bpf_strtol on `input` through the baseline helper; returns
+/// `(ret, parsed)`.
+fn helper_strtol(input: &[u8], base: i32) -> (i64, i64) {
+    let bed = TestBed::new();
+    assert!(input.len() <= 8, "test strings fit one stack slot");
+    let mut padded = [0u8; 8];
+    padded[..input.len()].copy_from_slice(input);
+    let insns = Asm::new()
+        .lddw(Reg::R1, u64::from_le_bytes(padded))
+        .stx(BPF_DW, Reg::R10, -8, Reg::R1)
+        .st(BPF_DW, Reg::R10, -16, 0) // result cell
+        .mov64_reg(Reg::R1, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R1, -8)
+        .mov64_imm(Reg::R2, input.len() as i32)
+        .mov64_imm(Reg::R3, base)
+        .mov64_reg(Reg::R4, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R4, -16)
+        .call_helper(helpers::BPF_STRTOL as i32)
+        .mov64_reg(Reg::R6, Reg::R0)
+        .ldx(BPF_DW, Reg::R0, Reg::R10, -16)
+        .stx(BPF_DW, Reg::R10, -24, Reg::R6)
+        .exit()
+        .build()
+        .unwrap();
+    let prog = Program::new("strtol", ProgType::Kprobe, insns);
+    bed.verifier().verify(&prog).unwrap();
+    let mut vm = bed.vm();
+    let id = vm.load(prog);
+    let result = vm.run(id, CtxInput::None);
+    // R0 = parsed value; we also need the return code. Rerun returning it.
+    let parsed = result.unwrap() as i64;
+    let insns = Asm::new()
+        .lddw(Reg::R1, u64::from_le_bytes(padded))
+        .stx(BPF_DW, Reg::R10, -8, Reg::R1)
+        .st(BPF_DW, Reg::R10, -16, 0)
+        .mov64_reg(Reg::R1, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R1, -8)
+        .mov64_imm(Reg::R2, input.len() as i32)
+        .mov64_imm(Reg::R3, base)
+        .mov64_reg(Reg::R4, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R4, -16)
+        .call_helper(helpers::BPF_STRTOL as i32)
+        .exit()
+        .build()
+        .unwrap();
+    let prog = Program::new("strtol-ret", ProgType::Kprobe, insns);
+    let id = vm.load(prog);
+    let ret = vm.run(id, CtxInput::None).unwrap() as i64;
+    (ret, parsed)
+}
+
+#[test]
+fn strtol_equivalence() {
+    for (input, base) in [
+        (&b"1234"[..], 10),
+        (b"-42", 10),
+        (b"ff", 16),
+        (b"0", 10),
+        (b"  77", 10),
+        (b"xyz", 10),
+        (b"10abc", 10),
+    ] {
+        let (helper_ret, helper_val) = helper_strtol(input, base);
+        match retired::strtol(input, base as u32) {
+            Some((val, consumed)) => {
+                assert_eq!(helper_ret, consumed as i64, "consumed for {input:?}");
+                assert_eq!(helper_val, val, "value for {input:?}");
+            }
+            None => {
+                assert!(helper_ret < 0, "helper must fail for {input:?}");
+            }
+        }
+    }
+}
+
+/// Runs bpf_strncmp through the baseline helper.
+fn helper_strncmp(a: &[u8], b: &[u8], n: usize) -> i64 {
+    let bed = TestBed::new();
+    let mut pa = [0u8; 8];
+    let mut pb = [0u8; 8];
+    pa[..a.len()].copy_from_slice(a);
+    pb[..b.len()].copy_from_slice(b);
+    let insns = Asm::new()
+        .lddw(Reg::R1, u64::from_le_bytes(pa))
+        .stx(BPF_DW, Reg::R10, -8, Reg::R1)
+        .lddw(Reg::R1, u64::from_le_bytes(pb))
+        .stx(BPF_DW, Reg::R10, -16, Reg::R1)
+        .mov64_reg(Reg::R1, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R1, -8)
+        .mov64_imm(Reg::R2, n as i32)
+        .mov64_reg(Reg::R3, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R3, -16)
+        .call_helper(helpers::BPF_STRNCMP as i32)
+        .exit()
+        .build()
+        .unwrap();
+    let prog = Program::new("strncmp", ProgType::Kprobe, insns);
+    bed.verifier().verify(&prog).unwrap();
+    let mut vm = bed.vm();
+    let id = vm.load(prog);
+    vm.run(id, CtxInput::None).unwrap() as i64
+}
+
+#[test]
+fn strncmp_equivalence() {
+    for (a, b, n) in [
+        (&b"abc\0"[..], &b"abc\0"[..], 8usize),
+        (b"abd\0", b"abc\0", 4),
+        (b"abb\0", b"abc\0", 4),
+        (b"abcX", b"abcY", 3),
+        (b"ab\0X", b"ab\0Y", 4),
+    ] {
+        let helper = helper_strncmp(a, b, n);
+        let rust = retired::strncmp(a, b, n) as i64;
+        // C-style semantics: only the sign matters.
+        assert_eq!(helper.signum(), rust.signum(), "{a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn loop_equivalence() {
+    // bpf_loop summing indices == retired::loop_n summing indices.
+    let bed = TestBed::new();
+    let insns = Asm::new()
+        .st(BPF_DW, Reg::R10, -8, 0)
+        .mov64_imm(Reg::R1, 25)
+        .ld_fn_ptr(Reg::R2, "body")
+        .mov64_reg(Reg::R3, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R3, -8)
+        .mov64_imm(Reg::R4, 0)
+        .call_helper(helpers::BPF_LOOP as i32)
+        .ldx(BPF_DW, Reg::R0, Reg::R10, -8)
+        .exit()
+        .label("body")
+        .ldx(BPF_DW, Reg::R3, Reg::R2, 0)
+        .alu64_reg(BPF_ADD, Reg::R3, Reg::R1)
+        .stx(BPF_DW, Reg::R2, 0, Reg::R3)
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build()
+        .unwrap();
+    let prog = Program::new("loop", ProgType::Kprobe, insns);
+    bed.verifier().verify(&prog).unwrap();
+    let mut vm = bed.vm();
+    let id = vm.load(prog);
+    let helper_sum = vm.run(id, CtxInput::None).unwrap();
+
+    let mut rust_sum = 0u64;
+    let performed = retired::loop_n(25, |i| {
+        rust_sum += i;
+        false
+    });
+    assert_eq!(performed, 25);
+    assert_eq!(helper_sum, rust_sum);
+}
+
+#[test]
+fn csum_diff_equivalence() {
+    let bed = TestBed::new();
+    let from = *b"AAAABBBB";
+    let to = *b"AAAACCCC";
+    let insns = Asm::new()
+        .lddw(Reg::R1, u64::from_le_bytes(from))
+        .stx(BPF_DW, Reg::R10, -8, Reg::R1)
+        .lddw(Reg::R1, u64::from_le_bytes(to))
+        .stx(BPF_DW, Reg::R10, -16, Reg::R1)
+        .mov64_reg(Reg::R1, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R1, -8)
+        .mov64_imm(Reg::R2, 8)
+        .mov64_reg(Reg::R3, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R3, -16)
+        .mov64_imm(Reg::R4, 8)
+        .mov64_imm(Reg::R5, 7)
+        .call_helper(helpers::BPF_CSUM_DIFF as i32)
+        .exit()
+        .build()
+        .unwrap();
+    let prog = Program::new("csum", ProgType::Kprobe, insns);
+    bed.verifier().verify(&prog).unwrap();
+    let mut vm = bed.vm();
+    let id = vm.load(prog);
+    let helper = vm.run(id, CtxInput::None).unwrap();
+    assert_eq!(helper, retired::csum_diff(&from, &to, 7));
+}
+
+#[test]
+fn retirement_table_names_registry_helpers() {
+    // Every Expressiveness-class helper in the simulated registry appears
+    // in the retirement table.
+    let registry = ebpf::helpers::HelperRegistry::standard();
+    let retired_names: Vec<&str> = retired::RETIRED_HELPERS.iter().map(|(n, _)| *n).collect();
+    for spec in registry.specs() {
+        if spec.category == ebpf::helpers::HelperCategory::Expressiveness
+            && spec.id != ebpf::helpers::BPF_STRTOUL
+            && spec.id != ebpf::helpers::BPF_CSUM_DIFF
+        {
+            assert!(
+                retired_names.contains(&spec.name),
+                "{} missing from the retirement table",
+                spec.name
+            );
+        }
+    }
+    // And those two are in the table too, by name.
+    assert!(retired_names.contains(&"bpf_strtoul"));
+    assert!(retired_names.contains(&"bpf_csum_diff"));
+}

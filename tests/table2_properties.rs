@@ -1,0 +1,229 @@
+//! Table 2 matrix: for each safety property, an attack that breaks the
+//! *baseline* (with the relevant documented bug present) and the
+//! demonstration that the proposed framework enforces the property by
+//! the mechanism Table 2 names.
+
+use ebpf::asm::Asm;
+use ebpf::helpers::{self, FaultConfig};
+use ebpf::insn::*;
+use ebpf::interp::{CtxInput, ExecError};
+use ebpf::jit::{jit_compile, JitConfig};
+use ebpf::program::{ProgType, Program};
+use kernel_sim::audit::EventKind;
+use safe_ext::props::{enforcement, Enforcement, SafetyProperty};
+use safe_ext::{Abort, ExtError, ExtInput, Extension, SysBpfRequest};
+use untenable::TestBed;
+
+#[test]
+fn no_arbitrary_memory_access() {
+    assert_eq!(
+        enforcement(SafetyProperty::NoArbitraryMemAccess),
+        Enforcement::LanguageSafety
+    );
+    // Baseline violated: the verified sys_bpf exploit reads arbitrary
+    // kernel memory (see exploits.rs). Safe-ext: there is no raw pointer
+    // to abuse; the nearest misuse is a checked error.
+    let bed = TestBed::new();
+    let ext = Extension::new("probe", ProgType::Xdp, |ctx| {
+        let pkt = ctx.packet()?;
+        match pkt.load_u8(u64::MAX / 2) {
+            Err(ExtError::OutOfBounds { .. }) => Ok(1),
+            _ => Ok(0),
+        }
+    });
+    let outcome = bed.runtime().run(&ext, ExtInput::Packet(vec![0; 16]));
+    assert_eq!(outcome.unwrap(), 1);
+    assert!(bed.kernel.health().pristine());
+}
+
+#[test]
+fn no_arbitrary_control_flow() {
+    assert_eq!(
+        enforcement(SafetyProperty::NoArbitraryControlFlow),
+        Enforcement::LanguageSafety
+    );
+    // Baseline violated: the buggy JIT makes verified bytecode execute a
+    // branch target the verifier never checked (demonstrated end-to-end
+    // in exploits.rs::cve_2021_29154_jit_branch_miscalculation). A wilder
+    // corruption — a branch displacement escaping the program text — is
+    // caught by the interpreter's control-flow-integrity backstop:
+    let bed = TestBed::new();
+    let prog = Program::new(
+        "hijack",
+        ProgType::SocketFilter,
+        vec![
+            Insn::new(BPF_JMP | BPF_JA, 0, 0, 1000, 0),
+            Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0),
+        ],
+    );
+    // The JIT itself rejects it at compile time (validation)...
+    assert!(jit_compile(&prog, JitConfig::default()).is_err());
+    // ...and the raw interpreter catches the escape at runtime.
+    let mut vm = bed.vm();
+    let id = vm.load(prog);
+    assert!(matches!(
+        vm.run(id, CtxInput::None).result,
+        Err(ExecError::ControlFlowEscape { .. })
+    ));
+
+    // Safe-ext: extensions are compiled Rust functions; there is no
+    // program counter to corrupt. The property holds by construction —
+    // demonstrated by the absence of any API that could express it.
+    let ext = Extension::new("straight", ProgType::SocketFilter, |_| Ok(7));
+    assert_eq!(bed.runtime().run(&ext, ExtInput::None).unwrap(), 7);
+}
+
+#[test]
+fn type_safety() {
+    assert_eq!(
+        enforcement(SafetyProperty::TypeSafety),
+        Enforcement::LanguageSafety
+    );
+    // Baseline violated: bpf_sys_bpf treats attacker bytes as a union —
+    // scalar-vs-pointer confusion crashes the kernel (exploits.rs).
+    // Safe-ext: the request type is an enum; confusion is unrepresentable.
+    let bed = TestBed::new();
+    let ext = Extension::new("typed", ProgType::Tracepoint, |ctx| {
+        ctx.sys_bpf(SysBpfRequest::CreateArrayMap {
+            value_size: 8,
+            max_entries: 2,
+        })
+    });
+    let outcome = bed.runtime().run(&ext, ExtInput::None);
+    assert!(outcome.result.is_ok());
+    assert!(bed.kernel.health().pristine());
+}
+
+#[test]
+fn safe_resource_management() {
+    assert_eq!(
+        enforcement(SafetyProperty::SafeResourceManagement),
+        Enforcement::RuntimeProtection
+    );
+    // Baseline violated: with the shipped sk_lookup bug, even a
+    // reference-balanced verified program leaks a refcount.
+    let bed = TestBed::new();
+    let insns = Asm::new()
+        .st(BPF_DW, Reg::R10, -16, 0)
+        .st(BPF_W, Reg::R10, -16, 0x0a00_0001u32 as i32)
+        .st(BPF_H, Reg::R10, -12, 443)
+        .st(BPF_W, Reg::R10, -10, 0x0a00_0064u32 as i32)
+        .st(BPF_H, Reg::R10, -6, 51724u16 as i32)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -16)
+        .mov64_imm(Reg::R3, 12)
+        .mov64_imm(Reg::R4, 0)
+        .mov64_imm(Reg::R5, 0)
+        .call_helper(helpers::BPF_SK_LOOKUP_TCP as i32)
+        .jmp64_imm(BPF_JNE, Reg::R0, 0, "found")
+        .exit()
+        .label("found")
+        .mov64_reg(Reg::R1, Reg::R0)
+        .call_helper(helpers::BPF_SK_RELEASE as i32)
+        .mov64_imm(Reg::R0, 0)
+        .exit()
+        .build()
+        .unwrap();
+    let prog = Program::new("balanced", ProgType::SocketFilter, insns);
+    bed.verifier().verify(&prog).expect("reference-balanced");
+    let mut vm = bed.vm().with_faults(FaultConfig::shipped());
+    let id = vm.load(prog);
+    assert!(vm.run(id, CtxInput::None).result.is_ok());
+    let sock = bed
+        .kernel
+        .objects
+        .lookup_socket(
+            kernel_sim::objects::Proto::Tcp,
+            kernel_sim::objects::SockAddr::new(0x0a00_0001, 443),
+            kernel_sim::objects::SockAddr::new(0x0a00_0064, 51724),
+        )
+        .unwrap();
+    assert_eq!(
+        bed.kernel.refs.count(sock.obj),
+        Some(2),
+        "baseline leaked despite verifier-approved balance"
+    );
+
+    // Safe-ext: even a *panicking* extension that suppressed its guard
+    // leaks nothing — the cleanup registry releases it.
+    let bed2 = TestBed::new();
+    let ext = Extension::new("leaky-but-saved", ProgType::SocketFilter, |ctx| {
+        let guard = ctx
+            .lookup_tcp(
+                kernel_sim::objects::SockAddr::new(0x0a00_0001, 443),
+                kernel_sim::objects::SockAddr::new(0x0a00_0064, 51724),
+            )?
+            .ok_or(ExtError::NotFound)?;
+        let _suppressed = std::mem::ManuallyDrop::new(guard);
+        panic!("bug while holding a reference");
+    });
+    let outcome = bed2.runtime().run(&ext, ExtInput::None);
+    assert!(matches!(outcome.result, Err(Abort::Panic(_))));
+    assert_eq!(outcome.cleaned.len(), 1);
+    let sock2 = bed2
+        .kernel
+        .objects
+        .lookup_socket(
+            kernel_sim::objects::Proto::Tcp,
+            kernel_sim::objects::SockAddr::new(0x0a00_0001, 443),
+            kernel_sim::objects::SockAddr::new(0x0a00_0064, 51724),
+        )
+        .unwrap();
+    assert_eq!(bed2.kernel.refs.count(sock2.obj), Some(1));
+}
+
+#[test]
+fn termination() {
+    assert_eq!(
+        enforcement(SafetyProperty::Termination),
+        Enforcement::RuntimeProtection
+    );
+    // Baseline violated: the verified nested-loop staller runs past the
+    // RCU stall threshold (exploits.rs proves it end-to-end). Safe-ext:
+    // the watchdog ends the same workload with the kernel pristine.
+    let bed = TestBed::new();
+    let ext = Extension::new("spin", ProgType::Kprobe, |ctx| {
+        loop {
+            ctx.tick()?;
+        }
+    });
+    let outcome = bed.runtime().run(&ext, ExtInput::None);
+    assert!(matches!(outcome.result, Err(Abort::WatchdogFuel)));
+    assert_eq!(bed.kernel.audit.count(EventKind::WatchdogFired), 1);
+    assert!(bed.kernel.health().pristine());
+}
+
+#[test]
+fn stack_protection() {
+    assert_eq!(
+        enforcement(SafetyProperty::StackProtection),
+        Enforcement::RuntimeProtection
+    );
+    // Baseline: the verifier statically rejects deep recursion (a
+    // restriction); safe-ext terminates it dynamically (no restriction
+    // on legitimate bounded recursion, clean termination past the guard).
+    let bed = TestBed::new();
+    fn deep(ctx: &safe_ext::ExtCtx<'_>, n: u64) -> Result<u64, ExtError> {
+        ctx.frame(|ctx| deep(ctx, n + 1))
+    }
+    let ext = Extension::new("deep", ProgType::Kprobe, |ctx| deep(ctx, 0));
+    let outcome = bed.runtime().run(&ext, ExtInput::None);
+    assert!(matches!(outcome.result, Err(Abort::StackGuard)));
+    assert_eq!(bed.kernel.audit.count(EventKind::StackOverflowGuard), 1);
+    assert!(bed.kernel.health().pristine());
+}
+
+#[test]
+fn all_six_properties_are_covered_by_this_suite() {
+    // One test per Table 2 row, and the split matches the paper.
+    let language: Vec<_> = SafetyProperty::ALL
+        .iter()
+        .filter(|p| enforcement(**p) == Enforcement::LanguageSafety)
+        .collect();
+    let runtime: Vec<_> = SafetyProperty::ALL
+        .iter()
+        .filter(|p| enforcement(**p) == Enforcement::RuntimeProtection)
+        .collect();
+    assert_eq!(language.len(), 3);
+    assert_eq!(runtime.len(), 3);
+}
