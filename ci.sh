@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, tier-1 build + tests, and a short
+# differential fault-injection soak. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "==> differential soak (200 seeds; full run uses 1000+)"
+cargo run --release -p bench --bin soak -- 200
+
+echo "CI: all gates passed"

@@ -224,7 +224,10 @@ mod tests {
             .iter()
             .filter(|b| b.component == Component::Verifier)
             .count();
-        let jits = CORPUS.iter().filter(|b| b.component == Component::Jit).count();
+        let jits = CORPUS
+            .iter()
+            .filter(|b| b.component == Component::Jit)
+            .count();
         assert_eq!(helpers, 5);
         assert_eq!(verifiers, 4);
         assert_eq!(jits, 1);
@@ -240,10 +243,7 @@ mod tests {
 
     #[test]
     fn counts_sum_to_corpus_size() {
-        let total: u32 = corpus_counts()
-            .iter()
-            .map(|(_, h, v, j)| h + v + j)
-            .sum();
+        let total: u32 = corpus_counts().iter().map(|(_, h, v, j)| h + v + j).sum();
         assert_eq!(total, CORPUS.len() as u32);
     }
 

@@ -191,9 +191,6 @@ mod tests {
         let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
         let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
         let per_two_years = slope * 2.0;
-        assert!(
-            (40.0..60.0).contains(&per_two_years),
-            "got {per_two_years}"
-        );
+        assert!((40.0..60.0).contains(&per_two_years), "got {per_two_years}");
     }
 }

@@ -54,9 +54,7 @@ impl Fig2 {
         let paper: Vec<String> = self
             .paper
             .iter()
-            .map(|(v, year, loc)| {
-                format!(r#"{{"version":"{v}","year":{year},"loc":{loc}}}"#)
-            })
+            .map(|(v, year, loc)| format!(r#"{{"version":"{v}","year":{year},"loc":{loc}}}"#))
             .collect();
         let measured: Vec<String> = self
             .measured
@@ -92,9 +90,7 @@ pub struct Fig3 {
 pub fn fig3(seed: u64) -> Fig3 {
     let kernel = kerngen::generate(seed);
     let sizes = kernel.analyze();
-    let stats = callgraph::reach_stats(
-        &sizes.iter().map(|(_, s)| *s).collect::<Vec<_>>(),
-    );
+    let stats = callgraph::reach_stats(&sizes.iter().map(|(_, s)| *s).collect::<Vec<_>>());
     let registry = ebpf::helpers::HelperRegistry::standard();
     let ours = registry
         .specs()
@@ -199,12 +195,7 @@ pub fn fig4() -> Fig4 {
     let specs = registry.specs();
     let measured = KernelVersion::FIGURE_SERIES
         .iter()
-        .map(|v| {
-            (
-                *v,
-                specs.iter().filter(|s| s.introduced_in <= *v).count(),
-            )
-        })
+        .map(|v| (*v, specs.iter().filter(|s| s.introduced_in <= *v).count()))
         .collect();
     let points: Vec<(f64, f64)> = datasets::FIG4_HELPER_COUNT
         .iter()

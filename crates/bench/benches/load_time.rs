@@ -35,13 +35,9 @@ fn bench_load_paths(c: &mut Criterion) {
     let mut group = c.benchmark_group("load-path");
     for n in [256usize, 1024, 4096] {
         let prog = workloads::straightline(n);
-        group.bench_with_input(
-            BenchmarkId::new("baseline-verify", n),
-            &prog,
-            |b, prog| {
-                b.iter(|| verifier.verify(prog).expect("verifies"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("baseline-verify", n), &prog, |b, prog| {
+            b.iter(|| verifier.verify(prog).expect("verifies"));
+        });
         let source = format!(
             "fn ext(ctx: &ExtCtx) -> Result<u64, ExtError> {{\n{}    Ok(0)\n}}\n",
             "    let _ = 1 + 1;\n".repeat(n / 2)

@@ -17,9 +17,7 @@ fn bench_packet_path(c: &mut Criterion) {
     kernel.populate_demo_env();
     let maps = MapRegistry::default();
     let helpers = HelperRegistry::standard();
-    let fd = maps
-        .create(&kernel, MapDef::array("counts", 8, 4))
-        .unwrap();
+    let fd = maps.create(&kernel, MapDef::array("counts", 8, 4)).unwrap();
 
     let prog = workloads::packet_filter(fd);
     Verifier::new(&maps, &helpers).verify(&prog).unwrap();

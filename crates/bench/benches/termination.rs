@@ -50,10 +50,8 @@ fn bench_watchdog_budgets(c: &mut Criterion) {
             let kernel = Kernel::new();
             kernel.populate_demo_env();
             let maps = MapRegistry::default();
-            let ext = Extension::new("spinner", ProgType::Kprobe, |ctx| {
-                loop {
-                    ctx.tick()?;
-                }
+            let ext = Extension::new("spinner", ProgType::Kprobe, |ctx| loop {
+                ctx.tick()?;
             });
             let runtime = Runtime::new(&kernel, &maps).with_config(RuntimeConfig {
                 fuel,

@@ -56,15 +56,11 @@ fn bench_by_feature_set(c: &mut Criterion) {
         ebpf::KernelVersion::V4_20,
         ebpf::KernelVersion::V6_1,
     ] {
-        let verifier = Verifier::new(&maps, &helpers)
-            .with_features(VerifierFeatures::for_version(version));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(version),
-            &prog,
-            |b, prog| {
-                b.iter(|| verifier.verify(prog).expect("verifies"));
-            },
-        );
+        let verifier =
+            Verifier::new(&maps, &helpers).with_features(VerifierFeatures::for_version(version));
+        group.bench_with_input(BenchmarkId::from_parameter(version), &prog, |b, prog| {
+            b.iter(|| verifier.verify(prog).expect("verifies"));
+        });
     }
     group.finish();
 }

@@ -90,7 +90,10 @@ fn fig4() {
 
 fn table1() {
     heading("Table 1 — bug statistics in eBPF helpers and verifier (2021-2022)");
-    println!("{:<30} {:>6} {:>7} {:>9}", "Vulnerability/Bug (paper)", "Total", "Helper", "Verifier");
+    println!(
+        "{:<30} {:>6} {:>7} {:>9}",
+        "Vulnerability/Bug (paper)", "Total", "Helper", "Verifier"
+    );
     for row in analysis::datasets::TABLE1 {
         println!(
             "{:<30} {:>6} {:>7} {:>9}",
@@ -98,7 +101,10 @@ fn table1() {
         );
     }
     let t = analysis::datasets::TABLE1_TOTAL;
-    println!("{:<30} {:>6} {:>7} {:>9}", t.class, t.total, t.helper, t.verifier);
+    println!(
+        "{:<30} {:>6} {:>7} {:>9}",
+        t.class, t.total, t.helper, t.verifier
+    );
 
     println!("\nMechanism replicas implemented in this artifact (tests/fault_corpus.rs):");
     println!("{:<28} {:<26} {:<9}", "Replica", "Class", "Component");
@@ -138,7 +144,13 @@ fn table2() {
     }
     let rows: Vec<String> = safe_ext::props::TABLE2
         .iter()
-        .map(|(p, e)| format!(r#"{{"property":"{}","enforcement":"{}"}}"#, p.label(), e.label()))
+        .map(|(p, e)| {
+            format!(
+                r#"{{"property":"{}","enforcement":"{}"}}"#,
+                p.label(),
+                e.label()
+            )
+        })
         .collect();
     save(
         "table2.json",
@@ -159,7 +171,11 @@ fn helpers_classification() {
             HelperCategory::Wrapper => wrap.push(spec.name),
         }
     }
-    println!("RETIRE ({} of {} simulated helpers; paper cites 16 retirable):", retire.len(), registry.len());
+    println!(
+        "RETIRE ({} of {} simulated helpers; paper cites 16 retirable):",
+        retire.len(),
+        registry.len()
+    );
     println!("  {}", retire.join(", "));
     println!("\nSIMPLIFY with RAII / checked Rust ({}):", simplify.len());
     println!("  {}", simplify.join(", "));
@@ -271,7 +287,7 @@ fn exploit_safety() {
     use ebpf::insn::*;
     use ebpf::interp::{CtxInput, Vm};
     use ebpf::maps::MapRegistry;
-    use ebpf::program::{Program, ProgType};
+    use ebpf::program::{ProgType, Program};
     use kernel_sim::Kernel;
     use verifier::Verifier;
 
@@ -293,7 +309,10 @@ fn exploit_safety() {
         .unwrap();
     let prog = Program::new("cve-2022-2785", ProgType::Tracepoint, insns);
     let v = Verifier::new(&maps, &helpers_reg).verify(&prog).unwrap();
-    println!("verifier: ACCEPTED ({} insns processed)", v.stats.insns_processed);
+    println!(
+        "verifier: ACCEPTED ({} insns processed)",
+        v.stats.insns_processed
+    );
     let mut vm = Vm::new(&kernel, &maps, &helpers_reg).with_faults(FaultConfig::shipped());
     let id = vm.load(prog);
     let result = vm.run(id, CtxInput::None);
@@ -325,13 +344,17 @@ fn exploit_termination() {
         points.push((p.iterations as f64, p.insns as f64));
     }
     let slope = analysis::figures::linear_slope(&points);
-    println!("\n  linear fit: {slope:.1} insns per iteration (r^2 ~ 1: linear control over runtime)");
+    println!(
+        "\n  linear fit: {slope:.1} insns per iteration (r^2 ~ 1: linear control over runtime)"
+    );
     let full_iters = 33.0 * ((1u64 << 23) as f64).powi(3);
     let years = full_iters * slope / 1e9 / 3600.0 / 24.0 / 365.0;
     println!(
         "  extrapolation to 33 tail calls x (2^23)^3 nested iterations at 1ns/insn: {years:.1e} years"
     );
-    println!("  paper: \"we can craft a program that will run for millions of years\" — reproduced");
+    println!(
+        "  paper: \"we can craft a program that will run for millions of years\" — reproduced"
+    );
 
     println!("\nsafe-ext watchdog on the equivalent unbounded workload:");
     for w in experiments::watchdog_sweep() {

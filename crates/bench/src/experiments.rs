@@ -153,14 +153,22 @@ pub struct TerminationPoint {
 /// Runs the staller at several sizes with `time_per_insn_ns` weighting.
 pub fn termination_sweep(time_per_insn_ns: u64) -> Vec<TerminationPoint> {
     let mut out = Vec::new();
-    for (outer, inner) in [(4i32, 1024i32), (8, 2048), (16, 4096), (32, 8192), (64, 8192)] {
+    for (outer, inner) in [
+        (4i32, 1024i32),
+        (8, 2048),
+        (16, 4096),
+        (32, 8192),
+        (64, 8192),
+    ] {
         let kernel = Kernel::new();
         kernel.populate_demo_env();
         let maps = MapRegistry::default();
         let helpers = HelperRegistry::standard();
         let fd = workloads::scratch_map(&kernel, &maps);
         let prog = workloads::staller(fd, outer, inner);
-        Verifier::new(&maps, &helpers).verify(&prog).expect("verifies");
+        Verifier::new(&maps, &helpers)
+            .verify(&prog)
+            .expect("verifies");
         let mut vm = Vm::new(&kernel, &maps, &helpers).with_config(VmConfig {
             time_per_insn_ns,
             ..VmConfig::default()
@@ -199,10 +207,8 @@ pub fn watchdog_sweep() -> Vec<WatchdogPoint> {
         let kernel = Kernel::new();
         kernel.populate_demo_env();
         let maps = MapRegistry::default();
-        let ext = Extension::new("spinner", ProgType::Kprobe, |ctx| {
-            loop {
-                ctx.tick()?;
-            }
+        let ext = Extension::new("spinner", ProgType::Kprobe, |ctx| loop {
+            ctx.tick()?;
         });
         let runtime = Runtime::new(&kernel, &maps).with_config(RuntimeConfig {
             fuel,
@@ -304,7 +310,12 @@ pub struct SplitPoint {
 
 /// Builds one piece of the split program: `work` ALU ops, accumulate into
 /// scratch\[0\], then tail-call the next slot (or exit for the last piece).
-fn split_piece(work: usize, scratch_fd: u32, table_fd: u32, next_slot: Option<u32>) -> ebpf::Program {
+fn split_piece(
+    work: usize,
+    scratch_fd: u32,
+    table_fd: u32,
+    next_slot: Option<u32>,
+) -> ebpf::Program {
     use ebpf::asm::Asm;
     use ebpf::insn::*;
     let mut asm = Asm::new().mov64_reg(Reg::R6, Reg::R1).mov64_imm(Reg::R7, 0);
@@ -340,7 +351,11 @@ fn split_piece(work: usize, scratch_fd: u32, table_fd: u32, next_slot: Option<u3
             asm = asm.mov64_imm(Reg::R0, 0).exit();
         }
     }
-    ebpf::Program::new("piece", ProgType::SocketFilter, asm.build().expect("assembles"))
+    ebpf::Program::new(
+        "piece",
+        ProgType::SocketFilter,
+        asm.build().expect("assembles"),
+    )
 }
 
 /// Runs the splitting experiment at a payload size that exceeds the
@@ -357,15 +372,17 @@ pub fn program_splitting(work: usize, pieces: u32) -> SplitPoint {
         .create(&kernel, ebpf::maps::MapDef::prog_array("chain", pieces))
         .unwrap();
 
-    let unpriv = Verifier::new(&maps, &helpers)
-        .with_limits(verifier::VerifierLimits::unprivileged());
+    let unpriv =
+        Verifier::new(&maps, &helpers).with_limits(verifier::VerifierLimits::unprivileged());
 
     // Monolith: all the work in one piece, no tail call.
     let monolith = split_piece(work, scratch, table, None);
     let monolith_verifies = unpriv.verify(&monolith).is_ok();
 
     // Modern-limit run for the baseline instruction count.
-    Verifier::new(&maps, &helpers).verify(&monolith).expect("monolith verifies at modern limits");
+    Verifier::new(&maps, &helpers)
+        .verify(&monolith)
+        .expect("monolith verifies at modern limits");
     let mut vm = Vm::new(&kernel, &maps, &helpers);
     let mono_id = vm.load(monolith);
     let mono = vm.run(mono_id, CtxInput::Packet(vec![0; 8]));
@@ -384,7 +401,12 @@ pub fn program_splitting(work: usize, pieces: u32) -> SplitPoint {
     let table_map = maps.get(table).unwrap();
     for (slot, id) in ids.iter().enumerate() {
         table_map
-            .update(&kernel.mem, &(slot as u32).to_le_bytes(), &id.to_le_bytes(), 0)
+            .update(
+                &kernel.mem,
+                &(slot as u32).to_le_bytes(),
+                &id.to_le_bytes(),
+                0,
+            )
             .unwrap();
     }
     let split = vm.run(ids[0], CtxInput::Packet(vec![0; 8]));
@@ -421,7 +443,11 @@ pub fn pruning_ablation() -> Vec<PruningPoint> {
     let mut out = Vec::new();
     for n in [4usize, 8, 12, 16, 20] {
         let prog = workloads::diamonds(n);
-        let with_pruning = pruning.verify(&prog).expect("verifies").stats.insns_processed;
+        let with_pruning = pruning
+            .verify(&prog)
+            .expect("verifies")
+            .stats
+            .insns_processed;
         let no_prune = Verifier::new(&maps, &helpers)
             .with_limits(no_pruning_limits)
             .verify(&prog);

@@ -15,9 +15,10 @@ fn pruning_is_the_difference_between_linear_and_exponential() {
         "pruned cost should grow ~linearly: {growth} vs size {size_growth}"
     );
     // Without pruning: exponential, eventually exhausting the budget.
-    assert!(points
-        .iter()
-        .any(|p| p.without_pruning.is_none()), "expected a budget rejection");
+    assert!(
+        points.iter().any(|p| p.without_pruning.is_none()),
+        "expected a budget rejection"
+    );
     // And where both complete, the unpruned cost dwarfs the pruned one.
     for p in &points[2..] {
         if let Some(unpruned) = p.without_pruning {

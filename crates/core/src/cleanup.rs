@@ -13,12 +13,7 @@
 
 use ebpf::maps::{MapFd, MapRegistry};
 use kernel_sim::{
-    audit::EventKind,
-    exec::ExecCtx,
-    locks::LockId,
-    mem::Addr,
-    refcount::ObjId,
-    Kernel,
+    audit::EventKind, exec::ExecCtx, locks::LockId, mem::Addr, refcount::ObjId, Kernel,
 };
 use parking_lot::Mutex;
 

@@ -47,7 +47,10 @@ impl std::fmt::Display for ExtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExtError::OutOfBounds { offset, len, size } => {
-                write!(f, "access [{offset}, +{len}) out of bounds of {size}-byte object")
+                write!(
+                    f,
+                    "access [{offset}, +{len}) out of bounds of {size}-byte object"
+                )
             }
             ExtError::NoPacket => write!(f, "no packet context"),
             ExtError::Map(e) => write!(f, "map error: {e}"),
@@ -99,6 +102,9 @@ pub enum Abort {
     Panic(String),
     /// The extension returned an unhandled error.
     Error(ExtError),
+    /// The run was refused before entry: the extension is quarantined by
+    /// the circuit breaker (see [`crate::runtime::Quarantine`]).
+    Quarantined,
 }
 
 impl std::fmt::Display for Abort {
@@ -110,6 +116,7 @@ impl std::fmt::Display for Abort {
             Abort::StackGuard => write!(f, "terminated: stack guard"),
             Abort::Panic(msg) => write!(f, "terminated: panic: {msg}"),
             Abort::Error(e) => write!(f, "failed: {e}"),
+            Abort::Quarantined => write!(f, "refused: extension is quarantined"),
         }
     }
 }

@@ -260,10 +260,13 @@ impl<'k> ExtCtx<'k> {
             .cleanup
             .register(Resource::StackRef(task.stack_obj))
             .map_err(|_| ExtError::CleanupOverflow)?;
-        self.kernel
-            .refs
-            .get(task.stack_obj)
-            .map_err(|_| ExtError::NotFound)?;
+        if self.kernel.refs.get(task.stack_obj).is_err() {
+            // No reference was taken (e.g. injected saturation pressure):
+            // the ticket must not survive, or cleanup would put a count
+            // this call never got.
+            self.cleanup.deregister(ticket);
+            return Err(ExtError::NotFound);
+        }
         self.exec.note_acquired(task.stack_obj);
         for (i, slot) in buf.iter_mut().enumerate() {
             *slot = 0xffff_8000_0000_0000 | ((i as u64) << 4);
@@ -429,10 +432,12 @@ impl<'k> ExtCtx<'k> {
             .cleanup
             .register(Resource::SocketRef(sock.obj))
             .map_err(|_| ExtError::CleanupOverflow)?;
-        self.kernel
-            .refs
-            .get(sock.obj)
-            .expect("socket is registered");
+        if self.kernel.refs.get(sock.obj).is_err() {
+            // Saturation pressure refused the reference: degrade to a
+            // lookup miss, holding nothing.
+            self.cleanup.deregister(ticket);
+            return Ok(None);
+        }
         self.exec.note_acquired(sock.obj);
         Ok(Some(SocketGuard {
             ctx: self,
@@ -457,13 +462,13 @@ impl<'k> ExtCtx<'k> {
     ) -> Result<LockGuard<'_, 'k>, ExtError> {
         self.charge(4)?;
         let map = self.map(array_fd, MapKind::Array)?;
-        let addr = map
-            .elem_addr(index, self.kernel.cpus.current_cpu())
-            .ok_or(ExtError::OutOfBounds {
-                offset: index as u64,
-                len: 1,
-                size: map.def.max_entries as u64,
-            })?;
+        let addr =
+            map.elem_addr(index, self.kernel.cpus.current_cpu())
+                .ok_or(ExtError::OutOfBounds {
+                    offset: index as u64,
+                    len: 1,
+                    size: map.def.max_entries as u64,
+                })?;
         // Identity shared with the baseline: the cell's kernel address.
         let lock = self
             .kernel
@@ -519,10 +524,7 @@ impl<'k> ExtCtx<'k> {
                     return Err(ExtError::Invalid("zero-sized map"));
                 }
                 let def = ebpf::maps::MapDef::array("sys_bpf-safe", value_size, max_entries);
-                let fd = self
-                    .maps
-                    .create(self.kernel, def)
-                    .map_err(ExtError::Map)?;
+                let fd = self.maps.create(self.kernel, def).map_err(ExtError::Map)?;
                 Ok(fd as u64)
             }
             SysBpfRequest::MapCount => Ok(self.maps.len() as u64),
@@ -632,7 +634,11 @@ impl PacketView<'_, '_> {
     /// Writes one byte at `off`.
     pub fn store_u8(&self, off: u64, v: u8) -> Result<(), ExtError> {
         let addr = self.check(off, 1)?;
-        self.ctx.kernel.mem.write_u8(addr, v).expect("bounds checked");
+        self.ctx
+            .kernel
+            .mem
+            .write_u8(addr, v)
+            .expect("bounds checked");
         Ok(())
     }
 
@@ -698,7 +704,11 @@ impl ArrayHandle<'_, '_> {
     /// Writes a u64 at byte offset `off` of element `index`.
     pub fn set_u64(&self, index: u32, off: u64, v: u64) -> Result<(), ExtError> {
         let addr = self.addr(index, off, 8)?;
-        self.ctx.kernel.mem.write_u64(addr, v).expect("bounds checked");
+        self.ctx
+            .kernel
+            .mem
+            .write_u64(addr, v)
+            .expect("bounds checked");
         Ok(())
     }
 
@@ -935,7 +945,11 @@ impl Drop for LockGuard<'_, '_> {
             return;
         }
         if self.ctx.cleanup.deregister(self.ticket) {
-            let _ = self.ctx.kernel.locks.release(self.ctx.exec.owner(), self.lock);
+            let _ = self
+                .ctx
+                .kernel
+                .locks
+                .release(self.ctx.exec.owner(), self.lock);
         }
     }
 }
@@ -1013,7 +1027,12 @@ impl StorageCell<'_, '_> {
     /// Reads the cell.
     pub fn get(&self) -> Result<u64, ExtError> {
         self.ctx.charge(1)?;
-        Ok(self.ctx.kernel.mem.read_u64(self.addr).expect("cell is mapped"))
+        Ok(self
+            .ctx
+            .kernel
+            .mem
+            .read_u64(self.addr)
+            .expect("cell is mapped"))
     }
 
     /// Writes the cell.

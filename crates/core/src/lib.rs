@@ -59,5 +59,5 @@ pub use error::{Abort, ExtError};
 pub use ext::Extension;
 pub use kernel_crate::{ExtCtx, ExtInput, SysBpfRequest, TaskRef};
 pub use loader::{ExtensionRegistry, LoadError, Loader};
-pub use runtime::{ExtOutcome, Runtime, RuntimeConfig};
+pub use runtime::{ExtOutcome, Quarantine, Runtime, RuntimeConfig};
 pub use toolchain::{SignedArtifact, Toolchain, ToolchainError};

@@ -30,6 +30,9 @@ pub enum LoadError {
     UnresolvedCapability(String),
     /// The artifact's program type disagrees with the linked entry's.
     ProgTypeMismatch,
+    /// The extension is quarantined by the circuit breaker and must be
+    /// explicitly reset before it can load again.
+    Quarantined(String),
 }
 
 impl std::fmt::Display for LoadError {
@@ -42,6 +45,9 @@ impl std::fmt::Display for LoadError {
                 write!(f, "unresolved capability `{cap}`")
             }
             LoadError::ProgTypeMismatch => write!(f, "program type mismatch"),
+            LoadError::Quarantined(name) => {
+                write!(f, "extension `{name}` is quarantined")
+            }
         }
     }
 }
@@ -106,12 +112,28 @@ pub struct LoadedExtension {
 pub struct Loader<'k> {
     kernel: &'k Kernel,
     keyring: KeyStore,
+    quarantine: Option<std::sync::Arc<crate::runtime::Quarantine>>,
 }
 
 impl<'k> Loader<'k> {
     /// Creates a loader with the given (ideally sealed) keyring.
     pub fn new(kernel: &'k Kernel, keyring: KeyStore) -> Self {
-        Loader { kernel, keyring }
+        Loader {
+            kernel,
+            keyring,
+            quarantine: None,
+        }
+    }
+
+    /// Attaches a quarantine circuit breaker (typically shared with the
+    /// [`crate::Runtime`]): loads of a quarantined extension are refused
+    /// until it is explicitly reset.
+    pub fn with_quarantine(
+        mut self,
+        quarantine: std::sync::Arc<crate::runtime::Quarantine>,
+    ) -> Self {
+        self.quarantine = Some(quarantine);
+        self
     }
 
     /// Validates, parses, and fixes up a signed artifact.
@@ -140,6 +162,17 @@ impl<'k> Loader<'k> {
             );
             LoadError::MalformedArtifact
         })?;
+
+        if let Some(q) = &self.quarantine {
+            if q.is_quarantined(&artifact.name) {
+                self.kernel.audit.record(
+                    now(),
+                    EventKind::Quarantined,
+                    format!("load refused: `{}` is quarantined", artifact.name),
+                );
+                return Err(LoadError::Quarantined(artifact.name.clone()));
+            }
+        }
 
         // Load-time fixup: resolve every required capability.
         let mut fixups_resolved = 0;
@@ -219,7 +252,13 @@ mod tests {
     fn signed_artifact_loads() {
         let (kernel, toolchain, keyring, registry) = setup();
         let signed = toolchain
-            .build("fn f() {}", "noop", ProgType::Kprobe, "noop_entry", &["maps"])
+            .build(
+                "fn f() {}",
+                "noop",
+                ProgType::Kprobe,
+                "noop_entry",
+                &["maps"],
+            )
             .unwrap();
         let loader = Loader::new(&kernel, keyring);
         let loaded = loader.load(&signed, &registry).unwrap();

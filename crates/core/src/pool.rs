@@ -185,8 +185,7 @@ impl Pool {
         let blocks: Vec<(usize, usize)> = {
             let mut out = Vec::new();
             let mut offset = 0;
-            let per_class = inner.arena.len()
-                / SIZE_CLASSES.iter().sum::<usize>().max(1);
+            let per_class = inner.arena.len() / SIZE_CLASSES.iter().sum::<usize>().max(1);
             for (c, &size) in SIZE_CLASSES.iter().enumerate() {
                 for i in 0..per_class {
                     out.push((c, offset + i * size));

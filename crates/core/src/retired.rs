@@ -114,7 +114,10 @@ pub const RETIRED_HELPERS: &[(&str, &str)] = &[
     ("bpf_snprintf_btf", "`core::fmt` over typed values"),
     ("bpf_seq_printf", "`core::fmt` writer"),
     ("bpf_seq_write", "safe buffer append"),
-    ("bpf_copy_from_user_task", "checked slice copy via kernel crate"),
+    (
+        "bpf_copy_from_user_task",
+        "checked slice copy via kernel crate",
+    ),
     ("bpf_memcmp_bytes", "slice `==` / `cmp`"),
     ("bpf_find_vma_offset", "binary search in safe Rust"),
     ("bpf_bprm_opts_set", "typed builder API"),
@@ -183,6 +186,9 @@ mod tests {
         let a = csum_diff(b"abcd", b"abce", 0);
         let b = csum_diff(b"abcd", b"abce", 0);
         assert_eq!(a, b);
-        assert_ne!(csum_diff(b"abcd", b"abce", 0), csum_diff(b"abcd", b"abcd", 0));
+        assert_ne!(
+            csum_diff(b"abcd", b"abce", 0),
+            csum_diff(b"abcd", b"abcd", 0)
+        );
     }
 }

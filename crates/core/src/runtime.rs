@@ -10,6 +10,7 @@
 //! every outstanding kernel resource without relying on ABI stack
 //! unwinding or user `Drop` impls.
 
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{
     atomic::{AtomicBool, Ordering},
@@ -17,11 +18,8 @@ use std::sync::{
 };
 
 use ebpf::maps::MapRegistry;
-use kernel_sim::{
-    audit::EventKind,
-    exec::ExecReport,
-    Kernel,
-};
+use kernel_sim::{audit::EventKind, exec::ExecReport, mem::Fault, Kernel};
+use parking_lot::Mutex;
 
 use crate::{
     cleanup::Resource,
@@ -52,6 +50,13 @@ pub struct RuntimeConfig {
     /// many host milliseconds (covers extensions that compute without
     /// calling into the kernel crate).
     pub host_watchdog_ms: Option<u64>,
+    /// How many times a transient allocation failure is retried before the
+    /// run is abandoned (graceful degradation under injected memory
+    /// pressure).
+    pub alloc_retries: u32,
+    /// Virtual-time backoff before the first allocation retry; doubles on
+    /// each subsequent retry (exponential backoff).
+    pub alloc_backoff_ns: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -65,7 +70,118 @@ impl Default for RuntimeConfig {
             pool_blocks: 16,
             seed: 0x5afe_5eed,
             host_watchdog_ms: None,
+            alloc_retries: 3,
+            alloc_backoff_ns: 1_000,
         }
+    }
+}
+
+/// Per-extension quarantine circuit breaker.
+///
+/// The runtime cannot make a hostile or buggy extension correct, but it can
+/// stop re-admitting one that keeps getting killed: after `threshold`
+/// *consecutive* kills (watchdog, stack guard, or panic — the outcomes
+/// where the termination engine had to step in), the extension is
+/// quarantined. [`crate::Runtime::run`] refuses entry and
+/// [`crate::Loader::load`] refuses re-load until an operator explicitly
+/// calls [`Quarantine::reset`]. A clean run (normal return or an ordinary
+/// error) resets the consecutive-kill counter.
+///
+/// # Examples
+///
+/// ```
+/// use safe_ext::runtime::Quarantine;
+///
+/// let q = Quarantine::new(2);
+/// q.note_kill("flaky");
+/// assert!(!q.is_quarantined("flaky"));
+/// q.note_kill("flaky");
+/// assert!(q.is_quarantined("flaky"));
+/// q.reset("flaky");
+/// assert!(!q.is_quarantined("flaky"));
+/// ```
+#[derive(Debug)]
+pub struct Quarantine {
+    threshold: u32,
+    state: Mutex<HashMap<String, QuarantineState>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct QuarantineState {
+    consecutive_kills: u32,
+    total_kills: u64,
+    quarantined: bool,
+}
+
+impl Quarantine {
+    /// Creates a breaker that trips after `threshold` consecutive kills
+    /// (minimum 1).
+    pub fn new(threshold: u32) -> Self {
+        Quarantine {
+            threshold: threshold.max(1),
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured kill threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Whether `name` is currently quarantined.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.state
+            .lock()
+            .get(name)
+            .map(|s| s.quarantined)
+            .unwrap_or(false)
+    }
+
+    /// Records a kill (watchdog / stack guard / panic) for `name`; returns
+    /// `true` if this kill tripped the breaker.
+    pub fn note_kill(&self, name: &str) -> bool {
+        let mut st = self.state.lock();
+        let entry = st.entry(name.to_string()).or_default();
+        entry.consecutive_kills += 1;
+        entry.total_kills += 1;
+        if !entry.quarantined && entry.consecutive_kills >= self.threshold {
+            entry.quarantined = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a clean run for `name`, resetting its consecutive-kill
+    /// counter (quarantine status is unaffected).
+    pub fn note_clean(&self, name: &str) {
+        if let Some(entry) = self.state.lock().get_mut(name) {
+            entry.consecutive_kills = 0;
+        }
+    }
+
+    /// Explicitly readmits `name`, clearing quarantine and the
+    /// consecutive-kill counter; returns whether it was quarantined.
+    pub fn reset(&self, name: &str) -> bool {
+        let mut st = self.state.lock();
+        match st.get_mut(name) {
+            Some(entry) => {
+                let was = entry.quarantined;
+                entry.quarantined = false;
+                entry.consecutive_kills = 0;
+                was
+            }
+            None => false,
+        }
+    }
+
+    /// Total kills ever recorded for `name`.
+    pub fn total_kills(&self, name: &str) -> u64 {
+        self.state
+            .lock()
+            .get(name)
+            .map(|s| s.total_kills)
+            .unwrap_or(0)
     }
 }
 
@@ -109,6 +225,8 @@ pub struct Runtime<'k> {
     pub maps: &'k MapRegistry,
     /// Configuration.
     pub config: RuntimeConfig,
+    /// Optional quarantine circuit breaker, shared with the loader.
+    pub quarantine: Option<Arc<Quarantine>>,
 }
 
 impl<'k> Runtime<'k> {
@@ -118,6 +236,7 @@ impl<'k> Runtime<'k> {
             kernel,
             maps,
             config: RuntimeConfig::default(),
+            quarantine: None,
         }
     }
 
@@ -127,25 +246,72 @@ impl<'k> Runtime<'k> {
         self
     }
 
+    /// Attaches a quarantine circuit breaker: runs of a quarantined
+    /// extension are refused, and repeated kills trip the breaker.
+    pub fn with_quarantine(mut self, quarantine: Arc<Quarantine>) -> Self {
+        self.quarantine = Some(quarantine);
+        self
+    }
+
+    fn refused_outcome(&self, result: Result<u64, Abort>) -> ExtOutcome {
+        ExtOutcome {
+            result,
+            fuel_used: 0,
+            cleaned: vec![],
+            printk: vec![],
+            leak_report: ExecReport {
+                owner: 0,
+                leaked_refs: vec![],
+                leaked_locks: vec![],
+            },
+        }
+    }
+
     /// Runs `ext` on `input`.
     pub fn run(&self, ext: &Extension, input: ExtInput) -> ExtOutcome {
+        if let Some(q) = &self.quarantine {
+            if q.is_quarantined(&ext.name) {
+                self.kernel.audit.record(
+                    self.kernel.clock.now_ns(),
+                    EventKind::Quarantined,
+                    format!("{}: run refused (quarantined)", ext.name),
+                );
+                return self.refused_outcome(Err(Abort::Quarantined));
+            }
+        }
+
         let skb = match &input {
             ExtInput::Packet(payload) => {
-                match self.kernel.objects.create_skb(&self.kernel.mem, payload) {
-                    Ok(skb) => Some(skb),
-                    Err(fault) => {
-                        return ExtOutcome {
-                            result: Err(Abort::Error(ExtError::Invalid("packet allocation"))),
-                            fuel_used: 0,
-                            cleaned: vec![],
-                            printk: vec![],
-                            leak_report: ExecReport {
-                                owner: 0,
-                                leaked_refs: vec![],
-                                leaked_locks: vec![],
-                            },
+                // Transient allocation failures (injected memory pressure)
+                // degrade gracefully: bounded retries with exponential
+                // virtual-time backoff instead of giving up at once.
+                let mut attempt = 0u32;
+                loop {
+                    match self.kernel.objects.create_skb(&self.kernel.mem, payload) {
+                        Ok(skb) => break Some(skb),
+                        Err(Fault::AllocFailed { .. }) if attempt < self.config.alloc_retries => {
+                            attempt += 1;
+                            let backoff = self
+                                .config
+                                .alloc_backoff_ns
+                                .saturating_mul(1u64 << (attempt - 1).min(31));
+                            self.kernel.audit.record(
+                                self.kernel.clock.now_ns(),
+                                EventKind::Info,
+                                format!(
+                                    "{}: transient skb allocation failure; retry {attempt}/{} after {backoff}ns backoff",
+                                    ext.name, self.config.alloc_retries
+                                ),
+                            );
+                            self.kernel.clock.advance(backoff);
                         }
-                        .tap_audit(self.kernel, &format!("skb alloc failed: {fault}"))
+                        Err(fault) => {
+                            return self
+                                .refused_outcome(Err(Abort::Error(ExtError::Invalid(
+                                    "packet allocation",
+                                ))))
+                                .tap_audit(self.kernel, &format!("skb alloc failed: {fault}"))
+                        }
                     }
                 }
             }
@@ -182,8 +348,7 @@ impl<'k> Runtime<'k> {
             let stop2 = stop.clone();
             crossbeam::thread::scope(|s| {
                 s.spawn(move |_| {
-                    let deadline = std::time::Instant::now()
-                        + std::time::Duration::from_millis(ms);
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
                     while !stop2.load(Ordering::Relaxed) {
                         if std::time::Instant::now() >= deadline {
                             terminate2.store(true, Ordering::Relaxed);
@@ -252,6 +417,33 @@ impl<'k> Runtime<'k> {
                 Err(Abort::Panic(msg))
             }
         };
+
+        // Circuit breaker: a kill (watchdog, stack guard, panic) counts
+        // toward quarantine; a clean exit resets the consecutive counter.
+        if let Some(q) = &self.quarantine {
+            match &result {
+                Err(
+                    Abort::WatchdogFuel
+                    | Abort::WatchdogDeadline
+                    | Abort::WatchdogAsync
+                    | Abort::StackGuard
+                    | Abort::Panic(_),
+                ) => {
+                    if q.note_kill(&ext.name) {
+                        self.kernel.audit.record(
+                            self.kernel.clock.now_ns(),
+                            EventKind::Quarantined,
+                            format!(
+                                "{}: quarantined after {} consecutive kills",
+                                ext.name,
+                                q.threshold()
+                            ),
+                        );
+                    }
+                }
+                _ => q.note_clean(&ext.name),
+            }
+        }
 
         // Safe termination: trusted destructors for everything still
         // outstanding, whatever the exit path was.

@@ -448,12 +448,16 @@ mod tests {
     fn build_signs_over_exact_bytes() {
         let toolchain = Toolchain::new(signing::SigningKey::derive(1));
         let signed = toolchain
-            .build("fn f() {}", "f", ProgType::SocketFilter, "f_entry", &["maps"])
+            .build(
+                "fn f() {}",
+                "f",
+                ProgType::SocketFilter,
+                "f_entry",
+                &["maps"],
+            )
             .unwrap();
         let mut keyring = signing::KeyStore::new();
-        keyring
-            .enroll(&signing::SigningKey::derive(1))
-            .unwrap();
+        keyring.enroll(&signing::SigningKey::derive(1)).unwrap();
         keyring.validate(&signed.bytes, &signed.signature).unwrap();
         // The artifact embeds the source hash.
         let artifact = Artifact::from_bytes(&signed.bytes).unwrap();

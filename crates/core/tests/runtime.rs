@@ -52,9 +52,7 @@ fn packet_extension_with_checked_access() {
         }
         Ok(pkt.load_u8(3)? as u64)
     });
-    let outcome = h
-        .runtime()
-        .run(&ext, ExtInput::Packet(vec![1, 2, 3, 99]));
+    let outcome = h.runtime().run(&ext, ExtInput::Packet(vec![1, 2, 3, 99]));
     assert_eq!(outcome.unwrap(), 99);
     // Short packet: the bounds branch handles it, no error.
     let outcome = h.runtime().run(&ext, ExtInput::Packet(vec![1]));
@@ -104,10 +102,8 @@ fn deadline_watchdog_fires_on_slow_virtual_time() {
         time_per_fuel_ns: 1_000,
         ..RuntimeConfig::default()
     };
-    let ext = Extension::new("slow", ProgType::Kprobe, |ctx| {
-        loop {
-            ctx.tick()?;
-        }
+    let ext = Extension::new("slow", ProgType::Kprobe, |ctx| loop {
+        ctx.tick()?;
     });
     let outcome = h.runtime().with_config(config).run(&ext, ExtInput::None);
     assert!(matches!(outcome.result, Err(Abort::WatchdogDeadline)));
@@ -207,7 +203,10 @@ fn raii_socket_guard_releases_on_normal_return() {
     });
     let outcome = h.runtime().run(&ext, ExtInput::None);
     assert_eq!(outcome.unwrap(), 443);
-    assert!(outcome.cleaned.is_empty(), "RAII handled it, not the registry");
+    assert!(
+        outcome.cleaned.is_empty(),
+        "RAII handled it, not the registry"
+    );
     let sock = h
         .kernel
         .objects
@@ -245,10 +244,10 @@ fn double_lock_is_refused_not_deadlocked() {
 #[test]
 fn stack_guard_stops_runaway_recursion() {
     let h = H::new();
-    fn recurse(ctx: &safe_ext::ExtCtx<'_>, depth: u64) -> Result<u64, ExtError> {
-        ctx.frame(|ctx| recurse(ctx, depth + 1))
+    fn recurse(ctx: &safe_ext::ExtCtx<'_>) -> Result<u64, ExtError> {
+        ctx.frame(recurse)
     }
-    let ext = Extension::new("deep", ProgType::Kprobe, |ctx| recurse(ctx, 0));
+    let ext = Extension::new("deep", ProgType::Kprobe, recurse);
     let outcome = h.runtime().run(&ext, ExtInput::None);
     assert!(matches!(outcome.result, Err(Abort::StackGuard)));
     assert_eq!(h.kernel.audit.count(EventKind::StackOverflowGuard), 1);
@@ -365,7 +364,8 @@ fn scratch_pool_allocation_and_exhaustion() {
     };
     let ext = Extension::new("scratch", ProgType::Kprobe, |ctx| {
         let a = ctx.scratch(64)?;
-        a.write(0, b"hello").map_err(|_| ExtError::Invalid("write"))?;
+        a.write(0, b"hello")
+            .map_err(|_| ExtError::Invalid("write"))?;
         let mut buf = [0u8; 5];
         a.read(0, &mut buf).map_err(|_| ExtError::Invalid("read"))?;
         if &buf != b"hello" {
@@ -406,10 +406,8 @@ fn no_stall_even_on_long_runs_thanks_to_watchdog() {
         time_per_fuel_ns: 10_000,
         ..RuntimeConfig::default()
     };
-    let ext = Extension::new("grinder", ProgType::Kprobe, |ctx| {
-        loop {
-            ctx.tick()?;
-        }
+    let ext = Extension::new("grinder", ProgType::Kprobe, |ctx| loop {
+        ctx.tick()?;
     });
     let outcome = h.runtime().with_config(config).run(&ext, ExtInput::None);
     assert!(matches!(outcome.result, Err(Abort::WatchdogDeadline)));
@@ -420,7 +418,10 @@ fn no_stall_even_on_long_runs_thanks_to_watchdog() {
 #[test]
 fn hash_handle_crud() {
     let h = H::new();
-    let fd = h.maps.create(&h.kernel, MapDef::hash("m", 4, 8, 8)).unwrap();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::hash("m", 4, 8, 8))
+        .unwrap();
     let ext = Extension::new("hash", ProgType::Kprobe, move |ctx| {
         let m = ctx.hash(fd)?;
         m.insert(&[1, 0, 0, 0], &10u64.to_le_bytes())?;
@@ -439,7 +440,10 @@ fn hash_handle_crud() {
 #[test]
 fn wrong_map_kind_is_checked() {
     let h = H::new();
-    let fd = h.maps.create(&h.kernel, MapDef::hash("m", 4, 8, 8)).unwrap();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::hash("m", 4, 8, 8))
+        .unwrap();
     let ext = Extension::new("confused", ProgType::Kprobe, move |ctx| {
         match ctx.array(fd) {
             Err(ExtError::Map(ebpf::maps::MapError::WrongKind)) => Ok(1),
@@ -489,11 +493,9 @@ fn kprobe_and_tracepoint_accessors() {
         42
     );
     // Wrong input kind: accessor errors cleanly.
-    let ext = Extension::new("none", ProgType::Kprobe, |ctx| {
-        match ctx.kprobe_arg(0) {
-            Err(ExtError::Invalid(_)) => Ok(1),
-            _ => Ok(0),
-        }
+    let ext = Extension::new("none", ProgType::Kprobe, |ctx| match ctx.kprobe_arg(0) {
+        Err(ExtError::Invalid(_)) => Ok(1),
+        _ => Ok(0),
     });
     assert_eq!(h.runtime().run(&ext, ExtInput::None).unwrap(), 1);
 }
@@ -524,7 +526,7 @@ fn array_read_write_whole_values() {
     let fd = h.maps.create(&h.kernel, MapDef::array("v", 4, 2)).unwrap();
     let ext = Extension::new("rw", ProgType::Kprobe, move |ctx| {
         let a = ctx.array(fd)?;
-        a.write(1, &[9, 8, 7, 6]).map_err(|e| e)?;
+        a.write(1, &[9, 8, 7, 6])?;
         let mut buf = [0u8; 4];
         a.read(1, &mut buf)?;
         // Wrong-size buffers are rejected.
@@ -573,7 +575,10 @@ fn fuel_accounting_reflects_work() {
 #[test]
 fn for_each_replaces_the_map_iteration_helper() {
     let h = H::new();
-    let fd = h.maps.create(&h.kernel, MapDef::hash("m", 4, 8, 16)).unwrap();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::hash("m", 4, 8, 16))
+        .unwrap();
     let ext = Extension::new("iter", ProgType::Kprobe, move |ctx| {
         let m = ctx.hash(fd)?;
         for k in 0u32..6 {
@@ -598,7 +603,10 @@ fn for_each_replaces_the_map_iteration_helper() {
 #[test]
 fn for_each_is_watchdogged() {
     let h = H::new();
-    let fd = h.maps.create(&h.kernel, MapDef::hash("m", 4, 8, 64)).unwrap();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::hash("m", 4, 8, 64))
+        .unwrap();
     let config = RuntimeConfig {
         fuel: 50,
         ..RuntimeConfig::default()
@@ -612,4 +620,194 @@ fn for_each_is_watchdogged() {
     });
     let outcome = h.runtime().with_config(config).run(&ext, ExtInput::None);
     assert!(matches!(outcome.result, Err(Abort::WatchdogFuel)));
+}
+
+// ---- Fault plane: graceful degradation, backoff, and quarantine ----
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use kernel_sim::{FaultPlan, FaultPlanConfig};
+use safe_ext::{ExtensionRegistry, LoadError, Loader, Quarantine, Toolchain};
+use signing::{KeyStore, SigningKey};
+
+/// A quiet plan that deterministically fails the first `burst`
+/// allocations — the scripted schedule for retry/backoff tests.
+fn alloc_burst_plan(burst: u32) -> FaultPlan {
+    FaultPlan::with_config(
+        7,
+        FaultPlanConfig {
+            alloc_fail_burst: burst,
+            ..FaultPlanConfig::quiet()
+        },
+    )
+}
+
+#[test]
+fn quarantine_trips_at_threshold_refuses_and_readmits_after_reset() {
+    let h = H::new();
+    let q = Arc::new(Quarantine::new(2));
+    let runtime = h.runtime().with_quarantine(q.clone());
+    let crasher = Extension::new("crasher", ProgType::Kprobe, |_| panic!("boom"));
+
+    // First kill: below threshold, still admitted.
+    let first = runtime.run(&crasher, ExtInput::None);
+    assert!(matches!(first.result, Err(Abort::Panic(_))));
+    assert!(!q.is_quarantined("crasher"));
+
+    // Second consecutive kill trips the breaker.
+    let second = runtime.run(&crasher, ExtInput::None);
+    assert!(matches!(second.result, Err(Abort::Panic(_))));
+    assert!(q.is_quarantined("crasher"));
+    assert_eq!(q.total_kills("crasher"), 2);
+
+    // While quarantined, entry is refused without running the body.
+    let refused = runtime.run(&crasher, ExtInput::None);
+    assert!(matches!(refused.result, Err(Abort::Quarantined)));
+    assert_eq!(refused.fuel_used, 0);
+    assert_eq!(q.total_kills("crasher"), 2);
+    assert!(h.kernel.audit.count(EventKind::Quarantined) >= 2);
+
+    // Explicit reset readmits: the next run executes (and dies) again.
+    assert!(q.reset("crasher"));
+    let readmitted = runtime.run(&crasher, ExtInput::None);
+    assert!(matches!(readmitted.result, Err(Abort::Panic(_))));
+    assert_eq!(q.total_kills("crasher"), 3);
+    assert!(h.kernel.health().pristine());
+}
+
+#[test]
+fn clean_runs_reset_the_consecutive_kill_counter() {
+    let h = H::new();
+    let q = Arc::new(Quarantine::new(2));
+    let runtime = h.runtime().with_quarantine(q.clone());
+    let fail = Arc::new(AtomicBool::new(false));
+    let flaky = Extension::new("flaky", ProgType::Kprobe, {
+        let fail = fail.clone();
+        move |_| {
+            if fail.load(Ordering::Relaxed) {
+                panic!("flaky");
+            }
+            Ok(0)
+        }
+    });
+
+    // Alternating kill/clean never reaches two *consecutive* kills.
+    for _ in 0..3 {
+        fail.store(true, Ordering::Relaxed);
+        assert!(matches!(
+            runtime.run(&flaky, ExtInput::None).result,
+            Err(Abort::Panic(_))
+        ));
+        fail.store(false, Ordering::Relaxed);
+        assert_eq!(runtime.run(&flaky, ExtInput::None).unwrap(), 0);
+    }
+    assert!(!q.is_quarantined("flaky"));
+    assert_eq!(q.total_kills("flaky"), 3);
+}
+
+#[test]
+fn loader_refuses_quarantined_extension_until_reset() {
+    let h = H::new();
+    let key = SigningKey::derive(7);
+    let toolchain = Toolchain::new(key.clone());
+    let mut keyring = KeyStore::new();
+    keyring.enroll(&key).unwrap();
+    keyring.seal();
+    let mut registry = ExtensionRegistry::new();
+    registry.link(
+        "noop_entry",
+        Extension::new("noop", ProgType::Kprobe, |_| Ok(0)),
+    );
+    let signed = toolchain
+        .build("fn f() {}", "noop", ProgType::Kprobe, "noop_entry", &[])
+        .unwrap();
+
+    let q = Arc::new(Quarantine::new(1));
+    let loader = Loader::new(&h.kernel, keyring).with_quarantine(q.clone());
+
+    // Loadable before the breaker trips.
+    assert!(loader.load(&signed, &registry).is_ok());
+
+    // One kill at threshold 1 quarantines `noop`; the loader now refuses.
+    q.note_kill("noop");
+    assert!(matches!(
+        loader.load(&signed, &registry),
+        Err(LoadError::Quarantined(name)) if name == "noop"
+    ));
+    assert!(h.kernel.audit.count(EventKind::Quarantined) >= 1);
+
+    // Reset readmits at the loader too.
+    assert!(q.reset("noop"));
+    assert!(loader.load(&signed, &registry).is_ok());
+}
+
+#[test]
+fn transient_alloc_faults_are_retried_with_exponential_backoff() {
+    let h = H::new();
+    h.kernel.arm_fault_plan(alloc_burst_plan(2));
+    let runtime = h.runtime(); // defaults: 3 retries, 1000 ns base backoff
+    let ext = Extension::new("pkt", ProgType::Xdp, |ctx| Ok(ctx.packet()?.len() as u64));
+
+    let before = h.kernel.clock.now_ns();
+    let outcome = runtime.run(&ext, ExtInput::Packet(vec![1, 2, 3, 4]));
+    assert_eq!(outcome.unwrap(), 4);
+
+    // Two scripted failures: two injections, two audited retries, and at
+    // least 1000 + 2000 ns of deterministic virtual-time backoff.
+    assert_eq!(h.kernel.audit.count(EventKind::FaultInjected), 2);
+    let retries = h
+        .kernel
+        .audit
+        .of_kind(EventKind::Info)
+        .iter()
+        .filter(|e| e.detail.contains("transient skb allocation failure"))
+        .count();
+    assert_eq!(retries, 2);
+    assert!(h.kernel.clock.now_ns() - before >= 3_000);
+    assert!(h.kernel.health().pristine());
+}
+
+#[test]
+fn alloc_faults_beyond_the_retry_budget_degrade_without_oops() {
+    let h = H::new();
+    h.kernel.arm_fault_plan(alloc_burst_plan(10));
+    let runtime = h.runtime();
+    let ext = Extension::new("pkt", ProgType::Xdp, |ctx| Ok(ctx.packet()?.len() as u64));
+
+    let outcome = runtime.run(&ext, ExtInput::Packet(vec![1, 2, 3, 4]));
+    assert!(matches!(
+        outcome.result,
+        Err(Abort::Error(ExtError::Invalid("packet allocation")))
+    ));
+    // Initial attempt + 3 retries, then a clean refusal — never an oops.
+    assert_eq!(h.kernel.audit.count(EventKind::FaultInjected), 4);
+    assert!(outcome.leak_report.clean());
+    assert!(h.kernel.health().pristine());
+}
+
+#[test]
+fn fault_schedule_and_backoff_are_deterministic_in_virtual_time() {
+    let scenario = || {
+        let h = H::new();
+        h.kernel.arm_fault_plan(FaultPlan::new(42));
+        let q = Arc::new(Quarantine::new(3));
+        let runtime = h.runtime().with_quarantine(q);
+        let ext = Extension::new("det", ProgType::Xdp, |ctx| {
+            let pkt = ctx.packet()?;
+            Ok(pkt.len() as u64)
+        });
+        for i in 0..32u8 {
+            let _ = runtime.run(&ext, ExtInput::Packet(vec![i; 4]));
+        }
+        let stream: String = h
+            .kernel
+            .audit
+            .snapshot()
+            .iter()
+            .map(|e| format!("{}|{:?}|{}|{:?}\n", e.at_ns, e.kind, e.detail, e.fault))
+            .collect();
+        (stream, h.kernel.clock.now_ns())
+    };
+    assert_eq!(scenario(), scenario());
 }

@@ -26,30 +26,9 @@
 use std::collections::HashMap;
 
 use crate::insn::{
-    Insn,
-    Reg,
-    BPF_ALU,
-    BPF_ALU64,
-    BPF_ATOMIC,
-    BPF_CALL,
-    BPF_DW,
-    BPF_END,
-    BPF_EXIT,
-    BPF_IMM,
-    BPF_JA,
-    BPF_JMP,
-    BPF_JMP32,
-    BPF_K,
-    BPF_LD,
-    BPF_LDX,
-    BPF_MEM,
-    BPF_MOV,
-    BPF_NEG,
-    BPF_PSEUDO_CALL,
-    BPF_PSEUDO_MAP_FD,
-    BPF_ST,
-    BPF_STX,
-    BPF_X,
+    Insn, Reg, BPF_ALU, BPF_ALU64, BPF_ATOMIC, BPF_CALL, BPF_DW, BPF_END, BPF_EXIT, BPF_IMM,
+    BPF_JA, BPF_JMP, BPF_JMP32, BPF_K, BPF_LD, BPF_LDX, BPF_MEM, BPF_MOV, BPF_NEG, BPF_PSEUDO_CALL,
+    BPF_PSEUDO_MAP_FD, BPF_ST, BPF_STX, BPF_X,
 };
 
 /// Errors from program assembly.
@@ -186,7 +165,13 @@ impl Asm {
     /// big-endian (vs little-endian) target order.
     pub fn endian(self, dst: Reg, width: i32, to_be: bool) -> Self {
         let src_bit = if to_be { BPF_X } else { BPF_K };
-        self.raw(Insn::new(BPF_ALU | BPF_END | src_bit, dst.num(), 0, 0, width))
+        self.raw(Insn::new(
+            BPF_ALU | BPF_END | src_bit,
+            dst.num(),
+            0,
+            0,
+            width,
+        ))
     }
 
     // ---- Loads and stores ----
@@ -321,8 +306,13 @@ impl Asm {
     pub fn jmp32_reg(mut self, op: u8, dst: Reg, src: Reg, label: &str) -> Self {
         self.fixups
             .push((self.insns.len(), Fixup::JumpOff(label.to_string())));
-        self.insns
-            .push(Insn::new(BPF_JMP32 | op | BPF_X, dst.num(), src.num(), 0, 0));
+        self.insns.push(Insn::new(
+            BPF_JMP32 | op | BPF_X,
+            dst.num(),
+            src.num(),
+            0,
+            0,
+        ));
         self
     }
 
@@ -372,12 +362,12 @@ impl Asm {
             let rel = target as i64 - (*pc as i64 + 1);
             match fixup {
                 Fixup::JumpOff(_) => {
-                    self.insns[*pc].off = i16::try_from(rel)
-                        .map_err(|_| AsmError::OffsetOverflow(label.clone()))?;
+                    self.insns[*pc].off =
+                        i16::try_from(rel).map_err(|_| AsmError::OffsetOverflow(label.clone()))?;
                 }
                 Fixup::CallImm(_) => {
-                    self.insns[*pc].imm = i32::try_from(rel)
-                        .map_err(|_| AsmError::OffsetOverflow(label.clone()))?;
+                    self.insns[*pc].imm =
+                        i32::try_from(rel).map_err(|_| AsmError::OffsetOverflow(label.clone()))?;
                 }
                 Fixup::FuncAddr(_) => {
                     self.insns[*pc].imm = i32::try_from(target)
@@ -433,12 +423,7 @@ mod tests {
 
     #[test]
     fn duplicate_label_errors() {
-        let err = Asm::new()
-            .label("x")
-            .label("x")
-            .exit()
-            .build()
-            .unwrap_err();
+        let err = Asm::new().label("x").label("x").exit().build().unwrap_err();
         assert_eq!(err, AsmError::DuplicateLabel("x".into()));
     }
 

@@ -7,58 +7,12 @@
 
 use crate::helpers::HelperRegistry;
 use crate::insn::{
-    lddw_imm,
-    Insn,
-    BPF_ADD,
-    BPF_ALU,
-    BPF_ALU64,
-    BPF_AND,
-    BPF_ARSH,
-    BPF_ATOMIC,
-    BPF_ATOMIC_ADD,
-    BPF_ATOMIC_AND,
-    BPF_ATOMIC_OR,
-    BPF_ATOMIC_XOR,
-    BPF_B,
-    BPF_CALL,
-    BPF_CMPXCHG,
-    BPF_DIV,
-    BPF_END,
-    BPF_EXIT,
-    BPF_FETCH,
-    BPF_H,
-    BPF_JA,
-    BPF_JEQ,
-    BPF_JGE,
-    BPF_JGT,
-    BPF_JLE,
-    BPF_JLT,
-    BPF_JMP,
-    BPF_JMP32,
-    BPF_JNE,
-    BPF_JSET,
-    BPF_JSGE,
-    BPF_JSGT,
-    BPF_JSLE,
-    BPF_JSLT,
-    BPF_LD,
-    BPF_LDX,
-    BPF_LSH,
-    BPF_MEM,
-    BPF_MOD,
-    BPF_MOV,
-    BPF_MUL,
-    BPF_NEG,
-    BPF_OR,
-    BPF_PSEUDO_CALL,
-    BPF_PSEUDO_FUNC,
-    BPF_PSEUDO_MAP_FD,
-    BPF_RSH,
-    BPF_ST,
-    BPF_STX,
-    BPF_SUB,
-    BPF_XCHG,
-    BPF_XOR,
+    lddw_imm, Insn, BPF_ADD, BPF_ALU, BPF_ALU64, BPF_AND, BPF_ARSH, BPF_ATOMIC, BPF_ATOMIC_ADD,
+    BPF_ATOMIC_AND, BPF_ATOMIC_OR, BPF_ATOMIC_XOR, BPF_B, BPF_CALL, BPF_CMPXCHG, BPF_DIV, BPF_END,
+    BPF_EXIT, BPF_FETCH, BPF_H, BPF_JA, BPF_JEQ, BPF_JGE, BPF_JGT, BPF_JLE, BPF_JLT, BPF_JMP,
+    BPF_JMP32, BPF_JNE, BPF_JSET, BPF_JSGE, BPF_JSGT, BPF_JSLE, BPF_JSLT, BPF_LD, BPF_LDX, BPF_LSH,
+    BPF_MEM, BPF_MOD, BPF_MOV, BPF_MUL, BPF_NEG, BPF_OR, BPF_PSEUDO_CALL, BPF_PSEUDO_FUNC,
+    BPF_PSEUDO_MAP_FD, BPF_RSH, BPF_ST, BPF_STX, BPF_SUB, BPF_XCHG, BPF_XOR,
 };
 
 /// Renders one instruction (given its successor for LDDW) as text.

@@ -252,6 +252,8 @@ pub const EINVAL: i64 = 22;
 pub const ENOENT: i64 = 2;
 /// `-E2BIG` as a register value.
 pub const E2BIG: i64 = 7;
+/// `-EAGAIN` as a register value (transient failure; retry may succeed).
+pub const EAGAIN: i64 = 11;
 
 /// Mutable per-run state owned by the interpreter, visible to helpers.
 #[derive(Debug, Default)]
@@ -516,7 +518,13 @@ pub fn standard_helpers() -> Vec<Helper> {
                 BPF_MAP_UPDATE_ELEM,
                 "bpf_map_update_elem",
                 V::V3_18,
-                [A::ConstMapPtr, A::MapKeyPtr, A::MapValuePtr, A::Scalar, A::None],
+                [
+                    A::ConstMapPtr,
+                    A::MapKeyPtr,
+                    A::MapValuePtr,
+                    A::Scalar,
+                    A::None,
+                ],
                 R::Integer,
                 123,
                 C::KernelInterface,
@@ -696,7 +704,13 @@ pub fn standard_helpers() -> Vec<Helper> {
                 BPF_PERF_EVENT_OUTPUT,
                 "bpf_perf_event_output",
                 V::V4_9,
-                [A::CtxPtr, A::ConstMapPtr, A::Scalar, A::PtrToMem, A::MemSize],
+                [
+                    A::CtxPtr,
+                    A::ConstMapPtr,
+                    A::Scalar,
+                    A::PtrToMem,
+                    A::MemSize,
+                ],
                 R::Integer,
                 259,
                 C::KernelInterface,
@@ -1030,7 +1044,10 @@ fn h_map_lookup_elem(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Hel
         Ok(m) => m,
         Err(e) => return Ok(e),
     };
-    let key = ctx.kernel.mem.read_bytes(args[1], map.def.key_size as u64)?;
+    let key = ctx
+        .kernel
+        .mem
+        .read_bytes(args[1], map.def.key_size as u64)?;
     let cpu = ctx.kernel.cpus.current_cpu();
     if ctx.faults.array_map_overflow && map.def.kind == crate::maps::MapKind::Array {
         // BUG replica [36]: 32-bit offset arithmetic without a range
@@ -1061,7 +1078,10 @@ fn h_map_update_elem(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Hel
         Ok(m) => m,
         Err(e) => return Ok(e),
     };
-    let key = ctx.kernel.mem.read_bytes(args[1], map.def.key_size as u64)?;
+    let key = ctx
+        .kernel
+        .mem
+        .read_bytes(args[1], map.def.key_size as u64)?;
     let value = ctx
         .kernel
         .mem
@@ -1080,7 +1100,10 @@ fn h_map_delete_elem(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Hel
         Ok(m) => m,
         Err(e) => return Ok(e),
     };
-    let key = ctx.kernel.mem.read_bytes(args[1], map.def.key_size as u64)?;
+    let key = ctx
+        .kernel
+        .mem
+        .read_bytes(args[1], map.def.key_size as u64)?;
     match map.delete(&ctx.kernel.mem, &key) {
         Ok(()) => Ok(0),
         Err(MapError::Fault(f)) => Err(f.into()),
@@ -1272,20 +1295,18 @@ fn sk_lookup(ctx: &mut HelperCtx<'_>, args: [u64; 5], proto: Proto) -> Result<u6
     );
     match ctx.kernel.objects.lookup_socket(proto, src, dst) {
         Some(sock) => {
-            // Take the reference the program must later release.
-            ctx.kernel
-                .refs
-                .get(sock.obj)
-                .expect("socket is registered");
+            // Take the reference the program must later release. Injected
+            // saturation pressure refuses the reference; degrade to a
+            // lookup miss (NULL), holding nothing.
+            if ctx.kernel.refs.get(sock.obj).is_err() {
+                return Ok(0);
+            }
             ctx.exec.note_acquired(sock.obj);
             if ctx.faults.sk_lookup_refcount_leak {
                 // BUG replica [35]: an internal request-sock reference is
                 // taken on the lookup path and never handed to anyone, so
                 // even a correct program leaks one count per lookup.
-                ctx.kernel
-                    .refs
-                    .get(sock.obj)
-                    .expect("socket is registered");
+                let _ = ctx.kernel.refs.get(sock.obj);
             }
             Ok(tagged(SOCK_PTR_TAG, sock.obj.0))
         }
@@ -1466,11 +1487,11 @@ fn h_get_task_stack(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Help
         Some(t) => t,
         None => return Ok(neg_errno(EINVAL)),
     };
-    // Take a reference on the task stack for the duration of the copy.
-    ctx.kernel
-        .refs
-        .get(task.stack_obj)
-        .expect("task stack is registered");
+    // Take a reference on the task stack for the duration of the copy;
+    // injected saturation pressure degrades to -EINVAL with nothing held.
+    if ctx.kernel.refs.get(task.stack_obj).is_err() {
+        return Ok(neg_errno(EINVAL));
+    }
     ctx.exec.note_acquired(task.stack_obj);
     // Write a synthetic stack trace into the buffer.
     let len = args[2].min(256) & !7;
@@ -1671,15 +1692,15 @@ mod tests {
     fn the_paper_extremes_have_matching_metadata() {
         let reg = HelperRegistry::standard();
         assert_eq!(
-            reg.get(BPF_GET_CURRENT_PID_TGID).unwrap().spec.callgraph_fanout,
+            reg.get(BPF_GET_CURRENT_PID_TGID)
+                .unwrap()
+                .spec
+                .callgraph_fanout,
             0
         );
         assert_eq!(reg.get(BPF_SYS_BPF).unwrap().spec.callgraph_fanout, 4845);
         assert!(reg.get(BPF_SK_LOOKUP_TCP).unwrap().spec.acquires);
-        assert_eq!(
-            reg.get(BPF_SK_RELEASE).unwrap().spec.releases_arg,
-            Some(0)
-        );
+        assert_eq!(reg.get(BPF_SK_RELEASE).unwrap().spec.releases_arg, Some(0));
     }
 
     #[test]
@@ -1687,7 +1708,15 @@ mod tests {
         let (kernel, maps, reg) = harness();
         let mut run = RunState::with_seed(1);
         assert!(matches!(
-            call(&kernel, &maps, &reg, FaultConfig::patched(), &mut run, 9999, [0; 5]),
+            call(
+                &kernel,
+                &maps,
+                &reg,
+                FaultConfig::patched(),
+                &mut run,
+                9999,
+                [0; 5]
+            ),
             Err(HelperError::UnknownHelper(9999))
         ));
     }
@@ -1697,8 +1726,13 @@ mod tests {
         let (kernel, maps, reg) = harness();
         let mut run = RunState::with_seed(1);
         let v = call(
-            &kernel, &maps, &reg, FaultConfig::patched(), &mut run,
-            BPF_GET_CURRENT_PID_TGID, [0; 5],
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_GET_CURRENT_PID_TGID,
+            [0; 5],
         )
         .unwrap();
         assert_eq!(v, (100 << 32) | 100);
@@ -1709,12 +1743,39 @@ mod tests {
         let (kernel, maps, reg) = harness();
         let mut a = RunState::with_seed(7);
         let mut b = RunState::with_seed(7);
-        let va = call(&kernel, &maps, &reg, FaultConfig::patched(), &mut a, BPF_GET_PRANDOM_U32, [0; 5]).unwrap();
-        let vb = call(&kernel, &maps, &reg, FaultConfig::patched(), &mut b, BPF_GET_PRANDOM_U32, [0; 5]).unwrap();
+        let va = call(
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut a,
+            BPF_GET_PRANDOM_U32,
+            [0; 5],
+        )
+        .unwrap();
+        let vb = call(
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut b,
+            BPF_GET_PRANDOM_U32,
+            [0; 5],
+        )
+        .unwrap();
         assert_eq!(va, vb);
         assert!(va <= u32::MAX as u64);
         // Sequence advances.
-        let va2 = call(&kernel, &maps, &reg, FaultConfig::patched(), &mut a, BPF_GET_PRANDOM_U32, [0; 5]).unwrap();
+        let va2 = call(
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut a,
+            BPF_GET_PRANDOM_U32,
+            [0; 5],
+        )
+        .unwrap();
         assert_ne!(va, va2);
     }
 
@@ -1723,16 +1784,33 @@ mod tests {
         let (kernel, maps, reg) = harness();
         let mut run = RunState::with_seed(1);
         let fmt = kernel.mem.map("fmt", 32, Perms::rw()).unwrap();
-        kernel.mem.write_from(fmt, b"x=%d y=%x p=%% z=%d\0").unwrap();
+        kernel
+            .mem
+            .write_from(fmt, b"x=%d y=%x p=%% z=%d\0")
+            .unwrap();
         let written = call(
-            &kernel, &maps, &reg, FaultConfig::patched(), &mut run,
-            BPF_TRACE_PRINTK, [fmt, 20, 7, 255, 9],
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_TRACE_PRINTK,
+            [fmt, 20, 7, 255, 9],
         )
         .unwrap();
         assert_eq!(run.printk, vec!["x=7 y=ff p=% z=9".to_string()]);
         assert_eq!(written, run.printk[0].len() as u64);
         // Zero-length format is -EINVAL.
-        let v = call(&kernel, &maps, &reg, FaultConfig::patched(), &mut run, BPF_TRACE_PRINTK, [fmt, 0, 0, 0, 0]).unwrap();
+        let v = call(
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_TRACE_PRINTK,
+            [fmt, 0, 0, 0, 0],
+        )
+        .unwrap();
         assert_eq!(v as i64, -22);
     }
 
@@ -1744,8 +1822,13 @@ mod tests {
         let out = kernel.mem.map("o", 8, Perms::rw()).unwrap();
         kernel.mem.write_from(buf, b"  -42xyz\0").unwrap();
         let consumed = call(
-            &kernel, &maps, &reg, FaultConfig::patched(), &mut run,
-            BPF_STRTOL, [buf, 9, 10, out, 0],
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_STRTOL,
+            [buf, 9, 10, out, 0],
         )
         .unwrap();
         assert_eq!(consumed, 5);
@@ -1755,7 +1838,16 @@ mod tests {
         let b = kernel.mem.map("b", 8, Perms::rw()).unwrap();
         kernel.mem.write_from(a, b"abc\0").unwrap();
         kernel.mem.write_from(b, b"abd\0").unwrap();
-        let cmp = call(&kernel, &maps, &reg, FaultConfig::patched(), &mut run, BPF_STRNCMP, [a, 4, b, 0, 0]).unwrap();
+        let cmp = call(
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_STRNCMP,
+            [a, 4, b, 0, 0],
+        )
+        .unwrap();
         assert!((cmp as i64) < 0);
     }
 
@@ -1768,8 +1860,13 @@ mod tests {
         kernel.mem.write_u64(attr, (8u64 << 32) | 4).unwrap();
         kernel.mem.write_u64(attr + 8, 0).unwrap();
         let fd = call(
-            &kernel, &maps, &reg, FaultConfig::patched(), &mut run,
-            BPF_SYS_BPF, [SYS_BPF_MAP_CREATE, attr, 16, 0, 0],
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_SYS_BPF,
+            [SYS_BPF_MAP_CREATE, attr, 16, 0, 0],
         )
         .unwrap();
         let map = maps.get(fd as u32).expect("created");
@@ -1782,7 +1879,16 @@ mod tests {
         let (kernel, maps, reg) = harness();
         let mut run = RunState::with_seed(1);
         let attr = kernel.mem.map("attr", 16, Perms::rw()).unwrap();
-        let v = call(&kernel, &maps, &reg, FaultConfig::patched(), &mut run, BPF_SYS_BPF, [SYS_BPF_PROG_RUN, attr, 8, 0, 0]).unwrap();
+        let v = call(
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_SYS_BPF,
+            [SYS_BPF_PROG_RUN, attr, 8, 0, 0],
+        )
+        .unwrap();
         assert_eq!(v as i64, -22);
     }
 
@@ -1793,8 +1899,13 @@ mod tests {
         let dst = kernel.mem.map("dst", 16, Perms::rw()).unwrap();
         // Unmapped source: the wrapper converts the fault.
         let v = call(
-            &kernel, &maps, &reg, FaultConfig::patched(), &mut run,
-            BPF_PROBE_READ_KERNEL, [dst, 8, 0xffff_0000_0000, 0, 0],
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_PROBE_READ_KERNEL,
+            [dst, 8, 0xffff_0000_0000, 0, 0],
         )
         .unwrap();
         assert_eq!(v as i64, -14);
@@ -1806,7 +1917,16 @@ mod tests {
         let (kernel, maps, reg) = harness();
         let mut run = RunState::with_seed(1);
         let buf = kernel.mem.map("comm", 4, Perms::rw()).unwrap();
-        call(&kernel, &maps, &reg, FaultConfig::patched(), &mut run, BPF_GET_CURRENT_COMM, [buf, 4, 0, 0, 0]).unwrap();
+        call(
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_GET_CURRENT_COMM,
+            [buf, 4, 0, 0, 0],
+        )
+        .unwrap();
         let bytes = kernel.mem.read_bytes(buf, 4).unwrap();
         assert_eq!(&bytes[..3], b"ngi"); // truncated "nginx"
         assert_eq!(bytes[3], 0); // always NUL-terminated
@@ -1818,7 +1938,16 @@ mod tests {
         let mut run = RunState::with_seed(1);
         let cell = kernel.mem.map("cell", 8, Perms::rw()).unwrap();
         kernel.mem.write_u64(cell, 111).unwrap();
-        let old = call(&kernel, &maps, &reg, FaultConfig::patched(), &mut run, BPF_KPTR_XCHG, [cell, 222, 0, 0, 0]).unwrap();
+        let old = call(
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_KPTR_XCHG,
+            [cell, 222, 0, 0, 0],
+        )
+        .unwrap();
         assert_eq!(old, 111);
         assert_eq!(kernel.mem.read_u64(cell).unwrap(), 222);
     }
@@ -1831,8 +1960,13 @@ mod tests {
         // An arbitrary scalar where a map pointer belongs: -EINVAL, not a
         // crash — the patched helper validates the tag.
         let v = call(
-            &kernel, &maps, &reg, FaultConfig::patched(), &mut run,
-            BPF_MAP_LOOKUP_ELEM, [0x1234_5678, key, 0, 0, 0],
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_MAP_LOOKUP_ELEM,
+            [0x1234_5678, key, 0, 0, 0],
         )
         .unwrap();
         assert_eq!(v as i64, -22);
@@ -1848,8 +1982,13 @@ mod tests {
         kernel.mem.write_u32(tuple + 6, 0x0a00_0064).unwrap();
         kernel.mem.write_u16(tuple + 10, 51724).unwrap();
         let v = call(
-            &kernel, &maps, &reg, FaultConfig::patched(), &mut run,
-            BPF_SK_LOOKUP_TCP, [0, tuple, 12, 0, 0],
+            &kernel,
+            &maps,
+            &reg,
+            FaultConfig::patched(),
+            &mut run,
+            BPF_SK_LOOKUP_TCP,
+            [0, tuple, 12, 0, 0],
         )
         .unwrap();
         let obj = untag(SOCK_PTR_TAG, v).expect("tagged socket pointer");
@@ -1867,8 +2006,16 @@ mod tests {
     #[test]
     fn category_split_is_sensible() {
         let reg = HelperRegistry::standard();
-        let retire = reg.specs().iter().filter(|s| s.category == HelperCategory::Expressiveness).count();
-        let wrap = reg.specs().iter().filter(|s| s.category == HelperCategory::Wrapper).count();
+        let retire = reg
+            .specs()
+            .iter()
+            .filter(|s| s.category == HelperCategory::Expressiveness)
+            .count();
+        let wrap = reg
+            .specs()
+            .iter()
+            .filter(|s| s.category == HelperCategory::Wrapper)
+            .count();
         assert!(retire >= 5);
         assert!(wrap >= 2);
     }

@@ -21,76 +21,20 @@ use kernel_sim::{
 
 use crate::{
     helpers::{
-        tagged,
-        untag,
-        FaultConfig,
-        HelperCtx,
-        HelperError,
-        HelperRegistry,
-        RunState,
-        BPF_LOOP,
-        BPF_TAIL_CALL,
-        E2BIG,
-        EINVAL,
-        FUNC_PTR_TAG,
-        MAP_PTR_TAG,
-        neg_errno,
+        neg_errno, tagged, untag, FaultConfig, HelperCtx, HelperError, HelperRegistry, RetType,
+        RunState, BPF_LOOP, BPF_TAIL_CALL, E2BIG, EAGAIN, EINVAL, FUNC_PTR_TAG, MAP_PTR_TAG,
     },
     insn::{
-        lddw_imm,
-        Insn,
-        BPF_ADD,
-        BPF_ALU,
-        BPF_ALU64,
-        BPF_AND,
-        BPF_ARSH,
-        BPF_ATOMIC,
-        BPF_ATOMIC_ADD,
-        BPF_ATOMIC_AND,
-        BPF_ATOMIC_OR,
-        BPF_ATOMIC_XOR,
-        BPF_CALL,
-        BPF_CMPXCHG,
-        BPF_DIV,
-        BPF_END,
-        BPF_EXIT,
-        BPF_FETCH,
-        BPF_JA,
-        BPF_JEQ,
-        BPF_JGE,
-        BPF_JGT,
-        BPF_JLE,
-        BPF_JLT,
-        BPF_JMP,
-        BPF_JMP32,
-        BPF_JNE,
-        BPF_JSET,
-        BPF_JSGE,
-        BPF_JSGT,
-        BPF_JSLE,
-        BPF_JSLT,
-        BPF_LD,
-        BPF_LDX,
-        BPF_LSH,
-        BPF_MEM,
-        BPF_MOD,
-        BPF_MOV,
-        BPF_MUL,
-        BPF_NEG,
-        BPF_OR,
-        BPF_PSEUDO_CALL,
-        BPF_PSEUDO_FUNC,
-        BPF_PSEUDO_MAP_FD,
-        BPF_RSH,
-        BPF_ST,
-        BPF_STACK_SIZE,
-        BPF_STX,
-        BPF_SUB,
-        BPF_XCHG,
-        BPF_XOR,
+        lddw_imm, Insn, BPF_ADD, BPF_ALU, BPF_ALU64, BPF_AND, BPF_ARSH, BPF_ATOMIC, BPF_ATOMIC_ADD,
+        BPF_ATOMIC_AND, BPF_ATOMIC_OR, BPF_ATOMIC_XOR, BPF_CALL, BPF_CMPXCHG, BPF_DIV, BPF_END,
+        BPF_EXIT, BPF_FETCH, BPF_JA, BPF_JEQ, BPF_JGE, BPF_JGT, BPF_JLE, BPF_JLT, BPF_JMP,
+        BPF_JMP32, BPF_JNE, BPF_JSET, BPF_JSGE, BPF_JSGT, BPF_JSLE, BPF_JSLT, BPF_LD, BPF_LDX,
+        BPF_LSH, BPF_MEM, BPF_MOD, BPF_MOV, BPF_MUL, BPF_NEG, BPF_OR, BPF_PSEUDO_CALL,
+        BPF_PSEUDO_FUNC, BPF_PSEUDO_MAP_FD, BPF_RSH, BPF_ST, BPF_STACK_SIZE, BPF_STX, BPF_SUB,
+        BPF_XCHG, BPF_XOR,
     },
     maps::MapRegistry,
-    program::{Program, ProgType},
+    program::{ProgType, Program},
 };
 
 /// Interpreter configuration.
@@ -206,7 +150,10 @@ impl std::fmt::Display for ExecError {
             ExecError::Deadlock { pc } => write!(f, "deadlock at pc {pc}"),
             ExecError::BadInstruction { pc } => write!(f, "bad instruction at pc {pc}"),
             ExecError::ControlFlowEscape { pc, target } => {
-                write!(f, "control flow escaped program text at pc {pc} (target {target})")
+                write!(
+                    f,
+                    "control flow escaped program text at pc {pc} (target {target})"
+                )
             }
             ExecError::CallDepthExceeded { pc } => write!(f, "call depth exceeded at pc {pc}"),
             ExecError::InsnLimit { limit } => write!(f, "instruction budget {limit} exhausted"),
@@ -372,22 +319,20 @@ impl<'a> Vm<'a> {
                     result = Ok(v);
                     break;
                 }
-                Ok(FnExit::TailCall(next)) => {
-                    match self.programs.get(next as usize) {
-                        Some(p) => {
-                            current = p;
-                            st.regs = [0; 11];
-                            st.regs[1] = ctx_addr;
-                        }
-                        None => {
-                            result = Err(ExecError::HelperFailure {
-                                msg: format!("tail call to unloaded program {next}"),
-                                pc: 0,
-                            });
-                            break;
-                        }
+                Ok(FnExit::TailCall(next)) => match self.programs.get(next as usize) {
+                    Some(p) => {
+                        current = p;
+                        st.regs = [0; 11];
+                        st.regs[1] = ctx_addr;
                     }
-                }
+                    None => {
+                        result = Err(ExecError::HelperFailure {
+                            msg: format!("tail call to unloaded program {next}"),
+                            pc: 0,
+                        });
+                        break;
+                    }
+                },
                 Err(e) => {
                     result = Err(e);
                     break;
@@ -539,7 +484,8 @@ impl<'a> Vm<'a> {
                     };
                     let dst_val = st.regs[insn.dst as usize];
                     let result = if is64 {
-                        alu64(insn.op(), dst_val, src_val).ok_or(ExecError::BadInstruction { pc })?
+                        alu64(insn.op(), dst_val, src_val)
+                            .ok_or(ExecError::BadInstruction { pc })?
                     } else {
                         alu32(insn.op(), dst_val as u32, src_val as u32)
                             .ok_or(ExecError::BadInstruction { pc })? as u64
@@ -547,20 +493,19 @@ impl<'a> Vm<'a> {
                     st.regs[insn.dst as usize] = result;
                     pc += 1;
                 }
-                BPF_LD
-                    if insn.is_lddw() => {
-                        let hi = insns.get(pc + 1).ok_or(ExecError::BadInstruction { pc })?;
-                        let value = match insn.src {
-                            0 => lddw_imm(&insn, hi),
-                            BPF_PSEUDO_MAP_FD => tagged(MAP_PTR_TAG, insn.imm as u32 as u64),
-                            BPF_PSEUDO_FUNC => tagged(FUNC_PTR_TAG, insn.imm as u32 as u64),
-                            _ => return Err(ExecError::BadInstruction { pc }),
-                        };
-                        st.regs[insn.dst as usize] = value;
-                        // The second slot is charged too, as in the kernel.
-                        self.charge(st, pc)?;
-                        pc += 2;
-                    }
+                BPF_LD if insn.is_lddw() => {
+                    let hi = insns.get(pc + 1).ok_or(ExecError::BadInstruction { pc })?;
+                    let value = match insn.src {
+                        0 => lddw_imm(&insn, hi),
+                        BPF_PSEUDO_MAP_FD => tagged(MAP_PTR_TAG, insn.imm as u32 as u64),
+                        BPF_PSEUDO_FUNC => tagged(FUNC_PTR_TAG, insn.imm as u32 as u64),
+                        _ => return Err(ExecError::BadInstruction { pc }),
+                    };
+                    st.regs[insn.dst as usize] = value;
+                    // The second slot is charged too, as in the kernel.
+                    self.charge(st, pc)?;
+                    pc += 2;
+                }
                 BPF_LDX => {
                     if insn.mode() != BPF_MEM {
                         return Err(ExecError::BadInstruction { pc });
@@ -614,9 +559,8 @@ impl<'a> Vm<'a> {
                                 if target < 0 || target >= len as i64 {
                                     return Err(ExecError::ControlFlowEscape { pc, target });
                                 }
-                                let saved: [u64; 4] = [
-                                    st.regs[6], st.regs[7], st.regs[8], st.regs[9],
-                                ];
+                                let saved: [u64; 4] =
+                                    [st.regs[6], st.regs[7], st.regs[8], st.regs[9]];
                                 match self.exec_function(prog, st, target as usize, ctx_addr)? {
                                     FnExit::Return(v) => {
                                         st.regs[0] = v;
@@ -631,7 +575,13 @@ impl<'a> Vm<'a> {
                                 }
                                 pc += 1;
                             } else {
-                                match self.exec_helper_call(prog, st, insn.imm as u32, pc, ctx_addr)? {
+                                match self.exec_helper_call(
+                                    prog,
+                                    st,
+                                    insn.imm as u32,
+                                    pc,
+                                    ctx_addr,
+                                )? {
                                     Some(exit) => return Ok(exit),
                                     None => pc += 1,
                                 }
@@ -684,15 +634,18 @@ impl<'a> Vm<'a> {
                 .kernel
                 .mem
                 .fetch_update(addr, size, |v| (v.wrapping_add(src_val)) & mask),
-            x if x == BPF_ATOMIC_OR => {
-                self.kernel.mem.fetch_update(addr, size, |v| (v | src_val) & mask)
-            }
-            x if x == BPF_ATOMIC_AND => {
-                self.kernel.mem.fetch_update(addr, size, |v| (v & src_val) & mask)
-            }
-            x if x == BPF_ATOMIC_XOR => {
-                self.kernel.mem.fetch_update(addr, size, |v| (v ^ src_val) & mask)
-            }
+            x if x == BPF_ATOMIC_OR => self
+                .kernel
+                .mem
+                .fetch_update(addr, size, |v| (v | src_val) & mask),
+            x if x == BPF_ATOMIC_AND => self
+                .kernel
+                .mem
+                .fetch_update(addr, size, |v| (v & src_val) & mask),
+            x if x == BPF_ATOMIC_XOR => self
+                .kernel
+                .mem
+                .fetch_update(addr, size, |v| (v ^ src_val) & mask),
             x if x == BPF_XCHG & !BPF_FETCH => {
                 self.kernel.mem.fetch_update(addr, size, |_| src_val)
             }
@@ -776,9 +729,7 @@ impl<'a> Vm<'a> {
                     st.regs[2] = cb_ctx;
                     let ret = match self.exec_function(prog, st, cb_pc, ctx_addr)? {
                         FnExit::Return(v) => v,
-                        FnExit::TailCall(_) => {
-                            return Err(ExecError::TailCallInSubprog { pc })
-                        }
+                        FnExit::TailCall(_) => return Err(ExecError::TailCallInSubprog { pc }),
                     };
                     performed += 1;
                     if ret != 0 {
@@ -793,6 +744,25 @@ impl<'a> Vm<'a> {
                 Ok(None)
             }
             _ => {
+                // Fault plane: a transient helper failure is decided before
+                // dispatch and surfaces to the program as an error return
+                // (or NULL for pointer-returning helpers), exactly as a
+                // real helper under memory pressure would behave. Routed
+                // through the same kernel-level plane the FaultConfig bug
+                // replicas live beside.
+                if let Some(plane) = self.kernel.inject.get() {
+                    if self.helpers.get(id).is_some() && plane.helper_should_fail(id) {
+                        let ret = match self.helpers.get(id).map(|h| h.spec.ret) {
+                            Some(RetType::Integer) => neg_errno(EAGAIN),
+                            _ => 0,
+                        };
+                        st.regs[0] = ret;
+                        for r in 1..=5 {
+                            st.regs[r] = 0;
+                        }
+                        return Ok(None);
+                    }
+                }
                 let args = [st.regs[1], st.regs[2], st.regs[3], st.regs[4], st.regs[5]];
                 let mut hctx = HelperCtx {
                     kernel: self.kernel,
@@ -817,9 +787,7 @@ impl<'a> Vm<'a> {
                             .oops(OopsReason::HardLockup, format!("{}:pc{}", prog.name, pc));
                         Err(ExecError::Deadlock { pc })
                     }
-                    Err(HelperError::UnknownHelper(id)) => {
-                        Err(ExecError::UnknownHelper { id, pc })
-                    }
+                    Err(HelperError::UnknownHelper(id)) => Err(ExecError::UnknownHelper { id, pc }),
                     Err(other) => Err(ExecError::HelperFailure {
                         msg: other.to_string(),
                         pc,
@@ -830,10 +798,8 @@ impl<'a> Vm<'a> {
     }
 
     fn oops(&self, fault: Fault, pc: usize, prog: &Program) -> ExecError {
-        self.kernel.oops(
-            OopsReason::Fault(fault),
-            format!("{}:pc{}", prog.name, pc),
-        );
+        self.kernel
+            .oops(OopsReason::Fault(fault), format!("{}:pc{}", prog.name, pc));
         ExecError::Fault { fault, pc }
     }
 }

@@ -29,8 +29,8 @@
 //! ```
 
 pub mod asm;
-pub mod helpers;
 pub mod disasm;
+pub mod helpers;
 pub mod insn;
 pub mod interp;
 pub mod jit;

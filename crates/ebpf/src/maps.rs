@@ -255,12 +255,11 @@ impl Map {
         match &*inner {
             MapInner::Array { base } => (index < self.def.max_entries)
                 .then(|| base + index as u64 * self.def.value_size as u64),
-            MapInner::PerCpu { base, nr_cpus } => {
-                (index < self.def.max_entries && cpu < *nr_cpus).then(|| {
+            MapInner::PerCpu { base, nr_cpus } => (index < self.def.max_entries && cpu < *nr_cpus)
+                .then(|| {
                     base + (cpu as u64 * self.def.max_entries as u64 + index as u64)
                         * self.def.value_size as u64
-                })
-            }
+                }),
             _ => None,
         }
     }
@@ -300,9 +299,8 @@ impl Map {
             }
             MapInner::PerCpu { base, nr_cpus } => {
                 let index = u32::from_le_bytes(key.try_into().expect("key_size is 4"));
-                Ok((index < max_entries && cpu < *nr_cpus).then(|| {
-                    *base + (cpu as u64 * max_entries as u64 + index as u64) * value_size
-                }))
+                Ok((index < max_entries && cpu < *nr_cpus)
+                    .then(|| *base + (cpu as u64 * max_entries as u64 + index as u64) * value_size))
             }
             MapInner::Hash { entries, lru } => {
                 let addr = entries.get(key).copied();
@@ -348,8 +346,8 @@ impl Map {
                 if index >= max_entries || cpu >= *nr_cpus {
                     return Err(MapError::IndexOutOfRange);
                 }
-                let addr = *base
-                    + (cpu as u64 * max_entries as u64 + index as u64) * value.len() as u64;
+                let addr =
+                    *base + (cpu as u64 * max_entries as u64 + index as u64) * value.len() as u64;
                 mem.write_from(addr, value)?;
                 Ok(())
             }
@@ -388,7 +386,8 @@ impl Map {
             }
             MapInner::Prog { slots } => {
                 let index = u32::from_le_bytes(key.try_into().expect("key_size is 4")) as usize;
-                let prog = u32::from_le_bytes(value.try_into().map_err(|_| MapError::BadValueSize)?);
+                let prog =
+                    u32::from_le_bytes(value.try_into().map_err(|_| MapError::BadValueSize)?);
                 if index >= slots.len() {
                     return Err(MapError::IndexOutOfRange);
                 }
@@ -610,7 +609,8 @@ mod tests {
         let fd = reg.create(&kernel, MapDef::array("counts", 8, 4)).unwrap();
         let map = reg.get(fd).unwrap();
         let key = 2u32.to_le_bytes();
-        map.update(&kernel.mem, &key, &77u64.to_le_bytes(), 0).unwrap();
+        map.update(&kernel.mem, &key, &77u64.to_le_bytes(), 0)
+            .unwrap();
         let addr = map.lookup(&key, 0).unwrap().unwrap();
         assert_eq!(kernel.mem.read_u64(addr).unwrap(), 77);
         // Out-of-range index: lookup returns None, update errors.
@@ -642,8 +642,10 @@ mod tests {
             .unwrap();
         let map = reg.get(fd).unwrap();
         let key = 1u32.to_le_bytes();
-        map.update(&kernel.mem, &key, &1u64.to_le_bytes(), 0).unwrap();
-        map.update(&kernel.mem, &key, &2u64.to_le_bytes(), 3).unwrap();
+        map.update(&kernel.mem, &key, &1u64.to_le_bytes(), 0)
+            .unwrap();
+        map.update(&kernel.mem, &key, &2u64.to_le_bytes(), 3)
+            .unwrap();
         let a0 = map.lookup(&key, 0).unwrap().unwrap();
         let a3 = map.lookup(&key, 3).unwrap().unwrap();
         assert_ne!(a0, a3);
@@ -661,8 +663,10 @@ mod tests {
         let k1 = [1, 0, 0, 0];
         let k2 = [2, 0, 0, 0];
         assert_eq!(map.lookup(&k1, 0).unwrap(), None);
-        map.update(&kernel.mem, &k1, &10u64.to_le_bytes(), 0).unwrap();
-        map.update(&kernel.mem, &k2, &20u64.to_le_bytes(), 0).unwrap();
+        map.update(&kernel.mem, &k1, &10u64.to_le_bytes(), 0)
+            .unwrap();
+        map.update(&kernel.mem, &k2, &20u64.to_le_bytes(), 0)
+            .unwrap();
         assert_eq!(map.len(), 2);
         // Full: a third distinct key is rejected.
         assert_eq!(
@@ -670,7 +674,8 @@ mod tests {
             Err(MapError::NoSpace)
         );
         // In-place update of an existing key is fine.
-        map.update(&kernel.mem, &k1, &11u64.to_le_bytes(), 0).unwrap();
+        map.update(&kernel.mem, &k1, &11u64.to_le_bytes(), 0)
+            .unwrap();
         let addr = map.lookup(&k1, 0).unwrap().unwrap();
         assert_eq!(kernel.mem.read_u64(addr).unwrap(), 11);
         map.delete(&kernel.mem, &k1).unwrap();

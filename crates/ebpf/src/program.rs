@@ -192,14 +192,8 @@ mod tests {
     fn packet_ctx_layout_has_pointer_fields() {
         let layout = ProgType::Xdp.ctx_layout();
         assert_eq!(layout.size, 24);
-        assert_eq!(
-            layout.field_at(0, 8).unwrap().kind,
-            CtxFieldKind::PacketPtr
-        );
-        assert_eq!(
-            layout.field_at(8, 8).unwrap().kind,
-            CtxFieldKind::PacketEnd
-        );
+        assert_eq!(layout.field_at(0, 8).unwrap().kind, CtxFieldKind::PacketPtr);
+        assert_eq!(layout.field_at(8, 8).unwrap().kind, CtxFieldKind::PacketEnd);
         assert_eq!(layout.field_at(16, 8).unwrap().kind, CtxFieldKind::Scalar);
     }
 

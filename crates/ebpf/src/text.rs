@@ -25,61 +25,12 @@
 use std::collections::HashMap;
 
 use crate::insn::{
-    Insn,
-    BPF_ADD,
-    BPF_ALU,
-    BPF_ALU64,
-    BPF_AND,
-    BPF_ARSH,
-    BPF_ATOMIC,
-    BPF_ATOMIC_ADD,
-    BPF_ATOMIC_AND,
-    BPF_ATOMIC_OR,
-    BPF_ATOMIC_XOR,
-    BPF_B,
-    BPF_CALL,
-    BPF_CMPXCHG,
-    BPF_DIV,
-    BPF_DW,
-    BPF_END,
-    BPF_EXIT,
-    BPF_FETCH,
-    BPF_H,
-    BPF_IMM,
-    BPF_JA,
-    BPF_JEQ,
-    BPF_JGE,
-    BPF_JGT,
-    BPF_JLE,
-    BPF_JLT,
-    BPF_JMP,
-    BPF_JMP32,
-    BPF_JNE,
-    BPF_JSET,
-    BPF_JSGE,
-    BPF_JSGT,
-    BPF_JSLE,
-    BPF_JSLT,
-    BPF_K,
-    BPF_LD,
-    BPF_LDX,
-    BPF_LSH,
-    BPF_MEM,
-    BPF_MOD,
-    BPF_MOV,
-    BPF_MUL,
-    BPF_NEG,
-    BPF_OR,
-    BPF_PSEUDO_CALL,
-    BPF_PSEUDO_FUNC,
-    BPF_PSEUDO_MAP_FD,
-    BPF_RSH,
-    BPF_ST,
-    BPF_STX,
-    BPF_SUB,
-    BPF_W,
-    BPF_X,
-    BPF_XCHG,
+    Insn, BPF_ADD, BPF_ALU, BPF_ALU64, BPF_AND, BPF_ARSH, BPF_ATOMIC, BPF_ATOMIC_ADD,
+    BPF_ATOMIC_AND, BPF_ATOMIC_OR, BPF_ATOMIC_XOR, BPF_B, BPF_CALL, BPF_CMPXCHG, BPF_DIV, BPF_DW,
+    BPF_END, BPF_EXIT, BPF_FETCH, BPF_H, BPF_IMM, BPF_JA, BPF_JEQ, BPF_JGE, BPF_JGT, BPF_JLE,
+    BPF_JLT, BPF_JMP, BPF_JMP32, BPF_JNE, BPF_JSET, BPF_JSGE, BPF_JSGT, BPF_JSLE, BPF_JSLT, BPF_K,
+    BPF_LD, BPF_LDX, BPF_LSH, BPF_MEM, BPF_MOD, BPF_MOV, BPF_MUL, BPF_NEG, BPF_OR, BPF_PSEUDO_CALL,
+    BPF_PSEUDO_FUNC, BPF_PSEUDO_MAP_FD, BPF_RSH, BPF_ST, BPF_STX, BPF_SUB, BPF_W, BPF_X, BPF_XCHG,
     BPF_XOR,
 };
 
@@ -152,12 +103,10 @@ pub fn parse_program(source: &str) -> Result<Vec<Insn>, ParseError> {
     }
 
     for (slot, line, label, is_call) in fixups {
-        let target = *labels
-            .get(&label)
-            .ok_or(ParseError {
-                line,
-                message: format!("undefined label `{label}`"),
-            })?;
+        let target = *labels.get(&label).ok_or(ParseError {
+            line,
+            message: format!("undefined label `{label}`"),
+        })?;
         let rel = target as i64 - (slot as i64 + 1);
         if is_call {
             insns[slot].imm = rel as i32;
@@ -251,12 +200,10 @@ fn jmp_op_of(op: &str) -> Option<u8> {
 /// Parses a memory operand `*(u32 *)(r10 - 4)`, returning
 /// `(size_bits, reg, off)`.
 fn parse_mem(tok: &str, line: usize) -> Result<(u8, u8, i16), ParseError> {
-    let rest = tok
-        .strip_prefix("*(")
-        .ok_or(ParseError {
-            line,
-            message: format!("expected memory operand, got `{tok}`"),
-        })?;
+    let rest = tok.strip_prefix("*(").ok_or(ParseError {
+        line,
+        message: format!("expected memory operand, got `{tok}`"),
+    })?;
     let (size_name, rest) = rest.split_once("*)").ok_or(ParseError {
         line,
         message: "malformed memory operand".into(),
@@ -335,7 +282,10 @@ fn parse_line(
             if toks.len() != 2 {
                 return err(line_no, "call takes one target");
             }
-            let target = toks[1].split('#').next().expect("split yields at least one");
+            let target = toks[1]
+                .split('#')
+                .next()
+                .expect("split yields at least one");
             if let Some(pc_rel) = target.strip_prefix("pc") {
                 let slot = insns.len();
                 insns.push(Insn::new(BPF_JMP | BPF_CALL, 0, BPF_PSEUDO_CALL, 0, 0));
@@ -354,13 +304,10 @@ fn parse_line(
         }
         "if" => {
             // if rD OP (rS|IMM) goto TGT
-            let goto_pos = toks
-                .iter()
-                .position(|t| *t == "goto")
-                .ok_or(ParseError {
-                    line: line_no,
-                    message: "conditional without goto".into(),
-                })?;
+            let goto_pos = toks.iter().position(|t| *t == "goto").ok_or(ParseError {
+                line: line_no,
+                message: "conditional without goto".into(),
+            })?;
             if goto_pos != 4 || toks.len() != 6 {
                 return err(line_no, "malformed conditional");
             }
@@ -420,13 +367,10 @@ fn parse_line(
         }
         tok if tok.starts_with("*(") => {
             // Store: *(SIZE *)(rD +- OFF) = rS|IMM
-            let eq = toks
-                .iter()
-                .position(|t| *t == "=")
-                .ok_or(ParseError {
-                    line: line_no,
-                    message: "store without `=`".into(),
-                })?;
+            let eq = toks.iter().position(|t| *t == "=").ok_or(ParseError {
+                line: line_no,
+                message: "store without `=`".into(),
+            })?;
             let mem: String = toks[..eq].join(" ");
             let (size, dst, off) = parse_mem(&mem, line_no)?;
             let value: String = toks[eq + 1..].join(" ");

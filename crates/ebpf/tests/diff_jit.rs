@@ -1,0 +1,225 @@
+//! Differential properties: interpreting a program and interpreting its
+//! JIT-compiled translation must be indistinguishable — same return
+//! values, same error classifications, same instruction counts — for
+//! arbitrary (valid) programs, and also under injected helper/allocation
+//! faults when both kernels are armed with the same [`FaultPlan`] seed.
+
+use proptest::prelude::*;
+
+use ebpf::asm::Asm;
+use ebpf::helpers::HelperRegistry;
+use ebpf::insn::*;
+use ebpf::interp::{CtxInput, RunResult, Vm, VmConfig};
+use ebpf::jit::{jit_compile, JitConfig};
+use ebpf::maps::{MapDef, MapRegistry};
+use ebpf::program::{ProgType, Program};
+use kernel_sim::{FaultPlan, Kernel};
+
+/// Interpreter budget: keeps generated `JA`-loops finite; both sides get
+/// the same budget, so budget exhaustion must classify identically too.
+const INSN_BUDGET: u64 = 16_384;
+
+/// One random instruction group (LDDW takes two slots, kept intact).
+/// Branch offsets are placeholders; [`sanitize`] remaps them in-range.
+fn insn_group() -> impl Strategy<Value = Vec<Insn>> {
+    let reg = 0u8..=10;
+    let alu_op = prop::sample::select(vec![
+        BPF_ADD, BPF_SUB, BPF_MUL, BPF_DIV, BPF_OR, BPF_AND, BPF_LSH, BPF_RSH, BPF_MOD, BPF_XOR,
+        BPF_MOV, BPF_ARSH,
+    ]);
+    let jmp_op = prop::sample::select(vec![
+        BPF_JA, BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JGE, BPF_JLT, BPF_JLE, BPF_JSGT, BPF_JSGE, BPF_JSLT,
+        BPF_JSLE, BPF_JSET,
+    ]);
+    let size = prop::sample::select(vec![BPF_B, BPF_H, BPF_W, BPF_DW]);
+    prop_oneof![
+        (reg.clone(), alu_op.clone(), any::<i32>(), any::<bool>()).prop_map(
+            |(d, op, imm, wide)| {
+                let class = if wide { BPF_ALU64 } else { BPF_ALU };
+                vec![Insn::new(class | op | BPF_K, d, 0, 0, imm)]
+            }
+        ),
+        (reg.clone(), reg.clone(), alu_op, any::<bool>()).prop_map(|(d, s, op, wide)| {
+            let class = if wide { BPF_ALU64 } else { BPF_ALU };
+            vec![Insn::new(class | op | BPF_X, d, s, 0, 0)]
+        }),
+        // Stack traffic within the frame, so most runs survive to later
+        // instructions instead of faulting immediately.
+        (reg.clone(), size.clone(), -64i16..=-8).prop_map(|(d, sz, off)| {
+            vec![Insn::new(
+                BPF_STX | BPF_MEM | sz,
+                BPF_REG_FP,
+                d,
+                off & !7,
+                0,
+            )]
+        }),
+        (reg.clone(), size, -64i16..=-8).prop_map(|(d, sz, off)| {
+            vec![Insn::new(
+                BPF_LDX | BPF_MEM | sz,
+                d,
+                BPF_REG_FP,
+                off & !7,
+                0,
+            )]
+        }),
+        (reg.clone(), jmp_op, any::<i32>(), any::<i16>()).prop_map(|(d, op, imm, off)| {
+            vec![Insn::new(BPF_JMP | op | BPF_K, d, 0, off, imm)]
+        }),
+        (reg, any::<u64>()).prop_map(|(d, v)| {
+            vec![
+                Insn::new(BPF_LD | BPF_IMM | BPF_DW, d, 0, 0, v as u32 as i32),
+                Insn::new(0, 0, 0, 0, (v >> 32) as u32 as i32),
+            ]
+        }),
+        // Helper calls, known and unknown ids alike: both pipelines must
+        // classify them identically either way.
+        (1i32..200).prop_map(|id| vec![Insn::new(BPF_JMP | BPF_CALL, 0, 0, 0, id)]),
+    ]
+}
+
+/// Flattens groups, appends an `EXIT`, and remaps every branch offset
+/// into the program text so [`jit_compile`] always validates.
+fn sanitize(groups: Vec<Vec<Insn>>) -> Vec<Insn> {
+    let mut insns: Vec<Insn> = groups.into_iter().flatten().collect();
+    insns.push(Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0));
+    let len = insns.len() as i64;
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        let insn = insns[pc];
+        if insn.is_lddw() {
+            pc += 2;
+            continue;
+        }
+        let class = insn.class();
+        let is_branch = (class == BPF_JMP || class == BPF_JMP32)
+            && insn.op() != BPF_CALL
+            && insn.op() != BPF_EXIT;
+        if is_branch {
+            let target = (((insn.off as i64) % len) + len) % len;
+            insns[pc].off = (target - pc as i64 - 1) as i16;
+        }
+        pc += 1;
+    }
+    insns
+}
+
+fn run_fresh(prog: Program) -> RunResult {
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    let helpers = HelperRegistry::standard();
+    let mut vm = Vm::new(&kernel, &maps, &helpers).with_config(VmConfig {
+        max_insns: Some(INSN_BUDGET),
+        ..VmConfig::default()
+    });
+    let id = vm.load(prog);
+    vm.run(id, CtxInput::None)
+}
+
+fn assert_equivalent(a: &RunResult, b: &RunResult) -> Result<(), TestCaseError> {
+    prop_assert_eq!(&a.result, &b.result);
+    prop_assert_eq!(a.insns, b.insns);
+    prop_assert_eq!(a.helper_calls, b.helper_calls);
+    prop_assert_eq!(a.max_depth, b.max_depth);
+    prop_assert_eq!(&a.printk, &b.printk);
+    Ok(())
+}
+
+/// The packet-filter used for the fault-injection property: bounds check,
+/// map count (helper call), accept.
+fn filter_prog(fd: u32) -> Program {
+    let insns = Asm::new()
+        .mov64_reg(Reg::R6, Reg::R1)
+        .ldx(BPF_DW, Reg::R2, Reg::R6, 0)
+        .ldx(BPF_DW, Reg::R3, Reg::R6, 8)
+        .mov64_reg(Reg::R4, Reg::R2)
+        .alu64_imm(BPF_ADD, Reg::R4, 2)
+        .mov64_imm(Reg::R0, 0)
+        .jmp64_reg(BPF_JGT, Reg::R4, Reg::R3, "out")
+        .ldx(BPF_B, Reg::R7, Reg::R2, 0)
+        .alu64_imm(BPF_AND, Reg::R7, 3)
+        .stx(BPF_W, Reg::R10, -4, Reg::R7)
+        .ld_map_fd(Reg::R1, fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -4)
+        .call_helper(ebpf::helpers::BPF_MAP_LOOKUP_ELEM as i32)
+        .jmp64_imm(BPF_JEQ, Reg::R0, 0, "out")
+        .ldx(BPF_DW, Reg::R0, Reg::R0, 0)
+        .label("out")
+        .exit()
+        .build()
+        .unwrap();
+    Program::new("diff-filter", ProgType::SocketFilter, insns)
+}
+
+/// Runs the packet filter on a fresh kernel armed with `seed`, through
+/// the given compile step.
+fn run_filter_under_faults(
+    seed: u64,
+    payload: &[u8],
+    compile: impl Fn(Program) -> Program,
+) -> (RunResult, u64) {
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    let helpers = HelperRegistry::standard();
+    let fd = maps
+        .create(&kernel, MapDef::array("counts", 8, 4))
+        .expect("map creation");
+    let prog = compile(filter_prog(fd));
+    let mut vm = Vm::new(&kernel, &maps, &helpers).with_config(VmConfig {
+        max_insns: Some(INSN_BUDGET),
+        ..VmConfig::default()
+    });
+    let id = vm.load(prog);
+    let plane = kernel.arm_fault_plan(FaultPlan::new(seed));
+    let result = vm.run(id, CtxInput::Packet(payload.to_vec()));
+    (result, plane.total_injected())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary valid programs: the default JIT pipeline and the plain
+    /// interpreter agree on results and on error classifications.
+    #[test]
+    fn jit_pipeline_matches_interpreter(groups in prop::collection::vec(insn_group(), 1..40)) {
+        let insns = sanitize(groups);
+        let prog = Program::new("diff", ProgType::SocketFilter, insns);
+        let (jitted, stats) = jit_compile(&prog, JitConfig::default())
+            .expect("sanitized programs always validate");
+        prop_assert_eq!(stats.insns, prog.insns.len());
+        assert_equivalent(&run_fresh(prog), &run_fresh(jitted))?;
+    }
+
+    /// Same property under injected faults: two kernels armed with the
+    /// same `FaultPlan` seed inject identically, so the interpreted and
+    /// JIT-compiled filter must still classify identically — including
+    /// injected helper failures and context-allocation faults.
+    #[test]
+    fn jit_pipeline_matches_interpreter_under_faults(
+        seed in any::<u64>(),
+        payload in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let (base, base_injected) =
+            run_filter_under_faults(seed, &payload, |p| p);
+        let (jit, jit_injected) = run_filter_under_faults(seed, &payload, |p| {
+            jit_compile(&p, JitConfig::default()).expect("filter validates").0
+        });
+        assert_equivalent(&base, &jit)?;
+        prop_assert_eq!(base_injected, jit_injected);
+    }
+
+    /// The CVE replica stays detectable: with the branch bug enabled, a
+    /// long backward branch either diverges or escapes — but never
+    /// silently corrupts the equivalence check's bookkeeping (the run
+    /// still terminates under the shared budget).
+    #[test]
+    fn buggy_jit_never_hangs(groups in prop::collection::vec(insn_group(), 1..40)) {
+        let insns = sanitize(groups);
+        let prog = Program::new("diff-bug", ProgType::SocketFilter, insns);
+        if let Ok((jitted, _)) = jit_compile(&prog, JitConfig { branch_offset_bug: true }) {
+            // Must complete within the budget, one way or another.
+            let _ = run_fresh(jitted);
+        }
+    }
+}

@@ -557,21 +557,18 @@ fn unknown_helper_errors() {
 #[test]
 fn insn_budget_enforced_when_configured() {
     let h = Harness::new();
-    let mut vm = h
-        .vm()
-        .with_config(VmConfig {
-            max_insns: Some(100),
-            ..VmConfig::default()
-        });
+    let mut vm = h.vm().with_config(VmConfig {
+        max_insns: Some(100),
+        ..VmConfig::default()
+    });
     // Infinite loop.
-    let prog = Asm::new()
-        .label("spin")
-        .ja("spin")
-        .build()
-        .unwrap();
+    let prog = Asm::new().label("spin").ja("spin").build().unwrap();
     let id = vm.load(Program::new("spin", ProgType::SocketFilter, prog));
     let result = vm.run(id, CtxInput::None);
-    assert!(matches!(result.result, Err(ExecError::InsnLimit { limit: 100 })));
+    assert!(matches!(
+        result.result,
+        Err(ExecError::InsnLimit { limit: 100 })
+    ));
     assert_eq!(result.insns, 101);
 }
 

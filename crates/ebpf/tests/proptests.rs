@@ -41,13 +41,7 @@ fn oracle64(op: u8, dst: u64, src: u64) -> u64 {
         BPF_ADD => dst.wrapping_add(src),
         BPF_SUB => dst.wrapping_sub(src),
         BPF_MUL => dst.wrapping_mul(src),
-        BPF_DIV => {
-            if src == 0 {
-                0
-            } else {
-                dst / src
-            }
-        }
+        BPF_DIV => dst.checked_div(src).unwrap_or(0),
         BPF_OR => dst | src,
         BPF_AND => dst & src,
         BPF_LSH => dst.wrapping_shl((src & 63) as u32),
@@ -71,13 +65,7 @@ fn oracle32(op: u8, dst: u32, src: u32) -> u32 {
         BPF_ADD => dst.wrapping_add(src),
         BPF_SUB => dst.wrapping_sub(src),
         BPF_MUL => dst.wrapping_mul(src),
-        BPF_DIV => {
-            if src == 0 {
-                0
-            } else {
-                dst / src
-            }
-        }
+        BPF_DIV => dst.checked_div(src).unwrap_or(0),
         BPF_OR => dst | src,
         BPF_AND => dst & src,
         BPF_LSH => dst.wrapping_shl(src & 31),
@@ -129,7 +117,7 @@ proptest! {
     fn div_semantics_including_zero(dst in any::<u64>(), src in prop::option::of(any::<u64>())) {
         let src = src.unwrap_or(0);
         let got = run_alu(BPF_DIV, true, true, dst, src);
-        let want = if src == 0 { 0 } else { dst / src };
+        let want = dst.checked_div(src).unwrap_or(0);
         prop_assert_eq!(got, want);
     }
 
@@ -232,23 +220,23 @@ fn insn_strategy() -> impl Strategy<Value = Vec<Insn>> {
     let size = prop::sample::select(vec![BPF_B, BPF_H, BPF_W, BPF_DW]);
     prop_oneof![
         // ALU imm (both widths).
-        (reg.clone(), alu_op.clone(), any::<i32>(), any::<bool>()).prop_map(|(d, op, imm, wide)| {
-            let class = if wide { BPF_ALU64 } else { BPF_ALU };
-            vec![Insn::new(class | op | BPF_K, d, 0, 0, imm)]
-        }),
+        (reg.clone(), alu_op.clone(), any::<i32>(), any::<bool>()).prop_map(
+            |(d, op, imm, wide)| {
+                let class = if wide { BPF_ALU64 } else { BPF_ALU };
+                vec![Insn::new(class | op | BPF_K, d, 0, 0, imm)]
+            }
+        ),
         // ALU reg.
         (reg.clone(), reg.clone(), alu_op, any::<bool>()).prop_map(|(d, s, op, wide)| {
             let class = if wide { BPF_ALU64 } else { BPF_ALU };
             vec![Insn::new(class | op | BPF_X, d, s, 0, 0)]
         }),
         // Load.
-        (reg.clone(), reg.clone(), size.clone(), any::<i16>()).prop_map(|(d, s, sz, off)| {
-            vec![Insn::new(BPF_LDX | BPF_MEM | sz, d, s, off, 0)]
-        }),
+        (reg.clone(), reg.clone(), size.clone(), any::<i16>())
+            .prop_map(|(d, s, sz, off)| { vec![Insn::new(BPF_LDX | BPF_MEM | sz, d, s, off, 0)] }),
         // Store reg / imm.
-        (reg.clone(), reg.clone(), size.clone(), any::<i16>()).prop_map(|(d, s, sz, off)| {
-            vec![Insn::new(BPF_STX | BPF_MEM | sz, d, s, off, 0)]
-        }),
+        (reg.clone(), reg.clone(), size.clone(), any::<i16>())
+            .prop_map(|(d, s, sz, off)| { vec![Insn::new(BPF_STX | BPF_MEM | sz, d, s, off, 0)] }),
         (reg.clone(), size, any::<i16>(), any::<i32>()).prop_map(|(d, sz, off, imm)| {
             vec![Insn::new(BPF_ST | BPF_MEM | sz, d, 0, off, imm)]
         }),
@@ -264,13 +252,25 @@ fn insn_strategy() -> impl Strategy<Value = Vec<Insn>> {
             ]
         }),
         // Atomics.
-        (reg.clone(), reg, prop::sample::select(vec![
-            BPF_ATOMIC_ADD, BPF_ATOMIC_OR, BPF_ATOMIC_AND, BPF_ATOMIC_XOR,
-            BPF_ATOMIC_ADD | BPF_FETCH, BPF_XCHG, BPF_CMPXCHG,
-        ]), any::<i16>(), any::<bool>()).prop_map(|(d, s, op, off, wide)| {
-            let sz = if wide { BPF_DW } else { BPF_W };
-            vec![Insn::new(BPF_STX | BPF_ATOMIC | sz, d, s, off, op)]
-        }),
+        (
+            reg.clone(),
+            reg,
+            prop::sample::select(vec![
+                BPF_ATOMIC_ADD,
+                BPF_ATOMIC_OR,
+                BPF_ATOMIC_AND,
+                BPF_ATOMIC_XOR,
+                BPF_ATOMIC_ADD | BPF_FETCH,
+                BPF_XCHG,
+                BPF_CMPXCHG,
+            ]),
+            any::<i16>(),
+            any::<bool>()
+        )
+            .prop_map(|(d, s, op, off, wide)| {
+                let sz = if wide { BPF_DW } else { BPF_W };
+                vec![Insn::new(BPF_STX | BPF_ATOMIC | sz, d, s, off, op)]
+            }),
         // Helper call + exit.
         (1i32..500).prop_map(|id| vec![Insn::new(BPF_JMP | BPF_CALL, 0, 0, 0, id)]),
         Just(vec![Insn::new(BPF_JMP | BPF_EXIT, 0, 0, 0, 0)]),

@@ -36,6 +36,11 @@ pub enum EventKind {
     LoadRejected,
     /// A sanitizing wrapper rejected a bad argument before unsafe code.
     WrapperRejected,
+    /// The fault-injection plane injected a fault (see [`crate::inject`]).
+    FaultInjected,
+    /// An extension crossed the quarantine threshold (or a quarantined
+    /// extension was refused entry).
+    Quarantined,
     /// Free-form informational event.
     Info,
 }
@@ -154,7 +159,10 @@ mod tests {
         log.record_fault(5, EventKind::Oops, "deref", Fault::NullDeref { addr: 0 });
         let events = log.of_kind(EventKind::Oops);
         assert_eq!(events.len(), 1);
-        assert!(matches!(events[0].fault, Some(Fault::NullDeref { addr: 0 })));
+        assert!(matches!(
+            events[0].fault,
+            Some(Fault::NullDeref { addr: 0 })
+        ));
         assert_eq!(events[0].at_ns, 5);
     }
 

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::{
     audit::{AuditLog, EventKind},
+    inject::{FaultPlan, FaultPlane, InjectSlot},
     locks::SpinTable,
     mem::KernelMem,
     objects::ObjectTable,
@@ -66,10 +67,14 @@ pub struct Kernel {
     pub objects: ObjectTable,
     /// CPU topology.
     pub cpus: CpuInfo,
-    /// Audit log.
-    pub audit: AuditLog,
+    /// Audit log (shared with the fault-injection plane when armed).
+    pub audit: Arc<AuditLog>,
     /// Oops log.
     pub oopses: OopsLog,
+    /// Kernel-level fault-injection mount point, consulted by helper
+    /// dispatch in the eBPF baseline. Armed together with every
+    /// subsystem's slot by [`Kernel::arm_fault_plan`].
+    pub inject: InjectSlot,
 }
 
 impl Default for Kernel {
@@ -90,14 +95,45 @@ impl Kernel {
             refs: RefTable::default(),
             objects: ObjectTable::default(),
             cpus: CpuInfo::default(),
-            audit: AuditLog::default(),
+            audit: Arc::new(AuditLog::default()),
             oopses: OopsLog::default(),
+            inject: InjectSlot::default(),
         }
     }
 
     /// Boots a kernel wrapped in an [`Arc`] for sharing across threads.
     pub fn new_shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// Arms `plan` on every subsystem: allocations, locks, RCU, refcounts,
+    /// the clock, and helper dispatch all start drawing injection decisions
+    /// from one seeded stream, each injected fault audited as
+    /// [`EventKind::FaultInjected`]. Returns the shared plane so callers
+    /// can query injection counters.
+    pub fn arm_fault_plan(&self, plan: FaultPlan) -> Arc<FaultPlane> {
+        let plane = Arc::new(FaultPlane::new(
+            plan,
+            Arc::clone(&self.audit),
+            self.clock.bare_handle(),
+        ));
+        self.mem.inject.arm(Arc::clone(&plane));
+        self.locks.inject.arm(Arc::clone(&plane));
+        self.rcu.inject.arm(Arc::clone(&plane));
+        self.refs.inject.arm(Arc::clone(&plane));
+        self.clock.inject.arm(Arc::clone(&plane));
+        self.inject.arm(Arc::clone(&plane));
+        plane
+    }
+
+    /// Disarms fault injection on every subsystem.
+    pub fn disarm_faults(&self) {
+        self.mem.inject.disarm();
+        self.locks.inject.disarm();
+        self.rcu.inject.disarm();
+        self.refs.inject.disarm();
+        self.clock.inject.disarm();
+        self.inject.disarm();
     }
 
     /// Records an oops: both in the oops log and as an audit event.

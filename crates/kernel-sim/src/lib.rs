@@ -29,6 +29,7 @@
 
 pub mod audit;
 pub mod exec;
+pub mod inject;
 pub mod kernel;
 pub mod locks;
 pub mod mem;
@@ -40,6 +41,7 @@ pub mod refcount;
 pub mod time;
 
 pub use exec::{ExecCtx, ExecReport};
+pub use inject::{FaultPlan, FaultPlanConfig, FaultPlane, FaultSite};
 pub use kernel::{HealthReport, Kernel};
 pub use mem::{Addr, Fault};
 pub use oops::{Oops, OopsReason};

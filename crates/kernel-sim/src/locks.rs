@@ -13,6 +13,10 @@ use parking_lot::Mutex;
 /// Identifies a simulated execution (one run of one extension).
 pub type OwnerId = u64;
 
+/// The owner id reported for injected contention spikes: no real execution
+/// holds the lock, it is just briefly busy (another CPU in the model).
+pub const PHANTOM_OWNER: OwnerId = u64::MAX;
+
 /// Handle to a kernel spinlock object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LockId(pub u64);
@@ -69,6 +73,7 @@ struct LockInfo {
 #[derive(Debug, Default)]
 pub struct SpinTable {
     state: Mutex<TableState>,
+    pub(crate) inject: crate::inject::InjectSlot,
 }
 
 #[derive(Debug, Default)]
@@ -122,6 +127,10 @@ impl SpinTable {
     }
 
     /// Acquires `id` on behalf of `owner`.
+    ///
+    /// When a fault plan is armed, a free lock may report a transient
+    /// contention spike ([`LockError::Contended`] with [`PHANTOM_OWNER`]):
+    /// the trylock failed, nothing is held, retrying may succeed.
     pub fn acquire(&self, owner: OwnerId, id: LockId) -> Result<(), LockError> {
         let mut st = self.state.lock();
         let info = st.locks.get_mut(&id).ok_or(LockError::UnknownLock(id))?;
@@ -129,6 +138,11 @@ impl SpinTable {
             Some(h) if h == owner => Err(LockError::SelfDeadlock(id)),
             Some(h) => Err(LockError::Contended(id, h)),
             None => {
+                if let Some(plane) = self.inject.get() {
+                    if plane.lock_should_busy(id) {
+                        return Err(LockError::Contended(id, PHANTOM_OWNER));
+                    }
+                }
                 info.holder = Some(owner);
                 info.acquisitions += 1;
                 Ok(())

@@ -82,6 +82,13 @@ pub enum Fault {
         /// Whether the denied access was a write.
         write: bool,
     },
+    /// Transient allocation failure (memory pressure; injected by the
+    /// fault plane). Unlike the other variants this is not a safety
+    /// violation — retrying later may succeed.
+    AllocFailed {
+        /// The requested allocation length in bytes.
+        len: u64,
+    },
 }
 
 impl std::fmt::Display for Fault {
@@ -107,6 +114,9 @@ impl std::fmt::Display for Fault {
                 "protection key {pkey} denied {} at {addr:#x}",
                 if write { "write" } else { "read" }
             ),
+            Fault::AllocFailed { len } => {
+                write!(f, "transient allocation failure (len {len})")
+            }
         }
     }
 }
@@ -191,6 +201,7 @@ struct MemState {
 #[derive(Debug)]
 pub struct KernelMem {
     state: Mutex<MemState>,
+    pub(crate) inject: crate::inject::InjectSlot,
 }
 
 impl Default for KernelMem {
@@ -203,6 +214,7 @@ impl KernelMem {
     /// Creates an empty address space.
     pub fn new() -> Self {
         Self {
+            inject: crate::inject::InjectSlot::default(),
             state: Mutex::new(MemState {
                 regions: BTreeMap::new(),
                 next_base: KERNEL_VA_BASE,
@@ -238,7 +250,15 @@ impl KernelMem {
             return Err(Fault::BadRange { addr: 0, len });
         }
         if pkey >= NR_PKEYS {
-            return Err(Fault::BadRange { addr: 0, len: pkey as u64 });
+            return Err(Fault::BadRange {
+                addr: 0,
+                len: pkey as u64,
+            });
+        }
+        if let Some(plane) = self.inject.get() {
+            if plane.alloc_should_fail(name, len) {
+                return Err(Fault::AllocFailed { len });
+            }
         }
         let mut st = self.state.lock();
         let base = st.next_base;
@@ -339,7 +359,11 @@ impl KernelMem {
         if key != 0 {
             let bit = 1u16 << key;
             if st_pkey_access_disable & bit != 0 || (write && st_pkey_write_disable & bit != 0) {
-                return Err(Fault::PkeyDenied { addr, pkey: key, write });
+                return Err(Fault::PkeyDenied {
+                    addr,
+                    pkey: key,
+                    write,
+                });
             }
         }
         Ok((region, offset as usize))
@@ -689,7 +713,11 @@ mod pkey_tests {
         mem.set_pkey_rights(0, 1 << 3);
         assert!(matches!(
             mem.write_u64(a, 7),
-            Err(Fault::PkeyDenied { pkey: 3, write: true, .. })
+            Err(Fault::PkeyDenied {
+                pkey: 3,
+                write: true,
+                ..
+            })
         ));
         assert_eq!(mem.read_u64(a).unwrap(), 42);
         // Re-enable: writes work again (the fast trust-boundary flip).
@@ -704,7 +732,11 @@ mod pkey_tests {
         mem.set_pkey_rights(1 << 5, 0);
         assert!(matches!(
             mem.read_u64(a),
-            Err(Fault::PkeyDenied { pkey: 5, write: false, .. })
+            Err(Fault::PkeyDenied {
+                pkey: 5,
+                write: false,
+                ..
+            })
         ));
         assert!(mem.write_u64(a, 0).is_err());
     }

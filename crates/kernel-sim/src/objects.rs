@@ -147,7 +147,13 @@ impl ObjectTable {
     }
 
     /// Creates a socket registered at refcount 1.
-    pub fn add_socket(&self, refs: &RefTable, proto: Proto, src: SockAddr, dst: SockAddr) -> Socket {
+    pub fn add_socket(
+        &self,
+        refs: &RefTable,
+        proto: Proto,
+        src: SockAddr,
+        dst: SockAddr,
+    ) -> Socket {
         let socket = Socket {
             proto,
             src,

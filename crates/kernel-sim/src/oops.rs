@@ -108,7 +108,9 @@ mod tests {
     fn display_is_informative() {
         let r = OopsReason::Fault(Fault::NullDeref { addr: 0x10 });
         assert!(r.to_string().contains("NULL dereference"));
-        assert!(OopsReason::Panic("boom".into()).to_string().contains("boom"));
+        assert!(OopsReason::Panic("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 
     #[test]

@@ -73,7 +73,9 @@ impl<T: Default> PerCpu<T> {
     /// Creates one default-initialized slot per CPU.
     pub fn new(nr_cpus: usize) -> Self {
         Self {
-            slots: (0..nr_cpus.max(1)).map(|_| Mutex::new(T::default())).collect(),
+            slots: (0..nr_cpus.max(1))
+                .map(|_| Mutex::new(T::default()))
+                .collect(),
         }
     }
 }

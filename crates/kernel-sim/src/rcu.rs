@@ -30,7 +30,10 @@ impl std::fmt::Display for RcuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RcuError::SynchronizeInReader => {
-                write!(f, "synchronize_rcu() called inside a read-side critical section")
+                write!(
+                    f,
+                    "synchronize_rcu() called inside a read-side critical section"
+                )
             }
             RcuError::UnbalancedUnlock => write!(f, "rcu_read_unlock() without read_lock()"),
         }
@@ -71,6 +74,7 @@ pub struct Rcu {
     clock: VirtualClock,
     stall_timeout_ns: u64,
     state: Mutex<RcuState>,
+    pub(crate) inject: crate::inject::InjectSlot,
 }
 
 impl Rcu {
@@ -85,16 +89,27 @@ impl Rcu {
             clock,
             stall_timeout_ns: stall_timeout_ns.max(1),
             state: Mutex::new(RcuState::default()),
+            inject: crate::inject::InjectSlot::default(),
         }
     }
 
     /// Enters a read-side critical section; the returned guard exits it on
     /// drop. Sections nest.
+    ///
+    /// When a fault plan is armed, entering an outermost section may carry
+    /// an injected grace-period delay: the clock advances so the section
+    /// appears to have been running for a long time, approaching (but by
+    /// itself never crossing) the stall threshold.
     pub fn read_lock(&self) -> RcuReadGuard<'_> {
         let mut st = self.state.lock();
         if st.depth == 0 {
             st.outermost_enter_ns = self.clock.now_ns();
             st.stalls_reported_this_section = 0;
+            if let Some(plane) = self.inject.get() {
+                if let Some(delay) = plane.rcu_entry_delay(self.stall_timeout_ns) {
+                    self.clock.advance(delay);
+                }
+            }
         }
         st.depth += 1;
         RcuReadGuard { rcu: self }
@@ -277,10 +292,7 @@ mod tests {
     fn synchronize_inside_reader_is_deadlock() {
         let (_, rcu, audit) = setup();
         let _g = rcu.read_lock();
-        assert_eq!(
-            rcu.synchronize(&audit),
-            Err(RcuError::SynchronizeInReader)
-        );
+        assert_eq!(rcu.synchronize(&audit), Err(RcuError::SynchronizeInReader));
         assert_eq!(audit.count(EventKind::RcuDeadlock), 1);
     }
 }

@@ -34,6 +34,10 @@ pub enum RefError {
     UnknownObject(ObjId),
     /// A `put` would drive the count below zero (a real UAF precursor).
     Underflow(ObjId),
+    /// A `get` was refused by saturation pressure (injected by the fault
+    /// plane, modelling `refcount_t` saturation): no reference was taken,
+    /// retrying later may succeed.
+    Saturated(ObjId),
 }
 
 impl std::fmt::Display for RefError {
@@ -41,6 +45,7 @@ impl std::fmt::Display for RefError {
         match self {
             RefError::UnknownObject(id) => write!(f, "unknown object {:?}", id),
             RefError::Underflow(id) => write!(f, "refcount underflow on {:?}", id),
+            RefError::Saturated(id) => write!(f, "refcount saturation on {:?}", id),
         }
     }
 }
@@ -71,6 +76,7 @@ struct RefInfo {
 #[derive(Debug, Default)]
 pub struct RefTable {
     state: Mutex<RefState>,
+    pub(crate) inject: crate::inject::InjectSlot,
 }
 
 #[derive(Debug, Default)]
@@ -97,9 +103,18 @@ impl RefTable {
     }
 
     /// Increments the refcount of `id`.
+    ///
+    /// When a fault plan is armed, the increment may be refused with
+    /// [`RefError::Saturated`] — callers must treat that as "no reference
+    /// taken" and degrade (e.g. report a lookup miss).
     pub fn get(&self, id: ObjId) -> Result<u64, RefError> {
         let mut st = self.state.lock();
         let info = st.objects.get_mut(&id).ok_or(RefError::UnknownObject(id))?;
+        if let Some(plane) = self.inject.get() {
+            if plane.ref_should_saturate(id) {
+                return Err(RefError::Saturated(id));
+            }
+        }
         info.count += 1;
         info.gets += 1;
         Ok(info.count)
@@ -172,10 +187,7 @@ mod tests {
     #[test]
     fn unknown_object_rejected() {
         let t = RefTable::default();
-        assert!(matches!(
-            t.get(ObjId(42)),
-            Err(RefError::UnknownObject(_))
-        ));
+        assert!(matches!(t.get(ObjId(42)), Err(RefError::UnknownObject(_))));
         assert_eq!(t.count(ObjId(42)), None);
     }
 

@@ -11,6 +11,8 @@ use std::sync::{
     Arc,
 };
 
+use crate::inject::InjectSlot;
+
 /// Nanoseconds per second, for converting the paper's second-scale numbers.
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 
@@ -32,12 +34,23 @@ pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 #[derive(Debug, Clone, Default)]
 pub struct VirtualClock {
     now_ns: Arc<AtomicU64>,
+    pub(crate) inject: Arc<InjectSlot>,
 }
 
 impl VirtualClock {
     /// Creates a clock starting at instant zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Returns a handle onto the same instant that never participates in
+    /// fault injection — used by the injection plane itself for audit
+    /// timestamps, breaking the plane → clock → plane reference cycle.
+    pub fn bare_handle(&self) -> Self {
+        VirtualClock {
+            now_ns: Arc::clone(&self.now_ns),
+            inject: Arc::new(InjectSlot::default()),
+        }
     }
 
     /// Returns the current instant in nanoseconds since clock creation.
@@ -47,10 +60,19 @@ impl VirtualClock {
 
     /// Advances the clock by `delta_ns` nanoseconds and returns the new
     /// instant.
+    ///
+    /// When a fault plan is armed the advance may additionally carry an
+    /// injected forward jump.
     pub fn advance(&self, delta_ns: u64) -> u64 {
+        let mut total = delta_ns;
+        if let Some(plane) = self.inject.get() {
+            if let Some(jump) = plane.clock_jump() {
+                total = total.saturating_add(jump);
+            }
+        }
         self.now_ns
-            .fetch_add(delta_ns, Ordering::SeqCst)
-            .wrapping_add(delta_ns)
+            .fetch_add(total, Ordering::SeqCst)
+            .wrapping_add(total)
     }
 
     /// Advances the clock by whole seconds; convenience for experiment code.

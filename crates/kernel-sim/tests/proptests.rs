@@ -10,22 +10,55 @@ use kernel_sim::refcount::{ObjKind, RefTable};
 
 #[derive(Debug, Clone)]
 enum MemOp {
-    Write { region: usize, off: u16, data: Vec<u8> },
-    Read { region: usize, off: u16, len: u8 },
-    Fill { region: usize, off: u16, len: u8, byte: u8 },
-    FetchAdd { region: usize, off: u16, delta: u32 },
+    Write {
+        region: usize,
+        off: u16,
+        data: Vec<u8>,
+    },
+    Read {
+        region: usize,
+        off: u16,
+        len: u8,
+    },
+    Fill {
+        region: usize,
+        off: u16,
+        len: u8,
+        byte: u8,
+    },
+    FetchAdd {
+        region: usize,
+        off: u16,
+        delta: u32,
+    },
 }
 
 fn mem_op() -> impl Strategy<Value = MemOp> {
     prop_oneof![
-        (0usize..4, 0u16..512, prop::collection::vec(any::<u8>(), 1..16))
+        (
+            0usize..4,
+            0u16..512,
+            prop::collection::vec(any::<u8>(), 1..16)
+        )
             .prop_map(|(region, off, data)| MemOp::Write { region, off, data }),
-        (0usize..4, 0u16..512, 1u8..16)
-            .prop_map(|(region, off, len)| MemOp::Read { region, off, len }),
-        (0usize..4, 0u16..512, 1u8..32, any::<u8>())
-            .prop_map(|(region, off, len, byte)| MemOp::Fill { region, off, len, byte }),
-        (0usize..4, 0u16..512, any::<u32>())
-            .prop_map(|(region, off, delta)| MemOp::FetchAdd { region, off, delta }),
+        (0usize..4, 0u16..512, 1u8..16).prop_map(|(region, off, len)| MemOp::Read {
+            region,
+            off,
+            len
+        }),
+        (0usize..4, 0u16..512, 1u8..32, any::<u8>()).prop_map(|(region, off, len, byte)| {
+            MemOp::Fill {
+                region,
+                off,
+                len,
+                byte,
+            }
+        }),
+        (0usize..4, 0u16..512, any::<u32>()).prop_map(|(region, off, delta)| MemOp::FetchAdd {
+            region,
+            off,
+            delta
+        }),
     ]
 }
 
@@ -153,7 +186,9 @@ fn map_unmap_interleaving() {
     let mut live: HashMap<u64, u64> = HashMap::new();
     let mut dead: Vec<u64> = Vec::new();
     for round in 0..50u64 {
-        let base = mem.map(&format!("r{round}"), 16 + round % 32, Perms::rw()).unwrap();
+        let base = mem
+            .map(&format!("r{round}"), 16 + round % 32, Perms::rw())
+            .unwrap();
         live.insert(base, 16 + round % 32);
         if round % 3 == 0 {
             let victim = *live.keys().next().unwrap();

@@ -1,0 +1,755 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the workspace routes `proptest` to this path crate. It implements the
+//! subset of the proptest API the workspace's property tests use — the
+//! [`Strategy`] trait with `prop_map`, the [`proptest!`] / [`prop_oneof!`] /
+//! `prop_assert*` macros, `prop::collection::vec`, `prop::sample::select`,
+//! `prop::sample::Index`, `prop::option::of`, [`Just`] and [`any`] — as a
+//! plain seeded sampler.
+//!
+//! Differences from real proptest, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (which are reproducible: the per-test seed is derived from the test
+//!   name, or overridden with the `PROPTEST_SEED` environment variable) but
+//!   is not minimized.
+//! * **Uniform `prop_oneof!`.** Arms are chosen uniformly; the weighted
+//!   `w => strategy` form is not supported (the workspace does not use it).
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::prelude::*;
+
+pub mod test_runner {
+    //! Runner configuration and failure plumbing, mirroring
+    //! `proptest::test_runner`.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed; the case is a counterexample.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case does not count.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Creates a rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum number of `prop_assume!` rejections tolerated before the
+        /// test aborts as over-constrained.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Returns a config that runs `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+}
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Derives the deterministic per-test seed: FNV-1a of the fully qualified
+/// test name, overridden by the `PROPTEST_SEED` environment variable.
+pub fn seed_for(test_path: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A generator of test values: the sampling-only core of proptest's
+/// `Strategy`.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V: Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy, mirroring
+/// `proptest::arbitrary::Arbitrary`.
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                // Bias toward boundary values, like proptest's integer
+                // strategies: plain uniform sampling essentially never
+                // yields 0, MAX, or small values on wide types.
+                match rng.gen_range(0u8..8) {
+                    0 => 0 as $ty,
+                    1 => <$ty>::MAX,
+                    2 => <$ty>::MIN,
+                    3 => rng.gen::<$ty>() % 16 as $ty,
+                    _ => rng.gen::<$ty>(),
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen::<bool>()
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_for_ranges {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_for_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&str` is a strategy generating strings from a regex, as in real
+/// proptest. This shim supports the subset the workspace uses:
+/// concatenations of literal characters and `[...]` character classes
+/// (with ranges), each optionally quantified by `{n}`, `{m,n}`, `?`, `*`
+/// (as `{0,8}`) or `+` (as `{1,8}`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let atoms = parse_simple_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+struct RegexAtom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_simple_regex(pattern: &str) -> Option<Vec<RegexAtom>> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => {
+                let mut set = Vec::new();
+                loop {
+                    match chars.next()? {
+                        ']' => break,
+                        lo => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars.next()?;
+                                if hi == ']' {
+                                    // Trailing '-' is a literal.
+                                    set.push(lo);
+                                    set.push('-');
+                                    break;
+                                }
+                                set.extend(lo..=hi);
+                            } else {
+                                set.push(lo);
+                            }
+                        }
+                    }
+                }
+                set
+            }
+            '\\' => vec![chars.next()?],
+            '(' | ')' | '|' | '.' | '^' | '$' => return None,
+            lit => vec![lit],
+        };
+        if alphabet.is_empty() {
+            return None;
+        }
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next()? {
+                        '}' => break,
+                        d => spec.push(d),
+                    }
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                    None => {
+                        let n = spec.trim().parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(RegexAtom {
+            chars: alphabet,
+            min,
+            max,
+        });
+    }
+    Some(atoms)
+}
+
+macro_rules! impl_strategy_for_tuples {
+    ($(($($S:ident . $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_strategy_for_tuples! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Strategy produced by [`prop_oneof!`]: one arm chosen uniformly per case.
+pub struct OneOf<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V: Debug> OneOf<V> {
+    /// Builds a union from already-boxed arms; used by [`prop_oneof!`].
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V: Debug> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Namespace mirroring proptest's `prop::` module tree.
+pub mod prop {
+    pub use super::collection;
+    pub use super::option;
+    pub use super::sample;
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::*;
+
+    /// Sizes accepted by [`vec`]: an exact count or a range of counts.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            Self {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    /// Strategy producing vectors whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec`: vectors of `element` with `size` elements.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample`).
+
+    use super::*;
+
+    /// Strategy choosing uniformly among a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone + Debug> {
+        choices: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.choices[rng.gen_range(0..self.choices.len())].clone()
+        }
+    }
+
+    /// `prop::sample::select`: uniform choice from `choices`.
+    pub fn select<T: Clone + Debug>(choices: Vec<T>) -> Select<T> {
+        assert!(!choices.is_empty(), "select from empty set");
+        Select { choices }
+    }
+
+    /// An index into a collection whose size is unknown at generation time;
+    /// mirror of `proptest::sample::Index`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects this abstract index onto a collection of `len` items.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            Index(rng.gen::<u64>())
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`prop::option`).
+
+    use super::*;
+
+    /// Strategy producing `Some` half the time; mirror of
+    /// `prop::option::of`.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen::<bool>() {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// Wraps `inner`'s values in `Option`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use super::test_runner::{ProptestConfig, TestCaseError};
+    pub use super::{any, prop, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests; mirror of `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default(); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::seed_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __rng = <$crate::__rng::StdRng as $crate::__rng::SeedableRng>::seed_from_u64(__seed);
+            let mut __passed: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __passed < __config.cases {
+                let __case = ($($crate::Strategy::sample(&($strat), &mut __rng),)+);
+                let __case_dbg = format!("{:?}", __case);
+                let __result = $crate::__run_case(__case, |($($pat,)+)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+                match __result {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                        __rejected += 1;
+                        if __rejected > __config.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections ({}): {}",
+                                __rejected, __why
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case failed: {}\n  inputs: {}\n  (after {} passing cases; seed {}; set PROPTEST_SEED={} to reproduce)",
+                            __msg, __case_dbg, __passed, __seed, __seed
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[doc(hidden)]
+pub mod __rng {
+    pub use rand::prelude::{SeedableRng, StdRng};
+}
+
+/// Runs one generated case. Exists so the closure in [`proptest!`] gets its
+/// parameter type from this function's signature (closure parameter types
+/// do not otherwise propagate into pattern-typed parameters before the body
+/// is checked).
+#[doc(hidden)]
+pub fn __run_case<V, F>(value: V, f: F) -> Result<(), TestCaseError>
+where
+    F: FnOnce(V) -> Result<(), TestCaseError>,
+{
+    f(value)
+}
+
+/// Uniform union of strategies; mirror of `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts inside a property test; returns a counterexample on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Push(u8),
+        Pop,
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![any::<u8>().prop_map(Op::Push), Just(Op::Pop),]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_len_in_bounds(v in prop::collection::vec(any::<u8>(), 3..10)) {
+            prop_assert!(v.len() >= 3 && v.len() < 10, "len {}", v.len());
+        }
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u16..512, 1u8..16), c in -20i16..20) {
+            prop_assert!(a < 512);
+            prop_assert!((1..16).contains(&b));
+            prop_assert!((-20..20).contains(&c));
+            prop_assert_ne!(i32::from(b), 99);
+        }
+
+        #[test]
+        fn oneof_and_select(ops in prop::collection::vec(op(), 1..40),
+                            pick in prop::sample::select(vec![1u8, 2, 4, 8]),
+                            idx in any::<prop::sample::Index>()) {
+            prop_assert!(matches!(pick, 1 | 2 | 4 | 8));
+            prop_assert!(idx.index(7) < 7);
+            let mut depth = 0i64;
+            for o in &ops {
+                match o {
+                    Op::Push(_) => depth += 1,
+                    Op::Pop => depth -= 1,
+                }
+            }
+            prop_assert!(depth.unsigned_abs() as usize <= ops.len());
+        }
+
+        #[test]
+        fn option_of_produces_both(xs in prop::collection::vec(prop::option::of(any::<u64>()), 64)) {
+            // With 64 draws at p = 0.5, both variants all-missing is a
+            // 2^-64 event per case; treat as deterministic.
+            prop_assert!(xs.iter().any(|x| x.is_some()));
+            prop_assert!(xs.iter().any(|x| x.is_none()));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in any::<u8>()) {
+            prop_assume!(x != 0);
+            prop_assert!(x > 0);
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        use crate::Strategy;
+        use rand::prelude::*;
+        let s = crate::collection::vec(crate::any::<u64>(), 0..32);
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -40,7 +40,10 @@ impl SigningKey {
     /// Deterministically derives a key from a seed (for reproducible
     /// tests and examples).
     pub fn derive(seed: u64) -> Self {
-        Self::from_secret(&hmac_sha256(b"untenable-key-derivation", &seed.to_le_bytes()))
+        Self::from_secret(&hmac_sha256(
+            b"untenable-key-derivation",
+            &seed.to_le_bytes(),
+        ))
     }
 
     /// The key's public fingerprint.
@@ -84,7 +87,10 @@ impl Signature {
         let mut mac = [0u8; DIGEST_LEN];
         key.copy_from_slice(&bytes[..DIGEST_LEN]);
         mac.copy_from_slice(&bytes[DIGEST_LEN..]);
-        Some(Signature { key: KeyId(key), mac })
+        Some(Signature {
+            key: KeyId(key),
+            mac,
+        })
     }
 }
 
@@ -103,7 +109,11 @@ impl std::fmt::Display for SigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SigError::UnknownKey(id) => {
-                write!(f, "unknown signing key {}", crate::sha256::to_hex(&id.0[..4]))
+                write!(
+                    f,
+                    "unknown signing key {}",
+                    crate::sha256::to_hex(&id.0[..4])
+                )
             }
             SigError::BadSignature => write!(f, "signature verification failed"),
             SigError::KeyringSealed => write!(f, "keyring is sealed"),

@@ -8,17 +8,8 @@
 //! can therefore hand a NULL-bearing union to a buggy helper.
 
 use ebpf::helpers::{
-    ArgType,
-    RetType,
-    BPF_LOOP,
-    BPF_RINGBUF_OUTPUT,
-    BPF_RINGBUF_RESERVE,
-    BPF_RINGBUF_SUBMIT,
-    BPF_SK_LOOKUP_TCP,
-    BPF_SK_LOOKUP_UDP,
-    BPF_SK_RELEASE,
-    BPF_SPIN_LOCK,
-    BPF_SPIN_UNLOCK,
+    ArgType, RetType, BPF_LOOP, BPF_RINGBUF_OUTPUT, BPF_RINGBUF_RESERVE, BPF_RINGBUF_SUBMIT,
+    BPF_SK_LOOKUP_TCP, BPF_SK_LOOKUP_UDP, BPF_SK_RELEASE, BPF_SPIN_LOCK, BPF_SPIN_UNLOCK,
     BPF_TAIL_CALL,
 };
 use ebpf::insn::Insn;
@@ -26,11 +17,7 @@ use ebpf::maps::MapKind;
 use ebpf::program::ProgType;
 
 use crate::{
-    check_loop_helper,
-    check_lock,
-    check_mem,
-    check_ref,
-    check_ringbuf,
+    check_lock, check_loop_helper, check_mem, check_ref, check_ringbuf,
     checker::{Vctx, Verifier},
     error::VerifyError,
     scalar::Scalar,

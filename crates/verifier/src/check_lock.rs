@@ -5,8 +5,8 @@
 //! This module is exactly that logic.
 
 use crate::{
-    checker::{Vctx, Verifier},
     check_mem::{self, AccessKind},
+    checker::{Vctx, Verifier},
     error::VerifyError,
     types::{RegType, VerifierState},
 };
@@ -28,14 +28,14 @@ fn check_lock_arg(
             off_hi,
             ..
         } if off_lo == off_hi => {
-            check_mem::check_region(v, ctx, pc, state, reg, 0, 8, AccessKind::Write).map_err(
-                |e| VerifyError::BadHelperArg {
+            check_mem::check_region(v, ctx, pc, state, reg, 0, 8, AccessKind::Write).map_err(|e| {
+                VerifyError::BadHelperArg {
                     pc,
                     helper,
                     arg: 0,
                     reason: e.to_string(),
-                },
-            )
+                }
+            })
         }
         other => Err(VerifyError::BadHelperArg {
             pc,

@@ -67,9 +67,7 @@ pub(crate) fn check_load(
                 }
             }
         }
-        RegType::PtrToStack { frame, off: base } => {
-            read_stack(state, pc, frame, base + off, size)?
-        }
+        RegType::PtrToStack { frame, off: base } => read_stack(state, pc, frame, base + off, size)?,
         RegType::PtrToMapValue { .. } | RegType::PtrToMem { .. } | RegType::PtrToPacket { .. } => {
             check_region(v, ctx, pc, state, &base, off, size, AccessKind::Read)?;
             RegType::unknown()
@@ -292,7 +290,11 @@ pub(crate) fn check_region(
             }
             Ok(())
         }
-        RegType::PtrToMem { size: region, or_null, .. } => {
+        RegType::PtrToMem {
+            size: region,
+            or_null,
+            ..
+        } => {
             if or_null {
                 return Err(VerifyError::BadMemAccess {
                     pc,

@@ -16,11 +16,7 @@ pub(crate) fn acquire(state: &mut VerifierState, id: u32) -> u32 {
 
 /// Releases reference `id`; rejects double/unknown releases and
 /// invalidates every register alias of the released object.
-pub(crate) fn release(
-    state: &mut VerifierState,
-    pc: usize,
-    id: u32,
-) -> Result<(), VerifyError> {
+pub(crate) fn release(state: &mut VerifierState, pc: usize, id: u32) -> Result<(), VerifyError> {
     let pos = state
         .acquired_refs
         .iter()

@@ -12,38 +12,15 @@ use std::rc::Rc;
 
 use ebpf::helpers::HelperRegistry;
 use ebpf::insn::{
-    Insn,
-    BPF_ALU,
-    BPF_ALU64,
-    BPF_ATOMIC,
-    BPF_CALL,
-    BPF_END,
-    BPF_EXIT,
-    BPF_JA,
-    BPF_JEQ,
-    BPF_JMP,
-    BPF_JMP32,
-    BPF_JNE,
-    BPF_LD,
-    BPF_LDX,
-    BPF_MEM,
-    BPF_MOV,
-    BPF_NEG,
-    BPF_PSEUDO_CALL,
-    BPF_PSEUDO_FUNC,
-    BPF_PSEUDO_MAP_FD,
-    BPF_ST,
-    BPF_STX,
-    BPF_SUB,
-    BPF_ADD,
+    Insn, BPF_ADD, BPF_ALU, BPF_ALU64, BPF_ATOMIC, BPF_CALL, BPF_END, BPF_EXIT, BPF_JA, BPF_JEQ,
+    BPF_JMP, BPF_JMP32, BPF_JNE, BPF_LD, BPF_LDX, BPF_MEM, BPF_MOV, BPF_NEG, BPF_PSEUDO_CALL,
+    BPF_PSEUDO_FUNC, BPF_PSEUDO_MAP_FD, BPF_ST, BPF_STX, BPF_SUB,
 };
 use ebpf::maps::MapRegistry;
 use ebpf::program::{CtxLayout, Program};
 
 use crate::{
-    check_call,
-    check_mem,
-    check_packet,
+    check_call, check_mem, check_packet,
     error::VerifyError,
     faults::VerifierFaults,
     features::VerifierFeatures,
@@ -393,9 +370,7 @@ impl<'a> Verifier<'a> {
                 state.set_reg(insn.dst, src_val);
             } else {
                 match src_val {
-                    RegType::Scalar(s) => {
-                        state.set_reg(insn.dst, RegType::Scalar(s.cast32()))
-                    }
+                    RegType::Scalar(s) => state.set_reg(insn.dst, RegType::Scalar(s.cast32())),
                     _ => {
                         return Err(VerifyError::PointerArithmetic {
                             pc,
@@ -543,11 +518,7 @@ impl<'a> Verifier<'a> {
                     id,
                 })
             }
-            RegType::PtrToMem {
-                size,
-                or_null,
-                id,
-            } => {
+            RegType::PtrToMem { size, or_null, id } => {
                 if or_null && !self.faults.ptr_arith_on_or_null {
                     return Err(VerifyError::PointerArithmetic {
                         pc,
@@ -723,4 +694,3 @@ impl<'a> Verifier<'a> {
         Ok(reg)
     }
 }
-

@@ -199,7 +199,10 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "invalid func id {id} at insn {pc}")
             }
             VerifyError::HelperNotSupported { pc, helper } => {
-                write!(f, "helper {helper} not supported by this kernel (insn {pc})")
+                write!(
+                    f,
+                    "helper {helper} not supported by this kernel (insn {pc})"
+                )
             }
             VerifyError::BadCall { pc } => write!(f, "invalid call at insn {pc}"),
             VerifyError::CallDepthExceeded { pc } => {

@@ -123,7 +123,11 @@ pub const FEATURE_MODULES: &[(KernelVersion, &str, &[&str])] = &[
             "checker.rs",
         ],
     ),
-    (KernelVersion::V4_9, "direct packet access", &["check_packet.rs"]),
+    (
+        KernelVersion::V4_9,
+        "direct packet access",
+        &["check_packet.rs"],
+    ),
     (KernelVersion::V4_14, "bpf2bpf calls", &["check_call.rs"]),
     (
         KernelVersion::V4_20,
@@ -136,7 +140,11 @@ pub const FEATURE_MODULES: &[(KernelVersion, &str, &[&str])] = &[
         &["check_lock.rs", "loops.rs"],
     ),
     (KernelVersion::V5_10, "ring buffers", &["check_ringbuf.rs"]),
-    (KernelVersion::V5_15, "bpf_loop callbacks", &["check_loop_helper.rs"]),
+    (
+        KernelVersion::V5_15,
+        "bpf_loop callbacks",
+        &["check_loop_helper.rs"],
+    ),
 ];
 
 #[cfg(test)]

@@ -8,13 +8,7 @@
 
 use std::collections::HashSet;
 
-use ebpf::insn::{
-    Insn,
-    BPF_CALL,
-    BPF_EXIT,
-    BPF_JMP,
-    BPF_JMP32,
-};
+use ebpf::insn::{Insn, BPF_CALL, BPF_EXIT, BPF_JMP, BPF_JMP32};
 
 /// Returns the set of instruction indices that are targets of any jump,
 /// plus function entry points — the engine's pruning points.

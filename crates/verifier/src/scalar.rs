@@ -243,7 +243,11 @@ pub fn alu64(op: u8, dst: Scalar, src: Scalar) -> Scalar {
                 Scalar {
                     tnum,
                     umin: if overflow { 0 } else { dst.umin << shift },
-                    umax: if overflow { u64::MAX } else { dst.umax << shift },
+                    umax: if overflow {
+                        u64::MAX
+                    } else {
+                        dst.umax << shift
+                    },
                     smin: i64::MIN,
                     smax: i64::MAX,
                 }
@@ -251,6 +255,10 @@ pub fn alu64(op: u8, dst: Scalar, src: Scalar) -> Scalar {
             _ => Scalar::UNKNOWN,
         },
         BPF_RSH => match src.const_val() {
+            // Shift by zero is the identity; falling through would claim
+            // `smin = 0` (true only once the top bit has been shifted out),
+            // excluding members with the sign bit set.
+            Some(0) => dst,
             Some(shift) if shift < 64 => {
                 let tnum = dst.tnum.rshift(shift as u32);
                 Scalar {
@@ -383,12 +391,7 @@ impl i64saturateExt for u64 {
 /// Returns the refined pair for the **taken** branch when `taken` is true,
 /// or for the fall-through branch otherwise. `None` means the branch is
 /// impossible (dead path).
-pub fn refine_branch(
-    op: u8,
-    dst: Scalar,
-    src: Scalar,
-    taken: bool,
-) -> Option<(Scalar, Scalar)> {
+pub fn refine_branch(op: u8, dst: Scalar, src: Scalar, taken: bool) -> Option<(Scalar, Scalar)> {
     use ebpf::insn::*;
     // Normalize everything to "effective op under `taken`".
     let eff = if taken { op } else { invert_jmp(op)? };
@@ -623,7 +626,11 @@ mod tests {
 
     #[test]
     fn add_overflow_widens_to_unknown_bounds() {
-        let s = alu64(BPF_ADD, Scalar::constant(u64::MAX), Scalar::from_urange(0, 5));
+        let s = alu64(
+            BPF_ADD,
+            Scalar::constant(u64::MAX),
+            Scalar::from_urange(0, 5),
+        );
         assert_eq!(s.umin, 0);
         assert_eq!(s.umax, u64::MAX);
     }
@@ -651,7 +658,11 @@ mod tests {
 
     #[test]
     fn alu32_zero_extends_bounds() {
-        let s = alu32(BPF_ADD, Scalar::constant(u32::MAX as u64), Scalar::constant(1));
+        let s = alu32(
+            BPF_ADD,
+            Scalar::constant(u32::MAX as u64),
+            Scalar::constant(1),
+        );
         assert_eq!(s.const_val(), Some(0));
         let s = alu32(BPF_MOV, Scalar::UNKNOWN, Scalar::UNKNOWN);
         assert_eq!(s.umax, u32::MAX as u64);

@@ -78,12 +78,18 @@ impl Tnum {
 
     /// Left shift by a constant.
     pub fn lshift(self, shift: u32) -> Self {
-        Tnum::new(self.value.wrapping_shl(shift), self.mask.wrapping_shl(shift))
+        Tnum::new(
+            self.value.wrapping_shl(shift),
+            self.mask.wrapping_shl(shift),
+        )
     }
 
     /// Logical right shift by a constant.
     pub fn rshift(self, shift: u32) -> Self {
-        Tnum::new(self.value.wrapping_shr(shift), self.mask.wrapping_shr(shift))
+        Tnum::new(
+            self.value.wrapping_shr(shift),
+            self.mask.wrapping_shr(shift),
+        )
     }
 
     /// Arithmetic right shift by a constant.
@@ -259,7 +265,10 @@ mod tests {
 
     #[test]
     fn sub_of_constants() {
-        assert_eq!(Tnum::constant(50).sub(Tnum::constant(8)), Tnum::constant(42));
+        assert_eq!(
+            Tnum::constant(50).sub(Tnum::constant(8)),
+            Tnum::constant(42)
+        );
     }
 
     #[test]

@@ -557,7 +557,8 @@ mod tests {
     #[test]
     fn invalidate_frames_clears_dangling_stack_pointers() {
         let mut st = VerifierState::entry();
-        st.frames.push(FrameState::new(FrameKind::Func { ret_pc: 5 }, 1));
+        st.frames
+            .push(FrameState::new(FrameKind::Func { ret_pc: 5 }, 1));
         st.set_reg(6, RegType::PtrToStack { frame: 1, off: -8 });
         st.frames.pop();
         st.invalidate_frames_from(1);

@@ -11,6 +11,17 @@ use ebpf::insn::*;
 use verifier::scalar::{alu32, alu64, branch_known, refine_branch, Scalar};
 use verifier::tnum::Tnum;
 
+/// Projects `pick` onto a member of `[lo, hi]` without overflowing when the
+/// interval spans all of `u64` (where `hi - lo + 1` would wrap to 0).
+fn member_of(lo: u64, hi: u64, pick: u64) -> u64 {
+    let span = hi.wrapping_sub(lo);
+    if span == u64::MAX {
+        pick
+    } else {
+        lo + pick % (span + 1)
+    }
+}
+
 /// Generates an arbitrary tnum together with one concrete member.
 fn tnum_with_member() -> impl Strategy<Value = (Tnum, u64)> {
     (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(value, mask, pick)| {
@@ -29,8 +40,7 @@ fn scalar_with_member() -> impl Strategy<Value = (Scalar, u64)> {
         // Ranges.
         (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, b, pick)| {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            let member = lo + pick % (hi - lo + 1).max(1);
-            (Scalar::from_urange(lo, hi), member)
+            (Scalar::from_urange(lo, hi), member_of(lo, hi, pick))
         }),
         // Fully unknown.
         any::<u64>().prop_map(|v| (Scalar::UNKNOWN, v)),
@@ -42,13 +52,7 @@ fn concrete_alu64(op: u8, dst: u64, src: u64) -> u64 {
         BPF_ADD => dst.wrapping_add(src),
         BPF_SUB => dst.wrapping_sub(src),
         BPF_MUL => dst.wrapping_mul(src),
-        BPF_DIV => {
-            if src == 0 {
-                0
-            } else {
-                dst / src
-            }
-        }
+        BPF_DIV => dst.checked_div(src).unwrap_or(0),
         BPF_OR => dst | src,
         BPF_AND => dst & src,
         BPF_LSH => dst.wrapping_shl((src & 63) as u32),
@@ -159,8 +163,7 @@ proptest! {
     #[test]
     fn tnum_range_sound(a in any::<u64>(), b in any::<u64>(), pick in any::<u64>()) {
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        let member = lo + pick % (hi - lo + 1).max(1);
-        prop_assert!(Tnum::range(lo, hi).contains(member));
+        prop_assert!(Tnum::range(lo, hi).contains(member_of(lo, hi, pick)));
     }
 
     #[test]

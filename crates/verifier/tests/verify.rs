@@ -59,7 +59,11 @@ fn empty_program_rejected() {
 #[test]
 fn uninitialized_register_read_rejected() {
     let h = H::new();
-    let prog = Asm::new().mov64_reg(Reg::R0, Reg::R5).exit().build().unwrap();
+    let prog = Asm::new()
+        .mov64_reg(Reg::R0, Reg::R5)
+        .exit()
+        .build()
+        .unwrap();
     assert!(matches!(
         h.verify(prog),
         Err(VerifyError::UninitializedRead { reg: 5, .. })
@@ -94,8 +98,15 @@ fn frame_pointer_write_rejected() {
 #[test]
 fn returning_pointer_rejected() {
     let h = H::new();
-    let prog = Asm::new().mov64_reg(Reg::R0, Reg::R10).exit().build().unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadReturnValue { .. })));
+    let prog = Asm::new()
+        .mov64_reg(Reg::R0, Reg::R10)
+        .exit()
+        .build()
+        .unwrap();
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadReturnValue { .. })
+    ));
 }
 
 // ---- Stack discipline --------------------------------------------------------------
@@ -120,7 +131,10 @@ fn uninitialized_stack_read_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 }
 
 #[test]
@@ -132,7 +146,10 @@ fn out_of_frame_stack_access_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
     // Above the frame too.
     let prog = Asm::new()
         .st(BPF_DW, Reg::R10, 8, 1)
@@ -140,7 +157,10 @@ fn out_of_frame_stack_access_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 }
 
 #[test]
@@ -168,7 +188,10 @@ fn partial_overwrite_of_spilled_pointer_scrubs_it() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 }
 
 // ---- Context access ---------------------------------------------------------------
@@ -206,7 +229,10 @@ fn ctx_misaligned_access_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadCtxAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadCtxAccess { .. })
+    ));
 }
 
 #[test]
@@ -218,7 +244,10 @@ fn ctx_write_to_readonly_field_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadCtxAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadCtxAccess { .. })
+    ));
 }
 
 // ---- Packet access ----------------------------------------------------------------
@@ -274,9 +303,7 @@ fn unchecked_packet_access_rejected() {
 #[test]
 fn packet_access_without_feature_rejected() {
     let h = H::new();
-    let verifier = h
-        .verifier()
-        .with_features(VerifierFeatures::baseline());
+    let verifier = h.verifier().with_features(VerifierFeatures::baseline());
     let prog = Program::new("p", ProgType::Xdp, packet_prog(0));
     assert!(verifier.verify(&prog).is_err());
 }
@@ -330,10 +357,7 @@ fn null_checked_map_access_accepted() {
 #[test]
 fn missing_null_check_rejected() {
     let h = H::new();
-    let fd = h
-        .maps
-        .create(&h.kernel, MapDef::array("m", 8, 1))
-        .unwrap();
+    let fd = h.maps.create(&h.kernel, MapDef::array("m", 8, 1)).unwrap();
     let prog = Asm::new()
         .st(BPF_W, Reg::R10, -4, 0)
         .ld_map_fd(Reg::R1, fd)
@@ -344,26 +368,32 @@ fn missing_null_check_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 }
 
 #[test]
 fn map_value_out_of_bounds_rejected() {
     let h = H::new();
     let prog = lookup_prog(&h, 16, 16, false); // reads [16, 24) of a 16-byte value
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
     let h = H::new();
     let prog = lookup_prog(&h, 16, -1, false);
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 }
 
 #[test]
 fn variable_offset_map_access_with_bounds_accepted() {
     let h = H::new();
-    let fd = h
-        .maps
-        .create(&h.kernel, MapDef::array("m", 64, 1))
-        .unwrap();
+    let fd = h.maps.create(&h.kernel, MapDef::array("m", 64, 1)).unwrap();
     // idx = len & 7 (from ctx); value[idx * 8] read: offsets [0, 56].
     let prog = Asm::new()
         .ldx(BPF_DW, Reg::R6, Reg::R1, 16)
@@ -391,10 +421,7 @@ fn variable_offset_map_access_with_bounds_accepted() {
 #[test]
 fn variable_offset_without_bounds_rejected() {
     let h = H::new();
-    let fd = h
-        .maps
-        .create(&h.kernel, MapDef::array("m", 64, 1))
-        .unwrap();
+    let fd = h.maps.create(&h.kernel, MapDef::array("m", 64, 1)).unwrap();
     let prog = Asm::new()
         .ldx(BPF_DW, Reg::R6, Reg::R1, 16) // unbounded scalar
         .st(BPF_W, Reg::R10, -4, 0)
@@ -411,7 +438,10 @@ fn variable_offset_without_bounds_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 }
 
 #[test]
@@ -442,7 +472,10 @@ fn uninitialized_map_key_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadHelperArg { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadHelperArg { .. })
+    ));
 }
 
 // ---- Helper calls ------------------------------------------------------------------
@@ -500,7 +533,10 @@ fn scalar_arg_rejects_pointer_leak() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadHelperArg { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadHelperArg { .. })
+    ));
 }
 
 #[test]
@@ -515,7 +551,10 @@ fn tail_call_requires_prog_array() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadHelperArg { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadHelperArg { .. })
+    ));
 }
 
 #[test]
@@ -633,7 +672,10 @@ fn lock_leak_rejected() {
 fn double_lock_rejected() {
     let h = H::new();
     let prog = spin_lock_prog(&h, true, true);
-    assert!(matches!(h.verify(prog), Err(VerifyError::DoubleLock { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::DoubleLock { .. })
+    ));
 }
 
 #[test]
@@ -810,7 +852,11 @@ fn state_pruning_makes_diamonds_tractable() {
     let prog = asm.alu64_imm(BPF_AND, Reg::R0, 0).exit().build().unwrap();
     let v = h.verify(prog).unwrap();
     assert!(v.stats.states_pruned > 0);
-    assert!(v.stats.insns_processed < 10_000, "pruning failed: {}", v.stats.insns_processed);
+    assert!(
+        v.stats.insns_processed < 10_000,
+        "pruning failed: {}",
+        v.stats.insns_processed
+    );
 }
 
 // ---- bpf2bpf calls ------------------------------------------------------------------
@@ -953,7 +999,10 @@ fn bpf_loop_callback_bug_caught() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 }
 
 #[test]
@@ -968,7 +1017,10 @@ fn bpf_loop_requires_function_pointer() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadHelperArg { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadHelperArg { .. })
+    ));
 }
 
 // ---- Pointer arithmetic rules -------------------------------------------------------
@@ -1025,7 +1077,10 @@ fn pointer_multiplication_rejected() {
 #[test]
 fn ptr_arith_on_or_null_rejected_when_patched() {
     let h = H::new();
-    let fd = h.maps.create(&h.kernel, MapDef::hash("h", 4, 64, 4)).unwrap();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::hash("h", 4, 64, 4))
+        .unwrap();
     let prog = or_null_arith_prog(fd);
     assert!(matches!(
         h.verify(prog),
@@ -1057,7 +1112,10 @@ fn or_null_arith_prog(fd: u32) -> Vec<Insn> {
 #[test]
 fn cve_2022_23222_replica_accepted_by_buggy_verifier() {
     let h = H::new();
-    let fd = h.maps.create(&h.kernel, MapDef::hash("h", 4, 64, 4)).unwrap();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::hash("h", 4, 64, 4))
+        .unwrap();
     let prog = or_null_arith_prog(fd);
     let buggy = h
         .verifier()
@@ -1170,12 +1228,18 @@ fn jmp32_refinement_is_conservative_when_patched() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 
     // But when the value provably fits 32 bits, JMP32 refinement applies
     // and the same shape is accepted.
     let h2 = H::new();
-    let fd2 = h2.maps.create(&h2.kernel, MapDef::array("m", 64, 1)).unwrap();
+    let fd2 = h2
+        .maps
+        .create(&h2.kernel, MapDef::array("m", 64, 1))
+        .unwrap();
     let prog = Asm::new()
         .call_helper(helpers::BPF_KTIME_GET_NS as i32)
         .alu64_imm(BPF_AND, Reg::R0, 0xffff) // now provably 32-bit
@@ -1204,7 +1268,10 @@ fn jmp32_refinement_is_conservative_when_patched() {
 #[test]
 fn ringbuf_variable_size_reserve_rejected() {
     let h = H::new();
-    let fd = h.maps.create(&h.kernel, MapDef::ringbuf("rb", 4096)).unwrap();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::ringbuf("rb", 4096))
+        .unwrap();
     let prog = Asm::new()
         .ldx(BPF_DW, Reg::R2, Reg::R1, 16) // unknown size
         .ld_map_fd(Reg::R1, fd)
@@ -1214,13 +1281,19 @@ fn ringbuf_variable_size_reserve_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadHelperArg { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadHelperArg { .. })
+    ));
 }
 
 #[test]
 fn write_beyond_reserved_record_rejected() {
     let h = H::new();
-    let fd = h.maps.create(&h.kernel, MapDef::ringbuf("rb", 4096)).unwrap();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::ringbuf("rb", 4096))
+        .unwrap();
     let prog = Asm::new()
         .ld_map_fd(Reg::R1, fd)
         .mov64_imm(Reg::R2, 8)
@@ -1238,7 +1311,10 @@ fn write_beyond_reserved_record_rejected() {
         .exit()
         .build()
         .unwrap();
-    assert!(matches!(h.verify(prog), Err(VerifyError::BadMemAccess { .. })));
+    assert!(matches!(
+        h.verify(prog),
+        Err(VerifyError::BadMemAccess { .. })
+    ));
 }
 
 #[test]

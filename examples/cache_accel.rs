@@ -130,14 +130,14 @@ fn main() {
 
     // A hot-key workload: "alpha" dominates.
     let trace = [
-        get_req(b"alpha"),          // miss -> userspace warms it
-        get_req(b"alpha"),          // hit
-        get_req(b"alpha"),          // hit
-        get_req(b"beta"),           // miss
-        get_req(b"beta"),           // hit
-        set_req(b"alpha", b"NEW"),  // invalidation
-        get_req(b"alpha"),          // miss again
-        get_req(b"alpha"),          // hit
+        get_req(b"alpha"),         // miss -> userspace warms it
+        get_req(b"alpha"),         // hit
+        get_req(b"alpha"),         // hit
+        get_req(b"beta"),          // miss
+        get_req(b"beta"),          // hit
+        set_req(b"alpha", b"NEW"), // invalidation
+        get_req(b"alpha"),         // miss again
+        get_req(b"alpha"),         // hit
     ];
     for req in trace {
         let label = if req[0] == 1 { "GET" } else { "SET" };

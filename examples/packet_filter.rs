@@ -51,7 +51,12 @@ fn main() {
         let allow_map = bed.maps.get(allow).unwrap();
         for (prefix, burst) in [(0x0a00_0100u32, 3u64), (0x0a00_0200, 8)] {
             allow_map
-                .update(&bed.kernel.mem, &prefix.to_le_bytes(), &burst.to_le_bytes(), 0)
+                .update(
+                    &bed.kernel.mem,
+                    &prefix.to_le_bytes(),
+                    &burst.to_le_bytes(),
+                    0,
+                )
                 .unwrap();
         }
     }
@@ -82,7 +87,8 @@ fn main() {
         let now_ms = ctx.ktime_ns()? / 1_000_000;
         let (mut tokens, mut stamp) = match bucket_map.lookup(&key)? {
             Some(v) => {
-                let packed = u64::from_le_bytes(v.try_into().map_err(|_| ExtError::Invalid("value"))?);
+                let packed =
+                    u64::from_le_bytes(v.try_into().map_err(|_| ExtError::Invalid("value"))?);
                 (packed >> 32, packed & 0xffff_ffff)
             }
             None => (burst, now_ms),

@@ -33,7 +33,10 @@ fn main() {
     let mut keyring = KeyStore::new();
     keyring.enroll(&toolchain_key).unwrap();
     keyring.seal();
-    println!("[boot]      enrolled toolchain key, keyring sealed ({} key)", keyring.len());
+    println!(
+        "[boot]      enrolled toolchain key, keyring sealed ({} key)",
+        keyring.len()
+    );
 
     // A late attacker cannot enroll their own key.
     let mut stolen = KeyStore::new();
@@ -66,7 +69,10 @@ fn main() {
         "evil_entry",
         &[],
     );
-    println!("[toolchain] unsafe source refused: {}", refused.unwrap_err());
+    println!(
+        "[toolchain] unsafe source refused: {}",
+        refused.unwrap_err()
+    );
 
     // --- Kernel image: link the compiled entry point. -------------------
     let mut registry = ExtensionRegistry::new();
@@ -82,7 +88,9 @@ fn main() {
 
     // --- Load time: the kernel checks ONLY the signature + fixups. -----
     let loader = Loader::new(&bed.kernel, keyring);
-    let loaded = loader.load(&signed, &registry).expect("valid artifact loads");
+    let loaded = loader
+        .load(&signed, &registry)
+        .expect("valid artifact loads");
     println!(
         "[loader]    signature ok, {} capabilities fixed up, load took {} ns — no verification pass",
         loaded.fixups_resolved, loaded.load_ns
@@ -103,5 +111,8 @@ fn main() {
         let outcome = runtime.run(&loaded.extension, ExtInput::None);
         assert_eq!(outcome.unwrap(), i);
     }
-    println!("[runtime]   3 runs, per-task counter = 3, kernel pristine = {}", bed.kernel.health().pristine());
+    println!(
+        "[runtime]   3 runs, per-task counter = 3, kernel pristine = {}",
+        bed.kernel.health().pristine()
+    );
 }

@@ -82,9 +82,9 @@ fn main() {
     // entry and return simulate time spent in the kernel).
     let runtime = bed.runtime();
     let workload: [(u32, &[u64]); 3] = [
-        (100, &[700, 900, 5_000, 800, 1_200_000]),       // nginx: fast + one slow
-        (200, &[50_000, 80_000, 120_000, 2_500_000]),    // postgres: mid + slow
-        (300, &[400, 600, 500, 450, 700, 650]),          // memcached: all fast
+        (100, &[700, 900, 5_000, 800, 1_200_000]), // nginx: fast + one slow
+        (200, &[50_000, 80_000, 120_000, 2_500_000]), // postgres: mid + slow
+        (300, &[400, 600, 500, 450, 700, 650]),    // memcached: all fast
     ];
     let mut calls = 0u32;
     for (pid, latencies) in workload {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_pipeline-770f65f60f5d1248.d: tests/baseline_pipeline.rs
+
+/root/repo/target/debug/deps/baseline_pipeline-770f65f60f5d1248: tests/baseline_pipeline.rs
+
+tests/baseline_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_pipeline-e1697b4701f4048d.d: tests/baseline_pipeline.rs
+
+/root/repo/target/debug/deps/baseline_pipeline-e1697b4701f4048d: tests/baseline_pipeline.rs
+
+tests/baseline_pipeline.rs:

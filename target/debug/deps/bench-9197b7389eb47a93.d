@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-9197b7389eb47a93.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-9197b7389eb47a93.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-9197b7389eb47a93.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-aca76643ab68d881.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/bench-aca76643ab68d881: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench-af6d0a35cebf6371.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/bench-af6d0a35cebf6371: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench-da14d898259fd325.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-da14d898259fd325.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-da14d898259fd325.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:

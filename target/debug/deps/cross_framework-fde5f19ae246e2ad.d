@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_framework-fde5f19ae246e2ad.d: tests/cross_framework.rs
+
+/root/repo/target/debug/deps/cross_framework-fde5f19ae246e2ad: tests/cross_framework.rs
+
+tests/cross_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_framework-feaa04c2462b96d5.d: tests/cross_framework.rs
+
+/root/repo/target/debug/deps/cross_framework-feaa04c2462b96d5: tests/cross_framework.rs
+
+tests/cross_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-59d7e7bdec508f95.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-59d7e7bdec508f95: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-fd8322dd6029310a.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-fd8322dd6029310a: tests/determinism.rs
+
+tests/determinism.rs:

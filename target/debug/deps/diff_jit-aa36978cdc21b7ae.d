@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diff_jit-aa36978cdc21b7ae.d: crates/ebpf/tests/diff_jit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiff_jit-aa36978cdc21b7ae.rmeta: crates/ebpf/tests/diff_jit.rs Cargo.toml
+
+crates/ebpf/tests/diff_jit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diff_jit-f5f8f5b6a63af22c.d: crates/ebpf/tests/diff_jit.rs
+
+/root/repo/target/debug/deps/diff_jit-f5f8f5b6a63af22c: crates/ebpf/tests/diff_jit.rs
+
+crates/ebpf/tests/diff_jit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_corpus-39a92057b6042aed.d: tests/fault_corpus.rs
+
+/root/repo/target/debug/deps/fault_corpus-39a92057b6042aed: tests/fault_corpus.rs
+
+tests/fault_corpus.rs:

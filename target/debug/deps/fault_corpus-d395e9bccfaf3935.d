@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_corpus-d395e9bccfaf3935.d: tests/fault_corpus.rs
+
+/root/repo/target/debug/deps/fault_corpus-d395e9bccfaf3935: tests/fault_corpus.rs
+
+tests/fault_corpus.rs:

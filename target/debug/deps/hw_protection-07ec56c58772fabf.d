@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_protection-07ec56c58772fabf.d: tests/hw_protection.rs
+
+/root/repo/target/debug/deps/hw_protection-07ec56c58772fabf: tests/hw_protection.rs
+
+tests/hw_protection.rs:

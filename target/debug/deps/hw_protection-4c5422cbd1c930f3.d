@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_protection-4c5422cbd1c930f3.d: tests/hw_protection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_protection-4c5422cbd1c930f3.rmeta: tests/hw_protection.rs Cargo.toml
+
+tests/hw_protection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

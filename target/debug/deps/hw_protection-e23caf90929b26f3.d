@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_protection-e23caf90929b26f3.d: tests/hw_protection.rs
+
+/root/repo/target/debug/deps/hw_protection-e23caf90929b26f3: tests/hw_protection.rs
+
+tests/hw_protection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp-346e2b5d5b4a80b9.d: crates/ebpf/tests/interp.rs
+
+/root/repo/target/debug/deps/interp-346e2b5d5b4a80b9: crates/ebpf/tests/interp.rs
+
+crates/ebpf/tests/interp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp-6ee6ab732a334229.d: crates/ebpf/tests/interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp-6ee6ab732a334229.rmeta: crates/ebpf/tests/interp.rs Cargo.toml
+
+crates/ebpf/tests/interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

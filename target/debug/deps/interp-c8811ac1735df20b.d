@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp-c8811ac1735df20b.d: crates/ebpf/tests/interp.rs
+
+/root/repo/target/debug/deps/interp-c8811ac1735df20b: crates/ebpf/tests/interp.rs
+
+crates/ebpf/tests/interp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-e22e7791c6676ce2.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-e22e7791c6676ce2: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

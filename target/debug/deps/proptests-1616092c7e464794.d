@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1616092c7e464794.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1616092c7e464794: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-50f074b4120e29fc.d: crates/ebpf/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-50f074b4120e29fc: crates/ebpf/tests/proptests.rs
+
+crates/ebpf/tests/proptests.rs:

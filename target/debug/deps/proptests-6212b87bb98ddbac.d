@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6212b87bb98ddbac.d: crates/core/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6212b87bb98ddbac.rmeta: crates/core/tests/proptests.rs Cargo.toml
+
+crates/core/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

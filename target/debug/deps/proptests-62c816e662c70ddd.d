@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-62c816e662c70ddd.d: crates/signing/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-62c816e662c70ddd.rmeta: crates/signing/tests/proptests.rs Cargo.toml
+
+crates/signing/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-69ac01fa00121171.d: crates/kernel-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-69ac01fa00121171: crates/kernel-sim/tests/proptests.rs
+
+crates/kernel-sim/tests/proptests.rs:

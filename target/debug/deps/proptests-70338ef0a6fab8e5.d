@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-70338ef0a6fab8e5.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-70338ef0a6fab8e5: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

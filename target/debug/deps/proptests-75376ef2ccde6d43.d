@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-75376ef2ccde6d43.d: crates/kernel-sim/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-75376ef2ccde6d43.rmeta: crates/kernel-sim/tests/proptests.rs Cargo.toml
+
+crates/kernel-sim/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-85a93305a9c65452.d: crates/verifier/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-85a93305a9c65452.rmeta: crates/verifier/tests/proptests.rs Cargo.toml
+
+crates/verifier/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

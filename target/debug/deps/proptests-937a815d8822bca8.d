@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-937a815d8822bca8.d: crates/verifier/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-937a815d8822bca8: crates/verifier/tests/proptests.rs
+
+crates/verifier/tests/proptests.rs:

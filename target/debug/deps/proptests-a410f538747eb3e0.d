@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a410f538747eb3e0.d: crates/signing/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a410f538747eb3e0: crates/signing/tests/proptests.rs
+
+crates/signing/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-bc4a12e21d612cdb.d: crates/ebpf/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-bc4a12e21d612cdb.rmeta: crates/ebpf/tests/proptests.rs Cargo.toml
+
+crates/ebpf/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cedc029a9293411c.d: crates/kernel-sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cedc029a9293411c: crates/kernel-sim/tests/proptests.rs
+
+crates/kernel-sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-cf9293ef777dd44a.d: crates/ebpf/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-cf9293ef777dd44a: crates/ebpf/tests/proptests.rs
+
+crates/ebpf/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d1f9589ccafc5408.d: crates/verifier/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d1f9589ccafc5408: crates/verifier/tests/proptests.rs
+
+crates/verifier/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0a16bea14115b229.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0a16bea14115b229: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

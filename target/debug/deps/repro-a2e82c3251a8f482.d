@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-a2e82c3251a8f482.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-a2e82c3251a8f482: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

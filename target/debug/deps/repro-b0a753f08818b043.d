@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-b0a753f08818b043.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-b0a753f08818b043: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

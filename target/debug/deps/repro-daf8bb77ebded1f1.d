@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-daf8bb77ebded1f1.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-daf8bb77ebded1f1: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

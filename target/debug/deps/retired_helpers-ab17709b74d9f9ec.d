@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retired_helpers-ab17709b74d9f9ec.d: tests/retired_helpers.rs
+
+/root/repo/target/debug/deps/retired_helpers-ab17709b74d9f9ec: tests/retired_helpers.rs
+
+tests/retired_helpers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retired_helpers-dc1189389bae483e.d: tests/retired_helpers.rs
+
+/root/repo/target/debug/deps/retired_helpers-dc1189389bae483e: tests/retired_helpers.rs
+
+tests/retired_helpers.rs:

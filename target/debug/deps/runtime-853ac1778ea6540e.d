@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-853ac1778ea6540e.d: crates/core/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-853ac1778ea6540e: crates/core/tests/runtime.rs
+
+crates/core/tests/runtime.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-ba0a44cbadee2c38.d: crates/core/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-ba0a44cbadee2c38: crates/core/tests/runtime.rs
+
+crates/core/tests/runtime.rs:

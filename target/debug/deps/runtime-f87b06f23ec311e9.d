@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-f87b06f23ec311e9.d: crates/core/tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-f87b06f23ec311e9.rmeta: crates/core/tests/runtime.rs Cargo.toml
+
+crates/core/tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

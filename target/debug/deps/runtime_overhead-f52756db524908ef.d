@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_overhead-f52756db524908ef.d: crates/bench/benches/runtime_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_overhead-f52756db524908ef.rmeta: crates/bench/benches/runtime_overhead.rs Cargo.toml
+
+crates/bench/benches/runtime_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

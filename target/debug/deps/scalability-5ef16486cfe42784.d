@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-5ef16486cfe42784.d: crates/bench/tests/scalability.rs
+
+/root/repo/target/debug/deps/scalability-5ef16486cfe42784: crates/bench/tests/scalability.rs
+
+crates/bench/tests/scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-8fe0dc9737cf1ea7.d: crates/bench/tests/scalability.rs
+
+/root/repo/target/debug/deps/scalability-8fe0dc9737cf1ea7: crates/bench/tests/scalability.rs
+
+crates/bench/tests/scalability.rs:

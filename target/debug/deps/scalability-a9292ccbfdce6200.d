@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-a9292ccbfdce6200.d: crates/bench/tests/scalability.rs
+
+/root/repo/target/debug/deps/scalability-a9292ccbfdce6200: crates/bench/tests/scalability.rs
+
+crates/bench/tests/scalability.rs:

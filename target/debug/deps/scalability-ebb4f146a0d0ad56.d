@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-ebb4f146a0d0ad56.d: crates/bench/tests/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-ebb4f146a0d0ad56.rmeta: crates/bench/tests/scalability.rs Cargo.toml
+
+crates/bench/tests/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/signed_loading-52ebb45f5bc5c04a.d: tests/signed_loading.rs
+
+/root/repo/target/debug/deps/signed_loading-52ebb45f5bc5c04a: tests/signed_loading.rs
+
+tests/signed_loading.rs:

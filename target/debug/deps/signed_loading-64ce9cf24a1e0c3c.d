@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/signed_loading-64ce9cf24a1e0c3c.d: tests/signed_loading.rs
+
+/root/repo/target/debug/deps/signed_loading-64ce9cf24a1e0c3c: tests/signed_loading.rs
+
+tests/signed_loading.rs:

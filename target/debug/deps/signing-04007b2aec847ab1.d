@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/signing-04007b2aec847ab1.d: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs
+
+/root/repo/target/debug/deps/libsigning-04007b2aec847ab1.rlib: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs
+
+/root/repo/target/debug/deps/libsigning-04007b2aec847ab1.rmeta: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs
+
+crates/signing/src/lib.rs:
+crates/signing/src/hmac.rs:
+crates/signing/src/keys.rs:
+crates/signing/src/sha256.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/signing-a083f3fe124df0f0.d: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsigning-a083f3fe124df0f0.rmeta: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs Cargo.toml
+
+crates/signing/src/lib.rs:
+crates/signing/src/hmac.rs:
+crates/signing/src/keys.rs:
+crates/signing/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/signing-e2094fce90b7d447.d: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs
+
+/root/repo/target/debug/deps/signing-e2094fce90b7d447: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs
+
+crates/signing/src/lib.rs:
+crates/signing/src/hmac.rs:
+crates/signing/src/keys.rs:
+crates/signing/src/sha256.rs:

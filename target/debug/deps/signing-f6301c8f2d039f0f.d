@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/signing-f6301c8f2d039f0f.d: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsigning-f6301c8f2d039f0f.rmeta: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs Cargo.toml
+
+crates/signing/src/lib.rs:
+crates/signing/src/hmac.rs:
+crates/signing/src/keys.rs:
+crates/signing/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

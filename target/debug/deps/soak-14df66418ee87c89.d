@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-14df66418ee87c89.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-14df66418ee87c89: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

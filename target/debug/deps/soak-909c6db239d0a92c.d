@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak-909c6db239d0a92c.d: crates/bench/src/bin/soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak-909c6db239d0a92c.rmeta: crates/bench/src/bin/soak.rs Cargo.toml
+
+crates/bench/src/bin/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-b7d5562f1fe41646.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-b7d5562f1fe41646: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak-fa2223bf7f41f8b7.d: crates/bench/src/bin/soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak-fa2223bf7f41f8b7.rmeta: crates/bench/src/bin/soak.rs Cargo.toml
+
+crates/bench/src/bin/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak_determinism-f3b1c19dbd783053.d: tests/soak_determinism.rs
+
+/root/repo/target/debug/deps/soak_determinism-f3b1c19dbd783053: tests/soak_determinism.rs
+
+tests/soak_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_properties-327e535b4047c239.d: tests/table2_properties.rs
+
+/root/repo/target/debug/deps/table2_properties-327e535b4047c239: tests/table2_properties.rs
+
+tests/table2_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_properties-d743ff9b63c1dd51.d: tests/table2_properties.rs
+
+/root/repo/target/debug/deps/table2_properties-d743ff9b63c1dd51: tests/table2_properties.rs
+
+tests/table2_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/termination-c6dd050c1a8a4f25.d: crates/bench/benches/termination.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtermination-c6dd050c1a8a4f25.rmeta: crates/bench/benches/termination.rs Cargo.toml
+
+crates/bench/benches/termination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

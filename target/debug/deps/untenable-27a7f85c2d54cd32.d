@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/untenable-27a7f85c2d54cd32.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libuntenable-27a7f85c2d54cd32.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

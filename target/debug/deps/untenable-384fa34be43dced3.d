@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/untenable-384fa34be43dced3.d: src/lib.rs
+
+/root/repo/target/debug/deps/untenable-384fa34be43dced3: src/lib.rs
+
+src/lib.rs:

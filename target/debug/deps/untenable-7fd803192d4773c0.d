@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/untenable-7fd803192d4773c0.d: src/lib.rs
+
+/root/repo/target/debug/deps/untenable-7fd803192d4773c0: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/untenable-eb5fd8644e7d2d9e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuntenable-eb5fd8644e7d2d9e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuntenable-eb5fd8644e7d2d9e.rmeta: src/lib.rs
+
+src/lib.rs:

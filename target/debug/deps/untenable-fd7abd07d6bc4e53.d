@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/untenable-fd7abd07d6bc4e53.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuntenable-fd7abd07d6bc4e53.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuntenable-fd7abd07d6bc4e53.rmeta: src/lib.rs
+
+src/lib.rs:

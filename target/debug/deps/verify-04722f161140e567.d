@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-04722f161140e567.d: crates/verifier/tests/verify.rs
+
+/root/repo/target/debug/deps/verify-04722f161140e567: crates/verifier/tests/verify.rs
+
+crates/verifier/tests/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify-938a8f6f182eb513.d: crates/verifier/tests/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify-938a8f6f182eb513.rmeta: crates/verifier/tests/verify.rs Cargo.toml
+
+crates/verifier/tests/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

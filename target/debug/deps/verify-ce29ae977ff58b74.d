@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-ce29ae977ff58b74.d: crates/verifier/tests/verify.rs
+
+/root/repo/target/debug/deps/verify-ce29ae977ff58b74: crates/verifier/tests/verify.rs
+
+crates/verifier/tests/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_accel-61f90df65c1418c1.d: examples/cache_accel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_accel-61f90df65c1418c1.rmeta: examples/cache_accel.rs Cargo.toml
+
+examples/cache_accel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_accel-adfa7f1b0f73eac8.d: examples/cache_accel.rs
+
+/root/repo/target/debug/examples/cache_accel-adfa7f1b0f73eac8: examples/cache_accel.rs
+
+examples/cache_accel.rs:

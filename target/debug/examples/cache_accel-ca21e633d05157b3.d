@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_accel-ca21e633d05157b3.d: examples/cache_accel.rs
+
+/root/repo/target/debug/examples/cache_accel-ca21e633d05157b3: examples/cache_accel.rs
+
+examples/cache_accel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_filter-2263291ddd906ccf.d: examples/packet_filter.rs
+
+/root/repo/target/debug/examples/packet_filter-2263291ddd906ccf: examples/packet_filter.rs
+
+examples/packet_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_filter-adb7d3f8bd6c78da.d: examples/packet_filter.rs
+
+/root/repo/target/debug/examples/packet_filter-adb7d3f8bd6c78da: examples/packet_filter.rs
+
+examples/packet_filter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0255ac390b4e6891.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0255ac390b4e6891: examples/quickstart.rs
+
+examples/quickstart.rs:

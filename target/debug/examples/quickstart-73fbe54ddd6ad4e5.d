@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-73fbe54ddd6ad4e5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-73fbe54ddd6ad4e5: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/signed_workflow-3bbe6cc4d67f2418.d: examples/signed_workflow.rs
+
+/root/repo/target/debug/examples/signed_workflow-3bbe6cc4d67f2418: examples/signed_workflow.rs
+
+examples/signed_workflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/signed_workflow-8c94cd645c48065a.d: examples/signed_workflow.rs
+
+/root/repo/target/debug/examples/signed_workflow-8c94cd645c48065a: examples/signed_workflow.rs
+
+examples/signed_workflow.rs:

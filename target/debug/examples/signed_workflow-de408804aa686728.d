@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/signed_workflow-de408804aa686728.d: examples/signed_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsigned_workflow-de408804aa686728.rmeta: examples/signed_workflow.rs Cargo.toml
+
+examples/signed_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

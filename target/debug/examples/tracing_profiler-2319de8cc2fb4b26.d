@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tracing_profiler-2319de8cc2fb4b26.d: examples/tracing_profiler.rs
+
+/root/repo/target/debug/examples/tracing_profiler-2319de8cc2fb4b26: examples/tracing_profiler.rs
+
+examples/tracing_profiler.rs:

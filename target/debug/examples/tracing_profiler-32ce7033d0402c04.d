@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tracing_profiler-32ce7033d0402c04.d: examples/tracing_profiler.rs
+
+/root/repo/target/debug/examples/tracing_profiler-32ce7033d0402c04: examples/tracing_profiler.rs
+
+examples/tracing_profiler.rs:

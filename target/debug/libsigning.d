@@ -1,0 +1,1 @@
+/root/repo/target/debug/libsigning.rlib: /root/repo/crates/signing/src/hmac.rs /root/repo/crates/signing/src/keys.rs /root/repo/crates/signing/src/lib.rs /root/repo/crates/signing/src/sha256.rs

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bench-8f0709f4e3d9ad86.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libbench-8f0709f4e3d9ad86.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libbench-8f0709f4e3d9ad86.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:

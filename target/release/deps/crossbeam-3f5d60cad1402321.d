@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-3f5d60cad1402321.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-3f5d60cad1402321.rlib: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-3f5d60cad1402321.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/kernel_sim-15795d63457c0cab.d: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
+
+/root/repo/target/release/deps/libkernel_sim-15795d63457c0cab.rlib: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
+
+/root/repo/target/release/deps/libkernel_sim-15795d63457c0cab.rmeta: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
+
+crates/kernel-sim/src/lib.rs:
+crates/kernel-sim/src/audit.rs:
+crates/kernel-sim/src/exec.rs:
+crates/kernel-sim/src/kernel.rs:
+crates/kernel-sim/src/locks.rs:
+crates/kernel-sim/src/mem.rs:
+crates/kernel-sim/src/objects.rs:
+crates/kernel-sim/src/oops.rs:
+crates/kernel-sim/src/percpu.rs:
+crates/kernel-sim/src/rcu.rs:
+crates/kernel-sim/src/refcount.rs:
+crates/kernel-sim/src/time.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-2042beb626573d1a.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2042beb626573d1a.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2042beb626573d1a.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

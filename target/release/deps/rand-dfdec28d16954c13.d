@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-dfdec28d16954c13.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dfdec28d16954c13.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dfdec28d16954c13.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

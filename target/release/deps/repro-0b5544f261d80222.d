@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-0b5544f261d80222.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-0b5544f261d80222: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/signing-0296e9b65611683d.d: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs
+
+/root/repo/target/release/deps/libsigning-0296e9b65611683d.rlib: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs
+
+/root/repo/target/release/deps/libsigning-0296e9b65611683d.rmeta: crates/signing/src/lib.rs crates/signing/src/hmac.rs crates/signing/src/keys.rs crates/signing/src/sha256.rs
+
+crates/signing/src/lib.rs:
+crates/signing/src/hmac.rs:
+crates/signing/src/keys.rs:
+crates/signing/src/sha256.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soak-49be1b90d61a7f2c.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/release/deps/soak-49be1b90d61a7f2c: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

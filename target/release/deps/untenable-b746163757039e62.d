@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/untenable-b746163757039e62.d: src/lib.rs
+
+/root/repo/target/release/deps/libuntenable-b746163757039e62.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuntenable-b746163757039e62.rmeta: src/lib.rs
+
+src/lib.rs:

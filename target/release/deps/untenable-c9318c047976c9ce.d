@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/untenable-c9318c047976c9ce.d: src/lib.rs
+
+/root/repo/target/release/deps/libuntenable-c9318c047976c9ce.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuntenable-c9318c047976c9ce.rmeta: src/lib.rs
+
+src/lib.rs:

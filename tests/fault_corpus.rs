@@ -197,10 +197,7 @@ fn attack(id: &str, buggy: bool) -> Violation {
                 .build()
                 .unwrap();
             let prog = Program::new("a", ProgType::SocketFilter, insns);
-            let verdict = bed
-                .verifier()
-                .with_faults(verifier_faults)
-                .verify(&prog);
+            let verdict = bed.verifier().with_faults(verifier_faults).verify(&prog);
             match verdict {
                 Err(_) => Violation::Prevented, // rejected at load time
                 Ok(_) => {

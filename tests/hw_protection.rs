@@ -35,7 +35,11 @@ fn errant_kernel_write_into_extension_state_is_blocked() {
     let errant = bed.kernel.mem.write_u64(ext_state + 8, 0xbad);
     assert!(matches!(
         errant,
-        Err(Fault::PkeyDenied { pkey: EXT_KEY, write: true, .. })
+        Err(Fault::PkeyDenied {
+            pkey: EXT_KEY,
+            write: true,
+            ..
+        })
     ));
     // ...while reads (e.g. legitimate data sharing) still work.
     assert_eq!(bed.kernel.mem.read_u64(ext_state).unwrap(), 0x5afe);
@@ -65,6 +69,9 @@ fn keyed_regions_shrink_the_blast_radius_of_helper_bugs() {
     // reads any unkeyed kernel address — but the keyed region faults.
     assert!(matches!(
         bed.kernel.mem.read_u64(secret),
-        Err(Fault::PkeyDenied { pkey: SENSITIVE, .. })
+        Err(Fault::PkeyDenied {
+            pkey: SENSITIVE,
+            ..
+        })
     ));
 }

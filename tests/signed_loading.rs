@@ -42,10 +42,18 @@ fn boot() -> (TestBed, Toolchain, KeyStore, ExtensionRegistry) {
 fn build_sign_load_run() {
     let (bed, toolchain, keyring, registry) = boot();
     let signed = toolchain
-        .build(COUNTER_SRC, "counter", ProgType::Kprobe, "counter_entry", &["task"])
+        .build(
+            COUNTER_SRC,
+            "counter",
+            ProgType::Kprobe,
+            "counter_entry",
+            &["task"],
+        )
         .expect("safe source builds");
     let loader = Loader::new(&bed.kernel, keyring);
-    let loaded = loader.load(&signed, &registry).expect("signed artifact loads");
+    let loaded = loader
+        .load(&signed, &registry)
+        .expect("signed artifact loads");
     assert_eq!(loaded.fixups_resolved, 1);
     assert!(loaded.load_ns > 0);
 
@@ -76,7 +84,13 @@ fn evil(ctx: &ExtCtx) -> Result<u64, ExtError> {
 fn tampered_artifact_rejected_at_load() {
     let (bed, toolchain, keyring, registry) = boot();
     let mut signed = toolchain
-        .build(COUNTER_SRC, "counter", ProgType::Kprobe, "counter_entry", &[])
+        .build(
+            COUNTER_SRC,
+            "counter",
+            ProgType::Kprobe,
+            "counter_entry",
+            &[],
+        )
         .unwrap();
     let idx = signed.bytes.len() - 3;
     signed.bytes[idx] ^= 0x40;
@@ -94,7 +108,13 @@ fn rogue_toolchain_rejected_at_load() {
     let (bed, _toolchain, keyring, registry) = boot();
     let rogue = Toolchain::new(SigningKey::derive(0xbad));
     let signed = rogue
-        .build(COUNTER_SRC, "counter", ProgType::Kprobe, "counter_entry", &[])
+        .build(
+            COUNTER_SRC,
+            "counter",
+            ProgType::Kprobe,
+            "counter_entry",
+            &[],
+        )
         .unwrap();
     let loader = Loader::new(&bed.kernel, keyring);
     assert!(matches!(
@@ -123,11 +143,21 @@ fn loading_is_orders_of_magnitude_cheaper_than_claimed_verification() {
     // load path does constant work per byte, no path exploration.
     let (bed, toolchain, keyring, registry) = boot();
     let signed = toolchain
-        .build(COUNTER_SRC, "counter", ProgType::Kprobe, "counter_entry", &["task"])
+        .build(
+            COUNTER_SRC,
+            "counter",
+            ProgType::Kprobe,
+            "counter_entry",
+            &["task"],
+        )
         .unwrap();
     let loader = Loader::new(&bed.kernel, keyring);
     let loaded = loader.load(&signed, &registry).unwrap();
     // A signature check over a ~100-byte artifact: well under a
     // millisecond even in debug builds.
-    assert!(loaded.load_ns < 10_000_000, "load took {} ns", loaded.load_ns);
+    assert!(
+        loaded.load_ns < 10_000_000,
+        "load took {} ns",
+        loaded.load_ns
+    );
 }

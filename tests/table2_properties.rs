@@ -182,10 +182,8 @@ fn termination() {
     // RCU stall threshold (exploits.rs proves it end-to-end). Safe-ext:
     // the watchdog ends the same workload with the kernel pristine.
     let bed = TestBed::new();
-    let ext = Extension::new("spin", ProgType::Kprobe, |ctx| {
-        loop {
-            ctx.tick()?;
-        }
+    let ext = Extension::new("spin", ProgType::Kprobe, |ctx| loop {
+        ctx.tick()?;
     });
     let outcome = bed.runtime().run(&ext, ExtInput::None);
     assert!(matches!(outcome.result, Err(Abort::WatchdogFuel)));
@@ -203,10 +201,10 @@ fn stack_protection() {
     // restriction); safe-ext terminates it dynamically (no restriction
     // on legitimate bounded recursion, clean termination past the guard).
     let bed = TestBed::new();
-    fn deep(ctx: &safe_ext::ExtCtx<'_>, n: u64) -> Result<u64, ExtError> {
-        ctx.frame(|ctx| deep(ctx, n + 1))
+    fn deep(ctx: &safe_ext::ExtCtx<'_>) -> Result<u64, ExtError> {
+        ctx.frame(deep)
     }
-    let ext = Extension::new("deep", ProgType::Kprobe, |ctx| deep(ctx, 0));
+    let ext = Extension::new("deep", ProgType::Kprobe, deep);
     let outcome = bed.runtime().run(&ext, ExtInput::None);
     assert!(matches!(outcome.result, Err(Abort::StackGuard)));
     assert_eq!(bed.kernel.audit.count(EventKind::StackOverflowGuard), 1);
