@@ -22,4 +22,16 @@ cargo test --workspace -q
 echo "==> differential soak (200 seeds; full run uses 1000+)"
 cargo run --release -p bench --bin soak -- 200
 
+echo "==> sharded-dispatch throughput smoke (2 shards, small batch)"
+# The smoke run itself executes every configuration twice; comparing the
+# printed hashes of two *separate* invocations additionally catches
+# nondeterminism across process boundaries (ASLR, thread scheduling).
+smoke_a=$(cargo run --release -q -p bench --bin throughput -- --smoke | grep '^MERGED_AUDIT_SHA256')
+smoke_b=$(cargo run --release -q -p bench --bin throughput -- --smoke | grep '^MERGED_AUDIT_SHA256')
+if [ "$smoke_a" != "$smoke_b" ]; then
+    echo "CI: merged-audit hashes differ between same-seed smoke runs" >&2
+    printf 'run A:\n%s\nrun B:\n%s\n' "$smoke_a" "$smoke_b" >&2
+    exit 1
+fi
+
 echo "CI: all gates passed"

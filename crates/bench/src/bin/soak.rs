@@ -27,7 +27,7 @@ use ebpf::helpers::HelperRegistry;
 use ebpf::interp::{CtxInput, ExecError, Vm};
 use ebpf::maps::{MapDef, MapRegistry};
 use ebpf::program::ProgType;
-use kernel_sim::audit::{AuditEvent, EventKind};
+use kernel_sim::audit::{fingerprint, EventKind};
 use kernel_sim::objects::SockAddr;
 use kernel_sim::{FaultPlan, Kernel};
 use safe_ext::{Abort, ExtError, ExtInput, Extension, Quarantine, Runtime};
@@ -45,18 +45,6 @@ fn packets() -> Vec<Vec<u8>> {
     (0..PACKETS_PER_SEED)
         .map(|i| vec![(i % 4) as u8, 0xaa, 0xbb, i as u8])
         .collect()
-}
-
-/// Serializes an audit snapshot into a canonical byte-comparable form.
-fn fingerprint(events: &[AuditEvent]) -> String {
-    let mut out = String::new();
-    for e in events {
-        out.push_str(&format!(
-            "{}|{:?}|{}|{:?}\n",
-            e.at_ns, e.kind, e.detail, e.fault
-        ));
-    }
-    out
 }
 
 #[derive(Debug, Default)]

@@ -1,0 +1,215 @@
+//! Sharded-dispatch throughput benchmark.
+//!
+//! Drives a fixed deterministic packet batch through the sharded dispatch
+//! engine at 1/2/4/8 shards for both backends (eBPF interpreter and
+//! safe-ext runtime), verifies every configuration replays with a
+//! byte-identical merged audit stream, and writes the results to
+//! `BENCH_throughput.json` in the repository root.
+//!
+//! Scaling is reported in *simulated* time — the busiest shard's
+//! virtual-clock advance — because shards occupy distinct simulated CPUs
+//! and the simulation runs on whatever host CI provides (possibly a
+//! single core, where host wall-clock cannot show parallel speedup).
+//! Host wall-clock figures are recorded alongside for reference.
+//!
+//! `--smoke` runs a reduced configuration (2 shards, small batch, both
+//! backends, two runs each) for CI: it prints the merged-audit SHA-256 of
+//! each run and exits nonzero if the two same-seed runs diverge.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::dispatch::{make_packets, run_batched, Backend, DispatchConfig, DispatchReport};
+use signing::sha256;
+
+const SEED: u64 = 42;
+const FULL_BATCH: usize = 20_000;
+const SMOKE_BATCH: usize = 512;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn audit_sha256(report: &DispatchReport) -> String {
+    sha256::to_hex(&sha256::digest(report.merged_fingerprint.as_bytes()))
+}
+
+struct Row {
+    backend: &'static str,
+    shards: usize,
+    packets: u64,
+    sim_elapsed_ns: u64,
+    sim_pps: f64,
+    speedup: f64,
+    host_elapsed_ns: u64,
+    host_pps: f64,
+    audit_sha256: String,
+    helper_calls: u64,
+    run_cost_mean: u64,
+    run_cost_p99: u64,
+}
+
+/// Runs one configuration twice; returns the faster run plus its audit
+/// hash, aborting if the two same-seed runs diverge.
+fn run_config(backend: Backend, shards: usize, batch: &[Vec<u8>]) -> (DispatchReport, String) {
+    let cfg = DispatchConfig {
+        shards,
+        seed: SEED,
+        ..Default::default()
+    };
+    let first = run_batched(backend, &cfg, batch);
+    let second = run_batched(backend, &cfg, batch);
+    if first.merged_fingerprint != second.merged_fingerprint {
+        eprintln!(
+            "FAIL: nondeterministic merged audit for backend={} shards={shards}",
+            backend.name()
+        );
+        std::process::exit(1);
+    }
+    let hash = audit_sha256(&first);
+    let best = if second.elapsed_ns < first.elapsed_ns {
+        second
+    } else {
+        first
+    };
+    (best, hash)
+}
+
+fn full() {
+    let batch = make_packets(FULL_BATCH);
+    let started = Instant::now();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for backend in [Backend::Ebpf, Backend::SafeExt] {
+        let mut base_sim_pps = 0.0f64;
+        for shards in SHARD_COUNTS {
+            let (report, hash) = run_config(backend, shards, &batch);
+            assert_eq!(report.packets(), FULL_BATCH as u64);
+            assert_eq!(report.errors(), 0, "clean run expected without faults");
+            let sim_pps = report.packets_per_sim_sec();
+            if shards == 1 {
+                base_sim_pps = sim_pps;
+            }
+            // Speedup is measured in simulated time: each shard runs on
+            // its own simulated CPU, so the batch completes when the
+            // busiest shard's virtual clock does. Host wall-clock is
+            // recorded alongside but depends on the host's core count.
+            let speedup = if base_sim_pps > 0.0 {
+                sim_pps / base_sim_pps
+            } else {
+                0.0
+            };
+            println!(
+                "{:>8} shards={} packets={} sim={:.2}ms sim_pps={:.0} speedup={:.2}x host={:.2}ms",
+                backend.name(),
+                shards,
+                report.packets(),
+                report.sim_elapsed_ns as f64 / 1e6,
+                sim_pps,
+                speedup,
+                report.elapsed_ns as f64 / 1e6,
+            );
+            rows.push(Row {
+                backend: backend.name(),
+                shards,
+                packets: report.packets(),
+                sim_elapsed_ns: report.sim_elapsed_ns,
+                sim_pps,
+                speedup,
+                host_elapsed_ns: report.elapsed_ns,
+                host_pps: report.packets_per_sec(),
+                audit_sha256: hash,
+                helper_calls: report.metrics.helper_calls,
+                run_cost_mean: report.metrics.run_cost.mean(),
+                run_cost_p99: report.metrics.run_cost.percentile(99),
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"batch\": {FULL_BATCH},");
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"backend\": \"{}\", \"shards\": {}, \"packets\": {}, \"sim_elapsed_ns\": {}, \"sim_pps\": {:.0}, \"speedup_vs_1shard\": {:.3}, \"host_elapsed_ns\": {}, \"host_pps\": {:.0}, \"merged_audit_sha256\": \"{}\", \"helper_calls\": {}, \"run_cost_mean\": {}, \"run_cost_p99\": {}}}",
+            r.backend,
+            r.shards,
+            r.packets,
+            r.sim_elapsed_ns,
+            r.sim_pps,
+            r.speedup,
+            r.host_elapsed_ns,
+            r.host_pps,
+            r.audit_sha256,
+            r.helper_calls,
+            r.run_cost_mean,
+            r.run_cost_p99
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+    println!(
+        "wrote BENCH_throughput.json ({} rows) in {:.1}s",
+        rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    // The acceptance bar: every multi-shard configuration must beat the
+    // 1-shard baseline of its backend in simulated time.
+    let scaled = rows.iter().all(|r| r.shards == 1 || r.speedup > 1.0);
+    if !scaled {
+        eprintln!("FAIL: a multi-shard configuration did not beat its 1-shard baseline");
+        std::process::exit(1);
+    }
+}
+
+fn smoke() {
+    let batch = make_packets(SMOKE_BATCH);
+    let mut failed = false;
+    for backend in [Backend::Ebpf, Backend::SafeExt] {
+        let cfg = DispatchConfig {
+            shards: 2,
+            seed: SEED,
+            ..Default::default()
+        };
+        let a = run_batched(backend, &cfg, &batch);
+        let b = run_batched(backend, &cfg, &batch);
+        let (ha, hb) = (audit_sha256(&a), audit_sha256(&b));
+        println!(
+            "MERGED_AUDIT_SHA256 backend={} shards=2 {ha}",
+            backend.name()
+        );
+        println!(
+            "MERGED_AUDIT_SHA256 backend={} shards=2 {hb}",
+            backend.name()
+        );
+        if ha != hb {
+            eprintln!(
+                "FAIL: nondeterministic merged audit for backend={} shards=2",
+                backend.name()
+            );
+            failed = true;
+        }
+        if a.packets() != SMOKE_BATCH as u64 {
+            eprintln!(
+                "FAIL: backend={} processed {} of {SMOKE_BATCH} packets",
+                backend.name(),
+                a.packets()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("throughput smoke OK ({SMOKE_BATCH} packets x 2 backends x 2 runs)");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        full();
+    }
+}

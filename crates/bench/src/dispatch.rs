@@ -1,0 +1,545 @@
+//! Sharded multi-core dispatch engine.
+//!
+//! Drives batched packet workloads through N worker shards concurrently,
+//! each shard pinned to a simulated CPU id, through either extension
+//! framework (the eBPF interpreter baseline or the safe-ext runtime).
+//!
+//! # Determinism under parallelism
+//!
+//! The engine must keep the soak-replay contract — byte-identical audit
+//! streams for a fixed seed — while actually running on multiple host
+//! threads. Three design decisions make that hold regardless of thread
+//! scheduling:
+//!
+//! 1. **Share-nothing shards.** Every shard owns a private [`Kernel`]
+//!    (so a private virtual clock, audit log, and fault plane). A shared
+//!    clock would order audit timestamps by host scheduling; private
+//!    clocks order them by each shard's own deterministic execution.
+//! 2. **Seeded shard assignment.** Packet `i` goes to
+//!    [`shard_of`]`(seed, i, shards)` — a pure function — and each
+//!    shard's channel preserves the main thread's send order, so each
+//!    shard sees a deterministic packet subsequence.
+//! 3. **Merge in shard-id order.** Per-shard audit buffers are merged by
+//!    [`kernel_sim::audit::merged_fingerprint`], which sorts by shard id
+//!    rather than by completion order.
+//!
+//! Consequently `(backend, seed, shard_count, batch)` fully determines
+//! the merged audit stream; the throughput harness and CI assert this by
+//! hashing two runs of the same configuration.
+//!
+//! Each shard's kernel is booted with `nr_cpus = shards` and pinned to
+//! CPU `shard`, and the workload counts packets in a **per-CPU** array
+//! map — so the per-CPU map paths (`elem_addr(index, cpu)` with a
+//! nonzero cpu) are exercised exactly as on a multi-core kernel, and
+//! shard counts can be recovered per CPU slot afterwards.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel;
+use ebpf::helpers::HelperRegistry;
+use ebpf::interp::{CtxInput, Vm};
+use ebpf::maps::{MapDef, MapRegistry};
+use ebpf::program::ProgType;
+use kernel_sim::audit::{merged_fingerprint, AuditEvent, EventKind};
+use kernel_sim::percpu::CpuInfo;
+use kernel_sim::{FaultPlan, FaultPlanConfig, Kernel, MetricsSnapshot};
+use safe_ext::{ExtInput, Extension, Quarantine, Runtime};
+
+use crate::workloads;
+
+/// Number of protocol classes the dispatch workload tallies (packet byte
+/// 0 masked to two bits).
+pub const PROTO_CLASSES: usize = 4;
+
+/// Which extension framework processes the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The eBPF interpreter baseline.
+    Ebpf,
+    /// The safe-Rust extension runtime.
+    SafeExt,
+}
+
+impl Backend {
+    /// Short stable name used in reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Ebpf => "ebpf",
+            Backend::SafeExt => "safe-ext",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct DispatchConfig {
+    /// Number of worker shards (at least 1); also the simulated CPU count.
+    pub shards: usize,
+    /// Master seed: drives packet->shard assignment and, when fault
+    /// injection is enabled, every shard's fault plan.
+    pub seed: u64,
+    /// Fault-plan configuration to arm on every shard's kernel, or `None`
+    /// to run without injection.
+    pub fault: Option<FaultPlanConfig>,
+    /// Consecutive-kill threshold for the safe runtime's circuit breaker.
+    pub quarantine_threshold: u32,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            seed: 1,
+            fault: None,
+            quarantine_threshold: 3,
+        }
+    }
+}
+
+/// What one shard did with its packet subsequence.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index == the simulated CPU the shard was pinned to.
+    pub shard: usize,
+    /// Packets this shard processed.
+    pub packets: u64,
+    /// Runs that returned a value (accepted the packet).
+    pub accepted: u64,
+    /// Runs that aborted or errored.
+    pub errors: u64,
+    /// Faults injected into this shard's kernel.
+    pub injected: u64,
+    /// Per-protocol counts recovered from the shard's per-CPU map,
+    /// summed over CPU slots.
+    pub proto_counts: [u64; PROTO_CLASSES],
+    /// The shard kernel's full audit snapshot.
+    pub audit: Vec<AuditEvent>,
+    /// The shard kernel's metrics snapshot.
+    pub metrics: MetricsSnapshot,
+    /// The shard's virtual-clock reading after the batch: how long the
+    /// simulated CPU was busy. Deterministic for a fixed seed.
+    pub sim_ns: u64,
+    /// Whether the shard kernel finished pristine (no oops, leak, stall).
+    pub pristine: bool,
+}
+
+/// The merged outcome of one batched dispatch.
+#[derive(Debug, Clone)]
+pub struct DispatchReport {
+    /// Per-shard reports, in shard-id order.
+    pub shards: Vec<ShardReport>,
+    /// Canonical merge of all per-shard audit streams; byte-identical
+    /// across runs of the same `(backend, seed, shard_count, batch)`.
+    pub merged_fingerprint: String,
+    /// Sum of all shard metrics.
+    pub metrics: MetricsSnapshot,
+    /// Host wall-clock time for the whole batch, nanoseconds. Noisy and
+    /// host-dependent; informational only.
+    pub elapsed_ns: u64,
+    /// Simulated elapsed time: the busiest shard's virtual-clock advance.
+    /// Shards run on distinct simulated CPUs, so the batch is done when
+    /// the slowest shard is — this is the deterministic scaling metric.
+    pub sim_elapsed_ns: u64,
+}
+
+impl DispatchReport {
+    /// Total packets processed across shards.
+    pub fn packets(&self) -> u64 {
+        self.shards.iter().map(|s| s.packets).sum()
+    }
+
+    /// Total accepted packets across shards.
+    pub fn accepted(&self) -> u64 {
+        self.shards.iter().map(|s| s.accepted).sum()
+    }
+
+    /// Total errored runs across shards.
+    pub fn errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.errors).sum()
+    }
+
+    /// Total injected faults across shards.
+    pub fn injected(&self) -> u64 {
+        self.shards.iter().map(|s| s.injected).sum()
+    }
+
+    /// Per-protocol totals across shards.
+    pub fn proto_counts(&self) -> [u64; PROTO_CLASSES] {
+        let mut out = [0u64; PROTO_CLASSES];
+        for s in &self.shards {
+            for (a, b) in out.iter_mut().zip(&s.proto_counts) {
+                *a += b;
+            }
+        }
+        out
+    }
+
+    /// Packets per host-second over the whole batch.
+    pub fn packets_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.packets() as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+
+    /// Packets per *simulated* second: throughput of the modelled
+    /// multi-core machine. Deterministic for a fixed `(seed, shards,
+    /// batch)`, so this is what scaling claims are made from.
+    pub fn packets_per_sim_sec(&self) -> f64 {
+        if self.sim_elapsed_ns == 0 {
+            0.0
+        } else {
+            self.packets() as f64 * 1e9 / self.sim_elapsed_ns as f64
+        }
+    }
+}
+
+/// splitmix64: the finalizer used to derive per-packet and per-shard
+/// streams from the master seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The shard packet `index` is dispatched to: a pure function of
+/// `(seed, index)`, so the assignment replays identically at any thread
+/// interleaving.
+pub fn shard_of(seed: u64, index: u64, shards: usize) -> usize {
+    (splitmix64(seed ^ index.wrapping_mul(0xa076_1d64_78bd_642f)) % shards.max(1) as u64) as usize
+}
+
+/// The fault-plan seed for `shard`: derived, not shared, so each shard's
+/// decision stream is independent of how many packets other shards see.
+pub fn shard_fault_seed(seed: u64, shard: usize) -> u64 {
+    splitmix64(seed ^ (shard as u64).wrapping_mul(0xd6e8_feb8_6659_fd93))
+}
+
+/// A deterministic batch of `n` packets with varied sizes and protocol
+/// bytes (packet `i` is in protocol class `i % 4`).
+pub fn make_packets(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            let len = 4 + (i % 13);
+            let mut pkt = vec![0u8; len];
+            pkt[0] = (i % PROTO_CLASSES) as u8;
+            for (j, b) in pkt.iter_mut().enumerate().skip(1) {
+                *b = (splitmix64(i as u64 ^ (j as u64) << 32) & 0xff) as u8;
+            }
+            pkt
+        })
+        .collect()
+}
+
+/// One shard's private world: kernel (pinned CPU), maps, and the per-CPU
+/// proto-count map the workload writes into.
+struct ShardEnv {
+    kernel: Kernel,
+    maps: MapRegistry,
+    counts_fd: u32,
+}
+
+impl ShardEnv {
+    fn boot(cfg: &DispatchConfig, shard: usize) -> Self {
+        let kernel = Kernel::with_topology(CpuInfo::pinned(cfg.shards, shard));
+        let maps = MapRegistry::default();
+        let counts_fd = maps
+            .create(
+                &kernel,
+                MapDef::percpu_array("proto-counts", 8, PROTO_CLASSES as u32),
+            )
+            .expect("map creation");
+        // Arm after setup so injection timelines start at the same point
+        // on every shard, as the soak harness does.
+        if let Some(fault) = &cfg.fault {
+            kernel.arm_fault_plan(FaultPlan::with_config(
+                shard_fault_seed(cfg.seed, shard),
+                *fault,
+            ));
+        }
+        Self {
+            kernel,
+            maps,
+            counts_fd,
+        }
+    }
+
+    /// Sums the per-CPU map's slots for each protocol class. The shard
+    /// only ever ran pinned, so all counts sit in its own CPU slot, but
+    /// summing every slot asserts nothing leaked into foreign slots.
+    fn proto_counts(&self) -> [u64; PROTO_CLASSES] {
+        let map = self.maps.get(self.counts_fd).expect("counts map");
+        let mut out = [0u64; PROTO_CLASSES];
+        for cpu in 0..self.kernel.cpus.nr_cpus() {
+            for (proto, total) in out.iter_mut().enumerate() {
+                let addr = map.elem_addr(proto as u32, cpu).expect("in range");
+                *total += self.kernel.mem.read_u64(addr).unwrap_or(0);
+            }
+        }
+        out
+    }
+
+    fn finish(self, shard: usize, packets: u64, accepted: u64, errors: u64) -> ShardReport {
+        let proto_counts = self.proto_counts();
+        // A per-shard summary event makes the merged fingerprint
+        // content-bearing even for fault-free batches: it pins the
+        // shard's packet subsequence, outcomes, per-CPU counts, and
+        // final virtual time, so any divergence in routing, execution,
+        // or timing shows up as a byte difference.
+        self.kernel.audit.record(
+            self.kernel.clock.now_ns(),
+            EventKind::Info,
+            format!(
+                "dispatch shard {shard}: packets={packets} accepted={accepted} \
+                 errors={errors} proto_counts={proto_counts:?}"
+            ),
+        );
+        let injected = self
+            .kernel
+            .inject
+            .get()
+            .map(|plane| plane.total_injected())
+            .unwrap_or(0);
+        ShardReport {
+            shard,
+            packets,
+            accepted,
+            errors,
+            injected,
+            proto_counts,
+            sim_ns: self.kernel.clock.now_ns(),
+            pristine: self.kernel.health().pristine(),
+            audit: self.kernel.audit.snapshot(),
+            metrics: self.kernel.metrics.snapshot(),
+        }
+    }
+}
+
+fn run_shard_ebpf(
+    cfg: &DispatchConfig,
+    shard: usize,
+    rx: channel::Receiver<Vec<u8>>,
+) -> ShardReport {
+    let env = ShardEnv::boot(cfg, shard);
+    let helpers = HelperRegistry::standard();
+    let mut vm = Vm::new(&env.kernel, &env.maps, &helpers);
+    let id = vm.load(workloads::packet_filter(env.counts_fd));
+    let (mut packets, mut accepted, mut errors) = (0u64, 0u64, 0u64);
+    for payload in rx.iter() {
+        packets += 1;
+        match vm.run(id, CtxInput::Packet(payload)).result {
+            Ok(_) => accepted += 1,
+            Err(_) => errors += 1,
+        }
+    }
+    env.finish(shard, packets, accepted, errors)
+}
+
+fn run_shard_safe(
+    cfg: &DispatchConfig,
+    shard: usize,
+    rx: channel::Receiver<Vec<u8>>,
+) -> ShardReport {
+    let env = ShardEnv::boot(cfg, shard);
+    let quarantine = Arc::new(Quarantine::new(cfg.quarantine_threshold));
+    let runtime = Runtime::new(&env.kernel, &env.maps).with_quarantine(quarantine);
+    let counts_fd = env.counts_fd;
+    let ext = Extension::new("dispatch-filter", ProgType::SocketFilter, move |ctx| {
+        let pkt = ctx.packet()?;
+        if pkt.len() < 2 {
+            return Ok(0);
+        }
+        let proto = (pkt.load_u8(0)? & (PROTO_CLASSES as u8 - 1)) as u32;
+        // Per-CPU slot: the handle resolves the current (pinned) CPU.
+        ctx.percpu_array(counts_fd)?.fetch_add_u64(proto, 0, 1)?;
+        Ok(pkt.len() as u64)
+    });
+    let (mut packets, mut accepted, mut errors) = (0u64, 0u64, 0u64);
+    for payload in rx.iter() {
+        packets += 1;
+        match runtime.run(&ext, ExtInput::Packet(payload)).result {
+            Ok(_) => accepted += 1,
+            Err(_) => errors += 1,
+        }
+    }
+    env.finish(shard, packets, accepted, errors)
+}
+
+/// Dispatches `packets` over `cfg.shards` concurrent shards through
+/// `backend` and merges the results deterministically.
+pub fn run_batched(backend: Backend, cfg: &DispatchConfig, packets: &[Vec<u8>]) -> DispatchReport {
+    let shards = cfg.shards.max(1);
+    let started = Instant::now();
+
+    let mut senders = Vec::with_capacity(shards);
+    let mut receivers = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = channel::unbounded::<Vec<u8>>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+
+    let reports = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| {
+                scope.spawn(move |_| match backend {
+                    Backend::Ebpf => run_shard_ebpf(cfg, shard, rx),
+                    Backend::SafeExt => run_shard_safe(cfg, shard, rx),
+                })
+            })
+            .collect();
+
+        // Feed the batch in global order; per-shard arrival order is the
+        // global order restricted to the shard, independent of scheduling.
+        for (i, pkt) in packets.iter().enumerate() {
+            let shard = shard_of(cfg.seed, i as u64, shards);
+            senders[shard].send(pkt.clone()).expect("shard alive");
+        }
+        drop(senders);
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard panicked"))
+            .collect::<Vec<ShardReport>>()
+    })
+    .expect("dispatch scope");
+
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+
+    let tagged: Vec<(usize, Vec<AuditEvent>)> =
+        reports.iter().map(|r| (r.shard, r.audit.clone())).collect();
+    let merged = merged_fingerprint(&tagged);
+
+    let mut metrics = MetricsSnapshot::default();
+    for r in &reports {
+        metrics.merge(&r.metrics);
+    }
+
+    let sim_elapsed_ns = reports.iter().map(|r| r.sim_ns).max().unwrap_or(0);
+
+    DispatchReport {
+        shards: reports,
+        merged_fingerprint: merged,
+        metrics,
+        elapsed_ns,
+        sim_elapsed_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_pure_and_in_range() {
+        for idx in 0..1000u64 {
+            let a = shard_of(42, idx, 4);
+            let b = shard_of(42, idx, 4);
+            assert_eq!(a, b);
+            assert!(a < 4);
+        }
+        // Different seeds produce different assignments somewhere.
+        assert!((0..1000u64).any(|i| shard_of(1, i, 4) != shard_of(2, i, 4)));
+    }
+
+    #[test]
+    fn assignment_spreads_over_shards() {
+        let mut seen = [0u64; 8];
+        for idx in 0..4096u64 {
+            seen[shard_of(7, idx, 8)] += 1;
+        }
+        assert!(seen.iter().all(|&n| n > 0), "some shard starved: {seen:?}");
+    }
+
+    #[test]
+    fn single_shard_batch_counts_protocols() {
+        let cfg = DispatchConfig {
+            shards: 1,
+            seed: 9,
+            ..Default::default()
+        };
+        let batch = make_packets(64);
+        for backend in [Backend::Ebpf, Backend::SafeExt] {
+            let report = run_batched(backend, &cfg, &batch);
+            assert_eq!(report.packets(), 64, "{backend:?}");
+            assert_eq!(report.errors(), 0, "{backend:?}");
+            // make_packets round-robins protocol classes.
+            assert_eq!(report.proto_counts(), [16, 16, 16, 16], "{backend:?}");
+            assert!(report.shards[0].pristine);
+            assert_eq!(report.metrics.packets, 64);
+            assert_eq!(report.metrics.runs, 64);
+        }
+    }
+
+    #[test]
+    fn totals_invariant_across_shard_counts() {
+        let batch = make_packets(96);
+        for backend in [Backend::Ebpf, Backend::SafeExt] {
+            let totals: Vec<_> = [1usize, 2, 4]
+                .iter()
+                .map(|&shards| {
+                    let cfg = DispatchConfig {
+                        shards,
+                        seed: 5,
+                        ..Default::default()
+                    };
+                    let r = run_batched(backend, &cfg, &batch);
+                    (r.packets(), r.accepted(), r.proto_counts())
+                })
+                .collect();
+            assert_eq!(totals[0], totals[1], "{backend:?}");
+            assert_eq!(totals[1], totals[2], "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn simulated_time_scales_with_shards() {
+        let batch = make_packets(256);
+        for backend in [Backend::Ebpf, Backend::SafeExt] {
+            let sim_ns: Vec<u64> = [1usize, 4]
+                .iter()
+                .map(|&shards| {
+                    let cfg = DispatchConfig {
+                        shards,
+                        seed: 3,
+                        ..Default::default()
+                    };
+                    run_batched(backend, &cfg, &batch).sim_elapsed_ns
+                })
+                .collect();
+            // Four simulated CPUs split the work, so the busiest shard's
+            // clock advances far less than the lone shard's.
+            assert!(
+                sim_ns[1] * 2 < sim_ns[0],
+                "{backend:?}: 4-shard sim time {} not < half of 1-shard {}",
+                sim_ns[1],
+                sim_ns[0]
+            );
+        }
+    }
+
+    #[test]
+    fn merged_fingerprint_replays_byte_identical() {
+        let batch = make_packets(48);
+        for backend in [Backend::Ebpf, Backend::SafeExt] {
+            let cfg = DispatchConfig {
+                shards: 4,
+                seed: 11,
+                fault: Some(FaultPlanConfig::default()),
+                ..Default::default()
+            };
+            let a = run_batched(backend, &cfg, &batch);
+            let b = run_batched(backend, &cfg, &batch);
+            assert_eq!(
+                a.merged_fingerprint, b.merged_fingerprint,
+                "{backend:?}: replay diverged"
+            );
+            assert_eq!(a.injected(), b.injected());
+        }
+    }
+}

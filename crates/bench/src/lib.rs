@@ -5,5 +5,6 @@
 //! the Criterion benches (`benches/`) and the `repro` binary, which
 //! regenerates every figure and table of the paper (see EXPERIMENTS.md).
 
+pub mod dispatch;
 pub mod experiments;
 pub mod workloads;

@@ -18,7 +18,7 @@ use std::sync::{
 };
 
 use ebpf::maps::MapRegistry;
-use kernel_sim::{audit::EventKind, exec::ExecReport, mem::Fault, Kernel};
+use kernel_sim::{audit::EventKind, exec::ExecReport, mem::Fault, Kernel, Metrics};
 use parking_lot::Mutex;
 
 use crate::{
@@ -430,6 +430,7 @@ impl<'k> Runtime<'k> {
                     | Abort::Panic(_),
                 ) => {
                     if q.note_kill(&ext.name) {
+                        Metrics::bump(&self.kernel.metrics.quarantine_trips, 1);
                         self.kernel.audit.record(
                             self.kernel.clock.now_ns(),
                             EventKind::Quarantined,
@@ -464,6 +465,13 @@ impl<'k> Runtime<'k> {
         let leak_report = ctx.exec.finish(self.kernel);
         let fuel_used = ctx.fuel_used();
         let printk = ctx.take_printk();
+
+        let metrics = &self.kernel.metrics;
+        Metrics::bump(&metrics.runs, 1);
+        if matches!(input, ExtInput::Packet(_)) {
+            Metrics::bump(&metrics.packets, 1);
+        }
+        metrics.run_cost.record(fuel_used);
 
         ExtOutcome {
             result,

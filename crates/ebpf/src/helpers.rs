@@ -71,7 +71,8 @@ pub struct FaultConfig {
     /// (Table 1, fixed March 2021).
     pub task_stack_refcount_leak: bool,
     /// 32-bit offset overflow when accessing ARRAY map elements
-    /// (Table 1, fixed July 2022).
+    /// (Table 1, fixed July 2022). The buggy code path is compiled only
+    /// with the `bug-replicas` feature; without it this toggle is inert.
     pub array_map_overflow: bool,
     /// Missing NULL-owner check in `bpf_task_storage_get`
     /// (Table 1, fixed January 2021).
@@ -1049,6 +1050,10 @@ fn h_map_lookup_elem(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Hel
         .mem
         .read_bytes(args[1], map.def.key_size as u64)?;
     let cpu = ctx.kernel.cpus.current_cpu();
+    // The buggy address path exists only in bug-reproduction builds; in a
+    // normal build the `array_map_overflow` toggle is inert and every
+    // lookup goes through the bounds-checked `Map::lookup` below.
+    #[cfg(any(test, feature = "bug-replicas"))]
     if ctx.faults.array_map_overflow && map.def.kind == crate::maps::MapKind::Array {
         // BUG replica [36]: 32-bit offset arithmetic without a range
         // re-check; huge indices wrap or escape the map region.

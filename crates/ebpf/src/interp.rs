@@ -14,6 +14,7 @@
 use kernel_sim::{
     exec::{ExecCtx, ExecReport},
     mem::{Addr, Fault, Perms},
+    metrics::Metrics,
     objects::SkBuff,
     oops::OopsReason,
     Kernel,
@@ -140,6 +141,12 @@ pub enum ExecError {
         /// Call site.
         pc: usize,
     },
+    /// `run` was asked for a program id that was never loaded (including
+    /// any id when no program has been loaded at all).
+    NoSuchProgram {
+        /// The requested program id.
+        id: u32,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -159,6 +166,7 @@ impl std::fmt::Display for ExecError {
             ExecError::InsnLimit { limit } => write!(f, "instruction budget {limit} exhausted"),
             ExecError::UnknownHelper { id, pc } => write!(f, "unknown helper {id} at pc {pc}"),
             ExecError::TailCallInSubprog { pc } => write!(f, "tail call in subprogram at pc {pc}"),
+            ExecError::NoSuchProgram { id } => write!(f, "program {id} has not been loaded"),
         }
     }
 }
@@ -260,8 +268,9 @@ impl<'a> Vm<'a> {
 
     /// Loads a program, returning its index (usable in prog-array maps).
     pub fn load(&mut self, prog: Program) -> u32 {
+        let id = self.programs.len() as u32;
         self.programs.push(prog);
-        (self.programs.len() - 1) as u32
+        id
     }
 
     /// Number of loaded programs.
@@ -269,31 +278,36 @@ impl<'a> Vm<'a> {
         self.programs.len()
     }
 
+    /// A `RunResult` for a run that aborted before executing anything.
+    fn aborted(err: ExecError) -> RunResult {
+        RunResult {
+            result: Err(err),
+            insns: 0,
+            helper_calls: 0,
+            max_depth: 0,
+            leak_report: ExecReport {
+                owner: 0,
+                leaked_refs: vec![],
+                leaked_locks: vec![],
+            },
+            printk: vec![],
+            perf_events: vec![],
+            redirects: 0,
+        }
+    }
+
     /// Runs program `prog_id` on `input`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `prog_id` has not been loaded.
+    /// An id that was never loaded — including any id while the program
+    /// list is empty — yields `ExecError::NoSuchProgram` rather than a
+    /// panic, so callers holding stale ids degrade gracefully.
     pub fn run(&self, prog_id: u32, input: CtxInput) -> RunResult {
-        let prog = &self.programs[prog_id as usize];
+        let Some(prog) = self.programs.get(prog_id as usize) else {
+            return Self::aborted(ExecError::NoSuchProgram { id: prog_id });
+        };
         let (ctx_addr, ctx_region, skb) = match self.build_ctx(prog.prog_type, &input) {
             Ok(parts) => parts,
-            Err(fault) => {
-                return RunResult {
-                    result: Err(ExecError::Fault { fault, pc: 0 }),
-                    insns: 0,
-                    helper_calls: 0,
-                    max_depth: 0,
-                    leak_report: ExecReport {
-                        owner: 0,
-                        leaked_refs: vec![],
-                        leaked_locks: vec![],
-                    },
-                    printk: vec![],
-                    perf_events: vec![],
-                    redirects: 0,
-                }
-            }
+            Err(fault) => return Self::aborted(ExecError::Fault { fault, pc: 0 }),
         };
 
         let mut st = St {
@@ -345,6 +359,15 @@ impl<'a> Vm<'a> {
 
         let leak_report = st.exec.finish(self.kernel);
         let _ = self.kernel.mem.unmap(ctx_region);
+
+        let metrics = &self.kernel.metrics;
+        Metrics::bump(&metrics.runs, 1);
+        if matches!(input, CtxInput::Packet(_)) {
+            Metrics::bump(&metrics.packets, 1);
+        }
+        Metrics::bump(&metrics.helper_calls, st.helper_calls);
+        metrics.run_cost.record(st.insns);
+
         RunResult {
             result,
             insns: st.insns,

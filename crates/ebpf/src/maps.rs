@@ -99,6 +99,11 @@ impl MapDef {
     }
 
     /// A ring buffer of `capacity` bytes.
+    ///
+    /// As in the kernel, `capacity` must be a power of two: the producer
+    /// offset is masked, not range-checked, so any other size corrupts the
+    /// accounting on wraparound. `MapRegistry::create` rejects other sizes
+    /// with [`MapError::BadDef`].
     pub fn ringbuf(name: &str, capacity: u32) -> Self {
         Self {
             kind: MapKind::RingBuf,
@@ -231,7 +236,11 @@ impl Map {
                 }
             }
             MapKind::RingBuf => {
-                if def.max_entries == 0 {
+                // Kernel ring buffers require a power-of-two size: the
+                // producer offset wraps by masking, and a non-power-of-two
+                // capacity silently corrupts the free-space accounting the
+                // first time the offset wraps. Reject rather than replicate.
+                if def.max_entries == 0 || !def.max_entries.is_power_of_two() {
                     return Err(MapError::BadDef);
                 }
                 MapInner::Ring {
@@ -271,6 +280,11 @@ impl Map {
     /// With a large `index`, `index * value_size` wraps in 32 bits and the
     /// resulting address escapes the element range; on a real kernel that
     /// is an out-of-bounds kernel access. Here it faults in checked memory.
+    ///
+    /// Only compiled for bug-reproduction builds (`bug-replicas` feature)
+    /// and this crate's own tests, so production consumers of `lookup` /
+    /// `update` / `elem_addr` cannot reach it.
+    #[cfg(any(test, feature = "bug-replicas"))]
     pub fn elem_addr_overflow_bug(&self, index: u32) -> Option<Addr> {
         let inner = self.inner.lock();
         match &*inner {
@@ -450,7 +464,10 @@ impl Map {
         let capacity = self.def.max_entries;
         match &mut *self.inner.lock() {
             MapInner::Ring { used, reserved, .. } => {
-                if *used + size > capacity {
+                // Widen before adding: `used + size` in u32 wraps for sizes
+                // near u32::MAX, which made oversized reservations look like
+                // they fit.
+                if *used as u64 + size as u64 > capacity as u64 {
                     return Ok(None);
                 }
                 let addr = mem.map(&format!("map:{name}:rec"), size as u64, Perms::rw())?;
@@ -504,7 +521,9 @@ impl Map {
             MapInner::Ring {
                 used, committed, ..
             } => {
-                if *used + data.len() as u32 > capacity {
+                // Same widening as `ringbuf_reserve`: the u32 sum wraps for
+                // data lengths near u32::MAX.
+                if *used as u64 + data.len() as u64 > capacity as u64 {
                     return Err(MapError::NoSpace);
                 }
                 *used += data.len() as u32;
@@ -774,6 +793,64 @@ mod tests {
         // And a non-wrapping large index escapes the region entirely.
         let buggy_oob = map.elem_addr_overflow_bug(0x10_000).unwrap();
         assert!(kernel.mem.read_u64(buggy_oob).is_err());
+    }
+
+    #[test]
+    fn ringbuf_rejects_non_power_of_two_capacity() {
+        let (kernel, reg) = kernel_and_registry();
+        for capacity in [3u32, 48, 100, 4095] {
+            assert_eq!(
+                reg.create(&kernel, MapDef::ringbuf("rb", capacity)),
+                Err(MapError::BadDef),
+                "capacity {capacity} must be rejected"
+            );
+        }
+        assert!(reg.create(&kernel, MapDef::ringbuf("rb", 4096)).is_ok());
+    }
+
+    #[test]
+    fn ringbuf_reserve_size_cannot_wrap_free_space_check() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::ringbuf("rb", 64)).unwrap();
+        let map = reg.get(fd).unwrap();
+        // Occupy part of the buffer so `used` is nonzero, then ask for a
+        // size whose u32 sum with `used` wraps past the capacity check.
+        assert!(map.ringbuf_reserve(&kernel.mem, 16).unwrap().is_some());
+        assert!(map
+            .ringbuf_reserve(&kernel.mem, u32::MAX - 8)
+            .unwrap()
+            .is_none());
+        let huge = vec![0u8; 80];
+        assert_eq!(map.ringbuf_output(&huge), Err(MapError::NoSpace));
+    }
+
+    #[test]
+    fn bounds_checked_lookups_reject_out_of_range_indexes() {
+        let (kernel, reg) = kernel_and_registry();
+        let fd = reg.create(&kernel, MapDef::array("a", 8, 4)).unwrap();
+        let map = reg.get(fd).unwrap();
+        let pfd = reg
+            .create(&kernel, MapDef::percpu_array("p", 8, 4))
+            .unwrap();
+        let pmap = reg.get(pfd).unwrap();
+        // Every production entry point rejects index >= max_entries,
+        // including the wrap-prone indexes the overflow replica mishandles.
+        for index in [4u32, 5, 0x10_000, 0x2000_0001, u32::MAX] {
+            let key = index.to_le_bytes();
+            assert_eq!(map.lookup(&key, 0).unwrap(), None);
+            assert_eq!(map.elem_addr(index, 0), None);
+            assert_eq!(
+                map.update(&kernel.mem, &key, &[0; 8], 0),
+                Err(MapError::IndexOutOfRange)
+            );
+            assert_eq!(pmap.lookup(&key, 0).unwrap(), None);
+            assert_eq!(pmap.elem_addr(index, 0), None);
+            assert_eq!(
+                pmap.update(&kernel.mem, &key, &[0; 8], 0),
+                Err(MapError::IndexOutOfRange)
+            );
+        }
+        assert!(map.lookup(&3u32.to_le_bytes(), 0).unwrap().is_some());
     }
 
     #[test]

@@ -31,6 +31,10 @@ fn insn_group() -> impl Strategy<Value = Vec<Insn>> {
         BPF_JA, BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JGE, BPF_JLT, BPF_JLE, BPF_JSGT, BPF_JSGE, BPF_JSLT,
         BPF_JSLE, BPF_JSET,
     ]);
+    let jmp32_op = prop::sample::select(vec![
+        BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JGE, BPF_JLT, BPF_JLE, BPF_JSGT, BPF_JSGE, BPF_JSLT,
+        BPF_JSLE, BPF_JSET,
+    ]);
     let size = prop::sample::select(vec![BPF_B, BPF_H, BPF_W, BPF_DW]);
     prop_oneof![
         (reg.clone(), alu_op.clone(), any::<i32>(), any::<bool>()).prop_map(
@@ -66,6 +70,21 @@ fn insn_group() -> impl Strategy<Value = Vec<Insn>> {
         (reg.clone(), jmp_op, any::<i32>(), any::<i16>()).prop_map(|(d, op, imm, off)| {
             vec![Insn::new(BPF_JMP | op | BPF_K, d, 0, off, imm)]
         }),
+        // JMP32: same opcodes minus JA (which is only valid in BPF_JMP),
+        // comparing just the low 32 bits of the registers.
+        (reg.clone(), jmp32_op, any::<i32>(), any::<i16>()).prop_map(|(d, op, imm, off)| {
+            vec![Insn::new(BPF_JMP32 | op | BPF_K, d, 0, off, imm)]
+        }),
+        // Byte-order conversions at every width, both directions.
+        (
+            reg.clone(),
+            prop::sample::select(vec![16i32, 32, 64]),
+            any::<bool>()
+        )
+            .prop_map(|(d, width, to_be)| {
+                let src_bit = if to_be { BPF_X } else { BPF_K };
+                vec![Insn::new(BPF_ALU | BPF_END | src_bit, d, 0, 0, width)]
+            }),
         (reg, any::<u64>()).prop_map(|(d, v)| {
             vec![
                 Insn::new(BPF_LD | BPF_IMM | BPF_DW, d, 0, 0, v as u32 as i32),

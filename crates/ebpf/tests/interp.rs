@@ -1091,3 +1091,31 @@ fn strtoul_helper_parses_unsigned() {
         .unwrap();
     assert_eq!(h.run_value(prog), 999);
 }
+
+#[test]
+fn run_on_empty_vm_reports_no_such_program() {
+    let h = Harness::new();
+    let vm = h.vm();
+    assert_eq!(vm.program_count(), 0);
+    // Regression: this used to panic on the out-of-range index (and the
+    // id computation in `load` used to rely on `len() - 1`).
+    let res = vm.run(0, CtxInput::None);
+    assert_eq!(res.result, Err(ExecError::NoSuchProgram { id: 0 }));
+    assert_eq!(res.insns, 0);
+}
+
+#[test]
+fn run_with_unloaded_id_reports_no_such_program() {
+    let h = Harness::new();
+    let mut vm = h.vm();
+    let prog = Asm::new().mov64_imm(Reg::R0, 7).exit().build().unwrap();
+    let first = vm.load(Program::new("t", ProgType::SocketFilter, prog.clone()));
+    let second = vm.load(Program::new("t2", ProgType::SocketFilter, prog));
+    // Loading hands out dense sequential ids starting at zero.
+    assert_eq!((first, second), (0, 1));
+    assert_eq!(vm.run(first, CtxInput::None).unwrap(), 7);
+    let res = vm.run(2, CtxInput::None);
+    assert_eq!(res.result, Err(ExecError::NoSuchProgram { id: 2 }));
+    let res = vm.run(u32::MAX, CtxInput::None);
+    assert_eq!(res.result, Err(ExecError::NoSuchProgram { id: u32::MAX }));
+}

@@ -289,3 +289,195 @@ proptest! {
         prop_assert_eq!(reparsed, insns, "text was:\n{}", text);
     }
 }
+
+// ---- 32-bit ALU / JMP32 / byte-order edge cases ----
+
+/// Runs `insns` on a fresh kernel and returns R0.
+fn run_prog(insns: Vec<Insn>) -> u64 {
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    let helpers = HelperRegistry::standard();
+    let mut vm = Vm::new(&kernel, &maps, &helpers);
+    let id = vm.load(Program::new("p", ProgType::SocketFilter, insns));
+    vm.run(id, CtxInput::None).unwrap()
+}
+
+/// 64-bit values biased toward the 32-bit sign/overflow boundaries where
+/// sign-extension bugs live.
+fn boundary_u64() -> impl Strategy<Value = u64> {
+    // The shim's prop_oneof! has no weighted form; repeating the random
+    // arm gives a 3:1 bias toward arbitrary values.
+    prop_oneof![
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        prop::sample::select(vec![
+            0u64,
+            1,
+            i32::MIN as u32 as u64,
+            i32::MAX as u64,
+            u32::MAX as u64,
+            i32::MIN as i64 as u64, // sign-extended into the high word
+            (i32::MIN as u32 as u64) | 1 << 32, // high garbage above a 32-bit value
+            u64::MAX,
+        ]),
+    ]
+}
+
+fn jmp_op_strategy() -> impl Strategy<Value = u8> {
+    prop::sample::select(vec![
+        BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JGE, BPF_JLT, BPF_JLE, BPF_JSET, BPF_JSGT, BPF_JSGE,
+        BPF_JSLT, BPF_JSLE,
+    ])
+}
+
+fn jmp32_oracle(op: u8, dst: u32, src: u32) -> bool {
+    match op {
+        BPF_JEQ => dst == src,
+        BPF_JNE => dst != src,
+        BPF_JGT => dst > src,
+        BPF_JGE => dst >= src,
+        BPF_JLT => dst < src,
+        BPF_JLE => dst <= src,
+        BPF_JSET => dst & src != 0,
+        BPF_JSGT => (dst as i32) > (src as i32),
+        BPF_JSGE => (dst as i32) >= (src as i32),
+        BPF_JSLT => (dst as i32) < (src as i32),
+        BPF_JSLE => (dst as i32) <= (src as i32),
+        _ => unreachable!(),
+    }
+}
+
+fn endian_oracle(v: u64, width: i32, to_be: bool) -> u64 {
+    match (to_be, width) {
+        // The model is little-endian, so to_le truncates to the width.
+        (false, 16) => v & 0xffff,
+        (false, 32) => v & 0xffff_ffff,
+        (false, 64) => v,
+        (true, 16) => (v as u16).swap_bytes() as u64,
+        (true, 32) => (v as u32).swap_bytes() as u64,
+        (true, 64) => v.swap_bytes(),
+        _ => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// JMP32 compares only the low 32 bits, with signedness per opcode;
+    /// high-word garbage must never leak into the comparison.
+    #[test]
+    fn jmp32_reg_matches_oracle(op in jmp_op_strategy(),
+                                dst in boundary_u64(), src in boundary_u64()) {
+        let insns = Asm::new()
+            .lddw(Reg::R1, dst)
+            .lddw(Reg::R2, src)
+            .mov64_imm(Reg::R0, 0)
+            .jmp32_reg(op, Reg::R1, Reg::R2, "taken")
+            .exit()
+            .label("taken")
+            .mov64_imm(Reg::R0, 1)
+            .exit()
+            .build()
+            .unwrap();
+        let want = jmp32_oracle(op, dst as u32, src as u32) as u64;
+        prop_assert_eq!(run_prog(insns), want);
+    }
+
+    /// The immediate form sign-extends `imm` to 64 bits and then truncates
+    /// to 32 for the comparison, i.e. behaves as `imm as u32`.
+    #[test]
+    fn jmp32_imm_matches_oracle(op in jmp_op_strategy(),
+                                dst in boundary_u64(), imm in any::<i32>()) {
+        let insns = Asm::new()
+            .lddw(Reg::R1, dst)
+            .mov64_imm(Reg::R0, 0)
+            .jmp32_imm(op, Reg::R1, imm, "taken")
+            .exit()
+            .label("taken")
+            .mov64_imm(Reg::R0, 1)
+            .exit()
+            .build()
+            .unwrap();
+        let want = jmp32_oracle(op, dst as u32, imm as u32) as u64;
+        prop_assert_eq!(run_prog(insns), want);
+    }
+
+    /// BPF_END on 16/32/64-bit widths against a host swap_bytes oracle.
+    #[test]
+    fn endian_matches_swap_bytes_oracle(v in boundary_u64(),
+                                        width in prop::sample::select(vec![16i32, 32, 64]),
+                                        to_be in any::<bool>()) {
+        let insns = Asm::new()
+            .lddw(Reg::R0, v)
+            .endian(Reg::R0, width, to_be)
+            .exit()
+            .build()
+            .unwrap();
+        prop_assert_eq!(run_prog(insns), endian_oracle(v, width, to_be));
+    }
+
+    /// ALU32 results are zero-extended into the full register, even when
+    /// the 32-bit result has its sign bit set (the classic sign-extension
+    /// mistake would smear ones into the high word).
+    #[test]
+    fn alu32_zero_extends_negative_results(dst in boundary_u64()) {
+        let insns = Asm::new()
+            .lddw(Reg::R1, dst)
+            .alu32_imm(BPF_NEG, Reg::R1, 0)
+            .mov64_reg(Reg::R0, Reg::R1)
+            .exit()
+            .build()
+            .unwrap();
+        let want = (dst as u32 as i32).wrapping_neg() as u32 as u64;
+        prop_assert_eq!(run_prog(insns), want);
+    }
+}
+
+#[test]
+fn alu32_edge_cases_at_i32_min() {
+    // NEG of i32::MIN wraps to itself and stays zero-extended.
+    let neg = Asm::new()
+        .lddw(Reg::R1, i32::MIN as u32 as u64)
+        .alu32_imm(BPF_NEG, Reg::R1, 0)
+        .mov64_reg(Reg::R0, Reg::R1)
+        .exit()
+        .build()
+        .unwrap();
+    assert_eq!(run_prog(neg), i32::MIN as u32 as u64);
+
+    // ARSH on i32::MIN shifts copies of the 32-bit sign bit in, but the
+    // 64-bit register stays zero-extended above bit 31.
+    let arsh = Asm::new()
+        .lddw(Reg::R1, i32::MIN as u32 as u64)
+        .alu32_imm(BPF_ARSH, Reg::R1, 31)
+        .mov64_reg(Reg::R0, Reg::R1)
+        .exit()
+        .build()
+        .unwrap();
+    assert_eq!(run_prog(arsh), u32::MAX as u64);
+
+    // MOV32 of a negative immediate zero-extends (no sign smear).
+    let mov = Asm::new().mov32_imm(Reg::R0, -1).exit().build().unwrap();
+    assert_eq!(run_prog(mov), u32::MAX as u64);
+}
+
+#[test]
+fn swap_bytes_known_answers() {
+    for (v, width, to_be, want) in [
+        (0x1122_3344_5566_7788u64, 16, true, 0x8877u64),
+        (0x1122_3344_5566_7788, 32, true, 0x8877_6655),
+        (0x1122_3344_5566_7788, 64, true, 0x8877_6655_4433_2211),
+        (0x1122_3344_5566_7788, 16, false, 0x7788),
+        (0x1122_3344_5566_7788, 32, false, 0x5566_7788),
+        (0x1122_3344_5566_7788, 64, false, 0x1122_3344_5566_7788),
+    ] {
+        let insns = Asm::new()
+            .lddw(Reg::R0, v)
+            .endian(Reg::R0, width, to_be)
+            .exit()
+            .build()
+            .unwrap();
+        assert_eq!(run_prog(insns), want, "v={v:#x} width={width} be={to_be}");
+    }
+}

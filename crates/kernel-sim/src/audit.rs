@@ -135,6 +135,46 @@ impl AuditLog {
     pub fn clear(&self) {
         self.events.lock().clear();
     }
+
+    /// The canonical fingerprint of everything recorded so far; see
+    /// [`fingerprint`].
+    pub fn fingerprint(&self) -> String {
+        fingerprint(&self.events.lock())
+    }
+}
+
+/// Serializes an audit snapshot into a canonical byte-comparable form:
+/// one `at_ns|kind|detail|fault` line per event.
+///
+/// This is the determinism contract of the soak and dispatch harnesses —
+/// two runs are "byte-identical" exactly when these strings match — so
+/// every consumer (soak replay, sharded merge, CI hashing) must use this
+/// one serialization.
+pub fn fingerprint(events: &[AuditEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "{}|{:?}|{}|{:?}\n",
+            e.at_ns, e.kind, e.detail, e.fault
+        ));
+    }
+    out
+}
+
+/// Merges per-shard audit snapshots into one canonical stream: shards are
+/// concatenated in ascending shard-id order, each section prefixed with a
+/// `== shard N ==` header. Because each shard's events are ordered by its
+/// own deterministic execution, the merged string is independent of the
+/// thread interleaving that produced the snapshots.
+pub fn merged_fingerprint(shards: &[(usize, Vec<AuditEvent>)]) -> String {
+    let mut ordered: Vec<&(usize, Vec<AuditEvent>)> = shards.iter().collect();
+    ordered.sort_by_key(|(shard, _)| *shard);
+    let mut out = String::new();
+    for (shard, events) in ordered {
+        out.push_str(&format!("== shard {shard} ==\n"));
+        out.push_str(&fingerprint(events));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -173,5 +213,39 @@ mod tests {
         assert!(!log.is_empty());
         log.clear();
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_canonical_and_order_sensitive() {
+        let log = AuditLog::default();
+        log.record(1, EventKind::Info, "a");
+        log.record_fault(2, EventKind::Oops, "b", Fault::NullDeref { addr: 0 });
+        let fp = log.fingerprint();
+        assert_eq!(fp, "1|Info|a|None\n2|Oops|b|Some(NullDeref { addr: 0 })\n");
+        // Same events in a different order fingerprint differently.
+        let events = log.snapshot();
+        let reversed: Vec<_> = events.iter().rev().cloned().collect();
+        assert_ne!(fingerprint(&reversed), fp);
+    }
+
+    #[test]
+    fn merged_fingerprint_sorts_by_shard_id() {
+        let a = vec![AuditEvent {
+            at_ns: 1,
+            kind: EventKind::Info,
+            detail: "a".into(),
+            fault: None,
+        }];
+        let b = vec![AuditEvent {
+            at_ns: 2,
+            kind: EventKind::Info,
+            detail: "b".into(),
+            fault: None,
+        }];
+        // Snapshot arrival order (join order, scheduling) must not matter.
+        let forward = merged_fingerprint(&[(0, a.clone()), (1, b.clone())]);
+        let backward = merged_fingerprint(&[(1, b), (0, a)]);
+        assert_eq!(forward, backward);
+        assert!(forward.starts_with("== shard 0 ==\n1|Info|a|None\n"));
     }
 }

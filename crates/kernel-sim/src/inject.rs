@@ -197,6 +197,9 @@ pub struct FaultPlane {
     clock: VirtualClock,
     dice: Mutex<Dice>,
     counts: [AtomicU64; 6],
+    /// Kernel metrics to count injections into, when armed via
+    /// [`crate::Kernel::arm_fault_plan`].
+    metrics: Option<Arc<crate::metrics::Metrics>>,
 }
 
 impl FaultPlane {
@@ -213,7 +216,14 @@ impl FaultPlane {
             audit,
             clock,
             counts: Default::default(),
+            metrics: None,
         }
+    }
+
+    /// Counts every injected fault into `metrics.fault_injections` too.
+    pub fn with_metrics(mut self, metrics: Arc<crate::metrics::Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The plan this plane was armed with.
@@ -237,6 +247,9 @@ impl FaultPlane {
 
     fn note(&self, site: FaultSite, detail: String) {
         self.counts[site.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(metrics) = &self.metrics {
+            crate::metrics::Metrics::bump(&metrics.fault_injections, 1);
+        }
         self.audit
             .record(self.clock.now_ns(), EventKind::FaultInjected, detail);
     }

@@ -7,6 +7,7 @@ use crate::{
     inject::{FaultPlan, FaultPlane, InjectSlot},
     locks::SpinTable,
     mem::KernelMem,
+    metrics::Metrics,
     objects::ObjectTable,
     oops::{OopsLog, OopsReason},
     percpu::CpuInfo,
@@ -75,6 +76,10 @@ pub struct Kernel {
     /// dispatch in the eBPF baseline. Armed together with every
     /// subsystem's slot by [`Kernel::arm_fault_plan`].
     pub inject: InjectSlot,
+    /// Runtime metrics, incremented by the extension frameworks and the
+    /// fault plane. Shared (`Arc`) so an armed [`FaultPlane`] can count
+    /// injections into it.
+    pub metrics: Arc<Metrics>,
 }
 
 impl Default for Kernel {
@@ -86,6 +91,13 @@ impl Default for Kernel {
 impl Kernel {
     /// Boots a kernel with the default topology and a fresh clock.
     pub fn new() -> Self {
+        Self::with_topology(CpuInfo::default())
+    }
+
+    /// Boots a kernel with an explicit CPU topology; the sharded dispatch
+    /// engine uses this to give each shard a kernel that knows the fleet
+    /// width and which CPU the shard is pinned to.
+    pub fn with_topology(cpus: CpuInfo) -> Self {
         let clock = VirtualClock::new();
         Self {
             rcu: Rcu::new(clock.clone()),
@@ -94,10 +106,11 @@ impl Kernel {
             locks: SpinTable::default(),
             refs: RefTable::default(),
             objects: ObjectTable::default(),
-            cpus: CpuInfo::default(),
+            cpus,
             audit: Arc::new(AuditLog::default()),
             oopses: OopsLog::default(),
             inject: InjectSlot::default(),
+            metrics: Arc::new(Metrics::new()),
         }
     }
 
@@ -112,11 +125,10 @@ impl Kernel {
     /// [`EventKind::FaultInjected`]. Returns the shared plane so callers
     /// can query injection counters.
     pub fn arm_fault_plan(&self, plan: FaultPlan) -> Arc<FaultPlane> {
-        let plane = Arc::new(FaultPlane::new(
-            plan,
-            Arc::clone(&self.audit),
-            self.clock.bare_handle(),
-        ));
+        let plane = Arc::new(
+            FaultPlane::new(plan, Arc::clone(&self.audit), self.clock.bare_handle())
+                .with_metrics(Arc::clone(&self.metrics)),
+        );
         self.mem.inject.arm(Arc::clone(&plane));
         self.locks.inject.arm(Arc::clone(&plane));
         self.rcu.inject.arm(Arc::clone(&plane));

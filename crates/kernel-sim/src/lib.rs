@@ -33,6 +33,7 @@ pub mod inject;
 pub mod kernel;
 pub mod locks;
 pub mod mem;
+pub mod metrics;
 pub mod objects;
 pub mod oops;
 pub mod percpu;
@@ -44,4 +45,5 @@ pub use exec::{ExecCtx, ExecReport};
 pub use inject::{FaultPlan, FaultPlanConfig, FaultPlane, FaultSite};
 pub use kernel::{HealthReport, Kernel};
 pub use mem::{Addr, Fault};
+pub use metrics::{HistSketch, HistSnapshot, Metrics, MetricsSnapshot};
 pub use oops::{Oops, OopsReason};

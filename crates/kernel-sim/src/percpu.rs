@@ -41,6 +41,29 @@ impl CpuInfo {
         *self.current.lock()
     }
 
+    /// Creates a topology with `nr_cpus` CPUs already migrated to `cpu`:
+    /// the shape a dispatch shard boots in, where shard *i* of *N* runs
+    /// pinned to CPU *i*.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu >= nr_cpus`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kernel_sim::percpu::CpuInfo;
+    ///
+    /// let cpus = CpuInfo::pinned(8, 3);
+    /// assert_eq!(cpus.nr_cpus(), 8);
+    /// assert_eq!(cpus.current_cpu(), 3);
+    /// ```
+    pub fn pinned(nr_cpus: usize, cpu: usize) -> Self {
+        let info = Self::new(nr_cpus);
+        info.set_current_cpu(cpu);
+        info
+    }
+
     /// Migrates the current execution to `cpu`.
     ///
     /// # Panics

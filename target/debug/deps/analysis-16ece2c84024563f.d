@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/analysis-16ece2c84024563f.d: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-16ece2c84024563f.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bugdb.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/datasets.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/kerngen.rs:
+crates/analysis/src/loc.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/analysis-a8211df05542270d.d: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs
+
+/root/repo/target/debug/deps/analysis-a8211df05542270d: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bugdb.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/datasets.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/kerngen.rs:
+crates/analysis/src/loc.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

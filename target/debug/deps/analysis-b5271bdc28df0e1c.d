@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/analysis-b5271bdc28df0e1c.d: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-b5271bdc28df0e1c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bugdb.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/datasets.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/kerngen.rs:
+crates/analysis/src/loc.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_pipeline-8381bef8fbbfe6ec.d: tests/baseline_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_pipeline-8381bef8fbbfe6ec.rmeta: tests/baseline_pipeline.rs Cargo.toml
+
+tests/baseline_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

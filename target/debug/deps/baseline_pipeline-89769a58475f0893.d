@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_pipeline-89769a58475f0893.d: tests/baseline_pipeline.rs
+
+/root/repo/target/debug/deps/baseline_pipeline-89769a58475f0893: tests/baseline_pipeline.rs
+
+tests/baseline_pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/bench-458875c7b228febc.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/bench-458875c7b228febc: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bench-716089dd15f21916.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench-716089dd15f21916.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

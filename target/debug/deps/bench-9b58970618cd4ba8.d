@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench-9b58970618cd4ba8.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-9b58970618cd4ba8.rlib: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libbench-9b58970618cd4ba8.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/callgraph_analysis-4d554f0f99ac18aa.d: crates/bench/benches/callgraph_analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcallgraph_analysis-4d554f0f99ac18aa.rmeta: crates/bench/benches/callgraph_analysis.rs Cargo.toml
+
+crates/bench/benches/callgraph_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_framework-69c638e2a1e38e8e.d: tests/cross_framework.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_framework-69c638e2a1e38e8e.rmeta: tests/cross_framework.rs Cargo.toml
+
+tests/cross_framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

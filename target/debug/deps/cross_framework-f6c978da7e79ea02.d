@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_framework-f6c978da7e79ea02.d: tests/cross_framework.rs
+
+/root/repo/target/debug/deps/cross_framework-f6c978da7e79ea02: tests/cross_framework.rs
+
+tests/cross_framework.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-abdc4e4c7d16e8b7.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-abdc4e4c7d16e8b7: tests/determinism.rs
+
+tests/determinism.rs:

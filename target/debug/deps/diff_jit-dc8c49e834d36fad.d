@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/diff_jit-dc8c49e834d36fad.d: crates/ebpf/tests/diff_jit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdiff_jit-dc8c49e834d36fad.rmeta: crates/ebpf/tests/diff_jit.rs Cargo.toml
+
+crates/ebpf/tests/diff_jit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/diff_jit-fc41b508a26052d6.d: crates/ebpf/tests/diff_jit.rs
+
+/root/repo/target/debug/deps/diff_jit-fc41b508a26052d6: crates/ebpf/tests/diff_jit.rs
+
+crates/ebpf/tests/diff_jit.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/ebpf-219582decc13a2b1.d: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs
+
+/root/repo/target/debug/deps/libebpf-219582decc13a2b1.rlib: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs
+
+/root/repo/target/debug/deps/libebpf-219582decc13a2b1.rmeta: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/asm.rs:
+crates/ebpf/src/disasm.rs:
+crates/ebpf/src/helpers.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/interp.rs:
+crates/ebpf/src/jit.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/program.rs:
+crates/ebpf/src/text.rs:
+crates/ebpf/src/version.rs:

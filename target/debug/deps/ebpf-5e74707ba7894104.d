@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/ebpf-5e74707ba7894104.d: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebpf-5e74707ba7894104.rmeta: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs Cargo.toml
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/asm.rs:
+crates/ebpf/src/disasm.rs:
+crates/ebpf/src/helpers.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/interp.rs:
+crates/ebpf/src/jit.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/program.rs:
+crates/ebpf/src/text.rs:
+crates/ebpf/src/version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ebpf-ae174c0916c92445.d: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs
+
+/root/repo/target/debug/deps/ebpf-ae174c0916c92445: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/asm.rs:
+crates/ebpf/src/disasm.rs:
+crates/ebpf/src/helpers.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/interp.rs:
+crates/ebpf/src/jit.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/program.rs:
+crates/ebpf/src/text.rs:
+crates/ebpf/src/version.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_corpus-018bc01f5512d025.d: tests/fault_corpus.rs
+
+/root/repo/target/debug/deps/fault_corpus-018bc01f5512d025: tests/fault_corpus.rs
+
+tests/fault_corpus.rs:

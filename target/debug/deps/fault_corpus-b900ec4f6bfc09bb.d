@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_corpus-b900ec4f6bfc09bb.d: tests/fault_corpus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_corpus-b900ec4f6bfc09bb.rmeta: tests/fault_corpus.rs Cargo.toml
+
+tests/fault_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hw_protection-008890de6d4978ca.d: tests/hw_protection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhw_protection-008890de6d4978ca.rmeta: tests/hw_protection.rs Cargo.toml
+
+tests/hw_protection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hw_protection-478350b991170d99.d: tests/hw_protection.rs
+
+/root/repo/target/debug/deps/hw_protection-478350b991170d99: tests/hw_protection.rs
+
+tests/hw_protection.rs:

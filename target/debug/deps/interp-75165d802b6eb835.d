@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp-75165d802b6eb835.d: crates/ebpf/tests/interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp-75165d802b6eb835.rmeta: crates/ebpf/tests/interp.rs Cargo.toml
+
+crates/ebpf/tests/interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp-b90c94394e2b8390.d: crates/ebpf/tests/interp.rs
+
+/root/repo/target/debug/deps/interp-b90c94394e2b8390: crates/ebpf/tests/interp.rs
+
+crates/ebpf/tests/interp.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/kernel_sim-a79ee05565843b38.d: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
+/root/repo/target/debug/deps/kernel_sim-a79ee05565843b38.d: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/metrics.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
 
-/root/repo/target/debug/deps/kernel_sim-a79ee05565843b38: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
+/root/repo/target/debug/deps/kernel_sim-a79ee05565843b38: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/metrics.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
 
 crates/kernel-sim/src/lib.rs:
 crates/kernel-sim/src/audit.rs:
@@ -9,6 +9,7 @@ crates/kernel-sim/src/inject.rs:
 crates/kernel-sim/src/kernel.rs:
 crates/kernel-sim/src/locks.rs:
 crates/kernel-sim/src/mem.rs:
+crates/kernel-sim/src/metrics.rs:
 crates/kernel-sim/src/objects.rs:
 crates/kernel-sim/src/oops.rs:
 crates/kernel-sim/src/percpu.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/kernel_sim-c6c42acdfdf79f29.d: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/kernel_sim-c6c42acdfdf79f29.d: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/metrics.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs Cargo.toml
 
-/root/repo/target/debug/deps/libkernel_sim-c6c42acdfdf79f29.rmeta: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs Cargo.toml
+/root/repo/target/debug/deps/libkernel_sim-c6c42acdfdf79f29.rmeta: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/metrics.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs Cargo.toml
 
 crates/kernel-sim/src/lib.rs:
 crates/kernel-sim/src/audit.rs:
@@ -9,6 +9,7 @@ crates/kernel-sim/src/inject.rs:
 crates/kernel-sim/src/kernel.rs:
 crates/kernel-sim/src/locks.rs:
 crates/kernel-sim/src/mem.rs:
+crates/kernel-sim/src/metrics.rs:
 crates/kernel-sim/src/objects.rs:
 crates/kernel-sim/src/oops.rs:
 crates/kernel-sim/src/percpu.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/load_time-3c7d30674d0a88f6.d: crates/bench/benches/load_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libload_time-3c7d30674d0a88f6.rmeta: crates/bench/benches/load_time.rs Cargo.toml
+
+crates/bench/benches/load_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

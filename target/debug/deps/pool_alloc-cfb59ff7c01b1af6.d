@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_alloc-cfb59ff7c01b1af6.d: crates/bench/benches/pool_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_alloc-cfb59ff7c01b1af6.rmeta: crates/bench/benches/pool_alloc.rs Cargo.toml
+
+crates/bench/benches/pool_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

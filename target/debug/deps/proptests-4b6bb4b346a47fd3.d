@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4b6bb4b346a47fd3.d: crates/ebpf/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-4b6bb4b346a47fd3: crates/ebpf/tests/proptests.rs
+
+crates/ebpf/tests/proptests.rs:

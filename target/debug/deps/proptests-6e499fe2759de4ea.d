@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6e499fe2759de4ea.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6e499fe2759de4ea: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

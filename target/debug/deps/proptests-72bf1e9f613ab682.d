@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-72bf1e9f613ab682.d: crates/ebpf/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-72bf1e9f613ab682.rmeta: crates/ebpf/tests/proptests.rs Cargo.toml
+
+crates/ebpf/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7f73166f6a99185a.d: crates/verifier/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7f73166f6a99185a: crates/verifier/tests/proptests.rs
+
+crates/verifier/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ae87584b93bb36d7.d: crates/verifier/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ae87584b93bb36d7.rmeta: crates/verifier/tests/proptests.rs Cargo.toml
+
+crates/verifier/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7286b12d713e5dd6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7286b12d713e5dd6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

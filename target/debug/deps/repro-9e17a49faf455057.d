@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9e17a49faf455057.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9e17a49faf455057: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

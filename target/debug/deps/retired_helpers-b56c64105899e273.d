@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retired_helpers-b56c64105899e273.d: tests/retired_helpers.rs
+
+/root/repo/target/debug/deps/retired_helpers-b56c64105899e273: tests/retired_helpers.rs
+
+tests/retired_helpers.rs:

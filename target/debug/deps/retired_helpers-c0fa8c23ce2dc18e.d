@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/retired_helpers-c0fa8c23ce2dc18e.d: tests/retired_helpers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libretired_helpers-c0fa8c23ce2dc18e.rmeta: tests/retired_helpers.rs Cargo.toml
+
+tests/retired_helpers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-6ae6b9540ff0b874.d: crates/core/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-6ae6b9540ff0b874: crates/core/tests/runtime.rs
+
+crates/core/tests/runtime.rs:

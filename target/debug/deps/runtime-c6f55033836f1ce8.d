@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-c6f55033836f1ce8.d: crates/core/tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-c6f55033836f1ce8.rmeta: crates/core/tests/runtime.rs Cargo.toml
+
+crates/core/tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_overhead-358cd968bb9afa25.d: crates/bench/benches/runtime_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_overhead-358cd968bb9afa25.rmeta: crates/bench/benches/runtime_overhead.rs Cargo.toml
+
+crates/bench/benches/runtime_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/safe_ext-9960481d720f12d3.d: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/libsafe_ext-9960481d720f12d3.rlib: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/libsafe_ext-9960481d720f12d3.rmeta: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cleanup.rs:
+crates/core/src/error.rs:
+crates/core/src/ext.rs:
+crates/core/src/kernel_crate.rs:
+crates/core/src/loader.rs:
+crates/core/src/pool.rs:
+crates/core/src/props.rs:
+crates/core/src/retired.rs:
+crates/core/src/runtime.rs:
+crates/core/src/toolchain.rs:

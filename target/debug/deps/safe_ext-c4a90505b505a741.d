@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/safe_ext-c4a90505b505a741.d: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsafe_ext-c4a90505b505a741.rmeta: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cleanup.rs:
+crates/core/src/error.rs:
+crates/core/src/ext.rs:
+crates/core/src/kernel_crate.rs:
+crates/core/src/loader.rs:
+crates/core/src/pool.rs:
+crates/core/src/props.rs:
+crates/core/src/retired.rs:
+crates/core/src/runtime.rs:
+crates/core/src/toolchain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

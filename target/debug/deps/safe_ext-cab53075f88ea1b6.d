@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/safe_ext-cab53075f88ea1b6.d: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs
+
+/root/repo/target/debug/deps/safe_ext-cab53075f88ea1b6: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cleanup.rs:
+crates/core/src/error.rs:
+crates/core/src/ext.rs:
+crates/core/src/kernel_crate.rs:
+crates/core/src/loader.rs:
+crates/core/src/pool.rs:
+crates/core/src/props.rs:
+crates/core/src/retired.rs:
+crates/core/src/runtime.rs:
+crates/core/src/toolchain.rs:

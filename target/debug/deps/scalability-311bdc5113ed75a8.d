@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-311bdc5113ed75a8.d: crates/bench/tests/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-311bdc5113ed75a8.rmeta: crates/bench/tests/scalability.rs Cargo.toml
+
+crates/bench/tests/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

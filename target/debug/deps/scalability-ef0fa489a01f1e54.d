@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-ef0fa489a01f1e54.d: crates/bench/tests/scalability.rs
+
+/root/repo/target/debug/deps/scalability-ef0fa489a01f1e54: crates/bench/tests/scalability.rs
+
+crates/bench/tests/scalability.rs:

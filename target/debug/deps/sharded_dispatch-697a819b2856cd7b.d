@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_dispatch-697a819b2856cd7b.d: tests/sharded_dispatch.rs
+
+/root/repo/target/debug/deps/sharded_dispatch-697a819b2856cd7b: tests/sharded_dispatch.rs
+
+tests/sharded_dispatch.rs:

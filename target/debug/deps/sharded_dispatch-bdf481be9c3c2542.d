@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded_dispatch-bdf481be9c3c2542.d: tests/sharded_dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded_dispatch-bdf481be9c3c2542.rmeta: tests/sharded_dispatch.rs Cargo.toml
+
+tests/sharded_dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/signed_loading-0e78951fd234e9f8.d: tests/signed_loading.rs
+
+/root/repo/target/debug/deps/signed_loading-0e78951fd234e9f8: tests/signed_loading.rs
+
+tests/signed_loading.rs:

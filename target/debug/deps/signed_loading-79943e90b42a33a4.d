@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/signed_loading-79943e90b42a33a4.d: tests/signed_loading.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsigned_loading-79943e90b42a33a4.rmeta: tests/signed_loading.rs Cargo.toml
+
+tests/signed_loading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-142b177fe41299aa.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-142b177fe41299aa: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

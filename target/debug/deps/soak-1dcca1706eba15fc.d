@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak-1dcca1706eba15fc.d: crates/bench/src/bin/soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak-1dcca1706eba15fc.rmeta: crates/bench/src/bin/soak.rs Cargo.toml
+
+crates/bench/src/bin/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

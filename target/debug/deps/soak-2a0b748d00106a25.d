@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak-2a0b748d00106a25.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/debug/deps/soak-2a0b748d00106a25: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

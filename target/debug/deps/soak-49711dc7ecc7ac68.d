@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak-49711dc7ecc7ac68.d: crates/bench/src/bin/soak.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak-49711dc7ecc7ac68.rmeta: crates/bench/src/bin/soak.rs Cargo.toml
+
+crates/bench/src/bin/soak.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

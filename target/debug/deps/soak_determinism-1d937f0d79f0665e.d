@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soak_determinism-1d937f0d79f0665e.d: tests/soak_determinism.rs
+
+/root/repo/target/debug/deps/soak_determinism-1d937f0d79f0665e: tests/soak_determinism.rs
+
+tests/soak_determinism.rs:

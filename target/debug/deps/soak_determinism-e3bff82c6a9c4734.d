@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soak_determinism-e3bff82c6a9c4734.d: tests/soak_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoak_determinism-e3bff82c6a9c4734.rmeta: tests/soak_determinism.rs Cargo.toml
+
+tests/soak_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_properties-65bba01074f42957.d: tests/table2_properties.rs
+
+/root/repo/target/debug/deps/table2_properties-65bba01074f42957: tests/table2_properties.rs
+
+tests/table2_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_properties-7ec4292d82aa1f14.d: tests/table2_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_properties-7ec4292d82aa1f14.rmeta: tests/table2_properties.rs Cargo.toml
+
+tests/table2_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/termination-0e23ebec58b960a4.d: crates/bench/benches/termination.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtermination-0e23ebec58b960a4.rmeta: crates/bench/benches/termination.rs Cargo.toml
+
+crates/bench/benches/termination.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

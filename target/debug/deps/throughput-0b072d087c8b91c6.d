@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-0b072d087c8b91c6.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-0b072d087c8b91c6: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-b4b18bc60b33a7d4.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-b4b18bc60b33a7d4: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/untenable-01a89572f2d73d72.d: src/lib.rs
+
+/root/repo/target/debug/deps/libuntenable-01a89572f2d73d72.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libuntenable-01a89572f2d73d72.rmeta: src/lib.rs
+
+src/lib.rs:

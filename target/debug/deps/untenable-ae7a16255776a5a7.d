@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/untenable-ae7a16255776a5a7.d: src/lib.rs
+
+/root/repo/target/debug/deps/untenable-ae7a16255776a5a7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verification_scaling-a5840b67dbaf23f2.d: crates/bench/benches/verification_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverification_scaling-a5840b67dbaf23f2.rmeta: crates/bench/benches/verification_scaling.rs Cargo.toml
+
+crates/bench/benches/verification_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

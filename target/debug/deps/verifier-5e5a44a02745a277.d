@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/verifier-5e5a44a02745a277.d: crates/verifier/src/lib.rs crates/verifier/src/check_call.rs crates/verifier/src/check_lock.rs crates/verifier/src/check_loop_helper.rs crates/verifier/src/check_mem.rs crates/verifier/src/check_packet.rs crates/verifier/src/check_ref.rs crates/verifier/src/check_ringbuf.rs crates/verifier/src/checker.rs crates/verifier/src/error.rs crates/verifier/src/faults.rs crates/verifier/src/features.rs crates/verifier/src/limits.rs crates/verifier/src/loops.rs crates/verifier/src/scalar.rs crates/verifier/src/spec.rs crates/verifier/src/stats.rs crates/verifier/src/tnum.rs crates/verifier/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverifier-5e5a44a02745a277.rmeta: crates/verifier/src/lib.rs crates/verifier/src/check_call.rs crates/verifier/src/check_lock.rs crates/verifier/src/check_loop_helper.rs crates/verifier/src/check_mem.rs crates/verifier/src/check_packet.rs crates/verifier/src/check_ref.rs crates/verifier/src/check_ringbuf.rs crates/verifier/src/checker.rs crates/verifier/src/error.rs crates/verifier/src/faults.rs crates/verifier/src/features.rs crates/verifier/src/limits.rs crates/verifier/src/loops.rs crates/verifier/src/scalar.rs crates/verifier/src/spec.rs crates/verifier/src/stats.rs crates/verifier/src/tnum.rs crates/verifier/src/types.rs Cargo.toml
+
+crates/verifier/src/lib.rs:
+crates/verifier/src/check_call.rs:
+crates/verifier/src/check_lock.rs:
+crates/verifier/src/check_loop_helper.rs:
+crates/verifier/src/check_mem.rs:
+crates/verifier/src/check_packet.rs:
+crates/verifier/src/check_ref.rs:
+crates/verifier/src/check_ringbuf.rs:
+crates/verifier/src/checker.rs:
+crates/verifier/src/error.rs:
+crates/verifier/src/faults.rs:
+crates/verifier/src/features.rs:
+crates/verifier/src/limits.rs:
+crates/verifier/src/loops.rs:
+crates/verifier/src/scalar.rs:
+crates/verifier/src/spec.rs:
+crates/verifier/src/stats.rs:
+crates/verifier/src/tnum.rs:
+crates/verifier/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify-01dbd53a69d083a9.d: crates/verifier/tests/verify.rs
+
+/root/repo/target/debug/deps/verify-01dbd53a69d083a9: crates/verifier/tests/verify.rs
+
+crates/verifier/tests/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify-d2e55d8ef42c895c.d: crates/verifier/tests/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify-d2e55d8ef42c895c.rmeta: crates/verifier/tests/verify.rs Cargo.toml
+
+crates/verifier/tests/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

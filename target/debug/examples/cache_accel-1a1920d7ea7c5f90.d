@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cache_accel-1a1920d7ea7c5f90.d: examples/cache_accel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcache_accel-1a1920d7ea7c5f90.rmeta: examples/cache_accel.rs Cargo.toml
+
+examples/cache_accel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

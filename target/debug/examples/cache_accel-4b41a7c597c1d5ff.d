@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_accel-4b41a7c597c1d5ff.d: examples/cache_accel.rs
+
+/root/repo/target/debug/examples/cache_accel-4b41a7c597c1d5ff: examples/cache_accel.rs
+
+examples/cache_accel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_filter-6d457118d9461a45.d: examples/packet_filter.rs
+
+/root/repo/target/debug/examples/packet_filter-6d457118d9461a45: examples/packet_filter.rs
+
+examples/packet_filter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/packet_filter-e4907923117049c3.d: examples/packet_filter.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpacket_filter-e4907923117049c3.rmeta: examples/packet_filter.rs Cargo.toml
+
+examples/packet_filter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a6dcf989673cdd16.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a6dcf989673cdd16: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/signed_workflow-d01cc23acc39ca6e.d: examples/signed_workflow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsigned_workflow-d01cc23acc39ca6e.rmeta: examples/signed_workflow.rs Cargo.toml
+
+examples/signed_workflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

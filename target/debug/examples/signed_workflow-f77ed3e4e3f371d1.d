@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/signed_workflow-f77ed3e4e3f371d1.d: examples/signed_workflow.rs
+
+/root/repo/target/debug/examples/signed_workflow-f77ed3e4e3f371d1: examples/signed_workflow.rs
+
+examples/signed_workflow.rs:

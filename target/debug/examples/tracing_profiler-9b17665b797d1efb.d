@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tracing_profiler-9b17665b797d1efb.d: examples/tracing_profiler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtracing_profiler-9b17665b797d1efb.rmeta: examples/tracing_profiler.rs Cargo.toml
+
+examples/tracing_profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

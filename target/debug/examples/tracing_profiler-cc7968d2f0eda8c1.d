@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tracing_profiler-cc7968d2f0eda8c1.d: examples/tracing_profiler.rs
+
+/root/repo/target/debug/examples/tracing_profiler-cc7968d2f0eda8c1: examples/tracing_profiler.rs
+
+examples/tracing_profiler.rs:

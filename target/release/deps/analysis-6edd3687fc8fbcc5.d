@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/analysis-6edd3687fc8fbcc5.d: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs
+
+/root/repo/target/release/deps/libanalysis-6edd3687fc8fbcc5.rlib: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs
+
+/root/repo/target/release/deps/libanalysis-6edd3687fc8fbcc5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bugdb.rs crates/analysis/src/callgraph.rs crates/analysis/src/datasets.rs crates/analysis/src/figures.rs crates/analysis/src/kerngen.rs crates/analysis/src/loc.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bugdb.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/datasets.rs:
+crates/analysis/src/figures.rs:
+crates/analysis/src/kerngen.rs:
+crates/analysis/src/loc.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

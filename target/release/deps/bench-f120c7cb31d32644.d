@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/bench-f120c7cb31d32644.d: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libbench-f120c7cb31d32644.rlib: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libbench-f120c7cb31d32644.rmeta: crates/bench/src/lib.rs crates/bench/src/dispatch.rs crates/bench/src/experiments.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/dispatch.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/ebpf-54de5be0958321cb.d: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs
+
+/root/repo/target/release/deps/libebpf-54de5be0958321cb.rlib: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs
+
+/root/repo/target/release/deps/libebpf-54de5be0958321cb.rmeta: crates/ebpf/src/lib.rs crates/ebpf/src/asm.rs crates/ebpf/src/disasm.rs crates/ebpf/src/helpers.rs crates/ebpf/src/insn.rs crates/ebpf/src/interp.rs crates/ebpf/src/jit.rs crates/ebpf/src/maps.rs crates/ebpf/src/program.rs crates/ebpf/src/text.rs crates/ebpf/src/version.rs
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/asm.rs:
+crates/ebpf/src/disasm.rs:
+crates/ebpf/src/helpers.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/interp.rs:
+crates/ebpf/src/jit.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/program.rs:
+crates/ebpf/src/text.rs:
+crates/ebpf/src/version.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/kernel_sim-800cd5e03f0d55b7.d: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
+/root/repo/target/release/deps/kernel_sim-800cd5e03f0d55b7.d: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/metrics.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
 
-/root/repo/target/release/deps/libkernel_sim-800cd5e03f0d55b7.rlib: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
+/root/repo/target/release/deps/libkernel_sim-800cd5e03f0d55b7.rlib: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/metrics.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
 
-/root/repo/target/release/deps/libkernel_sim-800cd5e03f0d55b7.rmeta: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
+/root/repo/target/release/deps/libkernel_sim-800cd5e03f0d55b7.rmeta: crates/kernel-sim/src/lib.rs crates/kernel-sim/src/audit.rs crates/kernel-sim/src/exec.rs crates/kernel-sim/src/inject.rs crates/kernel-sim/src/kernel.rs crates/kernel-sim/src/locks.rs crates/kernel-sim/src/mem.rs crates/kernel-sim/src/metrics.rs crates/kernel-sim/src/objects.rs crates/kernel-sim/src/oops.rs crates/kernel-sim/src/percpu.rs crates/kernel-sim/src/rcu.rs crates/kernel-sim/src/refcount.rs crates/kernel-sim/src/time.rs
 
 crates/kernel-sim/src/lib.rs:
 crates/kernel-sim/src/audit.rs:
@@ -11,6 +11,7 @@ crates/kernel-sim/src/inject.rs:
 crates/kernel-sim/src/kernel.rs:
 crates/kernel-sim/src/locks.rs:
 crates/kernel-sim/src/mem.rs:
+crates/kernel-sim/src/metrics.rs:
 crates/kernel-sim/src/objects.rs:
 crates/kernel-sim/src/oops.rs:
 crates/kernel-sim/src/percpu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-f9dba543a5279a7d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-f9dba543a5279a7d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/safe_ext-133ba5f3d7cdeef4.d: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs
+
+/root/repo/target/release/deps/libsafe_ext-133ba5f3d7cdeef4.rlib: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs
+
+/root/repo/target/release/deps/libsafe_ext-133ba5f3d7cdeef4.rmeta: crates/core/src/lib.rs crates/core/src/cleanup.rs crates/core/src/error.rs crates/core/src/ext.rs crates/core/src/kernel_crate.rs crates/core/src/loader.rs crates/core/src/pool.rs crates/core/src/props.rs crates/core/src/retired.rs crates/core/src/runtime.rs crates/core/src/toolchain.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cleanup.rs:
+crates/core/src/error.rs:
+crates/core/src/ext.rs:
+crates/core/src/kernel_crate.rs:
+crates/core/src/loader.rs:
+crates/core/src/pool.rs:
+crates/core/src/props.rs:
+crates/core/src/retired.rs:
+crates/core/src/runtime.rs:
+crates/core/src/toolchain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soak-c72aee423cc5bc04.d: crates/bench/src/bin/soak.rs
+
+/root/repo/target/release/deps/soak-c72aee423cc5bc04: crates/bench/src/bin/soak.rs
+
+crates/bench/src/bin/soak.rs:

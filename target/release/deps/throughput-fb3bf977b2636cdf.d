@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-fb3bf977b2636cdf.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-fb3bf977b2636cdf: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/untenable-713d8d79368e8a23.d: src/lib.rs
+
+/root/repo/target/release/deps/libuntenable-713d8d79368e8a23.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libuntenable-713d8d79368e8a23.rmeta: src/lib.rs
+
+src/lib.rs:
