@@ -34,4 +34,16 @@ if [ "$smoke_a" != "$smoke_b" ]; then
     exit 1
 fi
 
+echo "==> net-bench determinism smoke (1 vs 2 shards, faults armed)"
+# The smoke run already fails if the canonical per-packet log differs
+# between 1 and 2 shards; hashing two separate invocations additionally
+# catches cross-process nondeterminism, as above.
+net_a=$(cargo run --release -q -p bench --bin netbench -- --smoke | grep '^NET_CANONICAL_SHA256')
+net_b=$(cargo run --release -q -p bench --bin netbench -- --smoke | grep '^NET_CANONICAL_SHA256')
+if [ "$net_a" != "$net_b" ]; then
+    echo "CI: net canonical-log hashes differ between same-seed smoke runs" >&2
+    printf 'run A:\n%s\nrun B:\n%s\n' "$net_a" "$net_b" >&2
+    exit 1
+fi
+
 echo "CI: all gates passed"

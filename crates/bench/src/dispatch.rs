@@ -198,7 +198,7 @@ impl DispatchReport {
 
 /// splitmix64: the finalizer used to derive per-packet and per-shard
 /// streams from the master seed.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -232,6 +232,52 @@ pub fn make_packets(n: usize) -> Vec<Vec<u8>> {
             pkt
         })
         .collect()
+}
+
+/// The generic sharded-execution scaffold shared by the proto-count
+/// dispatch engine and the net-flow engine ([`crate::netflows`]): spawns
+/// one worker per shard inside a crossbeam scope, feeds `items` (already
+/// tagged with their target shard) in iteration order — so each shard's
+/// channel sees the global order restricted to that shard, independent
+/// of thread scheduling — and returns the per-shard results in shard-id
+/// order.
+pub(crate) fn run_sharded<T, R, F>(
+    shards: usize,
+    items: impl Iterator<Item = (usize, T)>,
+    worker: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, channel::Receiver<T>) -> R + Sync,
+{
+    let shards = shards.max(1);
+    let mut senders = Vec::with_capacity(shards);
+    let mut receivers = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = channel::unbounded::<T>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    crossbeam::thread::scope(|scope| {
+        let worker = &worker;
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| scope.spawn(move |_| worker(shard, rx)))
+            .collect();
+        for (shard, item) in items {
+            if senders[shard].send(item).is_err() {
+                unreachable!("shard receiver dropped before feed finished");
+            }
+        }
+        drop(senders);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard panicked"))
+            .collect::<Vec<R>>()
+    })
+    .expect("sharded scope")
 }
 
 /// One shard's private world: kernel (pinned CPU), maps, and the per-CPU
@@ -374,40 +420,16 @@ pub fn run_batched(backend: Backend, cfg: &DispatchConfig, packets: &[Vec<u8>]) 
     let shards = cfg.shards.max(1);
     let started = Instant::now();
 
-    let mut senders = Vec::with_capacity(shards);
-    let mut receivers = Vec::with_capacity(shards);
-    for _ in 0..shards {
-        let (tx, rx) = channel::unbounded::<Vec<u8>>();
-        senders.push(tx);
-        receivers.push(rx);
-    }
-
-    let reports = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(shard, rx)| {
-                scope.spawn(move |_| match backend {
-                    Backend::Ebpf => run_shard_ebpf(cfg, shard, rx),
-                    Backend::SafeExt => run_shard_safe(cfg, shard, rx),
-                })
-            })
-            .collect();
-
-        // Feed the batch in global order; per-shard arrival order is the
-        // global order restricted to the shard, independent of scheduling.
-        for (i, pkt) in packets.iter().enumerate() {
-            let shard = shard_of(cfg.seed, i as u64, shards);
-            senders[shard].send(pkt.clone()).expect("shard alive");
-        }
-        drop(senders);
-
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard panicked"))
-            .collect::<Vec<ShardReport>>()
-    })
-    .expect("dispatch scope");
+    // Feed the batch in global order; per-shard arrival order is the
+    // global order restricted to the shard, independent of scheduling.
+    let items = packets
+        .iter()
+        .enumerate()
+        .map(|(i, pkt)| (shard_of(cfg.seed, i as u64, shards), pkt.clone()));
+    let reports = run_sharded(shards, items, |shard, rx| match backend {
+        Backend::Ebpf => run_shard_ebpf(cfg, shard, rx),
+        Backend::SafeExt => run_shard_safe(cfg, shard, rx),
+    });
 
     let elapsed_ns = started.elapsed().as_nanos() as u64;
 

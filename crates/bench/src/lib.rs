@@ -7,4 +7,5 @@
 
 pub mod dispatch;
 pub mod experiments;
+pub mod netflows;
 pub mod workloads;

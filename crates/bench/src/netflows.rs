@@ -1,0 +1,990 @@
+//! Flow-steered sharded network engine: XDP-style sample extensions in
+//! both frameworks, driven over the simulated network stack.
+//!
+//! Two scenarios, each implemented twice with identical semantics — once
+//! as eBPF assembly (run by the interpreter) and once as a safe-Rust
+//! closure (run by the safe-ext runtime):
+//!
+//! - **SYN-flood filter**: tracks flows through conntrack
+//!   (`bpf_ct_observe` / [`safe_ext::ExtCtx::ct_observe`]) and counts
+//!   half-open connections per source IP in a hash map; a source that
+//!   accumulates [`SYN_HALFOPEN_THRESHOLD`] half-opens has further SYNs
+//!   dropped. Completing a handshake refunds the source's budget.
+//! - **L4 load balancer**: hashes the 5-tuple, picks one of
+//!   [`LB_BACKENDS`] backends, bumps its counter in an array map,
+//!   rewrites the destination IP (`bpf_xdp_store_bytes` /
+//!   `PacketView::store_bytes`), recomputes the IP header checksum in
+//!   program code, and returns `XDP_TX`.
+//!
+//! # Determinism contract
+//!
+//! The proto-count engine ([`crate::dispatch`]) guarantees *replay*
+//! determinism: the merged audit fingerprint is a pure function of
+//! `(backend, seed, shard_count, batch)`. This engine keeps that and adds
+//! a stronger, *shard-count-invariant* artifact: the canonical per-packet
+//! record log (`idx|class|verdict|ct|cost_ns|injected`, sorted by global
+//! packet index) is byte-identical at any shard count — including with a
+//! fault plan armed. Four decisions make that hold:
+//!
+//! 1. **RSS flow steering.** Packets are routed to shards by a hash of
+//!    the `(src_ip, dst_ip, proto)` 2-tuple ([`steer_shard`]), not by
+//!    packet index — so every packet of a flow, and every flow of a
+//!    source IP, lands on the same shard at any shard count. All
+//!    cross-packet extension state (conntrack entries, per-source SYN
+//!    budgets) is therefore partition-local and sees the same
+//!    subsequence regardless of the partition count. Frames that do not
+//!    parse are steered by a hash of their raw bytes; the generator
+//!    gives them unique source addresses, so they share state with
+//!    nothing.
+//! 2. **Per-packet fault arming.** When a fault plan is armed, the
+//!    engine re-arms the shard kernel before *every packet* with a seed
+//!    derived from the packet's global index ([`packet_fault_seed`]), so
+//!    injection decisions are a pure function of the packet, not of
+//!    which shard ran it or what ran before it on that shard.
+//! 3. **Per-packet virtual cost.** `cost_ns` is the shard clock's
+//!    advance across the one run, which depends only on the packet's own
+//!    execution path (instructions, helper traffic, injected delays).
+//! 4. **No cross-flow capacity pressure.** Shard conntrack tables are
+//!    sized ([`kernel_sim::net::DEFAULT_CONNTRACK_CAPACITY`]) so
+//!    canonical workloads never evict, and the engine runs without the
+//!    quarantine circuit breaker — both mechanisms couple unrelated
+//!    flows through shard-global state and would break invariance.
+//!
+//! The per-shard audit streams still carry timestamps and per-shard
+//! summaries, so [`NetDispatchReport::merged_fingerprint`] is *replay*
+//! deterministic (same config → same bytes) but differs across shard
+//! counts, exactly as in [`crate::dispatch`].
+
+use std::time::Instant;
+
+use crossbeam::channel;
+use ebpf::asm::Asm;
+use ebpf::helpers::{self, HelperRegistry};
+use ebpf::insn::*;
+use ebpf::interp::{CtxInput, Vm};
+use ebpf::maps::{MapDef, MapRegistry};
+use ebpf::program::{ProgType, Program};
+use kernel_sim::audit::{merged_fingerprint, AuditEvent, EventKind};
+use kernel_sim::net::conntrack::CtState;
+use kernel_sim::net::hook::{RxSnapshot, XdpAction};
+use kernel_sim::net::packet::parse_frame;
+use kernel_sim::net::traffic::{Frame, FrameClass};
+use kernel_sim::percpu::CpuInfo;
+use kernel_sim::{FaultPlan, FaultPlanConfig, Kernel, MetricsSnapshot};
+use safe_ext::{ExtInput, Extension, Runtime};
+
+use crate::dispatch::{run_sharded, splitmix64, Backend};
+
+/// Half-open connections a single source may hold before its SYNs drop.
+pub const SYN_HALFOPEN_THRESHOLD: u64 = 4;
+
+/// Number of backends the load balancer spreads flows over.
+pub const LB_BACKENDS: usize = 4;
+
+/// Which sample extension processes the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetScenario {
+    /// Conntrack-backed SYN-flood filter.
+    SynFilter,
+    /// Header-rewriting L4 load balancer.
+    LoadBalancer,
+}
+
+impl NetScenario {
+    /// Short stable name used in reports and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetScenario::SynFilter => "syn-filter",
+            NetScenario::LoadBalancer => "l4-lb",
+        }
+    }
+
+    /// Creates the scenario's map on a shard kernel, returning its fd.
+    pub fn setup(&self, kernel: &Kernel, maps: &MapRegistry) -> u32 {
+        let def = match self {
+            NetScenario::SynFilter => MapDef::hash("syn-halfopen", 4, 8, 2048),
+            NetScenario::LoadBalancer => MapDef::array("lb-backends", 8, LB_BACKENDS as u32),
+        };
+        maps.create(kernel, def).expect("scenario map creation")
+    }
+
+    /// The scenario as an eBPF program over the map at `fd`.
+    pub fn program(&self, fd: u32) -> Program {
+        match self {
+            NetScenario::SynFilter => syn_filter_prog(fd),
+            NetScenario::LoadBalancer => lb_prog(fd),
+        }
+    }
+
+    /// The scenario as a safe-ext extension over the map at `fd`.
+    pub fn extension(&self, fd: u32) -> Extension {
+        match self {
+            NetScenario::SynFilter => syn_filter_ext(fd),
+            NetScenario::LoadBalancer => lb_ext(fd),
+        }
+    }
+}
+
+const XDP_DROP: u64 = 1;
+const XDP_PASS: u64 = 2;
+const XDP_TX: u64 = 3;
+
+/// The SYN-flood filter as eBPF assembly.
+///
+/// Frame layout offsets (Ethernet/IPv4 without options/TCP):
+/// ethertype@12, ip version@14, protocol@23, src_ip@26, dst_ip@30,
+/// ports@34, tcp flags@47. The 13-byte conntrack tuple is the wire bytes
+/// `src_ip|dst_ip|src_port|dst_port` (12 contiguous bytes at offset 26)
+/// plus the protocol byte, assembled on the stack at `r10-16`.
+pub fn syn_filter_prog(fd: u32) -> Program {
+    let insns = Asm::new()
+        .mov64_reg(Reg::R6, Reg::R1)
+        .ldx(BPF_DW, Reg::R7, Reg::R6, 0) // data
+        .ldx(BPF_DW, Reg::R9, Reg::R6, 16) // len
+        .jmp64_imm(BPF_JLT, Reg::R9, 14, "drop")
+        .ldx(BPF_H, Reg::R2, Reg::R7, 12) // ethertype, LE load: 0x0800 -> 0x0008
+        .jmp64_imm(BPF_JNE, Reg::R2, 0x0008, "pass")
+        .jmp64_imm(BPF_JLT, Reg::R9, 34, "drop")
+        .ldx(BPF_B, Reg::R2, Reg::R7, 14)
+        .jmp64_imm(BPF_JNE, Reg::R2, 0x45, "drop")
+        .ldx(BPF_B, Reg::R2, Reg::R7, 23)
+        .jmp64_imm(BPF_JNE, Reg::R2, 6, "pass") // non-TCP: not our business
+        .jmp64_imm(BPF_JLT, Reg::R9, 54, "drop")
+        // tuple[0..12] = addrs + ports, copied via the helper.
+        .mov64_reg(Reg::R1, Reg::R6)
+        .mov64_imm(Reg::R2, 26)
+        .mov64_reg(Reg::R3, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R3, -16)
+        .mov64_imm(Reg::R4, 12)
+        .call_helper(helpers::BPF_XDP_LOAD_BYTES as i32)
+        .jmp64_imm(BPF_JSLT, Reg::R0, 0, "drop")
+        .st(BPF_B, Reg::R10, -4, 6) // tuple[12] = IPPROTO_TCP
+        .ldx(BPF_B, Reg::R8, Reg::R7, 47) // tcp flags (survives calls in r8)
+        .mov64_reg(Reg::R1, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R1, -16)
+        .mov64_imm(Reg::R2, 13)
+        .mov64_reg(Reg::R3, Reg::R8)
+        .mov64_reg(Reg::R4, Reg::R9)
+        .call_helper(helpers::BPF_CT_OBSERVE as i32)
+        .jmp64_imm(BPF_JSLT, Reg::R0, 0, "drop")
+        // syn-sent -> established: the handshake completed, refund one.
+        .jmp64_imm(BPF_JEQ, Reg::R0, 0x0102, "complete")
+        .mov64_reg(Reg::R2, Reg::R8)
+        .alu64_imm(BPF_AND, Reg::R2, 0x12) // SYN|ACK mask
+        .jmp64_imm(BPF_JNE, Reg::R2, 0x02, "pass") // only bare SYNs counted
+        // Charge the half-open against the source IP (tuple bytes 0..4).
+        .ld_map_fd(Reg::R1, fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -16)
+        .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+        .jmp64_imm(BPF_JNE, Reg::R0, 0, "have")
+        .st(BPF_DW, Reg::R10, -32, 1)
+        .ld_map_fd(Reg::R1, fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -16)
+        .mov64_reg(Reg::R3, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R3, -32)
+        .mov64_imm(Reg::R4, 0)
+        .call_helper(helpers::BPF_MAP_UPDATE_ELEM as i32)
+        .ja("pass")
+        .label("have")
+        .ldx(BPF_DW, Reg::R1, Reg::R0, 0)
+        .jmp64_imm(BPF_JGE, Reg::R1, SYN_HALFOPEN_THRESHOLD as i32, "drop")
+        .alu64_imm(BPF_ADD, Reg::R1, 1)
+        .stx(BPF_DW, Reg::R0, 0, Reg::R1)
+        .ja("pass")
+        .label("complete")
+        .ld_map_fd(Reg::R1, fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -16)
+        .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+        .jmp64_imm(BPF_JEQ, Reg::R0, 0, "pass")
+        .ldx(BPF_DW, Reg::R1, Reg::R0, 0)
+        .jmp64_imm(BPF_JEQ, Reg::R1, 0, "pass")
+        .alu64_imm(BPF_SUB, Reg::R1, 1)
+        .stx(BPF_DW, Reg::R0, 0, Reg::R1)
+        .label("pass")
+        .mov64_imm(Reg::R0, XDP_PASS as i32)
+        .exit()
+        .label("drop")
+        .mov64_imm(Reg::R0, XDP_DROP as i32)
+        .exit()
+        .build()
+        .unwrap();
+    Program::new("syn-filter", ProgType::Xdp, insns)
+}
+
+/// The SYN-flood filter as a safe-Rust extension with semantics
+/// mirroring [`syn_filter_prog`] decision for decision.
+pub fn syn_filter_ext(fd: u32) -> Extension {
+    Extension::new("syn-filter", ProgType::Xdp, move |ctx| {
+        let pkt = ctx.packet()?;
+        let len = pkt.len() as u64;
+        if len < 14 {
+            return Ok(XDP_DROP);
+        }
+        if pkt.load_u16(12)? != 0x0008 {
+            return Ok(XDP_PASS);
+        }
+        if len < 34 {
+            return Ok(XDP_DROP);
+        }
+        if pkt.load_u8(14)? != 0x45 {
+            return Ok(XDP_DROP);
+        }
+        if pkt.load_u8(23)? != 6 {
+            return Ok(XDP_PASS);
+        }
+        if len < 54 {
+            return Ok(XDP_DROP);
+        }
+        let mut wire = [0u8; 13];
+        pkt.load_bytes(26, &mut wire[..12])?;
+        wire[12] = 6;
+        let key = kernel_sim::net::packet::FlowKey::from_wire(&wire).expect("13-byte tuple");
+        let flags = pkt.load_u8(47)?;
+        let obs = ctx.ct_observe(key, flags, len)?;
+        let src = &wire[..4];
+        let halfopen = ctx.hash(fd)?;
+        if obs.packed() == 0x0102 {
+            if let Some(v) = halfopen.lookup(src)? {
+                let n = u64::from_le_bytes(v[..8].try_into().expect("8-byte value"));
+                if n > 0 {
+                    halfopen.insert(src, &(n - 1).to_le_bytes())?;
+                }
+            }
+            return Ok(XDP_PASS);
+        }
+        if flags & 0x12 != 0x02 {
+            return Ok(XDP_PASS);
+        }
+        match halfopen.lookup(src)? {
+            None => {
+                halfopen.insert(src, &1u64.to_le_bytes())?;
+                Ok(XDP_PASS)
+            }
+            Some(v) => {
+                let n = u64::from_le_bytes(v[..8].try_into().expect("8-byte value"));
+                if n >= SYN_HALFOPEN_THRESHOLD {
+                    Ok(XDP_DROP)
+                } else {
+                    halfopen.insert(src, &(n + 1).to_le_bytes())?;
+                    Ok(XDP_PASS)
+                }
+            }
+        }
+    })
+}
+
+/// The L4 load balancer as eBPF assembly.
+///
+/// Hashes the 5-tuple with three 32-bit multiplicative constants (staged
+/// through `lddw` — `alu64_imm` would sign-extend them), picks a backend,
+/// counts it, rewrites the destination IP to `10.2.0.<backend>`, and
+/// recomputes the IP header checksum by summing the header's LE halfwords
+/// (skipping the checksum field) and storing the folded complement LE —
+/// one's-complement arithmetic commutes with byte order, so the wire
+/// bytes come out correct.
+pub fn lb_prog(fd: u32) -> Program {
+    let mut asm = Asm::new()
+        .mov64_reg(Reg::R6, Reg::R1)
+        .ldx(BPF_DW, Reg::R7, Reg::R6, 0) // data
+        .ldx(BPF_DW, Reg::R9, Reg::R6, 16) // len
+        .jmp64_imm(BPF_JLT, Reg::R9, 14, "drop")
+        .ldx(BPF_H, Reg::R2, Reg::R7, 12)
+        .jmp64_imm(BPF_JNE, Reg::R2, 0x0008, "pass")
+        .jmp64_imm(BPF_JLT, Reg::R9, 34, "drop")
+        .ldx(BPF_B, Reg::R2, Reg::R7, 14)
+        .jmp64_imm(BPF_JNE, Reg::R2, 0x45, "drop")
+        .ldx(BPF_B, Reg::R8, Reg::R7, 23) // protocol
+        .jmp64_imm(BPF_JEQ, Reg::R8, 6, "l4ok")
+        .jmp64_imm(BPF_JNE, Reg::R8, 17, "pass")
+        .label("l4ok")
+        .jmp64_imm(BPF_JLT, Reg::R9, 42, "drop")
+        // h = src*K1 ^ dst*K2 ^ ports*K3 ^ proto; h ^= h >> 15.
+        .ldx(BPF_W, Reg::R2, Reg::R7, 26)
+        .lddw(Reg::R3, 0x9e37_79b1)
+        .alu64_reg(BPF_MUL, Reg::R2, Reg::R3)
+        .ldx(BPF_W, Reg::R4, Reg::R7, 30)
+        .lddw(Reg::R3, 0x85eb_ca6b)
+        .alu64_reg(BPF_MUL, Reg::R4, Reg::R3)
+        .alu64_reg(BPF_XOR, Reg::R2, Reg::R4)
+        .ldx(BPF_W, Reg::R4, Reg::R7, 34)
+        .lddw(Reg::R3, 0xc2b2_ae35)
+        .alu64_reg(BPF_MUL, Reg::R4, Reg::R3)
+        .alu64_reg(BPF_XOR, Reg::R2, Reg::R4)
+        .alu64_reg(BPF_XOR, Reg::R2, Reg::R8)
+        .mov64_reg(Reg::R4, Reg::R2)
+        .alu64_imm(BPF_RSH, Reg::R4, 15)
+        .alu64_reg(BPF_XOR, Reg::R2, Reg::R4)
+        .alu64_imm(BPF_AND, Reg::R2, LB_BACKENDS as i32 - 1)
+        .mov64_reg(Reg::R8, Reg::R2) // r8 = backend index from here on
+        // Count the pick in the plain array map.
+        .stx(BPF_W, Reg::R10, -4, Reg::R2)
+        .ld_map_fd(Reg::R1, fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -4)
+        .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+        .jmp64_imm(BPF_JEQ, Reg::R0, 0, "rewrite") // injected miss: skip count
+        .mov64_imm(Reg::R1, 1)
+        .atomic(BPF_DW, Reg::R0, 0, Reg::R1, BPF_ATOMIC_ADD)
+        .label("rewrite")
+        // dst_ip = 10.2.0.<backend>, staged on the stack.
+        .st(BPF_B, Reg::R10, -8, 10)
+        .st(BPF_B, Reg::R10, -7, 2)
+        .st(BPF_B, Reg::R10, -6, 0)
+        .stx(BPF_B, Reg::R10, -5, Reg::R8)
+        .mov64_reg(Reg::R1, Reg::R6)
+        .mov64_imm(Reg::R2, 30)
+        .mov64_reg(Reg::R3, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R3, -8)
+        .mov64_imm(Reg::R4, 4)
+        .call_helper(helpers::BPF_XDP_STORE_BYTES as i32)
+        .jmp64_imm(BPF_JSLT, Reg::R0, 0, "drop")
+        // Recompute the IP header checksum over the rewritten header.
+        .mov64_imm(Reg::R2, 0);
+    for off in [14i16, 16, 18, 20, 22, 26, 28, 30, 32] {
+        asm = asm
+            .ldx(BPF_H, Reg::R3, Reg::R7, off)
+            .alu64_reg(BPF_ADD, Reg::R2, Reg::R3);
+    }
+    let insns = asm
+        .mov64_reg(Reg::R3, Reg::R2)
+        .alu64_imm(BPF_RSH, Reg::R3, 16)
+        .alu64_imm(BPF_AND, Reg::R2, 0xffff)
+        .alu64_reg(BPF_ADD, Reg::R2, Reg::R3)
+        .mov64_reg(Reg::R3, Reg::R2)
+        .alu64_imm(BPF_RSH, Reg::R3, 16)
+        .alu64_imm(BPF_AND, Reg::R2, 0xffff)
+        .alu64_reg(BPF_ADD, Reg::R2, Reg::R3)
+        .alu64_imm(BPF_XOR, Reg::R2, 0xffff)
+        .alu64_imm(BPF_AND, Reg::R2, 0xffff)
+        .stx(BPF_H, Reg::R10, -12, Reg::R2)
+        .mov64_reg(Reg::R1, Reg::R6)
+        .mov64_imm(Reg::R2, 24)
+        .mov64_reg(Reg::R3, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R3, -12)
+        .mov64_imm(Reg::R4, 2)
+        .call_helper(helpers::BPF_XDP_STORE_BYTES as i32)
+        .jmp64_imm(BPF_JSLT, Reg::R0, 0, "drop")
+        .mov64_imm(Reg::R0, XDP_TX as i32)
+        .exit()
+        .label("pass")
+        .mov64_imm(Reg::R0, XDP_PASS as i32)
+        .exit()
+        .label("drop")
+        .mov64_imm(Reg::R0, XDP_DROP as i32)
+        .exit()
+        .build()
+        .unwrap();
+    Program::new("l4-lb", ProgType::Xdp, insns)
+}
+
+/// The L4 load balancer as a safe-Rust extension mirroring [`lb_prog`].
+pub fn lb_ext(fd: u32) -> Extension {
+    Extension::new("l4-lb", ProgType::Xdp, move |ctx| {
+        let pkt = ctx.packet()?;
+        let len = pkt.len() as u64;
+        if len < 14 {
+            return Ok(XDP_DROP);
+        }
+        if pkt.load_u16(12)? != 0x0008 {
+            return Ok(XDP_PASS);
+        }
+        if len < 34 {
+            return Ok(XDP_DROP);
+        }
+        if pkt.load_u8(14)? != 0x45 {
+            return Ok(XDP_DROP);
+        }
+        let proto = pkt.load_u8(23)? as u64;
+        if proto != 6 && proto != 17 {
+            return Ok(XDP_PASS);
+        }
+        if len < 42 {
+            return Ok(XDP_DROP);
+        }
+        let mut h = (pkt.load_u32(26)? as u64).wrapping_mul(0x9e37_79b1)
+            ^ (pkt.load_u32(30)? as u64).wrapping_mul(0x85eb_ca6b)
+            ^ (pkt.load_u32(34)? as u64).wrapping_mul(0xc2b2_ae35)
+            ^ proto;
+        h ^= h >> 15;
+        let backend = (h & (LB_BACKENDS as u64 - 1)) as u32;
+        ctx.array(fd)?.fetch_add_u64(backend, 0, 1)?;
+        pkt.store_bytes(30, &[10, 2, 0, backend as u8])?;
+        // Recompute the checksum exactly as the asm program does: LE
+        // halfword sum skipping the checksum field, folded, complemented,
+        // stored LE.
+        let mut sum: u64 = 0;
+        for off in [14u64, 16, 18, 20, 22, 26, 28, 30, 32] {
+            sum += pkt.load_u16(off)? as u64;
+        }
+        sum = (sum & 0xffff) + (sum >> 16);
+        sum = (sum & 0xffff) + (sum >> 16);
+        let csum = !(sum as u16);
+        pkt.store_bytes(24, &csum.to_le_bytes())?;
+        Ok(XDP_TX)
+    })
+}
+
+/// The shard a frame is steered to: RSS-style hashing of the
+/// `(src_ip, dst_ip, proto)` 2-tuple for parseable frames, a raw-byte
+/// hash for the rest. A pure function of `(seed, bytes)`, so every
+/// packet of a flow — and every flow of a source — shares a shard at any
+/// shard count.
+pub fn steer_shard(seed: u64, bytes: &[u8], shards: usize) -> usize {
+    let lane = match parse_frame(bytes) {
+        Ok(pkt) => pkt.flow_key().hash_rss(),
+        Err(_) => {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in bytes {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+    };
+    (splitmix64(seed ^ lane) % shards.max(1) as u64) as usize
+}
+
+/// The fault-plan seed armed before packet `index`: derived from the
+/// packet's global index alone, so injection decisions replay identically
+/// at any shard count.
+pub fn packet_fault_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ index.wrapping_mul(0x2545_f491_4f6c_dd1d))
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Worker shard count (also the simulated CPU count).
+    pub shards: usize,
+    /// Master seed: drives flow steering and per-packet fault seeds.
+    pub seed: u64,
+    /// Fault plan re-armed before every packet, or `None`.
+    pub fault: Option<FaultPlanConfig>,
+    /// Which sample extension to run.
+    pub scenario: NetScenario,
+}
+
+impl NetConfig {
+    /// A config for `scenario` with the given shard count and seed.
+    pub fn new(scenario: NetScenario, shards: usize, seed: u64) -> Self {
+        NetConfig {
+            shards,
+            seed,
+            fault: None,
+            scenario,
+        }
+    }
+}
+
+/// One packet's canonical outcome record. The full sorted record log is
+/// the engine's shard-count-invariant artifact.
+#[derive(Debug, Clone)]
+pub struct PacketRecord {
+    /// Global index in the generated frame sequence.
+    pub idx: u64,
+    /// Ground-truth workload class.
+    pub class: FrameClass,
+    /// The extension's verdict (aborted runs record [`XdpAction::Aborted`]).
+    pub verdict: XdpAction,
+    /// Conntrack state of the frame's flow after this packet, if the
+    /// frame parses and the flow is tracked.
+    pub ct: Option<CtState>,
+    /// Virtual-clock advance across this packet's run.
+    pub cost_ns: u64,
+    /// Faults injected during this packet's run.
+    pub injected: u64,
+}
+
+impl PacketRecord {
+    /// The record's canonical line: `idx|class|verdict|ct|cost_ns|injected`.
+    pub fn line(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}",
+            self.idx,
+            self.class.name(),
+            self.verdict.name(),
+            self.ct.map_or("-", |s| s.name()),
+            self.cost_ns,
+            self.injected
+        )
+    }
+}
+
+/// What one shard did with its flow subsequence.
+#[derive(Debug, Clone)]
+pub struct NetShardReport {
+    /// Shard index == the simulated CPU the shard was pinned to.
+    pub shard: usize,
+    /// Frames this shard processed.
+    pub packets: u64,
+    /// Per-verdict counters from the shard's RX hook.
+    pub rx: RxSnapshot,
+    /// Faults injected across the shard's packets.
+    pub injected: u64,
+    /// Per-packet records, in the shard's processing order.
+    pub records: Vec<PacketRecord>,
+    /// The shard conntrack table's timestamp-free flow log.
+    pub flow_log: String,
+    /// Per-backend pick totals (load-balancer scenario; zeros otherwise).
+    pub backend_counts: [u64; LB_BACKENDS],
+    /// The shard kernel's full audit snapshot.
+    pub audit: Vec<AuditEvent>,
+    /// The shard kernel's metrics snapshot.
+    pub metrics: MetricsSnapshot,
+    /// The shard's virtual-clock reading after the batch.
+    pub sim_ns: u64,
+    /// Whether the shard kernel finished pristine.
+    pub pristine: bool,
+}
+
+/// The merged outcome of one batched net run.
+#[derive(Debug, Clone)]
+pub struct NetDispatchReport {
+    /// Per-shard reports, in shard-id order.
+    pub shards: Vec<NetShardReport>,
+    /// Canonical merge of per-shard audit streams: replay-deterministic
+    /// for a fixed `(backend, scenario, seed, shard_count, batch)`.
+    pub merged_fingerprint: String,
+    /// All packet records sorted by global index, one canonical line per
+    /// packet — byte-identical at any shard count, faults armed or not.
+    pub canonical_log: String,
+    /// Every shard's conntrack flow-log lines, sorted: a canonical
+    /// multiset of flow transitions, also shard-count-invariant.
+    pub sorted_flow_log: String,
+    /// Sum of all shard metrics.
+    pub metrics: MetricsSnapshot,
+    /// Host wall-clock for the batch (informational only).
+    pub elapsed_ns: u64,
+    /// Busiest shard's virtual-clock advance: the deterministic scaling
+    /// metric.
+    pub sim_elapsed_ns: u64,
+}
+
+impl NetDispatchReport {
+    /// Total frames processed.
+    pub fn packets(&self) -> u64 {
+        self.shards.iter().map(|s| s.packets).sum()
+    }
+
+    /// Per-verdict totals across shards.
+    pub fn rx_totals(&self) -> RxSnapshot {
+        let mut out = RxSnapshot::default();
+        for s in &self.shards {
+            out.aborted += s.rx.aborted;
+            out.drop += s.rx.drop;
+            out.pass += s.rx.pass;
+            out.tx += s.rx.tx;
+            out.redirect += s.rx.redirect;
+        }
+        out
+    }
+
+    /// Total injected faults across shards.
+    pub fn injected(&self) -> u64 {
+        self.shards.iter().map(|s| s.injected).sum()
+    }
+
+    /// Per-backend pick totals across shards (load balancer).
+    pub fn backend_counts(&self) -> [u64; LB_BACKENDS] {
+        let mut out = [0u64; LB_BACKENDS];
+        for s in &self.shards {
+            for (a, b) in out.iter_mut().zip(&s.backend_counts) {
+                *a += b;
+            }
+        }
+        out
+    }
+
+    /// `class -> verdict -> count` over the whole batch, indexed by
+    /// [`FrameClass`] order (elephant, mouse, synflood, malformed) and
+    /// XDP action code.
+    pub fn class_verdicts(&self) -> [[u64; 5]; 4] {
+        let mut out = [[0u64; 5]; 4];
+        for s in &self.shards {
+            for r in &s.records {
+                let class = match r.class {
+                    FrameClass::Elephant => 0,
+                    FrameClass::Mouse => 1,
+                    FrameClass::SynFlood => 2,
+                    FrameClass::Malformed => 3,
+                };
+                out[class][r.verdict.code() as usize] += 1;
+            }
+        }
+        out
+    }
+
+    /// Frames per simulated second on the modelled machine.
+    pub fn packets_per_sim_sec(&self) -> f64 {
+        if self.sim_elapsed_ns == 0 {
+            0.0
+        } else {
+            self.packets() as f64 * 1e9 / self.sim_elapsed_ns as f64
+        }
+    }
+}
+
+fn total_injected(kernel: &Kernel) -> u64 {
+    kernel
+        .inject
+        .get()
+        .map(|plane| plane.total_injected())
+        .unwrap_or(0)
+}
+
+/// Runs one shard's subsequence through `run` (a backend-specific
+/// single-packet executor), collecting the canonical records.
+fn drive_shard<F>(
+    kernel: &Kernel,
+    maps: &MapRegistry,
+    cfg: &NetConfig,
+    shard: usize,
+    fd: u32,
+    rx: channel::Receiver<(u64, Frame)>,
+    mut run: F,
+) -> NetShardReport
+where
+    F: FnMut(Vec<u8>) -> Option<u64>,
+{
+    let mut records = Vec::new();
+    let mut injected_total = 0u64;
+    for (idx, frame) in rx.iter() {
+        // Fresh per-packet fault plan: injection decisions become a pure
+        // function of the packet's global index.
+        if let Some(fault) = &cfg.fault {
+            kernel.arm_fault_plan(FaultPlan::with_config(
+                packet_fault_seed(cfg.seed, idx),
+                *fault,
+            ));
+        }
+        let injected_before = total_injected(kernel);
+        let t0 = kernel.clock.now_ns();
+        let verdict = match run(frame.bytes.clone()) {
+            Some(code) => XdpAction::from_code(code),
+            None => XdpAction::Aborted,
+        };
+        kernel.net.rx.record(verdict);
+        let cost_ns = kernel.clock.now_ns() - t0;
+        let injected = total_injected(kernel) - injected_before;
+        injected_total += injected;
+        let ct = parse_frame(&frame.bytes)
+            .ok()
+            .and_then(|pkt| kernel.net.conntrack.lookup(pkt.flow_key()));
+        records.push(PacketRecord {
+            idx,
+            class: frame.class,
+            verdict,
+            ct,
+            cost_ns,
+            injected,
+        });
+    }
+
+    let rx_snap = kernel.net.rx.snapshot();
+    let backend_counts = match cfg.scenario {
+        NetScenario::LoadBalancer => {
+            let map = maps.get(fd).expect("lb map");
+            let mut out = [0u64; LB_BACKENDS];
+            for (i, slot) in out.iter_mut().enumerate() {
+                let addr = map.elem_addr(i as u32, 0).expect("in range");
+                *slot = kernel.mem.read_u64(addr).unwrap_or(0);
+            }
+            out
+        }
+        NetScenario::SynFilter => [0u64; LB_BACKENDS],
+    };
+    // Pin the shard's outcome into its audit stream so the merged
+    // fingerprint is content-bearing even for fault-free batches.
+    kernel.audit.record(
+        kernel.clock.now_ns(),
+        EventKind::Info,
+        format!(
+            "net shard {shard}: scenario={} packets={} drop={} pass={} tx={} aborted={}",
+            cfg.scenario.name(),
+            records.len(),
+            rx_snap.drop,
+            rx_snap.pass,
+            rx_snap.tx,
+            rx_snap.aborted,
+        ),
+    );
+    NetShardReport {
+        shard,
+        packets: records.len() as u64,
+        rx: rx_snap,
+        injected: injected_total,
+        records,
+        flow_log: kernel.net.conntrack.flow_log_fingerprint(),
+        backend_counts,
+        sim_ns: kernel.clock.now_ns(),
+        pristine: kernel.health().pristine(),
+        audit: kernel.audit.snapshot(),
+        metrics: kernel.metrics.snapshot(),
+    }
+}
+
+fn run_net_shard(
+    backend: Backend,
+    cfg: &NetConfig,
+    shard: usize,
+    rx: channel::Receiver<(u64, Frame)>,
+) -> NetShardReport {
+    let kernel = Kernel::with_topology(CpuInfo::pinned(cfg.shards.max(1), shard));
+    let maps = MapRegistry::default();
+    let fd = cfg.scenario.setup(&kernel, &maps);
+    match backend {
+        Backend::Ebpf => {
+            let helpers = HelperRegistry::standard();
+            let mut vm = Vm::new(&kernel, &maps, &helpers);
+            let id = vm.load(cfg.scenario.program(fd));
+            drive_shard(&kernel, &maps, cfg, shard, fd, rx, |bytes| {
+                vm.run(id, CtxInput::Packet(bytes)).result.ok()
+            })
+        }
+        Backend::SafeExt => {
+            // No quarantine circuit breaker here: its consecutive-abort
+            // counter is shard-global cross-flow state, which would make
+            // verdicts depend on which flows share a shard.
+            let runtime = Runtime::new(&kernel, &maps);
+            let ext = cfg.scenario.extension(fd);
+            drive_shard(&kernel, &maps, cfg, shard, fd, rx, |bytes| {
+                runtime.run(&ext, ExtInput::Packet(bytes)).result.ok()
+            })
+        }
+    }
+}
+
+/// Dispatches `frames` over `cfg.shards` flow-steered shards through
+/// `backend` and merges the results deterministically.
+pub fn run_net_batched(backend: Backend, cfg: &NetConfig, frames: &[Frame]) -> NetDispatchReport {
+    let shards = cfg.shards.max(1);
+    let started = Instant::now();
+
+    let items = frames.iter().enumerate().map(|(i, frame)| {
+        (
+            steer_shard(cfg.seed, &frame.bytes, shards),
+            (i as u64, frame.clone()),
+        )
+    });
+    let reports = run_sharded(shards, items, |shard, rx| {
+        run_net_shard(backend, cfg, shard, rx)
+    });
+
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+
+    let tagged: Vec<(usize, Vec<AuditEvent>)> =
+        reports.iter().map(|r| (r.shard, r.audit.clone())).collect();
+    let merged = merged_fingerprint(&tagged);
+
+    let mut all_records: Vec<&PacketRecord> = reports.iter().flat_map(|r| &r.records).collect();
+    all_records.sort_by_key(|r| r.idx);
+    let canonical_log = all_records
+        .iter()
+        .map(|r| r.line())
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut flow_lines: Vec<&str> = reports.iter().flat_map(|r| r.flow_log.lines()).collect();
+    flow_lines.sort_unstable();
+    let sorted_flow_log = flow_lines.join("\n");
+
+    let mut metrics = MetricsSnapshot::default();
+    for r in &reports {
+        metrics.merge(&r.metrics);
+    }
+    let sim_elapsed_ns = reports.iter().map(|r| r.sim_ns).max().unwrap_or(0);
+
+    NetDispatchReport {
+        shards: reports,
+        merged_fingerprint: merged,
+        canonical_log,
+        sorted_flow_log,
+        metrics,
+        elapsed_ns,
+        sim_elapsed_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_sim::net::packet::{build_tcp_frame, parse_frame, FlowKey, IPPROTO_TCP, TCP_SYN};
+    use kernel_sim::net::traffic::{generate, TrafficConfig};
+
+    fn smoke_frames(seed: u64) -> Vec<Frame> {
+        generate(&TrafficConfig::smoke(), seed)
+    }
+
+    #[test]
+    fn le_halfword_checksum_trick_matches_parser() {
+        // Replicates the LB programs' checksum algorithm in plain Rust
+        // and checks the parser accepts the result — validating the
+        // "sum LE, store LE" trick against the RFC 1071 reference.
+        let key = FlowKey {
+            src_ip: 0x0a00_0001,
+            dst_ip: 0x0a01_0001,
+            src_port: 40_000,
+            dst_port: 443,
+            proto: IPPROTO_TCP,
+        };
+        let mut bytes = build_tcp_frame(key, TCP_SYN, 7, b"hello");
+        bytes[30..34].copy_from_slice(&[10, 2, 0, 3]); // rewrite dst
+        let mut sum: u64 = 0;
+        for off in [14usize, 16, 18, 20, 22, 26, 28, 30, 32] {
+            sum += u16::from_le_bytes([bytes[off], bytes[off + 1]]) as u64;
+        }
+        sum = (sum & 0xffff) + (sum >> 16);
+        sum = (sum & 0xffff) + (sum >> 16);
+        bytes[24..26].copy_from_slice(&(!(sum as u16)).to_le_bytes());
+        let pkt = parse_frame(&bytes).expect("rewritten header verifies");
+        assert_eq!(pkt.ip.dst, 0x0a02_0003);
+    }
+
+    #[test]
+    fn steering_is_pure_and_flow_stable() {
+        let frames = smoke_frames(3);
+        for f in &frames {
+            assert_eq!(steer_shard(9, &f.bytes, 4), steer_shard(9, &f.bytes, 4));
+        }
+        // Same flow -> same shard: compare two frames of one flow.
+        let key = FlowKey {
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+            proto: IPPROTO_TCP,
+        };
+        let a = build_tcp_frame(key, TCP_SYN, 0, &[]);
+        let b = build_tcp_frame(key, 0x10, 1, b"data");
+        assert_eq!(steer_shard(7, &a, 8), steer_shard(7, &b, 8));
+    }
+
+    #[test]
+    fn syn_filter_drops_flood_not_legit_traffic() {
+        let frames = generate(&TrafficConfig::default(), 11);
+        for backend in [Backend::Ebpf, Backend::SafeExt] {
+            let cfg = NetConfig::new(NetScenario::SynFilter, 1, 11);
+            let report = run_net_batched(backend, &cfg, &frames);
+            let cv = report.class_verdicts();
+            // Flood: some SYNs pass (filling budgets), the bulk drops.
+            assert!(cv[2][1] > 0, "{backend:?}: no flood frames dropped");
+            // Legit TCP/UDP traffic is never dropped.
+            assert_eq!(cv[0][1], 0, "{backend:?}: elephant dropped");
+            assert_eq!(cv[1][1], 0, "{backend:?}: mouse dropped");
+            assert!(report.shards[0].pristine);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_verdicts_fault_free() {
+        let frames = smoke_frames(5);
+        let cfg = NetConfig::new(NetScenario::SynFilter, 1, 5);
+        let ebpf = run_net_batched(Backend::Ebpf, &cfg, &frames);
+        let safe = run_net_batched(Backend::SafeExt, &cfg, &frames);
+        // Cost differs (the frameworks charge time differently), but the
+        // verdict/ct stream and the flow transition log must match.
+        let strip = |log: &str| {
+            log.lines()
+                .map(|l| l.rsplitn(3, '|').nth(2).unwrap().to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&ebpf.canonical_log), strip(&safe.canonical_log));
+        assert_eq!(ebpf.sorted_flow_log, safe.sorted_flow_log);
+    }
+
+    #[test]
+    fn canonical_log_invariant_across_shard_counts() {
+        let frames = smoke_frames(7);
+        for scenario in [NetScenario::SynFilter, NetScenario::LoadBalancer] {
+            for backend in [Backend::Ebpf, Backend::SafeExt] {
+                let runs: Vec<_> = [1usize, 2, 4]
+                    .iter()
+                    .map(|&shards| {
+                        let cfg = NetConfig::new(scenario, shards, 7);
+                        run_net_batched(backend, &cfg, &frames)
+                    })
+                    .collect();
+                for r in &runs[1..] {
+                    assert_eq!(
+                        runs[0].canonical_log, r.canonical_log,
+                        "{scenario:?}/{backend:?}: canonical log diverged"
+                    );
+                    assert_eq!(runs[0].sorted_flow_log, r.sorted_flow_log);
+                    assert_eq!(runs[0].backend_counts(), r.backend_counts());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_log_invariant_under_faults() {
+        let frames = smoke_frames(13);
+        for backend in [Backend::Ebpf, Backend::SafeExt] {
+            let runs: Vec<_> = [1usize, 2, 4]
+                .iter()
+                .map(|&shards| {
+                    let cfg = NetConfig {
+                        shards,
+                        seed: 13,
+                        fault: Some(FaultPlanConfig::default()),
+                        scenario: NetScenario::SynFilter,
+                    };
+                    run_net_batched(backend, &cfg, &frames)
+                })
+                .collect();
+            for r in &runs[1..] {
+                assert_eq!(
+                    runs[0].canonical_log, r.canonical_log,
+                    "{backend:?}: canonical log diverged under faults"
+                );
+            }
+            assert!(
+                runs[0].injected() > 0,
+                "{backend:?}: storm injected nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_fingerprint_replays_byte_identical() {
+        let frames = smoke_frames(17);
+        for backend in [Backend::Ebpf, Backend::SafeExt] {
+            let cfg = NetConfig {
+                shards: 4,
+                seed: 17,
+                fault: Some(FaultPlanConfig::default()),
+                scenario: NetScenario::LoadBalancer,
+            };
+            let a = run_net_batched(backend, &cfg, &frames);
+            let b = run_net_batched(backend, &cfg, &frames);
+            assert_eq!(
+                a.merged_fingerprint, b.merged_fingerprint,
+                "{backend:?}: replay diverged"
+            );
+            assert_eq!(a.injected(), b.injected());
+        }
+    }
+
+    #[test]
+    fn lb_balances_and_transmits() {
+        let frames = smoke_frames(19);
+        for backend in [Backend::Ebpf, Backend::SafeExt] {
+            let cfg = NetConfig::new(NetScenario::LoadBalancer, 1, 19);
+            let report = run_net_batched(backend, &cfg, &frames);
+            let rx = report.rx_totals();
+            assert!(rx.tx > 0, "{backend:?}: nothing transmitted");
+            let counts = report.backend_counts();
+            assert_eq!(
+                counts.iter().sum::<u64>(),
+                rx.tx,
+                "{backend:?}: backend picks != tx verdicts"
+            );
+            assert!(
+                counts.iter().filter(|&&c| c > 0).count() > 1,
+                "{backend:?}: all flows hashed to one backend: {counts:?}"
+            );
+        }
+    }
+}

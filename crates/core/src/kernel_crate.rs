@@ -93,7 +93,7 @@ pub struct ExtCtx<'k> {
     pub(crate) pool: Pool,
     depth: Cell<u32>,
     max_depth: u32,
-    skb: Option<SkBuff>,
+    pub(crate) skb: Option<SkBuff>,
     kprobe: Option<[u64; 8]>,
     tracepoint: Option<[u64; 4]>,
     rng: Cell<u64>,

@@ -48,6 +48,7 @@ pub mod error;
 pub mod ext;
 pub mod kernel_crate;
 pub mod loader;
+pub mod net;
 pub mod pool;
 pub mod props;
 pub mod retired;

@@ -1,0 +1,130 @@
+//! Safe network interface of the kernel crate.
+//!
+//! These are the safe-ext counterparts of the eBPF net helpers
+//! (`bpf_xdp_load_bytes`, `bpf_ct_lookup`, `bpf_ct_observe`): instead of
+//! untyped `u64` registers and a 13-byte tuple blob, extensions work with
+//! [`FlowKey`] and [`CtState`] values, and packet access goes through the
+//! bounds-checked [`crate::kernel_crate::PacketView`]. Both frameworks
+//! hit the same [`kernel_sim::net::NetStack`] on the kernel, so the
+//! conntrack flow log — the cross-framework determinism contract — is
+//! identical for identical packet sequences.
+
+use kernel_sim::net::conntrack::{CtState, Observation};
+use kernel_sim::net::packet::FlowKey;
+use kernel_sim::net::packet::{parse_frame, ParseError, ParsedPacket};
+
+use crate::error::ExtError;
+use crate::kernel_crate::ExtCtx;
+
+impl<'k> ExtCtx<'k> {
+    /// Parses the current packet's Ethernet/IPv4/{TCP,UDP} headers.
+    ///
+    /// The outer `Result` carries framework conditions (no packet, fuel
+    /// exhausted); the inner one is the parse verdict, which extensions
+    /// typically map to a drop/pass decision.
+    pub fn parse_packet(&self) -> Result<Result<ParsedPacket, ParseError>, ExtError> {
+        let skb = self.skb.ok_or(ExtError::NoPacket)?;
+        self.charge(4 + (skb.len as u64) / 16)?;
+        let bytes = self
+            .kernel
+            .mem
+            .read_bytes(skb.data, skb.len as u64)
+            .expect("skb region is mapped");
+        Ok(parse_frame(&bytes))
+    }
+
+    /// Looks up `key` in the conntrack table without touching its state
+    /// (the safe counterpart of `bpf_ct_lookup`).
+    pub fn ct_lookup(&self, key: FlowKey) -> Result<Option<CtState>, ExtError> {
+        self.charge(4)?;
+        Ok(self.kernel.net.conntrack.lookup(key))
+    }
+
+    /// Observes one packet of `key`, advancing the flow state machine and
+    /// returning the transition (the safe counterpart of
+    /// `bpf_ct_observe`). `tcp_flags` is 0 for non-TCP flows; `pkt_len`
+    /// feeds the per-flow byte counters.
+    pub fn ct_observe(
+        &self,
+        key: FlowKey,
+        tcp_flags: u8,
+        pkt_len: u64,
+    ) -> Result<Observation, ExtError> {
+        self.charge(6)?;
+        Ok(self.kernel.net.conntrack.observe(key, tcp_flags, pkt_len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use ebpf::maps::MapRegistry;
+    use ebpf::program::ProgType;
+    use kernel_sim::net::conntrack::CtState;
+    use kernel_sim::net::packet::{build_tcp_frame, FlowKey, IPPROTO_TCP, TCP_ACK, TCP_SYN};
+    use kernel_sim::Kernel;
+
+    use crate::ext::Extension;
+    use crate::kernel_crate::ExtInput;
+    use crate::runtime::Runtime;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            src_ip: 0x0a00_0001,
+            dst_ip: 0x0a01_0001,
+            src_port: 40_000,
+            dst_port: 443,
+            proto: IPPROTO_TCP,
+        }
+    }
+
+    #[test]
+    fn parse_and_track_through_extension() {
+        let kernel = Kernel::new();
+        let maps = MapRegistry::default();
+        let ext = Extension::new("ct-track", ProgType::Xdp, |ctx| {
+            let pkt = match ctx.parse_packet()? {
+                Ok(pkt) => pkt,
+                Err(_) => return Ok(1), // drop malformed
+            };
+            let obs =
+                ctx.ct_observe(pkt.flow_key(), pkt.tcp_flags(), ctx.packet()?.len() as u64)?;
+            Ok(obs.state.code() as u64)
+        });
+        let runtime = Runtime::new(&kernel, &maps);
+        let frame = build_tcp_frame(key(), TCP_SYN, 0, &[]);
+        let out = runtime.run(&ext, ExtInput::Packet(frame));
+        assert_eq!(out.unwrap(), CtState::SynSent.code() as u64);
+        let frame = build_tcp_frame(key(), TCP_ACK, 1, &[]);
+        let out = runtime.run(&ext, ExtInput::Packet(frame));
+        assert_eq!(out.unwrap(), CtState::Established.code() as u64);
+        assert_eq!(
+            kernel.net.conntrack.lookup(key()),
+            Some(CtState::Established)
+        );
+        assert!(kernel.health().pristine());
+    }
+
+    #[test]
+    fn ct_lookup_misses_without_observation() {
+        let kernel = Kernel::new();
+        let maps = MapRegistry::default();
+        let ext = Extension::new("ct-miss", ProgType::Xdp, |ctx| {
+            Ok(ctx.ct_lookup(key())?.map_or(0, |s| s.code() as u64))
+        });
+        let runtime = Runtime::new(&kernel, &maps);
+        let frame = build_tcp_frame(key(), TCP_SYN, 0, &[]);
+        assert_eq!(runtime.run(&ext, ExtInput::Packet(frame)).unwrap(), 0);
+    }
+
+    #[test]
+    fn parse_packet_requires_a_packet() {
+        let kernel = Kernel::new();
+        let maps = MapRegistry::default();
+        let ext = Extension::new("no-pkt", ProgType::Kprobe, |ctx| {
+            assert!(ctx.parse_packet().is_err());
+            Ok(0)
+        });
+        let runtime = Runtime::new(&kernel, &maps);
+        assert_eq!(runtime.run(&ext, ExtInput::None).unwrap(), 0);
+    }
+}

@@ -409,8 +409,18 @@ pub const BPF_SYS_BPF: u32 = 166;
 pub const BPF_LOOP: u32 = 181;
 /// `bpf_strncmp`.
 pub const BPF_STRNCMP: u32 = 182;
+/// `bpf_xdp_load_bytes`.
+pub const BPF_XDP_LOAD_BYTES: u32 = 189;
+/// `bpf_xdp_store_bytes`.
+pub const BPF_XDP_STORE_BYTES: u32 = 190;
 /// `bpf_kptr_xchg`.
 pub const BPF_KPTR_XCHG: u32 = 194;
+/// Conntrack state lookup (stand-in for the `bpf_*_ct_lookup` kfunc
+/// family, given a helper id so it dispatches through the same table).
+pub const BPF_CT_LOOKUP: u32 = 197;
+/// Conntrack observe/update (stand-in for `bpf_ct_insert_entry` +
+/// `bpf_ct_change_state`, folded into one deterministic transition).
+pub const BPF_CT_OBSERVE: u32 = 198;
 /// `bpf_ktime_get_tai_ns`.
 pub const BPF_KTIME_GET_TAI_NS: u32 = 208;
 /// `bpf_cgrp_storage_get`.
@@ -1018,6 +1028,54 @@ pub fn standard_helpers() -> Vec<Helper> {
             ),
             imp: h_task_storage_get,
         },
+        Helper {
+            spec: spec(
+                BPF_XDP_LOAD_BYTES,
+                "bpf_xdp_load_bytes",
+                V::V6_1,
+                [A::CtxPtr, A::Scalar, A::PtrToMem, A::MemSize, A::None],
+                R::Integer,
+                18,
+                C::KernelInterface,
+            ),
+            imp: h_xdp_load_bytes,
+        },
+        Helper {
+            spec: spec(
+                BPF_XDP_STORE_BYTES,
+                "bpf_xdp_store_bytes",
+                V::V6_1,
+                [A::CtxPtr, A::Scalar, A::PtrToMem, A::MemSize, A::None],
+                R::Integer,
+                22,
+                C::KernelInterface,
+            ),
+            imp: h_xdp_store_bytes,
+        },
+        Helper {
+            spec: spec(
+                BPF_CT_LOOKUP,
+                "bpf_ct_lookup",
+                V::V6_1,
+                [A::PtrToMem, A::MemSize, A::None, A::None, A::None],
+                R::Integer,
+                96,
+                C::KernelInterface,
+            ),
+            imp: h_ct_lookup,
+        },
+        Helper {
+            spec: spec(
+                BPF_CT_OBSERVE,
+                "bpf_ct_observe",
+                V::V6_1,
+                [A::PtrToMem, A::MemSize, A::Scalar, A::Scalar, A::None],
+                R::Integer,
+                114,
+                C::KernelInterface,
+            ),
+            imp: h_ct_observe,
+        },
     ];
     helpers.sort_by_key(|h| h.spec.id);
     helpers
@@ -1235,6 +1293,82 @@ fn h_skb_store_bytes(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Hel
     let data = ctx.kernel.mem.read_bytes(args[2], len)?;
     ctx.kernel.mem.write_from(skb.data + offset, &data)?;
     Ok(0)
+}
+
+/// `bpf_xdp_load_bytes(ctx, offset, to, len)`: copies packet bytes into
+/// program memory. Same semantics as `bpf_skb_load_bytes` here — the
+/// simulated RX path hands XDP programs an skb-backed frame — but with
+/// the XDP signature (no flags argument) and overflow-safe bounds.
+fn h_xdp_load_bytes(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperError> {
+    let skb = match ctx.skb {
+        Some(skb) => skb,
+        None => return Ok(neg_errno(EINVAL)),
+    };
+    let (offset, len) = (args[1], args[3]);
+    match offset.checked_add(len) {
+        Some(end) if end <= skb.len as u64 => {}
+        _ => return Ok(neg_errno(EINVAL)),
+    }
+    let data = ctx.kernel.mem.read_bytes(skb.data + offset, len)?;
+    ctx.kernel.mem.write_from(args[2], &data)?;
+    Ok(0)
+}
+
+/// `bpf_xdp_store_bytes(ctx, offset, from, len)`: rewrites packet bytes.
+fn h_xdp_store_bytes(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperError> {
+    let skb = match ctx.skb {
+        Some(skb) => skb,
+        None => return Ok(neg_errno(EINVAL)),
+    };
+    let (offset, len) = (args[1], args[3]);
+    match offset.checked_add(len) {
+        Some(end) if end <= skb.len as u64 => {}
+        _ => return Ok(neg_errno(EINVAL)),
+    }
+    let data = ctx.kernel.mem.read_bytes(args[2], len)?;
+    ctx.kernel.mem.write_from(skb.data + offset, &data)?;
+    Ok(0)
+}
+
+/// Reads the canonical 13-byte flow tuple (`FlowKey` wire form) that net
+/// helpers take from program memory; `None` on a malformed length.
+fn read_flow_tuple(
+    ctx: &mut HelperCtx<'_>,
+    ptr: u64,
+    len: u64,
+) -> Result<Option<kernel_sim::net::packet::FlowKey>, HelperError> {
+    use kernel_sim::net::packet::{FlowKey, FLOW_KEY_WIRE_LEN};
+    if len != FLOW_KEY_WIRE_LEN as u64 {
+        return Ok(None);
+    }
+    let bytes = ctx.kernel.mem.read_bytes(ptr, len)?;
+    Ok(FlowKey::from_wire(&bytes))
+}
+
+/// `bpf_ct_lookup(tuple, tuple_len)`: returns the flow's conntrack state
+/// code, `-ENOENT` for untracked flows, `-EINVAL` for a bad tuple.
+fn h_ct_lookup(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperError> {
+    let key = match read_flow_tuple(ctx, args[0], args[1])? {
+        Some(key) => key,
+        None => return Ok(neg_errno(EINVAL)),
+    };
+    match ctx.kernel.net.conntrack.lookup(key) {
+        Some(state) => Ok(state.code() as u64),
+        None => Ok(neg_errno(ENOENT)),
+    }
+}
+
+/// `bpf_ct_observe(tuple, tuple_len, tcp_flags, pkt_len)`: advances the
+/// flow's state machine and returns `prev_code << 8 | new_code` (prev 0
+/// for a brand-new flow), `-EINVAL` for a bad tuple.
+fn h_ct_observe(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperError> {
+    let key = match read_flow_tuple(ctx, args[0], args[1])? {
+        Some(key) => key,
+        None => return Ok(neg_errno(EINVAL)),
+    };
+    let flags = (args[2] & 0xff) as u8;
+    let obs = ctx.kernel.net.conntrack.observe(key, flags, args[3]);
+    Ok(obs.packed())
 }
 
 fn h_get_stackid(ctx: &mut HelperCtx<'_>, _args: [u64; 5]) -> Result<u64, HelperError> {

@@ -242,3 +242,92 @@ proptest! {
         }
     }
 }
+
+/// One random packet-header access: `(via_helper, offset, size_bits)`.
+type HeaderAccess = (bool, u16, u8);
+
+/// Builds an XDP program performing `accesses` against the packet — half
+/// through explicit `data`/`data_end` pointer bounds checks, half through
+/// the `bpf_xdp_load_bytes` helper — XOR-folding every loaded value and
+/// helper return code into r7. Any bounds-handling divergence between
+/// the pipelines changes the returned accumulator.
+fn header_access_prog(accesses: &[HeaderAccess]) -> Program {
+    let mut asm = Asm::new()
+        .mov64_reg(Reg::R6, Reg::R1)
+        .mov64_imm(Reg::R7, 0)
+        .ldx(BPF_DW, Reg::R8, Reg::R6, 0) // data
+        .ldx(BPF_DW, Reg::R9, Reg::R6, 8); // data_end
+    for (i, &(via_helper, off, size)) in accesses.iter().enumerate() {
+        let bytes = match size {
+            BPF_B => 1,
+            BPF_H => 2,
+            BPF_W => 4,
+            _ => 8,
+        };
+        let skip = format!("skip{i}");
+        asm = if via_helper {
+            asm.mov64_reg(Reg::R1, Reg::R6)
+                .mov64_imm(Reg::R2, off as i32)
+                .mov64_reg(Reg::R3, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R3, -16)
+                .mov64_imm(Reg::R4, bytes)
+                .call_helper(ebpf::helpers::BPF_XDP_LOAD_BYTES as i32)
+                .alu64_reg(BPF_XOR, Reg::R7, Reg::R0)
+                .jmp64_imm(BPF_JNE, Reg::R0, 0, &skip)
+                .ldx(size, Reg::R4, Reg::R10, -16)
+                .alu64_reg(BPF_XOR, Reg::R7, Reg::R4)
+                .label(&skip)
+        } else {
+            asm.mov64_reg(Reg::R2, Reg::R8)
+                .alu64_imm(BPF_ADD, Reg::R2, off as i32)
+                .mov64_reg(Reg::R3, Reg::R2)
+                .alu64_imm(BPF_ADD, Reg::R3, bytes)
+                .jmp64_reg(BPF_JGT, Reg::R3, Reg::R9, &skip)
+                .ldx(size, Reg::R4, Reg::R2, 0)
+                .alu64_reg(BPF_XOR, Reg::R7, Reg::R4)
+                .label(&skip)
+        };
+    }
+    let insns = asm.mov64_reg(Reg::R0, Reg::R7).exit().build().unwrap();
+    Program::new("diff-header-access", ProgType::Xdp, insns)
+}
+
+fn run_packet(prog: Program, payload: &[u8]) -> RunResult {
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    let helpers = HelperRegistry::standard();
+    let mut vm = Vm::new(&kernel, &maps, &helpers).with_config(VmConfig {
+        max_insns: Some(INSN_BUDGET),
+        ..VmConfig::default()
+    });
+    let id = vm.load(prog);
+    vm.run(id, CtxInput::Packet(payload.to_vec()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mirrors the net stack's header-access patterns: random direct
+    /// (pointer-checked) and helper-mediated packet loads at random
+    /// offsets — in-bounds, at the boundary, and far past it — must be
+    /// indistinguishable between the interpreter and the JIT pipeline.
+    #[test]
+    fn packet_header_access_matches_interpreter(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        accesses in prop::collection::vec(
+            (
+                any::<bool>(),
+                // Bias toward the interesting region around small frame
+                // sizes; large offsets exercise the overflow guards.
+                prop_oneof![0u16..80, any::<u16>()],
+                prop::sample::select(vec![BPF_B, BPF_H, BPF_W, BPF_DW]),
+            ),
+            1..12,
+        ),
+    ) {
+        let prog = header_access_prog(&accesses);
+        let (jitted, _) = jit_compile(&prog, JitConfig::default())
+            .expect("header access programs validate");
+        assert_equivalent(&run_packet(prog, &payload), &run_packet(jitted, &payload))?;
+    }
+}

@@ -8,6 +8,7 @@ use crate::{
     locks::SpinTable,
     mem::KernelMem,
     metrics::Metrics,
+    net::NetStack,
     objects::ObjectTable,
     oops::{OopsLog, OopsReason},
     percpu::CpuInfo,
@@ -80,6 +81,9 @@ pub struct Kernel {
     /// fault plane. Shared (`Arc`) so an armed [`FaultPlane`] can count
     /// injections into it.
     pub metrics: Arc<Metrics>,
+    /// Simulated network stack (conntrack + RX hook counters), shared by
+    /// the eBPF net helpers and the safe-ext net methods.
+    pub net: NetStack,
 }
 
 impl Default for Kernel {
@@ -111,6 +115,7 @@ impl Kernel {
             oopses: OopsLog::default(),
             inject: InjectSlot::default(),
             metrics: Arc::new(Metrics::new()),
+            net: NetStack::default(),
         }
     }
 

@@ -34,6 +34,7 @@ pub mod kernel;
 pub mod locks;
 pub mod mem;
 pub mod metrics;
+pub mod net;
 pub mod objects;
 pub mod oops;
 pub mod percpu;

@@ -1,0 +1,666 @@
+//! Wire-format parsing and serialization for the simulated network stack.
+//!
+//! Supports the classic XDP workload surface: Ethernet II frames carrying
+//! IPv4 with a TCP or UDP payload. Parsing is strict (truncation, bad
+//! version/IHL, and checksum mismatches are reported as typed errors) and
+//! total — no input byte sequence may panic the parser; the proptest suite
+//! in `kernel-sim/tests/net_proptests.rs` enforces this.
+
+/// Ethertype for IPv4 in an Ethernet II frame.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+/// IPv4 protocol number for TCP.
+pub const IPPROTO_TCP: u8 = 6;
+/// IPv4 protocol number for UDP.
+pub const IPPROTO_UDP: u8 = 17;
+
+/// Byte length of an Ethernet II header.
+pub const ETH_HLEN: usize = 14;
+/// Byte length of an IPv4 header without options (IHL = 5).
+pub const IPV4_HLEN: usize = 20;
+/// Byte length of a TCP header without options (data offset = 5).
+pub const TCP_HLEN: usize = 20;
+/// Byte length of a UDP header.
+pub const UDP_HLEN: usize = 8;
+
+/// TCP flag bits (low byte of the flags field).
+pub const TCP_FIN: u8 = 0x01;
+/// TCP SYN flag.
+pub const TCP_SYN: u8 = 0x02;
+/// TCP RST flag.
+pub const TCP_RST: u8 = 0x04;
+/// TCP ACK flag.
+pub const TCP_ACK: u8 = 0x10;
+
+/// Why a frame failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ended before the named header was complete.
+    Truncated {
+        /// Which header was being read.
+        layer: Layer,
+        /// Bytes required to finish the header.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The Ethernet payload is not IPv4.
+    UnsupportedEthertype(u16),
+    /// The IP version nibble was not 4.
+    BadVersion(u8),
+    /// The IHL nibble encodes fewer than 5 words or more bytes than exist.
+    BadIhl(u8),
+    /// The IPv4 total-length field disagrees with the buffer.
+    BadTotalLen {
+        /// Value of the total-length field.
+        claimed: u16,
+        /// Bytes available after the Ethernet header.
+        have: usize,
+    },
+    /// The IPv4 header checksum did not verify to zero.
+    BadIpChecksum {
+        /// Checksum field found in the header.
+        found: u16,
+        /// Checksum the header should carry.
+        expected: u16,
+    },
+    /// The L4 protocol is neither TCP nor UDP.
+    UnsupportedProtocol(u8),
+}
+
+/// Protocol layer names used in [`ParseError::Truncated`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layer {
+    /// Ethernet II header.
+    Ethernet,
+    /// IPv4 header.
+    Ipv4,
+    /// TCP header.
+    Tcp,
+    /// UDP header.
+    Udp,
+}
+
+/// Parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthHeader {
+    /// Destination MAC address.
+    pub dst: [u8; 6],
+    /// Source MAC address.
+    pub src: [u8; 6],
+    /// Ethertype (host byte order).
+    pub ethertype: u16,
+}
+
+impl EthHeader {
+    /// Parses an Ethernet header from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < ETH_HLEN {
+            return Err(ParseError::Truncated {
+                layer: Layer::Ethernet,
+                needed: ETH_HLEN,
+                have: buf.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(EthHeader {
+            dst,
+            src,
+            ethertype: u16::from_be_bytes([buf[12], buf[13]]),
+        })
+    }
+
+    /// Serializes the header into its 14-byte wire form.
+    pub fn serialize(&self) -> [u8; ETH_HLEN] {
+        let mut out = [0u8; ETH_HLEN];
+        out[0..6].copy_from_slice(&self.dst);
+        out[6..12].copy_from_slice(&self.src);
+        out[12..14].copy_from_slice(&self.ethertype.to_be_bytes());
+        out
+    }
+}
+
+/// Parsed IPv4 header (options are not supported; IHL must be 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated-services byte.
+    pub dscp_ecn: u8,
+    /// Total length of the IP packet (header + payload), host order.
+    pub total_len: u16,
+    /// Identification field.
+    pub ident: u16,
+    /// Flags and fragment offset, host order.
+    pub flags_frag: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// L4 protocol number.
+    pub protocol: u8,
+    /// Header checksum as found on the wire, host order.
+    pub checksum: u16,
+    /// Source address, host order.
+    pub src: u32,
+    /// Destination address, host order.
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    /// Parses an IPv4 header from the start of `buf`, verifying version,
+    /// IHL, total length and the header checksum.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < IPV4_HLEN {
+            return Err(ParseError::Truncated {
+                layer: Layer::Ipv4,
+                needed: IPV4_HLEN,
+                have: buf.len(),
+            });
+        }
+        let version = buf[0] >> 4;
+        if version != 4 {
+            return Err(ParseError::BadVersion(version));
+        }
+        let ihl = buf[0] & 0x0f;
+        if ihl != 5 {
+            return Err(ParseError::BadIhl(ihl));
+        }
+        let total_len = u16::from_be_bytes([buf[2], buf[3]]);
+        if (total_len as usize) < IPV4_HLEN || total_len as usize > buf.len() {
+            return Err(ParseError::BadTotalLen {
+                claimed: total_len,
+                have: buf.len(),
+            });
+        }
+        let found = u16::from_be_bytes([buf[10], buf[11]]);
+        let expected = ipv4_header_checksum(&buf[..IPV4_HLEN]);
+        if found != expected {
+            return Err(ParseError::BadIpChecksum { found, expected });
+        }
+        Ok(Ipv4Header {
+            dscp_ecn: buf[1],
+            total_len,
+            ident: u16::from_be_bytes([buf[4], buf[5]]),
+            flags_frag: u16::from_be_bytes([buf[6], buf[7]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            checksum: found,
+            src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+        })
+    }
+
+    /// Serializes the header, recomputing the checksum field.
+    pub fn serialize(&self) -> [u8; IPV4_HLEN] {
+        let mut out = [0u8; IPV4_HLEN];
+        out[0] = 0x45; // version 4, IHL 5
+        out[1] = self.dscp_ecn;
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        out[6..8].copy_from_slice(&self.flags_frag.to_be_bytes());
+        out[8] = self.ttl;
+        out[9] = self.protocol;
+        // checksum zeroed for computation
+        out[12..16].copy_from_slice(&self.src.to_be_bytes());
+        out[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = ipv4_header_checksum(&out);
+        out[10..12].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+}
+
+/// Parsed TCP header (options beyond a 5-word header are left in payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port, host order.
+    pub src_port: u16,
+    /// Destination port, host order.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits (FIN/SYN/RST/PSH/ACK/URG).
+    pub flags: u8,
+    /// Receive window, host order.
+    pub window: u16,
+    /// Checksum as found on the wire.
+    pub checksum: u16,
+}
+
+impl TcpHeader {
+    /// Parses a TCP header from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < TCP_HLEN {
+            return Err(ParseError::Truncated {
+                layer: Layer::Tcp,
+                needed: TCP_HLEN,
+                have: buf.len(),
+            });
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            flags: buf[13],
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+            checksum: u16::from_be_bytes([buf[16], buf[17]]),
+        })
+    }
+
+    /// Serializes the header with a caller-provided checksum (use
+    /// [`l4_checksum`] over the assembled segment to compute it).
+    pub fn serialize(&self) -> [u8; TCP_HLEN] {
+        let mut out = [0u8; TCP_HLEN];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = 5 << 4; // data offset: 5 words, no options
+        out[13] = self.flags;
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        out
+    }
+}
+
+/// Parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port, host order.
+    pub src_port: u16,
+    /// Destination port, host order.
+    pub dst_port: u16,
+    /// Length of UDP header + payload, host order.
+    pub len: u16,
+    /// Checksum as found on the wire.
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Parses a UDP header from the start of `buf`.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < UDP_HLEN {
+            return Err(ParseError::Truncated {
+                layer: Layer::Udp,
+                needed: UDP_HLEN,
+                have: buf.len(),
+            });
+        }
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            len: u16::from_be_bytes([buf[4], buf[5]]),
+            checksum: u16::from_be_bytes([buf[6], buf[7]]),
+        })
+    }
+
+    /// Serializes the header into its 8-byte wire form.
+    pub fn serialize(&self) -> [u8; UDP_HLEN] {
+        let mut out = [0u8; UDP_HLEN];
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.len.to_be_bytes());
+        out[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+        out
+    }
+}
+
+/// L4 header of a parsed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4Header {
+    /// TCP segment header.
+    Tcp(TcpHeader),
+    /// UDP datagram header.
+    Udp(UdpHeader),
+}
+
+/// A fully parsed frame: all three headers plus payload bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// Ethernet header.
+    pub eth: EthHeader,
+    /// IPv4 header.
+    pub ip: Ipv4Header,
+    /// TCP or UDP header.
+    pub l4: L4Header,
+    /// Offset of the L4 payload within the frame.
+    pub payload_off: usize,
+    /// Length of the L4 payload in bytes.
+    pub payload_len: usize,
+}
+
+impl ParsedPacket {
+    /// The canonical 5-tuple flow key of this packet.
+    pub fn flow_key(&self) -> FlowKey {
+        let (src_port, dst_port, proto) = match self.l4 {
+            L4Header::Tcp(t) => (t.src_port, t.dst_port, IPPROTO_TCP),
+            L4Header::Udp(u) => (u.src_port, u.dst_port, IPPROTO_UDP),
+        };
+        FlowKey {
+            src_ip: self.ip.src,
+            dst_ip: self.ip.dst,
+            src_port,
+            dst_port,
+            proto,
+        }
+    }
+
+    /// TCP flags, or 0 for UDP.
+    pub fn tcp_flags(&self) -> u8 {
+        match self.l4 {
+            L4Header::Tcp(t) => t.flags,
+            L4Header::Udp(_) => 0,
+        }
+    }
+}
+
+/// Parses a complete Ethernet/IPv4/{TCP,UDP} frame.
+///
+/// Verification performed: Ethernet length + ethertype, IPv4 version/IHL/
+/// total-length/header-checksum, and L4 header length. L4 checksums are
+/// *not* verified here (mirroring real XDP programs, which see frames
+/// before any checksum offload validation); use [`l4_checksum`] to verify
+/// them explicitly.
+pub fn parse_frame(buf: &[u8]) -> Result<ParsedPacket, ParseError> {
+    let eth = EthHeader::parse(buf)?;
+    if eth.ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::UnsupportedEthertype(eth.ethertype));
+    }
+    let ip_buf = &buf[ETH_HLEN..];
+    let ip = Ipv4Header::parse(ip_buf)?;
+    let l4_buf = &ip_buf[IPV4_HLEN..ip.total_len as usize];
+    let (l4, l4_hlen) = match ip.protocol {
+        IPPROTO_TCP => (L4Header::Tcp(TcpHeader::parse(l4_buf)?), TCP_HLEN),
+        IPPROTO_UDP => (L4Header::Udp(UdpHeader::parse(l4_buf)?), UDP_HLEN),
+        other => return Err(ParseError::UnsupportedProtocol(other)),
+    };
+    Ok(ParsedPacket {
+        eth,
+        ip,
+        l4,
+        payload_off: ETH_HLEN + IPV4_HLEN + l4_hlen,
+        payload_len: l4_buf.len() - l4_hlen,
+    })
+}
+
+/// The 5-tuple identifying a flow, all fields in host byte order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// L4 protocol number.
+    pub proto: u8,
+}
+
+/// Byte length of the wire form of a [`FlowKey`].
+pub const FLOW_KEY_WIRE_LEN: usize = 13;
+
+impl FlowKey {
+    /// Packs the key into its canonical 13-byte wire form: the raw
+    /// network-order bytes `src_ip | dst_ip | src_port | dst_port | proto`
+    /// exactly as they appear in the packet headers, so extensions can
+    /// build it with plain header loads and no byte swapping.
+    pub fn to_wire(self) -> [u8; FLOW_KEY_WIRE_LEN] {
+        let mut out = [0u8; FLOW_KEY_WIRE_LEN];
+        out[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        out[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        out[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        out[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[12] = self.proto;
+        out
+    }
+
+    /// Parses the canonical wire form produced by [`FlowKey::to_wire`].
+    pub fn from_wire(bytes: &[u8]) -> Option<FlowKey> {
+        if bytes.len() != FLOW_KEY_WIRE_LEN {
+            return None;
+        }
+        Some(FlowKey {
+            src_ip: u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]),
+            dst_ip: u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]),
+            src_port: u16::from_be_bytes([bytes[8], bytes[9]]),
+            dst_port: u16::from_be_bytes([bytes[10], bytes[11]]),
+            proto: bytes[12],
+        })
+    }
+
+    /// Deterministic 64-bit hash of the full 5-tuple (FNV-1a over the
+    /// wire form). Used for load-balancer backend selection.
+    pub fn hash5(&self) -> u64 {
+        fnv1a(&self.to_wire())
+    }
+
+    /// RSS-style steering hash over the 2-tuple `(src_ip, dst_ip, proto)`
+    /// only. Steering by this hash guarantees that every packet of a flow
+    /// — and every packet from a given source address — lands on the same
+    /// shard, which is what makes per-flow and per-source extension state
+    /// shard-count invariant.
+    pub fn hash_rss(&self) -> u64 {
+        let mut bytes = [0u8; 9];
+        bytes[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        bytes[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        bytes[8] = self.proto;
+        fnv1a(&bytes)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// RFC 1071 Internet (one's-complement) checksum over `data`, returned in
+/// host order. Odd trailing bytes are padded with zero.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// IPv4 header checksum: the Internet checksum over the 20-byte header
+/// with its checksum field treated as zero.
+pub fn ipv4_header_checksum(header: &[u8]) -> u16 {
+    debug_assert!(header.len() >= IPV4_HLEN);
+    let mut tmp = [0u8; IPV4_HLEN];
+    tmp.copy_from_slice(&header[..IPV4_HLEN]);
+    tmp[10] = 0;
+    tmp[11] = 0;
+    internet_checksum(&tmp)
+}
+
+/// TCP/UDP checksum with the IPv4 pseudo-header, over `segment` (the L4
+/// header with its checksum field zeroed, plus payload).
+pub fn l4_checksum(src: u32, dst: u32, proto: u8, segment: &[u8]) -> u16 {
+    let mut pseudo = Vec::with_capacity(12 + segment.len());
+    pseudo.extend_from_slice(&src.to_be_bytes());
+    pseudo.extend_from_slice(&dst.to_be_bytes());
+    pseudo.push(0);
+    pseudo.push(proto);
+    pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
+    pseudo.extend_from_slice(segment);
+    internet_checksum(&pseudo)
+}
+
+/// Builds a complete, checksum-correct Ethernet/IPv4/TCP frame.
+pub fn build_tcp_frame(key: FlowKey, flags: u8, seq: u32, payload: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(key.proto, IPPROTO_TCP);
+    let mut tcp = TcpHeader {
+        src_port: key.src_port,
+        dst_port: key.dst_port,
+        seq,
+        ack: if flags & TCP_ACK != 0 {
+            seq ^ 0x5555
+        } else {
+            0
+        },
+        flags,
+        window: 65_535,
+        checksum: 0,
+    };
+    let mut segment = Vec::with_capacity(TCP_HLEN + payload.len());
+    segment.extend_from_slice(&tcp.serialize());
+    segment.extend_from_slice(payload);
+    tcp.checksum = l4_checksum(key.src_ip, key.dst_ip, IPPROTO_TCP, &segment);
+    assemble_frame(key, IPPROTO_TCP, &tcp.serialize(), payload)
+}
+
+/// Builds a complete, checksum-correct Ethernet/IPv4/UDP frame.
+pub fn build_udp_frame(key: FlowKey, payload: &[u8]) -> Vec<u8> {
+    debug_assert_eq!(key.proto, IPPROTO_UDP);
+    let mut udp = UdpHeader {
+        src_port: key.src_port,
+        dst_port: key.dst_port,
+        len: (UDP_HLEN + payload.len()) as u16,
+        checksum: 0,
+    };
+    let mut segment = Vec::with_capacity(UDP_HLEN + payload.len());
+    segment.extend_from_slice(&udp.serialize());
+    segment.extend_from_slice(payload);
+    udp.checksum = l4_checksum(key.src_ip, key.dst_ip, IPPROTO_UDP, &segment);
+    assemble_frame(key, IPPROTO_UDP, &udp.serialize(), payload)
+}
+
+fn assemble_frame(key: FlowKey, proto: u8, l4_header: &[u8], payload: &[u8]) -> Vec<u8> {
+    let total_len = (IPV4_HLEN + l4_header.len() + payload.len()) as u16;
+    let ip = Ipv4Header {
+        dscp_ecn: 0,
+        total_len,
+        ident: (key.hash5() & 0xffff) as u16,
+        flags_frag: 0x4000, // don't fragment
+        ttl: 64,
+        protocol: proto,
+        checksum: 0,
+        src: key.src_ip,
+        dst: key.dst_ip,
+    };
+    let eth = EthHeader {
+        dst: [0x02, 0, 0, 0, 0, 0x01],
+        src: [0x02, 0, 0, 0, 0, 0x02],
+        ethertype: ETHERTYPE_IPV4,
+    };
+    let mut frame = Vec::with_capacity(ETH_HLEN + total_len as usize);
+    frame.extend_from_slice(&eth.serialize());
+    frame.extend_from_slice(&ip.serialize());
+    frame.extend_from_slice(l4_header);
+    frame.extend_from_slice(payload);
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey {
+            src_ip: 0x0a00_0001,
+            dst_ip: 0x0a01_0001,
+            src_port: 40_000,
+            dst_port: 443,
+            proto: IPPROTO_TCP,
+        }
+    }
+
+    #[test]
+    fn tcp_frame_round_trips() {
+        let frame = build_tcp_frame(key(), TCP_SYN, 1, b"hello");
+        let pkt = parse_frame(&frame).expect("parse");
+        assert_eq!(pkt.flow_key(), key());
+        assert_eq!(pkt.tcp_flags(), TCP_SYN);
+        assert_eq!(pkt.payload_len, 5);
+        assert_eq!(&frame[pkt.payload_off..pkt.payload_off + 5], b"hello");
+    }
+
+    #[test]
+    fn udp_frame_round_trips() {
+        let k = FlowKey {
+            proto: IPPROTO_UDP,
+            ..key()
+        };
+        let frame = build_udp_frame(k, b"dns?");
+        let pkt = parse_frame(&frame).expect("parse");
+        assert_eq!(pkt.flow_key(), k);
+        assert_eq!(pkt.payload_len, 4);
+        assert!(matches!(pkt.l4, L4Header::Udp(_)));
+    }
+
+    #[test]
+    fn ip_checksum_verifies_and_detects_corruption() {
+        let mut frame = build_tcp_frame(key(), TCP_SYN | TCP_ACK, 7, &[]);
+        assert!(parse_frame(&frame).is_ok());
+        frame[ETH_HLEN + 8] ^= 0xff; // flip TTL
+        assert!(matches!(
+            parse_frame(&frame),
+            Err(ParseError::BadIpChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn l4_checksum_round_trips() {
+        let frame = build_tcp_frame(key(), TCP_ACK, 99, b"payload");
+        let pkt = parse_frame(&frame).expect("parse");
+        // Recompute over the L4 segment with checksum zeroed; must match.
+        let l4_off = ETH_HLEN + IPV4_HLEN;
+        let mut segment = frame[l4_off..].to_vec();
+        segment[16] = 0;
+        segment[17] = 0;
+        let want = l4_checksum(pkt.ip.src, pkt.ip.dst, IPPROTO_TCP, &segment);
+        match pkt.l4 {
+            L4Header::Tcp(t) => assert_eq!(t.checksum, want),
+            L4Header::Udp(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let frame = build_tcp_frame(key(), TCP_SYN, 1, &[]);
+        for cut in [0, 5, ETH_HLEN - 1, ETH_HLEN + 3] {
+            assert!(
+                matches!(
+                    parse_frame(&frame[..cut]),
+                    Err(ParseError::Truncated { .. })
+                ),
+                "cut at {cut} must report truncation"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_key_wire_round_trips() {
+        let k = key();
+        assert_eq!(FlowKey::from_wire(&k.to_wire()), Some(k));
+        assert_eq!(FlowKey::from_wire(&[0u8; 12]), None);
+    }
+
+    #[test]
+    fn rss_hash_ignores_ports() {
+        let a = key();
+        let b = FlowKey {
+            src_port: 1,
+            dst_port: 2,
+            ..a
+        };
+        assert_eq!(a.hash_rss(), b.hash_rss());
+        assert_ne!(a.hash5(), b.hash5());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests for the network packet layer: the parser is total
+//! (never panics), builders and parsers are inverses, truncation and
+//! corruption are always detected, and the flow-key wire form round-trips.
+
+use proptest::prelude::*;
+
+use kernel_sim::net::packet::{
+    build_tcp_frame, build_udp_frame, internet_checksum, l4_checksum, parse_frame, EthHeader,
+    FlowKey, Ipv4Header, L4Header, TcpHeader, UdpHeader, ETH_HLEN, IPPROTO_TCP, IPPROTO_UDP,
+    IPV4_HLEN,
+};
+
+fn tcp_key() -> impl Strategy<Value = FlowKey> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>()).prop_map(
+        |(src_ip, dst_ip, src_port, dst_port)| FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: IPPROTO_TCP,
+        },
+    )
+}
+
+fn udp_key() -> impl Strategy<Value = FlowKey> {
+    tcp_key().prop_map(|k| FlowKey {
+        proto: IPPROTO_UDP,
+        ..k
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No byte sequence may panic the parser; it returns Ok or a typed
+    /// error for every input.
+    #[test]
+    fn parser_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = parse_frame(&bytes);
+    }
+
+    /// Built TCP frames parse back to exactly what was asked for, and
+    /// their L4 checksum verifies against the pseudo-header reference.
+    #[test]
+    fn tcp_build_parse_identity(key in tcp_key(),
+                                flags in any::<u8>(),
+                                seq in any::<u32>(),
+                                payload in prop::collection::vec(any::<u8>(), 0..64)) {
+        let frame = build_tcp_frame(key, flags, seq, &payload);
+        let pkt = parse_frame(&frame).expect("built frame parses");
+        prop_assert_eq!(pkt.flow_key(), key);
+        prop_assert_eq!(pkt.tcp_flags(), flags);
+        prop_assert_eq!(pkt.payload_len, payload.len());
+        prop_assert_eq!(&frame[pkt.payload_off..], &payload[..]);
+        let mut segment = frame[ETH_HLEN + IPV4_HLEN..].to_vec();
+        segment[16] = 0;
+        segment[17] = 0;
+        let want = l4_checksum(key.src_ip, key.dst_ip, IPPROTO_TCP, &segment);
+        match pkt.l4 {
+            L4Header::Tcp(t) => prop_assert_eq!(t.checksum, want),
+            L4Header::Udp(_) => prop_assert!(false, "TCP frame parsed as UDP"),
+        }
+    }
+
+    /// Built UDP frames parse back to exactly what was asked for.
+    #[test]
+    fn udp_build_parse_identity(key in udp_key(),
+                                payload in prop::collection::vec(any::<u8>(), 0..64)) {
+        let frame = build_udp_frame(key, &payload);
+        let pkt = parse_frame(&frame).expect("built frame parses");
+        prop_assert_eq!(pkt.flow_key(), key);
+        prop_assert_eq!(pkt.payload_len, payload.len());
+        match pkt.l4 {
+            L4Header::Udp(u) => prop_assert_eq!(u.len as usize, 8 + payload.len()),
+            L4Header::Tcp(_) => prop_assert!(false, "UDP frame parsed as TCP"),
+        }
+    }
+
+    /// Every strict prefix of a valid frame fails to parse: the total
+    /// length and per-layer bounds leave no cut point undetected.
+    #[test]
+    fn any_truncation_is_detected(key in tcp_key(),
+                                  payload in prop::collection::vec(any::<u8>(), 0..32),
+                                  cut in any::<prop::sample::Index>()) {
+        let frame = build_tcp_frame(key, 0x02, 1, &payload);
+        let cut = cut.index(frame.len()); // 0..len, strictly short of full
+        prop_assert!(parse_frame(&frame[..cut]).is_err(), "cut at {} parsed", cut);
+    }
+
+    /// Any single-bit flip anywhere in the IPv4 header is detected: the
+    /// header checksum covers every field, and the version/IHL checks
+    /// catch the bits the checksum field itself gives up.
+    #[test]
+    fn single_bit_ip_header_corruption_is_detected(key in tcp_key(),
+                                                   bit in 0usize..(IPV4_HLEN * 8)) {
+        let mut frame = build_tcp_frame(key, 0x12, 1, b"x");
+        frame[ETH_HLEN + bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(parse_frame(&frame).is_err(), "flipped bit {} parsed", bit);
+    }
+
+    /// The 13-byte flow-key wire form round-trips, and the RSS steering
+    /// hash is invariant under port changes (it covers only the 2-tuple).
+    #[test]
+    fn flow_key_wire_round_trips(key in tcp_key(), sp in any::<u16>(), dp in any::<u16>()) {
+        prop_assert_eq!(FlowKey::from_wire(&key.to_wire()), Some(key));
+        let reported = FlowKey { src_port: sp, dst_port: dp, ..key };
+        prop_assert_eq!(key.hash_rss(), reported.hash_rss());
+    }
+
+    /// Appending the complement of the folded sum makes any buffer verify
+    /// to zero — the defining property of the RFC 1071 checksum.
+    #[test]
+    fn internet_checksum_self_verifies(data in prop::collection::vec(any::<u8>(), 0..96)) {
+        let mut buf = data.clone();
+        if buf.len() % 2 == 1 {
+            buf.push(0); // checksum is defined over halfwords
+        }
+        let csum = internet_checksum(&buf);
+        buf.extend_from_slice(&csum.to_be_bytes());
+        prop_assert_eq!(internet_checksum(&buf), 0);
+    }
+
+    /// serialize ∘ parse is the identity for each header type (IPv4's
+    /// checksum field is recomputed by serialize, so it is compared
+    /// against the recomputation).
+    #[test]
+    fn headers_serialize_parse_identity(macs in any::<u64>(),
+                                        ethertype in any::<u16>(),
+                                        ports in (any::<u16>(), any::<u16>()),
+                                        seq in any::<u32>(),
+                                        flags in any::<u8>(),
+                                        udp_len in any::<u16>()) {
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&macs.to_be_bytes()[..6]);
+        src.copy_from_slice(&macs.to_le_bytes()[..6]);
+        let eth = EthHeader { dst, src, ethertype };
+        prop_assert_eq!(EthHeader::parse(&eth.serialize()), Ok(eth));
+
+        let tcp = TcpHeader {
+            src_port: ports.0,
+            dst_port: ports.1,
+            seq,
+            ack: seq ^ 0xdead_beef,
+            flags,
+            window: 4096,
+            checksum: 0x1234,
+        };
+        prop_assert_eq!(TcpHeader::parse(&tcp.serialize()), Ok(tcp));
+
+        let udp = UdpHeader {
+            src_port: ports.0,
+            dst_port: ports.1,
+            len: udp_len,
+            checksum: 0x5678,
+        };
+        prop_assert_eq!(UdpHeader::parse(&udp.serialize()), Ok(udp));
+
+        let mut ip = Ipv4Header {
+            dscp_ecn: 0,
+            total_len: 20 + (udp_len % 512),
+            ident: ports.0,
+            flags_frag: 0x4000,
+            ttl: 64,
+            protocol: IPPROTO_TCP,
+            checksum: 0,
+            src: seq,
+            dst: !seq,
+        };
+        let wire = ip.serialize();
+        // Give parse a buffer as long as total_len claims.
+        let mut buf = wire.to_vec();
+        buf.resize(ip.total_len as usize, 0);
+        let parsed = Ipv4Header::parse(&buf).expect("serialized header parses");
+        ip.checksum = parsed.checksum; // serialize recomputed it
+        prop_assert_eq!(parsed, ip);
+    }
+}
