@@ -46,4 +46,16 @@ if [ "$net_a" != "$net_b" ]; then
     exit 1
 fi
 
+echo "==> differential-fuzz smoke (500 programs, 2 shards, fixed seeds)"
+# The sweep is seeded and shard-invariant; hashing two separate
+# invocations of the full report JSON catches any nondeterminism in
+# generation, the verdict oracle, interp/JIT cross-checks, or shrinking.
+fuzz_a=$(cargo run --release -q -p fuzz --bin fuzzstats -- --seeds 500 --shards 2 --smoke | grep '^FUZZ_SHA256')
+fuzz_b=$(cargo run --release -q -p fuzz --bin fuzzstats -- --seeds 500 --shards 2 --smoke | grep '^FUZZ_SHA256')
+if [ "$fuzz_a" != "$fuzz_b" ]; then
+    echo "CI: fuzz report hashes differ between same-seed smoke runs" >&2
+    printf 'run A:\n%s\nrun B:\n%s\n' "$fuzz_a" "$fuzz_b" >&2
+    exit 1
+fi
+
 echo "CI: all gates passed"

@@ -1,0 +1,129 @@
+//! Paper-style table for the differential-fuzzing sweep.
+//!
+//! `crates/fuzz` feeds its per-lane soundness/completeness counts in as
+//! plain [`FuzzLaneSummary`] rows (this crate cannot depend on `fuzz` —
+//! the dependency points the other way), and gets back the ASCII table
+//! EXPERIMENTS.md embeds: accept/reject rates, disagreement rates, and
+//! the verdict-vs-behaviour breakdown per verifier lane.
+
+/// One verifier lane's aggregated sweep counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzLaneSummary {
+    /// Lane name (`patched` / `shipped`).
+    pub lane: String,
+    /// Programs judged.
+    pub total: u64,
+    /// Verifier accepts.
+    pub accepted: u64,
+    /// Accepted and ran clean on every input.
+    pub accept_safe: u64,
+    /// Accepted yet trapped at runtime (unsoundness candidates).
+    pub unsoundness: u64,
+    /// Rejected yet provably safe on the exhaustive input family
+    /// (incompleteness witnesses).
+    pub incompleteness: u64,
+    /// Interp/JIT pipeline divergences on accepted programs.
+    pub jit_divergence: u64,
+    /// Runs the input family could not decide (fuel exhausted).
+    pub undecided: u64,
+}
+
+impl FuzzLaneSummary {
+    /// Verifier accept rate in percent (0 when no programs judged).
+    pub fn accept_rate(&self) -> f64 {
+        pct(self.accepted, self.total)
+    }
+
+    /// Disagreement rate in percent: unsoundness candidates +
+    /// incompleteness witnesses + JIT divergences over total.
+    pub fn disagreement_rate(&self) -> f64 {
+        pct(
+            self.unsoundness + self.incompleteness + self.jit_divergence,
+            self.total,
+        )
+    }
+}
+
+fn pct(n: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / total as f64
+    }
+}
+
+/// Renders the table. Columns are fixed-width so EXPERIMENTS.md can
+/// embed the output verbatim.
+pub fn render_table(rows: &[FuzzLaneSummary]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Differential fuzzing: verifier verdict vs sandboxed runtime behaviour\n\
+         ----------------------------------------------------------------------\n",
+    );
+    out.push_str(&format!(
+        "{:<9} {:>7} {:>8} {:>8} {:>9} {:>9} {:>7} {:>9} {:>10}\n",
+        "lane", "progs", "accept", "acc%", "unsound", "incompl", "jitdiv", "undecided", "disagree%"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:>7} {:>8} {:>7.1}% {:>9} {:>9} {:>7} {:>9} {:>9.2}%\n",
+            r.lane,
+            r.total,
+            r.accepted,
+            r.accept_rate(),
+            r.unsoundness,
+            r.incompleteness,
+            r.jit_divergence,
+            r.undecided,
+            r.disagreement_rate(),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> FuzzLaneSummary {
+        FuzzLaneSummary {
+            lane: "patched".into(),
+            total: 1000,
+            accepted: 400,
+            accept_safe: 395,
+            unsoundness: 0,
+            incompleteness: 120,
+            jit_divergence: 0,
+            undecided: 15,
+        }
+    }
+
+    #[test]
+    fn rates_are_percentages() {
+        let r = row();
+        assert!((r.accept_rate() - 40.0).abs() < 1e-9);
+        assert!((r.disagreement_rate() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_total_is_zero_rate() {
+        let r = FuzzLaneSummary {
+            total: 0,
+            accepted: 0,
+            ..row()
+        };
+        assert_eq!(r.accept_rate(), 0.0);
+        assert_eq!(r.disagreement_rate(), 0.0);
+    }
+
+    #[test]
+    fn render_includes_every_lane() {
+        let mut shipped = row();
+        shipped.lane = "shipped".into();
+        shipped.unsoundness = 7;
+        let text = render_table(&[row(), shipped]);
+        assert!(text.contains("patched"));
+        assert!(text.contains("shipped"));
+        assert!(text.contains("disagree%"));
+    }
+}

@@ -9,7 +9,9 @@
 //! * [`loc`] — LoC counting over this repo's own verifier, producing the
 //!   measured Figure 2 series from the feature-stage layout;
 //! * [`bugdb`] — the corpus of replicated bugs behind the fault toggles;
-//! * [`figures`] — composition + ASCII/JSON rendering of each figure.
+//! * [`figures`] — composition + ASCII/JSON rendering of each figure;
+//! * [`fuzztable`] — the differential-fuzzing soundness/completeness
+//!   table rendered from `crates/fuzz` sweep counts.
 //!
 //! # Examples
 //!
@@ -24,6 +26,7 @@ pub mod bugdb;
 pub mod callgraph;
 pub mod datasets;
 pub mod figures;
+pub mod fuzztable;
 pub mod kerngen;
 pub mod loc;
 

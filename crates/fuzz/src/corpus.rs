@@ -1,0 +1,182 @@
+//! On-disk reproducer corpus.
+//!
+//! Shrunk disagreements are persisted as commented assembly text — the
+//! same syntax [`ebpf::text::parse_program`] reads and
+//! [`ebpf::disasm::disasm_program`] writes — with a `; key: value`
+//! metadata header recording the seed, shape, lane, and expected
+//! bucket. The workspace-root `fuzz_corpus_replay` test suite loads
+//! every `*.bpf` file under `crates/fuzz/corpus/` and re-judges it on
+//! each `cargo test`, so a behaviour change that flips a reproducer's
+//! bucket fails loudly.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use ebpf::disasm::disasm_program;
+use ebpf::insn::Insn;
+use ebpf::text::parse_program;
+
+use crate::gen::Shape;
+use crate::oracle::{Bucket, Lane, Observation, Oracle};
+
+/// A persisted, shrunk disagreement.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    /// The generating seed.
+    pub seed: u64,
+    /// The generator shape (fixes the program type).
+    pub shape: Shape,
+    /// The verifier lane the disagreement is against.
+    pub lane: Lane,
+    /// The expected verdict/behaviour bucket.
+    pub bucket: Bucket,
+    /// The shrunk bytecode.
+    pub insns: Vec<Insn>,
+}
+
+impl Reproducer {
+    /// Renders the corpus file text; `note` adds a free-form comment
+    /// line (e.g. the runtime trap) for human readers.
+    pub fn render(&self, note: Option<&str>) -> String {
+        let mut out = String::new();
+        out.push_str("; fuzz-reproducer v1\n");
+        out.push_str(&format!("; seed: {}\n", self.seed));
+        out.push_str(&format!("; shape: {}\n", self.shape.name()));
+        out.push_str(&format!("; lane: {}\n", self.lane.name()));
+        out.push_str(&format!("; bucket: {}\n", self.bucket.name()));
+        if let Some(note) = note {
+            for line in note.lines() {
+                out.push_str(&format!("; note: {line}\n"));
+            }
+        }
+        out.push_str(&disasm_program(&self.insns, None));
+        out
+    }
+
+    /// Canonical file name within the corpus directory.
+    pub fn file_name(&self) -> String {
+        format!(
+            "{}_{}_{}_seed{}.bpf",
+            self.bucket.name(),
+            self.lane.name(),
+            self.shape.name(),
+            self.seed
+        )
+    }
+
+    /// Parses a corpus file.
+    pub fn parse(text: &str) -> Result<Reproducer, String> {
+        let mut seed = None;
+        let mut shape = None;
+        let mut lane = None;
+        let mut bucket = None;
+        for line in text.lines() {
+            let Some(rest) = line.trim().strip_prefix(';') else {
+                continue;
+            };
+            let Some((key, value)) = rest.split_once(':') else {
+                continue;
+            };
+            let value = value.trim();
+            match key.trim() {
+                "seed" => seed = value.parse::<u64>().ok(),
+                "shape" => shape = Shape::from_name(value),
+                "lane" => lane = Lane::from_name(value),
+                "bucket" => bucket = Bucket::from_name(value),
+                _ => {}
+            }
+        }
+        let insns = parse_program(text).map_err(|e| e.to_string())?;
+        Ok(Reproducer {
+            seed: seed.ok_or("missing `; seed:` header")?,
+            shape: shape.ok_or("missing or bad `; shape:` header")?,
+            lane: lane.ok_or("missing or bad `; lane:` header")?,
+            bucket: bucket.ok_or("missing or bad `; bucket:` header")?,
+            insns,
+        })
+    }
+
+    /// Re-judges the reproducer with `oracle` under its recorded lane.
+    pub fn replay(&self, oracle: &Oracle) -> Observation {
+        oracle.evaluate(&self.insns, self.shape.prog_type(), self.lane)
+    }
+}
+
+/// Loads every `*.bpf` file under `dir`, sorted by file name. A missing
+/// directory is an empty corpus, not an error.
+pub fn load_dir(dir: &Path) -> io::Result<Vec<(PathBuf, Reproducer)>> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "bpf"))
+            .collect(),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let repro = Reproducer::parse(&text).map_err(|msg| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {msg}", path.display()),
+            )
+        })?;
+        out.push((path, repro));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{emit, Step};
+    use ebpf::insn::{Reg, BPF_W};
+    use ebpf::program::ProgType;
+
+    fn sample() -> Reproducer {
+        let steps = [
+            Step::MapLookup { key: 1000 },
+            Step::OrNullArith { imm: 16 },
+            Step::NullCheck,
+            Step::MapLoad {
+                size: BPF_W,
+                dst: Reg::R7,
+                off: 0,
+            },
+        ];
+        Reproducer {
+            seed: 42,
+            shape: Shape::Jmp32,
+            lane: Lane::Shipped,
+            bucket: Bucket::UnsoundnessCandidate,
+            insns: emit(&steps, ProgType::SocketFilter).unwrap(),
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let r = sample();
+        let text = r.render(Some("Fault { .. } at pc 12"));
+        let back = Reproducer::parse(&text).expect("parses");
+        assert_eq!(back.seed, r.seed);
+        assert_eq!(back.shape, r.shape);
+        assert_eq!(back.lane, r.lane);
+        assert_eq!(back.bucket, r.bucket);
+        assert_eq!(back.insns, r.insns);
+    }
+
+    #[test]
+    fn replay_reproduces_the_bucket() {
+        let r = sample();
+        let obs = r.replay(&Oracle::new());
+        assert_eq!(obs.bucket, r.bucket);
+    }
+
+    #[test]
+    fn missing_directory_is_empty_corpus() {
+        let loaded = load_dir(Path::new("/nonexistent/fuzz-corpus")).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

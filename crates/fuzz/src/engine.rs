@@ -1,0 +1,387 @@
+//! Sharded deterministic sweep and soundness/completeness accounting.
+//!
+//! Seeds are dealt to shards by residue (`seed % shards`), each shard
+//! judges its seeds independently on worker threads, and the results
+//! are merged **sorted by seed** before any aggregation or shrinking —
+//! so the report is byte-identical for any shard count, and two runs of
+//! the same configuration produce the same `BENCH_fuzz.json`.
+
+use std::collections::BTreeMap;
+
+use verifier::RejectCheck;
+
+use crate::gen::{generate, FuzzProgram, Shape};
+use crate::oracle::{Bucket, Lane, Observation, Oracle};
+use crate::shrink::shrink;
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// First seed.
+    pub seed_start: u64,
+    /// Number of seeds.
+    pub seeds: u64,
+    /// Worker shards (1 = single-threaded).
+    pub shards: usize,
+    /// Maximum disagreements shrunk per (lane, bucket) pair; the rest
+    /// are counted but not minimised.
+    pub shrink_limit: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed_start: 0,
+            seeds: 1000,
+            shards: 1,
+            shrink_limit: 4,
+        }
+    }
+}
+
+/// One program's judgement across both lanes.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// The seed.
+    pub seed: u64,
+    /// The generated shape.
+    pub shape: Shape,
+    /// Observations, one per [`Lane::ALL`] entry, in lane order.
+    pub obs: Vec<Observation>,
+}
+
+/// Per-lane accounting.
+#[derive(Debug, Clone)]
+pub struct LaneReport {
+    /// The lane.
+    pub lane: Lane,
+    /// Programs judged.
+    pub total: u64,
+    /// Verifier accepts.
+    pub accepted: u64,
+    /// Bucket counts, parallel to [`Bucket::ALL`].
+    pub buckets: [u64; 7],
+    /// Reject counts per structured check, parallel to
+    /// [`RejectCheck::ALL`].
+    pub checks: [u64; 12],
+    /// Summed verifier-processed instructions over accepted programs.
+    pub insns_processed: u64,
+    /// Summed `check_mem` accesses proven over accepted programs.
+    pub mem_accesses_checked: u64,
+    /// Summed packet-range comparisons over accepted programs.
+    pub packet_compares_checked: u64,
+    /// Summed helper call sites checked over accepted programs.
+    pub helper_calls_checked: u64,
+}
+
+impl LaneReport {
+    fn new(lane: Lane) -> LaneReport {
+        LaneReport {
+            lane,
+            total: 0,
+            accepted: 0,
+            buckets: [0; 7],
+            checks: [0; 12],
+            insns_processed: 0,
+            mem_accesses_checked: 0,
+            packet_compares_checked: 0,
+            helper_calls_checked: 0,
+        }
+    }
+
+    fn absorb(&mut self, obs: &Observation) {
+        self.total += 1;
+        if obs.accepted {
+            self.accepted += 1;
+        }
+        let b = Bucket::ALL.iter().position(|b| *b == obs.bucket).unwrap();
+        self.buckets[b] += 1;
+        if let Some(check) = obs.check {
+            let c = RejectCheck::ALL.iter().position(|c| *c == check).unwrap();
+            self.checks[c] += 1;
+        }
+        if let Some(stats) = &obs.stats {
+            self.insns_processed += stats.insns_processed;
+            self.mem_accesses_checked += stats.mem_accesses_checked;
+            self.packet_compares_checked += stats.packet_compares_checked;
+            self.helper_calls_checked += stats.helper_calls_checked;
+        }
+    }
+
+    /// Count for one bucket.
+    pub fn bucket(&self, b: Bucket) -> u64 {
+        self.buckets[Bucket::ALL.iter().position(|x| *x == b).unwrap()]
+    }
+
+    /// Disagreements (unsoundness + incompleteness + JIT divergence).
+    pub fn disagreements(&self) -> u64 {
+        Bucket::ALL
+            .iter()
+            .filter(|b| b.is_disagreement())
+            .map(|b| self.bucket(*b))
+            .sum()
+    }
+}
+
+/// One shrunk disagreement, ready for the corpus.
+#[derive(Debug, Clone)]
+pub struct ShrunkCase {
+    /// The shrunk program.
+    pub prog: FuzzProgram,
+    /// The lane it disagrees under.
+    pub lane: Lane,
+    /// The preserved bucket.
+    pub bucket: Bucket,
+    /// Steps before shrinking.
+    pub steps_before: usize,
+    /// Steps after shrinking.
+    pub steps_after: usize,
+    /// Bytecode slots after shrinking.
+    pub insns_after: usize,
+    /// Debug rendering of the runtime trap, if the bucket traps.
+    pub trap: Option<String>,
+}
+
+/// The full sweep report.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// First seed.
+    pub seed_start: u64,
+    /// Seeds judged.
+    pub seeds: u64,
+    /// Shard count used (does not affect the report's content).
+    pub shards: usize,
+    /// Programs generated per shape, parallel to [`Shape::ALL`].
+    pub shapes: [u64; 6],
+    /// Per-lane accounting, in [`Lane::ALL`] order.
+    pub lanes: Vec<LaneReport>,
+    /// Shrunk disagreements, in (lane, bucket, seed) order.
+    pub shrunk: Vec<ShrunkCase>,
+}
+
+/// Judges one seed: generate, probe once, verdict per lane.
+fn judge(oracle: &Oracle, seed: u64) -> CaseResult {
+    let prog = generate(seed);
+    let insns = prog.emit().expect("generated programs assemble");
+    let prog_type = prog.prog_type();
+    let probe = oracle.probe(&insns, prog_type);
+    let obs = Lane::ALL
+        .iter()
+        .map(|&lane| Observation::from_parts(lane, oracle.verdict(&insns, prog_type, lane), &probe))
+        .collect();
+    CaseResult {
+        seed,
+        shape: prog.shape,
+        obs,
+    }
+}
+
+/// Runs the sweep: shard, judge, merge sorted by seed, aggregate, and
+/// shrink the first `shrink_limit` disagreements per (lane, bucket).
+pub fn sweep(cfg: &FuzzConfig) -> FuzzReport {
+    let oracle = Oracle::new();
+    let shards = cfg.shards.max(1);
+    let range: Vec<u64> = (cfg.seed_start..cfg.seed_start + cfg.seeds).collect();
+    let mut cases: Vec<CaseResult> = if shards == 1 {
+        range.iter().map(|&s| judge(&oracle, s)).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|shard| {
+                    let seeds: Vec<u64> = range
+                        .iter()
+                        .copied()
+                        .filter(|s| (*s as usize) % shards == shard)
+                        .collect();
+                    let oracle = oracle.clone();
+                    scope.spawn(move || {
+                        seeds
+                            .into_iter()
+                            .map(|s| judge(&oracle, s))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fuzz shard panicked"))
+                .collect()
+        })
+    };
+    // Determinism hinges on this: aggregate in seed order regardless of
+    // shard interleaving.
+    cases.sort_by_key(|c| c.seed);
+
+    let mut shapes = [0u64; 6];
+    let mut lanes: Vec<LaneReport> = Lane::ALL.iter().map(|&l| LaneReport::new(l)).collect();
+    // (lane index, bucket index) -> seeds of disagreements, seed order.
+    let mut disagreements: BTreeMap<(usize, usize), Vec<u64>> = BTreeMap::new();
+    for case in &cases {
+        let s = Shape::ALL.iter().position(|s| *s == case.shape).unwrap();
+        shapes[s] += 1;
+        for (li, obs) in case.obs.iter().enumerate() {
+            lanes[li].absorb(obs);
+            if obs.bucket.is_disagreement() {
+                let bi = Bucket::ALL.iter().position(|b| *b == obs.bucket).unwrap();
+                disagreements.entry((li, bi)).or_default().push(case.seed);
+            }
+        }
+    }
+
+    let mut shrunk = Vec::new();
+    for ((li, bi), seeds) in &disagreements {
+        let lane = Lane::ALL[*li];
+        let bucket = Bucket::ALL[*bi];
+        for &seed in seeds.iter().take(cfg.shrink_limit) {
+            let prog = generate(seed);
+            let steps_before = prog.steps.len();
+            let (small, got) = shrink(&oracle, &prog, lane);
+            debug_assert_eq!(got, bucket);
+            let insns = small.emit().expect("shrunk programs assemble");
+            let obs = oracle.evaluate(&insns, small.prog_type(), lane);
+            shrunk.push(ShrunkCase {
+                steps_before,
+                steps_after: small.steps.len(),
+                insns_after: insns.len(),
+                trap: obs.trap,
+                prog: small,
+                lane,
+                bucket,
+            });
+        }
+    }
+
+    FuzzReport {
+        seed_start: cfg.seed_start,
+        seeds: cfg.seeds,
+        shards,
+        shapes,
+        lanes,
+        shrunk,
+    }
+}
+
+impl FuzzReport {
+    /// Deterministic hand-rolled JSON: counts and structure only — no
+    /// wall-clock, no host-dependent values.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(s, "{{").unwrap();
+        writeln!(s, "  \"bench\": \"fuzz_differential\",").unwrap();
+        writeln!(s, "  \"seed_start\": {},", self.seed_start).unwrap();
+        writeln!(s, "  \"seeds\": {},", self.seeds).unwrap();
+        writeln!(s, "  \"shapes\": {{").unwrap();
+        for (i, shape) in Shape::ALL.iter().enumerate() {
+            let comma = if i + 1 == Shape::ALL.len() { "" } else { "," };
+            writeln!(s, "    \"{}\": {}{}", shape.name(), self.shapes[i], comma).unwrap();
+        }
+        writeln!(s, "  }},").unwrap();
+        writeln!(s, "  \"lanes\": [").unwrap();
+        for (li, lane) in self.lanes.iter().enumerate() {
+            writeln!(s, "    {{").unwrap();
+            writeln!(s, "      \"lane\": \"{}\",", lane.lane.name()).unwrap();
+            writeln!(s, "      \"total\": {},", lane.total).unwrap();
+            writeln!(s, "      \"accepted\": {},", lane.accepted).unwrap();
+            writeln!(s, "      \"buckets\": {{").unwrap();
+            for (i, b) in Bucket::ALL.iter().enumerate() {
+                let comma = if i + 1 == Bucket::ALL.len() { "" } else { "," };
+                writeln!(s, "        \"{}\": {}{}", b.name(), lane.buckets[i], comma).unwrap();
+            }
+            writeln!(s, "      }},").unwrap();
+            writeln!(s, "      \"reject_checks\": {{").unwrap();
+            for (i, c) in RejectCheck::ALL.iter().enumerate() {
+                let comma = if i + 1 == RejectCheck::ALL.len() {
+                    ""
+                } else {
+                    ","
+                };
+                writeln!(s, "        \"{}\": {}{}", c.name(), lane.checks[i], comma).unwrap();
+            }
+            writeln!(s, "      }},").unwrap();
+            writeln!(s, "      \"insns_processed\": {},", lane.insns_processed).unwrap();
+            writeln!(
+                s,
+                "      \"mem_accesses_checked\": {},",
+                lane.mem_accesses_checked
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "      \"packet_compares_checked\": {},",
+                lane.packet_compares_checked
+            )
+            .unwrap();
+            writeln!(
+                s,
+                "      \"helper_calls_checked\": {}",
+                lane.helper_calls_checked
+            )
+            .unwrap();
+            let comma = if li + 1 == self.lanes.len() { "" } else { "," };
+            writeln!(s, "    }}{}", comma).unwrap();
+        }
+        writeln!(s, "  ],").unwrap();
+        writeln!(s, "  \"shrunk\": [").unwrap();
+        for (i, case) in self.shrunk.iter().enumerate() {
+            let comma = if i + 1 == self.shrunk.len() { "" } else { "," };
+            writeln!(
+                s,
+                "    {{\"seed\": {}, \"shape\": \"{}\", \"lane\": \"{}\", \"bucket\": \"{}\", \
+                 \"steps_before\": {}, \"steps_after\": {}, \"insns_after\": {}}}{}",
+                case.prog.seed,
+                case.prog.shape.name(),
+                case.lane.name(),
+                case.bucket.name(),
+                case.steps_before,
+                case.steps_after,
+                case.insns_after,
+                comma
+            )
+            .unwrap();
+        }
+        writeln!(s, "  ]").unwrap();
+        writeln!(s, "}}").unwrap();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(shards: usize) -> FuzzConfig {
+        FuzzConfig {
+            seed_start: 0,
+            seeds: 36,
+            shards,
+            shrink_limit: 1,
+        }
+    }
+
+    #[test]
+    fn report_is_shard_invariant() {
+        let one = sweep(&small_cfg(1));
+        let three = sweep(&small_cfg(3));
+        assert_eq!(one.to_json(), three.to_json());
+    }
+
+    #[test]
+    fn report_is_deterministic_across_runs() {
+        let a = sweep(&small_cfg(2));
+        let b = sweep(&small_cfg(2));
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn every_seed_is_judged_once_per_lane() {
+        let report = sweep(&small_cfg(2));
+        for lane in &report.lanes {
+            assert_eq!(lane.total, 36);
+            assert_eq!(lane.buckets.iter().sum::<u64>(), 36);
+        }
+        assert_eq!(report.shapes.iter().sum::<u64>(), 36);
+        // 36 seeds over 6 shapes: exactly 6 programs per shape.
+        assert!(report.shapes.iter().all(|&n| n == 6));
+    }
+}

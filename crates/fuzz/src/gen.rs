@@ -1,0 +1,733 @@
+//! Structured, seeded eBPF program generation.
+//!
+//! Programs are built from a small step IR ([`Step`]) rather than raw
+//! instruction slots so the shrinker can delete whole steps and rebuild
+//! a well-formed program: every step is self-contained (its own labels,
+//! its own register discipline), and all escape jumps target the shared
+//! `out` epilogue, so any subset of steps still assembles.
+//!
+//! Generation is stratified over [`Shape`]s and biased toward the
+//! verifier's boundary conditions: stack-frame edges, map-value size
+//! edges, packet-range edges, JMP32 bounds narrowing, ringbuf
+//! reservation sizes, and loop iteration counts that straddle the
+//! processed-instruction budget.
+
+use ebpf::asm::{Asm, AsmError};
+use ebpf::helpers;
+use ebpf::insn::{
+    Insn, Reg, BPF_ADD, BPF_AND, BPF_ARSH, BPF_B, BPF_DIV, BPF_DW, BPF_H, BPF_JEQ, BPF_JGE,
+    BPF_JGT, BPF_JNE, BPF_JSET, BPF_JSGT, BPF_JSLT, BPF_LSH, BPF_MOD, BPF_MUL, BPF_OR, BPF_RSH,
+    BPF_SUB, BPF_W, BPF_XOR,
+};
+use ebpf::program::ProgType;
+
+use crate::oracle::{ARR_FD, HASH_FD, RB_FD};
+use crate::rng::SplitMix64;
+
+/// Program shapes the generator stratifies over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Shape {
+    /// Straight-line ALU/endian arithmetic with boundary immediates.
+    Alu,
+    /// JMP32/JMP64 bounds gadgets feeding map-value pointer arithmetic
+    /// (the CVE-2021-31440 / CVE-2022-23222 families).
+    Jmp32,
+    /// Stack and map-value memory traffic at frame and value-size edges.
+    Mem,
+    /// Helper calls: known scalar helpers, unknown ids, hash updates,
+    /// ringbuf reservations at capacity edges.
+    Helper,
+    /// Constant-bound countdown loops straddling the verifier's
+    /// processed-instruction budget.
+    Loop,
+    /// Direct packet access with and without bounds checks (XDP).
+    Packet,
+}
+
+impl Shape {
+    /// Every shape, in seed-assignment order.
+    pub const ALL: [Shape; 6] = [
+        Shape::Alu,
+        Shape::Jmp32,
+        Shape::Mem,
+        Shape::Helper,
+        Shape::Loop,
+        Shape::Packet,
+    ];
+
+    /// Stable lower-case name used in reports and corpus headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Shape::Alu => "alu",
+            Shape::Jmp32 => "jmp32",
+            Shape::Mem => "mem",
+            Shape::Helper => "helper",
+            Shape::Loop => "loop",
+            Shape::Packet => "packet",
+        }
+    }
+
+    /// Parses a [`Shape::name`].
+    pub fn from_name(name: &str) -> Option<Shape> {
+        Shape::ALL.iter().copied().find(|s| s.name() == name)
+    }
+
+    /// The program type this shape's programs carry.
+    pub fn prog_type(self) -> ProgType {
+        match self {
+            Shape::Packet => ProgType::Xdp,
+            _ => ProgType::SocketFilter,
+        }
+    }
+}
+
+/// One self-contained generation step; see the module docs for the
+/// shrinkability contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// `dst = imm`.
+    MovImm {
+        /// Destination register.
+        dst: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `dst = dst <op> imm` (64- or 32-bit).
+    AluImm {
+        /// 64-bit (vs 32-bit zero-extending) form.
+        wide: bool,
+        /// ALU opcode.
+        op: u8,
+        /// Destination register.
+        dst: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `dst = dst <op> src` (64- or 32-bit).
+    AluReg {
+        /// 64-bit form.
+        wide: bool,
+        /// ALU opcode.
+        op: u8,
+        /// Destination register.
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// Byte-order conversion.
+    Endian {
+        /// Destination register.
+        dst: Reg,
+        /// 16, 32, or 64.
+        width: i32,
+        /// Convert to big-endian order (vs little-endian).
+        to_be: bool,
+    },
+    /// Conditional jump to the shared epilogue.
+    JmpOut {
+        /// 64-bit compare (vs JMP32).
+        wide: bool,
+        /// Jump opcode.
+        op: u8,
+        /// Compared register.
+        dst: Reg,
+        /// Compared immediate.
+        imm: i32,
+    },
+    /// `*(size*)(fp + off) = imm`.
+    StackStore {
+        /// Access width bits (`BPF_B`/`H`/`W`/`DW`).
+        size: u8,
+        /// Frame offset.
+        off: i16,
+        /// Stored immediate.
+        imm: i32,
+    },
+    /// `dst = *(size*)(fp + off)`.
+    StackLoad {
+        /// Access width bits.
+        size: u8,
+        /// Destination register.
+        dst: Reg,
+        /// Frame offset.
+        off: i16,
+    },
+    /// `r0 = bpf_map_lookup_elem(fz_arr, &key)` with the key staged at
+    /// `fp-4`; misses for keys outside the 4-entry array.
+    MapLookup {
+        /// Array index.
+        key: i32,
+    },
+    /// `r0 += imm` straight after a lookup, **before** any NULL check —
+    /// the CVE-2022-23222 shape.
+    OrNullArith {
+        /// Offset added to the possibly-NULL pointer.
+        imm: i32,
+    },
+    /// `if r0 == 0 goto out`.
+    NullCheck,
+    /// `dst = *(size*)(r0 + off)` against the checked map value.
+    MapLoad {
+        /// Access width bits.
+        size: u8,
+        /// Destination register.
+        dst: Reg,
+        /// Offset into the value.
+        off: i16,
+    },
+    /// `*(size*)(r0 + off) = imm` against the checked map value.
+    MapStore {
+        /// Access width bits.
+        size: u8,
+        /// Offset into the value.
+        off: i16,
+        /// Stored immediate.
+        imm: i32,
+    },
+    /// `r0 += r6` — variable-offset map-value arithmetic.
+    MapAddR6,
+    /// `r6 = (ktime() << 32) | low`: a 64-bit scalar with controlled
+    /// low 32 bits and runtime-nonzero high bits.
+    KtimeHigh {
+        /// Low 32 bits.
+        low: i32,
+    },
+    /// `if r6 >= bound (JMP32) goto out` — on the fall-through only the
+    /// low 32 bits are known small (the narrowing-bug trigger).
+    Jmp32Bound {
+        /// Bound.
+        bound: i32,
+    },
+    /// `if r6 >= bound (JMP64) goto out` — the sound equivalent.
+    Jmp64Bound {
+        /// Bound.
+        bound: i32,
+    },
+    /// Calls a no-argument scalar helper (or an unknown id) and folds
+    /// the result into r6.
+    ScalarHelper {
+        /// Helper id.
+        id: u32,
+    },
+    /// `bpf_map_update_elem(fz_hash, &key, &val, 0)` staged on the stack.
+    HashUpdate {
+        /// Hash key.
+        key: i32,
+        /// First value word.
+        val: i32,
+    },
+    /// Ringbuf reserve/store/submit sequence.
+    Ringbuf {
+        /// Reservation size in bytes.
+        size: i32,
+        /// Store offset into the record.
+        off: i16,
+    },
+    /// `r7 = data; r8 = data_end` from the XDP context.
+    LoadPacketPtrs,
+    /// `if data + n > data_end goto out`.
+    PktBoundsCheck {
+        /// Verified byte count on the fall-through.
+        n: i32,
+    },
+    /// `dst = *(size*)(r7 + off)` against the packet.
+    PktLoad {
+        /// Access width bits.
+        size: u8,
+        /// Destination register.
+        dst: Reg,
+        /// Packet offset.
+        off: i16,
+    },
+    /// Constant-bound countdown loop; self-contained back edge.
+    Loop {
+        /// Iteration count.
+        iters: i32,
+        /// Body ALU opcode applied to r6 each iteration.
+        op: u8,
+    },
+}
+
+/// A generated program: the step IR plus enough metadata to rebuild,
+/// shrink, and bucket it.
+#[derive(Debug, Clone)]
+pub struct FuzzProgram {
+    /// The generating seed.
+    pub seed: u64,
+    /// The stratification shape.
+    pub shape: Shape,
+    /// The steps; rebuild with [`emit`].
+    pub steps: Vec<Step>,
+}
+
+impl FuzzProgram {
+    /// The program type (derived from the shape).
+    pub fn prog_type(&self) -> ProgType {
+        self.shape.prog_type()
+    }
+
+    /// Assembles the step IR into bytecode.
+    pub fn emit(&self) -> Result<Vec<Insn>, AsmError> {
+        emit(&self.steps, self.prog_type())
+    }
+}
+
+/// Scratch registers preserved across helper calls.
+const SCRATCH: [Reg; 3] = [Reg::R6, Reg::R7, Reg::R8];
+
+/// Immediates biased toward ALU edge cases.
+const BOUNDARY_IMMS: [i32; 15] = [
+    0,
+    1,
+    -1,
+    2,
+    7,
+    8,
+    31,
+    32,
+    63,
+    64,
+    127,
+    4096,
+    -4096,
+    i32::MAX,
+    i32::MIN,
+];
+
+/// Frame offsets straddling the 512-byte stack frame.
+const STACK_OFFS: [i16; 11] = [-512, -511, -510, -256, -16, -9, -8, -4, -1, 0, 8];
+
+/// Offsets straddling the 64-byte array value.
+const VALUE_OFFS: [i16; 10] = [0, 1, 7, 8, 32, 56, 57, 63, 64, -1];
+
+/// Array keys straddling the 4-entry array (>= 4 misses).
+const ARR_KEYS: [i32; 6] = [0, 1, 3, 4, 5, 1000];
+
+/// Access width bits.
+const SIZES: [u8; 4] = [BPF_B, BPF_H, BPF_W, BPF_DW];
+
+/// Emits one step into the builder. `idx` uniquifies intra-step labels.
+fn emit_step(asm: Asm, idx: usize, step: &Step) -> Asm {
+    match *step {
+        Step::MovImm { dst, imm } => asm.mov64_imm(dst, imm),
+        Step::AluImm { wide, op, dst, imm } => {
+            if wide {
+                asm.alu64_imm(op, dst, imm)
+            } else {
+                asm.alu32_imm(op, dst, imm)
+            }
+        }
+        Step::AluReg { wide, op, dst, src } => {
+            if wide {
+                asm.alu64_reg(op, dst, src)
+            } else {
+                asm.alu32_reg(op, dst, src)
+            }
+        }
+        Step::Endian { dst, width, to_be } => asm.endian(dst, width, to_be),
+        Step::JmpOut { wide, op, dst, imm } => {
+            if wide {
+                asm.jmp64_imm(op, dst, imm, "out")
+            } else {
+                asm.jmp32_imm(op, dst, imm, "out")
+            }
+        }
+        Step::StackStore { size, off, imm } => asm.st(size, Reg::R10, off, imm),
+        Step::StackLoad { size, dst, off } => asm.ldx(size, dst, Reg::R10, off),
+        Step::MapLookup { key } => asm
+            .st(BPF_W, Reg::R10, -4, key)
+            .ld_map_fd(Reg::R1, ARR_FD)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .alu64_imm(BPF_ADD, Reg::R2, -4)
+            .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32),
+        Step::OrNullArith { imm } => asm.alu64_imm(BPF_ADD, Reg::R0, imm),
+        Step::NullCheck => asm.jmp64_imm(BPF_JEQ, Reg::R0, 0, "out"),
+        Step::MapLoad { size, dst, off } => asm.ldx(size, dst, Reg::R0, off),
+        Step::MapStore { size, off, imm } => asm.st(size, Reg::R0, off, imm),
+        Step::MapAddR6 => asm.alu64_reg(BPF_ADD, Reg::R0, Reg::R6),
+        Step::KtimeHigh { low } => asm
+            .call_helper(helpers::BPF_KTIME_GET_NS as i32)
+            .mov64_reg(Reg::R6, Reg::R0)
+            .alu64_imm(BPF_LSH, Reg::R6, 32)
+            .alu64_imm(BPF_OR, Reg::R6, low),
+        Step::Jmp32Bound { bound } => asm.jmp32_imm(BPF_JGE, Reg::R6, bound, "out"),
+        Step::Jmp64Bound { bound } => asm.jmp64_imm(BPF_JGE, Reg::R6, bound, "out"),
+        Step::ScalarHelper { id } => {
+            asm.call_helper(id as i32)
+                .alu64_reg(BPF_XOR, Reg::R6, Reg::R0)
+        }
+        Step::HashUpdate { key, val } => asm
+            .st(BPF_W, Reg::R10, -4, key)
+            .st(BPF_DW, Reg::R10, -24, val)
+            .st(BPF_DW, Reg::R10, -16, val.wrapping_add(1))
+            .ld_map_fd(Reg::R1, HASH_FD)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .alu64_imm(BPF_ADD, Reg::R2, -4)
+            .mov64_reg(Reg::R3, Reg::R10)
+            .alu64_imm(BPF_ADD, Reg::R3, -24)
+            .mov64_imm(Reg::R4, 0)
+            .call_helper(helpers::BPF_MAP_UPDATE_ELEM as i32),
+        Step::Ringbuf { size, off } => asm
+            .ld_map_fd(Reg::R1, RB_FD)
+            .mov64_imm(Reg::R2, size)
+            .mov64_imm(Reg::R3, 0)
+            .call_helper(helpers::BPF_RINGBUF_RESERVE as i32)
+            .jmp64_imm(BPF_JEQ, Reg::R0, 0, "out")
+            .st(BPF_B, Reg::R0, off, 1)
+            .mov64_reg(Reg::R1, Reg::R0)
+            .mov64_imm(Reg::R2, 0)
+            .call_helper(helpers::BPF_RINGBUF_SUBMIT as i32),
+        Step::LoadPacketPtrs => {
+            asm.ldx(BPF_DW, Reg::R7, Reg::R1, 0)
+                .ldx(BPF_DW, Reg::R8, Reg::R1, 8)
+        }
+        Step::PktBoundsCheck { n } => asm
+            .mov64_reg(Reg::R2, Reg::R7)
+            .alu64_imm(BPF_ADD, Reg::R2, n)
+            .jmp64_reg(BPF_JGT, Reg::R2, Reg::R8, "out"),
+        Step::PktLoad { size, dst, off } => asm.ldx(size, dst, Reg::R7, off),
+        Step::Loop { iters, op } => {
+            let l = format!("l{idx}");
+            asm.mov64_imm(Reg::R9, iters)
+                .label(&l)
+                .alu64_imm(op, Reg::R6, 1)
+                .alu64_imm(BPF_SUB, Reg::R9, 1)
+                .jmp64_imm(BPF_JNE, Reg::R9, 0, &l)
+        }
+    }
+}
+
+/// Assembles steps into bytecode: a register-initialising prologue, the
+/// steps, and the shared `out` epilogue returning a contract-valid value.
+pub fn emit(steps: &[Step], prog_type: ProgType) -> Result<Vec<Insn>, AsmError> {
+    let mut asm = Asm::new()
+        .mov64_imm(Reg::R6, 0)
+        .mov64_imm(Reg::R7, 1)
+        .mov64_imm(Reg::R8, 2)
+        .mov64_imm(Reg::R9, 3);
+    for (idx, step) in steps.iter().enumerate() {
+        asm = emit_step(asm, idx, step);
+    }
+    // XDP_PASS (2) satisfies the XDP return contract; 0 for the rest.
+    let ret = match prog_type {
+        ProgType::Xdp => 2,
+        _ => 0,
+    };
+    asm.label("out").mov64_imm(Reg::R0, ret).exit().build()
+}
+
+fn gen_alu(rng: &mut SplitMix64) -> Vec<Step> {
+    const OPS: [u8; 12] = [
+        BPF_ADD, BPF_SUB, BPF_MUL, BPF_DIV, BPF_OR, BPF_AND, BPF_LSH, BPF_RSH, BPF_MOD, BPF_XOR,
+        BPF_ARSH, BPF_MUL,
+    ];
+    const JOPS: [u8; 6] = [BPF_JEQ, BPF_JNE, BPF_JGT, BPF_JSGT, BPF_JSLT, BPF_JSET];
+    let n = 2 + rng.below(10);
+    let mut steps = Vec::new();
+    for _ in 0..n {
+        let dst = *rng.pick(&SCRATCH);
+        steps.push(match rng.below(5) {
+            0 => Step::MovImm {
+                dst,
+                imm: *rng.pick(&BOUNDARY_IMMS),
+            },
+            1 => Step::AluReg {
+                wide: rng.chance(3, 4),
+                op: *rng.pick(&OPS),
+                dst,
+                src: *rng.pick(&SCRATCH),
+            },
+            2 => Step::Endian {
+                dst,
+                width: *rng.pick(&[16, 32, 64]),
+                to_be: rng.chance(1, 2),
+            },
+            3 => Step::JmpOut {
+                wide: rng.chance(3, 4),
+                op: *rng.pick(&JOPS),
+                dst,
+                imm: *rng.pick(&BOUNDARY_IMMS),
+            },
+            _ => Step::AluImm {
+                wide: rng.chance(3, 4),
+                op: *rng.pick(&OPS),
+                dst,
+                imm: *rng.pick(&BOUNDARY_IMMS),
+            },
+        });
+    }
+    steps
+}
+
+fn gen_jmp32(rng: &mut SplitMix64) -> Vec<Step> {
+    let access = Step::MapLoad {
+        size: *rng.pick(&SIZES),
+        dst: Reg::R7,
+        off: *rng.pick(&[0i16, 1, 7, 8]),
+    };
+    match rng.below(4) {
+        // The narrowing gadget: low 32 bits bounded, high bits live.
+        0 => vec![
+            Step::KtimeHigh {
+                low: rng.below(8) as i32,
+            },
+            Step::Jmp32Bound {
+                bound: *rng.pick(&[1, 2, 8, 16]),
+            },
+            Step::MapLookup {
+                key: *rng.pick(&ARR_KEYS),
+            },
+            Step::NullCheck,
+            Step::MapAddR6,
+            access,
+        ],
+        // Sound 64-bit bound on the same value.
+        1 => vec![
+            Step::KtimeHigh {
+                low: rng.below(8) as i32,
+            },
+            Step::Jmp64Bound {
+                bound: *rng.pick(&[8, 16, 56]),
+            },
+            Step::MapLookup {
+                key: *rng.pick(&ARR_KEYS),
+            },
+            Step::NullCheck,
+            Step::MapAddR6,
+            access,
+        ],
+        // Pointer arithmetic before the NULL check (CVE-2022-23222).
+        2 => vec![
+            Step::MapLookup {
+                key: *rng.pick(&ARR_KEYS),
+            },
+            Step::OrNullArith {
+                imm: *rng.pick(&[8, 16, 256, 4096]),
+            },
+            Step::NullCheck,
+            access,
+        ],
+        // Properly masked variable offset: accepted everywhere.
+        _ => vec![
+            Step::KtimeHigh {
+                low: rng.below(8) as i32,
+            },
+            Step::AluImm {
+                wide: true,
+                op: BPF_AND,
+                dst: Reg::R6,
+                imm: 7,
+            },
+            Step::MapLookup {
+                key: *rng.pick(&ARR_KEYS),
+            },
+            Step::NullCheck,
+            Step::MapAddR6,
+            Step::MapLoad {
+                size: BPF_B,
+                dst: Reg::R7,
+                off: *rng.pick(&[0i16, 8, 56]),
+            },
+        ],
+    }
+}
+
+fn gen_mem(rng: &mut SplitMix64) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let n = 1 + rng.below(4);
+    for _ in 0..n {
+        if rng.chance(1, 2) {
+            steps.push(Step::StackStore {
+                size: *rng.pick(&SIZES),
+                off: *rng.pick(&STACK_OFFS),
+                imm: *rng.pick(&BOUNDARY_IMMS),
+            });
+        } else {
+            steps.push(Step::StackLoad {
+                size: *rng.pick(&SIZES),
+                dst: *rng.pick(&SCRATCH),
+                off: *rng.pick(&STACK_OFFS),
+            });
+        }
+    }
+    steps.push(Step::MapLookup {
+        key: *rng.pick(&ARR_KEYS),
+    });
+    // Sometimes skip the NULL check: rejected, yet runtime-safe whenever
+    // the constant key hits — a canonical incompleteness witness.
+    if rng.chance(3, 4) {
+        steps.push(Step::NullCheck);
+    }
+    let m = 1 + rng.below(2);
+    for _ in 0..m {
+        if rng.chance(1, 2) {
+            steps.push(Step::MapLoad {
+                size: *rng.pick(&SIZES),
+                dst: *rng.pick(&SCRATCH),
+                off: *rng.pick(&VALUE_OFFS),
+            });
+        } else {
+            steps.push(Step::MapStore {
+                size: *rng.pick(&SIZES),
+                off: *rng.pick(&VALUE_OFFS),
+                imm: *rng.pick(&BOUNDARY_IMMS),
+            });
+        }
+    }
+    steps
+}
+
+fn gen_helper(rng: &mut SplitMix64) -> Vec<Step> {
+    // Known no-argument scalar helpers, plus ids outside the registry.
+    const KNOWN: [u32; 4] = [
+        helpers::BPF_KTIME_GET_NS,
+        helpers::BPF_GET_PRANDOM_U32,
+        helpers::BPF_GET_SMP_PROCESSOR_ID,
+        helpers::BPF_GET_CURRENT_PID_TGID,
+    ];
+    const UNKNOWN: [u32; 4] = [50, 99, 175, 200];
+    let mut steps = Vec::new();
+    let n = 1 + rng.below(3);
+    for _ in 0..n {
+        steps.push(Step::ScalarHelper {
+            id: if rng.chance(1, 4) {
+                *rng.pick(&UNKNOWN)
+            } else {
+                *rng.pick(&KNOWN)
+            },
+        });
+    }
+    if rng.chance(1, 2) {
+        steps.push(Step::HashUpdate {
+            key: rng.below(16) as i32,
+            val: *rng.pick(&BOUNDARY_IMMS),
+        });
+    }
+    if rng.chance(1, 2) {
+        steps.push(Step::Ringbuf {
+            size: *rng.pick(&[8, 16, 64, 256, 4096, 4097]),
+            off: *rng.pick(&[0i16, 7, 8, 15, 63, 255, 4095, 4096]),
+        });
+    }
+    steps
+}
+
+fn gen_loop(rng: &mut SplitMix64) -> Vec<Step> {
+    // The verifier walks each unrolled iteration (~3 insns per turn), so
+    // counts above ~680 blow the oracle's 2048 processed-insn budget
+    // while the runtime finishes well inside its fuel — incompleteness
+    // by limit. 680 itself straddles the boundary.
+    const ITERS: [i32; 9] = [1, 4, 64, 256, 512, 680, 1024, 2048, 8192];
+    let mut steps = vec![Step::Loop {
+        iters: *rng.pick(&ITERS),
+        op: *rng.pick(&[BPF_ADD, BPF_XOR]),
+    }];
+    if rng.chance(1, 3) {
+        steps.push(Step::AluImm {
+            wide: true,
+            op: BPF_ADD,
+            dst: Reg::R7,
+            imm: *rng.pick(&BOUNDARY_IMMS),
+        });
+    }
+    if rng.chance(1, 4) {
+        steps.push(Step::Loop {
+            iters: *rng.pick(&ITERS),
+            op: BPF_ADD,
+        });
+    }
+    steps
+}
+
+fn gen_packet(rng: &mut SplitMix64) -> Vec<Step> {
+    const NS: [i32; 10] = [0, 1, 2, 4, 8, 14, 15, 16, 32, 64];
+    const OFFS: [i16; 12] = [0, 1, 2, 3, 7, 8, 13, 14, 15, 31, 32, 63];
+    let mut steps = vec![Step::LoadPacketPtrs];
+    let checked = rng.chance(3, 4);
+    if checked {
+        steps.push(Step::PktBoundsCheck { n: *rng.pick(&NS) });
+    }
+    let n = 1 + rng.below(3);
+    for _ in 0..n {
+        steps.push(Step::PktLoad {
+            size: *rng.pick(&SIZES),
+            dst: *rng.pick(&SCRATCH),
+            off: *rng.pick(&OFFS),
+        });
+    }
+    if rng.chance(1, 3) {
+        steps.push(Step::JmpOut {
+            wide: true,
+            op: BPF_JGT,
+            dst: Reg::R6,
+            imm: *rng.pick(&BOUNDARY_IMMS),
+        });
+    }
+    steps
+}
+
+/// Generates the program for `seed`: the shape is `seed % 6`, the rest
+/// of the structure comes from a SplitMix64 stream over the seed.
+pub fn generate(seed: u64) -> FuzzProgram {
+    let shape = Shape::ALL[(seed % Shape::ALL.len() as u64) as usize];
+    let mut rng = SplitMix64::new(seed ^ 0xfa22_0000_0000_0001);
+    let steps = match shape {
+        Shape::Alu => gen_alu(&mut rng),
+        Shape::Jmp32 => gen_jmp32(&mut rng),
+        Shape::Mem => gen_mem(&mut rng),
+        Shape::Helper => gen_helper(&mut rng),
+        Shape::Loop => gen_loop(&mut rng),
+        Shape::Packet => gen_packet(&mut rng),
+    };
+    FuzzProgram { seed, shape, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..64 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.steps, b.steps, "seed {seed}");
+            assert_eq!(a.shape, b.shape);
+        }
+    }
+
+    #[test]
+    fn every_seed_emits_valid_bytecode() {
+        for seed in 0..256 {
+            let p = generate(seed);
+            let insns = p.emit().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!insns.is_empty());
+        }
+    }
+
+    #[test]
+    fn shapes_cycle_with_seed() {
+        assert_eq!(generate(0).shape, Shape::Alu);
+        assert_eq!(generate(5).shape, Shape::Packet);
+        assert_eq!(generate(6).shape, Shape::Alu);
+    }
+
+    #[test]
+    fn any_step_subset_still_assembles() {
+        // The shrinkability contract: dropping arbitrary steps must
+        // never produce a dangling label.
+        for seed in 0..64 {
+            let p = generate(seed);
+            for skip in 0..p.steps.len() {
+                let subset: Vec<Step> = p
+                    .steps
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, s)| s.clone())
+                    .collect();
+                emit(&subset, p.prog_type()).expect("subset assembles");
+            }
+        }
+    }
+}

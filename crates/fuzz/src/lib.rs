@@ -1,0 +1,36 @@
+//! Verifier-oracle differential fuzzing.
+//!
+//! The paper's §2 argument is empirical: the in-kernel verifier is both
+//! **unsound** (verifier bugs let unsafe programs through) and
+//! **incomplete** (safe programs are rejected). This crate hunts for
+//! both kinds of evidence systematically instead of citing it:
+//!
+//! 1. [`gen`] builds seeded, structured eBPF programs stratified over
+//!    shapes (ALU, JMP32 bounds gadgets, stack/map memory traffic,
+//!    helper calls, bounded loops, packet access), biased toward the
+//!    verifier's boundary conditions.
+//! 2. [`oracle`] classifies each program as {verifier-accept,
+//!    verifier-reject} × {runtime-safe, runtime-trap} by actually
+//!    executing it — in the sandboxed interpreter *and* through the JIT
+//!    pipeline, under a fuel budget, over a deterministic input family —
+//!    and cross-checks the two pipelines' full audit fingerprints.
+//! 3. [`shrink`] minimizes any verdict/behaviour disagreement to a
+//!    small reproducer by delta-debugging the generator's step IR.
+//! 4. [`corpus`] persists shrunk reproducers as commented assembly text
+//!    that the workspace-root `fuzz_corpus_replay` suite re-runs on
+//!    every `cargo test`.
+//! 5. [`engine`] sweeps seed ranges across shards deterministically and
+//!    aggregates the soundness/completeness accounting that the
+//!    `fuzzstats` bin turns into `BENCH_fuzz.json` and the paper-style
+//!    table in `crates/analysis`.
+
+pub mod corpus;
+pub mod engine;
+pub mod gen;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+
+pub use engine::{sweep, FuzzConfig, FuzzReport};
+pub use gen::{generate, FuzzProgram, Shape, Step};
+pub use oracle::{Bucket, Lane, Observation, Oracle, RuntimeClass};

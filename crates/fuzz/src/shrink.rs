@@ -1,0 +1,127 @@
+//! Disagreement minimisation.
+//!
+//! Delta-debugs the generator's step IR: repeatedly deletes chunks of
+//! steps (halving the chunk size down to single steps) while the
+//! program still lands in the same verdict/behaviour bucket for the
+//! same lane. Because every [`crate::gen::Step`] is self-contained and
+//! escape jumps target the always-present epilogue, any subset of steps
+//! assembles, so the shrinker never has to repair control flow.
+
+use ebpf::program::ProgType;
+
+use crate::gen::{emit, FuzzProgram, Step};
+use crate::oracle::{Bucket, Lane, Oracle};
+
+/// True when the candidate still assembles and still lands in `target`.
+fn keeps_bucket(
+    oracle: &Oracle,
+    steps: &[Step],
+    prog_type: ProgType,
+    lane: Lane,
+    target: Bucket,
+) -> bool {
+    match emit(steps, prog_type) {
+        Ok(insns) => oracle.evaluate(&insns, prog_type, lane).bucket == target,
+        Err(_) => false,
+    }
+}
+
+/// Minimises `prog` while its bucket under `lane` is preserved; returns
+/// the shrunk program and the preserved bucket.
+pub fn shrink(oracle: &Oracle, prog: &FuzzProgram, lane: Lane) -> (FuzzProgram, Bucket) {
+    let prog_type = prog.prog_type();
+    let insns = prog.emit().expect("generated programs assemble");
+    let target = oracle.evaluate(&insns, prog_type, lane).bucket;
+    let mut steps = prog.steps.clone();
+    let mut chunk = steps.len().max(1);
+    loop {
+        let mut i = 0;
+        while i < steps.len() {
+            let end = (i + chunk).min(steps.len());
+            let mut cand: Vec<Step> = steps[..i].to_vec();
+            cand.extend_from_slice(&steps[end..]);
+            if keeps_bucket(oracle, &cand, prog_type, lane, target) {
+                steps = cand;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    (
+        FuzzProgram {
+            seed: prog.seed,
+            shape: prog.shape,
+            steps,
+        },
+        target,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Shape;
+    use ebpf::insn::{Reg, BPF_ADD, BPF_W};
+
+    #[test]
+    fn shrink_drops_irrelevant_steps() {
+        // CVE-2022-23222 core wrapped in arithmetic noise: the shrinker
+        // must strip the noise and keep the 4-step disagreement kernel.
+        let noise = Step::AluImm {
+            wide: true,
+            op: BPF_ADD,
+            dst: Reg::R7,
+            imm: 3,
+        };
+        let mut steps = vec![noise.clone(), noise.clone()];
+        steps.extend([
+            Step::MapLookup { key: 1000 },
+            Step::OrNullArith { imm: 16 },
+            Step::NullCheck,
+            Step::MapLoad {
+                size: BPF_W,
+                dst: Reg::R7,
+                off: 0,
+            },
+        ]);
+        steps.push(noise);
+        let prog = FuzzProgram {
+            seed: 0,
+            shape: Shape::Jmp32,
+            steps,
+        };
+        let oracle = Oracle::new();
+        let (small, bucket) = shrink(&oracle, &prog, Lane::Shipped);
+        assert_eq!(bucket, Bucket::UnsoundnessCandidate);
+        assert_eq!(small.steps.len(), 4, "noise steps survived: {small:?}");
+        let insns = small.emit().unwrap();
+        assert_eq!(
+            oracle
+                .evaluate(&insns, prog.prog_type(), Lane::Shipped)
+                .bucket,
+            Bucket::UnsoundnessCandidate
+        );
+    }
+
+    #[test]
+    fn shrink_is_idempotent() {
+        let prog = FuzzProgram {
+            seed: 1,
+            shape: Shape::Mem,
+            steps: vec![Step::StackLoad {
+                size: BPF_W,
+                dst: Reg::R6,
+                off: -8,
+            }],
+        };
+        let oracle = Oracle::new();
+        let (once, b1) = shrink(&oracle, &prog, Lane::Patched);
+        let (twice, b2) = shrink(&oracle, &once, Lane::Patched);
+        assert_eq!(b1, b2);
+        assert_eq!(once.steps, twice.steps);
+    }
+}

@@ -1,0 +1,132 @@
+//! Conntrack LRU behaviour at the default (4096-slot) capacity edge,
+//! re-insertion after eviction, and TCP state transitions under
+//! out-of-order teardown segments — coverage the unit tests' tiny
+//! 2-slot tables cannot give.
+
+use kernel_sim::net::conntrack::{Conntrack, CtState};
+use kernel_sim::net::packet::{FlowKey, IPPROTO_TCP, TCP_ACK, TCP_FIN, TCP_RST, TCP_SYN};
+use kernel_sim::net::{NetStack, DEFAULT_CONNTRACK_CAPACITY};
+
+fn key(n: u32) -> FlowKey {
+    FlowKey {
+        src_ip: 0x0a00_0000 | (n >> 16),
+        dst_ip: 0x0a01_0001,
+        src_port: (n & 0xffff) as u16,
+        dst_port: 443,
+        proto: IPPROTO_TCP,
+    }
+}
+
+#[test]
+fn eviction_starts_at_exactly_default_capacity() {
+    assert_eq!(DEFAULT_CONNTRACK_CAPACITY, 4096);
+    let ct = Conntrack::new(DEFAULT_CONNTRACK_CAPACITY);
+    // Fill every slot: no evictions yet, not even on the last insert.
+    for n in 0..DEFAULT_CONNTRACK_CAPACITY as u32 {
+        let obs = ct.observe(key(n), TCP_SYN, 60);
+        assert!(!obs.evicted, "flow {n} evicted before the table was full");
+    }
+    assert_eq!(ct.len(), DEFAULT_CONNTRACK_CAPACITY);
+    assert_eq!(ct.stats().evicted, 0);
+    // Entry 4097 must evict exactly one flow — the LRU tail (flow 0).
+    let obs = ct.observe(key(DEFAULT_CONNTRACK_CAPACITY as u32), TCP_SYN, 60);
+    assert!(obs.evicted);
+    assert_eq!(ct.len(), DEFAULT_CONNTRACK_CAPACITY);
+    assert_eq!(ct.stats().evicted, 1);
+    assert_eq!(ct.lookup(key(0)), None, "LRU victim must be the oldest");
+    assert_eq!(ct.lookup(key(1)), Some(CtState::SynSent));
+}
+
+#[test]
+fn reinsert_after_eviction_is_a_fresh_flow() {
+    let ct = Conntrack::new(DEFAULT_CONNTRACK_CAPACITY);
+    for n in 0..=DEFAULT_CONNTRACK_CAPACITY as u32 {
+        ct.observe(key(n), TCP_SYN, 60);
+    }
+    // Flow 0 was just evicted; observing it again re-inserts from
+    // scratch (prev == None), evicting the new LRU tail (flow 1).
+    let obs = ct.observe(key(0), TCP_ACK, 52);
+    assert_eq!(obs.prev, None, "evicted flow must restart its lifecycle");
+    assert!(obs.evicted);
+    // A bare ACK on an untracked flow is a mid-stream pickup:
+    // conntrack adopts it as established, not half-open.
+    assert_eq!(obs.state, CtState::Established);
+    assert_eq!(ct.lookup(key(1)), None);
+    let stats = ct.stats();
+    assert_eq!(stats.inserted, DEFAULT_CONNTRACK_CAPACITY as u64 + 2);
+    assert_eq!(stats.evicted, 2);
+    assert_eq!(ct.len(), DEFAULT_CONNTRACK_CAPACITY);
+}
+
+#[test]
+fn full_table_keeps_fixed_size_under_churn() {
+    let ct = Conntrack::new(DEFAULT_CONNTRACK_CAPACITY);
+    let churn = DEFAULT_CONNTRACK_CAPACITY as u32 * 2;
+    for n in 0..churn {
+        ct.observe(key(n), TCP_SYN, 60);
+    }
+    assert_eq!(ct.len(), DEFAULT_CONNTRACK_CAPACITY);
+    let stats = ct.stats();
+    assert_eq!(stats.inserted, churn as u64);
+    assert_eq!(stats.evicted, DEFAULT_CONNTRACK_CAPACITY as u64);
+    // Exactly the newest `capacity` flows survive.
+    assert_eq!(ct.lookup(key(DEFAULT_CONNTRACK_CAPACITY as u32 - 1)), None);
+    assert_eq!(
+        ct.lookup(key(DEFAULT_CONNTRACK_CAPACITY as u32)),
+        Some(CtState::SynSent)
+    );
+}
+
+#[test]
+fn out_of_order_fin_before_handshake_completes() {
+    // FIN arriving while still SynSent (reordered teardown): the flow
+    // drains instead of establishing, and a late ACK then closes it.
+    let ct = Conntrack::new(8);
+    let k = key(1);
+    assert_eq!(ct.observe(k, TCP_SYN, 60).state, CtState::SynSent);
+    assert_eq!(ct.observe(k, TCP_FIN, 52).state, CtState::FinWait);
+    assert_eq!(ct.observe(k, TCP_ACK, 52).state, CtState::Closed);
+    // Packets after close leave the flow closed (no resurrection by ACK).
+    assert_eq!(ct.observe(k, TCP_ACK, 52).state, CtState::Closed);
+}
+
+#[test]
+fn rst_closes_immediately_from_every_state() {
+    let ct = Conntrack::new(8);
+    // From SynSent.
+    let k1 = key(1);
+    ct.observe(k1, TCP_SYN, 60);
+    assert_eq!(ct.observe(k1, TCP_RST, 40).state, CtState::Closed);
+    // From Established.
+    let k2 = key(2);
+    ct.observe(k2, TCP_SYN, 60);
+    ct.observe(k2, TCP_ACK, 52);
+    assert_eq!(ct.observe(k2, TCP_RST, 40).state, CtState::Closed);
+    // From FinWait — and RST wins even when FIN is set in the same
+    // segment.
+    let k3 = key(3);
+    ct.observe(k3, TCP_SYN, 60);
+    ct.observe(k3, TCP_FIN, 52);
+    assert_eq!(ct.observe(k3, TCP_RST | TCP_FIN, 40).state, CtState::Closed);
+    // RST on an already-closed flow stays closed.
+    assert_eq!(ct.observe(k3, TCP_RST, 40).state, CtState::Closed);
+}
+
+#[test]
+fn syn_reopens_closed_flow_but_syn_ack_does_not() {
+    let ct = Conntrack::new(8);
+    let k = key(7);
+    ct.observe(k, TCP_SYN, 60);
+    ct.observe(k, TCP_RST, 40);
+    // SYN|ACK is not a fresh handshake — the flow stays closed.
+    assert_eq!(ct.observe(k, TCP_SYN | TCP_ACK, 60).state, CtState::Closed);
+    // A bare SYN reopens.
+    assert_eq!(ct.observe(k, TCP_SYN, 60).state, CtState::SynSent);
+}
+
+#[test]
+fn netstack_default_uses_default_capacity() {
+    let net = NetStack::default();
+    assert_eq!(net.conntrack.capacity(), DEFAULT_CONNTRACK_CAPACITY);
+    assert!(net.conntrack.is_empty());
+}

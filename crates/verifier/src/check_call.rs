@@ -154,6 +154,7 @@ pub(crate) fn check_helper_call(
     insn: Insn,
     state: &mut VerifierState,
 ) -> Result<(), VerifyError> {
+    ctx.stats.helper_calls_checked += 1;
     let id = insn.imm as u32;
     let helper = v
         .helpers

@@ -36,6 +36,7 @@ pub(crate) fn check_load(
     insn: Insn,
     state: &mut VerifierState,
 ) -> Result<(), VerifyError> {
+    ctx.stats.mem_accesses_checked += 1;
     check_reg_writable(pc, insn.dst)?;
     let base = v.read_reg(state, pc, insn.src)?;
     let size = insn.access_size() as i64;
@@ -91,6 +92,7 @@ pub(crate) fn check_store(
     insn: Insn,
     state: &mut VerifierState,
 ) -> Result<(), VerifyError> {
+    ctx.stats.mem_accesses_checked += 1;
     let base = v.read_reg(state, pc, insn.dst)?;
     let size = insn.access_size() as i64;
     let off = insn.off as i64;
@@ -147,6 +149,7 @@ pub(crate) fn check_atomic(
     insn: Insn,
     state: &mut VerifierState,
 ) -> Result<(), VerifyError> {
+    ctx.stats.mem_accesses_checked += 1;
     let size = insn.access_size() as i64;
     if size != 4 && size != 8 {
         return Err(VerifyError::BadInstruction { pc });
@@ -168,9 +171,11 @@ pub(crate) fn check_atomic(
         RegType::PtrToStack { frame, off: base } => {
             let total = base + off;
             if total % size != 0 || total < -(BPF_STACK_SIZE as i64) || total + size > 0 {
-                return Err(VerifyError::BadMemAccess {
+                return Err(VerifyError::BadStackAccess {
                     pc,
-                    reason: format!("misaligned or out-of-frame atomic at fp{total:+}"),
+                    off: total,
+                    size,
+                    uninit: false,
                 });
             }
             let slot_idx = FrameState::slot_containing(total).expect("in range");
@@ -248,9 +253,12 @@ pub(crate) fn check_region(
             ..
         } => {
             if or_null {
-                return Err(VerifyError::BadMemAccess {
+                return Err(VerifyError::BadMapValueAccess {
                     pc,
-                    reason: "R invalid mem access 'map_value_or_null'".into(),
+                    lo: 0,
+                    hi: 0,
+                    value_size: 0,
+                    or_null: true,
                 });
             }
             let map = v.maps.get(fd).ok_or(VerifyError::BadMapFd { pc, fd })?;
@@ -258,11 +266,12 @@ pub(crate) fn check_region(
             let lo = off_lo.saturating_add(rel);
             let hi = off_hi.saturating_add(rel).saturating_add(size);
             if lo < 0 || hi > value_size {
-                return Err(VerifyError::BadMemAccess {
+                return Err(VerifyError::BadMapValueAccess {
                     pc,
-                    reason: format!(
-                        "map_value access [{lo}, {hi}) outside value of size {value_size}"
-                    ),
+                    lo,
+                    hi,
+                    value_size,
+                    or_null: false,
                 });
             }
             if off_lo != off_hi && v.features.speculation {
@@ -271,21 +280,23 @@ pub(crate) fn check_region(
             Ok(())
         }
         RegType::PtrToPacket { off_lo, off_hi, .. } => {
-            if !v.features.packet_access {
-                return Err(VerifyError::BadMemAccess {
-                    pc,
-                    reason: "packet access not supported".into(),
-                });
-            }
             let lo = off_lo.saturating_add(rel);
             let hi = off_hi.saturating_add(rel).saturating_add(size);
-            if lo < 0 || hi > state.pkt_range as i64 {
-                return Err(VerifyError::BadMemAccess {
+            if !v.features.packet_access {
+                // `range: 0` marks the feature-off rejection.
+                return Err(VerifyError::BadPacketAccess {
                     pc,
-                    reason: format!(
-                        "packet access [{lo}, {hi}) outside verified range {}",
-                        state.pkt_range
-                    ),
+                    lo,
+                    hi,
+                    range: 0,
+                });
+            }
+            if lo < 0 || hi > state.pkt_range as i64 {
+                return Err(VerifyError::BadPacketAccess {
+                    pc,
+                    lo,
+                    hi,
+                    range: state.pkt_range as i64,
                 });
             }
             Ok(())
@@ -296,15 +307,21 @@ pub(crate) fn check_region(
             ..
         } => {
             if or_null {
-                return Err(VerifyError::BadMemAccess {
+                return Err(VerifyError::BadMemRegionAccess {
                     pc,
-                    reason: "R invalid mem access 'mem_or_null'".into(),
+                    lo: 0,
+                    hi: 0,
+                    region: 0,
+                    or_null: true,
                 });
             }
             if rel < 0 || rel + size > region as i64 {
-                return Err(VerifyError::BadMemAccess {
+                return Err(VerifyError::BadMemRegionAccess {
                     pc,
-                    reason: format!("mem access [{rel}, {}) outside region {region}", rel + size),
+                    lo: rel,
+                    hi: rel + size,
+                    region,
+                    or_null: false,
                 });
             }
             Ok(())
@@ -326,18 +343,22 @@ fn read_stack(
     size: i64,
 ) -> Result<RegType, VerifyError> {
     if off < -(BPF_STACK_SIZE as i64) || off + size > 0 {
-        return Err(VerifyError::BadMemAccess {
+        return Err(VerifyError::BadStackAccess {
             pc,
-            reason: format!("stack access at fp{off:+} size {size} out of frame"),
+            off,
+            size,
+            uninit: false,
         });
     }
     let aligned_full = off % 8 == 0 && size == 8;
     if aligned_full {
         let idx = FrameState::slot_index(off).expect("aligned in-range offset");
         return match state.frames[frame].stack[idx] {
-            Slot::Invalid => Err(VerifyError::BadMemAccess {
+            Slot::Invalid => Err(VerifyError::BadStackAccess {
                 pc,
-                reason: format!("invalid read from uninitialized stack at fp{off:+}"),
+                off,
+                size,
+                uninit: true,
             }),
             Slot::Misc => Ok(RegType::unknown()),
             Slot::Zero => Ok(RegType::Scalar(Scalar::constant(0))),
@@ -350,9 +371,11 @@ fn read_stack(
     let last = FrameState::slot_containing(off).expect("in range");
     for idx in first..=last {
         if matches!(state.frames[frame].stack[idx], Slot::Invalid) {
-            return Err(VerifyError::BadMemAccess {
+            return Err(VerifyError::BadStackAccess {
                 pc,
-                reason: format!("invalid read from uninitialized stack at fp{off:+}"),
+                off,
+                size,
+                uninit: true,
             });
         }
     }
@@ -369,9 +392,11 @@ fn write_stack(
     value: RegType,
 ) -> Result<(), VerifyError> {
     if off < -(BPF_STACK_SIZE as i64) || off + size > 0 {
-        return Err(VerifyError::BadMemAccess {
+        return Err(VerifyError::BadStackAccess {
             pc,
-            reason: format!("stack access at fp{off:+} size {size} out of frame"),
+            off,
+            size,
+            uninit: false,
         });
     }
     if off % 8 == 0 && size == 8 {

@@ -56,6 +56,7 @@ pub(crate) fn check_pkt_compare(
         }
         _ => return Ok(None),
     };
+    ctx.stats.packet_compares_checked += 1;
 
     // `pkt + N <op> end`: which branch teaches us `pkt + N <= end`,
     // i.e. range >= N?

@@ -1,4 +1,80 @@
 //! Verifier rejection reasons.
+//!
+//! Every reject path reports a structured variant: distinct causes that
+//! used to collapse into one `BadMemAccess { reason: String }` are split
+//! by the *check* that fired (stack vs map value vs packet vs plain mem
+//! region), so downstream consumers — the differential fuzzer's
+//! disagreement bucketing in particular — classify rejections by
+//! matching on the variant, never by string matching on diagnostics.
+
+/// The verifier subsystem a rejection came from, for bucketing.
+///
+/// This is the machine-readable projection of [`VerifyError`]: the fuzz
+/// oracle groups rejections by `err.check()` to produce per-check
+/// incompleteness counts without parsing diagnostic strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RejectCheck {
+    /// Structural decode problems (empty, undecodable, bad LDDW...).
+    Decode,
+    /// Complexity limits (`check_limits`: program size, insn budget).
+    Limits,
+    /// Register/stack/map-value memory checking (`check_mem`).
+    Mem,
+    /// Direct packet access range checking (`check_packet`).
+    Packet,
+    /// Context-field layout checking.
+    Ctx,
+    /// Helper / bpf2bpf call checking (`check_call`).
+    Call,
+    /// Loop and back-edge analysis (`loops`).
+    Loop,
+    /// Acquired-reference discipline (`check_ref` / `check_ringbuf`).
+    Ref,
+    /// Spin-lock discipline (`check_lock`).
+    Lock,
+    /// Return-value contract checking.
+    Return,
+    /// Pointer-leak prevention.
+    Leak,
+    /// Speculation hardening.
+    Spec,
+}
+
+impl RejectCheck {
+    /// Stable lower-case name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectCheck::Decode => "decode",
+            RejectCheck::Limits => "limits",
+            RejectCheck::Mem => "check_mem",
+            RejectCheck::Packet => "check_packet",
+            RejectCheck::Ctx => "check_ctx",
+            RejectCheck::Call => "check_call",
+            RejectCheck::Loop => "loops",
+            RejectCheck::Ref => "check_ref",
+            RejectCheck::Lock => "check_lock",
+            RejectCheck::Return => "return",
+            RejectCheck::Leak => "leak",
+            RejectCheck::Spec => "spec",
+        }
+    }
+
+    /// Every check bucket, in report order.
+    pub const ALL: [RejectCheck; 12] = [
+        RejectCheck::Decode,
+        RejectCheck::Limits,
+        RejectCheck::Mem,
+        RejectCheck::Packet,
+        RejectCheck::Ctx,
+        RejectCheck::Call,
+        RejectCheck::Loop,
+        RejectCheck::Ref,
+        RejectCheck::Lock,
+        RejectCheck::Return,
+        RejectCheck::Leak,
+        RejectCheck::Spec,
+    ];
+}
 
 /// Why the verifier rejected a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,12 +111,66 @@ pub enum VerifyError {
         /// Offending pc.
         pc: usize,
     },
-    /// A memory access the verifier cannot prove safe.
+    /// A memory access through a register that is not a memory pointer
+    /// (scalar, NULL-possible after arithmetic, ...).
     BadMemAccess {
         /// Offending pc.
         pc: usize,
         /// Diagnostic.
         reason: String,
+    },
+    /// A stack access outside the frame, misaligned (atomics), or
+    /// reading slots never written.
+    BadStackAccess {
+        /// Offending pc.
+        pc: usize,
+        /// Byte offset relative to the frame pointer.
+        off: i64,
+        /// Access size in bytes.
+        size: i64,
+        /// True when the bytes were addressable but uninitialized.
+        uninit: bool,
+    },
+    /// A map-value access outside the value, or through a pointer whose
+    /// NULL-ness was never checked.
+    BadMapValueAccess {
+        /// Offending pc.
+        pc: usize,
+        /// Lowest byte the access may touch.
+        lo: i64,
+        /// One past the highest byte the access may touch.
+        hi: i64,
+        /// The map's value size.
+        value_size: i64,
+        /// True when the failure is a missing NULL check, not bounds.
+        or_null: bool,
+    },
+    /// A packet access beyond the verified range (or with the packet
+    /// feature disabled, in which case `range` is 0).
+    BadPacketAccess {
+        /// Offending pc.
+        pc: usize,
+        /// Lowest byte the access may touch.
+        lo: i64,
+        /// One past the highest byte the access may touch.
+        hi: i64,
+        /// The range proven readable by bounds checks so far.
+        range: i64,
+    },
+    /// An access outside a sized `mem` region (ringbuf records and
+    /// similar helper-returned buffers), or through an unchecked
+    /// `mem_or_null`.
+    BadMemRegionAccess {
+        /// Offending pc.
+        pc: usize,
+        /// Lowest byte the access may touch.
+        lo: i64,
+        /// One past the highest byte the access may touch.
+        hi: i64,
+        /// The region size in bytes.
+        region: u64,
+        /// True when the failure is a missing NULL check, not bounds.
+        or_null: bool,
     },
     /// Disallowed pointer arithmetic.
     PointerArithmetic {
@@ -159,6 +289,46 @@ pub enum VerifyError {
     },
 }
 
+impl VerifyError {
+    /// The verifier subsystem this rejection came from.
+    ///
+    /// Total over all variants: the differential fuzzer buckets every
+    /// rejection through this single match, so adding a variant without
+    /// classifying it is a compile error.
+    pub fn check(&self) -> RejectCheck {
+        match self {
+            VerifyError::EmptyProgram | VerifyError::BadInstruction { .. } => RejectCheck::Decode,
+            VerifyError::ProgramTooLarge { .. } | VerifyError::TooComplex { .. } => {
+                RejectCheck::Limits
+            }
+            VerifyError::UninitializedRead { .. }
+            | VerifyError::FramePointerWrite { .. }
+            | VerifyError::BadMemAccess { .. }
+            | VerifyError::BadStackAccess { .. }
+            | VerifyError::BadMapValueAccess { .. }
+            | VerifyError::BadMemRegionAccess { .. }
+            | VerifyError::PointerArithmetic { .. } => RejectCheck::Mem,
+            VerifyError::BadPacketAccess { .. } => RejectCheck::Packet,
+            VerifyError::BadCtxAccess { .. } => RejectCheck::Ctx,
+            VerifyError::BadHelperArg { .. }
+            | VerifyError::UnknownHelper { .. }
+            | VerifyError::HelperNotSupported { .. }
+            | VerifyError::BadCall { .. }
+            | VerifyError::CallDepthExceeded { .. }
+            | VerifyError::CallsNotSupported { .. }
+            | VerifyError::BadMapFd { .. } => RejectCheck::Call,
+            VerifyError::BackEdge { .. } | VerifyError::InfiniteLoop { .. } => RejectCheck::Loop,
+            VerifyError::UnreleasedReference { .. } => RejectCheck::Ref,
+            VerifyError::LockNotReleased { .. }
+            | VerifyError::DoubleLock { .. }
+            | VerifyError::UnlockWithoutLock { .. } => RejectCheck::Lock,
+            VerifyError::BadReturnValue { .. } => RejectCheck::Return,
+            VerifyError::PointerLeak { .. } => RejectCheck::Leak,
+            VerifyError::SpeculationGadget { .. } => RejectCheck::Spec,
+        }
+    }
+}
+
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -179,6 +349,62 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::BadMemAccess { pc, reason } => {
                 write!(f, "invalid mem access at insn {pc}: {reason}")
+            }
+            VerifyError::BadStackAccess {
+                pc,
+                off,
+                size,
+                uninit,
+            } => {
+                if *uninit {
+                    write!(
+                        f,
+                        "invalid read from uninitialized stack at fp{off:+} (insn {pc})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "stack access at fp{off:+} size {size} out of frame (insn {pc})"
+                    )
+                }
+            }
+            VerifyError::BadMapValueAccess {
+                pc,
+                lo,
+                hi,
+                value_size,
+                or_null,
+            } => {
+                if *or_null {
+                    write!(f, "R invalid mem access 'map_value_or_null' (insn {pc})")
+                } else {
+                    write!(
+                        f,
+                        "map_value access [{lo}, {hi}) outside value of size {value_size} (insn {pc})"
+                    )
+                }
+            }
+            VerifyError::BadPacketAccess { pc, lo, hi, range } => {
+                write!(
+                    f,
+                    "packet access [{lo}, {hi}) outside verified range {range} (insn {pc})"
+                )
+            }
+            VerifyError::BadMemRegionAccess {
+                pc,
+                lo,
+                hi,
+                region,
+                or_null,
+            } => {
+                if *or_null {
+                    write!(f, "R invalid mem access 'mem_or_null' (insn {pc})")
+                } else {
+                    write!(
+                        f,
+                        "mem access [{lo}, {hi}) outside region {region} (insn {pc})"
+                    )
+                }
             }
             VerifyError::PointerArithmetic { pc, reason } => {
                 write!(f, "invalid pointer arithmetic at insn {pc}: {reason}")
@@ -260,5 +486,41 @@ mod tests {
         };
         assert!(e.to_string().contains("arg2"));
         assert!(e.to_string().contains("bpf_map_lookup_elem"));
+    }
+
+    #[test]
+    fn check_buckets_are_structured() {
+        assert_eq!(
+            VerifyError::TooComplex { insns_processed: 1 }.check(),
+            RejectCheck::Limits
+        );
+        assert_eq!(
+            VerifyError::BadStackAccess {
+                pc: 0,
+                off: -520,
+                size: 8,
+                uninit: false,
+            }
+            .check(),
+            RejectCheck::Mem
+        );
+        assert_eq!(
+            VerifyError::BadPacketAccess {
+                pc: 0,
+                lo: 0,
+                hi: 4,
+                range: 0,
+            }
+            .check(),
+            RejectCheck::Packet
+        );
+        assert_eq!(
+            VerifyError::InfiniteLoop { pc: 3 }.check(),
+            RejectCheck::Loop
+        );
+        // Bucket names are stable identifiers, distinct per bucket.
+        let names: std::collections::HashSet<_> =
+            RejectCheck::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), RejectCheck::ALL.len());
     }
 }

@@ -68,7 +68,7 @@ pub mod tnum;
 pub mod types;
 
 pub use checker::{Verification, Verifier};
-pub use error::VerifyError;
+pub use error::{RejectCheck, VerifyError};
 pub use faults::VerifierFaults;
 pub use features::VerifierFeatures;
 pub use limits::VerifierLimits;

@@ -19,6 +19,12 @@ pub struct VerifStats {
     pub peak_state_bytes: usize,
     /// Speculation-hardening sanitations applied.
     pub spec_sanitations: u64,
+    /// Memory accesses proven by `check_mem` (loads, stores, atomics).
+    pub mem_accesses_checked: u64,
+    /// Packet-range comparisons tracked by `check_packet`.
+    pub packet_compares_checked: u64,
+    /// Helper call sites checked by `check_call`.
+    pub helper_calls_checked: u64,
     /// Host wall-clock time of verification, in nanoseconds.
     pub wall_ns: u128,
 }

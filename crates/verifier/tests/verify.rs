@@ -133,7 +133,7 @@ fn uninitialized_stack_read_rejected() {
         .unwrap();
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadStackAccess { uninit: true, .. })
     ));
 }
 
@@ -148,7 +148,11 @@ fn out_of_frame_stack_access_rejected() {
         .unwrap();
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadStackAccess {
+            off: -520,
+            uninit: false,
+            ..
+        })
     ));
     // Above the frame too.
     let prog = Asm::new()
@@ -159,7 +163,11 @@ fn out_of_frame_stack_access_rejected() {
         .unwrap();
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadStackAccess {
+            off: 8,
+            uninit: false,
+            ..
+        })
     ));
 }
 
@@ -281,7 +289,7 @@ fn packet_access_beyond_checked_range_rejected() {
     // Checked 2 bytes but reads byte at offset 2 (the third byte).
     assert!(matches!(
         h.verify_as(packet_prog(1), ProgType::Xdp),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadPacketAccess { range: 2, .. })
     ));
 }
 
@@ -296,7 +304,7 @@ fn unchecked_packet_access_rejected() {
         .unwrap();
     assert!(matches!(
         h.verify_as(prog, ProgType::Xdp),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadPacketAccess { .. })
     ));
 }
 
@@ -370,7 +378,7 @@ fn missing_null_check_rejected() {
         .unwrap();
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadMapValueAccess { or_null: true, .. })
     ));
 }
 
@@ -380,13 +388,17 @@ fn map_value_out_of_bounds_rejected() {
     let prog = lookup_prog(&h, 16, 16, false); // reads [16, 24) of a 16-byte value
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadMapValueAccess {
+            or_null: false,
+            value_size: 16,
+            ..
+        })
     ));
     let h = H::new();
     let prog = lookup_prog(&h, 16, -1, false);
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadMapValueAccess { or_null: false, .. })
     ));
 }
 
@@ -440,7 +452,7 @@ fn variable_offset_without_bounds_rejected() {
         .unwrap();
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadMapValueAccess { or_null: false, .. })
     ));
 }
 
@@ -1230,7 +1242,7 @@ fn jmp32_refinement_is_conservative_when_patched() {
         .unwrap();
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadMapValueAccess { or_null: false, .. })
     ));
 
     // But when the value provably fits 32 bits, JMP32 refinement applies
@@ -1313,7 +1325,11 @@ fn write_beyond_reserved_record_rejected() {
         .unwrap();
     assert!(matches!(
         h.verify(prog),
-        Err(VerifyError::BadMemAccess { .. })
+        Err(VerifyError::BadMemRegionAccess {
+            region: 8,
+            or_null: false,
+            ..
+        })
     ));
 }
 

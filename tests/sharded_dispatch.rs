@@ -165,3 +165,84 @@ fn simulated_time_shrinks_as_shards_are_added() {
         );
     }
 }
+
+#[test]
+fn zero_packet_batch_is_a_clean_empty_run() {
+    // The degenerate input: no packets at all. Every shard must still
+    // spin up, merge, and report zeroed totals without dividing by the
+    // empty simulated timeline.
+    for backend in BOTH {
+        for shards in [1usize, 4] {
+            let cfg = DispatchConfig {
+                shards,
+                seed: 9,
+                ..Default::default()
+            };
+            let r = run_batched(backend, &cfg, &[]);
+            assert_eq!(r.packets(), 0, "{backend:?}/{shards}");
+            assert_eq!(r.accepted(), 0, "{backend:?}/{shards}");
+            assert_eq!(r.errors(), 0, "{backend:?}/{shards}");
+            assert_eq!(r.proto_counts(), [0; PROTO_CLASSES]);
+            assert_eq!(r.shards.len(), shards);
+            // Rate accessors must tolerate a zero-length timeline.
+            assert_eq!(r.packets_per_sim_sec(), 0.0);
+            // An empty run replays byte-identically too.
+            let again = run_batched(backend, &cfg, &[]);
+            assert_eq!(r.merged_fingerprint, again.merged_fingerprint);
+        }
+    }
+}
+
+#[test]
+fn single_shard_matches_multi_shard_on_tiny_batches() {
+    // Fewer packets than shards: some shards see no traffic at all, and
+    // a 1-shard run over the same batch must agree on every total.
+    let batch = make_packets(3);
+    for backend in BOTH {
+        let one = run_batched(
+            backend,
+            &DispatchConfig {
+                shards: 1,
+                seed: 31,
+                ..Default::default()
+            },
+            &batch,
+        );
+        let eight = run_batched(
+            backend,
+            &DispatchConfig {
+                shards: 8,
+                seed: 31,
+                ..Default::default()
+            },
+            &batch,
+        );
+        assert_eq!(one.packets(), 3);
+        assert_eq!(eight.packets(), 3);
+        assert_eq!(one.accepted(), eight.accepted(), "{backend:?}");
+        assert_eq!(one.proto_counts(), eight.proto_counts(), "{backend:?}");
+        assert_eq!(eight.shards.len(), 8);
+        let busy: usize = eight.shards.iter().filter(|s| s.packets > 0).count();
+        assert!(busy <= 3, "at most one busy shard per packet");
+    }
+}
+
+#[test]
+fn single_shard_run_is_deterministic_and_complete() {
+    // shards == 1 exercises the non-concurrent path of the same engine:
+    // one worker, no merge races, identical replay.
+    let batch = make_packets(64);
+    for backend in BOTH {
+        let cfg = DispatchConfig {
+            shards: 1,
+            seed: 64,
+            ..Default::default()
+        };
+        let a = run_batched(backend, &cfg, &batch);
+        let b = run_batched(backend, &cfg, &batch);
+        assert_eq!(a.packets(), 64);
+        assert_eq!(a.merged_fingerprint, b.merged_fingerprint, "{backend:?}");
+        assert_eq!(a.shards.len(), 1);
+        assert_eq!(a.shards[0].packets, 64);
+    }
+}
