@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Stage: bench-smoke — one pass over each bench smoke's internal
+# assertions (packet counts, shard invariance, zero trace overhead).
+# The determinism stage re-runs these for cross-process hash compares;
+# this stage exists so `--stage bench-smoke` gives a quick sanity pass
+# without the soak.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source ci/lib.sh
+
+say "throughput smoke"
+cargo run --release -q -p bench --bin throughput -- --smoke
+
+say "netbench smoke"
+cargo run --release -q -p bench --bin netbench -- --smoke
+
+say "profile smoke"
+cargo run --release -q -p bench --bin profile -- --smoke

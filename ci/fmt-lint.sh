@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Stage: fmt-lint — formatting, clippy, and the feature matrix.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source ci/lib.sh
+
+say "cargo fmt --check"
+cargo fmt --check
+
+say "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+# Feature matrix: the workspace must build with default features off,
+# and the ebpf crate with its bug replicas compiled in. Either breaking
+# silently is how feature-gated code rots.
+say "feature matrix: cargo check --workspace --no-default-features"
+cargo check --workspace --no-default-features
+
+say "feature matrix: cargo check -p ebpf --features bug-replicas"
+cargo check -p ebpf --features bug-replicas

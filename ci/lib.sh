@@ -1,0 +1,25 @@
+# Shared helpers for the staged CI pipeline. Sourced, not executed.
+
+say() {
+    echo "==> $*"
+}
+
+# assert_same_hash <label> <grep-pattern> <cmd...>
+#
+# Runs <cmd...> twice and compares the lines matching <grep-pattern>
+# between the two invocations. The smoke binaries already verify
+# determinism *within* a process; comparing two separate invocations
+# additionally catches nondeterminism across process boundaries (ASLR,
+# thread scheduling, hash-map iteration order).
+assert_same_hash() {
+    local label=$1 pattern=$2
+    shift 2
+    local run_a run_b
+    run_a=$("$@" | grep "$pattern")
+    run_b=$("$@" | grep "$pattern")
+    if [ "$run_a" != "$run_b" ]; then
+        echo "CI: $label hashes differ between same-seed invocations" >&2
+        printf 'run A:\n%s\nrun B:\n%s\n' "$run_a" "$run_b" >&2
+        exit 1
+    fi
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Stage: regress — the perf-regression gate. Regenerates every bench
+# report with baseline-identical parameters into a scratch directory and
+# compares the simulated-cost metrics against the committed BENCH_*.json
+# baselines. Tolerance is ±10% by default; override with
+# REGRESS_TOLERANCE (e.g. REGRESS_TOLERANCE=0.05 ./ci.sh --stage regress).
+#
+# Simulated costs are deterministic, so on an unchanged tree the drift
+# is exactly 0%. A PR that deliberately changes modelled costs must
+# regenerate the committed baselines (run each bench bin with no --out).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source ci/lib.sh
+
+FRESH=target/ci-regress
+mkdir -p "$FRESH"
+
+say "regenerating bench reports into $FRESH"
+cargo run --release -q -p bench --bin throughput -- --out "$FRESH/BENCH_throughput.json"
+cargo run --release -q -p bench --bin netbench -- --out "$FRESH/BENCH_net.json"
+cargo run --release -q -p fuzz --bin fuzzstats -- --out "$FRESH/BENCH_fuzz.json"
+cargo run --release -q -p bench --bin profile -- --out "$FRESH/BENCH_profile.json"
+
+say "perf-regression gate (tolerance ${REGRESS_TOLERANCE:-0.10})"
+cargo run --release -q -p analysis --bin regress -- --baseline . --fresh "$FRESH"

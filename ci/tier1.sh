@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Stage: tier1 — the release build and the test suites. This is the
+# floor every PR must hold (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source ci/lib.sh
+
+say "tier-1: cargo build --release"
+cargo build --release
+
+say "tier-1: cargo test -q"
+cargo test -q
+
+say "workspace tests"
+cargo test --workspace -q

@@ -1,0 +1,159 @@
+//! CI perf-regression gate driver.
+//!
+//! Compares freshly generated bench reports (`--fresh DIR`) against the
+//! committed baselines (`--baseline DIR`, default `.`) for every report
+//! named with `--report` (repeatable; defaults to the three committed
+//! `BENCH_*.json` families plus `BENCH_profile.json` when present in the
+//! baseline dir). Only simulated-cost metrics are compared (see
+//! `analysis::regress`); drift beyond `--tolerance` (default 0.10,
+//! overridable via `REGRESS_TOLERANCE`) in **either** direction exits
+//! nonzero, as do rows missing from either side.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use analysis::json;
+use analysis::regress::{compare, extract_metrics, MetricDiff, DEFAULT_TOLERANCE};
+
+const DEFAULT_REPORTS: &[&str] = &[
+    "BENCH_throughput.json",
+    "BENCH_net.json",
+    "BENCH_fuzz.json",
+    "BENCH_profile.json",
+];
+
+struct Args {
+    baseline: String,
+    fresh: String,
+    tolerance: f64,
+    reports: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let env_tol = std::env::var("REGRESS_TOLERANCE")
+        .ok()
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|e| format!("REGRESS_TOLERANCE: {e}"))
+        })
+        .transpose()?;
+    let mut args = Args {
+        baseline: ".".to_string(),
+        fresh: String::new(),
+        tolerance: env_tol.unwrap_or(DEFAULT_TOLERANCE),
+        reports: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match arg.as_str() {
+            "--baseline" => args.baseline = value("--baseline")?,
+            "--fresh" => args.fresh = value("--fresh")?,
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            "--report" => args.reports.push(value("--report")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if args.fresh.is_empty() {
+        return Err("--fresh <dir> is required".to_string());
+    }
+    if !(0.0..1.0).contains(&args.tolerance) {
+        return Err(format!("tolerance {} out of range [0, 1)", args.tolerance));
+    }
+    if args.reports.is_empty() {
+        // Default to every known report family the baseline dir carries.
+        args.reports = DEFAULT_REPORTS
+            .iter()
+            .filter(|name| Path::new(&args.baseline).join(name).exists())
+            .map(|s| s.to_string())
+            .collect();
+        if args.reports.is_empty() {
+            return Err(format!(
+                "no BENCH_*.json baselines found in {}",
+                args.baseline
+            ));
+        }
+    }
+    Ok(args)
+}
+
+fn load(dir: &str, name: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
+    let path = Path::new(dir).join(name);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(extract_metrics(&doc))
+}
+
+fn print_diffs(kind: &str, diffs: &[MetricDiff]) {
+    for d in diffs {
+        println!(
+            "  {kind} {}: baseline {} -> fresh {} ({:+.1}%)",
+            d.key,
+            d.baseline,
+            d.fresh,
+            d.rel * 100.0
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            eprintln!(
+                "usage: regress --fresh <dir> [--baseline <dir>] [--tolerance <f>] [--report <file>]..."
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "REGRESS baseline={} fresh={} tolerance={:.0}%",
+        args.baseline,
+        args.fresh,
+        args.tolerance * 100.0
+    );
+    let mut failed = false;
+    for report in &args.reports {
+        let (base, fresh) = match (load(&args.baseline, report), load(&args.fresh, report)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for err in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("regress: {err}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        let outcome = compare(&base, &fresh, args.tolerance);
+        let verdict = if outcome.ok() { "OK" } else { "FAIL" };
+        println!(
+            "{verdict} {report}: {} within tolerance, {} regressions, {} improvements, {} missing",
+            outcome.within,
+            outcome.regressions.len(),
+            outcome.improvements.len(),
+            outcome.missing_in_fresh.len() + outcome.missing_in_baseline.len()
+        );
+        print_diffs("REGRESSION", &outcome.regressions);
+        print_diffs("IMPROVEMENT", &outcome.improvements);
+        for key in &outcome.missing_in_fresh {
+            println!("  MISSING-IN-FRESH {key}");
+        }
+        for key in &outcome.missing_in_baseline {
+            println!("  MISSING-IN-BASELINE {key} (regenerate the committed baseline)");
+        }
+        failed |= !outcome.ok();
+    }
+    if failed {
+        eprintln!("regress: simulated-cost drift beyond tolerance (see above)");
+        ExitCode::FAILURE
+    } else {
+        println!("REGRESS PASS");
+        ExitCode::SUCCESS
+    }
+}

@@ -11,7 +11,13 @@
 //! * [`bugdb`] — the corpus of replicated bugs behind the fault toggles;
 //! * [`figures`] — composition + ASCII/JSON rendering of each figure;
 //! * [`fuzztable`] — the differential-fuzzing soundness/completeness
-//!   table rendered from `crates/fuzz` sweep counts.
+//!   table rendered from `crates/fuzz` sweep counts;
+//! * [`profile`] — folds `kernel_sim::trace` span streams into
+//!   per-stage self/total cost tables and flamegraph collapsed stacks;
+//! * [`json`] — a minimal offline JSON reader for the committed
+//!   `BENCH_*.json` baselines;
+//! * [`regress`] — the CI perf-regression gate comparing fresh bench
+//!   reports against those baselines.
 //!
 //! # Examples
 //!
@@ -27,8 +33,12 @@ pub mod callgraph;
 pub mod datasets;
 pub mod figures;
 pub mod fuzztable;
+pub mod json;
 pub mod kerngen;
 pub mod loc;
+pub mod profile;
+pub mod regress;
 
 pub use callgraph::{CallGraph, ReachStats};
 pub use figures::{fig2, fig3, fig4};
+pub use profile::{Profile, StageCost};

@@ -1,0 +1,213 @@
+//! Trace-profile aggregation: folds [`kernel_sim::trace`] event streams
+//! into per-stage / per-helper self+total cost tables and a
+//! flamegraph-style collapsed-stack export.
+//!
+//! All durations are **virtual** nanoseconds from the simulated clock,
+//! so profiles are deterministic: the same seed yields byte-identical
+//! tables and collapsed stacks.
+
+use std::collections::BTreeMap;
+
+use kernel_sim::trace::{SpanKind, SpanPhase, TraceEvent};
+
+/// Aggregated cost of one stage label.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCost {
+    /// Spans closed (or instants recorded) under this label.
+    pub count: u64,
+    /// Virtual ns spent inside the stage, children included.
+    pub total_ns: u64,
+    /// Virtual ns spent inside the stage, children excluded.
+    pub self_ns: u64,
+}
+
+/// A folded profile: per-stage costs plus collapsed call stacks.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Stage label → aggregated cost. Labels are [`SpanKind::label`]
+    /// names, with helper dispatches split per helper id
+    /// (`helper-call:197`) and verifier passes per pass index
+    /// (`verifier-pass:2`).
+    pub stages: BTreeMap<String, StageCost>,
+    /// Collapsed stack (`frame;frame;frame`) → self virtual ns, the
+    /// classic flamegraph input format.
+    pub stacks: BTreeMap<String, u64>,
+}
+
+/// The display/aggregation label of an event: helper dispatches carry
+/// the helper id and verifier passes the pass index (both are logical,
+/// shard-invariant arguments); every other kind aggregates by stage.
+fn label(kind: SpanKind, arg: u64) -> String {
+    match kind {
+        SpanKind::HelperCall | SpanKind::VerifierPass => format!("{}:{arg}", kind.label()),
+        _ => kind.label().to_string(),
+    }
+}
+
+struct Frame {
+    label: String,
+    enter_ns: u64,
+    child_ns: u64,
+}
+
+impl Profile {
+    /// Folds one CPU's in-order event stream into `self`. Unbalanced
+    /// tails (spans still open when the snapshot was taken, or whose
+    /// enters were dropped by a full ring) are ignored.
+    pub fn fold(&mut self, events: &[TraceEvent]) {
+        let mut stack: Vec<Frame> = Vec::new();
+        for e in events {
+            match e.phase {
+                SpanPhase::Enter => stack.push(Frame {
+                    label: label(e.kind, e.arg),
+                    enter_ns: e.at_ns,
+                    child_ns: 0,
+                }),
+                SpanPhase::Exit => {
+                    let Some(frame) = stack.pop() else { continue };
+                    let total = e.at_ns.saturating_sub(frame.enter_ns);
+                    let self_ns = total.saturating_sub(frame.child_ns);
+                    let entry = self.stages.entry(frame.label.clone()).or_default();
+                    entry.count += 1;
+                    entry.total_ns += total;
+                    entry.self_ns += self_ns;
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_ns += total;
+                    }
+                    let path = stack
+                        .iter()
+                        .map(|f| f.label.as_str())
+                        .chain(std::iter::once(frame.label.as_str()))
+                        .collect::<Vec<_>>()
+                        .join(";");
+                    *self.stacks.entry(path).or_default() += self_ns;
+                }
+                SpanPhase::Instant => {
+                    let entry = self.stages.entry(label(e.kind, e.arg)).or_default();
+                    entry.count += 1;
+                }
+            }
+        }
+    }
+
+    /// Folds per-shard snapshots (each shard's stream folded
+    /// independently — stacks never span CPUs).
+    pub fn fold_shards(shards: &[(usize, Vec<TraceEvent>)]) -> Self {
+        let mut profile = Profile::default();
+        let mut ordered: Vec<&(usize, Vec<TraceEvent>)> = shards.iter().collect();
+        ordered.sort_by_key(|(shard, _)| *shard);
+        for (_, events) in ordered {
+            profile.fold(events);
+        }
+        profile
+    }
+
+    /// Folds a single stream.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut profile = Profile::default();
+        profile.fold(events);
+        profile
+    }
+
+    /// The cost row for `label`, if any span or instant carried it.
+    pub fn stage(&self, label: &str) -> Option<StageCost> {
+        self.stages.get(label).copied()
+    }
+
+    /// Renders the per-stage table, most expensive (by total) first.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<(&String, &StageCost)> = self.stages.iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>14} {:>14}\n",
+            "stage", "count", "total_ns", "self_ns"
+        ));
+        for (label, cost) in rows {
+            out.push_str(&format!(
+                "{:<18} {:>10} {:>14} {:>14}\n",
+                label, cost.count, cost.total_ns, cost.self_ns
+            ));
+        }
+        out
+    }
+
+    /// Renders the collapsed-stack export: one `path value` line per
+    /// stack, deterministically ordered, consumable by any flamegraph
+    /// tool.
+    pub fn render_collapsed(&self) -> String {
+        let mut out = String::new();
+        for (path, self_ns) in &self.stacks {
+            out.push_str(&format!("{path} {self_ns}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kernel_sim::time::VirtualClock;
+    use kernel_sim::trace::Tracer;
+
+    /// enter(run) +10 → enter(helper 5) +4 → exit → +6 → exit
+    fn sample() -> Vec<TraceEvent> {
+        let clock = VirtualClock::new();
+        let t = Tracer::new(clock.clone(), 0);
+        t.enable();
+        let run = t.span(SpanKind::ProgRun, 0);
+        clock.advance(10);
+        {
+            let _h = t.span(SpanKind::HelperCall, 5);
+            clock.advance(4);
+        }
+        clock.advance(6);
+        t.instant(SpanKind::Fuel, 20);
+        drop(run);
+        t.snapshot()
+    }
+
+    #[test]
+    fn self_and_total_split_children() {
+        let p = Profile::from_events(&sample());
+        let run = p.stage("prog-run").unwrap();
+        assert_eq!(run.count, 1);
+        assert_eq!(run.total_ns, 20);
+        assert_eq!(run.self_ns, 16);
+        let helper = p.stage("helper-call:5").unwrap();
+        assert_eq!(helper.total_ns, 4);
+        assert_eq!(helper.self_ns, 4);
+        let fuel = p.stage("fuel").unwrap();
+        assert_eq!((fuel.count, fuel.total_ns), (1, 0));
+    }
+
+    #[test]
+    fn collapsed_stacks_attribute_self_time() {
+        let p = Profile::from_events(&sample());
+        assert_eq!(p.stacks.get("prog-run"), Some(&16));
+        assert_eq!(p.stacks.get("prog-run;helper-call:5"), Some(&4));
+        let rendered = p.render_collapsed();
+        assert!(rendered.contains("prog-run;helper-call:5 4\n"));
+    }
+
+    #[test]
+    fn unbalanced_tail_is_ignored() {
+        let clock = VirtualClock::new();
+        let t = Tracer::new(clock.clone(), 0);
+        t.enable();
+        t.enter(SpanKind::ProgRun, 0);
+        clock.advance(5);
+        // Never exited: snapshot taken mid-span.
+        let p = Profile::from_events(&t.snapshot());
+        assert!(p.stage("prog-run").is_none());
+    }
+
+    #[test]
+    fn table_renders_most_expensive_first() {
+        let p = Profile::from_events(&sample());
+        let table = p.render_table();
+        let run_at = table.find("prog-run").unwrap();
+        let helper_at = table.find("helper-call:5").unwrap();
+        assert!(run_at < helper_at, "{table}");
+    }
+}

@@ -1,0 +1,218 @@
+//! The CI perf-regression gate: compares freshly generated bench
+//! reports against the committed `BENCH_*.json` baselines.
+//!
+//! Only **simulated-cost** metrics are compared ([`SIM_COST_FIELDS`]):
+//! they are deterministic functions of `(code, seed)`, so any drift is a
+//! real change in modelled cost, never host noise. Host wall-clock
+//! fields are ignored by construction. The tolerance (default
+//! [`DEFAULT_TOLERANCE`], ±10%) exists so a PR that *deliberately*
+//! shifts costs slightly can still land by regenerating baselines, while
+//! order-of-magnitude regressions fail loudly.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// Relative drift allowed before a metric is flagged, in either
+/// direction (an unexplained speed-*up* also means the model changed).
+pub const DEFAULT_TOLERANCE: f64 = 0.10;
+
+/// The numeric row fields treated as simulated-cost metrics.
+pub const SIM_COST_FIELDS: &[&str] = &["sim_elapsed_ns", "insns_processed"];
+
+/// Row fields (in key order) that identify a row across regenerations.
+const ID_FIELDS: &[&str] = &["scenario", "backend", "lane", "shards", "faults"];
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// `row-key/field`, e.g. `ebpf/shards=4/sim_elapsed_ns`.
+    pub key: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly generated value.
+    pub fresh: f64,
+    /// Signed relative drift: `(fresh - baseline) / baseline`.
+    pub rel: f64,
+}
+
+/// The outcome of comparing one report pair.
+#[derive(Debug, Clone, Default)]
+pub struct RegressOutcome {
+    /// Metrics beyond tolerance with `fresh > baseline`.
+    pub regressions: Vec<MetricDiff>,
+    /// Metrics beyond tolerance with `fresh < baseline`.
+    pub improvements: Vec<MetricDiff>,
+    /// Metrics within tolerance.
+    pub within: usize,
+    /// Keys present in the baseline but absent from the fresh report.
+    pub missing_in_fresh: Vec<String>,
+    /// Keys present in the fresh report but absent from the baseline
+    /// (new configurations: the baseline needs regenerating).
+    pub missing_in_baseline: Vec<String>,
+}
+
+impl RegressOutcome {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+            && self.improvements.is_empty()
+            && self.missing_in_fresh.is_empty()
+            && self.missing_in_baseline.is_empty()
+    }
+}
+
+/// Extracts every simulated-cost metric from a bench report: walks all
+/// array members of the top-level object, keys each row by its
+/// identifying fields (`backend`, `shards`, `scenario`, `faults`,
+/// `lane`), and keeps the [`SIM_COST_FIELDS`] numbers.
+pub fn extract_metrics(doc: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Json::Obj(top) = doc else { return out };
+    for (section, value) in top {
+        let Some(rows) = value.items() else { continue };
+        for (index, row) in rows.iter().enumerate() {
+            let mut key = section.clone();
+            let mut identified = false;
+            for id in ID_FIELDS {
+                if let Some(part) = row.get(id).and_then(Json::scalar_key) {
+                    key.push_str(&format!("/{id}={part}"));
+                    identified = true;
+                }
+            }
+            if !identified {
+                // Rows with no identifying fields fall back to position.
+                key.push_str(&format!("/{index}"));
+            }
+            for field in SIM_COST_FIELDS {
+                if let Some(v) = row.get(field).and_then(Json::as_f64) {
+                    out.insert(format!("{key}/{field}"), v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compares fresh metrics against the baseline with a symmetric
+/// relative tolerance.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> RegressOutcome {
+    let mut outcome = RegressOutcome::default();
+    for (key, &base) in baseline {
+        let Some(&new) = fresh.get(key) else {
+            outcome.missing_in_fresh.push(key.clone());
+            continue;
+        };
+        let rel = if base == 0.0 {
+            if new == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (new - base) / base
+        };
+        let diff = MetricDiff {
+            key: key.clone(),
+            baseline: base,
+            fresh: new,
+            rel,
+        };
+        if rel > tolerance {
+            outcome.regressions.push(diff);
+        } else if rel < -tolerance {
+            outcome.improvements.push(diff);
+        } else {
+            outcome.within += 1;
+        }
+    }
+    for key in fresh.keys() {
+        if !baseline.contains_key(key) {
+            outcome.missing_in_baseline.push(key.clone());
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn doc(sim: u64) -> Json {
+        parse(&format!(
+            r#"{{"rows": [{{"backend": "ebpf", "shards": 2, "sim_elapsed_ns": {sim}, "host_elapsed_ns": 99}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_sim_cost_but_not_host_noise() {
+        let metrics = extract_metrics(&doc(1000));
+        assert_eq!(
+            metrics.get("rows/backend=ebpf/shards=2/sim_elapsed_ns"),
+            Some(&1000.0)
+        );
+        assert_eq!(metrics.len(), 1, "host_elapsed_ns must not be compared");
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = extract_metrics(&doc(1000));
+        let outcome = compare(&base, &base, DEFAULT_TOLERANCE);
+        assert!(outcome.ok());
+        assert_eq!(outcome.within, 1);
+    }
+
+    #[test]
+    fn regression_beyond_tolerance_fails() {
+        let base = extract_metrics(&doc(1000));
+        let fresh = extract_metrics(&doc(1200));
+        let outcome = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!outcome.ok());
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!((outcome.regressions[0].rel - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvement_beyond_tolerance_also_flags() {
+        let base = extract_metrics(&doc(1000));
+        let fresh = extract_metrics(&doc(500));
+        let outcome = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert_eq!(outcome.improvements.len(), 1);
+        assert!(!outcome.ok(), "silent model changes must not pass");
+    }
+
+    #[test]
+    fn drift_within_tolerance_passes() {
+        let base = extract_metrics(&doc(1000));
+        let fresh = extract_metrics(&doc(1050));
+        assert!(compare(&base, &fresh, DEFAULT_TOLERANCE).ok());
+    }
+
+    #[test]
+    fn schema_drift_is_an_error() {
+        let base = extract_metrics(&doc(1000));
+        let outcome = compare(&base, &BTreeMap::new(), DEFAULT_TOLERANCE);
+        assert_eq!(outcome.missing_in_fresh.len(), 1);
+        let outcome = compare(&BTreeMap::new(), &base, DEFAULT_TOLERANCE);
+        assert_eq!(outcome.missing_in_baseline.len(), 1);
+        assert!(!outcome.ok());
+    }
+
+    #[test]
+    fn lanes_key_by_lane_field() {
+        let doc =
+            parse(r#"{"lanes": [{"lane": "patched", "insns_processed": 83484, "accepted": 459}]}"#)
+                .unwrap();
+        let metrics = extract_metrics(&doc);
+        assert_eq!(
+            metrics.get("lanes/lane=patched/insns_processed"),
+            Some(&83484.0)
+        );
+    }
+}

@@ -100,7 +100,7 @@ fn run_config(
     }
 }
 
-fn full() {
+fn full(out: &str) {
     let frames = full_traffic();
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
@@ -218,9 +218,9 @@ fn full() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_net.json", json).expect("write BENCH_net.json");
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!(
-        "wrote BENCH_net.json ({} rows) in {:.1}s",
+        "wrote {out} ({} rows) in {:.1}s",
         rows.len(),
         started.elapsed().as_secs_f64()
     );
@@ -282,9 +282,23 @@ fn smoke() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let mut smoke_mode = false;
+    let mut out = "BENCH_net.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--out" => out = it.next().expect("--out requires a value"),
+            other => {
+                eprintln!("netbench: unknown argument {other}");
+                eprintln!("usage: netbench [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke_mode {
         smoke();
     } else {
-        full();
+        full(&out);
     }
 }

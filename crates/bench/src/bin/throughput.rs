@@ -72,7 +72,7 @@ fn run_config(backend: Backend, shards: usize, batch: &[Vec<u8>]) -> (DispatchRe
     (best, hash)
 }
 
-fn full() {
+fn full(out: &str) {
     let batch = make_packets(FULL_BATCH);
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
@@ -148,9 +148,9 @@ fn full() {
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!(
-        "wrote BENCH_throughput.json ({} rows) in {:.1}s",
+        "wrote {out} ({} rows) in {:.1}s",
         rows.len(),
         started.elapsed().as_secs_f64()
     );
@@ -207,9 +207,23 @@ fn smoke() {
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let mut smoke_mode = false;
+    let mut out = "BENCH_throughput.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--out" => out = it.next().expect("--out requires a value"),
+            other => {
+                eprintln!("throughput: unknown argument {other}");
+                eprintln!("usage: throughput [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke_mode {
         smoke();
     } else {
-        full();
+        full(&out);
     }
 }

@@ -39,10 +39,12 @@ use std::time::Instant;
 use crossbeam::channel;
 use ebpf::helpers::HelperRegistry;
 use ebpf::interp::{CtxInput, Vm};
+use ebpf::jit::{jit_compile, JitConfig};
 use ebpf::maps::{MapDef, MapRegistry};
 use ebpf::program::ProgType;
 use kernel_sim::audit::{merged_fingerprint, AuditEvent, EventKind};
 use kernel_sim::percpu::CpuInfo;
+use kernel_sim::trace::{self, SpanKind, TraceEvent};
 use kernel_sim::{FaultPlan, FaultPlanConfig, Kernel, MetricsSnapshot};
 use safe_ext::{ExtInput, Extension, Quarantine, Runtime};
 
@@ -84,6 +86,14 @@ pub struct DispatchConfig {
     pub fault: Option<FaultPlanConfig>,
     /// Consecutive-kill threshold for the safe runtime's circuit breaker.
     pub quarantine_threshold: u32,
+    /// Enable per-CPU span tracing on every shard kernel. Recording
+    /// never advances the virtual clock, so the simulated cost of a
+    /// traced batch is identical to an untraced one.
+    pub trace: bool,
+    /// For [`Backend::Ebpf`]: run the workload through `jit_compile`
+    /// (the validating identity transform) instead of loading the
+    /// interpreter-form program directly.
+    pub jit: bool,
 }
 
 impl Default for DispatchConfig {
@@ -93,6 +103,8 @@ impl Default for DispatchConfig {
             seed: 1,
             fault: None,
             quarantine_threshold: 3,
+            trace: false,
+            jit: false,
         }
     }
 }
@@ -115,6 +127,9 @@ pub struct ShardReport {
     pub proto_counts: [u64; PROTO_CLASSES],
     /// The shard kernel's full audit snapshot.
     pub audit: Vec<AuditEvent>,
+    /// The shard kernel's trace-event snapshot (empty unless
+    /// [`DispatchConfig::trace`] was set).
+    pub trace: Vec<TraceEvent>,
     /// The shard kernel's metrics snapshot.
     pub metrics: MetricsSnapshot,
     /// The shard's virtual-clock reading after the batch: how long the
@@ -132,6 +147,15 @@ pub struct DispatchReport {
     /// Canonical merge of all per-shard audit streams; byte-identical
     /// across runs of the same `(backend, seed, shard_count, batch)`.
     pub merged_fingerprint: String,
+    /// Merge of the per-CPU trace streams in shard-id order (absolute
+    /// timestamps); byte-identical across replays of one configuration.
+    /// Empty unless [`DispatchConfig::trace`] was set.
+    pub trace_fingerprint: String,
+    /// The shard-count-invariant canonical trace: per-task events with
+    /// task-relative timestamps, sorted by global packet index — the
+    /// `TRACE_SHA256` contract. Empty unless [`DispatchConfig::trace`]
+    /// was set.
+    pub canonical_trace: String,
     /// Sum of all shard metrics.
     pub metrics: MetricsSnapshot,
     /// Host wall-clock time for the whole batch, nanoseconds. Noisy and
@@ -306,6 +330,9 @@ impl ShardEnv {
                 *fault,
             ));
         }
+        if cfg.trace {
+            kernel.enable_tracing();
+        }
         Self {
             kernel,
             maps,
@@ -328,7 +355,14 @@ impl ShardEnv {
         out
     }
 
-    fn finish(self, shard: usize, packets: u64, accepted: u64, errors: u64) -> ShardReport {
+    fn finish(
+        self,
+        shard: usize,
+        packets: u64,
+        accepted: u64,
+        errors: u64,
+        mut trace_log: Vec<TraceEvent>,
+    ) -> ShardReport {
         let proto_counts = self.proto_counts();
         // A per-shard summary event makes the merged fingerprint
         // content-bearing even for fault-free batches: it pins the
@@ -349,6 +383,14 @@ impl ShardEnv {
             .get()
             .map(|plane| plane.total_injected())
             .unwrap_or(0);
+        // Final drain catches any untasked events recorded after the
+        // last per-packet flush.
+        trace_log.extend(self.kernel.trace.take());
+        assert_eq!(
+            self.kernel.trace.dropped(),
+            0,
+            "trace ring overflowed on shard {shard}; span balance is void"
+        );
         ShardReport {
             shard,
             packets,
@@ -359,6 +401,7 @@ impl ShardEnv {
             sim_ns: self.kernel.clock.now_ns(),
             pristine: self.kernel.health().pristine(),
             audit: self.kernel.audit.snapshot(),
+            trace: trace_log,
             metrics: self.kernel.metrics.snapshot(),
         }
     }
@@ -367,27 +410,52 @@ impl ShardEnv {
 fn run_shard_ebpf(
     cfg: &DispatchConfig,
     shard: usize,
-    rx: channel::Receiver<Vec<u8>>,
+    rx: channel::Receiver<(u64, Vec<u8>)>,
 ) -> ShardReport {
     let env = ShardEnv::boot(cfg, shard);
     let helpers = HelperRegistry::standard();
     let mut vm = Vm::new(&env.kernel, &env.maps, &helpers);
-    let id = vm.load(workloads::packet_filter(env.counts_fd));
+    let prog = workloads::packet_filter(env.counts_fd);
+    let prog = if cfg.jit {
+        // The validating identity transform: jitted text is
+        // instruction-identical, so traces and costs match the
+        // interpreter exactly.
+        jit_compile(&prog, JitConfig::default())
+            .expect("workload jit-compiles")
+            .0
+    } else {
+        prog
+    };
+    let id = vm.load(prog);
     let (mut packets, mut accepted, mut errors) = (0u64, 0u64, 0u64);
-    for payload in rx.iter() {
+    let mut trace_log: Vec<TraceEvent> = Vec::new();
+    for (index, payload) in rx.iter() {
         packets += 1;
-        match vm.run(id, CtxInput::Packet(payload)).result {
+        env.kernel.trace.begin_task(index);
+        let dispatch_span = env
+            .kernel
+            .trace
+            .span(SpanKind::Dispatch, payload.len() as u64);
+        let outcome = vm.run(id, CtxInput::Packet(payload)).result;
+        drop(dispatch_span);
+        env.kernel.trace.end_task();
+        // Per-packet ring drain: batch size is then unbounded by the
+        // ring capacity, mirroring a real per-CPU ringbuf flush.
+        if cfg.trace {
+            trace_log.extend(env.kernel.trace.take());
+        }
+        match outcome {
             Ok(_) => accepted += 1,
             Err(_) => errors += 1,
         }
     }
-    env.finish(shard, packets, accepted, errors)
+    env.finish(shard, packets, accepted, errors, trace_log)
 }
 
 fn run_shard_safe(
     cfg: &DispatchConfig,
     shard: usize,
-    rx: channel::Receiver<Vec<u8>>,
+    rx: channel::Receiver<(u64, Vec<u8>)>,
 ) -> ShardReport {
     let env = ShardEnv::boot(cfg, shard);
     let quarantine = Arc::new(Quarantine::new(cfg.quarantine_threshold));
@@ -404,14 +472,26 @@ fn run_shard_safe(
         Ok(pkt.len() as u64)
     });
     let (mut packets, mut accepted, mut errors) = (0u64, 0u64, 0u64);
-    for payload in rx.iter() {
+    let mut trace_log: Vec<TraceEvent> = Vec::new();
+    for (index, payload) in rx.iter() {
         packets += 1;
-        match runtime.run(&ext, ExtInput::Packet(payload)).result {
+        env.kernel.trace.begin_task(index);
+        let dispatch_span = env
+            .kernel
+            .trace
+            .span(SpanKind::Dispatch, payload.len() as u64);
+        let outcome = runtime.run(&ext, ExtInput::Packet(payload)).result;
+        drop(dispatch_span);
+        env.kernel.trace.end_task();
+        if cfg.trace {
+            trace_log.extend(env.kernel.trace.take());
+        }
+        match outcome {
             Ok(_) => accepted += 1,
             Err(_) => errors += 1,
         }
     }
-    env.finish(shard, packets, accepted, errors)
+    env.finish(shard, packets, accepted, errors, trace_log)
 }
 
 /// Dispatches `packets` over `cfg.shards` concurrent shards through
@@ -422,10 +502,12 @@ pub fn run_batched(backend: Backend, cfg: &DispatchConfig, packets: &[Vec<u8>]) 
 
     // Feed the batch in global order; per-shard arrival order is the
     // global order restricted to the shard, independent of scheduling.
-    let items = packets
-        .iter()
-        .enumerate()
-        .map(|(i, pkt)| (shard_of(cfg.seed, i as u64, shards), pkt.clone()));
+    let items = packets.iter().enumerate().map(|(i, pkt)| {
+        (
+            shard_of(cfg.seed, i as u64, shards),
+            (i as u64, pkt.clone()),
+        )
+    });
     let reports = run_sharded(shards, items, |shard, rx| match backend {
         Backend::Ebpf => run_shard_ebpf(cfg, shard, rx),
         Backend::SafeExt => run_shard_safe(cfg, shard, rx),
@@ -437,6 +519,17 @@ pub fn run_batched(backend: Backend, cfg: &DispatchConfig, packets: &[Vec<u8>]) 
         reports.iter().map(|r| (r.shard, r.audit.clone())).collect();
     let merged = merged_fingerprint(&tagged);
 
+    let (trace_fp, canonical_trace) = if cfg.trace {
+        let tagged_traces: Vec<(usize, Vec<TraceEvent>)> =
+            reports.iter().map(|r| (r.shard, r.trace.clone())).collect();
+        (
+            trace::merged_fingerprint(&tagged_traces),
+            trace::canonical_fingerprint(&tagged_traces),
+        )
+    } else {
+        (String::new(), String::new())
+    };
+
     let mut metrics = MetricsSnapshot::default();
     for r in &reports {
         metrics.merge(&r.metrics);
@@ -447,6 +540,8 @@ pub fn run_batched(backend: Backend, cfg: &DispatchConfig, packets: &[Vec<u8>]) 
     DispatchReport {
         shards: reports,
         merged_fingerprint: merged,
+        trace_fingerprint: trace_fp,
+        canonical_trace,
         metrics,
         elapsed_ns,
         sim_elapsed_ns,

@@ -144,14 +144,21 @@ impl<'k> Loader<'k> {
     ) -> Result<LoadedExtension, LoadError> {
         let started = std::time::Instant::now();
         let now = || self.kernel.clock.now_ns();
+        let _load_span = self.kernel.trace.span(kernel_sim::trace::SpanKind::Load, 0);
 
-        if let Err(e) = self.keyring.validate(&signed.bytes, &signed.signature) {
-            self.kernel.audit.record(
-                now(),
-                EventKind::LoadRejected,
-                format!("load rejected: {e}"),
-            );
-            return Err(LoadError::BadSignature(e));
+        {
+            let _sig_span = self
+                .kernel
+                .trace
+                .span(kernel_sim::trace::SpanKind::SigCheck, 0);
+            if let Err(e) = self.keyring.validate(&signed.bytes, &signed.signature) {
+                self.kernel.audit.record(
+                    now(),
+                    EventKind::LoadRejected,
+                    format!("load rejected: {e}"),
+                );
+                return Err(LoadError::BadSignature(e));
+            }
         }
 
         let artifact = Artifact::from_bytes(&signed.bytes).ok_or_else(|| {
@@ -176,16 +183,22 @@ impl<'k> Loader<'k> {
 
         // Load-time fixup: resolve every required capability.
         let mut fixups_resolved = 0;
-        for cap in &artifact.requires {
-            if !KERNEL_CAPABILITIES.contains(&cap.as_str()) {
-                self.kernel.audit.record(
-                    now(),
-                    EventKind::LoadRejected,
-                    format!("load rejected: unresolved capability `{cap}`"),
-                );
-                return Err(LoadError::UnresolvedCapability(cap.clone()));
+        {
+            let _fixup_span = self
+                .kernel
+                .trace
+                .span(kernel_sim::trace::SpanKind::Fixup, 0);
+            for cap in &artifact.requires {
+                if !KERNEL_CAPABILITIES.contains(&cap.as_str()) {
+                    self.kernel.audit.record(
+                        now(),
+                        EventKind::LoadRejected,
+                        format!("load rejected: unresolved capability `{cap}`"),
+                    );
+                    return Err(LoadError::UnresolvedCapability(cap.clone()));
+                }
+                fixups_resolved += 1;
             }
-            fixups_resolved += 1;
         }
 
         let extension = registry

@@ -37,7 +37,12 @@ impl<'k> ExtCtx<'k> {
     /// (the safe counterpart of `bpf_ct_lookup`).
     pub fn ct_lookup(&self, key: FlowKey) -> Result<Option<CtState>, ExtError> {
         self.charge(4)?;
-        Ok(self.kernel.net.conntrack.lookup(key))
+        let state = self.kernel.net.conntrack.lookup(key);
+        self.kernel.trace.instant(
+            kernel_sim::trace::SpanKind::CtLookup,
+            state.is_some() as u64,
+        );
+        Ok(state)
     }
 
     /// Observes one packet of `key`, advancing the flow state machine and
@@ -51,7 +56,13 @@ impl<'k> ExtCtx<'k> {
         pkt_len: u64,
     ) -> Result<Observation, ExtError> {
         self.charge(6)?;
-        Ok(self.kernel.net.conntrack.observe(key, tcp_flags, pkt_len))
+        let obs = self.kernel.net.conntrack.observe(key, tcp_flags, pkt_len);
+        // Arg 1 = the flow already existed, 0 = freshly tracked.
+        self.kernel.trace.instant(
+            kernel_sim::trace::SpanKind::CtLookup,
+            (obs.packed() >> 8 != 0) as u64,
+        );
+        Ok(obs)
     }
 }
 

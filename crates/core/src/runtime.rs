@@ -318,6 +318,10 @@ impl<'k> Runtime<'k> {
             _ => None,
         };
 
+        let _run_span = self
+            .kernel
+            .trace
+            .span(kernel_sim::trace::SpanKind::ProgRun, 0);
         let terminate = Arc::new(AtomicBool::new(false));
         let meter = Meter::new(
             self.config.fuel,
@@ -448,9 +452,14 @@ impl<'k> Runtime<'k> {
 
         // Safe termination: trusted destructors for everything still
         // outstanding, whatever the exit path was.
+        let cleanup_span = self
+            .kernel
+            .trace
+            .span(kernel_sim::trace::SpanKind::Cleanup, 0);
         let cleaned = ctx
             .cleanup
             .run_destructors(self.kernel, self.maps, &ctx.exec);
+        drop(cleanup_span);
         if !cleaned.is_empty() {
             self.kernel.audit.record(
                 self.kernel.clock.now_ns(),
@@ -472,6 +481,9 @@ impl<'k> Runtime<'k> {
             Metrics::bump(&metrics.packets, 1);
         }
         metrics.run_cost.record(fuel_used);
+        self.kernel
+            .trace
+            .instant(kernel_sim::trace::SpanKind::Fuel, fuel_used);
 
         ExtOutcome {
             result,

@@ -1352,7 +1352,12 @@ fn h_ct_lookup(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperErr
         Some(key) => key,
         None => return Ok(neg_errno(EINVAL)),
     };
-    match ctx.kernel.net.conntrack.lookup(key) {
+    let state = ctx.kernel.net.conntrack.lookup(key);
+    ctx.kernel.trace.instant(
+        kernel_sim::trace::SpanKind::CtLookup,
+        state.is_some() as u64,
+    );
+    match state {
         Some(state) => Ok(state.code() as u64),
         None => Ok(neg_errno(ENOENT)),
     }
@@ -1368,6 +1373,11 @@ fn h_ct_observe(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperEr
     };
     let flags = (args[2] & 0xff) as u8;
     let obs = ctx.kernel.net.conntrack.observe(key, flags, args[3]);
+    // Arg 1 = the flow already existed, 0 = freshly tracked.
+    ctx.kernel.trace.instant(
+        kernel_sim::trace::SpanKind::CtLookup,
+        (obs.packed() >> 8 != 0) as u64,
+    );
     Ok(obs.packed())
 }
 

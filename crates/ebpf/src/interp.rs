@@ -323,6 +323,10 @@ impl<'a> Vm<'a> {
         };
         st.regs[1] = ctx_addr;
 
+        let _run_span = self
+            .kernel
+            .trace
+            .span(kernel_sim::trace::SpanKind::ProgRun, prog_id as u64);
         // The whole run executes under the RCU read lock, as in the kernel.
         let rcu_guard = self.kernel.rcu.read_lock();
         let mut current = prog;
@@ -367,6 +371,9 @@ impl<'a> Vm<'a> {
         }
         Metrics::bump(&metrics.helper_calls, st.helper_calls);
         metrics.run_cost.record(st.insns);
+        self.kernel
+            .trace
+            .instant(kernel_sim::trace::SpanKind::Fuel, st.insns);
 
         RunResult {
             result,
@@ -707,6 +714,13 @@ impl<'a> Vm<'a> {
         ctx_addr: Addr,
     ) -> Result<Option<FnExit>, ExecError> {
         st.helper_calls += 1;
+        // One span per dispatch, whatever the outcome: the tail-call and
+        // loop pseudo-helpers, injected transient failures, and real
+        // helper bodies all close it on their own exit path via the guard.
+        let _helper_span = self
+            .kernel
+            .trace
+            .span(kernel_sim::trace::SpanKind::HelperCall, id as u64);
         match id {
             BPF_TAIL_CALL => {
                 if st.depth > 1 {

@@ -15,6 +15,7 @@ use crate::{
     rcu::Rcu,
     refcount::RefTable,
     time::VirtualClock,
+    trace::Tracer,
 };
 
 /// Aggregate health snapshot used by experiments to compare frameworks.
@@ -84,6 +85,10 @@ pub struct Kernel {
     /// Simulated network stack (conntrack + RX hook counters), shared by
     /// the eBPF net helpers and the safe-ext net methods.
     pub net: NetStack,
+    /// Per-CPU span-trace sink (each shard kernel *is* one simulated
+    /// CPU). Disabled by default; recording never advances the virtual
+    /// clock, so traced and untraced runs are simulated-cost identical.
+    pub trace: Arc<Tracer>,
 }
 
 impl Default for Kernel {
@@ -103,7 +108,11 @@ impl Kernel {
     /// width and which CPU the shard is pinned to.
     pub fn with_topology(cpus: CpuInfo) -> Self {
         let clock = VirtualClock::new();
-        Self {
+        // The tracer reads a bare clock handle (timestamps must never
+        // draw injected jumps of their own) and is labelled with the CPU
+        // this kernel is pinned to.
+        let trace = Arc::new(Tracer::new(clock.bare_handle(), cpus.current_cpu()));
+        let kernel = Self {
             rcu: Rcu::new(clock.clone()),
             clock,
             mem: KernelMem::new(),
@@ -116,7 +125,12 @@ impl Kernel {
             inject: InjectSlot::default(),
             metrics: Arc::new(Metrics::new()),
             net: NetStack::default(),
-        }
+            trace,
+        };
+        kernel.rcu.trace.arm(Arc::clone(&kernel.trace));
+        kernel.locks.trace.arm(Arc::clone(&kernel.trace));
+        kernel.refs.trace.arm(Arc::clone(&kernel.trace));
+        kernel
     }
 
     /// Boots a kernel wrapped in an [`Arc`] for sharing across threads.
@@ -151,6 +165,16 @@ impl Kernel {
         self.refs.inject.disarm();
         self.clock.inject.disarm();
         self.inject.disarm();
+    }
+
+    /// Starts span tracing on this kernel's per-CPU sink.
+    pub fn enable_tracing(&self) {
+        self.trace.enable();
+    }
+
+    /// Stops span tracing (buffered events are kept).
+    pub fn disable_tracing(&self) {
+        self.trace.disable();
     }
 
     /// Records an oops: both in the oops log and as an audit event.

@@ -41,6 +41,7 @@ pub mod percpu;
 pub mod rcu;
 pub mod refcount;
 pub mod time;
+pub mod trace;
 
 pub use exec::{ExecCtx, ExecReport};
 pub use inject::{FaultPlan, FaultPlanConfig, FaultPlane, FaultSite};
@@ -48,3 +49,4 @@ pub use kernel::{HealthReport, Kernel};
 pub use mem::{Addr, Fault};
 pub use metrics::{HistSketch, HistSnapshot, Metrics, MetricsSnapshot};
 pub use oops::{Oops, OopsReason};
+pub use trace::{SpanKind, SpanPhase, TraceEvent, Tracer};

@@ -74,6 +74,7 @@ struct LockInfo {
 pub struct SpinTable {
     state: Mutex<TableState>,
     pub(crate) inject: crate::inject::InjectSlot,
+    pub(crate) trace: crate::trace::TraceSlot,
 }
 
 #[derive(Debug, Default)]
@@ -145,6 +146,12 @@ impl SpinTable {
                 }
                 info.holder = Some(owner);
                 info.acquisitions += 1;
+                // The trace argument is the operation code, not the lock
+                // id: lock ids are per-kernel allocation order, which
+                // would break the canonical trace's shard invariance.
+                if let Some(tracer) = self.trace.get() {
+                    tracer.instant(crate::trace::SpanKind::LockOp, 0);
+                }
                 Ok(())
             }
         }
@@ -157,6 +164,9 @@ impl SpinTable {
         match info.holder {
             Some(h) if h == owner => {
                 info.holder = None;
+                if let Some(tracer) = self.trace.get() {
+                    tracer.instant(crate::trace::SpanKind::LockOp, 1);
+                }
                 Ok(())
             }
             Some(_) | None => Err(LockError::NotHeld(id)),

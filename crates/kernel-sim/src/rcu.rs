@@ -75,6 +75,7 @@ pub struct Rcu {
     stall_timeout_ns: u64,
     state: Mutex<RcuState>,
     pub(crate) inject: crate::inject::InjectSlot,
+    pub(crate) trace: crate::trace::TraceSlot,
 }
 
 impl Rcu {
@@ -90,6 +91,7 @@ impl Rcu {
             stall_timeout_ns: stall_timeout_ns.max(1),
             state: Mutex::new(RcuState::default()),
             inject: crate::inject::InjectSlot::default(),
+            trace: crate::trace::TraceSlot::default(),
         }
     }
 
@@ -110,6 +112,9 @@ impl Rcu {
                     self.clock.advance(delay);
                 }
             }
+            if let Some(tracer) = self.trace.get() {
+                tracer.enter(crate::trace::SpanKind::RcuRead, 0);
+            }
         }
         st.depth += 1;
         RcuReadGuard { rcu: self }
@@ -119,6 +124,11 @@ impl Rcu {
         let mut st = self.state.lock();
         debug_assert!(st.depth > 0, "unbalanced rcu_read_unlock");
         st.depth = st.depth.saturating_sub(1);
+        if st.depth == 0 {
+            if let Some(tracer) = self.trace.get() {
+                tracer.exit(crate::trace::SpanKind::RcuRead, 0);
+            }
+        }
     }
 
     /// Whether no read-side critical section is active.

@@ -77,6 +77,7 @@ struct RefInfo {
 pub struct RefTable {
     state: Mutex<RefState>,
     pub(crate) inject: crate::inject::InjectSlot,
+    pub(crate) trace: crate::trace::TraceSlot,
 }
 
 #[derive(Debug, Default)]
@@ -117,6 +118,11 @@ impl RefTable {
         }
         info.count += 1;
         info.gets += 1;
+        // Operation code only — object ids are per-kernel allocation
+        // order and would break the canonical trace's shard invariance.
+        if let Some(tracer) = self.trace.get() {
+            tracer.instant(crate::trace::SpanKind::RefOp, 0);
+        }
         Ok(info.count)
     }
 
@@ -128,6 +134,9 @@ impl RefTable {
             return Err(RefError::Underflow(id));
         }
         info.count -= 1;
+        if let Some(tracer) = self.trace.get() {
+            tracer.instant(crate::trace::SpanKind::RefOp, 1);
+        }
         Ok(info.count)
     }
 

@@ -123,15 +123,31 @@ impl<'a> Verifier<'a> {
 
     /// Verifies `prog`, returning statistics on success.
     pub fn verify(&self, prog: &Program) -> Result<Verification, VerifyError> {
+        self.verify_traced(prog, None)
+    }
+
+    /// Verifies `prog`, recording each verifier pass — pre-checks
+    /// (arg 0), the speculation-gadget scan (arg 1), and symbolic path
+    /// exploration (arg 2) — as a
+    /// [`kernel_sim::trace::SpanKind::VerifierPass`] span on `tracer`.
+    pub fn verify_traced(
+        &self,
+        prog: &Program,
+        tracer: Option<&kernel_sim::trace::Tracer>,
+    ) -> Result<Verification, VerifyError> {
+        use kernel_sim::trace::SpanKind;
         let started = std::time::Instant::now();
-        if prog.insns.is_empty() {
-            return Err(VerifyError::EmptyProgram);
-        }
-        if prog.insns.len() > self.limits.max_prog_len {
-            return Err(VerifyError::ProgramTooLarge {
-                len: prog.insns.len(),
-                limit: self.limits.max_prog_len,
-            });
+        {
+            let _pre = tracer.map(|t| t.span(SpanKind::VerifierPass, 0));
+            if prog.insns.is_empty() {
+                return Err(VerifyError::EmptyProgram);
+            }
+            if prog.insns.len() > self.limits.max_prog_len {
+                return Err(VerifyError::ProgramTooLarge {
+                    len: prog.insns.len(),
+                    limit: self.limits.max_prog_len,
+                });
+            }
         }
         let mut ctx = Vctx {
             prog,
@@ -145,9 +161,11 @@ impl<'a> Verifier<'a> {
             callbacks_seen: HashSet::new(),
         };
         if self.features.speculation {
+            let _spec = tracer.map(|t| t.span(SpanKind::VerifierPass, 1));
             ctx.stats.spec_sanitations += crate::spec::count_gadgets(&prog.insns);
         }
 
+        let _explore = tracer.map(|t| t.span(SpanKind::VerifierPass, 2));
         while let Some((pc, state, path)) = ctx.worklist.pop() {
             ctx.current_path = path;
             self.explore_path(&mut ctx, pc, state)?;

@@ -1,0 +1,148 @@
+//! Integration suite for the span-tracing layer's determinism contract.
+//!
+//! The contract (DESIGN.md §12): for a fixed `(backend, seed, batch)`,
+//! the canonical trace — tasked spans with task-relative timestamps and
+//! logical arguments — hashes identically regardless of how many shards
+//! the batch is split over, whether the eBPF program runs interpreted or
+//! through the JIT identity transform, and which process or thread
+//! interleaving executed the run; and tracing itself never perturbs
+//! simulated cost or audits.
+
+use bench::dispatch::{make_packets, run_batched, Backend, DispatchConfig};
+use kernel_sim::FaultPlanConfig;
+use signing::sha256;
+
+const BOTH: [Backend; 2] = [Backend::Ebpf, Backend::SafeExt];
+
+fn trace_hash(backend: Backend, cfg: &DispatchConfig, batch: &[Vec<u8>]) -> String {
+    let report = run_batched(backend, cfg, batch);
+    assert!(
+        !report.canonical_trace.is_empty(),
+        "{backend:?}: traced run produced an empty canonical trace"
+    );
+    sha256::to_hex(&sha256::digest(report.canonical_trace.as_bytes()))
+}
+
+#[test]
+fn canonical_trace_hash_is_shard_count_invariant() {
+    let batch = make_packets(96);
+    for backend in BOTH {
+        let mut seen: Option<String> = None;
+        for shards in [1usize, 4] {
+            let cfg = DispatchConfig {
+                shards,
+                seed: 0xace,
+                trace: true,
+                ..Default::default()
+            };
+            let hash = trace_hash(backend, &cfg, &batch);
+            if let Some(prev) = &seen {
+                assert_eq!(
+                    *prev, hash,
+                    "{backend:?}: canonical trace changed between 1 and {shards} shards"
+                );
+            }
+            seen = Some(hash);
+        }
+    }
+}
+
+#[test]
+fn canonical_trace_hash_is_identical_interp_vs_jit() {
+    let batch = make_packets(96);
+    let interp = DispatchConfig {
+        shards: 2,
+        seed: 7,
+        trace: true,
+        ..Default::default()
+    };
+    let jit = DispatchConfig {
+        jit: true,
+        ..interp.clone()
+    };
+    assert_eq!(
+        trace_hash(Backend::Ebpf, &interp, &batch),
+        trace_hash(Backend::Ebpf, &jit, &batch),
+        "JIT identity transform moved a canonical trace line"
+    );
+}
+
+#[test]
+fn fault_armed_trace_is_stable_and_distinct_from_fault_free() {
+    let batch = make_packets(96);
+    for backend in BOTH {
+        let clean = DispatchConfig {
+            shards: 2,
+            seed: 21,
+            trace: true,
+            ..Default::default()
+        };
+        let faulty = DispatchConfig {
+            fault: Some(FaultPlanConfig::default()),
+            ..clean.clone()
+        };
+        let clean_hash = trace_hash(backend, &clean, &batch);
+        let faulty_a = trace_hash(backend, &faulty, &batch);
+        let faulty_b = trace_hash(backend, &faulty, &batch);
+        assert_eq!(
+            faulty_a, faulty_b,
+            "{backend:?}: fault-armed trace diverged between same-seed runs"
+        );
+        assert_ne!(
+            clean_hash, faulty_a,
+            "{backend:?}: fault plan left no mark on the trace (injected \
+             delays must shift task-relative timestamps)"
+        );
+    }
+}
+
+#[test]
+fn tracing_never_perturbs_simulated_cost_or_audits() {
+    let batch = make_packets(128);
+    for backend in BOTH {
+        for fault in [None, Some(FaultPlanConfig::default())] {
+            let untraced_cfg = DispatchConfig {
+                shards: 2,
+                seed: 5,
+                fault,
+                ..Default::default()
+            };
+            let traced_cfg = DispatchConfig {
+                trace: true,
+                ..untraced_cfg.clone()
+            };
+            let untraced = run_batched(backend, &untraced_cfg, &batch);
+            let traced = run_batched(backend, &traced_cfg, &batch);
+            assert_eq!(
+                untraced.sim_elapsed_ns, traced.sim_elapsed_ns,
+                "{backend:?}: tracing changed simulated cost"
+            );
+            assert_eq!(
+                untraced.merged_fingerprint, traced.merged_fingerprint,
+                "{backend:?}: tracing changed the merged audit"
+            );
+            assert!(untraced.canonical_trace.is_empty());
+        }
+    }
+}
+
+#[test]
+fn untraced_runs_record_no_events() {
+    let batch = make_packets(64);
+    for backend in BOTH {
+        let cfg = DispatchConfig {
+            shards: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let report = run_batched(backend, &cfg, &batch);
+        for shard in &report.shards {
+            assert!(
+                shard.trace.is_empty(),
+                "{backend:?}: shard {} recorded {} events with tracing off",
+                shard.shard,
+                shard.trace.len()
+            );
+        }
+    }
+}
