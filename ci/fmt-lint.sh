@@ -18,3 +18,14 @@ cargo check --workspace --no-default-features
 
 say "feature matrix: cargo check -p ebpf --features bug-replicas"
 cargo check -p ebpf --features bug-replicas
+
+# Ladder feature matrix: each verifier feature-growth rung (bpf2bpf,
+# tail calls, spin locks, ringbuf reservations) keeps its focused
+# suites green — generator strata and shrinker coverage, the ladder
+# measurement harness, and the stored-bug replay pair.
+say "feature matrix: ladder strata (fuzz gen/shrink/bugdb)"
+cargo test -q -p fuzz --lib
+say "feature matrix: ladder measurement harness (bench ladder)"
+cargo test -q -p bench --lib ladder
+say "feature matrix: ladder replay suites"
+cargo test -q --test feature_ladder_proptests --test bugdb_replay

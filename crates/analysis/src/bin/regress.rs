@@ -20,6 +20,7 @@ const DEFAULT_REPORTS: &[&str] = &[
     "BENCH_net.json",
     "BENCH_fuzz.json",
     "BENCH_profile.json",
+    "BENCH_verifier.json",
 ];
 
 struct Args {

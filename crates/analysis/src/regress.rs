@@ -18,10 +18,16 @@ use crate::json::Json;
 pub const DEFAULT_TOLERANCE: f64 = 0.10;
 
 /// The numeric row fields treated as simulated-cost metrics.
-pub const SIM_COST_FIELDS: &[&str] = &["sim_elapsed_ns", "insns_processed"];
+pub const SIM_COST_FIELDS: &[&str] = &[
+    "sim_elapsed_ns",
+    "insns_processed",
+    "states_explored",
+    "verify_sim_ns",
+    "safe_ext_load_sim_ns",
+];
 
 /// Row fields (in key order) that identify a row across regenerations.
-const ID_FIELDS: &[&str] = &["scenario", "backend", "lane", "shards", "faults"];
+const ID_FIELDS: &[&str] = &["scenario", "backend", "feature", "lane", "shards", "faults"];
 
 /// One compared metric.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,7 +71,7 @@ impl RegressOutcome {
 /// Extracts every simulated-cost metric from a bench report: walks all
 /// array members of the top-level object, keys each row by its
 /// identifying fields (`backend`, `shards`, `scenario`, `faults`,
-/// `lane`), and keeps the [`SIM_COST_FIELDS`] numbers.
+/// `lane`, `feature`), and keeps the [`SIM_COST_FIELDS`] numbers.
 pub fn extract_metrics(doc: &Json) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     let Json::Obj(top) = doc else { return out };
@@ -202,6 +208,24 @@ mod tests {
         let outcome = compare(&BTreeMap::new(), &base, DEFAULT_TOLERANCE);
         assert_eq!(outcome.missing_in_baseline.len(), 1);
         assert!(!outcome.ok());
+    }
+
+    #[test]
+    fn ladder_rows_key_by_feature() {
+        let doc = parse(
+            r#"{"ladder": [{"feature": "spin_lock", "states_explored": 59, "reject_rate": 0.5, "verify_sim_ns": 13425, "safe_ext_load_sim_ns": 535}]}"#,
+        )
+        .unwrap();
+        let metrics = extract_metrics(&doc);
+        assert_eq!(
+            metrics.get("ladder/feature=spin_lock/verify_sim_ns"),
+            Some(&13425.0)
+        );
+        assert_eq!(
+            metrics.get("ladder/feature=spin_lock/safe_ext_load_sim_ns"),
+            Some(&535.0)
+        );
+        assert_eq!(metrics.len(), 3, "reject_rate is not a sim-cost metric");
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! Feature-growth ladder report: writes `BENCH_verifier.json`.
+//!
+//! One row per feature rung (base, bpf2bpf, tail_call, spin_lock,
+//! ringbuf) with the verifier's cumulative states-explored, reject rate,
+//! and simulated verification cost, against the simulated load cost of
+//! the safe-ext equivalent. All metrics are deterministic functions of
+//! the program families and artifact bytes, so the CI regress stage
+//! holds them to ±10%.
+
+use std::fmt::Write as _;
+
+use bench::ladder::run_ladder;
+
+fn main() {
+    let mut out = "BENCH_verifier.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = it.next().expect("--out requires a value"),
+            other => {
+                eprintln!("verifier_ladder: unknown argument {other}");
+                eprintln!("usage: verifier_ladder [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = run_ladder();
+    for r in &rows {
+        println!(
+            "{:>10} programs={:>2} states={:>5} reject_rate={:.2} verify_sim={:>7}ns ext_load_sim={:>4}ns",
+            r.feature, r.programs, r.states_explored, r.reject_rate, r.verify_sim_ns,
+            r.safe_ext_load_sim_ns,
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"ladder\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"feature\": \"{}\", \"programs\": {}, \"accepted\": {}, \"rejected\": {}, \"states_explored\": {}, \"insns_processed\": {}, \"reject_rate\": {:.4}, \"verify_sim_ns\": {}, \"safe_ext_load_sim_ns\": {}}}",
+            r.feature,
+            r.programs,
+            r.accepted,
+            r.rejected,
+            r.states_explored,
+            r.insns_processed,
+            r.reject_rate,
+            r.verify_sim_ns,
+            r.safe_ext_load_sim_ns
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out} ({} rows)", rows.len());
+}

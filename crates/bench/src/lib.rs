@@ -7,5 +7,6 @@
 
 pub mod dispatch;
 pub mod experiments;
+pub mod ladder;
 pub mod netflows;
 pub mod workloads;

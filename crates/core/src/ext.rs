@@ -56,6 +56,90 @@ impl Extension {
     }
 }
 
+/// Maximum tail-call chain length, matching the eBPF interpreter's
+/// `max_tail_calls` (33 programs per invocation).
+pub const MAX_TAIL_CHAIN: u32 = 33;
+
+/// What a chained extension stage does next: finish with a value, or
+/// hand control to another slot in the same [`ExtTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtVerdict {
+    /// The chain is done; this is the extension's return value.
+    Done(u64),
+    /// Continue at the given table slot.
+    TailCall(u32),
+}
+
+/// A chainable stage: like [`EntryFn`] but may request a tail call.
+pub type ChainFn = Arc<dyn Fn(&ExtCtx<'_>) -> Result<ExtVerdict, ExtError> + Send + Sync>;
+
+/// The safe-Rust equivalent of a `prog_array` + `bpf_tail_call`.
+///
+/// Where eBPF replaces the running program (verifier: prog-array map
+/// typing, main-frame-only call sites, depth-33 chain counter; runtime:
+/// trampoline with fuel carry-over), this is a plain dispatch loop: each
+/// stage returns [`ExtVerdict::TailCall`] and the table invokes the next
+/// slot on the **same** [`ExtCtx`], so one fuel meter spans the whole
+/// chain by construction. A missing slot is a typed error the caller
+/// must handle, not a silent `-EINVAL`.
+#[derive(Clone, Default)]
+pub struct ExtTable {
+    slots: Vec<Option<ChainFn>>,
+}
+
+impl std::fmt::Debug for ExtTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtTable")
+            .field("slots", &self.slots.len())
+            .field(
+                "populated",
+                &self.slots.iter().filter(|s| s.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+impl ExtTable {
+    /// An empty table with `n` slots.
+    pub fn new(n: usize) -> Self {
+        ExtTable {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Populates slot `index`.
+    pub fn set(
+        &mut self,
+        index: usize,
+        stage: impl Fn(&ExtCtx<'_>) -> Result<ExtVerdict, ExtError> + Send + Sync + 'static,
+    ) {
+        self.slots[index] = Some(Arc::new(stage));
+    }
+
+    /// Runs the chain starting at `start`, carrying `ctx`'s fuel meter
+    /// across every hop. Errors with [`ExtError::NotFound`] on an empty
+    /// or out-of-range slot and [`ExtError::Invalid`] past
+    /// [`MAX_TAIL_CHAIN`] programs.
+    pub fn run(&self, ctx: &ExtCtx<'_>, start: u32) -> Result<u64, ExtError> {
+        let mut index = start;
+        for _ in 0..MAX_TAIL_CHAIN {
+            // Dispatch costs fuel on the shared meter: hop 20 resumes
+            // where hop 19 left off, it does not get a fresh budget.
+            ctx.charge(1)?;
+            let stage = self
+                .slots
+                .get(index as usize)
+                .and_then(|s| s.as_ref())
+                .ok_or(ExtError::NotFound)?;
+            match stage(ctx)? {
+                ExtVerdict::Done(v) => return Ok(v),
+                ExtVerdict::TailCall(next) => index = next,
+            }
+        }
+        Err(ExtError::Invalid("tail-call chain limit exceeded"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +150,13 @@ mod tests {
         let s = format!("{ext:?}");
         assert!(s.contains("\"e\""));
         assert!(s.contains("Kprobe") || s.contains("kprobe"));
+    }
+
+    #[test]
+    fn ext_table_debug_counts_slots() {
+        let mut t = ExtTable::new(4);
+        t.set(0, |_| Ok(ExtVerdict::Done(0)));
+        let s = format!("{t:?}");
+        assert!(s.contains('4') && s.contains('1'), "{s}");
     }
 }

@@ -1004,6 +1004,22 @@ impl RecordGuard<'_, '_> {
         }
         Ok(())
     }
+
+    /// Explicitly discards the record without publishing it (the
+    /// `bpf_ringbuf_discard` analogue). Dropping the guard does the same
+    /// implicitly — either way the reservation ends exactly once, which
+    /// is the whole lifetime discipline the eBPF verifier has to prove
+    /// path-by-path and the borrow checker gets for free.
+    pub fn discard(self) -> Result<(), ExtError> {
+        self.ctx.charge(2)?;
+        self.done.set(true);
+        if self.ctx.cleanup.deregister(self.ticket) {
+            self.map
+                .ringbuf_discard(&self.ctx.kernel.mem, self.addr)
+                .map_err(ExtError::Map)?;
+        }
+        Ok(())
+    }
 }
 
 impl Drop for RecordGuard<'_, '_> {

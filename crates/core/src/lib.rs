@@ -57,7 +57,7 @@ pub mod toolchain;
 
 pub use cleanup::{CleanupRegistry, Resource};
 pub use error::{Abort, ExtError};
-pub use ext::Extension;
+pub use ext::{ChainFn, ExtTable, ExtVerdict, Extension, MAX_TAIL_CHAIN};
 pub use kernel_crate::{ExtCtx, ExtInput, SysBpfRequest, TaskRef};
 pub use loader::{ExtensionRegistry, LoadError, Loader};
 pub use runtime::{ExtOutcome, Quarantine, Runtime, RuntimeConfig};

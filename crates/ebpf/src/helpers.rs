@@ -397,6 +397,8 @@ pub const BPF_RINGBUF_OUTPUT: u32 = 130;
 pub const BPF_RINGBUF_RESERVE: u32 = 131;
 /// `bpf_ringbuf_submit`.
 pub const BPF_RINGBUF_SUBMIT: u32 = 132;
+/// `bpf_ringbuf_discard`.
+pub const BPF_RINGBUF_DISCARD: u32 = 133;
 /// `bpf_get_task_stack`.
 pub const BPF_GET_TASK_STACK: u32 = 141;
 /// `bpf_task_storage_get`.
@@ -919,6 +921,18 @@ pub fn standard_helpers() -> Vec<Helper> {
                 C::KernelInterface,
             ),
             imp: h_ringbuf_submit,
+        },
+        Helper {
+            spec: spec(
+                BPF_RINGBUF_DISCARD,
+                "bpf_ringbuf_discard",
+                V::V5_10,
+                [A::Any, A::Scalar, A::None, A::None, A::None],
+                R::Void,
+                40,
+                C::KernelInterface,
+            ),
+            imp: h_ringbuf_discard,
         },
         Helper {
             spec: spec(
@@ -1621,6 +1635,19 @@ fn h_ringbuf_submit(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Help
         if let Some(map) = ctx.maps.get(fd) {
             if map.def.kind == crate::maps::MapKind::RingBuf
                 && map.ringbuf_submit(&ctx.kernel.mem, args[0]).is_ok()
+            {
+                return Ok(0);
+            }
+        }
+    }
+    Ok(neg_errno(EINVAL))
+}
+
+fn h_ringbuf_discard(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperError> {
+    for fd in 1..=ctx.maps.len() as u32 {
+        if let Some(map) = ctx.maps.get(fd) {
+            if map.def.kind == crate::maps::MapKind::RingBuf
+                && map.ringbuf_discard(&ctx.kernel.mem, args[0]).is_ok()
             {
                 return Ok(0);
             }

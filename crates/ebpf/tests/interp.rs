@@ -1119,3 +1119,65 @@ fn run_with_unloaded_id_reports_no_such_program() {
     let res = vm.run(u32::MAX, CtxInput::None);
     assert_eq!(res.result, Err(ExecError::NoSuchProgram { id: u32::MAX }));
 }
+
+#[test]
+fn fuel_is_carried_across_tail_call_boundaries() {
+    // A tail call replaces the running program but must NOT hand it a
+    // fresh instruction budget — otherwise a 33-deep chain multiplies
+    // the effective fuel by 34. Pin the total executed count across a
+    // full self-tail-call chain, then prove a budget below that total
+    // aborts mid-chain instead of completing.
+    let build = |fd: u32| {
+        Asm::new()
+            .ld_map_fd(Reg::R2, fd)
+            .mov64_imm(Reg::R3, 0)
+            .call_helper(helpers::BPF_TAIL_CALL as i32)
+            .mov64_imm(Reg::R0, 5)
+            .exit()
+            .build()
+            .unwrap()
+    };
+
+    let h = Harness::new();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::prog_array("progs", 2))
+        .unwrap();
+    let mut vm = h.vm();
+    let id = vm.load(Program::new("self-tail", ProgType::SocketFilter, build(fd)));
+    let map = h.maps.get(fd).unwrap();
+    map.update(&h.kernel.mem, &0u32.to_le_bytes(), &id.to_le_bytes(), 0)
+        .unwrap();
+    let full = vm.run(id, CtxInput::None);
+    assert_eq!(full.result.unwrap(), 5);
+    // 33 transferring passes execute {lddw (2 slots), mov, call} = 4
+    // insns each; the 34th call hits the chain limit, returns -EINVAL,
+    // and the program falls through {lddw, mov, call, mov, exit} = 6.
+    assert_eq!(full.insns, 33 * 4 + 6, "tail-call chain insn count drifted");
+
+    // Now re-run the same chain under a budget that any single pass
+    // fits inside but the whole chain does not. If each tail call reset
+    // the fuel, this would finish with result 5; carried fuel must trip
+    // the limit mid-chain instead.
+    let h = Harness::new();
+    let fd = h
+        .maps
+        .create(&h.kernel, MapDef::prog_array("progs", 2))
+        .unwrap();
+    let mut vm = h.vm().with_config(VmConfig {
+        max_insns: Some(50),
+        ..VmConfig::default()
+    });
+    let id = vm.load(Program::new("self-tail", ProgType::SocketFilter, build(fd)));
+    let map = h.maps.get(fd).unwrap();
+    map.update(&h.kernel.mem, &0u32.to_le_bytes(), &id.to_le_bytes(), 0)
+        .unwrap();
+    let capped = vm.run(id, CtxInput::None);
+    assert!(
+        matches!(capped.result, Err(ExecError::InsnLimit { limit: 50 })),
+        "budget below the chain total must abort mid-chain: {:?}",
+        capped.result
+    );
+    assert!(capped.insns > 4, "aborted before even one full pass");
+    assert!(capped.insns <= 51, "budget overshot");
+}

@@ -9,6 +9,9 @@
 //! `--smoke` prints only the `FUZZ_SHA256` line (no file writes) so
 //! `ci.sh` can compare two runs byte-for-byte. `--write-corpus DIR`
 //! persists every shrunk disagreement as a replayable reproducer.
+//! `--bugdb DIR` harvests the feature-ladder shapes (bpf2bpf, tail
+//! calls, spin locks, ringbuf reservations) into the on-disk bug
+//! database that `tests/bugdb_replay.rs` re-judges in tier-1.
 
 use std::process::ExitCode;
 
@@ -27,6 +30,7 @@ struct Args {
     smoke: bool,
     out: String,
     write_corpus: Option<String>,
+    bugdb: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         smoke: false,
         out: "BENCH_fuzz.json".to_string(),
         write_corpus: None,
+        bugdb: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -62,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = value("--out")?,
             "--write-corpus" => args.write_corpus = Some(value("--write-corpus")?),
+            "--bugdb" => args.bugdb = Some(value("--bugdb")?),
             "--smoke" => args.smoke = true,
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -93,7 +99,7 @@ fn main() -> ExitCode {
             eprintln!("fuzzstats: {msg}");
             eprintln!(
                 "usage: fuzzstats [--seeds N] [--seed-start N] [--shards N] \
-                 [--shrink-limit N] [--out PATH] [--write-corpus DIR] [--smoke]"
+                 [--shrink-limit N] [--out PATH] [--write-corpus DIR] [--bugdb DIR] [--smoke]"
             );
             return ExitCode::from(1);
         }
@@ -145,6 +151,24 @@ fn main() -> ExitCode {
             }
             if !args.smoke {
                 println!("corpus: {}", path.display());
+            }
+        }
+    }
+
+    if let Some(dir) = &args.bugdb {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("fuzzstats: creating {}: {e}", dir.display());
+            return ExitCode::from(1);
+        }
+        for bug in fuzz::bugdb::harvest(&args.cfg, 2) {
+            let path = dir.join(bug.file_name());
+            if let Err(e) = std::fs::write(&path, bug.render()) {
+                eprintln!("fuzzstats: writing {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+            if !args.smoke {
+                println!("bugdb: {}", path.display());
             }
         }
     }

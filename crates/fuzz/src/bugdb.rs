@@ -1,0 +1,179 @@
+//! Harvests feature-ladder reproducers into the on-disk bug database.
+//!
+//! The four ladder shapes ([`Shape::Bpf2Bpf`], [`Shape::TailCall`],
+//! [`Shape::SpinLock`], [`Shape::RingbufRes`]) are swept over a seed
+//! window; the most interesting judgement per seed — disagreements
+//! first, then plain rejects — is shrunk and converted to an
+//! [`analysis::bugdb::StoredBug`] with its full recorded verdict
+//! (bucket, structured reject check, runtime class). The `fuzzstats`
+//! bin writes the result under `crates/analysis/bugdb/`, and the
+//! workspace-root `bugdb_replay` suite re-judges every committed entry
+//! in tier-1.
+
+use analysis::bugdb::StoredBug;
+use ebpf::disasm::disasm_program;
+
+use crate::engine::FuzzConfig;
+use crate::gen::{generate, Shape};
+use crate::oracle::{Lane, Observation, Oracle};
+use crate::shrink::shrink;
+
+/// The ladder shapes harvested into the database.
+pub const FEATURE_SHAPES: [Shape; 4] = [
+    Shape::Bpf2Bpf,
+    Shape::TailCall,
+    Shape::SpinLock,
+    Shape::RingbufRes,
+];
+
+/// Maps a ladder shape to its `BENCH_verifier.json` feature-row name.
+pub fn feature_name(shape: Shape) -> Option<&'static str> {
+    match shape {
+        Shape::Bpf2Bpf => Some("bpf2bpf"),
+        Shape::TailCall => Some("tail_call"),
+        Shape::SpinLock => Some("spin_lock"),
+        Shape::RingbufRes => Some("ringbuf"),
+        _ => None,
+    }
+}
+
+/// How interesting one observation is for the database; `None` means
+/// not worth storing (the verifier and the runtime simply agreed that
+/// the program is fine).
+fn priority(obs: &Observation) -> Option<u8> {
+    if obs.bucket.is_disagreement() {
+        Some(0)
+    } else if !obs.accepted {
+        Some(1)
+    } else {
+        None
+    }
+}
+
+/// Harvests up to `per_feature` shrunk reproducers per ladder feature
+/// from the `cfg` seed window. Deterministic: seeds are scanned in
+/// order and ties break toward lower seeds and the lane order of
+/// [`Lane::ALL`].
+pub fn harvest(cfg: &FuzzConfig, per_feature: usize) -> Vec<StoredBug> {
+    let oracle = Oracle::new();
+    let mut out = Vec::new();
+    for shape in FEATURE_SHAPES {
+        let feature = feature_name(shape).expect("ladder shape");
+        // (priority, seed, lane-index): stable sort keeps scan order.
+        let mut picks: Vec<(u8, u64, usize)> = Vec::new();
+        for seed in cfg.seed_start..cfg.seed_start + cfg.seeds {
+            let prog = generate(seed);
+            if prog.shape != shape {
+                continue;
+            }
+            let insns = prog.emit().expect("generated programs assemble");
+            let probe = oracle.probe(&insns, prog.prog_type());
+            for (li, &lane) in Lane::ALL.iter().enumerate() {
+                let obs = Observation::from_parts(
+                    lane,
+                    oracle.verdict(&insns, prog.prog_type(), lane),
+                    &probe,
+                );
+                if let Some(p) = priority(&obs) {
+                    picks.push((p, seed, li));
+                }
+            }
+        }
+        picks.sort();
+        let mut taken_seeds: Vec<u64> = Vec::new();
+        for (_, seed, li) in picks {
+            if taken_seeds.len() >= per_feature {
+                break;
+            }
+            if taken_seeds.contains(&seed) {
+                continue;
+            }
+            taken_seeds.push(seed);
+            let lane = Lane::ALL[li];
+            let prog = generate(seed);
+            let (small, bucket) = shrink(&oracle, &prog, lane);
+            let insns = small.emit().expect("shrunk programs assemble");
+            let obs = oracle.evaluate(&insns, small.prog_type(), lane);
+            debug_assert_eq!(obs.bucket, bucket);
+            out.push(StoredBug {
+                feature: feature.to_string(),
+                seed,
+                shape: shape.name().to_string(),
+                lane: lane.name().to_string(),
+                bucket: obs.bucket.name().to_string(),
+                check: obs.check.map(|c| c.name().to_string()),
+                runtime: obs.runtime.name().to_string(),
+                program: disasm_program(&insns, None),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Bucket;
+    use ebpf::text::parse_program;
+
+    fn small_window() -> FuzzConfig {
+        FuzzConfig {
+            seed_start: 0,
+            seeds: 120,
+            shards: 1,
+            shrink_limit: 1,
+        }
+    }
+
+    #[test]
+    fn harvest_covers_every_ladder_feature() {
+        let bugs = harvest(&small_window(), 1);
+        for shape in FEATURE_SHAPES {
+            let feature = feature_name(shape).unwrap();
+            assert!(
+                bugs.iter().any(|b| b.feature == feature),
+                "no stored bug for {feature} in a 120-seed window"
+            );
+        }
+    }
+
+    #[test]
+    fn harvested_bugs_replay_to_their_recorded_verdict() {
+        let oracle = Oracle::new();
+        for bug in harvest(&small_window(), 1) {
+            let shape = Shape::from_name(&bug.shape).expect("shape name");
+            let lane = Lane::from_name(&bug.lane).expect("lane name");
+            let insns = parse_program(&bug.program).expect("program parses");
+            let obs = oracle.evaluate(&insns, shape.prog_type(), lane);
+            assert_eq!(obs.bucket.name(), bug.bucket, "seed {}", bug.seed);
+            assert_eq!(
+                obs.check.map(|c| c.name().to_string()),
+                bug.check,
+                "seed {}",
+                bug.seed
+            );
+            assert_eq!(obs.runtime.name(), bug.runtime, "seed {}", bug.seed);
+        }
+    }
+
+    #[test]
+    fn stored_bugs_roundtrip_through_text() {
+        for bug in harvest(&small_window(), 1) {
+            let back = StoredBug::parse(&bug.render()).expect("parses");
+            assert_eq!(back, bug);
+        }
+    }
+
+    #[test]
+    fn only_rejects_and_disagreements_are_stored() {
+        for bug in harvest(&small_window(), 2) {
+            let bucket = Bucket::from_name(&bug.bucket).expect("bucket name");
+            assert!(
+                bucket.is_disagreement() || bug.check.is_some(),
+                "seed {}: {} is neither a disagreement nor a reject",
+                bug.seed,
+                bug.bucket
+            );
+        }
+    }
+}

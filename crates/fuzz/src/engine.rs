@@ -152,7 +152,7 @@ pub struct FuzzReport {
     /// Shard count used (does not affect the report's content).
     pub shards: usize,
     /// Programs generated per shape, parallel to [`Shape::ALL`].
-    pub shapes: [u64; 6],
+    pub shapes: [u64; 10],
     /// Per-lane accounting, in [`Lane::ALL`] order.
     pub lanes: Vec<LaneReport>,
     /// Shrunk disagreements, in (lane, bucket, seed) order.
@@ -212,7 +212,7 @@ pub fn sweep(cfg: &FuzzConfig) -> FuzzReport {
     // shard interleaving.
     cases.sort_by_key(|c| c.seed);
 
-    let mut shapes = [0u64; 6];
+    let mut shapes = [0u64; 10];
     let mut lanes: Vec<LaneReport> = Lane::ALL.iter().map(|&l| LaneReport::new(l)).collect();
     // (lane index, bucket index) -> seeds of disagreements, seed order.
     let mut disagreements: BTreeMap<(usize, usize), Vec<u64>> = BTreeMap::new();
@@ -353,7 +353,7 @@ mod tests {
     fn small_cfg(shards: usize) -> FuzzConfig {
         FuzzConfig {
             seed_start: 0,
-            seeds: 36,
+            seeds: 40,
             shards,
             shrink_limit: 1,
         }
@@ -377,11 +377,11 @@ mod tests {
     fn every_seed_is_judged_once_per_lane() {
         let report = sweep(&small_cfg(2));
         for lane in &report.lanes {
-            assert_eq!(lane.total, 36);
-            assert_eq!(lane.buckets.iter().sum::<u64>(), 36);
+            assert_eq!(lane.total, 40);
+            assert_eq!(lane.buckets.iter().sum::<u64>(), 40);
         }
-        assert_eq!(report.shapes.iter().sum::<u64>(), 36);
-        // 36 seeds over 6 shapes: exactly 6 programs per shape.
-        assert!(report.shapes.iter().all(|&n| n == 6));
+        assert_eq!(report.shapes.iter().sum::<u64>(), 40);
+        // 40 seeds over 10 shapes: exactly 4 programs per shape.
+        assert!(report.shapes.iter().all(|&n| n == 4));
     }
 }

@@ -21,7 +21,7 @@ use ebpf::insn::{
 };
 use ebpf::program::ProgType;
 
-use crate::oracle::{ARR_FD, HASH_FD, RB_FD};
+use crate::oracle::{ARR_FD, HASH_FD, PROG_FD, RB_FD};
 use crate::rng::SplitMix64;
 
 /// Program shapes the generator stratifies over.
@@ -42,17 +42,35 @@ pub enum Shape {
     Loop,
     /// Direct packet access with and without bounds checks (XDP).
     Packet,
+    /// bpf2bpf calls into self-contained leaf subprograms: clean scalar
+    /// returns, callee-frame stores at the 512-byte edges, and frame
+    /// pointers leaking through R0.
+    Bpf2Bpf,
+    /// `bpf_tail_call` dispatch through the `fz_prog` array: populated,
+    /// empty, and out-of-range slots, plus a non-prog-array map.
+    TailCall,
+    /// `bpf_spin_lock` critical sections over `fz_arr` values: clean
+    /// pairs, stores at value edges while locked, helper calls and
+    /// re-locks inside the section, and missing unlocks.
+    SpinLock,
+    /// Ringbuf reservation lifetimes: every reserve submitted, discarded,
+    /// or deliberately leaked.
+    RingbufRes,
 }
 
 impl Shape {
     /// Every shape, in seed-assignment order.
-    pub const ALL: [Shape; 6] = [
+    pub const ALL: [Shape; 10] = [
         Shape::Alu,
         Shape::Jmp32,
         Shape::Mem,
         Shape::Helper,
         Shape::Loop,
         Shape::Packet,
+        Shape::Bpf2Bpf,
+        Shape::TailCall,
+        Shape::SpinLock,
+        Shape::RingbufRes,
     ];
 
     /// Stable lower-case name used in reports and corpus headers.
@@ -64,6 +82,10 @@ impl Shape {
             Shape::Helper => "helper",
             Shape::Loop => "loop",
             Shape::Packet => "packet",
+            Shape::Bpf2Bpf => "bpf2bpf",
+            Shape::TailCall => "tail_call",
+            Shape::SpinLock => "spin_lock",
+            Shape::RingbufRes => "ringbuf_res",
         }
     }
 
@@ -246,6 +268,87 @@ pub enum Step {
         /// Body ALU opcode applied to r6 each iteration.
         op: u8,
     },
+    /// `call f{idx}` into a self-contained leaf subprogram; the callee
+    /// body and its `exit` are emitted inline behind a skip jump, so
+    /// dropping the step removes the whole function.
+    SubprogCall {
+        /// What the callee does before returning.
+        body: CalleeBody,
+    },
+    /// Reloads the prologue-spilled ctx pointer and tail-calls slot
+    /// `index` of `fz_prog` (slot 0 holds the running program itself) —
+    /// or of the non-prog-array `fz_arr` when `prog_map` is false.
+    TailCall {
+        /// Dispatch slot.
+        index: i32,
+        /// Use the real prog array (vs the type-confused array map).
+        prog_map: bool,
+    },
+    /// A `bpf_spin_lock` critical section over the `fz_arr` value for
+    /// `key` (misses escape to `out` before locking).
+    LockSection {
+        /// Array key staged for the lookup.
+        key: i32,
+        /// What happens while the lock is held.
+        body: LockBody,
+        /// Whether the section ends with `bpf_spin_unlock`.
+        unlock: bool,
+    },
+    /// A ringbuf reservation of `size` bytes, closed per `close`.
+    RingbufRes {
+        /// Reservation size in bytes.
+        size: i32,
+        /// How (whether) the record is released.
+        close: RingbufClose,
+    },
+}
+
+/// Callee bodies for [`Step::SubprogCall`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalleeBody {
+    /// `r0 = imm; exit` — the always-verifiable baseline.
+    Ret {
+        /// Returned immediate.
+        imm: i32,
+    },
+    /// Stores to the callee's **own** 512-byte frame at `off`, then
+    /// returns 0; offsets straddle the frame bounds and alignment.
+    StackProbe {
+        /// Callee-frame offset.
+        off: i16,
+    },
+    /// `r0 = r10; exit` — returns the callee frame pointer (rejected as
+    /// a pointer leak; at runtime it is just a number).
+    LeakFp,
+}
+
+/// Critical-section bodies for [`Step::LockSection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockBody {
+    /// Lock then (maybe) unlock with nothing in between.
+    Clean,
+    /// `*(u64*)(value + off) = 1` while holding the lock.
+    Store {
+        /// Offset into the 64-byte value.
+        off: i16,
+    },
+    /// Calls `bpf_ktime_get_ns` inside the section (rejected; the
+    /// runtime executes it fine — an incompleteness witness).
+    Helper,
+    /// Re-locks the same cell (rejected as a double lock; AA-deadlocks
+    /// at runtime).
+    Relock,
+}
+
+/// Release modes for [`Step::RingbufRes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingbufClose {
+    /// `bpf_ringbuf_submit` after one byte written.
+    Submit,
+    /// `bpf_ringbuf_discard` after one byte written.
+    Discard,
+    /// Never closed: falls through with the record live.
+    Leak,
 }
 
 /// A generated program: the step IR plus enough metadata to rebuild,
@@ -305,6 +408,10 @@ const ARR_KEYS: [i32; 6] = [0, 1, 3, 4, 5, 1000];
 
 /// Access width bits.
 const SIZES: [u8; 4] = [BPF_B, BPF_H, BPF_W, BPF_DW];
+
+/// Frame slot where the prologue spills the ctx pointer so later steps
+/// (tail calls need R1 = ctx) can refill it after helper clobbers.
+pub const CTX_SPILL_OFF: i16 = -512;
 
 /// Emits one step into the builder. `idx` uniquifies intra-step labels.
 fn emit_step(asm: Asm, idx: usize, step: &Step) -> Asm {
@@ -394,13 +501,76 @@ fn emit_step(asm: Asm, idx: usize, step: &Step) -> Asm {
                 .alu64_imm(BPF_SUB, Reg::R9, 1)
                 .jmp64_imm(BPF_JNE, Reg::R9, 0, &l)
         }
+        Step::SubprogCall { body } => {
+            let f = format!("f{idx}");
+            let s = format!("s{idx}");
+            let asm = asm.call_fn(&f).ja(&s).label(&f);
+            let asm = match body {
+                CalleeBody::Ret { imm } => asm.mov64_imm(Reg::R0, imm),
+                CalleeBody::StackProbe { off } => {
+                    asm.st(BPF_DW, Reg::R10, off, 1).mov64_imm(Reg::R0, 0)
+                }
+                CalleeBody::LeakFp => asm.mov64_reg(Reg::R0, Reg::R10),
+            };
+            asm.exit().label(&s)
+        }
+        Step::TailCall { index, prog_map } => asm
+            .ldx(BPF_DW, Reg::R1, Reg::R10, CTX_SPILL_OFF)
+            .ld_map_fd(Reg::R2, if prog_map { PROG_FD } else { ARR_FD })
+            .mov64_imm(Reg::R3, index)
+            .call_helper(helpers::BPF_TAIL_CALL as i32),
+        Step::LockSection { key, body, unlock } => {
+            let asm = asm
+                .st(BPF_W, Reg::R10, -4, key)
+                .ld_map_fd(Reg::R1, ARR_FD)
+                .mov64_reg(Reg::R2, Reg::R10)
+                .alu64_imm(BPF_ADD, Reg::R2, -4)
+                .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+                .jmp64_imm(BPF_JEQ, Reg::R0, 0, "out")
+                .mov64_reg(Reg::R7, Reg::R0)
+                .mov64_reg(Reg::R1, Reg::R7)
+                .call_helper(helpers::BPF_SPIN_LOCK as i32);
+            let asm = match body {
+                LockBody::Clean => asm,
+                LockBody::Store { off } => asm.st(BPF_DW, Reg::R7, off, 1),
+                LockBody::Helper => asm.call_helper(helpers::BPF_KTIME_GET_NS as i32),
+                LockBody::Relock => asm
+                    .mov64_reg(Reg::R1, Reg::R7)
+                    .call_helper(helpers::BPF_SPIN_LOCK as i32),
+            };
+            if unlock {
+                asm.mov64_reg(Reg::R1, Reg::R7)
+                    .call_helper(helpers::BPF_SPIN_UNLOCK as i32)
+            } else {
+                asm
+            }
+        }
+        Step::RingbufRes { size, close } => {
+            let asm = asm
+                .ld_map_fd(Reg::R1, RB_FD)
+                .mov64_imm(Reg::R2, size)
+                .mov64_imm(Reg::R3, 0)
+                .call_helper(helpers::BPF_RINGBUF_RESERVE as i32)
+                .jmp64_imm(BPF_JEQ, Reg::R0, 0, "out")
+                .st(BPF_B, Reg::R0, 0, 1)
+                .mov64_reg(Reg::R1, Reg::R0)
+                .mov64_imm(Reg::R2, 0);
+            match close {
+                RingbufClose::Submit => asm.call_helper(helpers::BPF_RINGBUF_SUBMIT as i32),
+                RingbufClose::Discard => asm.call_helper(helpers::BPF_RINGBUF_DISCARD as i32),
+                RingbufClose::Leak => asm,
+            }
+        }
     }
 }
 
-/// Assembles steps into bytecode: a register-initialising prologue, the
-/// steps, and the shared `out` epilogue returning a contract-valid value.
+/// Assembles steps into bytecode: a register-initialising prologue
+/// (which also spills the ctx pointer for [`Step::TailCall`] refills),
+/// the steps, and the shared `out` epilogue returning a contract-valid
+/// value.
 pub fn emit(steps: &[Step], prog_type: ProgType) -> Result<Vec<Insn>, AsmError> {
     let mut asm = Asm::new()
+        .stx(BPF_DW, Reg::R10, CTX_SPILL_OFF, Reg::R1)
         .mov64_imm(Reg::R6, 0)
         .mov64_imm(Reg::R7, 1)
         .mov64_imm(Reg::R8, 2)
@@ -666,7 +836,109 @@ fn gen_packet(rng: &mut SplitMix64) -> Vec<Step> {
     steps
 }
 
-/// Generates the program for `seed`: the shape is `seed % 6`, the rest
+fn gen_bpf2bpf(rng: &mut SplitMix64) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let n = 1 + rng.below(3);
+    for _ in 0..n {
+        let body = match rng.below(4) {
+            0 => CalleeBody::StackProbe {
+                off: *rng.pick(&STACK_OFFS),
+            },
+            1 => CalleeBody::LeakFp,
+            _ => CalleeBody::Ret {
+                imm: *rng.pick(&BOUNDARY_IMMS),
+            },
+        };
+        steps.push(Step::SubprogCall { body });
+        // Sometimes fold the callee's return into a scratch register.
+        if rng.chance(1, 3) {
+            steps.push(Step::AluReg {
+                wide: true,
+                op: BPF_ADD,
+                dst: Reg::R6,
+                src: Reg::R0,
+            });
+        }
+    }
+    steps
+}
+
+fn gen_tail_call(rng: &mut SplitMix64) -> Vec<Step> {
+    // Slot 0 is populated (with the running program itself), 1 and 3
+    // are empty, 9 is past the 4-entry array.
+    const INDICES: [i32; 5] = [0, 0, 1, 3, 9];
+    let mut steps = Vec::new();
+    if rng.chance(1, 2) {
+        steps.push(Step::AluImm {
+            wide: true,
+            op: BPF_ADD,
+            dst: Reg::R6,
+            imm: *rng.pick(&BOUNDARY_IMMS),
+        });
+    }
+    steps.push(Step::TailCall {
+        index: *rng.pick(&INDICES),
+        prog_map: rng.chance(5, 6),
+    });
+    if rng.chance(1, 3) {
+        steps.push(Step::TailCall {
+            index: *rng.pick(&INDICES),
+            prog_map: true,
+        });
+    }
+    if rng.chance(1, 3) {
+        steps.push(Step::SubprogCall {
+            body: CalleeBody::Ret { imm: 7 },
+        });
+    }
+    steps
+}
+
+fn gen_spin_lock(rng: &mut SplitMix64) -> Vec<Step> {
+    let mut steps = Vec::new();
+    let n = 1 + rng.below(2);
+    for _ in 0..n {
+        let body = match rng.below(5) {
+            0 => LockBody::Helper,
+            1 => LockBody::Relock,
+            2 => LockBody::Store {
+                off: *rng.pick(&VALUE_OFFS),
+            },
+            _ => LockBody::Clean,
+        };
+        steps.push(Step::LockSection {
+            key: *rng.pick(&ARR_KEYS),
+            body,
+            unlock: rng.chance(5, 6),
+        });
+    }
+    steps
+}
+
+fn gen_ringbuf_res(rng: &mut SplitMix64) -> Vec<Step> {
+    const RB_SIZES: [i32; 6] = [8, 16, 64, 256, 4096, 4097];
+    let mut steps = Vec::new();
+    let n = 1 + rng.below(2);
+    for _ in 0..n {
+        let close = match rng.below(6) {
+            0 => RingbufClose::Leak,
+            1 | 2 => RingbufClose::Discard,
+            _ => RingbufClose::Submit,
+        };
+        steps.push(Step::RingbufRes {
+            size: *rng.pick(&RB_SIZES),
+            close,
+        });
+    }
+    if rng.chance(1, 2) {
+        steps.push(Step::ScalarHelper {
+            id: helpers::BPF_GET_PRANDOM_U32,
+        });
+    }
+    steps
+}
+
+/// Generates the program for `seed`: the shape is `seed % 10`, the rest
 /// of the structure comes from a SplitMix64 stream over the seed.
 pub fn generate(seed: u64) -> FuzzProgram {
     let shape = Shape::ALL[(seed % Shape::ALL.len() as u64) as usize];
@@ -678,6 +950,10 @@ pub fn generate(seed: u64) -> FuzzProgram {
         Shape::Helper => gen_helper(&mut rng),
         Shape::Loop => gen_loop(&mut rng),
         Shape::Packet => gen_packet(&mut rng),
+        Shape::Bpf2Bpf => gen_bpf2bpf(&mut rng),
+        Shape::TailCall => gen_tail_call(&mut rng),
+        Shape::SpinLock => gen_spin_lock(&mut rng),
+        Shape::RingbufRes => gen_ringbuf_res(&mut rng),
     };
     FuzzProgram { seed, shape, steps }
 }
@@ -709,7 +985,19 @@ mod tests {
     fn shapes_cycle_with_seed() {
         assert_eq!(generate(0).shape, Shape::Alu);
         assert_eq!(generate(5).shape, Shape::Packet);
-        assert_eq!(generate(6).shape, Shape::Alu);
+        assert_eq!(generate(6).shape, Shape::Bpf2Bpf);
+        assert_eq!(generate(7).shape, Shape::TailCall);
+        assert_eq!(generate(8).shape, Shape::SpinLock);
+        assert_eq!(generate(9).shape, Shape::RingbufRes);
+        assert_eq!(generate(10).shape, Shape::Alu);
+    }
+
+    #[test]
+    fn shape_names_roundtrip() {
+        for shape in Shape::ALL {
+            assert_eq!(Shape::from_name(shape.name()), Some(shape));
+        }
+        assert_eq!(Shape::from_name("nonsense"), None);
     }
 
     #[test]

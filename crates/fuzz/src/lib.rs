@@ -24,6 +24,7 @@
 //!    `fuzzstats` bin turns into `BENCH_fuzz.json` and the paper-style
 //!    table in `crates/analysis`.
 
+pub mod bugdb;
 pub mod corpus;
 pub mod engine;
 pub mod gen;

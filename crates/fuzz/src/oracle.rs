@@ -30,6 +30,9 @@ pub const ARR_FD: u32 = 1;
 pub const HASH_FD: u32 = 2;
 /// Map fd of the 4096-byte ringbuf.
 pub const RB_FD: u32 = 3;
+/// Map fd of the 4-slot prog array; slot 0 always holds the program
+/// under test (so `tail_call(0)` self-chains into the 33-call limit).
+pub const PROG_FD: u32 = 4;
 
 /// Interpreter fuel per input: generously above any verifier-accepted
 /// program's cost, but finite so generated infinite loops terminate.
@@ -237,8 +240,11 @@ impl Env {
         let rb = maps
             .create(&kernel, MapDef::ringbuf("fz_rb", 4096))
             .expect("ringbuf");
+        let prog = maps
+            .create(&kernel, MapDef::prog_array("fz_prog", 4))
+            .expect("prog array");
         // The generator hard-codes these fds; creation order pins them.
-        assert_eq!((arr, hash, rb), (ARR_FD, HASH_FD, RB_FD));
+        assert_eq!((arr, hash, rb, prog), (ARR_FD, HASH_FD, RB_FD, PROG_FD));
         Env {
             kernel,
             maps,
@@ -254,6 +260,13 @@ impl Env {
             ..VmConfig::default()
         });
         let id = vm.load(prog);
+        // Pin prog-array slot 0 to the program under test so generated
+        // tail calls have a live target; slots 1..3 stay empty.
+        self.maps
+            .get(PROG_FD)
+            .expect("prog array exists")
+            .update(&self.kernel.mem, &0u32.to_le_bytes(), &id.to_le_bytes(), 0)
+            .expect("prog slot update");
         let result = vm.run(id, input);
         (result, self.kernel.audit.fingerprint())
     }

@@ -64,7 +64,7 @@ pub fn shrink(oracle: &Oracle, prog: &FuzzProgram, lane: Lane) -> (FuzzProgram, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen::Shape;
+    use crate::gen::{CalleeBody, LockBody, RingbufClose, Shape};
     use ebpf::insn::{Reg, BPF_ADD, BPF_W};
 
     #[test]
@@ -104,6 +104,97 @@ mod tests {
                 .evaluate(&insns, prog.prog_type(), Lane::Shipped)
                 .bucket,
             Bucket::UnsoundnessCandidate
+        );
+    }
+
+    /// Noise steps wrapped around `core`; the shrinker must strip the
+    /// noise, keep the bucket, and stay inside the shape's stratum.
+    fn assert_shrinks_to_core(shape: Shape, core: Step, lane: Lane, expect: Bucket) {
+        let noise = Step::AluImm {
+            wide: true,
+            op: BPF_ADD,
+            dst: Reg::R6,
+            imm: 5,
+        };
+        let prog = FuzzProgram {
+            seed: 0,
+            shape,
+            steps: vec![noise.clone(), core.clone(), noise],
+        };
+        let oracle = Oracle::new();
+        let (small, bucket) = shrink(&oracle, &prog, lane);
+        assert_eq!(bucket, expect, "{shape:?}");
+        assert_eq!(small.shape, shape, "shrinking must not leave the stratum");
+        assert_eq!(small.steps, vec![core], "{shape:?}: noise survived");
+        let insns = small.emit().unwrap();
+        assert_eq!(
+            oracle.evaluate(&insns, small.prog_type(), lane).bucket,
+            expect
+        );
+    }
+
+    #[test]
+    fn shrink_bpf2bpf_keeps_the_leaking_callee() {
+        // A callee returning its frame pointer is rejected as a pointer
+        // leak, yet at runtime the "pointer" is just a number: an
+        // incompleteness witness the shrinker must preserve.
+        assert_shrinks_to_core(
+            Shape::Bpf2Bpf,
+            Step::SubprogCall {
+                body: CalleeBody::LeakFp,
+            },
+            Lane::Patched,
+            Bucket::IncompletenessWitness,
+        );
+    }
+
+    #[test]
+    fn shrink_tail_call_keeps_the_type_confused_map() {
+        // Tail-calling through a non-prog-array map is statically
+        // rejected; the runtime returns -EINVAL and carries on.
+        assert_shrinks_to_core(
+            Shape::TailCall,
+            Step::TailCall {
+                index: 0,
+                prog_map: false,
+            },
+            Lane::Patched,
+            Bucket::IncompletenessWitness,
+        );
+    }
+
+    #[test]
+    fn shrink_spin_lock_keeps_the_helper_in_section() {
+        // A helper call inside the critical section is rejected, but the
+        // runtime executes lock/ktime/unlock without incident.
+        assert_shrinks_to_core(
+            Shape::SpinLock,
+            Step::LockSection {
+                key: 0,
+                body: LockBody::Helper,
+                unlock: true,
+            },
+            Lane::Patched,
+            Bucket::IncompletenessWitness,
+        );
+    }
+
+    #[test]
+    fn shrink_ringbuf_res_keeps_the_leaked_reservation() {
+        // A never-closed reservation is rejected as an unreleased
+        // reference. The interpreter, however, has no reservation
+        // tracking at all — the record just sits in the ring unsubmitted
+        // and the run finishes "clean" (contrast safe-ext, whose
+        // RecordGuard discards on drop). So this is a witness pair, and
+        // the shrinker must keep the reserve step that creates it.
+        assert_shrinks_to_core(
+            Shape::RingbufRes,
+            Step::RingbufRes {
+                size: 16,
+                close: RingbufClose::Leak,
+            },
+            Lane::Patched,
+            Bucket::IncompletenessWitness,
         );
     }
 

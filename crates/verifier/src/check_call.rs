@@ -8,9 +8,9 @@
 //! can therefore hand a NULL-bearing union to a buggy helper.
 
 use ebpf::helpers::{
-    ArgType, RetType, BPF_LOOP, BPF_RINGBUF_OUTPUT, BPF_RINGBUF_RESERVE, BPF_RINGBUF_SUBMIT,
-    BPF_SK_LOOKUP_TCP, BPF_SK_LOOKUP_UDP, BPF_SK_RELEASE, BPF_SPIN_LOCK, BPF_SPIN_UNLOCK,
-    BPF_TAIL_CALL,
+    ArgType, RetType, BPF_LOOP, BPF_RINGBUF_DISCARD, BPF_RINGBUF_OUTPUT, BPF_RINGBUF_RESERVE,
+    BPF_RINGBUF_SUBMIT, BPF_SK_LOOKUP_TCP, BPF_SK_LOOKUP_UDP, BPF_SK_RELEASE, BPF_SPIN_LOCK,
+    BPF_SPIN_UNLOCK, BPF_TAIL_CALL,
 };
 use ebpf::insn::Insn;
 use ebpf::maps::MapKind;
@@ -63,6 +63,12 @@ pub(crate) fn check_exit(
                     })
                 }
             };
+            // A subprogram must not return to its caller mid-critical-
+            // section: the lock/unlock pair has to close within one frame
+            // so the caller's view of the section stays well-bracketed.
+            if state.lock_held {
+                return Err(VerifyError::LockNotReleased { pc });
+            }
             let popped_index = state.frames.len() - 1;
             state.frames.pop();
             state.invalidate_frames_from(popped_index);
@@ -120,6 +126,13 @@ pub(crate) fn check_bpf2bpf_call(
     if !v.features.calls {
         return Err(VerifyError::CallsNotSupported { pc });
     }
+    ctx.stats.subprog_calls_checked += 1;
+    if state.lock_held {
+        return Err(VerifyError::CallWhileLocked {
+            pc,
+            what: "bpf2bpf call",
+        });
+    }
     let target = pc as i64 + 1 + insn.imm as i64;
     if target < 0 || target as usize >= ctx.prog.insns.len() {
         return Err(VerifyError::BadCall { pc });
@@ -140,7 +153,9 @@ fn required_feature_ok(v: &Verifier<'_>, id: u32) -> bool {
     match id {
         BPF_SK_LOOKUP_TCP | BPF_SK_LOOKUP_UDP | BPF_SK_RELEASE => v.features.references,
         BPF_SPIN_LOCK | BPF_SPIN_UNLOCK => v.features.spin_locks,
-        BPF_RINGBUF_OUTPUT | BPF_RINGBUF_RESERVE | BPF_RINGBUF_SUBMIT => v.features.ringbuf,
+        BPF_RINGBUF_OUTPUT | BPF_RINGBUF_RESERVE | BPF_RINGBUF_SUBMIT | BPF_RINGBUF_DISCARD => {
+            v.features.ringbuf
+        }
         BPF_LOOP => v.features.loop_helper,
         _ => true,
     }
@@ -168,6 +183,17 @@ pub(crate) fn check_helper_call(
         });
     }
 
+    // No helper calls inside a spin-lock section: the kernel forbids
+    // anything that could sleep, trap, or re-enter while the lock is
+    // held. Only the unlock itself (and a re-lock attempt, which gets
+    // the sharper DoubleLock diagnostic) reach their own checks.
+    if state.lock_held && id != BPF_SPIN_UNLOCK && id != BPF_SPIN_LOCK {
+        return Err(VerifyError::CallWhileLocked {
+            pc,
+            what: spec.name,
+        });
+    }
+
     // Fully special-cased helpers.
     match id {
         BPF_SPIN_LOCK => {
@@ -185,6 +211,11 @@ pub(crate) fn check_helper_call(
         }
         BPF_RINGBUF_SUBMIT => {
             check_ringbuf::submit(v, pc, state)?;
+            clobber_caller_saved(state, RegType::unknown());
+            return Ok(());
+        }
+        BPF_RINGBUF_DISCARD => {
+            check_ringbuf::discard(v, pc, state)?;
             clobber_caller_saved(state, RegType::unknown());
             return Ok(());
         }
@@ -332,8 +363,11 @@ pub(crate) fn check_helper_call(
     }
     let _ = released;
 
-    // Tail calls additionally require a prog-array map.
+    // Tail calls additionally require a prog-array map, a main-frame
+    // call site (the replaced program would orphan callee frames), and
+    // no live acquired references (the target never releases them).
     if id == BPF_TAIL_CALL {
+        ctx.stats.tail_calls_checked += 1;
         let fd = map_fd.ok_or(VerifyError::BadCall { pc })?;
         let map = v.maps.get(fd).ok_or(VerifyError::BadMapFd { pc, fd })?;
         if map.def.kind != MapKind::ProgArray {
@@ -343,6 +377,12 @@ pub(crate) fn check_helper_call(
                 arg: 1,
                 reason: format!("expected prog_array map, got {:?}", map.def.kind),
             });
+        }
+        if state.frames.len() > 1 {
+            return Err(VerifyError::TailCallInSubprog { pc });
+        }
+        if !state.acquired_refs.is_empty() {
+            return Err(VerifyError::UnreleasedReference { pc });
         }
     }
 

@@ -59,6 +59,7 @@ pub(crate) fn lock(
         return Err(VerifyError::DoubleLock { pc });
     }
     state.lock_held = true;
+    ctx.stats.lock_sections_entered += 1;
     Ok(())
 }
 

@@ -47,6 +47,7 @@ pub(crate) fn reserve_ret(
     }
     let id = ctx.fresh_id();
     check_ref::acquire(state, id);
+    ctx.stats.ringbuf_reservations_checked += 1;
     state.set_reg(
         0,
         RegType::PtrToMem {
@@ -64,6 +65,26 @@ pub(crate) fn submit(
     pc: usize,
     state: &mut VerifierState,
 ) -> Result<(), VerifyError> {
+    close_record(v, pc, state, "bpf_ringbuf_submit")
+}
+
+/// Applies `bpf_ringbuf_discard`: releases the record in R1 without
+/// publishing it. The lifetime discipline is identical to submit — a
+/// reservation ends on exactly one of the two.
+pub(crate) fn discard(
+    v: &Verifier<'_>,
+    pc: usize,
+    state: &mut VerifierState,
+) -> Result<(), VerifyError> {
+    close_record(v, pc, state, "bpf_ringbuf_discard")
+}
+
+fn close_record(
+    v: &Verifier<'_>,
+    pc: usize,
+    state: &mut VerifierState,
+    helper: &'static str,
+) -> Result<(), VerifyError> {
     let rec = v.read_reg(state, pc, 1)?;
     match rec {
         RegType::PtrToMem {
@@ -75,7 +96,7 @@ pub(crate) fn submit(
         }
         other => Err(VerifyError::BadHelperArg {
             pc,
-            helper: "bpf_ringbuf_submit",
+            helper,
             arg: 0,
             reason: format!("expected non-null ringbuf record, got {}", other.name()),
         }),

@@ -266,6 +266,18 @@ pub enum VerifyError {
         /// Offending pc.
         pc: usize,
     },
+    /// A call made inside a spin-lock critical section.
+    CallWhileLocked {
+        /// Offending pc.
+        pc: usize,
+        /// What kind of call was attempted (helper name or "bpf2bpf call").
+        what: &'static str,
+    },
+    /// `bpf_tail_call` from inside a bpf2bpf subprogram frame.
+    TailCallInSubprog {
+        /// Offending pc.
+        pc: usize,
+    },
     /// The program's return value violates the program-type contract.
     BadReturnValue {
         /// Offending pc.
@@ -316,12 +328,14 @@ impl VerifyError {
             | VerifyError::BadCall { .. }
             | VerifyError::CallDepthExceeded { .. }
             | VerifyError::CallsNotSupported { .. }
+            | VerifyError::TailCallInSubprog { .. }
             | VerifyError::BadMapFd { .. } => RejectCheck::Call,
             VerifyError::BackEdge { .. } | VerifyError::InfiniteLoop { .. } => RejectCheck::Loop,
             VerifyError::UnreleasedReference { .. } => RejectCheck::Ref,
             VerifyError::LockNotReleased { .. }
             | VerifyError::DoubleLock { .. }
-            | VerifyError::UnlockWithoutLock { .. } => RejectCheck::Lock,
+            | VerifyError::UnlockWithoutLock { .. }
+            | VerifyError::CallWhileLocked { .. } => RejectCheck::Lock,
             VerifyError::BadReturnValue { .. } => RejectCheck::Return,
             VerifyError::PointerLeak { .. } => RejectCheck::Leak,
             VerifyError::SpeculationGadget { .. } => RejectCheck::Spec,
@@ -452,6 +466,12 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::UnlockWithoutLock { pc } => {
                 write!(f, "bpf_spin_unlock without a held lock (insn {pc})")
+            }
+            VerifyError::CallWhileLocked { pc, what } => {
+                write!(f, "{what} inside bpf_spin_lock section (insn {pc})")
+            }
+            VerifyError::TailCallInSubprog { pc } => {
+                write!(f, "tail_call from a bpf2bpf subprogram (insn {pc})")
             }
             VerifyError::BadReturnValue { pc, reason } => {
                 write!(f, "invalid return value at insn {pc}: {reason}")

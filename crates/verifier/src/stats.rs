@@ -25,6 +25,14 @@ pub struct VerifStats {
     pub packet_compares_checked: u64,
     /// Helper call sites checked by `check_call`.
     pub helper_calls_checked: u64,
+    /// bpf2bpf call sites checked (callee frames pushed).
+    pub subprog_calls_checked: u64,
+    /// `bpf_tail_call` sites statically checked.
+    pub tail_calls_checked: u64,
+    /// Spin-lock critical sections entered (`bpf_spin_lock` accepted).
+    pub lock_sections_entered: u64,
+    /// Ringbuf reservations whose lifetimes were tracked.
+    pub ringbuf_reservations_checked: u64,
     /// Host wall-clock time of verification, in nanoseconds.
     pub wall_ns: u128,
 }

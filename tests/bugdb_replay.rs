@@ -1,0 +1,99 @@
+//! Bug-database replay: every feature-ladder reproducer checked in
+//! under `crates/analysis/bugdb/` is re-judged on each `cargo test`.
+//!
+//! Each `*.bug` file records the full verdict the differential fuzzer
+//! observed when the program was harvested and shrunk: the bucket, the
+//! structured reject check (if any), and the sandboxed runtime class.
+//! If a verifier or interpreter change flips any of the three, this
+//! suite fails and names the seed — so the state-explosion ladder's
+//! evidence (bpf2bpf, tail calls, spin locks, ringbuf reservations)
+//! cannot silently rot.
+
+use std::path::Path;
+
+use analysis::bugdb::{load_dir, StoredBug};
+use ebpf::text::parse_program;
+use fuzz::bugdb::{feature_name, FEATURE_SHAPES};
+use fuzz::oracle::{Lane, Oracle};
+use fuzz::Shape;
+
+fn bugdb_dir() -> &'static Path {
+    Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/crates/analysis/bugdb"
+    ))
+}
+
+fn stored() -> Vec<(std::path::PathBuf, StoredBug)> {
+    load_dir(bugdb_dir()).expect("bug database loads")
+}
+
+#[test]
+fn database_is_checked_in_and_covers_every_ladder_feature() {
+    let bugs = stored();
+    assert!(
+        !bugs.is_empty(),
+        "expected stored reproducers under crates/analysis/bugdb/"
+    );
+    for shape in FEATURE_SHAPES {
+        let feature = feature_name(shape).unwrap();
+        assert!(
+            bugs.iter().any(|(_, b)| b.feature == feature),
+            "no stored bug for ladder feature {feature}"
+        );
+    }
+}
+
+#[test]
+fn every_stored_bug_replays_to_its_recorded_verdict() {
+    let oracle = Oracle::new();
+    for (path, bug) in stored() {
+        let shape = Shape::from_name(&bug.shape).expect("shape name");
+        let lane = Lane::from_name(&bug.lane).expect("lane name");
+        let insns = parse_program(&bug.program)
+            .unwrap_or_else(|e| panic!("{}: program does not parse: {e:?}", path.display()));
+        let obs = oracle.evaluate(&insns, shape.prog_type(), lane);
+        assert_eq!(
+            obs.bucket.name(),
+            bug.bucket,
+            "{}: bucket drifted from the recorded verdict",
+            path.display()
+        );
+        assert_eq!(
+            obs.check.map(|c| c.name().to_string()),
+            bug.check,
+            "{}: reject check drifted from the recorded verdict",
+            path.display()
+        );
+        assert_eq!(
+            obs.runtime.name(),
+            bug.runtime,
+            "{}: runtime class drifted from the recorded verdict",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn stored_metadata_is_internally_consistent() {
+    for (path, bug) in stored() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert_eq!(
+            name,
+            bug.file_name(),
+            "{}: file name drifted from its metadata",
+            path.display()
+        );
+        let shape = Shape::from_name(&bug.shape).expect("shape name");
+        assert_eq!(
+            feature_name(shape),
+            Some(bug.feature.as_str()),
+            "{}: feature does not match shape",
+            path.display()
+        );
+        // The text round-trips, so regenerating the database cannot
+        // reformat entries that did not actually change.
+        let back = StoredBug::parse(&bug.render()).expect("rendered entry parses");
+        assert_eq!(back, bug, "{}", path.display());
+    }
+}

@@ -1,0 +1,204 @@
+//! Property tests for the verifier feature ladder (bpf2bpf calls, tail
+//! calls, spin locks, ringbuf reservations).
+//!
+//! Three invariants the ladder's static checks are supposed to buy:
+//!
+//! 1. On any program the patched verifier **accepts**, no lock-held
+//!    section spans a helper call, a bpf2bpf call, or a program exit —
+//!    checked by scanning the accepted instruction stream itself, not
+//!    the generator's intent.
+//! 2. Ringbuf reservation lifetimes balance on every generated path:
+//!    acceptance is exactly equivalent to "no reservation leaks", and
+//!    accepted programs run to completion without trapping.
+//! 3. A callee's stack frame never aliases its caller's: whatever slot
+//!    the callee scribbles on, the caller's spilled value survives the
+//!    call unchanged at runtime (and the verifier agrees the reload is
+//!    sound).
+
+use proptest::prelude::*;
+
+use ebpf::asm::Asm;
+use ebpf::helpers::{
+    HelperRegistry, BPF_RINGBUF_DISCARD, BPF_RINGBUF_RESERVE, BPF_RINGBUF_SUBMIT, BPF_SPIN_LOCK,
+    BPF_SPIN_UNLOCK,
+};
+use ebpf::insn::{Insn, Reg, BPF_CALL, BPF_DW, BPF_EXIT, BPF_JMP, BPF_PSEUDO_CALL};
+use ebpf::interp::{CtxInput, Vm};
+use ebpf::maps::MapRegistry;
+use ebpf::program::{ProgType, Program};
+use fuzz::gen::{emit, LockBody, RingbufClose, Step};
+use fuzz::oracle::{Lane, Oracle, RuntimeClass};
+use kernel_sim::Kernel;
+
+fn lock_body() -> impl Strategy<Value = LockBody> {
+    prop_oneof![
+        Just(LockBody::Clean),
+        (0i16..8).prop_map(|off| LockBody::Store { off }),
+        Just(LockBody::Helper),
+        Just(LockBody::Relock),
+    ]
+}
+
+fn lock_section() -> impl Strategy<Value = Step> {
+    (0i32..6, lock_body(), any::<bool>()).prop_map(|(key, body, unlock)| Step::LockSection {
+        key,
+        body,
+        unlock,
+    })
+}
+
+fn ringbuf_res() -> impl Strategy<Value = Step> {
+    let close = prop_oneof![
+        Just(RingbufClose::Submit),
+        Just(RingbufClose::Discard),
+        Just(RingbufClose::Leak),
+    ];
+    (1i32..=4097, close).prop_map(|(size, close)| Step::RingbufRes { size, close })
+}
+
+/// True for `call <helper>` (src 0), false for anything else.
+fn helper_call(insn: &Insn) -> Option<u32> {
+    (insn.code == BPF_JMP | BPF_CALL && insn.src != BPF_PSEUDO_CALL).then_some(insn.imm as u32)
+}
+
+fn is_bpf2bpf_call(insn: &Insn) -> bool {
+    insn.code == BPF_JMP | BPF_CALL && insn.src == BPF_PSEUDO_CALL
+}
+
+fn is_exit(insn: &Insn) -> bool {
+    insn.code == BPF_JMP | BPF_EXIT
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scan every accepted instruction stream: between `spin_lock` and
+    /// the matching `spin_unlock` there must be no other helper call,
+    /// no bpf2bpf call, and no exit. The generated sections are
+    /// straight-line between the two lock helpers, so a linear scan is
+    /// exact.
+    #[test]
+    fn accepted_lock_sections_never_span_calls_or_exits(
+        sections in prop::collection::vec(lock_section(), 1..=3),
+        noise in -16i32..16,
+    ) {
+        let mut steps = vec![Step::AluImm {
+            wide: true,
+            op: ebpf::insn::BPF_ADD,
+            dst: Reg::R6,
+            imm: noise,
+        }];
+        steps.extend(sections);
+        let insns = emit(&steps, ProgType::SocketFilter).expect("assembles");
+        let oracle = Oracle::new();
+        if oracle.verdict(&insns, ProgType::SocketFilter, Lane::Patched).is_err() {
+            return Ok(());
+        }
+        let mut locked = false;
+        for insn in &insns {
+            if let Some(id) = helper_call(insn) {
+                if id == BPF_SPIN_LOCK {
+                    prop_assert!(!locked, "accepted double lock");
+                    locked = true;
+                } else if id == BPF_SPIN_UNLOCK {
+                    prop_assert!(locked, "accepted unlock without lock");
+                    locked = false;
+                } else {
+                    prop_assert!(!locked, "accepted helper call {id} inside lock section");
+                }
+            } else if is_bpf2bpf_call(insn) {
+                prop_assert!(!locked, "accepted bpf2bpf call inside lock section");
+            } else if is_exit(insn) {
+                prop_assert!(!locked, "accepted exit with lock held");
+            }
+        }
+        prop_assert!(!locked);
+    }
+
+    /// Acceptance is exactly "every reservation path closes": a leaked
+    /// reservation is always rejected, and a program whose every
+    /// reservation is submitted or discarded is accepted — and then
+    /// runs to completion without trapping, with reserve/close calls
+    /// balanced in the instruction stream.
+    #[test]
+    fn reservation_lifetimes_balance_on_every_path(
+        reservations in prop::collection::vec(ringbuf_res(), 1..=3),
+    ) {
+        let has_leak = reservations.iter().any(|s| {
+            matches!(s, Step::RingbufRes { close: RingbufClose::Leak, .. })
+        });
+        let insns = emit(&reservations, ProgType::SocketFilter).expect("assembles");
+        let oracle = Oracle::new();
+        let accepted = oracle
+            .verdict(&insns, ProgType::SocketFilter, Lane::Patched)
+            .is_ok();
+        prop_assert_eq!(
+            accepted,
+            !has_leak,
+            "acceptance must equal reservation balance"
+        );
+        if accepted {
+            let obs = oracle.evaluate(&insns, ProgType::SocketFilter, Lane::Patched);
+            prop_assert_eq!(obs.runtime, RuntimeClass::Safe);
+            let reserves = insns
+                .iter()
+                .filter(|i| helper_call(i) == Some(BPF_RINGBUF_RESERVE))
+                .count();
+            let closes = insns
+                .iter()
+                .filter(|i| {
+                    matches!(
+                        helper_call(i),
+                        Some(BPF_RINGBUF_SUBMIT) | Some(BPF_RINGBUF_DISCARD)
+                    )
+                })
+                .count();
+            prop_assert_eq!(reserves, closes, "unbalanced reserve/close pairs accepted");
+        }
+    }
+
+    /// The caller spills a sentinel, the callee scribbles over its own
+    /// frame at an arbitrary slot, and the caller's reload still sees
+    /// the sentinel: callee frames are disjoint from the caller's, for
+    /// every pair of offsets — including the very same offset in both
+    /// frames.
+    #[test]
+    fn callee_frames_never_alias_the_caller(
+        caller_slot in 1i16..=64,
+        callee_slot in 1i16..=64,
+        sentinel in any::<i32>(),
+    ) {
+        let caller_off = -8 * caller_slot;
+        let callee_off = -8 * callee_slot;
+        let insns = Asm::new()
+            .st(BPF_DW, Reg::R10, caller_off, sentinel)
+            .call_fn("callee")
+            .ldx(BPF_DW, Reg::R0, Reg::R10, caller_off)
+            .exit()
+            .label("callee")
+            .st(BPF_DW, Reg::R10, callee_off, 0x5eed)
+            .mov64_imm(Reg::R0, 0)
+            .exit()
+            .build()
+            .expect("assembles");
+
+        // The patched verifier must accept the reload: the spilled
+        // slot is still initialised after the call.
+        let oracle = Oracle::new();
+        prop_assert!(
+            oracle
+                .verdict(&insns, ProgType::SocketFilter, Lane::Patched)
+                .is_ok(),
+            "caller spill/reload across a bpf2bpf call rejected"
+        );
+
+        // And the interpreter must hand back the untouched sentinel.
+        let kernel = Kernel::new();
+        let maps = MapRegistry::default();
+        let registry = HelperRegistry::standard();
+        let mut vm = Vm::new(&kernel, &maps, &registry);
+        let id = vm.load(Program::new("alias", ProgType::SocketFilter, insns));
+        let got = vm.run(id, CtxInput::None).result.expect("runs clean");
+        prop_assert_eq!(got, sentinel as i64 as u64, "callee write leaked into caller frame");
+    }
+}
