@@ -4,16 +4,22 @@
 //! committed baselines (`--baseline DIR`, default `.`) for every report
 //! named with `--report` (repeatable; defaults to the three committed
 //! `BENCH_*.json` families plus `BENCH_profile.json` when present in the
-//! baseline dir). Only simulated-cost metrics are compared (see
-//! `analysis::regress`); drift beyond `--tolerance` (default 0.10,
-//! overridable via `REGRESS_TOLERANCE`) in **either** direction exits
-//! nonzero, as do rows missing from either side.
+//! baseline dir). Two metric families are gated (see
+//! `analysis::regress`): simulated-cost metrics at `--tolerance`
+//! (default 0.10, overridable via `REGRESS_TOLERANCE`), and host-side
+//! capacity metrics (`host_pps` per backend/shard count) at the loose
+//! `--host-tolerance` (default 0.40, overridable via
+//! `REGRESS_HOST_TOLERANCE`). Drift beyond tolerance in **either**
+//! direction exits nonzero, as do rows missing from either side.
 
 use std::path::Path;
 use std::process::ExitCode;
 
 use analysis::json;
-use analysis::regress::{compare, extract_metrics, MetricDiff, DEFAULT_TOLERANCE};
+use analysis::regress::{
+    compare, extract_host_metrics, extract_metrics, MetricDiff, DEFAULT_HOST_TOLERANCE,
+    DEFAULT_TOLERANCE,
+};
 
 const DEFAULT_REPORTS: &[&str] = &[
     "BENCH_throughput.json",
@@ -27,6 +33,7 @@ struct Args {
     baseline: String,
     fresh: String,
     tolerance: f64,
+    host_tolerance: f64,
     reports: Vec<String>,
 }
 
@@ -38,10 +45,18 @@ fn parse_args() -> Result<Args, String> {
                 .map_err(|e| format!("REGRESS_TOLERANCE: {e}"))
         })
         .transpose()?;
+    let env_host_tol = std::env::var("REGRESS_HOST_TOLERANCE")
+        .ok()
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|e| format!("REGRESS_HOST_TOLERANCE: {e}"))
+        })
+        .transpose()?;
     let mut args = Args {
         baseline: ".".to_string(),
         fresh: String::new(),
         tolerance: env_tol.unwrap_or(DEFAULT_TOLERANCE),
+        host_tolerance: env_host_tol.unwrap_or(DEFAULT_HOST_TOLERANCE),
         reports: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -55,6 +70,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--tolerance: {e}"))?
             }
+            "--host-tolerance" => {
+                args.host_tolerance = value("--host-tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--host-tolerance: {e}"))?
+            }
             "--report" => args.reports.push(value("--report")?),
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -64,6 +84,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if !(0.0..1.0).contains(&args.tolerance) {
         return Err(format!("tolerance {} out of range [0, 1)", args.tolerance));
+    }
+    if !(0.0..1.0).contains(&args.host_tolerance) {
+        return Err(format!(
+            "host tolerance {} out of range [0, 1)",
+            args.host_tolerance
+        ));
     }
     if args.reports.is_empty() {
         // Default to every known report family the baseline dir carries.
@@ -82,11 +108,15 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn load(dir: &str, name: &str) -> Result<std::collections::BTreeMap<String, f64>, String> {
+type Metrics = std::collections::BTreeMap<String, f64>;
+
+/// Loads one report and extracts both metric families:
+/// `(simulated-cost, host-capacity)`.
+fn load(dir: &str, name: &str) -> Result<(Metrics, Metrics), String> {
     let path = Path::new(dir).join(name);
     let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
     let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-    Ok(extract_metrics(&doc))
+    Ok((extract_metrics(&doc), extract_host_metrics(&doc)))
 }
 
 fn print_diffs(kind: &str, diffs: &[MetricDiff]) {
@@ -114,44 +144,56 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "REGRESS baseline={} fresh={} tolerance={:.0}%",
+        "REGRESS baseline={} fresh={} tolerance={:.0}% host-tolerance={:.0}%",
         args.baseline,
         args.fresh,
-        args.tolerance * 100.0
+        args.tolerance * 100.0,
+        args.host_tolerance * 100.0
     );
     let mut failed = false;
     for report in &args.reports {
-        let (base, fresh) = match (load(&args.baseline, report), load(&args.fresh, report)) {
-            (Ok(b), Ok(f)) => (b, f),
-            (b, f) => {
-                for err in [b.err(), f.err()].into_iter().flatten() {
-                    eprintln!("regress: {err}");
+        let ((base, base_host), (fresh, fresh_host)) =
+            match (load(&args.baseline, report), load(&args.fresh, report)) {
+                (Ok(b), Ok(f)) => (b, f),
+                (b, f) => {
+                    for err in [b.err(), f.err()].into_iter().flatten() {
+                        eprintln!("regress: {err}");
+                    }
+                    failed = true;
+                    continue;
                 }
-                failed = true;
-                continue;
+            };
+        for (family, outcome) in [
+            ("sim", compare(&base, &fresh, args.tolerance)),
+            (
+                "host",
+                compare(&base_host, &fresh_host, args.host_tolerance),
+            ),
+        ] {
+            if family == "host" && base_host.is_empty() && fresh_host.is_empty() {
+                continue; // report has no host-capacity rows at all
             }
-        };
-        let outcome = compare(&base, &fresh, args.tolerance);
-        let verdict = if outcome.ok() { "OK" } else { "FAIL" };
-        println!(
-            "{verdict} {report}: {} within tolerance, {} regressions, {} improvements, {} missing",
-            outcome.within,
-            outcome.regressions.len(),
-            outcome.improvements.len(),
-            outcome.missing_in_fresh.len() + outcome.missing_in_baseline.len()
-        );
-        print_diffs("REGRESSION", &outcome.regressions);
-        print_diffs("IMPROVEMENT", &outcome.improvements);
-        for key in &outcome.missing_in_fresh {
-            println!("  MISSING-IN-FRESH {key}");
+            let verdict = if outcome.ok() { "OK" } else { "FAIL" };
+            println!(
+                "{verdict} {report} [{family}]: {} within tolerance, {} regressions, {} improvements, {} missing",
+                outcome.within,
+                outcome.regressions.len(),
+                outcome.improvements.len(),
+                outcome.missing_in_fresh.len() + outcome.missing_in_baseline.len()
+            );
+            print_diffs("REGRESSION", &outcome.regressions);
+            print_diffs("IMPROVEMENT", &outcome.improvements);
+            for key in &outcome.missing_in_fresh {
+                println!("  MISSING-IN-FRESH {key}");
+            }
+            for key in &outcome.missing_in_baseline {
+                println!("  MISSING-IN-BASELINE {key} (regenerate the committed baseline)");
+            }
+            failed |= !outcome.ok();
         }
-        for key in &outcome.missing_in_baseline {
-            println!("  MISSING-IN-BASELINE {key} (regenerate the committed baseline)");
-        }
-        failed |= !outcome.ok();
     }
     if failed {
-        eprintln!("regress: simulated-cost drift beyond tolerance (see above)");
+        eprintln!("regress: metric drift beyond tolerance (see above)");
         ExitCode::FAILURE
     } else {
         println!("REGRESS PASS");

@@ -1,13 +1,21 @@
 //! The CI perf-regression gate: compares freshly generated bench
 //! reports against the committed `BENCH_*.json` baselines.
 //!
-//! Only **simulated-cost** metrics are compared ([`SIM_COST_FIELDS`]):
-//! they are deterministic functions of `(code, seed)`, so any drift is a
-//! real change in modelled cost, never host noise. Host wall-clock
-//! fields are ignored by construction. The tolerance (default
-//! [`DEFAULT_TOLERANCE`], ±10%) exists so a PR that *deliberately*
-//! shifts costs slightly can still land by regenerating baselines, while
-//! order-of-magnitude regressions fail loudly.
+//! Two metric families are compared, each with its own tolerance:
+//!
+//! * **Simulated-cost** metrics ([`SIM_COST_FIELDS`]) are deterministic
+//!   functions of `(code, seed)`, so any drift is a real change in
+//!   modelled cost, never host noise. The tolerance (default
+//!   [`DEFAULT_TOLERANCE`], ±10%) exists so a PR that *deliberately*
+//!   shifts costs slightly can still land by regenerating baselines,
+//!   while order-of-magnitude regressions fail loudly.
+//! * **Host-capacity** metrics ([`HOST_CAPACITY_FIELDS`]) — `host_pps`,
+//!   packets per second of busiest-shard *thread CPU time* — are
+//!   measured on the host, so they wobble with machine load. They are
+//!   gated loosely (default [`DEFAULT_HOST_TOLERANCE`], ±40%) to catch
+//!   losing the parallel-scaling property outright, not noise. Raw
+//!   wall-clock fields (`host_elapsed_ns`, `host_wall_pps`,
+//!   `host_cpu_ns`) remain ungated by construction.
 
 use std::collections::BTreeMap;
 
@@ -17,6 +25,10 @@ use crate::json::Json;
 /// direction (an unexplained speed-*up* also means the model changed).
 pub const DEFAULT_TOLERANCE: f64 = 0.10;
 
+/// Relative drift allowed on host-capacity metrics before flagging.
+/// Deliberately loose: these are host measurements, not simulated costs.
+pub const DEFAULT_HOST_TOLERANCE: f64 = 0.40;
+
 /// The numeric row fields treated as simulated-cost metrics.
 pub const SIM_COST_FIELDS: &[&str] = &[
     "sim_elapsed_ns",
@@ -25,6 +37,12 @@ pub const SIM_COST_FIELDS: &[&str] = &[
     "verify_sim_ns",
     "safe_ext_load_sim_ns",
 ];
+
+/// The numeric row fields treated as host-capacity metrics, gated with
+/// [`DEFAULT_HOST_TOLERANCE`]. `host_pps` divides packets by the busiest
+/// shard's thread-CPU time, so it tracks per-shard work (and therefore
+/// shard scaling) even on a single-core CI host.
+pub const HOST_CAPACITY_FIELDS: &[&str] = &["host_pps"];
 
 /// Row fields (in key order) that identify a row across regenerations.
 const ID_FIELDS: &[&str] = &["scenario", "backend", "feature", "lane", "shards", "faults"];
@@ -68,11 +86,23 @@ impl RegressOutcome {
     }
 }
 
-/// Extracts every simulated-cost metric from a bench report: walks all
+/// Extracts every simulated-cost metric from a bench report; see
+/// [`extract_fields`].
+pub fn extract_metrics(doc: &Json) -> BTreeMap<String, f64> {
+    extract_fields(doc, SIM_COST_FIELDS)
+}
+
+/// Extracts every host-capacity metric from a bench report; see
+/// [`extract_fields`].
+pub fn extract_host_metrics(doc: &Json) -> BTreeMap<String, f64> {
+    extract_fields(doc, HOST_CAPACITY_FIELDS)
+}
+
+/// Extracts the given numeric `fields` from a bench report: walks all
 /// array members of the top-level object, keys each row by its
 /// identifying fields (`backend`, `shards`, `scenario`, `faults`,
-/// `lane`, `feature`), and keeps the [`SIM_COST_FIELDS`] numbers.
-pub fn extract_metrics(doc: &Json) -> BTreeMap<String, f64> {
+/// `lane`, `feature`), and keeps the requested numbers.
+pub fn extract_fields(doc: &Json, fields: &[&str]) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     let Json::Obj(top) = doc else { return out };
     for (section, value) in top {
@@ -90,7 +120,7 @@ pub fn extract_metrics(doc: &Json) -> BTreeMap<String, f64> {
                 // Rows with no identifying fields fall back to position.
                 key.push_str(&format!("/{index}"));
             }
-            for field in SIM_COST_FIELDS {
+            for field in fields {
                 if let Some(v) = row.get(field).and_then(Json::as_f64) {
                     out.insert(format!("{key}/{field}"), v);
                 }
@@ -156,6 +186,13 @@ mod tests {
         .unwrap()
     }
 
+    fn host_doc(pps: u64) -> Json {
+        parse(&format!(
+            r#"{{"rows": [{{"backend": "ebpf", "shards": 2, "sim_elapsed_ns": 1000, "host_pps": {pps}, "host_cpu_ns": 555, "host_wall_pps": 777, "host_elapsed_ns": 99}}]}}"#
+        ))
+        .unwrap()
+    }
+
     #[test]
     fn extracts_sim_cost_but_not_host_noise() {
         let metrics = extract_metrics(&doc(1000));
@@ -164,6 +201,33 @@ mod tests {
             Some(&1000.0)
         );
         assert_eq!(metrics.len(), 1, "host_elapsed_ns must not be compared");
+    }
+
+    #[test]
+    fn host_extraction_keeps_only_the_capacity_metric() {
+        let metrics = extract_host_metrics(&host_doc(1_000_000));
+        assert_eq!(
+            metrics.get("rows/backend=ebpf/shards=2/host_pps"),
+            Some(&1_000_000.0)
+        );
+        assert_eq!(
+            metrics.len(),
+            1,
+            "raw host clocks (elapsed/cpu/wall) must stay ungated"
+        );
+    }
+
+    #[test]
+    fn host_gate_is_loose_but_not_absent() {
+        let base = extract_host_metrics(&host_doc(1_000_000));
+        // 30% wobble: machine noise, passes at the ±40% host tolerance.
+        let wobble = extract_host_metrics(&host_doc(1_300_000));
+        assert!(compare(&base, &wobble, DEFAULT_HOST_TOLERANCE).ok());
+        // Halving capacity is a lost scaling property, not noise.
+        let lost = extract_host_metrics(&host_doc(490_000));
+        let outcome = compare(&base, &lost, DEFAULT_HOST_TOLERANCE);
+        assert!(!outcome.ok());
+        assert_eq!(outcome.improvements.len(), 1, "fresh < baseline flags");
     }
 
     #[test]

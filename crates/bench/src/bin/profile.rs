@@ -60,7 +60,8 @@ fn run_traced(backend: Backend, shards: usize, jit: bool, batch: &[Vec<u8>]) -> 
             ..Default::default()
         },
         batch,
-    );
+    )
+    .expect("dispatch");
     let traced = run_batched(
         backend,
         &DispatchConfig {
@@ -71,7 +72,8 @@ fn run_traced(backend: Backend, shards: usize, jit: bool, batch: &[Vec<u8>]) -> 
             ..Default::default()
         },
         batch,
-    );
+    )
+    .expect("dispatch");
     if traced.sim_elapsed_ns != untraced.sim_elapsed_ns {
         eprintln!(
             "FAIL: tracing perturbed simulated cost for backend={} shards={shards}: \

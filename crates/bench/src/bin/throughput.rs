@@ -6,11 +6,19 @@
 //! byte-identical merged audit stream, and writes the results to
 //! `BENCH_throughput.json` in the repository root.
 //!
-//! Scaling is reported in *simulated* time — the busiest shard's
-//! virtual-clock advance — because shards occupy distinct simulated CPUs
-//! and the simulation runs on whatever host CI provides (possibly a
-//! single core, where host wall-clock cannot show parallel speedup).
-//! Host wall-clock figures are recorded alongside for reference.
+//! Scaling is reported twice:
+//!
+//! - in *simulated* time — the busiest shard's virtual-clock advance —
+//!   the deterministic metric of the modelled multi-core machine; and
+//! - in *host capacity* (`host_pps`): packets divided by the busiest
+//!   shard's thread-CPU time. Thread CPU time bills each shard only for
+//!   cycles it executed, so this shows parallel speedup even when CI
+//!   provides a single core (where wall-clock cannot). Host wall-clock
+//!   is recorded alongside for reference (`host_wall_pps`).
+//!
+//! The eBPF rows run the compiled lane (`Vm::load_jit`); it is
+//! observationally identical to the interpreter, so the merged audit
+//! hashes must not move when toggling it.
 //!
 //! `--smoke` runs a reduced configuration (2 shards, small batch, both
 //! backends, two runs each) for CI: it prints the merged-audit SHA-256 of
@@ -39,6 +47,8 @@ struct Row {
     sim_pps: f64,
     speedup: f64,
     host_elapsed_ns: u64,
+    host_wall_pps: f64,
+    host_cpu_ns: u64,
     host_pps: f64,
     audit_sha256: String,
     helper_calls: u64,
@@ -52,10 +62,12 @@ fn run_config(backend: Backend, shards: usize, batch: &[Vec<u8>]) -> (DispatchRe
     let cfg = DispatchConfig {
         shards,
         seed: SEED,
+        // eBPF runs the compiled lane; audit bytes must not move.
+        jit: matches!(backend, Backend::Ebpf),
         ..Default::default()
     };
-    let first = run_batched(backend, &cfg, batch);
-    let second = run_batched(backend, &cfg, batch);
+    let first = run_batched(backend, &cfg, batch).expect("dispatch");
+    let second = run_batched(backend, &cfg, batch).expect("dispatch");
     if first.merged_fingerprint != second.merged_fingerprint {
         eprintln!(
             "FAIL: nondeterministic merged audit for backend={} shards={shards}",
@@ -64,7 +76,9 @@ fn run_config(backend: Backend, shards: usize, batch: &[Vec<u8>]) -> (DispatchRe
         std::process::exit(1);
     }
     let hash = audit_sha256(&first);
-    let best = if second.elapsed_ns < first.elapsed_ns {
+    // Keep the run with the lower host critical path: host_cpu_ns is
+    // the gated capacity metric, so report its best observation.
+    let best = if second.host_cpu_ns < first.host_cpu_ns {
         second
     } else {
         first
@@ -97,13 +111,15 @@ fn full(out: &str) {
                 0.0
             };
             println!(
-                "{:>8} shards={} packets={} sim={:.2}ms sim_pps={:.0} speedup={:.2}x host={:.2}ms",
+                "{:>8} shards={} packets={} sim={:.2}ms sim_pps={:.0} speedup={:.2}x host_cpu={:.2}ms host_pps={:.0} wall={:.2}ms",
                 backend.name(),
                 shards,
                 report.packets(),
                 report.sim_elapsed_ns as f64 / 1e6,
                 sim_pps,
                 speedup,
+                report.host_cpu_ns as f64 / 1e6,
+                report.packets_per_host_cpu_sec(),
                 report.elapsed_ns as f64 / 1e6,
             );
             rows.push(Row {
@@ -114,7 +130,9 @@ fn full(out: &str) {
                 sim_pps,
                 speedup,
                 host_elapsed_ns: report.elapsed_ns,
-                host_pps: report.packets_per_sec(),
+                host_wall_pps: report.packets_per_sec(),
+                host_cpu_ns: report.host_cpu_ns,
+                host_pps: report.packets_per_host_cpu_sec(),
                 audit_sha256: hash,
                 helper_calls: report.metrics.helper_calls,
                 run_cost_mean: report.metrics.run_cost.mean(),
@@ -131,7 +149,7 @@ fn full(out: &str) {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"backend\": \"{}\", \"shards\": {}, \"packets\": {}, \"sim_elapsed_ns\": {}, \"sim_pps\": {:.0}, \"speedup_vs_1shard\": {:.3}, \"host_elapsed_ns\": {}, \"host_pps\": {:.0}, \"merged_audit_sha256\": \"{}\", \"helper_calls\": {}, \"run_cost_mean\": {}, \"run_cost_p99\": {}}}",
+            "    {{\"backend\": \"{}\", \"shards\": {}, \"packets\": {}, \"sim_elapsed_ns\": {}, \"sim_pps\": {:.0}, \"speedup_vs_1shard\": {:.3}, \"host_elapsed_ns\": {}, \"host_wall_pps\": {:.0}, \"host_cpu_ns\": {}, \"host_pps\": {:.0}, \"merged_audit_sha256\": \"{}\", \"helper_calls\": {}, \"run_cost_mean\": {}, \"run_cost_p99\": {}}}",
             r.backend,
             r.shards,
             r.packets,
@@ -139,6 +157,8 @@ fn full(out: &str) {
             r.sim_pps,
             r.speedup,
             r.host_elapsed_ns,
+            r.host_wall_pps,
+            r.host_cpu_ns,
             r.host_pps,
             r.audit_sha256,
             r.helper_calls,
@@ -162,6 +182,20 @@ fn full(out: &str) {
         eprintln!("FAIL: a multi-shard configuration did not beat its 1-shard baseline");
         std::process::exit(1);
     }
+    // And host capacity must scale too: host_pps strictly increasing in
+    // shard count within each backend. Thread-CPU time is stable enough
+    // for this to hold whenever sharding genuinely divides the work.
+    for backend in ["ebpf", "safe-ext"] {
+        let pps: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.backend == backend)
+            .map(|r| r.host_pps)
+            .collect();
+        if pps.windows(2).any(|w| w[1] <= w[0]) {
+            eprintln!("FAIL: host_pps not monotonically increasing for {backend}: {pps:?}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn smoke() {
@@ -171,10 +205,11 @@ fn smoke() {
         let cfg = DispatchConfig {
             shards: 2,
             seed: SEED,
+            jit: matches!(backend, Backend::Ebpf),
             ..Default::default()
         };
-        let a = run_batched(backend, &cfg, &batch);
-        let b = run_batched(backend, &cfg, &batch);
+        let a = run_batched(backend, &cfg, &batch).expect("dispatch");
+        let b = run_batched(backend, &cfg, &batch).expect("dispatch");
         let (ha, hb) = (audit_sha256(&a), audit_sha256(&b));
         println!(
             "MERGED_AUDIT_SHA256 backend={} shards=2 {ha}",

@@ -17,7 +17,7 @@
 //!    clocks order them by each shard's own deterministic execution.
 //! 2. **Seeded shard assignment.** Packet `i` goes to
 //!    [`shard_of`]`(seed, i, shards)` — a pure function — and each
-//!    shard's channel preserves the main thread's send order, so each
+//!    shard's ring preserves the main thread's send order, so each
 //!    shard sees a deterministic packet subsequence.
 //! 3. **Merge in shard-id order.** Per-shard audit buffers are merged by
 //!    [`kernel_sim::audit::merged_fingerprint`], which sorts by shard id
@@ -33,14 +33,15 @@
 //! nonzero cpu) are exercised exactly as on a multi-core kernel, and
 //! shard counts can be recovered per CPU slot afterwards.
 
+use std::any::Any;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel;
 use ebpf::helpers::HelperRegistry;
-use ebpf::interp::{CtxInput, Vm};
-use ebpf::jit::{jit_compile, JitConfig};
-use ebpf::maps::{MapDef, MapRegistry};
+use ebpf::interp::Vm;
+use ebpf::jit::JitConfig;
+use ebpf::maps::{MapDef, MapError, MapRegistry};
 use ebpf::program::ProgType;
 use kernel_sim::audit::{merged_fingerprint, AuditEvent, EventKind};
 use kernel_sim::percpu::CpuInfo;
@@ -48,6 +49,8 @@ use kernel_sim::trace::{self, SpanKind, TraceEvent};
 use kernel_sim::{FaultPlan, FaultPlanConfig, Kernel, MetricsSnapshot};
 use safe_ext::{ExtInput, Extension, Quarantine, Runtime};
 
+use crate::hostclock::thread_cpu_ns;
+use crate::spsc;
 use crate::workloads;
 
 /// Number of protocol classes the dispatch workload tallies (packet byte
@@ -90,10 +93,60 @@ pub struct DispatchConfig {
     /// never advances the virtual clock, so the simulated cost of a
     /// traced batch is identical to an untraced one.
     pub trace: bool,
-    /// For [`Backend::Ebpf`]: run the workload through `jit_compile`
-    /// (the validating identity transform) instead of loading the
-    /// interpreter-form program directly.
+    /// For [`Backend::Ebpf`]: run the workload through the compiled
+    /// lane ([`ebpf::interp::Vm::load_jit`] — lowered basic-block IR
+    /// with folded fuel checks and resolved call sites) instead of the
+    /// instruction-at-a-time interpreter. Observationally identical:
+    /// audit streams, trace hashes, and simulated costs do not change.
     pub jit: bool,
+}
+
+/// Typed failure of a sharded run. Historically a worker panic or a map
+/// lookup failure aborted the whole process via `expect`; soak and fuzz
+/// callers need the batch to fail, not the harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchError {
+    /// A shard worker thread panicked; `msg` carries the panic payload.
+    ShardPanicked {
+        /// Which shard died.
+        shard: usize,
+        /// The panic message, when the payload was a string.
+        msg: String,
+    },
+    /// Recovering a shard's results hit a typed map error (map vanished,
+    /// index out of range, memory fault).
+    Map {
+        /// Which shard was being recovered.
+        shard: usize,
+        /// The underlying map error.
+        err: MapError,
+    },
+}
+
+impl fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchError::ShardPanicked { shard, msg } => {
+                write!(f, "shard {shard} panicked: {msg}")
+            }
+            DispatchError::Map { shard, err } => {
+                write!(f, "shard {shard} result recovery failed: {err:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+/// Renders a panic payload for [`DispatchError::ShardPanicked`].
+fn panic_msg(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
 }
 
 impl Default for DispatchConfig {
@@ -135,6 +188,10 @@ pub struct ShardReport {
     /// The shard's virtual-clock reading after the batch: how long the
     /// simulated CPU was busy. Deterministic for a fixed seed.
     pub sim_ns: u64,
+    /// Host CPU time the shard's worker thread consumed, nanoseconds
+    /// ([`thread_cpu_ns`]); time parked on the feed ring costs nothing.
+    /// Host-dependent; informational and for capacity metrics only.
+    pub host_cpu_ns: u64,
     /// Whether the shard kernel finished pristine (no oops, leak, stall).
     pub pristine: bool,
 }
@@ -161,6 +218,11 @@ pub struct DispatchReport {
     /// Host wall-clock time for the whole batch, nanoseconds. Noisy and
     /// host-dependent; informational only.
     pub elapsed_ns: u64,
+    /// The busiest shard's host CPU time, nanoseconds: the batch's host
+    /// critical path. Unlike wall-clock this shows parallel capacity
+    /// even when CI provides a single core, because each shard is billed
+    /// only for cycles it actually executed.
+    pub host_cpu_ns: u64,
     /// Simulated elapsed time: the busiest shard's virtual-clock advance.
     /// Shards run on distinct simulated CPUs, so the batch is done when
     /// the slowest shard is — this is the deterministic scaling metric.
@@ -199,12 +261,24 @@ impl DispatchReport {
         out
     }
 
-    /// Packets per host-second over the whole batch.
+    /// Packets per host-second over the whole batch (wall clock).
     pub fn packets_per_sec(&self) -> f64 {
         if self.elapsed_ns == 0 {
             0.0
         } else {
             self.packets() as f64 * 1e9 / self.elapsed_ns as f64
+        }
+    }
+
+    /// Packets per second of host CPU time on the busiest shard: the
+    /// batch's parallel host capacity. This is the host-side scaling
+    /// metric — it grows with shard count whenever sharding genuinely
+    /// divides the work, regardless of how many cores the host exposes.
+    pub fn packets_per_host_cpu_sec(&self) -> f64 {
+        if self.host_cpu_ns == 0 {
+            0.0
+        } else {
+            self.packets() as f64 * 1e9 / self.host_cpu_ns as f64
         }
     }
 
@@ -260,48 +334,63 @@ pub fn make_packets(n: usize) -> Vec<Vec<u8>> {
 
 /// The generic sharded-execution scaffold shared by the proto-count
 /// dispatch engine and the net-flow engine ([`crate::netflows`]): spawns
-/// one worker per shard inside a crossbeam scope, feeds `items` (already
-/// tagged with their target shard) in iteration order — so each shard's
-/// channel sees the global order restricted to that shard, independent
-/// of thread scheduling — and returns the per-shard results in shard-id
-/// order.
+/// one worker per shard inside a thread scope, feeds `items` (already
+/// tagged with their target shard) in iteration order through batched
+/// SPSC rings — so each shard's ring sees the global order restricted to
+/// that shard, independent of thread scheduling — and returns the
+/// per-shard results in shard-id order.
+///
+/// Worker panics are contained: every shard is joined explicitly, a dead
+/// shard's ring drops further feed silently, and the first panic comes
+/// back as [`DispatchError::ShardPanicked`] instead of tearing down the
+/// process.
 pub(crate) fn run_sharded<T, R, F>(
     shards: usize,
     items: impl Iterator<Item = (usize, T)>,
     worker: F,
-) -> Vec<R>
+) -> Result<Vec<R>, DispatchError>
 where
     T: Send,
     R: Send,
-    F: Fn(usize, channel::Receiver<T>) -> R + Sync,
+    F: Fn(usize, spsc::Consumer<T>) -> R + Sync,
 {
     let shards = shards.max(1);
-    let mut senders = Vec::with_capacity(shards);
-    let mut receivers = Vec::with_capacity(shards);
+    let mut producers = Vec::with_capacity(shards);
+    let mut consumers = Vec::with_capacity(shards);
     for _ in 0..shards {
-        let (tx, rx) = channel::unbounded::<T>();
-        senders.push(tx);
-        receivers.push(rx);
+        let (tx, rx) = spsc::ring::<T>(spsc::DEFAULT_SLOTS, spsc::DEFAULT_BATCH);
+        producers.push(tx);
+        consumers.push(rx);
     }
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let worker = &worker;
-        let handles: Vec<_> = receivers
+        let handles: Vec<_> = consumers
             .into_iter()
             .enumerate()
-            .map(|(shard, rx)| scope.spawn(move |_| worker(shard, rx)))
+            .map(|(shard, rx)| scope.spawn(move || worker(shard, rx)))
             .collect();
         for (shard, item) in items {
-            if senders[shard].send(item).is_err() {
-                unreachable!("shard receiver dropped before feed finished");
+            producers[shard].send(item);
+        }
+        drop(producers);
+        let mut reports = Vec::with_capacity(shards);
+        let mut failure: Option<DispatchError> = None;
+        for (shard, handle) in handles.into_iter().enumerate() {
+            // join() consumes the panic payload, so the scope won't
+            // re-raise it; surface the first one as a typed error.
+            match handle.join() {
+                Ok(report) => reports.push(report),
+                Err(payload) => {
+                    let msg = panic_msg(payload);
+                    failure.get_or_insert(DispatchError::ShardPanicked { shard, msg });
+                }
             }
         }
-        drop(senders);
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard panicked"))
-            .collect::<Vec<R>>()
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(reports),
+        }
     })
-    .expect("sharded scope")
 }
 
 /// One shard's private world: kernel (pinned CPU), maps, and the per-CPU
@@ -343,16 +432,20 @@ impl ShardEnv {
     /// Sums the per-CPU map's slots for each protocol class. The shard
     /// only ever ran pinned, so all counts sit in its own CPU slot, but
     /// summing every slot asserts nothing leaked into foreign slots.
-    fn proto_counts(&self) -> [u64; PROTO_CLASSES] {
-        let map = self.maps.get(self.counts_fd).expect("counts map");
+    /// A vanished map or out-of-range slot comes back as the matching
+    /// typed [`MapError`] rather than a panic.
+    fn proto_counts(&self) -> Result<[u64; PROTO_CLASSES], MapError> {
+        let map = self.maps.get(self.counts_fd).ok_or(MapError::NotFound)?;
         let mut out = [0u64; PROTO_CLASSES];
         for cpu in 0..self.kernel.cpus.nr_cpus() {
             for (proto, total) in out.iter_mut().enumerate() {
-                let addr = map.elem_addr(proto as u32, cpu).expect("in range");
+                let addr = map
+                    .elem_addr(proto as u32, cpu)
+                    .ok_or(MapError::IndexOutOfRange)?;
                 *total += self.kernel.mem.read_u64(addr).unwrap_or(0);
             }
         }
-        out
+        Ok(out)
     }
 
     fn finish(
@@ -362,8 +455,9 @@ impl ShardEnv {
         accepted: u64,
         errors: u64,
         mut trace_log: Vec<TraceEvent>,
-    ) -> ShardReport {
-        let proto_counts = self.proto_counts();
+        host_cpu_ns: u64,
+    ) -> Result<ShardReport, MapError> {
+        let proto_counts = self.proto_counts()?;
         // A per-shard summary event makes the merged fingerprint
         // content-bearing even for fault-free batches: it pins the
         // shard's packet subsequence, outcomes, per-CPU counts, and
@@ -391,7 +485,7 @@ impl ShardEnv {
             0,
             "trace ring overflowed on shard {shard}; span balance is void"
         );
-        ShardReport {
+        Ok(ShardReport {
             shard,
             packets,
             accepted,
@@ -399,44 +493,45 @@ impl ShardEnv {
             injected,
             proto_counts,
             sim_ns: self.kernel.clock.now_ns(),
+            host_cpu_ns,
             pristine: self.kernel.health().pristine(),
             audit: self.kernel.audit.snapshot(),
             trace: trace_log,
             metrics: self.kernel.metrics.snapshot(),
-        }
+        })
     }
 }
 
 fn run_shard_ebpf(
     cfg: &DispatchConfig,
     shard: usize,
-    rx: channel::Receiver<(u64, Vec<u8>)>,
-) -> ShardReport {
+    rx: spsc::Consumer<(u64, &[u8])>,
+) -> Result<ShardReport, DispatchError> {
+    let cpu_t0 = thread_cpu_ns();
     let env = ShardEnv::boot(cfg, shard);
     let helpers = HelperRegistry::standard();
     let mut vm = Vm::new(&env.kernel, &env.maps, &helpers);
     let prog = workloads::packet_filter(env.counts_fd);
-    let prog = if cfg.jit {
-        // The validating identity transform: jitted text is
-        // instruction-identical, so traces and costs match the
-        // interpreter exactly.
-        jit_compile(&prog, JitConfig::default())
-            .expect("workload jit-compiles")
+    let id = if cfg.jit {
+        // The compiled lane: lowered IR with folded fuel checks and
+        // resolved helper call sites. Observationally identical to the
+        // interpreter, so traces, costs, and audit bytes don't move.
+        vm.load_jit(prog, JitConfig::default())
+            .expect("workload lowers")
             .0
     } else {
-        prog
+        vm.load(prog)
     };
-    let id = vm.load(prog);
     let (mut packets, mut accepted, mut errors) = (0u64, 0u64, 0u64);
     let mut trace_log: Vec<TraceEvent> = Vec::new();
-    for (index, payload) in rx.iter() {
+    for (index, payload) in rx {
         packets += 1;
         env.kernel.trace.begin_task(index);
         let dispatch_span = env
             .kernel
             .trace
             .span(SpanKind::Dispatch, payload.len() as u64);
-        let outcome = vm.run(id, CtxInput::Packet(payload)).result;
+        let outcome = vm.run_packet(id, payload).result;
         drop(dispatch_span);
         env.kernel.trace.end_task();
         // Per-packet ring drain: batch size is then unbounded by the
@@ -449,14 +544,17 @@ fn run_shard_ebpf(
             Err(_) => errors += 1,
         }
     }
-    env.finish(shard, packets, accepted, errors, trace_log)
+    let host_cpu_ns = thread_cpu_ns().saturating_sub(cpu_t0);
+    env.finish(shard, packets, accepted, errors, trace_log, host_cpu_ns)
+        .map_err(|err| DispatchError::Map { shard, err })
 }
 
 fn run_shard_safe(
     cfg: &DispatchConfig,
     shard: usize,
-    rx: channel::Receiver<(u64, Vec<u8>)>,
-) -> ShardReport {
+    rx: spsc::Consumer<(u64, &[u8])>,
+) -> Result<ShardReport, DispatchError> {
+    let cpu_t0 = thread_cpu_ns();
     let env = ShardEnv::boot(cfg, shard);
     let quarantine = Arc::new(Quarantine::new(cfg.quarantine_threshold));
     let runtime = Runtime::new(&env.kernel, &env.maps).with_quarantine(quarantine);
@@ -473,14 +571,14 @@ fn run_shard_safe(
     });
     let (mut packets, mut accepted, mut errors) = (0u64, 0u64, 0u64);
     let mut trace_log: Vec<TraceEvent> = Vec::new();
-    for (index, payload) in rx.iter() {
+    for (index, payload) in rx {
         packets += 1;
         env.kernel.trace.begin_task(index);
         let dispatch_span = env
             .kernel
             .trace
             .span(SpanKind::Dispatch, payload.len() as u64);
-        let outcome = runtime.run(&ext, ExtInput::Packet(payload)).result;
+        let outcome = runtime.run(&ext, ExtInput::Packet(payload.to_vec())).result;
         drop(dispatch_span);
         env.kernel.trace.end_task();
         if cfg.trace {
@@ -491,27 +589,37 @@ fn run_shard_safe(
             Err(_) => errors += 1,
         }
     }
-    env.finish(shard, packets, accepted, errors, trace_log)
+    let host_cpu_ns = thread_cpu_ns().saturating_sub(cpu_t0);
+    env.finish(shard, packets, accepted, errors, trace_log, host_cpu_ns)
+        .map_err(|err| DispatchError::Map { shard, err })
 }
 
 /// Dispatches `packets` over `cfg.shards` concurrent shards through
 /// `backend` and merges the results deterministically.
-pub fn run_batched(backend: Backend, cfg: &DispatchConfig, packets: &[Vec<u8>]) -> DispatchReport {
+///
+/// Shard panics and map-recovery failures come back as
+/// [`DispatchError`] instead of aborting the process.
+pub fn run_batched(
+    backend: Backend,
+    cfg: &DispatchConfig,
+    packets: &[Vec<u8>],
+) -> Result<DispatchReport, DispatchError> {
     let shards = cfg.shards.max(1);
     let started = Instant::now();
 
     // Feed the batch in global order; per-shard arrival order is the
     // global order restricted to the shard, independent of scheduling.
-    let items = packets.iter().enumerate().map(|(i, pkt)| {
-        (
-            shard_of(cfg.seed, i as u64, shards),
-            (i as u64, pkt.clone()),
-        )
-    });
+    // Payloads are fed by reference: the per-run copy happens on the
+    // worker thread, keeping the feeder off the host critical path.
+    let items = packets
+        .iter()
+        .enumerate()
+        .map(|(i, pkt)| (shard_of(cfg.seed, i as u64, shards), (i as u64, &pkt[..])));
     let reports = run_sharded(shards, items, |shard, rx| match backend {
         Backend::Ebpf => run_shard_ebpf(cfg, shard, rx),
         Backend::SafeExt => run_shard_safe(cfg, shard, rx),
-    });
+    })?;
+    let reports = reports.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let elapsed_ns = started.elapsed().as_nanos() as u64;
 
@@ -536,16 +644,18 @@ pub fn run_batched(backend: Backend, cfg: &DispatchConfig, packets: &[Vec<u8>]) 
     }
 
     let sim_elapsed_ns = reports.iter().map(|r| r.sim_ns).max().unwrap_or(0);
+    let host_cpu_ns = reports.iter().map(|r| r.host_cpu_ns).max().unwrap_or(0);
 
-    DispatchReport {
+    Ok(DispatchReport {
         shards: reports,
         merged_fingerprint: merged,
         trace_fingerprint: trace_fp,
         canonical_trace,
         metrics,
         elapsed_ns,
+        host_cpu_ns,
         sim_elapsed_ns,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -574,6 +684,64 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_surfaces_as_typed_error() {
+        // Shard 1 dies mid-run; the feeder must keep draining (its ring
+        // degrades to dropping), the other shards finish, and the panic
+        // comes back as a typed error instead of aborting the process.
+        let items = (0..1000usize).map(|i| (i % 3, i as u64));
+        let err = run_sharded(3, items, |shard, rx: spsc::Consumer<u64>| {
+            let mut sum = 0u64;
+            for item in rx {
+                if shard == 1 && item >= 100 {
+                    panic!("shard exploded on item {item}");
+                }
+                sum += item;
+            }
+            sum
+        })
+        .expect_err("the panicking shard must fail the run");
+        match err {
+            DispatchError::ShardPanicked { shard, msg } => {
+                assert_eq!(shard, 1);
+                assert!(msg.contains("shard exploded"), "payload lost: {msg}");
+            }
+            other => panic!("expected ShardPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jit_lane_matches_interpreter_fingerprint() {
+        // Flipping the compiled lane on must not change a single audit
+        // byte, canonical trace, or simulated cost.
+        let batch = make_packets(96);
+        for shards in [1usize, 4] {
+            let base_cfg = DispatchConfig {
+                shards,
+                seed: 12,
+                trace: true,
+                jit: false,
+                ..Default::default()
+            };
+            let jit_cfg = DispatchConfig {
+                jit: true,
+                ..base_cfg.clone()
+            };
+            let base = run_batched(Backend::Ebpf, &base_cfg, &batch).expect("dispatch");
+            let jit = run_batched(Backend::Ebpf, &jit_cfg, &batch).expect("dispatch");
+            assert_eq!(
+                base.merged_fingerprint, jit.merged_fingerprint,
+                "{shards} shards: compiled lane changed the merged audit"
+            );
+            assert_eq!(
+                base.canonical_trace, jit.canonical_trace,
+                "{shards} shards: compiled lane changed the trace"
+            );
+            assert_eq!(base.sim_elapsed_ns, jit.sim_elapsed_ns);
+            assert_eq!(base.metrics, jit.metrics);
+        }
+    }
+
+    #[test]
     fn single_shard_batch_counts_protocols() {
         let cfg = DispatchConfig {
             shards: 1,
@@ -582,7 +750,7 @@ mod tests {
         };
         let batch = make_packets(64);
         for backend in [Backend::Ebpf, Backend::SafeExt] {
-            let report = run_batched(backend, &cfg, &batch);
+            let report = run_batched(backend, &cfg, &batch).expect("dispatch");
             assert_eq!(report.packets(), 64, "{backend:?}");
             assert_eq!(report.errors(), 0, "{backend:?}");
             // make_packets round-robins protocol classes.
@@ -605,7 +773,7 @@ mod tests {
                         seed: 5,
                         ..Default::default()
                     };
-                    let r = run_batched(backend, &cfg, &batch);
+                    let r = run_batched(backend, &cfg, &batch).expect("dispatch");
                     (r.packets(), r.accepted(), r.proto_counts())
                 })
                 .collect();
@@ -626,7 +794,9 @@ mod tests {
                         seed: 3,
                         ..Default::default()
                     };
-                    run_batched(backend, &cfg, &batch).sim_elapsed_ns
+                    run_batched(backend, &cfg, &batch)
+                        .expect("dispatch")
+                        .sim_elapsed_ns
                 })
                 .collect();
             // Four simulated CPUs split the work, so the busiest shard's
@@ -650,8 +820,8 @@ mod tests {
                 fault: Some(FaultPlanConfig::default()),
                 ..Default::default()
             };
-            let a = run_batched(backend, &cfg, &batch);
-            let b = run_batched(backend, &cfg, &batch);
+            let a = run_batched(backend, &cfg, &batch).expect("dispatch");
+            let b = run_batched(backend, &cfg, &batch).expect("dispatch");
             assert_eq!(
                 a.merged_fingerprint, b.merged_fingerprint,
                 "{backend:?}: replay diverged"

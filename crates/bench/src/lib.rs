@@ -7,6 +7,8 @@
 
 pub mod dispatch;
 pub mod experiments;
+pub mod hostclock;
 pub mod ladder;
 pub mod netflows;
+pub mod spsc;
 pub mod workloads;

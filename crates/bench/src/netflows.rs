@@ -57,12 +57,12 @@
 
 use std::time::Instant;
 
-use crossbeam::channel;
 use ebpf::asm::Asm;
 use ebpf::helpers::{self, HelperRegistry};
 use ebpf::insn::*;
 use ebpf::interp::{CtxInput, Vm};
-use ebpf::maps::{MapDef, MapRegistry};
+use ebpf::jit::JitConfig;
+use ebpf::maps::{MapDef, MapError, MapRegistry};
 use ebpf::program::{ProgType, Program};
 use kernel_sim::audit::{merged_fingerprint, AuditEvent, EventKind};
 use kernel_sim::net::conntrack::CtState;
@@ -73,7 +73,9 @@ use kernel_sim::percpu::CpuInfo;
 use kernel_sim::{FaultPlan, FaultPlanConfig, Kernel, MetricsSnapshot};
 use safe_ext::{ExtInput, Extension, Runtime};
 
-use crate::dispatch::{run_sharded, splitmix64, Backend};
+use crate::dispatch::{run_sharded, splitmix64, Backend, DispatchError};
+use crate::hostclock::thread_cpu_ns;
+use crate::spsc;
 
 /// Half-open connections a single source may hold before its SYNs drop.
 pub const SYN_HALFOPEN_THRESHOLD: u64 = 4;
@@ -535,6 +537,9 @@ pub struct NetShardReport {
     pub metrics: MetricsSnapshot,
     /// The shard's virtual-clock reading after the batch.
     pub sim_ns: u64,
+    /// Host CPU time the shard's worker thread consumed, nanoseconds;
+    /// parked ring waits cost nothing. Host-dependent, capacity only.
+    pub host_cpu_ns: u64,
     /// Whether the shard kernel finished pristine.
     pub pristine: bool,
 }
@@ -557,6 +562,9 @@ pub struct NetDispatchReport {
     pub metrics: MetricsSnapshot,
     /// Host wall-clock for the batch (informational only).
     pub elapsed_ns: u64,
+    /// Busiest shard's host CPU time: the host critical path, which
+    /// shows parallel capacity even on a single-core host.
+    pub host_cpu_ns: u64,
     /// Busiest shard's virtual-clock advance: the deterministic scaling
     /// metric.
     pub sim_elapsed_ns: u64,
@@ -624,6 +632,16 @@ impl NetDispatchReport {
             self.packets() as f64 * 1e9 / self.sim_elapsed_ns as f64
         }
     }
+
+    /// Frames per second of host CPU time on the busiest shard: the
+    /// host-side parallel-capacity metric.
+    pub fn packets_per_host_cpu_sec(&self) -> f64 {
+        if self.host_cpu_ns == 0 {
+            0.0
+        } else {
+            self.packets() as f64 * 1e9 / self.host_cpu_ns as f64
+        }
+    }
 }
 
 fn total_injected(kernel: &Kernel) -> u64 {
@@ -635,22 +653,26 @@ fn total_injected(kernel: &Kernel) -> u64 {
 }
 
 /// Runs one shard's subsequence through `run` (a backend-specific
-/// single-packet executor), collecting the canonical records.
+/// single-packet executor), collecting the canonical records. Map
+/// errors while recovering backend counts come back typed instead of
+/// panicking the worker.
+#[allow(clippy::too_many_arguments)]
 fn drive_shard<F>(
     kernel: &Kernel,
     maps: &MapRegistry,
     cfg: &NetConfig,
     shard: usize,
     fd: u32,
-    rx: channel::Receiver<(u64, Frame)>,
+    rx: spsc::Consumer<(u64, &Frame)>,
+    cpu_t0: u64,
     mut run: F,
-) -> NetShardReport
+) -> Result<NetShardReport, MapError>
 where
     F: FnMut(Vec<u8>) -> Option<u64>,
 {
     let mut records = Vec::new();
     let mut injected_total = 0u64;
-    for (idx, frame) in rx.iter() {
+    for (idx, frame) in rx {
         // Fresh per-packet fault plan: injection decisions become a pure
         // function of the packet's global index.
         if let Some(fault) = &cfg.fault {
@@ -685,10 +707,12 @@ where
     let rx_snap = kernel.net.rx.snapshot();
     let backend_counts = match cfg.scenario {
         NetScenario::LoadBalancer => {
-            let map = maps.get(fd).expect("lb map");
+            let map = maps.get(fd).ok_or(MapError::NotFound)?;
             let mut out = [0u64; LB_BACKENDS];
             for (i, slot) in out.iter_mut().enumerate() {
-                let addr = map.elem_addr(i as u32, 0).expect("in range");
+                let addr = map
+                    .elem_addr(i as u32, 0)
+                    .ok_or(MapError::IndexOutOfRange)?;
                 *slot = kernel.mem.read_u64(addr).unwrap_or(0);
             }
             out
@@ -710,7 +734,7 @@ where
             rx_snap.aborted,
         ),
     );
-    NetShardReport {
+    Ok(NetShardReport {
         shard,
         packets: records.len() as u64,
         rx: rx_snap,
@@ -719,18 +743,20 @@ where
         flow_log: kernel.net.conntrack.flow_log_fingerprint(),
         backend_counts,
         sim_ns: kernel.clock.now_ns(),
+        host_cpu_ns: thread_cpu_ns().saturating_sub(cpu_t0),
         pristine: kernel.health().pristine(),
         audit: kernel.audit.snapshot(),
         metrics: kernel.metrics.snapshot(),
-    }
+    })
 }
 
 fn run_net_shard(
     backend: Backend,
     cfg: &NetConfig,
     shard: usize,
-    rx: channel::Receiver<(u64, Frame)>,
-) -> NetShardReport {
+    rx: spsc::Consumer<(u64, &Frame)>,
+) -> Result<NetShardReport, DispatchError> {
+    let cpu_t0 = thread_cpu_ns();
     let kernel = Kernel::with_topology(CpuInfo::pinned(cfg.shards.max(1), shard));
     let maps = MapRegistry::default();
     let fd = cfg.scenario.setup(&kernel, &maps);
@@ -738,8 +764,13 @@ fn run_net_shard(
         Backend::Ebpf => {
             let helpers = HelperRegistry::standard();
             let mut vm = Vm::new(&kernel, &maps, &helpers);
-            let id = vm.load(cfg.scenario.program(fd));
-            drive_shard(&kernel, &maps, cfg, shard, fd, rx, |bytes| {
+            // The compiled lane: observationally identical to the
+            // interpreter (canonical logs, cost_ns, and audit bytes are
+            // pinned by the shard-invariance tests), just faster.
+            let (id, _stats) = vm
+                .load_jit(cfg.scenario.program(fd), JitConfig::default())
+                .expect("scenario program lowers");
+            drive_shard(&kernel, &maps, cfg, shard, fd, rx, cpu_t0, |bytes| {
                 vm.run(id, CtxInput::Packet(bytes)).result.ok()
             })
         }
@@ -749,28 +780,39 @@ fn run_net_shard(
             // verdicts depend on which flows share a shard.
             let runtime = Runtime::new(&kernel, &maps);
             let ext = cfg.scenario.extension(fd);
-            drive_shard(&kernel, &maps, cfg, shard, fd, rx, |bytes| {
+            drive_shard(&kernel, &maps, cfg, shard, fd, rx, cpu_t0, |bytes| {
                 runtime.run(&ext, ExtInput::Packet(bytes)).result.ok()
             })
         }
     }
+    .map_err(|err| DispatchError::Map { shard, err })
 }
 
 /// Dispatches `frames` over `cfg.shards` flow-steered shards through
 /// `backend` and merges the results deterministically.
-pub fn run_net_batched(backend: Backend, cfg: &NetConfig, frames: &[Frame]) -> NetDispatchReport {
+///
+/// Shard panics and map-recovery failures come back as
+/// [`DispatchError`] instead of aborting the process.
+pub fn run_net_batched(
+    backend: Backend,
+    cfg: &NetConfig,
+    frames: &[Frame],
+) -> Result<NetDispatchReport, DispatchError> {
     let shards = cfg.shards.max(1);
     let started = Instant::now();
 
+    // Frames are fed by reference; each worker clones only the payload
+    // bytes it actually runs, keeping the feeder thread cheap.
     let items = frames.iter().enumerate().map(|(i, frame)| {
         (
             steer_shard(cfg.seed, &frame.bytes, shards),
-            (i as u64, frame.clone()),
+            (i as u64, frame),
         )
     });
     let reports = run_sharded(shards, items, |shard, rx| {
         run_net_shard(backend, cfg, shard, rx)
-    });
+    })?;
+    let reports = reports.into_iter().collect::<Result<Vec<_>, _>>()?;
 
     let elapsed_ns = started.elapsed().as_nanos() as u64;
 
@@ -795,16 +837,18 @@ pub fn run_net_batched(backend: Backend, cfg: &NetConfig, frames: &[Frame]) -> N
         metrics.merge(&r.metrics);
     }
     let sim_elapsed_ns = reports.iter().map(|r| r.sim_ns).max().unwrap_or(0);
+    let host_cpu_ns = reports.iter().map(|r| r.host_cpu_ns).max().unwrap_or(0);
 
-    NetDispatchReport {
+    Ok(NetDispatchReport {
         shards: reports,
         merged_fingerprint: merged,
         canonical_log,
         sorted_flow_log,
         metrics,
         elapsed_ns,
+        host_cpu_ns,
         sim_elapsed_ns,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -866,7 +910,7 @@ mod tests {
         let frames = generate(&TrafficConfig::default(), 11);
         for backend in [Backend::Ebpf, Backend::SafeExt] {
             let cfg = NetConfig::new(NetScenario::SynFilter, 1, 11);
-            let report = run_net_batched(backend, &cfg, &frames);
+            let report = run_net_batched(backend, &cfg, &frames).expect("net dispatch");
             let cv = report.class_verdicts();
             // Flood: some SYNs pass (filling budgets), the bulk drops.
             assert!(cv[2][1] > 0, "{backend:?}: no flood frames dropped");
@@ -881,8 +925,8 @@ mod tests {
     fn backends_agree_on_verdicts_fault_free() {
         let frames = smoke_frames(5);
         let cfg = NetConfig::new(NetScenario::SynFilter, 1, 5);
-        let ebpf = run_net_batched(Backend::Ebpf, &cfg, &frames);
-        let safe = run_net_batched(Backend::SafeExt, &cfg, &frames);
+        let ebpf = run_net_batched(Backend::Ebpf, &cfg, &frames).expect("net dispatch");
+        let safe = run_net_batched(Backend::SafeExt, &cfg, &frames).expect("net dispatch");
         // Cost differs (the frameworks charge time differently), but the
         // verdict/ct stream and the flow transition log must match.
         let strip = |log: &str| {
@@ -903,7 +947,7 @@ mod tests {
                     .iter()
                     .map(|&shards| {
                         let cfg = NetConfig::new(scenario, shards, 7);
-                        run_net_batched(backend, &cfg, &frames)
+                        run_net_batched(backend, &cfg, &frames).expect("net dispatch")
                     })
                     .collect();
                 for r in &runs[1..] {
@@ -931,7 +975,7 @@ mod tests {
                         fault: Some(FaultPlanConfig::default()),
                         scenario: NetScenario::SynFilter,
                     };
-                    run_net_batched(backend, &cfg, &frames)
+                    run_net_batched(backend, &cfg, &frames).expect("net dispatch")
                 })
                 .collect();
             for r in &runs[1..] {
@@ -957,8 +1001,8 @@ mod tests {
                 fault: Some(FaultPlanConfig::default()),
                 scenario: NetScenario::LoadBalancer,
             };
-            let a = run_net_batched(backend, &cfg, &frames);
-            let b = run_net_batched(backend, &cfg, &frames);
+            let a = run_net_batched(backend, &cfg, &frames).expect("net dispatch");
+            let b = run_net_batched(backend, &cfg, &frames).expect("net dispatch");
             assert_eq!(
                 a.merged_fingerprint, b.merged_fingerprint,
                 "{backend:?}: replay diverged"
@@ -972,7 +1016,7 @@ mod tests {
         let frames = smoke_frames(19);
         for backend in [Backend::Ebpf, Backend::SafeExt] {
             let cfg = NetConfig::new(NetScenario::LoadBalancer, 1, 19);
-            let report = run_net_batched(backend, &cfg, &frames);
+            let report = run_net_batched(backend, &cfg, &frames).expect("net dispatch");
             let rx = report.rx_totals();
             assert!(rx.tx > 0, "{backend:?}: nothing transmitted");
             let counts = report.backend_counts();

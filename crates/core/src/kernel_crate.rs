@@ -121,7 +121,7 @@ impl<'k> ExtCtx<'k> {
         ExtCtx {
             kernel,
             maps,
-            exec: ExecCtx::new(),
+            exec: ExecCtx::for_kernel(kernel),
             cleanup: CleanupRegistry::with_capacity(cleanup_capacity),
             meter,
             pool,

@@ -474,6 +474,12 @@ impl<'k> Runtime<'k> {
         let leak_report = ctx.exec.finish(self.kernel);
         let fuel_used = ctx.fuel_used();
         let printk = ctx.take_printk();
+        // Free the packet skb: without this every packet run leaked its
+        // payload region and skb-table entry, growing the address space
+        // without bound over a long batch.
+        if let Some(skb) = &skb {
+            let _ = self.kernel.objects.free_skb(&self.kernel.mem, skb.id);
+        }
 
         let metrics = &self.kernel.metrics;
         Metrics::bump(&metrics.runs, 1);

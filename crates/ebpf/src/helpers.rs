@@ -1117,10 +1117,18 @@ fn h_map_lookup_elem(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Hel
         Ok(m) => m,
         Err(e) => return Ok(e),
     };
-    let key = ctx
-        .kernel
-        .mem
-        .read_bytes(args[1], map.def.key_size as u64)?;
+    // Lookup is the hottest helper; small keys read through a stack
+    // buffer instead of a fresh allocation per call.
+    let mut kbuf = [0u8; 64];
+    let key_vec;
+    let ks = map.def.key_size as usize;
+    let key: &[u8] = if ks <= kbuf.len() {
+        ctx.kernel.mem.read_into(args[1], &mut kbuf[..ks])?;
+        &kbuf[..ks]
+    } else {
+        key_vec = ctx.kernel.mem.read_bytes(args[1], ks as u64)?;
+        &key_vec
+    };
     let cpu = ctx.kernel.cpus.current_cpu();
     // The buggy address path exists only in bug-reproduction builds; in a
     // normal build the `array_map_overflow` toggle is inert and every
@@ -1142,7 +1150,7 @@ fn h_map_lookup_elem(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, Hel
             }
         }
     }
-    match map.lookup(&key, cpu) {
+    match map.lookup(key, cpu) {
         Ok(Some(addr)) => Ok(addr),
         Ok(None) => Ok(0),
         Err(MapError::Fault(f)) => Err(f.into()),

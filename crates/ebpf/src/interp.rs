@@ -22,8 +22,9 @@ use kernel_sim::{
 
 use crate::{
     helpers::{
-        neg_errno, tagged, untag, FaultConfig, HelperCtx, HelperError, HelperRegistry, RetType,
-        RunState, BPF_LOOP, BPF_TAIL_CALL, E2BIG, EAGAIN, EINVAL, FUNC_PTR_TAG, MAP_PTR_TAG,
+        neg_errno, tagged, untag, FaultConfig, HelperCtx, HelperError, HelperImpl, HelperRegistry,
+        RetType, RunState, BPF_LOOP, BPF_TAIL_CALL, E2BIG, EAGAIN, EINVAL, FUNC_PTR_TAG,
+        MAP_PTR_TAG,
     },
     insn::{
         lddw_imm, Insn, BPF_ADD, BPF_ALU, BPF_ALU64, BPF_AND, BPF_ARSH, BPF_ATOMIC, BPF_ATOMIC_ADD,
@@ -34,6 +35,7 @@ use crate::{
         BPF_PSEUDO_FUNC, BPF_PSEUDO_MAP_FD, BPF_RSH, BPF_ST, BPF_STACK_SIZE, BPF_STX, BPF_SUB,
         BPF_XCHG, BPF_XOR,
     },
+    jit::{jit_lower, JitConfig, JitError, JitStats, JumpTarget, LowOp, Src},
     maps::MapRegistry,
     program::{ProgType, Program},
 };
@@ -83,6 +85,28 @@ pub enum CtxInput {
     Kprobe([u64; 8]),
     /// A tracepoint record.
     Tracepoint([u64; 4]),
+}
+
+impl CtxInput {
+    fn as_ref(&self) -> CtxRef<'_> {
+        match self {
+            CtxInput::None => CtxRef::None,
+            CtxInput::Packet(payload) => CtxRef::Packet(payload),
+            CtxInput::Kprobe(regs) => CtxRef::Kprobe(regs),
+            CtxInput::Tracepoint(fields) => CtxRef::Tracepoint(fields),
+        }
+    }
+}
+
+/// Borrowed view of a [`CtxInput`]: hot callers (the dispatch shard
+/// loop) run packet programs straight off a shared payload slice
+/// without allocating a per-packet buffer first.
+#[derive(Debug, Clone, Copy)]
+enum CtxRef<'a> {
+    None,
+    Packet(&'a [u8]),
+    Kprobe(&'a [u64; 8]),
+    Tracepoint(&'a [u64; 4]),
 }
 
 /// Why a run failed.
@@ -147,6 +171,13 @@ pub enum ExecError {
         /// The requested program id.
         id: u32,
     },
+    /// The program ends in the middle of an LDDW pair. The JIT lane
+    /// rejects this at compile time ([`JitError::TruncatedLddw`]); the
+    /// interpreter lane rejects it identically before executing anything.
+    TruncatedLddw {
+        /// The dangling first slot.
+        pc: usize,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -167,6 +198,7 @@ impl std::fmt::Display for ExecError {
             ExecError::UnknownHelper { id, pc } => write!(f, "unknown helper {id} at pc {pc}"),
             ExecError::TailCallInSubprog { pc } => write!(f, "tail call in subprogram at pc {pc}"),
             ExecError::NoSuchProgram { id } => write!(f, "program {id} has not been loaded"),
+            ExecError::TruncatedLddw { pc } => write!(f, "truncated LDDW at pc {pc}"),
         }
     }
 }
@@ -221,7 +253,61 @@ pub struct Vm<'a> {
     pub faults: FaultConfig,
     /// Interpreter configuration.
     pub config: VmConfig,
-    programs: Vec<Program>,
+    programs: Vec<LoadedProg>,
+}
+
+/// A loaded program in one of the two execution forms. Tail calls may
+/// cross freely between forms: the prog-array slot only stores an id.
+enum LoadedProg {
+    /// Raw bytecode, decoded on every execution.
+    Interp {
+        prog: Program,
+        /// Set when the text ends mid-LDDW: the run is rejected up front,
+        /// mirroring the JIT lane's compile-time `TruncatedLddw`.
+        truncated: Option<usize>,
+    },
+    /// Lowered by [`jit_lower`], executed by the compiled lane.
+    Jit(Box<JitLoaded>),
+}
+
+impl LoadedProg {
+    fn prog(&self) -> &Program {
+        match self {
+            LoadedProg::Interp { prog, .. } => prog,
+            LoadedProg::Jit(j) => &j.prog,
+        }
+    }
+}
+
+/// A program lowered for the compiled lane: the IR, the fuel chunk
+/// table, and every helper call site resolved to a direct function
+/// pointer (the runtime table walk is paid once, at load).
+struct JitLoaded {
+    /// The *original* program: error paths and audit records must name
+    /// it exactly as the interpreter would.
+    prog: Program,
+    ops: Vec<LowOp>,
+    chunk: Vec<u32>,
+    /// Per-slot resolved helper: `Some((imp, ret))` for `LowOp::Call`
+    /// slots whose id is registered, `None` otherwise.
+    calls: Vec<Option<(HelperImpl, RetType)>>,
+}
+
+/// Detects a program whose linear text ends inside an LDDW pair,
+/// byte-compatible with the JIT lane's compile-time walk.
+fn truncated_lddw(insns: &[Insn]) -> Option<usize> {
+    let mut pc = 0usize;
+    while pc < insns.len() {
+        if insns[pc].is_lddw() {
+            if pc + 1 >= insns.len() {
+                return Some(pc);
+            }
+            pc += 2;
+        } else {
+            pc += 1;
+        }
+    }
+    None
 }
 
 enum FnExit {
@@ -266,11 +352,48 @@ impl<'a> Vm<'a> {
         self
     }
 
-    /// Loads a program, returning its index (usable in prog-array maps).
+    /// Loads a program for interpretation, returning its index (usable in
+    /// prog-array maps).
     pub fn load(&mut self, prog: Program) -> u32 {
         let id = self.programs.len() as u32;
-        self.programs.push(prog);
+        let truncated = truncated_lddw(&prog.insns);
+        self.programs.push(LoadedProg::Interp { prog, truncated });
         id
+    }
+
+    /// Lowers a program through the JIT and loads the compiled form,
+    /// returning its index and the compilation statistics.
+    ///
+    /// The compiled lane is observationally identical to the interpreter
+    /// — same results, fuel accounting, audit and trace records — unless
+    /// [`JitConfig::branch_offset_bug`] is armed, in which case it
+    /// faithfully replicates the CVE-2021-29154 miscompile.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the validation failures of [`crate::jit::jit_compile`].
+    pub fn load_jit(
+        &mut self,
+        prog: Program,
+        config: JitConfig,
+    ) -> Result<(u32, JitStats), JitError> {
+        let lowered = jit_lower(&prog, config)?;
+        let calls = lowered
+            .ops
+            .iter()
+            .map(|op| match op {
+                LowOp::Call { id } => self.helpers.get(*id).map(|h| (h.imp, h.spec.ret)),
+                _ => None,
+            })
+            .collect();
+        let id = self.programs.len() as u32;
+        self.programs.push(LoadedProg::Jit(Box::new(JitLoaded {
+            prog,
+            ops: lowered.ops,
+            chunk: lowered.chunk,
+            calls,
+        })));
+        Ok((id, lowered.stats))
     }
 
     /// Number of loaded programs.
@@ -302,10 +425,33 @@ impl<'a> Vm<'a> {
     /// list is empty — yields `ExecError::NoSuchProgram` rather than a
     /// panic, so callers holding stale ids degrade gracefully.
     pub fn run(&self, prog_id: u32, input: CtxInput) -> RunResult {
-        let Some(prog) = self.programs.get(prog_id as usize) else {
+        self.run_ref(prog_id, input.as_ref())
+    }
+
+    /// Runs packet program `prog_id` on a borrowed payload.
+    ///
+    /// Identical to `run(id, CtxInput::Packet(payload.to_vec()))` minus
+    /// the per-packet buffer: the payload is copied exactly once, into
+    /// the skb's checked-memory region.
+    pub fn run_packet(&self, prog_id: u32, payload: &[u8]) -> RunResult {
+        self.run_ref(prog_id, CtxRef::Packet(payload))
+    }
+
+    fn run_ref(&self, prog_id: u32, input: CtxRef<'_>) -> RunResult {
+        let Some(loaded) = self.programs.get(prog_id as usize) else {
             return Self::aborted(ExecError::NoSuchProgram { id: prog_id });
         };
-        let (ctx_addr, ctx_region, skb) = match self.build_ctx(prog.prog_type, &input) {
+        if let LoadedProg::Interp {
+            truncated: Some(pc),
+            ..
+        } = loaded
+        {
+            // The JIT lane rejects mid-LDDW text at compile time; the
+            // interpreter lane rejects it identically before running.
+            return Self::aborted(ExecError::TruncatedLddw { pc: *pc });
+        }
+        let prog = loaded.prog();
+        let (ctx_addr, ctx_region, skb) = match self.build_ctx(prog.prog_type, input) {
             Ok(parts) => parts,
             Err(fault) => return Self::aborted(ExecError::Fault { fault, pc: 0 }),
         };
@@ -318,7 +464,7 @@ impl<'a> Vm<'a> {
             max_depth: 0,
             tail_calls: 0,
             run: RunState::with_seed(self.config.seed),
-            exec: ExecCtx::new(),
+            exec: ExecCtx::for_kernel(self.kernel),
             skb,
         };
         st.regs[1] = ctx_addr;
@@ -329,15 +475,26 @@ impl<'a> Vm<'a> {
             .span(kernel_sim::trace::SpanKind::ProgRun, prog_id as u64);
         // The whole run executes under the RCU read lock, as in the kernel.
         let rcu_guard = self.kernel.rcu.read_lock();
-        let mut current = prog;
+        let mut current = loaded;
         let result;
         loop {
-            match self.exec_function(current, &mut st, 0, ctx_addr) {
+            let step = match current {
+                LoadedProg::Interp { prog, .. } => self.exec_function(prog, &mut st, 0, ctx_addr),
+                LoadedProg::Jit(j) => self.exec_function_jit(j, &mut st, 0, ctx_addr),
+            };
+            match step {
                 Ok(FnExit::Return(v)) => {
                     result = Ok(v);
                     break;
                 }
                 Ok(FnExit::TailCall(next)) => match self.programs.get(next as usize) {
+                    Some(LoadedProg::Interp {
+                        truncated: Some(pc),
+                        ..
+                    }) => {
+                        result = Err(ExecError::TruncatedLddw { pc: *pc });
+                        break;
+                    }
                     Some(p) => {
                         current = p;
                         st.regs = [0; 11];
@@ -363,10 +520,17 @@ impl<'a> Vm<'a> {
 
         let leak_report = st.exec.finish(self.kernel);
         let _ = self.kernel.mem.unmap(ctx_region);
+        // Free the packet skb: without this every packet run leaked its
+        // payload region and skb-table entry, so long batches grew the
+        // address-space map without bound (and every later memory access
+        // paid for the ever-larger region tree).
+        if let Some(skb) = st.skb.take() {
+            let _ = self.kernel.objects.free_skb(&self.kernel.mem, skb.id);
+        }
 
         let metrics = &self.kernel.metrics;
         Metrics::bump(&metrics.runs, 1);
-        if matches!(input, CtxInput::Packet(_)) {
+        if matches!(input, CtxRef::Packet(_)) {
             Metrics::bump(&metrics.packets, 1);
         }
         Metrics::bump(&metrics.helper_calls, st.helper_calls);
@@ -390,7 +554,7 @@ impl<'a> Vm<'a> {
     fn build_ctx(
         &self,
         prog_type: ProgType,
-        input: &CtxInput,
+        input: CtxRef<'_>,
     ) -> Result<(Addr, Addr, Option<SkBuff>), Fault> {
         let layout = prog_type.ctx_layout();
         let ctx = self
@@ -399,24 +563,26 @@ impl<'a> Vm<'a> {
             .map("prog-ctx", layout.size as u64, Perms::rw())?;
         let mut skb = None;
         match input {
-            CtxInput::Packet(payload) => {
+            CtxRef::Packet(payload) => {
                 let sk_buff = self.kernel.objects.create_skb(&self.kernel.mem, payload)?;
-                self.kernel.mem.write_u64(ctx, sk_buff.data)?;
-                self.kernel.mem.write_u64(ctx + 8, sk_buff.data_end())?;
-                self.kernel.mem.write_u64(ctx + 16, sk_buff.len as u64)?;
+                let mut fields = [0u8; 24];
+                fields[..8].copy_from_slice(&sk_buff.data.to_le_bytes());
+                fields[8..16].copy_from_slice(&sk_buff.data_end().to_le_bytes());
+                fields[16..].copy_from_slice(&(sk_buff.len as u64).to_le_bytes());
+                self.kernel.mem.write_from(ctx, &fields)?;
                 skb = Some(sk_buff);
             }
-            CtxInput::Kprobe(regs) => {
+            CtxRef::Kprobe(regs) => {
                 for (i, r) in regs.iter().enumerate() {
                     self.kernel.mem.write_u64(ctx + i as u64 * 8, *r)?;
                 }
             }
-            CtxInput::Tracepoint(fields) => {
+            CtxRef::Tracepoint(fields) => {
                 for (i, v) in fields.iter().enumerate() {
                     self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
                 }
             }
-            CtxInput::None => {}
+            CtxRef::None => {}
         }
         Ok((ctx, ctx, skb))
     }
@@ -565,7 +731,15 @@ impl<'a> Vm<'a> {
                             pc += 1;
                         }
                         BPF_ATOMIC if insn.class() == BPF_STX => {
-                            self.exec_atomic(st, insn, addr, pc, prog)?;
+                            self.exec_atomic(
+                                st,
+                                insn.access_size(),
+                                insn.src,
+                                insn.imm,
+                                addr,
+                                pc,
+                                prog,
+                            )?;
                             pc += 1;
                         }
                         _ => return Err(ExecError::BadInstruction { pc }),
@@ -643,21 +817,23 @@ impl<'a> Vm<'a> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_atomic(
         &self,
         st: &mut St,
-        insn: Insn,
+        size: u8,
+        src: u8,
+        aop: i32,
         addr: Addr,
         pc: usize,
         prog: &Program,
     ) -> Result<(), ExecError> {
-        let size = insn.access_size();
         if size != 4 && size != 8 {
             return Err(ExecError::BadInstruction { pc });
         }
         let mask = if size == 4 { 0xffff_ffff } else { u64::MAX };
-        let src_val = st.regs[insn.src as usize] & mask;
-        let op = insn.imm;
+        let src_val = st.regs[src as usize] & mask;
+        let op = aop;
         let fetch = op & BPF_FETCH != 0;
         let old = match op & !BPF_FETCH {
             x if x == BPF_ATOMIC_ADD => self
@@ -700,7 +876,7 @@ impl<'a> Vm<'a> {
         };
         let old = old.map_err(|fault| self.oops(fault, pc, prog))?;
         if fetch {
-            st.regs[insn.src as usize] = old;
+            st.regs[src as usize] = old;
         }
         Ok(())
     }
@@ -834,10 +1010,390 @@ impl<'a> Vm<'a> {
         }
     }
 
+    /// Charges `units` instructions of fuel in bulk: one clock advance
+    /// per RCU-poll segment instead of one per instruction, with the
+    /// stall detector polled and the instruction budget enforced at
+    /// exactly the same points (count *and* clock value) as the
+    /// per-instruction path.
+    ///
+    /// When a fault plan is armed the virtual clock may inject a forward
+    /// jump per `advance` *call*, so batching would change both the
+    /// injected-jump draw sequence and the timeline; the charge then
+    /// falls back to the interpreter's per-instruction routine.
+    fn charge_bulk(&self, st: &mut St, units: u64) -> Result<(), ExecError> {
+        if self.kernel.inject.get().is_some() || self.kernel.clock.is_perturbed() {
+            for _ in 0..units {
+                self.charge(st, 0)?;
+            }
+            return Ok(());
+        }
+        let t = self.config.time_per_insn_ns;
+        let poll = self.config.rcu_poll_interval;
+        let limit = self.config.max_insns;
+        let before = st.insns;
+        let over = limit.is_some_and(|l| before + units > l);
+        // The unit that crosses the budget still charges its clock tick
+        // (and may poll) before the run aborts, as in `charge`.
+        let n = match limit {
+            Some(l) if over => l - before + 1,
+            _ => units,
+        };
+        if poll == 0 {
+            // `is_multiple_of(0)` never holds for a nonzero count.
+            self.kernel.clock.advance(n * t);
+        } else {
+            let mut done = 0u64;
+            while done < n {
+                let at = before + done;
+                let seg = (poll - at % poll).min(n - done);
+                self.kernel.clock.advance(seg * t);
+                done += seg;
+                if (before + done).is_multiple_of(poll) {
+                    self.kernel.rcu.check_stall(&self.kernel.audit);
+                }
+            }
+        }
+        st.insns = before + n;
+        if over {
+            return Err(ExecError::InsnLimit {
+                limit: limit.unwrap_or_default(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The compiled lane's counterpart of [`Self::exec_function`]: same
+    /// depth accounting and per-call 512-byte stack frame.
+    fn exec_function_jit(
+        &self,
+        j: &JitLoaded,
+        st: &mut St,
+        entry: usize,
+        ctx_addr: Addr,
+    ) -> Result<FnExit, ExecError> {
+        if st.depth >= self.config.max_call_depth {
+            return Err(ExecError::CallDepthExceeded { pc: entry });
+        }
+        st.depth += 1;
+        st.max_depth = st.max_depth.max(st.depth);
+        let frame = self
+            .kernel
+            .mem
+            .map("bpf-stack", BPF_STACK_SIZE, Perms::rw())
+            .map_err(|fault| ExecError::Fault { fault, pc: entry })?;
+        let saved_r10 = st.regs[10];
+        st.regs[10] = frame + BPF_STACK_SIZE;
+
+        let out = self.exec_body_jit(j, st, entry, ctx_addr);
+
+        st.regs[10] = saved_r10;
+        let _ = self.kernel.mem.unmap(frame);
+        st.depth -= 1;
+        out
+    }
+
+    /// Executes lowered ops. Fuel is prepaid per chunk: at each chunk
+    /// head the whole straight-line run (through its terminating
+    /// effectful op) is charged with one bulk advance, then the pure ops
+    /// execute without touching the clock.
+    #[allow(clippy::too_many_lines)]
+    fn exec_body_jit(
+        &self,
+        j: &JitLoaded,
+        st: &mut St,
+        entry: usize,
+        ctx_addr: Addr,
+    ) -> Result<FnExit, ExecError> {
+        let ops = &j.ops;
+        let len = ops.len();
+        let prog = &j.prog;
+        let mut pc = entry;
+        let mut prepaid: u32 = 0;
+        loop {
+            if pc >= len {
+                return Err(ExecError::ControlFlowEscape {
+                    pc,
+                    target: pc as i64,
+                });
+            }
+            if prepaid == 0 {
+                prepaid = j.chunk[pc];
+                self.charge_bulk(st, u64::from(prepaid))?;
+            }
+            let op = ops[pc];
+            prepaid -= op.units();
+            match op {
+                LowOp::Alu { is64, op, dst, src } => {
+                    let src_val = match src {
+                        Src::Reg(r) => st.regs[r as usize],
+                        Src::Imm(v) => v,
+                    };
+                    let dst_val = st.regs[dst as usize];
+                    let result = if is64 {
+                        alu64(op, dst_val, src_val).ok_or(ExecError::BadInstruction { pc })?
+                    } else {
+                        alu32(op, dst_val as u32, src_val as u32)
+                            .ok_or(ExecError::BadInstruction { pc })? as u64
+                    };
+                    st.regs[dst as usize] = result;
+                    pc += 1;
+                }
+                LowOp::End { dst, swap, width } => {
+                    let v = st.regs[dst as usize];
+                    let out = match (swap, width) {
+                        (false, 16) => v & 0xffff,
+                        (false, 32) => v & 0xffff_ffff,
+                        (false, 64) => v,
+                        (true, 16) => (v as u16).swap_bytes() as u64,
+                        (true, 32) => (v as u32).swap_bytes() as u64,
+                        (true, 64) => v.swap_bytes(),
+                        _ => return Err(ExecError::BadInstruction { pc }),
+                    };
+                    st.regs[dst as usize] = out;
+                    pc += 1;
+                }
+                LowOp::Lddw { dst, value } => {
+                    st.regs[dst as usize] = value;
+                    pc += 2;
+                }
+                LowOp::Load {
+                    dst,
+                    src,
+                    off,
+                    size,
+                } => {
+                    let addr = st.regs[src as usize].wrapping_add(off as i64 as u64);
+                    let value = self
+                        .kernel
+                        .mem
+                        .read_sized(addr, size)
+                        .map_err(|fault| self.oops(fault, pc, prog))?;
+                    st.regs[dst as usize] = value;
+                    pc += 1;
+                }
+                LowOp::Store {
+                    dst,
+                    src,
+                    off,
+                    size,
+                } => {
+                    let addr = st.regs[dst as usize].wrapping_add(off as i64 as u64);
+                    let value = match src {
+                        Src::Reg(r) => st.regs[r as usize],
+                        Src::Imm(v) => v,
+                    };
+                    self.kernel
+                        .mem
+                        .write_sized(addr, size, value)
+                        .map_err(|fault| self.oops(fault, pc, prog))?;
+                    pc += 1;
+                }
+                LowOp::Atomic {
+                    dst,
+                    src,
+                    off,
+                    size,
+                    aop,
+                } => {
+                    let addr = st.regs[dst as usize].wrapping_add(off as i64 as u64);
+                    self.exec_atomic(st, size, src, aop, addr, pc, prog)?;
+                    pc += 1;
+                }
+                LowOp::Ja { target } => {
+                    pc = take_jump(target, pc)?;
+                }
+                LowOp::Jcc {
+                    op,
+                    wide,
+                    dst,
+                    src,
+                    target,
+                } => {
+                    let src_val = match src {
+                        Src::Reg(r) => st.regs[r as usize],
+                        Src::Imm(v) => v,
+                    };
+                    let dst_val = st.regs[dst as usize];
+                    let taken = if wide {
+                        jmp_taken(op, dst_val, src_val)
+                    } else {
+                        jmp_taken32(op, dst_val as u32, src_val as u32)
+                    }
+                    .ok_or(ExecError::BadInstruction { pc })?;
+                    if taken {
+                        pc = take_jump(target, pc)?;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                LowOp::Call { id } => match self.exec_helper_call_jit(j, st, id, pc, ctx_addr)? {
+                    Some(exit) => return Ok(exit),
+                    None => pc += 1,
+                },
+                LowOp::CallPseudo { target } => {
+                    let t = match target {
+                        JumpTarget::At(t) => t as usize,
+                        JumpTarget::Escape(target) => {
+                            return Err(ExecError::ControlFlowEscape { pc, target })
+                        }
+                    };
+                    let saved: [u64; 4] = [st.regs[6], st.regs[7], st.regs[8], st.regs[9]];
+                    match self.exec_function_jit(j, st, t, ctx_addr)? {
+                        FnExit::Return(v) => {
+                            st.regs[0] = v;
+                            st.regs[6..10].copy_from_slice(&saved);
+                            for r in 1..=5 {
+                                st.regs[r] = 0;
+                            }
+                        }
+                        FnExit::TailCall(_) => return Err(ExecError::TailCallInSubprog { pc }),
+                    }
+                    pc += 1;
+                }
+                LowOp::Exit => return Ok(FnExit::Return(st.regs[0])),
+                LowOp::Bad => return Err(ExecError::BadInstruction { pc }),
+            }
+        }
+    }
+
+    /// The compiled lane's helper dispatch: identical decision sequence
+    /// to [`Self::exec_helper_call`], with the registry walk replaced by
+    /// the call-site cache resolved at load time.
+    fn exec_helper_call_jit(
+        &self,
+        j: &JitLoaded,
+        st: &mut St,
+        id: u32,
+        pc: usize,
+        ctx_addr: Addr,
+    ) -> Result<Option<FnExit>, ExecError> {
+        st.helper_calls += 1;
+        let _helper_span = self
+            .kernel
+            .trace
+            .span(kernel_sim::trace::SpanKind::HelperCall, id as u64);
+        match id {
+            BPF_TAIL_CALL => {
+                if st.depth > 1 {
+                    return Err(ExecError::TailCallInSubprog { pc });
+                }
+                let map = untag(MAP_PTR_TAG, st.regs[2]).and_then(|fd| self.maps.get(fd as u32));
+                let index = st.regs[3] as u32;
+                if st.tail_calls >= self.config.max_tail_calls {
+                    st.regs[0] = neg_errno(EINVAL);
+                    return Ok(None);
+                }
+                match map.and_then(|m| m.prog_slot(index).ok().flatten()) {
+                    Some(next) => {
+                        st.tail_calls += 1;
+                        Ok(Some(FnExit::TailCall(next)))
+                    }
+                    None => {
+                        st.regs[0] = neg_errno(EINVAL);
+                        Ok(None)
+                    }
+                }
+            }
+            BPF_LOOP => {
+                let nr = st.regs[1];
+                if nr > self.config.max_loop_iterations {
+                    st.regs[0] = neg_errno(E2BIG);
+                    return Ok(None);
+                }
+                let cb_pc = match untag(FUNC_PTR_TAG, st.regs[2]) {
+                    Some(target) if (target as usize) < j.ops.len() => target as usize,
+                    _ => {
+                        st.regs[0] = neg_errno(EINVAL);
+                        return Ok(None);
+                    }
+                };
+                let cb_ctx = st.regs[3];
+                let saved: [u64; 4] = [st.regs[6], st.regs[7], st.regs[8], st.regs[9]];
+                let mut performed = 0u64;
+                for i in 0..nr {
+                    st.regs[1] = i;
+                    st.regs[2] = cb_ctx;
+                    let ret = match self.exec_function_jit(j, st, cb_pc, ctx_addr)? {
+                        FnExit::Return(v) => v,
+                        FnExit::TailCall(_) => return Err(ExecError::TailCallInSubprog { pc }),
+                    };
+                    performed += 1;
+                    if ret != 0 {
+                        break;
+                    }
+                }
+                st.regs[6..10].copy_from_slice(&saved);
+                st.regs[0] = performed;
+                for r in 1..=5 {
+                    st.regs[r] = 0;
+                }
+                Ok(None)
+            }
+            _ => {
+                let resolved = j.calls[pc];
+                if let Some(plane) = self.kernel.inject.get() {
+                    if resolved.is_some() && plane.helper_should_fail(id) {
+                        let ret = match resolved.map(|(_, ret)| ret) {
+                            Some(RetType::Integer) => neg_errno(EAGAIN),
+                            _ => 0,
+                        };
+                        st.regs[0] = ret;
+                        for r in 1..=5 {
+                            st.regs[r] = 0;
+                        }
+                        return Ok(None);
+                    }
+                }
+                let Some((imp, _)) = resolved else {
+                    return Err(ExecError::UnknownHelper { id, pc });
+                };
+                let args = [st.regs[1], st.regs[2], st.regs[3], st.regs[4], st.regs[5]];
+                let mut hctx = HelperCtx {
+                    kernel: self.kernel,
+                    maps: self.maps,
+                    exec: &st.exec,
+                    faults: &self.faults,
+                    prog_type: j.prog.prog_type,
+                    skb: st.skb,
+                    run: &mut st.run,
+                };
+                match imp(&mut hctx, args) {
+                    Ok(v) => {
+                        st.regs[0] = v;
+                        for r in 1..=5 {
+                            st.regs[r] = 0;
+                        }
+                        Ok(None)
+                    }
+                    Err(HelperError::Fault(fault)) => Err(self.oops(fault, pc, &j.prog)),
+                    Err(HelperError::Deadlock(_)) => {
+                        self.kernel
+                            .oops(OopsReason::HardLockup, format!("{}:pc{}", j.prog.name, pc));
+                        Err(ExecError::Deadlock { pc })
+                    }
+                    Err(HelperError::UnknownHelper(id)) => Err(ExecError::UnknownHelper { id, pc }),
+                    Err(other) => Err(ExecError::HelperFailure {
+                        msg: other.to_string(),
+                        pc,
+                    }),
+                }
+            }
+        }
+    }
+
     fn oops(&self, fault: Fault, pc: usize, prog: &Program) -> ExecError {
         self.kernel
             .oops(OopsReason::Fault(fault), format!("{}:pc{}", prog.name, pc));
         ExecError::Fault { fault, pc }
+    }
+}
+
+/// Takes a compile-time-resolved jump edge, surfacing escaped targets
+/// exactly as the interpreter's bounds check does.
+fn take_jump(target: JumpTarget, pc: usize) -> Result<usize, ExecError> {
+    match target {
+        JumpTarget::At(t) => Ok(t as usize),
+        JumpTarget::Escape(target) => Err(ExecError::ControlFlowEscape { pc, target }),
     }
 }
 
@@ -852,7 +1408,7 @@ fn jump_target(pc: usize, off: i16, len: usize) -> Result<usize, ExecError> {
 // The explicit zero checks mirror the kernel's documented div/mod
 // semantics; `checked_div` would obscure that correspondence.
 #[allow(clippy::manual_checked_ops)]
-fn alu64(op: u8, dst: u64, src: u64) -> Option<u64> {
+pub(crate) fn alu64(op: u8, dst: u64, src: u64) -> Option<u64> {
     Some(match op {
         BPF_ADD => dst.wrapping_add(src),
         BPF_SUB => dst.wrapping_sub(src),
@@ -884,7 +1440,7 @@ fn alu64(op: u8, dst: u64, src: u64) -> Option<u64> {
 }
 
 #[allow(clippy::manual_checked_ops)]
-fn alu32(op: u8, dst: u32, src: u32) -> Option<u32> {
+pub(crate) fn alu32(op: u8, dst: u32, src: u32) -> Option<u32> {
     Some(match op {
         BPF_ADD => dst.wrapping_add(src),
         BPF_SUB => dst.wrapping_sub(src),
@@ -915,7 +1471,7 @@ fn alu32(op: u8, dst: u32, src: u32) -> Option<u32> {
     })
 }
 
-fn jmp_taken(op: u8, dst: u64, src: u64) -> Option<bool> {
+pub(crate) fn jmp_taken(op: u8, dst: u64, src: u64) -> Option<bool> {
     Some(match op {
         BPF_JEQ => dst == src,
         BPF_JNE => dst != src,
@@ -932,7 +1488,7 @@ fn jmp_taken(op: u8, dst: u64, src: u64) -> Option<bool> {
     })
 }
 
-fn jmp_taken32(op: u8, dst: u32, src: u32) -> Option<bool> {
+pub(crate) fn jmp_taken32(op: u8, dst: u32, src: u32) -> Option<bool> {
     Some(match op {
         BPF_JEQ => dst == src,
         BPF_JNE => dst != src,

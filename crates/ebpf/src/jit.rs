@@ -1,4 +1,4 @@
-//! The "JIT" stage: validation, pre-decoding, and a faithful compiler bug.
+//! The JIT stage: a genuine lowering pass, and a faithful compiler bug.
 //!
 //! The paper notes (§2.1) that "even a perfectly coded verifier cannot
 //! prevent malicious eBPF programs from exploiting bugs in downstream
@@ -6,17 +6,41 @@
 //! CVE-2021-29154 — a branch-displacement miscalculation that let verified
 //! programs hijack kernel control flow.
 //!
-//! Our JIT is a translation pass over bytecode: it validates the program
-//! (decodable opcodes, in-range branch targets, intact LDDW pairs) and
-//! re-emits it with resolved branches. [`JitConfig::branch_offset_bug`]
-//! replicates the CVE: backward branches with displacements beyond the
-//! "short encoding" range are emitted with an off-by-one displacement, so
-//! a *verified* program executes different control flow than the verifier
-//! reasoned about — including jumps out of the program text, which the
-//! interpreter surfaces as [`crate::interp::ExecError::ControlFlowEscape`].
+//! Two lanes live here:
+//!
+//! * [`jit_compile`] — the original byte-level translation pass: validates
+//!   the program and re-emits it as bytecode with resolved branches. Still
+//!   used wherever a `Program`-shaped artifact is wanted (disassembly,
+//!   instruction-level differential tests).
+//! * [`jit_lower`] — the compiled execution lane. It decodes each slot
+//!   once into a compact [`LowOp`] IR: immediates pre-sign-extended, LDDW
+//!   pairs folded into one 64-bit constant (map/function pointers
+//!   pre-tagged), branch targets resolved to instruction indices at
+//!   compile time, and a per-slot *fuel chunk* table that lets the
+//!   executor charge a whole straight-line run of side-effect-free ops
+//!   with a single clock advance instead of one per instruction. Helper
+//!   call sites are resolved to direct function pointers at load time
+//!   (see `Vm::load_jit`), eliminating the per-call table walk.
+//!
+//! Both lanes accept exactly the same programs and replicate the CVE the
+//! same way: with [`JitConfig::branch_offset_bug`] enabled, backward
+//! branches with displacements beyond the "short encoding" range are
+//! emitted with an off-by-one displacement, so a *verified* program
+//! executes different control flow than the verifier reasoned about —
+//! including jumps out of the program text, which execution surfaces as
+//! [`crate::interp::ExecError::ControlFlowEscape`].
 
 use crate::{
-    insn::{BPF_CALL, BPF_EXIT, BPF_JMP, BPF_JMP32},
+    helpers::{
+        tagged, BPF_CT_LOOKUP, BPF_MAP_LOOKUP_ELEM, BPF_XDP_LOAD_BYTES, BPF_XDP_STORE_BYTES,
+        FUNC_PTR_TAG, MAP_PTR_TAG,
+    },
+    insn::{
+        lddw_imm, Insn, BPF_ALU, BPF_ALU64, BPF_ATOMIC, BPF_CALL, BPF_END, BPF_EXIT, BPF_JA,
+        BPF_JMP, BPF_JMP32, BPF_LD, BPF_LDX, BPF_MEM, BPF_NEG, BPF_PSEUDO_CALL, BPF_PSEUDO_FUNC,
+        BPF_PSEUDO_MAP_FD, BPF_ST, BPF_STX,
+    },
+    interp::{alu64, jmp_taken},
     program::Program,
 };
 
@@ -72,9 +96,443 @@ pub struct JitStats {
     pub branches: usize,
     /// Branches emitted through the (buggy) long-displacement path.
     pub long_branches: usize,
+    /// Basic blocks discovered by the lowering pass (0 for the byte lane).
+    pub blocks: usize,
+    /// Call sites to the hot helper set resolved to direct calls
+    /// (0 for the byte lane).
+    pub inlined_helpers: usize,
 }
 
-/// Compiles `prog`, returning the translated program and statistics.
+/// Operand source of a lowered op: a register, or an immediate already
+/// sign-extended to the 64-bit register width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Src {
+    /// Register number.
+    Reg(u8),
+    /// Pre-extended immediate.
+    Imm(u64),
+}
+
+/// A control-flow edge resolved at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JumpTarget {
+    /// In-range target instruction index.
+    At(u32),
+    /// Out-of-range target: taking this edge escapes the program text
+    /// (reachable only through the armed branch bug or a bad pseudo-call).
+    Escape(i64),
+}
+
+/// One lowered instruction slot.
+///
+/// Every slot of the original program lowers to exactly one `LowOp` — the
+/// op the interpreter would decode *if control reached that slot* — so
+/// arbitrary branch targets (including jumps into the middle of an LDDW
+/// pair, which decode its second slot as a standalone instruction) behave
+/// byte-identically to the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LowOp {
+    /// A validated ALU op (BPF_NEG lowers with `Src::Imm(0)`).
+    Alu {
+        /// 64-bit (vs 32-bit) lane.
+        is64: bool,
+        /// The operation bits.
+        op: u8,
+        /// Destination register.
+        dst: u8,
+        /// Operand.
+        src: Src,
+    },
+    /// Byte-swap / truncate.
+    End {
+        /// Destination register.
+        dst: u8,
+        /// `to_be` (swap) vs `to_le` (truncate) on the little-endian model.
+        swap: bool,
+        /// 16, 32, or 64.
+        width: i32,
+    },
+    /// A folded LDDW pair: the full 64-bit constant, map-fd / function
+    /// pointers already tagged. Occupies two slots and two fuel units.
+    Lddw {
+        /// Destination register.
+        dst: u8,
+        /// Resolved constant.
+        value: u64,
+    },
+    /// Memory load.
+    Load {
+        /// Destination register.
+        dst: u8,
+        /// Address base register.
+        src: u8,
+        /// Address displacement.
+        off: i16,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// Memory store.
+    Store {
+        /// Address base register.
+        dst: u8,
+        /// Stored value.
+        src: Src,
+        /// Address displacement.
+        off: i16,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// Atomic read-modify-write.
+    Atomic {
+        /// Address base register.
+        dst: u8,
+        /// Operand register.
+        src: u8,
+        /// Address displacement.
+        off: i16,
+        /// Access size in bytes.
+        size: u8,
+        /// The atomic op immediate (BPF_ATOMIC_* | BPF_FETCH | ...).
+        aop: i32,
+    },
+    /// Unconditional jump.
+    Ja {
+        /// Resolved target.
+        target: JumpTarget,
+    },
+    /// Conditional jump.
+    Jcc {
+        /// Comparison op bits.
+        op: u8,
+        /// 64-bit (vs 32-bit) comparison.
+        wide: bool,
+        /// Left operand register.
+        dst: u8,
+        /// Right operand.
+        src: Src,
+        /// Resolved taken-edge target.
+        target: JumpTarget,
+    },
+    /// Helper call (id resolved to a direct function pointer at load).
+    Call {
+        /// Helper id.
+        id: u32,
+    },
+    /// bpf2bpf call.
+    CallPseudo {
+        /// Resolved callee entry.
+        target: JumpTarget,
+    },
+    /// Program exit.
+    Exit,
+    /// Any slot the interpreter would reject as a bad instruction.
+    Bad,
+}
+
+impl LowOp {
+    /// Fuel units this op charges (LDDW charges both of its slots).
+    pub(crate) fn units(self) -> u32 {
+        match self {
+            LowOp::Lddw { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the op can neither fault, observe the clock, nor transfer
+    /// control — i.e. its fuel can be folded into the chunk header.
+    fn is_pure(self) -> bool {
+        matches!(
+            self,
+            LowOp::Alu { .. } | LowOp::End { .. } | LowOp::Lddw { .. }
+        )
+    }
+}
+
+/// A lowered program: one [`LowOp`] per original slot plus the fuel chunk
+/// table consumed by the compiled executor (`Vm::load_jit`).
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    pub(crate) ops: Vec<LowOp>,
+    /// `chunk[pc]` = fuel units of the maximal straight-line run of pure
+    /// ops starting at `pc`, *including* the terminating effectful op.
+    /// The executor charges the whole chunk in one clock advance.
+    pub(crate) chunk: Vec<u32>,
+    /// Compilation statistics.
+    pub stats: JitStats,
+}
+
+/// Lowers `prog` into the compiled-executor IR.
+///
+/// Validation is byte-for-byte the same acceptance set as
+/// [`jit_compile`]: the same programs are rejected with the same errors,
+/// and with [`JitConfig::branch_offset_bug`] enabled, the same long
+/// backward branches come out off by one.
+///
+/// # Errors
+///
+/// [`JitError::BadBranchTarget`] and [`JitError::TruncatedLddw`] exactly
+/// as [`jit_compile`] reports them.
+///
+/// # Examples
+///
+/// ```
+/// use ebpf::asm::Asm;
+/// use ebpf::insn::Reg;
+/// use ebpf::jit::{jit_lower, JitConfig};
+/// use ebpf::program::{ProgType, Program};
+///
+/// let insns = Asm::new().mov64_imm(Reg::R0, 0).exit().build().unwrap();
+/// let prog = Program::new("p", ProgType::SocketFilter, insns);
+/// let lowered = jit_lower(&prog, JitConfig::default()).unwrap();
+/// assert_eq!(lowered.stats.insns, 2);
+/// assert_eq!(lowered.stats.blocks, 1);
+/// ```
+pub fn jit_lower(prog: &Program, config: JitConfig) -> Result<Lowered, JitError> {
+    let insns = &prog.insns;
+    let len = insns.len();
+    let mut stats = JitStats::default();
+    let mut is_hi = vec![false; len];
+    // Effective branch displacements after the (optional) CVE replica.
+    let mut eff_off: Vec<i16> = insns.iter().map(|i| i.off).collect();
+
+    // Strict linear walk: validation, statistics, and bug application.
+    // Slots marked `is_hi` are LDDW payload in this walk; the bug never
+    // applies to them (the byte lane copies them verbatim as data), but
+    // they still lower below in case a branch jumps into them.
+    let mut pc = 0usize;
+    while pc < len {
+        let insn = insns[pc];
+        stats.insns += 1;
+        if insn.is_lddw() {
+            if pc + 1 >= len {
+                return Err(JitError::TruncatedLddw { pc });
+            }
+            is_hi[pc + 1] = true;
+            stats.insns += 1;
+            pc += 2;
+            continue;
+        }
+        let class = insn.class();
+        let is_branch = (class == BPF_JMP || class == BPF_JMP32)
+            && insn.op() != BPF_CALL
+            && insn.op() != BPF_EXIT;
+        if is_branch {
+            stats.branches += 1;
+            let target = pc as i64 + 1 + insn.off as i64;
+            if target < 0 || target >= len as i64 {
+                return Err(JitError::BadBranchTarget { pc, target });
+            }
+            if insn.off <= -SHORT_BRANCH_RANGE || insn.off >= SHORT_BRANCH_RANGE {
+                stats.long_branches += 1;
+                if config.branch_offset_bug && insn.off < 0 {
+                    // BUG replica (CVE-2021-29154): the long-displacement
+                    // encoding path computes the branch base one
+                    // instruction too early for backward branches.
+                    eff_off[pc] = insn.off.saturating_sub(1);
+                }
+            }
+        }
+        pc += 1;
+    }
+
+    // Uniform per-slot lowering.
+    let ops: Vec<LowOp> = (0..len)
+        .map(|pc| lower_one(insns, pc, eff_off[pc]))
+        .collect();
+
+    // Fuel chunks: suffix-sum of units over straight-line pure runs.
+    let mut chunk = vec![0u32; len];
+    for pc in (0..len).rev() {
+        let u = ops[pc].units();
+        chunk[pc] = u;
+        if ops[pc].is_pure() {
+            let next = pc + u as usize;
+            if next < len {
+                chunk[pc] = u + chunk[next];
+            }
+        }
+    }
+
+    // Basic-block leaders: entry, every resolved branch target, and every
+    // fall-through successor of a control op.
+    let mut leader = vec![false; len];
+    if len > 0 {
+        leader[0] = true;
+    }
+    for (pc, op) in ops.iter().enumerate() {
+        let mut mark = |t: JumpTarget| {
+            if let JumpTarget::At(t) = t {
+                leader[t as usize] = true;
+            }
+        };
+        match *op {
+            LowOp::Ja { target } => mark(target),
+            LowOp::Jcc { target, .. } | LowOp::CallPseudo { target } => {
+                mark(target);
+                if pc + 1 < len {
+                    leader[pc + 1] = true;
+                }
+            }
+            LowOp::Call { id } => {
+                if matches!(
+                    id,
+                    BPF_MAP_LOOKUP_ELEM | BPF_XDP_LOAD_BYTES | BPF_XDP_STORE_BYTES | BPF_CT_LOOKUP
+                ) {
+                    stats.inlined_helpers += 1;
+                }
+                if pc + 1 < len {
+                    leader[pc + 1] = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    stats.blocks = leader.iter().filter(|l| **l).count();
+
+    Ok(Lowered { ops, chunk, stats })
+}
+
+/// Lowers the single slot at `pc` exactly as the interpreter decodes it,
+/// with `off` as the (possibly bug-adjusted) branch displacement.
+fn lower_one(insns: &[Insn], pc: usize, off: i16) -> LowOp {
+    let len = insns.len();
+    let insn = insns[pc];
+    match insn.class() {
+        BPF_ALU64 | BPF_ALU => {
+            if insn.op() == BPF_END {
+                if matches!(insn.imm, 16 | 32 | 64) {
+                    LowOp::End {
+                        dst: insn.dst,
+                        swap: insn.is_src_reg(),
+                        width: insn.imm,
+                    }
+                } else {
+                    LowOp::Bad
+                }
+            } else if alu64(insn.op(), 0, 1).is_none() {
+                LowOp::Bad
+            } else {
+                let src = if insn.op() == BPF_NEG {
+                    Src::Imm(0)
+                } else if insn.is_src_reg() {
+                    Src::Reg(insn.src)
+                } else {
+                    Src::Imm(insn.imm as i64 as u64)
+                };
+                LowOp::Alu {
+                    is64: insn.class() == BPF_ALU64,
+                    op: insn.op(),
+                    dst: insn.dst,
+                    src,
+                }
+            }
+        }
+        BPF_LD if insn.is_lddw() => {
+            let Some(hi) = insns.get(pc + 1) else {
+                return LowOp::Bad;
+            };
+            let value = match insn.src {
+                0 => lddw_imm(&insn, hi),
+                BPF_PSEUDO_MAP_FD => tagged(MAP_PTR_TAG, insn.imm as u32 as u64),
+                BPF_PSEUDO_FUNC => tagged(FUNC_PTR_TAG, insn.imm as u32 as u64),
+                _ => return LowOp::Bad,
+            };
+            LowOp::Lddw {
+                dst: insn.dst,
+                value,
+            }
+        }
+        BPF_LDX => {
+            if insn.mode() == BPF_MEM {
+                LowOp::Load {
+                    dst: insn.dst,
+                    src: insn.src,
+                    off: insn.off,
+                    size: insn.access_size(),
+                }
+            } else {
+                LowOp::Bad
+            }
+        }
+        BPF_ST | BPF_STX => match insn.mode() {
+            BPF_MEM => LowOp::Store {
+                dst: insn.dst,
+                src: if insn.class() == BPF_ST {
+                    Src::Imm(insn.imm as i64 as u64)
+                } else {
+                    Src::Reg(insn.src)
+                },
+                off: insn.off,
+                size: insn.access_size(),
+            },
+            BPF_ATOMIC if insn.class() == BPF_STX => LowOp::Atomic {
+                dst: insn.dst,
+                src: insn.src,
+                off: insn.off,
+                size: insn.access_size(),
+                aop: insn.imm,
+            },
+            _ => LowOp::Bad,
+        },
+        BPF_JMP | BPF_JMP32 => {
+            let wide = insn.class() == BPF_JMP;
+            match insn.op() {
+                BPF_JA => {
+                    if wide {
+                        LowOp::Ja {
+                            target: resolve(pc, off, len),
+                        }
+                    } else {
+                        LowOp::Bad
+                    }
+                }
+                BPF_EXIT => LowOp::Exit,
+                BPF_CALL => {
+                    if insn.src == BPF_PSEUDO_CALL {
+                        let target = pc as i64 + 1 + insn.imm as i64;
+                        LowOp::CallPseudo {
+                            target: if target >= 0 && target < len as i64 {
+                                JumpTarget::At(target as u32)
+                            } else {
+                                JumpTarget::Escape(target)
+                            },
+                        }
+                    } else {
+                        LowOp::Call {
+                            id: insn.imm as u32,
+                        }
+                    }
+                }
+                op if jmp_taken(op, 0, 0).is_some() => LowOp::Jcc {
+                    op,
+                    wide,
+                    dst: insn.dst,
+                    src: if insn.is_src_reg() {
+                        Src::Reg(insn.src)
+                    } else {
+                        Src::Imm(insn.imm as i64 as u64)
+                    },
+                    target: resolve(pc, off, len),
+                },
+                _ => LowOp::Bad,
+            }
+        }
+        _ => LowOp::Bad,
+    }
+}
+
+/// Resolves `pc + 1 + off` against the program bounds.
+fn resolve(pc: usize, off: i16, len: usize) -> JumpTarget {
+    let target = pc as i64 + 1 + off as i64;
+    if target >= 0 && target < len as i64 {
+        JumpTarget::At(target as u32)
+    } else {
+        JumpTarget::Escape(target)
+    }
+}
+
+/// Compiles `prog`, returning the translated program and statistics —
+/// the byte-level lane.
 ///
 /// With [`JitConfig::branch_offset_bug`] disabled this is a validating
 /// identity transform; with it enabled, large backward branches come out
@@ -246,6 +704,10 @@ mod tests {
             jit_compile(&prog, JitConfig::default()),
             Err(JitError::BadBranchTarget { pc: 0, target: 51 })
         ));
+        assert!(matches!(
+            jit_lower(&prog, JitConfig::default()),
+            Err(JitError::BadBranchTarget { pc: 0, target: 51 })
+        ));
     }
 
     #[test]
@@ -259,5 +721,91 @@ mod tests {
             jit_compile(&prog, JitConfig::default()),
             Err(JitError::TruncatedLddw { pc: 0 })
         ));
+        assert!(matches!(
+            jit_lower(&prog, JitConfig::default()),
+            Err(JitError::TruncatedLddw { pc: 0 })
+        ));
+    }
+
+    #[test]
+    fn lowering_resolves_branch_targets() {
+        let prog = small_loop();
+        let lowered = jit_lower(&prog, JitConfig::default()).unwrap();
+        assert_eq!(lowered.stats.insns, prog.insns.len());
+        // mov; add; jne -> 1 (the label "l"); exit.
+        assert!(matches!(
+            lowered.ops[2],
+            LowOp::Jcc {
+                target: JumpTarget::At(1),
+                ..
+            }
+        ));
+        assert!(matches!(lowered.ops[3], LowOp::Exit));
+        // Blocks: entry, loop head (branch target), fall-through after jne.
+        assert_eq!(lowered.stats.blocks, 3);
+    }
+
+    #[test]
+    fn lowering_applies_branch_bug_to_resolved_target() {
+        let prog = long_loop();
+        let clean = jit_lower(&prog, JitConfig::default()).unwrap();
+        let buggy = jit_lower(
+            &prog,
+            JitConfig {
+                branch_offset_bug: true,
+            },
+        )
+        .unwrap();
+        let site = prog.insns.len() - 2; // the backward jne
+        let (
+            LowOp::Jcc {
+                target: JumpTarget::At(good),
+                ..
+            },
+            LowOp::Jcc {
+                target: JumpTarget::At(bad),
+                ..
+            },
+        ) = (clean.ops[site], buggy.ops[site])
+        else {
+            panic!("expected resolved conditional branches");
+        };
+        assert_eq!(bad, good - 1, "bugged taken edge lands one insn early");
+    }
+
+    #[test]
+    fn lowering_folds_fuel_into_chunks() {
+        let prog = long_loop();
+        let lowered = jit_lower(&prog, JitConfig::default()).unwrap();
+        // The loop head starts a pure ALU run that terminates at the jne:
+        // (SHORT_BRANCH_RANGE + 10) fillers + 1 decrement + the branch.
+        let run = SHORT_BRANCH_RANGE as u32 + 10 + 2;
+        assert_eq!(lowered.chunk[1], run);
+        // One slot in, one unit less.
+        assert_eq!(lowered.chunk[2], run - 1);
+        // The branch slot itself is a chunk of one.
+        assert_eq!(lowered.chunk[prog.insns.len() - 2], 1);
+    }
+
+    #[test]
+    fn lowering_folds_lddw_and_counts_two_units() {
+        let insns = Asm::new()
+            .lddw(Reg::R1, 0x1122_3344_5566_7788)
+            .exit()
+            .build()
+            .unwrap();
+        let prog = Program::new("lddw", ProgType::SocketFilter, insns);
+        let lowered = jit_lower(&prog, JitConfig::default()).unwrap();
+        assert_eq!(
+            lowered.ops[0],
+            LowOp::Lddw {
+                dst: Reg::R1.num(),
+                value: 0x1122_3344_5566_7788
+            }
+        );
+        // lddw (2 units) + exit (1) fold into one three-unit chunk.
+        assert_eq!(lowered.chunk[0], 3);
+        // A jump into the hi slot decodes it as a standalone (bad) insn.
+        assert_eq!(lowered.ops[1], LowOp::Bad);
     }
 }

@@ -583,8 +583,10 @@ pub struct MapRegistry {
 
 #[derive(Debug, Default)]
 struct RegistryState {
-    next_fd: MapFd,
-    maps: HashMap<MapFd, Arc<Map>>,
+    /// Maps indexed by `fd - 1`: fds are handed out sequentially starting
+    /// at 1 and never revoked, so a plain vector is the whole fd table
+    /// (and `get`, the hottest helper-path operation, is an index).
+    maps: Vec<Arc<Map>>,
 }
 
 impl MapRegistry {
@@ -592,15 +594,16 @@ impl MapRegistry {
     pub fn create(&self, kernel: &Kernel, def: MapDef) -> Result<MapFd, MapError> {
         let map = Arc::new(Map::create(kernel, def)?);
         let mut st = self.state.lock();
-        st.next_fd += 1;
-        let fd = st.next_fd;
-        st.maps.insert(fd, map);
-        Ok(fd)
+        st.maps.push(map);
+        Ok(st.maps.len() as MapFd)
     }
 
     /// Looks up a map by fd.
     pub fn get(&self, fd: MapFd) -> Option<Arc<Map>> {
-        self.state.lock().maps.get(&fd).cloned()
+        let st = self.state.lock();
+        fd.checked_sub(1)
+            .and_then(|i| st.maps.get(i as usize))
+            .cloned()
     }
 
     /// Number of live maps.

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use ebpf::asm::Asm;
 use ebpf::helpers::HelperRegistry;
 use ebpf::insn::*;
-use ebpf::interp::{CtxInput, RunResult, Vm, VmConfig};
-use ebpf::jit::{jit_compile, JitConfig};
+use ebpf::interp::{CtxInput, ExecError, RunResult, Vm, VmConfig};
+use ebpf::jit::{jit_compile, jit_lower, JitConfig, JitError};
 use ebpf::maps::{MapDef, MapRegistry};
 use ebpf::program::{ProgType, Program};
 use kernel_sim::{FaultPlan, Kernel};
@@ -241,6 +241,38 @@ proptest! {
             let _ = run_fresh(jitted);
         }
     }
+}
+
+/// A program ending mid-LDDW used to be rejected at compile time by the
+/// JIT lane yet slip through the interpreter and execute its prefix.
+/// Both lanes must now refuse it identically — same error, same pc,
+/// nothing executed — so the fuzz oracle can treat matched rejection as
+/// agreement instead of a phantom divergence.
+#[test]
+fn truncated_lddw_rejected_identically_in_both_lanes() {
+    let prog = Program::new(
+        "trunc",
+        ProgType::SocketFilter,
+        vec![
+            Insn::new(BPF_ALU64 | BPF_MOV | BPF_K, 0, 0, 0, 7),
+            Insn::new(BPF_LD | BPF_IMM | BPF_DW, 1, 0, 0, 1),
+        ],
+    );
+    assert_eq!(
+        jit_compile(&prog, JitConfig::default()).err(),
+        Some(JitError::TruncatedLddw { pc: 1 })
+    );
+    assert_eq!(
+        jit_lower(&prog, JitConfig::default()).err(),
+        Some(JitError::TruncatedLddw { pc: 1 })
+    );
+    let base = run_fresh(prog);
+    assert!(
+        matches!(base.result, Err(ExecError::TruncatedLddw { pc: 1 })),
+        "interpreter lane must refuse at the same pc: {:?}",
+        base.result
+    );
+    assert_eq!(base.insns, 0, "nothing may execute before the reject");
 }
 
 /// One random packet-header access: `(via_helper, offset, size_bits)`.

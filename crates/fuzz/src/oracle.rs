@@ -11,14 +11,18 @@
 //!   helper failure, or leaked ref/lock is a *trap*; fuel exhaustion is
 //!   *undecided* (the input family didn't prove anything).
 //!
-//! Every run is replayed through the JIT pipeline too, and the two
-//! pipelines' results **and full audit fingerprints** must match; a
-//! mismatch on an accepted program outranks every other bucket.
+//! Every run is replayed through the compiled lane too — the program is
+//! lowered by [`Vm::load_jit`] into the block IR and run by the JIT
+//! executor — and the two lanes' results **and full audit fingerprints**
+//! must match; a mismatch on an accepted program outranks every other
+//! bucket. A program the lowering pass rejects outright (truncated
+//! LDDW) still agrees as long as the interpreter refuses it identically
+//! before executing anything.
 
 use ebpf::helpers::HelperRegistry;
 use ebpf::insn::Insn;
 use ebpf::interp::{CtxInput, ExecError, RunResult, Vm, VmConfig};
-use ebpf::jit::{jit_compile, JitConfig};
+use ebpf::jit::{JitConfig, JitError};
 use ebpf::maps::{MapDef, MapRegistry};
 use ebpf::program::{ProgType, Program};
 use kernel_sim::Kernel;
@@ -270,6 +274,24 @@ impl Env {
         let result = vm.run(id, input);
         (result, self.kernel.audit.fingerprint())
     }
+
+    /// Same as [`Env::run`], but through the compiled lane: the program
+    /// is lowered by [`Vm::load_jit`] and executed block-by-block.
+    /// Returns the lowering error when the pass rejects the program.
+    fn run_jit(&self, prog: Program, input: CtxInput) -> Result<(RunResult, String), JitError> {
+        let mut vm = Vm::new(&self.kernel, &self.maps, &self.helpers).with_config(VmConfig {
+            max_insns: Some(FUEL),
+            ..VmConfig::default()
+        });
+        let (id, _stats) = vm.load_jit(prog, JitConfig::default())?;
+        self.maps
+            .get(PROG_FD)
+            .expect("prog array exists")
+            .update(&self.kernel.mem, &0u32.to_le_bytes(), &id.to_le_bytes(), 0)
+            .expect("prog slot update");
+        let result = vm.run(id, input);
+        Ok((result, self.kernel.audit.fingerprint()))
+    }
 }
 
 /// The verifier limits the oracle judges under: small enough that the
@@ -341,37 +363,35 @@ impl Oracle {
     }
 
     /// Executes the program over the whole input family, through both
-    /// pipelines, each run on a fresh kernel.
+    /// lanes (interpreter and the lowered block executor), each run on a
+    /// fresh kernel.
     pub fn probe(&self, insns: &[Insn], prog_type: ProgType) -> RuntimeProbe {
         let mut class = RuntimeClass::Safe;
         let mut jit_agrees = true;
         let mut trap = None;
-        let interp_prog = || Program::new("fuzz", prog_type, insns.to_vec());
-        let jitted = jit_compile(&interp_prog(), JitConfig::default())
-            .map(|(mut p, _)| {
-                // Audit events record the owning program's name; keep it
-                // identical so the fingerprint comparison sees only
-                // behavioural differences.
-                p.name = "fuzz".to_string();
-                p
-            })
-            .ok();
-        if jitted.is_none() {
-            jit_agrees = false;
-        }
+        let make_prog = || Program::new("fuzz", prog_type, insns.to_vec());
         for input in inputs(prog_type) {
-            let (base, base_fp) = Env::new().run(interp_prog(), input.clone());
-            if let Some(jp) = &jitted {
-                let (jit, jit_fp) = Env::new().run(jp.clone(), input);
-                let same = base.result == jit.result
-                    && base.insns == jit.insns
-                    && base.helper_calls == jit.helper_calls
-                    && base.max_depth == jit.max_depth
-                    && base.printk == jit.printk
-                    && base_fp == jit_fp;
-                if !same {
-                    jit_agrees = false;
+            let (base, base_fp) = Env::new().run(make_prog(), input.clone());
+            let same = match Env::new().run_jit(make_prog(), input) {
+                Ok((jit, jit_fp)) => {
+                    base.result == jit.result
+                        && base.insns == jit.insns
+                        && base.helper_calls == jit.helper_calls
+                        && base.max_depth == jit.max_depth
+                        && base.printk == jit.printk
+                        && base_fp == jit_fp
                 }
+                // Lowering refused the program outright. The lanes still
+                // agree when the interpreter refuses the same program at
+                // the same pc before executing anything.
+                Err(JitError::TruncatedLddw { pc }) => matches!(
+                    base.result,
+                    Err(ExecError::TruncatedLddw { pc: base_pc }) if base_pc == pc
+                ),
+                Err(JitError::BadBranchTarget { .. }) => false,
+            };
+            if !same {
+                jit_agrees = false;
             }
             let this = match &base.result {
                 Ok(_) if base.leak_report.clean() => RuntimeClass::Safe,
@@ -411,11 +431,26 @@ impl Oracle {
 mod tests {
     use super::*;
     use crate::gen::{emit, Step};
-    use ebpf::insn::{Reg, BPF_DW, BPF_W};
+    use ebpf::insn::{Reg, BPF_DW, BPF_IMM, BPF_LD, BPF_W};
 
     #[test]
     fn env_fd_layout_is_pinned() {
         let _ = Env::new();
+    }
+
+    #[test]
+    fn truncated_lddw_rejected_identically_by_both_lanes() {
+        // A program ending mid-LDDW: lowering refuses to compile it and
+        // the interpreter refuses to run it, at the same pc. Matched
+        // rejection is agreement, not a phantom JIT divergence.
+        let insns = vec![Insn::new(BPF_LD | BPF_IMM | BPF_DW, 0, 0, 0, 0)];
+        let oracle = Oracle::new();
+        let probe = oracle.probe(&insns, ProgType::SocketFilter);
+        assert!(
+            probe.jit_agrees,
+            "matched rejection must count as agreement"
+        );
+        assert_eq!(probe.class, RuntimeClass::Trap);
     }
 
     #[test]

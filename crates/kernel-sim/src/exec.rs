@@ -19,7 +19,10 @@ use crate::{
     refcount::ObjId,
 };
 
-static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-global allocator backing [`ExecCtx::new`]. Starts far above
+/// any per-kernel id ([`Kernel::next_exec_id`] counts up from 1) so the
+/// two spaces can never hand out the same owner id within one kernel.
+static NEXT_EXEC_ID: AtomicU64 = AtomicU64::new(1 << 32);
 
 /// Outcome summary of one execution's resource accounting.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,9 +72,24 @@ impl Default for ExecCtx {
 
 impl ExecCtx {
     /// Creates a context with a process-unique owner id.
+    ///
+    /// Prefer [`ExecCtx::for_kernel`] for real executions: process-global
+    /// ids leak run-order into the audit stream (a leak record names its
+    /// owner id), breaking byte-identical replay comparison.
     pub fn new() -> Self {
         Self {
             id: NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed),
+            acquired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a context whose owner id comes from `kernel`'s private,
+    /// deterministic counter ([`Kernel::next_exec_id`]): the Nth
+    /// execution on any fresh kernel always gets id N, so leak audit
+    /// records replay byte-identically.
+    pub fn for_kernel(kernel: &Kernel) -> Self {
+        Self {
+            id: kernel.next_exec_id(),
             acquired: Mutex::new(Vec::new()),
         }
     }
@@ -163,6 +181,20 @@ mod tests {
     #[test]
     fn owner_ids_are_unique() {
         assert_ne!(ExecCtx::new().owner(), ExecCtx::new().owner());
+    }
+
+    #[test]
+    fn per_kernel_ids_are_deterministic_and_disjoint_from_global() {
+        // Two fresh kernels hand out the same sequence — that is what
+        // keeps leak audit records replay/lane byte-identical.
+        let a = Kernel::new();
+        let b = Kernel::new();
+        let a_ids: Vec<_> = (0..3).map(|_| ExecCtx::for_kernel(&a).owner()).collect();
+        let b_ids: Vec<_> = (0..3).map(|_| ExecCtx::for_kernel(&b).owner()).collect();
+        assert_eq!(a_ids, vec![1, 2, 3]);
+        assert_eq!(a_ids, b_ids);
+        // Global (test-harness) ids live in a disjoint range.
+        assert!(ExecCtx::new().owner() >= 1 << 32);
     }
 
     #[test]

@@ -1,11 +1,12 @@
 //! The [`Kernel`] façade tying all subsystems together.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::{
     audit::{AuditLog, EventKind},
     inject::{FaultPlan, FaultPlane, InjectSlot},
-    locks::SpinTable,
+    locks::{OwnerId, SpinTable},
     mem::KernelMem,
     metrics::Metrics,
     net::NetStack,
@@ -89,6 +90,8 @@ pub struct Kernel {
     /// CPU). Disabled by default; recording never advances the virtual
     /// clock, so traced and untraced runs are simulated-cost identical.
     pub trace: Arc<Tracer>,
+    /// Per-kernel execution-id allocator; see [`Kernel::next_exec_id`].
+    exec_ids: AtomicU64,
 }
 
 impl Default for Kernel {
@@ -126,6 +129,7 @@ impl Kernel {
             metrics: Arc::new(Metrics::new()),
             net: NetStack::default(),
             trace,
+            exec_ids: AtomicU64::new(1),
         };
         kernel.rcu.trace.arm(Arc::clone(&kernel.trace));
         kernel.locks.trace.arm(Arc::clone(&kernel.trace));
@@ -136,6 +140,18 @@ impl Kernel {
     /// Boots a kernel wrapped in an [`Arc`] for sharing across threads.
     pub fn new_shared() -> Arc<Self> {
         Arc::new(Self::new())
+    }
+
+    /// Allocates the next execution owner id from this kernel's private
+    /// counter (starting at 1).
+    ///
+    /// Execution ids appear verbatim in leak audit records, so they are
+    /// allocated per kernel rather than from a process-global counter:
+    /// two identical runs on fresh kernels draw identical ids, keeping
+    /// audit fingerprints byte-comparable across replays and across the
+    /// interpreter/JIT execution lanes.
+    pub fn next_exec_id(&self) -> OwnerId {
+        self.exec_ids.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Arms `plan` on every subsystem: allocations, locks, RCU, refcounts,

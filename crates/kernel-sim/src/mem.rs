@@ -169,6 +169,9 @@ impl Region {
     }
 }
 
+/// How many unmapped regions are kept around for allocation reuse.
+const SPARE_REGIONS: usize = 8;
+
 #[derive(Debug, Default)]
 struct MemState {
     /// Regions keyed by base address.
@@ -180,6 +183,12 @@ struct MemState {
     pkey_access_disable: u16,
     /// PKRU model: bit k set = writes through key k denied.
     pkey_write_disable: u16,
+    /// Recycled region shells: short-lived mappings (per-run contexts,
+    /// skb payloads, stack frames) reuse these name/data allocations
+    /// instead of round-tripping the allocator on every packet. Purely
+    /// an allocation cache — fresh mappings still get fresh base
+    /// addresses and zeroed contents.
+    spare: Vec<Region>,
 }
 
 /// The simulated kernel address space.
@@ -222,6 +231,7 @@ impl KernelMem {
                 peak_bytes_mapped: 0,
                 pkey_access_disable: 0,
                 pkey_write_disable: 0,
+                spare: Vec::new(),
             }),
         }
     }
@@ -246,6 +256,24 @@ impl KernelMem {
         perms: Perms,
         pkey: Pkey,
     ) -> Result<Addr, Fault> {
+        self.map_inner(name, len, perms, pkey, None)
+    }
+
+    /// Maps a region pre-initialized with `data` — equivalent to
+    /// [`KernelMem::map`] followed by a full-region write, in one
+    /// address-space transaction.
+    pub fn map_with_data(&self, name: &str, data: &[u8], perms: Perms) -> Result<Addr, Fault> {
+        self.map_inner(name, data.len() as u64, perms, 0, Some(data))
+    }
+
+    fn map_inner(
+        &self,
+        name: &str,
+        len: u64,
+        perms: Perms,
+        pkey: Pkey,
+        init: Option<&[u8]>,
+    ) -> Result<Addr, Fault> {
         if len == 0 {
             return Err(Fault::BadRange { addr: 0, len });
         }
@@ -265,16 +293,29 @@ impl KernelMem {
         st.next_base = base + len + REGION_GUARD;
         st.bytes_mapped += len;
         st.peak_bytes_mapped = st.peak_bytes_mapped.max(st.bytes_mapped);
-        st.regions.insert(
-            base,
-            Region {
+        let mut region = match st.spare.pop() {
+            Some(mut r) => {
+                r.base = base;
+                r.perms = perms;
+                r.pkey = pkey;
+                r.name.clear();
+                r.name.push_str(name);
+                r.data.clear();
+                r
+            }
+            None => Region {
                 base,
                 perms,
                 pkey,
                 name: name.to_string(),
-                data: vec![0; len as usize],
+                data: Vec::new(),
             },
-        );
+        };
+        match init {
+            Some(bytes) => region.data.extend_from_slice(bytes),
+            None => region.data.resize(len as usize, 0),
+        }
+        st.regions.insert(base, region);
         Ok(base)
     }
 
@@ -299,6 +340,9 @@ impl KernelMem {
         match st.regions.remove(&base) {
             Some(r) => {
                 st.bytes_mapped -= r.len();
+                if st.spare.len() < SPARE_REGIONS {
+                    st.spare.push(r);
+                }
                 Ok(())
             }
             None => Err(Fault::Unmapped { addr: base, len: 0 }),

@@ -7,7 +7,7 @@
 //! programs read and write an [`SkBuff`] whose payload lives in checked
 //! kernel memory.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use parking_lot::Mutex;
 
@@ -93,7 +93,9 @@ struct ObjState {
     tasks: HashMap<u32, Task>,
     current_pid: Option<u32>,
     sockets: Vec<Socket>,
-    skbs: HashMap<u64, SkBuff>,
+    // BTreeMap: ids are sequential, and the table churns once per
+    // packet run — ordered lookups beat hashing for this shape.
+    skbs: BTreeMap<u64, SkBuff>,
     next_skb: u64,
 }
 
@@ -184,10 +186,11 @@ impl ObjectTable {
     /// Allocates an skb whose payload is `payload`, backed by a fresh
     /// checked-memory region.
     pub fn create_skb(&self, mem: &KernelMem, payload: &[u8]) -> Result<SkBuff, Fault> {
-        let data = mem.map("skb-data", payload.len().max(1) as u64, Perms::rw())?;
-        if !payload.is_empty() {
-            mem.write_from(data, payload)?;
-        }
+        let data = if payload.is_empty() {
+            mem.map("skb-data", 1, Perms::rw())?
+        } else {
+            mem.map_with_data("skb-data", payload, Perms::rw())?
+        };
         let mut st = self.state.lock();
         st.next_skb += 1;
         let skb = SkBuff {

@@ -7,7 +7,7 @@
 //! interpreter and the safe-ext runtime) reports a stall for every elapsed
 //! stall period, mirroring Linux's repeating 21-second stall warnings.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crate::{
     audit::{AuditLog, EventKind},
@@ -42,13 +42,17 @@ impl std::fmt::Display for RcuError {
 
 impl std::error::Error for RcuError {}
 
+/// Read-side state, kept in independent atomics: the read-lock/unlock
+/// pair and the stall poll sit on the per-packet hot path, and each
+/// kernel is driven by one shard thread, so lock-free counters are both
+/// cheaper than a mutex and just as deterministic.
 #[derive(Debug, Default)]
 struct RcuState {
-    depth: u32,
-    outermost_enter_ns: u64,
-    stalls_reported_this_section: u64,
-    gp_seq: u64,
-    total_stalls: u64,
+    depth: AtomicU32,
+    outermost_enter_ns: AtomicU64,
+    stalls_reported_this_section: AtomicU64,
+    gp_seq: AtomicU64,
+    total_stalls: AtomicU64,
 }
 
 /// The RCU subsystem.
@@ -73,7 +77,7 @@ struct RcuState {
 pub struct Rcu {
     clock: VirtualClock,
     stall_timeout_ns: u64,
-    state: Mutex<RcuState>,
+    state: RcuState,
     pub(crate) inject: crate::inject::InjectSlot,
     pub(crate) trace: crate::trace::TraceSlot,
 }
@@ -89,7 +93,7 @@ impl Rcu {
         Self {
             clock,
             stall_timeout_ns: stall_timeout_ns.max(1),
-            state: Mutex::new(RcuState::default()),
+            state: RcuState::default(),
             inject: crate::inject::InjectSlot::default(),
             trace: crate::trace::TraceSlot::default(),
         }
@@ -103,10 +107,13 @@ impl Rcu {
     /// appears to have been running for a long time, approaching (but by
     /// itself never crossing) the stall threshold.
     pub fn read_lock(&self) -> RcuReadGuard<'_> {
-        let mut st = self.state.lock();
-        if st.depth == 0 {
-            st.outermost_enter_ns = self.clock.now_ns();
-            st.stalls_reported_this_section = 0;
+        if self.state.depth.fetch_add(1, Ordering::Relaxed) == 0 {
+            self.state
+                .outermost_enter_ns
+                .store(self.clock.now_ns(), Ordering::Relaxed);
+            self.state
+                .stalls_reported_this_section
+                .store(0, Ordering::Relaxed);
             if let Some(plane) = self.inject.get() {
                 if let Some(delay) = plane.rcu_entry_delay(self.stall_timeout_ns) {
                     self.clock.advance(delay);
@@ -116,15 +123,13 @@ impl Rcu {
                 tracer.enter(crate::trace::SpanKind::RcuRead, 0);
             }
         }
-        st.depth += 1;
         RcuReadGuard { rcu: self }
     }
 
     fn read_unlock(&self) {
-        let mut st = self.state.lock();
-        debug_assert!(st.depth > 0, "unbalanced rcu_read_unlock");
-        st.depth = st.depth.saturating_sub(1);
-        if st.depth == 0 {
+        let prev = self.state.depth.fetch_sub(1, Ordering::Relaxed);
+        debug_assert!(prev > 0, "unbalanced rcu_read_unlock");
+        if prev == 1 {
             if let Some(tracer) = self.trace.get() {
                 tracer.exit(crate::trace::SpanKind::RcuRead, 0);
             }
@@ -133,19 +138,18 @@ impl Rcu {
 
     /// Whether no read-side critical section is active.
     pub fn quiescent(&self) -> bool {
-        self.state.lock().depth == 0
+        self.state.depth.load(Ordering::Relaxed) == 0
     }
 
     /// Current read-side nesting depth.
     pub fn depth(&self) -> u32 {
-        self.state.lock().depth
+        self.state.depth.load(Ordering::Relaxed)
     }
 
     /// Waits for a grace period; fails (and would deadlock on real hardware)
     /// when called from inside a read-side section.
     pub fn synchronize(&self, audit: &AuditLog) -> Result<u64, RcuError> {
-        let mut st = self.state.lock();
-        if st.depth > 0 {
+        if self.state.depth.load(Ordering::Relaxed) > 0 {
             audit.record(
                 self.clock.now_ns(),
                 EventKind::RcuDeadlock,
@@ -153,13 +157,12 @@ impl Rcu {
             );
             return Err(RcuError::SynchronizeInReader);
         }
-        st.gp_seq += 1;
-        Ok(st.gp_seq)
+        Ok(self.state.gp_seq.fetch_add(1, Ordering::Relaxed) + 1)
     }
 
     /// Grace-period sequence number (number of completed grace periods).
     pub fn gp_seq(&self) -> u64 {
-        self.state.lock().gp_seq
+        self.state.gp_seq.load(Ordering::Relaxed)
     }
 
     /// Polls the stall detector.
@@ -168,16 +171,19 @@ impl Rcu {
     /// timeout that has elapsed inside the current read-side section since
     /// the last report, and returns how many new stalls were reported.
     pub fn check_stall(&self, audit: &AuditLog) -> u64 {
-        let now = self.clock.now_ns();
-        let mut st = self.state.lock();
-        if st.depth == 0 {
+        if self.state.depth.load(Ordering::Relaxed) == 0 {
             return 0;
         }
-        let elapsed = now.saturating_sub(st.outermost_enter_ns);
+        let now = self.clock.now_ns();
+        let elapsed = now.saturating_sub(self.state.outermost_enter_ns.load(Ordering::Relaxed));
         let due = elapsed / self.stall_timeout_ns;
-        let new = due.saturating_sub(st.stalls_reported_this_section);
+        let reported = self
+            .state
+            .stalls_reported_this_section
+            .load(Ordering::Relaxed);
+        let new = due.saturating_sub(reported);
         for i in 0..new {
-            let nth = st.stalls_reported_this_section + i + 1;
+            let nth = reported + i + 1;
             audit.record(
                 now,
                 EventKind::RcuStall,
@@ -187,14 +193,16 @@ impl Rcu {
                 ),
             );
         }
-        st.stalls_reported_this_section = due;
-        st.total_stalls += new;
+        self.state
+            .stalls_reported_this_section
+            .store(due, Ordering::Relaxed);
+        self.state.total_stalls.fetch_add(new, Ordering::Relaxed);
         new
     }
 
     /// Total stalls reported since creation.
     pub fn total_stalls(&self) -> u64 {
-        self.state.lock().total_stalls
+        self.state.total_stalls.load(Ordering::Relaxed)
     }
 }
 

@@ -58,6 +58,14 @@ impl VirtualClock {
         self.now_ns.load(Ordering::SeqCst)
     }
 
+    /// Whether a fault plan is armed on this clock, i.e. whether
+    /// `advance` may carry injected forward jumps. Batched callers must
+    /// fall back to per-step advances when this holds, so the injection
+    /// dice see the same draw sequence either way.
+    pub fn is_perturbed(&self) -> bool {
+        self.inject.get().is_some()
+    }
+
     /// Advances the clock by `delta_ns` nanoseconds and returns the new
     /// instant.
     ///

@@ -1,63 +1,153 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! The build environment has no network access and no vendored registry, so
-//! the workspace routes `parking_lot` to this path crate. It wraps
-//! `std::sync` primitives with the (subset of the) `parking_lot` API the
-//! workspace actually uses: non-poisoning `lock()` / `try_lock()` that
-//! return guards directly rather than `Result`s.
+//! the workspace routes `parking_lot` to this path crate. It provides the
+//! (subset of the) `parking_lot` API the workspace actually uses:
+//! non-poisoning `lock()` / `try_lock()` that return guards directly rather
+//! than `Result`s.
+//!
+//! `Mutex` is a spinlock rather than a `std::sync::Mutex` wrapper. Every
+//! lock in the simulator is effectively thread-private (each dispatch shard
+//! owns its kernel outright), so the uncontended path is all that matters:
+//! one compare-exchange to take the lock, one plain store to release it.
+//! The rare contended path spins briefly and then yields, which also keeps
+//! single-core hosts from burning a timeslice waiting on a descheduled
+//! holder.
 
-use std::sync::{self, TryLockError};
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::hint;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A mutual-exclusion primitive with the `parking_lot` calling convention.
 ///
-/// Poisoning is deliberately swallowed: like `parking_lot`, a panic while
-/// the lock is held does not make the data permanently inaccessible. The
-/// kernel simulator relies on this to keep auditing after a simulated oops.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+/// Poisoning is deliberately absent: like `parking_lot`, a panic while the
+/// lock is held does not make the data permanently inaccessible (the guard
+/// releases the lock during unwinding). The kernel simulator relies on this
+/// to keep auditing after a simulated oops.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    locked: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+// Same bounds as `std::sync::Mutex`: the lock serialises access, so only
+// `T: Send` is required for the mutex to be shared across threads.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
 
 /// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Self(sync::Mutex::new(value))
+        Self {
+            locked: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
-            Ok(v) => v,
-            Err(poisoned) => poisoned.into_inner(),
-        }
+        self.value.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.0.lock() {
-            Ok(g) => g,
-            Err(poisoned) => poisoned.into_inner(),
+        if self
+            .locked
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return MutexGuard { lock: self };
+        }
+        self.lock_contended()
+    }
+
+    #[cold]
+    fn lock_contended(&self) -> MutexGuard<'_, T> {
+        let mut spins = 0u32;
+        loop {
+            while self.locked.load(Ordering::Relaxed) {
+                if spins < 64 {
+                    spins += 1;
+                    hint::spin_loop();
+                } else {
+                    // The holder may be descheduled (single-core hosts);
+                    // hand the core back rather than spinning it hot.
+                    std::thread::yield_now();
+                }
+            }
+            if self
+                .locked
+                .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return MutexGuard { lock: self };
+            }
         }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
+        if self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(MutexGuard { lock: self })
+        } else {
+            None
         }
     }
 
     /// Returns a mutable reference to the underlying data.
     pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
-            Ok(v) => v,
-            Err(poisoned) => poisoned.into_inner(),
+        self.value.get_mut()
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(guard) => f.debug_tuple("Mutex").field(&&*guard).finish(),
+            None => f.write_str("Mutex(<locked>)"),
         }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the lock, so access is exclusive.
+        unsafe { &*self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard holds the lock, so access is exclusive.
+        unsafe { &mut *self.lock.value.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.locked.store(false, Ordering::Release);
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
     }
 }
 

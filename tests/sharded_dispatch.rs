@@ -24,8 +24,8 @@ fn same_seed_replays_byte_identical_at_four_shards() {
             seed: 0xfeed,
             ..Default::default()
         };
-        let a = run_batched(backend, &cfg, &batch);
-        let b = run_batched(backend, &cfg, &batch);
+        let a = run_batched(backend, &cfg, &batch).expect("dispatch");
+        let b = run_batched(backend, &cfg, &batch).expect("dispatch");
         assert_eq!(
             a.merged_fingerprint, b.merged_fingerprint,
             "{backend:?}: merged audit diverged between same-seed runs"
@@ -44,8 +44,8 @@ fn replay_is_byte_identical_under_fault_injection() {
             fault: Some(FaultPlanConfig::default()),
             ..Default::default()
         };
-        let a = run_batched(backend, &cfg, &batch);
-        let b = run_batched(backend, &cfg, &batch);
+        let a = run_batched(backend, &cfg, &batch).expect("dispatch");
+        let b = run_batched(backend, &cfg, &batch).expect("dispatch");
         assert_eq!(
             a.merged_fingerprint, b.merged_fingerprint,
             "{backend:?}: fault-armed replay diverged"
@@ -66,7 +66,7 @@ fn totals_do_not_depend_on_shard_count() {
                 seed: 12,
                 ..Default::default()
             };
-            let r = run_batched(backend, &cfg, &batch);
+            let r = run_batched(backend, &cfg, &batch).expect("dispatch");
             let totals = (r.packets(), r.accepted(), r.proto_counts());
             if let Some(prev) = &seen {
                 assert_eq!(
@@ -88,7 +88,7 @@ fn every_packet_is_dispatched_and_counted() {
             seed: 5,
             ..Default::default()
         };
-        let r = run_batched(backend, &cfg, &batch);
+        let r = run_batched(backend, &cfg, &batch).expect("dispatch");
         assert_eq!(r.packets(), 128);
         assert_eq!(r.errors(), 0);
         assert_eq!(r.metrics.packets, 128, "{backend:?}: metrics lost packets");
@@ -115,7 +115,7 @@ fn safe_runtime_shards_survive_fault_plans_pristine() {
         fault: Some(FaultPlanConfig::default()),
         ..Default::default()
     };
-    let r = run_batched(Backend::SafeExt, &cfg, &batch);
+    let r = run_batched(Backend::SafeExt, &cfg, &batch).expect("dispatch");
     assert_eq!(r.packets(), 160);
     assert!(
         r.injected() > 0,
@@ -147,7 +147,8 @@ fn simulated_time_shrinks_as_shards_are_added() {
                 ..Default::default()
             },
             &batch,
-        );
+        )
+        .expect("dispatch");
         let eight = run_batched(
             backend,
             &DispatchConfig {
@@ -156,7 +157,8 @@ fn simulated_time_shrinks_as_shards_are_added() {
                 ..Default::default()
             },
             &batch,
-        );
+        )
+        .expect("dispatch");
         assert!(
             eight.sim_elapsed_ns * 4 < one.sim_elapsed_ns,
             "{backend:?}: 8 simulated CPUs gave sim time {} vs 1-CPU {}",
@@ -178,7 +180,7 @@ fn zero_packet_batch_is_a_clean_empty_run() {
                 seed: 9,
                 ..Default::default()
             };
-            let r = run_batched(backend, &cfg, &[]);
+            let r = run_batched(backend, &cfg, &[]).expect("dispatch");
             assert_eq!(r.packets(), 0, "{backend:?}/{shards}");
             assert_eq!(r.accepted(), 0, "{backend:?}/{shards}");
             assert_eq!(r.errors(), 0, "{backend:?}/{shards}");
@@ -187,7 +189,7 @@ fn zero_packet_batch_is_a_clean_empty_run() {
             // Rate accessors must tolerate a zero-length timeline.
             assert_eq!(r.packets_per_sim_sec(), 0.0);
             // An empty run replays byte-identically too.
-            let again = run_batched(backend, &cfg, &[]);
+            let again = run_batched(backend, &cfg, &[]).expect("dispatch");
             assert_eq!(r.merged_fingerprint, again.merged_fingerprint);
         }
     }
@@ -207,7 +209,8 @@ fn single_shard_matches_multi_shard_on_tiny_batches() {
                 ..Default::default()
             },
             &batch,
-        );
+        )
+        .expect("dispatch");
         let eight = run_batched(
             backend,
             &DispatchConfig {
@@ -216,7 +219,8 @@ fn single_shard_matches_multi_shard_on_tiny_batches() {
                 ..Default::default()
             },
             &batch,
-        );
+        )
+        .expect("dispatch");
         assert_eq!(one.packets(), 3);
         assert_eq!(eight.packets(), 3);
         assert_eq!(one.accepted(), eight.accepted(), "{backend:?}");
@@ -238,8 +242,8 @@ fn single_shard_run_is_deterministic_and_complete() {
             seed: 64,
             ..Default::default()
         };
-        let a = run_batched(backend, &cfg, &batch);
-        let b = run_batched(backend, &cfg, &batch);
+        let a = run_batched(backend, &cfg, &batch).expect("dispatch");
+        let b = run_batched(backend, &cfg, &batch).expect("dispatch");
         assert_eq!(a.packets(), 64);
         assert_eq!(a.merged_fingerprint, b.merged_fingerprint, "{backend:?}");
         assert_eq!(a.shards.len(), 1);

@@ -15,7 +15,7 @@ use signing::sha256;
 const BOTH: [Backend; 2] = [Backend::Ebpf, Backend::SafeExt];
 
 fn trace_hash(backend: Backend, cfg: &DispatchConfig, batch: &[Vec<u8>]) -> String {
-    let report = run_batched(backend, cfg, batch);
+    let report = run_batched(backend, cfg, batch).expect("dispatch");
     assert!(
         !report.canonical_trace.is_empty(),
         "{backend:?}: traced run produced an empty canonical trace"
@@ -111,8 +111,8 @@ fn tracing_never_perturbs_simulated_cost_or_audits() {
                 trace: true,
                 ..untraced_cfg.clone()
             };
-            let untraced = run_batched(backend, &untraced_cfg, &batch);
-            let traced = run_batched(backend, &traced_cfg, &batch);
+            let untraced = run_batched(backend, &untraced_cfg, &batch).expect("dispatch");
+            let traced = run_batched(backend, &traced_cfg, &batch).expect("dispatch");
             assert_eq!(
                 untraced.sim_elapsed_ns, traced.sim_elapsed_ns,
                 "{backend:?}: tracing changed simulated cost"
@@ -135,7 +135,7 @@ fn untraced_runs_record_no_events() {
             seed: 3,
             ..Default::default()
         };
-        let report = run_batched(backend, &cfg, &batch);
+        let report = run_batched(backend, &cfg, &batch).expect("dispatch");
         for shard in &report.shards {
             assert!(
                 shard.trace.is_empty(),

@@ -140,7 +140,7 @@ proptest! {
         let backend = [Backend::Ebpf, Backend::SafeExt][backend_ix];
         let batch = make_packets(packets);
         let cfg = DispatchConfig { shards, seed, trace: true, ..Default::default() };
-        let report = run_batched(backend, &cfg, &batch);
+        let report = run_batched(backend, &cfg, &batch).expect("dispatch");
         for shard in &report.shards {
             check_stream(&shard.trace)?;
         }
