@@ -16,3 +16,6 @@ cargo run --release -q -p bench --bin netbench -- --smoke
 
 say "profile smoke"
 cargo run --release -q -p bench --bin profile -- --smoke
+
+say "churn smoke (2 shards, storm armed)"
+cargo run --release -q -p bench --bin churn -- --smoke

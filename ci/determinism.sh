@@ -27,3 +27,10 @@ say "canonical trace determinism (both backends, 1 vs 2 shards, x2)"
 # process boundaries.
 assert_same_hash "canonical trace" '^TRACE_SHA256' \
     cargo run --release -q -p bench --bin profile -- --smoke
+
+say "churn-under-traffic determinism (2 shards, storm armed, x2)"
+# The smoke itself asserts shard invariance of the churn SHA (1 vs 2
+# shards) and replay determinism; the double run pins both hash families
+# across process boundaries.
+assert_same_hash "churn log + merged audit" '^\(CHURN_SHA256\|MERGED_AUDIT_SHA256\)' \
+    cargo run --release -q -p bench --bin churn -- --smoke

@@ -27,6 +27,7 @@ const DEFAULT_REPORTS: &[&str] = &[
     "BENCH_fuzz.json",
     "BENCH_profile.json",
     "BENCH_verifier.json",
+    "BENCH_churn.json",
 ];
 
 struct Args {

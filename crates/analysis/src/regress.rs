@@ -29,13 +29,19 @@ pub const DEFAULT_TOLERANCE: f64 = 0.10;
 /// Deliberately loose: these are host measurements, not simulated costs.
 pub const DEFAULT_HOST_TOLERANCE: f64 = 0.40;
 
-/// The numeric row fields treated as simulated-cost metrics.
+/// The numeric row fields treated as simulated-cost metrics. The churn
+/// fields (`p50_cost_ns`, `p99_cost_ns`, `churn_events`) are virtual-time
+/// percentiles and a schedule count — deterministic functions of
+/// `(code, seed)` like the rest.
 pub const SIM_COST_FIELDS: &[&str] = &[
     "sim_elapsed_ns",
     "insns_processed",
     "states_explored",
     "verify_sim_ns",
     "safe_ext_load_sim_ns",
+    "p50_cost_ns",
+    "p99_cost_ns",
+    "churn_events",
 ];
 
 /// The numeric row fields treated as host-capacity metrics, gated with

@@ -1,0 +1,299 @@
+//! Multi-tenant churn-under-traffic benchmark.
+//!
+//! Loads a fleet of 600 tenants (one map + one attached program each),
+//! drives a fixed packet batch through them over 1/2/4/8 tenant-steered
+//! shards for both backends, with the control plane hot-upgrading and
+//! unload/reloading tenants at a fixed rate while packets flow — with and
+//! without the seeded quarantine storm. Results (tail-latency histogram
+//! percentiles, verdict tallies, control-plane counters) land in
+//! `BENCH_churn.json`.
+//!
+//! Two determinism checks gate every configuration:
+//!
+//! - the **churn SHA** (canonical per-item log, see [`bench::churn`]) must
+//!   be byte-identical across *all* shard counts of one
+//!   `(backend, storm)` cell; and
+//! - the **merged audit fingerprint** must replay byte-identically when
+//!   the same configuration runs twice.
+//!
+//! `--smoke` runs a reduced fleet (2 shards, storm armed, both backends,
+//! two runs each plus a 1-shard reference), prints the `CHURN_SHA256` and
+//! `MERGED_AUDIT_SHA256` lines CI compares, and exits nonzero on any
+//! divergence.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bench::churn::{run_churn, ChurnConfig, ChurnReport};
+use bench::dispatch::Backend;
+use signing::sha256;
+
+fn audit_sha256(report: &ChurnReport) -> String {
+    sha256::to_hex(&sha256::digest(report.merged_fingerprint.as_bytes()))
+}
+
+const SEED: u64 = 42;
+const FULL_TENANTS: u32 = 600;
+const FULL_PACKETS: u64 = 12_000;
+const FULL_CHURN_EVERY: u64 = 8;
+const SMOKE_TENANTS: u32 = 48;
+const SMOKE_PACKETS: u64 = 960;
+const SMOKE_CHURN_EVERY: u64 = 6;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(shards: usize, storm: bool, smoke: bool) -> ChurnConfig {
+    if smoke {
+        ChurnConfig {
+            shards,
+            seed: SEED,
+            tenants: SMOKE_TENANTS,
+            packets: SMOKE_PACKETS,
+            churn_every: SMOKE_CHURN_EVERY,
+            storm_armed: storm,
+            storm_victims: 6,
+        }
+    } else {
+        ChurnConfig {
+            shards,
+            seed: SEED,
+            tenants: FULL_TENANTS,
+            packets: FULL_PACKETS,
+            churn_every: FULL_CHURN_EVERY,
+            storm_armed: storm,
+            storm_victims: 24,
+        }
+    }
+}
+
+struct Row {
+    backend: &'static str,
+    shards: usize,
+    faults: &'static str,
+    tenants: u32,
+    report: ChurnReport,
+}
+
+/// Runs one configuration twice; returns the faster run, aborting if the
+/// replays diverge in either artifact.
+fn run_config(backend: Backend, cfg: &ChurnConfig) -> ChurnReport {
+    let first = run_churn(backend, cfg).expect("churn run");
+    let second = run_churn(backend, cfg).expect("churn run");
+    if first.merged_fingerprint != second.merged_fingerprint
+        || first.churn_sha256 != second.churn_sha256
+    {
+        eprintln!(
+            "FAIL: nondeterministic replay for backend={} shards={} storm={}",
+            backend.name(),
+            cfg.shards,
+            cfg.storm_armed
+        );
+        std::process::exit(1);
+    }
+    if second.host_cpu_ns < first.host_cpu_ns {
+        second
+    } else {
+        first
+    }
+}
+
+fn full(out: &str) {
+    let started = Instant::now();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for storm in [false, true] {
+            let mut cell_sha: Option<String> = None;
+            for shards in SHARD_COUNTS {
+                let cfg = config(shards, storm, false);
+                let report = run_config(backend, &cfg);
+                assert_eq!(report.packets, FULL_PACKETS);
+                assert!(
+                    report.tenants_loaded >= 500,
+                    "fleet fell below 500 loaded tenants: {}",
+                    report.tenants_loaded
+                );
+                match &cell_sha {
+                    None => cell_sha = Some(report.churn_sha256.clone()),
+                    Some(sha) => {
+                        if *sha != report.churn_sha256 {
+                            eprintln!(
+                                "FAIL: churn SHA diverged at {shards} shards (backend={} storm={storm})",
+                                backend.name()
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                println!(
+                    "{:>8} shards={} storm={:<5} tenants={} events={} ok={} kill={} refused={} p50={}ns p99={}ns host_pps={:.0}",
+                    backend.name(),
+                    shards,
+                    storm,
+                    report.tenants_loaded,
+                    report.churn_events,
+                    report.ok,
+                    report.killed,
+                    report.refused,
+                    report.cost.percentile(50),
+                    report.cost.percentile(99),
+                    report.packets_per_host_cpu_sec(),
+                );
+                rows.push(Row {
+                    backend: backend.name(),
+                    shards,
+                    faults: if storm { "storm" } else { "none" },
+                    tenants: FULL_TENANTS,
+                    report,
+                });
+            }
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(json, "  \"packets\": {FULL_PACKETS},");
+    let _ = writeln!(json, "  \"churn_every\": {FULL_CHURN_EVERY},");
+    json.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.report;
+        let _ = write!(
+            json,
+            "    {{\"scenario\": \"churn\", \"backend\": \"{}\", \"shards\": {}, \"faults\": \"{}\", \"tenants\": {}, \"tenants_loaded\": {}, \"packets\": {}, \"churn_events\": {}, \"upgrades\": {}, \"reloads\": {}, \"ok\": {}, \"killed\": {}, \"refused\": {}, \"errors\": {}, \"quarantine_trips\": {}, \"tenant_loads\": {}, \"tenant_swaps\": {}, \"tenant_unloads\": {}, \"injected\": {}, \"p50_cost_ns\": {}, \"p99_cost_ns\": {}, \"mean_cost_ns\": {}, \"sim_elapsed_ns\": {}, \"host_cpu_ns\": {}, \"host_pps\": {:.0}, \"churn_sha256\": \"{}\"}}",
+            row.backend,
+            row.shards,
+            row.faults,
+            row.tenants,
+            r.tenants_loaded,
+            r.packets,
+            r.churn_events,
+            r.upgrades,
+            r.reloads,
+            r.ok,
+            r.killed,
+            r.refused,
+            r.errors,
+            r.metrics.quarantine_trips,
+            r.metrics.tenant_loads,
+            r.metrics.tenant_swaps,
+            r.metrics.tenant_unloads,
+            r.injected,
+            r.cost.percentile(50),
+            r.cost.percentile(99),
+            r.cost.mean(),
+            r.sim_elapsed_ns,
+            r.host_cpu_ns,
+            r.packets_per_host_cpu_sec(),
+            r.churn_sha256,
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(out, json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!(
+        "wrote {out} ({} rows) in {:.1}s",
+        rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    // Storm rows must show the breaker working: kills and refusals, but
+    // only where the storm aimed (the engine's tests pin the targeting).
+    for row in &rows {
+        if row.faults == "storm" {
+            assert!(row.report.killed > 0, "storm row without kills");
+            assert!(row.report.refused > 0, "storm row without refusals");
+        } else {
+            assert_eq!(row.report.killed, 0, "quiet row with kills");
+            assert_eq!(row.report.refused, 0, "quiet row with refusals");
+        }
+    }
+}
+
+fn smoke() {
+    let mut failed = false;
+    for backend in [Backend::Ebpf, Backend::SafeExt] {
+        let cfg = config(2, true, true);
+        let a = run_churn(backend, &cfg).expect("churn run");
+        let b = run_churn(backend, &cfg).expect("churn run");
+        let reference = run_churn(backend, &config(1, true, true)).expect("churn run");
+        println!(
+            "CHURN_SHA256 backend={} shards=2 {}",
+            backend.name(),
+            a.churn_sha256
+        );
+        println!(
+            "CHURN_SHA256 backend={} shards=2 {}",
+            backend.name(),
+            b.churn_sha256
+        );
+        println!(
+            "CHURN_SHA256 backend={} shards=1 {}",
+            backend.name(),
+            reference.churn_sha256
+        );
+        println!(
+            "MERGED_AUDIT_SHA256 backend={} shards=2 {}",
+            backend.name(),
+            audit_sha256(&a)
+        );
+        println!(
+            "MERGED_AUDIT_SHA256 backend={} shards=2 {}",
+            backend.name(),
+            audit_sha256(&b)
+        );
+        if a.churn_sha256 != b.churn_sha256 || a.merged_fingerprint != b.merged_fingerprint {
+            eprintln!("FAIL: replay diverged for backend={}", backend.name());
+            failed = true;
+        }
+        if reference.churn_sha256 != a.churn_sha256 {
+            eprintln!(
+                "FAIL: churn SHA not shard-count invariant for backend={}",
+                backend.name()
+            );
+            failed = true;
+        }
+        if a.tenants_loaded != SMOKE_TENANTS as u64 {
+            eprintln!(
+                "FAIL: backend={} ended with {} of {SMOKE_TENANTS} tenants attached",
+                backend.name(),
+                a.tenants_loaded
+            );
+            failed = true;
+        }
+        if a.killed == 0 || a.refused == 0 {
+            eprintln!(
+                "FAIL: backend={} storm produced no kills/refusals",
+                backend.name()
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "churn smoke OK ({SMOKE_PACKETS} packets x {SMOKE_TENANTS} tenants x 2 backends, storm armed)"
+    );
+}
+
+fn main() {
+    let mut smoke_mode = false;
+    let mut out = "BENCH_churn.json".to_string();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--out" => out = it.next().expect("--out requires a value"),
+            other => {
+                eprintln!("churn: unknown argument {other}");
+                eprintln!("usage: churn [--smoke] [--out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke_mode {
+        smoke();
+    } else {
+        full(&out);
+    }
+}

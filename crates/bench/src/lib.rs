@@ -5,6 +5,7 @@
 //! the Criterion benches (`benches/`) and the `repro` binary, which
 //! regenerates every figure and table of the paper (see EXPERIMENTS.md).
 
+pub mod churn;
 pub mod dispatch;
 pub mod experiments;
 pub mod hostclock;

@@ -103,7 +103,21 @@ impl Default for RuntimeConfig {
 #[derive(Debug)]
 pub struct Quarantine {
     threshold: u32,
+    cooldown: Option<u32>,
     state: Mutex<HashMap<String, QuarantineState>>,
+}
+
+/// Admission decision from [`Quarantine::try_admit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Not quarantined: run normally.
+    Admitted,
+    /// Quarantined and still cooling down: the run is refused.
+    Refused,
+    /// Quarantined, but the cooldown elapsed: this one run is admitted as
+    /// a half-open probe. A kill re-trips the breaker immediately; a clean
+    /// exit readmits the extension fully.
+    Probe,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -111,6 +125,13 @@ struct QuarantineState {
     consecutive_kills: u32,
     total_kills: u64,
     quarantined: bool,
+    /// Refused admissions since the breaker tripped (the cooldown clock —
+    /// counted in admission attempts, so it is deterministic and needs no
+    /// wall time).
+    cooldown_progress: u32,
+    /// A half-open probe run is in flight: its outcome (the next
+    /// `note_kill` / `note_clean`) decides re-trip vs readmission.
+    probing: bool,
 }
 
 impl Quarantine {
@@ -119,8 +140,19 @@ impl Quarantine {
     pub fn new(threshold: u32) -> Self {
         Quarantine {
             threshold: threshold.max(1),
+            cooldown: None,
             state: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Enables half-open probing: after `intervals` refused admissions
+    /// (minimum 1), [`Self::try_admit`] admits one probe run instead of
+    /// refusing forever. Without this, quarantine is permanent until an
+    /// operator calls [`Self::reset`] — which under a *transient* fault
+    /// storm turns a recoverable extension into a permanently dead one.
+    pub fn with_cooldown(mut self, intervals: u32) -> Self {
+        self.cooldown = Some(intervals.max(1));
+        self
     }
 
     /// The configured kill threshold.
@@ -137,13 +169,50 @@ impl Quarantine {
             .unwrap_or(false)
     }
 
+    /// Admission check for one run attempt. Without a cooldown this is
+    /// `is_quarantined` reshaped; with [`Self::with_cooldown`], every
+    /// refused attempt advances the cooldown clock and the attempt after
+    /// it elapses is admitted as a half-open [`Admission::Probe`].
+    pub fn try_admit(&self, name: &str) -> Admission {
+        let mut st = self.state.lock();
+        let Some(entry) = st.get_mut(name) else {
+            return Admission::Admitted;
+        };
+        if !entry.quarantined {
+            return Admission::Admitted;
+        }
+        let Some(intervals) = self.cooldown else {
+            return Admission::Refused;
+        };
+        if entry.probing {
+            // A probe is already in flight; refuse until its outcome is in.
+            return Admission::Refused;
+        }
+        if entry.cooldown_progress >= intervals {
+            entry.cooldown_progress = 0;
+            entry.probing = true;
+            Admission::Probe
+        } else {
+            entry.cooldown_progress += 1;
+            Admission::Refused
+        }
+    }
+
     /// Records a kill (watchdog / stack guard / panic) for `name`; returns
-    /// `true` if this kill tripped the breaker.
+    /// `true` if this kill tripped (or, for a failed probe, re-tripped)
+    /// the breaker.
     pub fn note_kill(&self, name: &str) -> bool {
         let mut st = self.state.lock();
         let entry = st.entry(name.to_string()).or_default();
         entry.consecutive_kills += 1;
         entry.total_kills += 1;
+        if entry.probing {
+            // The half-open probe died: re-trip immediately and restart
+            // the cooldown from zero.
+            entry.probing = false;
+            entry.cooldown_progress = 0;
+            return true;
+        }
         if !entry.quarantined && entry.consecutive_kills >= self.threshold {
             entry.quarantined = true;
             true
@@ -153,10 +222,16 @@ impl Quarantine {
     }
 
     /// Records a clean run for `name`, resetting its consecutive-kill
-    /// counter (quarantine status is unaffected).
+    /// counter. A clean half-open probe readmits the extension fully;
+    /// otherwise quarantine status is unaffected.
     pub fn note_clean(&self, name: &str) {
         if let Some(entry) = self.state.lock().get_mut(name) {
             entry.consecutive_kills = 0;
+            if entry.probing {
+                entry.probing = false;
+                entry.quarantined = false;
+                entry.cooldown_progress = 0;
+            }
         }
     }
 
@@ -169,6 +244,8 @@ impl Quarantine {
                 let was = entry.quarantined;
                 entry.quarantined = false;
                 entry.consecutive_kills = 0;
+                entry.cooldown_progress = 0;
+                entry.probing = false;
                 was
             }
             None => false,
@@ -270,13 +347,23 @@ impl<'k> Runtime<'k> {
     /// Runs `ext` on `input`.
     pub fn run(&self, ext: &Extension, input: ExtInput) -> ExtOutcome {
         if let Some(q) = &self.quarantine {
-            if q.is_quarantined(&ext.name) {
-                self.kernel.audit.record(
-                    self.kernel.clock.now_ns(),
-                    EventKind::Quarantined,
-                    format!("{}: run refused (quarantined)", ext.name),
-                );
-                return self.refused_outcome(Err(Abort::Quarantined));
+            match q.try_admit(&ext.name) {
+                Admission::Admitted => {}
+                Admission::Probe => {
+                    self.kernel.audit.record(
+                        self.kernel.clock.now_ns(),
+                        EventKind::Quarantined,
+                        format!("{}: half-open probe admitted after cooldown", ext.name),
+                    );
+                }
+                Admission::Refused => {
+                    self.kernel.audit.record(
+                        self.kernel.clock.now_ns(),
+                        EventKind::Quarantined,
+                        format!("{}: run refused (quarantined)", ext.name),
+                    );
+                    return self.refused_outcome(Err(Abort::Quarantined));
+                }
             }
         }
 
@@ -521,5 +608,63 @@ impl TapAudit for ExtOutcome {
             .audit
             .record(kernel.clock.now_ns(), EventKind::Info, msg);
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_cooldown_quarantine_is_permanent() {
+        let q = Quarantine::new(2);
+        q.note_kill("x");
+        assert!(q.note_kill("x"));
+        for _ in 0..100 {
+            assert_eq!(q.try_admit("x"), Admission::Refused);
+        }
+        assert!(q.is_quarantined("x"));
+    }
+
+    #[test]
+    fn cooldown_admits_one_probe_and_clean_probe_readmits() {
+        let q = Quarantine::new(1).with_cooldown(3);
+        assert!(q.note_kill("x"));
+        // Three refused admissions are the cooldown...
+        for _ in 0..3 {
+            assert_eq!(q.try_admit("x"), Admission::Refused);
+        }
+        // ...then exactly one probe is admitted.
+        assert_eq!(q.try_admit("x"), Admission::Probe);
+        assert_eq!(q.try_admit("x"), Admission::Refused, "one probe at a time");
+        // The probe came back clean: fully readmitted.
+        q.note_clean("x");
+        assert!(!q.is_quarantined("x"));
+        assert_eq!(q.try_admit("x"), Admission::Admitted);
+    }
+
+    #[test]
+    fn killed_probe_retrips_immediately_and_restarts_cooldown() {
+        let q = Quarantine::new(1).with_cooldown(2);
+        assert!(q.note_kill("x"));
+        assert_eq!(q.try_admit("x"), Admission::Refused);
+        assert_eq!(q.try_admit("x"), Admission::Refused);
+        assert_eq!(q.try_admit("x"), Admission::Probe);
+        // The probe died: the breaker re-trips on that single kill, even
+        // though the threshold would normally require more.
+        assert!(q.note_kill("x"));
+        assert!(q.is_quarantined("x"));
+        // And the cooldown starts over from zero.
+        assert_eq!(q.try_admit("x"), Admission::Refused);
+        assert_eq!(q.try_admit("x"), Admission::Refused);
+        assert_eq!(q.try_admit("x"), Admission::Probe);
+    }
+
+    #[test]
+    fn try_admit_matches_is_quarantined_for_untracked_names() {
+        let q = Quarantine::new(3).with_cooldown(1);
+        assert_eq!(q.try_admit("never-seen"), Admission::Admitted);
+        q.note_kill("other");
+        assert_eq!(q.try_admit("other"), Admission::Admitted);
     }
 }

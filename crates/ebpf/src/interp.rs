@@ -253,7 +253,11 @@ pub struct Vm<'a> {
     pub faults: FaultConfig,
     /// Interpreter configuration.
     pub config: VmConfig,
-    programs: Vec<LoadedProg>,
+    /// The program table. Unloaded slots are tombstoned (`None`) rather
+    /// than removed so program ids stay stable: an id is an index, and a
+    /// stale id after [`Vm::unload`] resolves to nothing instead of to a
+    /// later tenant's program.
+    programs: Vec<Option<LoadedProg>>,
 }
 
 /// A loaded program in one of the two execution forms. Tail calls may
@@ -357,7 +361,8 @@ impl<'a> Vm<'a> {
     pub fn load(&mut self, prog: Program) -> u32 {
         let id = self.programs.len() as u32;
         let truncated = truncated_lddw(&prog.insns);
-        self.programs.push(LoadedProg::Interp { prog, truncated });
+        self.programs
+            .push(Some(LoadedProg::Interp { prog, truncated }));
         id
     }
 
@@ -387,18 +392,33 @@ impl<'a> Vm<'a> {
             })
             .collect();
         let id = self.programs.len() as u32;
-        self.programs.push(LoadedProg::Jit(Box::new(JitLoaded {
+        self.programs.push(Some(LoadedProg::Jit(Box::new(JitLoaded {
             prog,
             ops: lowered.ops,
             chunk: lowered.chunk,
             calls,
-        })));
+        }))));
         Ok((id, lowered.stats))
     }
 
-    /// Number of loaded programs.
+    /// Number of loaded programs (tombstoned slots excluded).
     pub fn program_count(&self) -> usize {
-        self.programs.len()
+        self.programs.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Unloads program `prog_id`, tombstoning its slot. Returns whether a
+    /// program was actually unloaded. Subsequent runs and tail calls
+    /// targeting the id fail with "no such program" / "tail call to
+    /// unloaded program" — the id is never reissued.
+    ///
+    /// The caller is responsible for quiescence: in the tenancy control
+    /// plane the attachment pointer is swapped and an RCU grace period
+    /// elapses before the old version is unloaded.
+    pub fn unload(&mut self, prog_id: u32) -> bool {
+        match self.programs.get_mut(prog_id as usize) {
+            Some(slot) => slot.take().is_some(),
+            None => false,
+        }
     }
 
     /// A `RunResult` for a run that aborted before executing anything.
@@ -438,7 +458,7 @@ impl<'a> Vm<'a> {
     }
 
     fn run_ref(&self, prog_id: u32, input: CtxRef<'_>) -> RunResult {
-        let Some(loaded) = self.programs.get(prog_id as usize) else {
+        let Some(loaded) = self.programs.get(prog_id as usize).and_then(Option::as_ref) else {
             return Self::aborted(ExecError::NoSuchProgram { id: prog_id });
         };
         if let LoadedProg::Interp {
@@ -487,27 +507,29 @@ impl<'a> Vm<'a> {
                     result = Ok(v);
                     break;
                 }
-                Ok(FnExit::TailCall(next)) => match self.programs.get(next as usize) {
-                    Some(LoadedProg::Interp {
-                        truncated: Some(pc),
-                        ..
-                    }) => {
-                        result = Err(ExecError::TruncatedLddw { pc: *pc });
-                        break;
+                Ok(FnExit::TailCall(next)) => {
+                    match self.programs.get(next as usize).and_then(Option::as_ref) {
+                        Some(LoadedProg::Interp {
+                            truncated: Some(pc),
+                            ..
+                        }) => {
+                            result = Err(ExecError::TruncatedLddw { pc: *pc });
+                            break;
+                        }
+                        Some(p) => {
+                            current = p;
+                            st.regs = [0; 11];
+                            st.regs[1] = ctx_addr;
+                        }
+                        None => {
+                            result = Err(ExecError::HelperFailure {
+                                msg: format!("tail call to unloaded program {next}"),
+                                pc: 0,
+                            });
+                            break;
+                        }
                     }
-                    Some(p) => {
-                        current = p;
-                        st.regs = [0; 11];
-                        st.regs[1] = ctx_addr;
-                    }
-                    None => {
-                        result = Err(ExecError::HelperFailure {
-                            msg: format!("tail call to unloaded program {next}"),
-                            pc: 0,
-                        });
-                        break;
-                    }
-                },
+                }
                 Err(e) => {
                     result = Err(e);
                     break;

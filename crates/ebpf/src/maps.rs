@@ -189,20 +189,27 @@ enum MapInner {
 pub struct Map {
     /// The definition the map was created with.
     pub def: MapDef,
+    /// The memory accounting domain the map's storage is charged to
+    /// (0 = unaccounted). Per-entry allocations made after creation
+    /// (hash entries, ring records) are charged to the same domain, so
+    /// a tenant's byte quota covers growth at runtime, not just the
+    /// create-time footprint.
+    domain: u32,
     inner: Mutex<MapInner>,
 }
 
 impl Map {
-    fn create(kernel: &Kernel, def: MapDef) -> Result<Self, MapError> {
+    fn create(kernel: &Kernel, def: MapDef, domain: u32) -> Result<Self, MapError> {
         let inner = match def.kind {
             MapKind::Array => {
                 if def.key_size != 4 || def.value_size == 0 || def.max_entries == 0 {
                     return Err(MapError::BadDef);
                 }
-                let base = kernel.mem.map(
+                let base = kernel.mem.map_in_domain(
                     &format!("map:{}", def.name),
                     def.value_size as u64 * def.max_entries as u64,
                     Perms::rw(),
+                    domain,
                 )?;
                 MapInner::Array { base }
             }
@@ -211,10 +218,11 @@ impl Map {
                     return Err(MapError::BadDef);
                 }
                 let nr_cpus = kernel.cpus.nr_cpus();
-                let base = kernel.mem.map(
+                let base = kernel.mem.map_in_domain(
                     &format!("map:{}", def.name),
                     def.value_size as u64 * def.max_entries as u64 * nr_cpus as u64,
                     Perms::rw(),
+                    domain,
                 )?;
                 MapInner::PerCpu { base, nr_cpus }
             }
@@ -252,8 +260,47 @@ impl Map {
         };
         Ok(Self {
             def,
+            domain,
             inner: Mutex::new(inner),
         })
+    }
+
+    /// Releases every kernel-memory region backing this map: the array /
+    /// per-CPU base, live hash entries, and outstanding ring reservations.
+    ///
+    /// Called by [`MapRegistry::destroy`] once the fd is revoked. Pointers
+    /// obtained from the map before destruction fault in checked memory
+    /// afterwards — a use-after-free is an error here, never silent
+    /// aliasing of a later tenant's allocation.
+    fn teardown(&self, mem: &KernelMem) -> Result<(), MapError> {
+        match &mut *self.inner.lock() {
+            MapInner::Array { base } | MapInner::PerCpu { base, .. } => {
+                mem.unmap(*base)?;
+            }
+            MapInner::Hash { entries, lru } => {
+                for addr in entries.values() {
+                    mem.unmap(*addr)?;
+                }
+                entries.clear();
+                if let Some(order) = lru {
+                    order.clear();
+                }
+            }
+            MapInner::Prog { slots } => slots.clear(),
+            MapInner::Ring {
+                used,
+                reserved,
+                committed,
+            } => {
+                for addr in reserved.keys() {
+                    mem.unmap(*addr)?;
+                }
+                reserved.clear();
+                committed.clear();
+                *used = 0;
+            }
+        }
+        Ok(())
     }
 
     /// The checked element address of array index `index` on `cpu`.
@@ -386,10 +433,11 @@ impl Map {
                         None => return Err(MapError::NoSpace),
                     }
                 }
-                let addr = mem.map(
+                let addr = mem.map_in_domain(
                     &format!("map:{name}:entry"),
                     value.len() as u64,
                     Perms::rw(),
+                    self.domain,
                 )?;
                 mem.write_from(addr, value)?;
                 entries.insert(key.to_vec(), addr);
@@ -470,7 +518,12 @@ impl Map {
                 if *used as u64 + size as u64 > capacity as u64 {
                     return Ok(None);
                 }
-                let addr = mem.map(&format!("map:{name}:rec"), size as u64, Perms::rw())?;
+                let addr = mem.map_in_domain(
+                    &format!("map:{name}:rec"),
+                    size as u64,
+                    Perms::rw(),
+                    self.domain,
+                )?;
                 *used += size;
                 reserved.insert(addr, size);
                 Ok(Some(addr))
@@ -573,7 +626,21 @@ fn touch_lru(order: &mut VecDeque<Vec<u8>>, key: &[u8]) {
 
 /// A map file descriptor, as referenced from bytecode via
 /// [`crate::insn::BPF_PSEUDO_MAP_FD`] loads.
+///
+/// An fd packs a slot index in its low [`FD_INDEX_BITS`] bits (as
+/// `index + 1`, so 0 is never a valid fd) and a slot generation in the
+/// bits above. A slot's generation bumps every time its map is destroyed,
+/// so an fd held across an unload stops resolving instead of silently
+/// aliasing whatever map reuses the slot. First-generation fds have a zero
+/// tag and are numerically identical to the sequential fds the table
+/// handed out before slots were reclaimable, which keeps fds embedded in
+/// existing bytecode fixtures valid.
 pub type MapFd = u32;
+
+/// Low bits of a [`MapFd`] that carry the slot index (as `index + 1`).
+pub const FD_INDEX_BITS: u32 = 20;
+
+const FD_INDEX_MASK: u32 = (1 << FD_INDEX_BITS) - 1;
 
 /// The per-kernel map registry (the fd table).
 #[derive(Debug, Default)]
@@ -581,39 +648,105 @@ pub struct MapRegistry {
     state: Mutex<RegistryState>,
 }
 
+/// One fd-table slot: the map (if live) plus the generation tag that
+/// revoked fds are checked against.
+#[derive(Debug, Default)]
+struct Slot {
+    gen: u32,
+    map: Option<Arc<Map>>,
+}
+
 #[derive(Debug, Default)]
 struct RegistryState {
-    /// Maps indexed by `fd - 1`: fds are handed out sequentially starting
-    /// at 1 and never revoked, so a plain vector is the whole fd table
-    /// (and `get`, the hottest helper-path operation, is an index).
-    maps: Vec<Arc<Map>>,
+    /// Slots indexed by `(fd & FD_INDEX_MASK) - 1`. `get`, the hottest
+    /// helper-path operation, stays an index plus one generation compare.
+    slots: Vec<Slot>,
+    /// Indexes of vacated slots, reused LIFO by the next `create`.
+    free: Vec<u32>,
 }
 
 impl MapRegistry {
     /// Creates a map and returns its fd.
     pub fn create(&self, kernel: &Kernel, def: MapDef) -> Result<MapFd, MapError> {
-        let map = Arc::new(Map::create(kernel, def)?);
-        let mut st = self.state.lock();
-        st.maps.push(map);
-        Ok(st.maps.len() as MapFd)
+        self.create_in_domain(kernel, def, 0)
     }
 
-    /// Looks up a map by fd.
+    /// Creates a map whose backing memory — including entry allocations
+    /// made later at runtime — is charged to memory-accounting `domain`
+    /// (0 = unaccounted). A domain over its byte quota surfaces here and
+    /// on hash updates as [`MapError::Fault`] with
+    /// [`kernel_sim::mem::Fault::QuotaExceeded`].
+    pub fn create_in_domain(
+        &self,
+        kernel: &Kernel,
+        def: MapDef,
+        domain: u32,
+    ) -> Result<MapFd, MapError> {
+        let map = Arc::new(Map::create(kernel, def, domain)?);
+        let mut st = self.state.lock();
+        if let Some(index) = st.free.pop() {
+            let slot = &mut st.slots[index as usize];
+            slot.map = Some(map);
+            return Ok((slot.gen << FD_INDEX_BITS) | (index + 1));
+        }
+        if st.slots.len() as u32 >= FD_INDEX_MASK {
+            return Err(MapError::NoSpace);
+        }
+        st.slots.push(Slot {
+            gen: 0,
+            map: Some(map),
+        });
+        Ok(st.slots.len() as MapFd)
+    }
+
+    /// Looks up a map by fd. Stale fds — revoked by [`Self::destroy`], or
+    /// from a prior generation of a reused slot — return `None`.
     pub fn get(&self, fd: MapFd) -> Option<Arc<Map>> {
         let st = self.state.lock();
-        fd.checked_sub(1)
-            .and_then(|i| st.maps.get(i as usize))
-            .cloned()
+        let index = (fd & FD_INDEX_MASK).checked_sub(1)?;
+        let slot = st.slots.get(index as usize)?;
+        if slot.gen != fd >> FD_INDEX_BITS {
+            return None;
+        }
+        slot.map.clone()
+    }
+
+    /// Destroys the map behind `fd`: revokes the fd (bumping the slot's
+    /// generation so stale copies error out), releases the map's backing
+    /// kernel memory, and recycles the slot for the next `create`.
+    ///
+    /// Errors with [`MapError::NotFound`] when `fd` is already stale —
+    /// destroying a map twice is a caller bug, not a no-op.
+    pub fn destroy(&self, mem: &KernelMem, fd: MapFd) -> Result<(), MapError> {
+        let map = {
+            let mut st = self.state.lock();
+            let index = (fd & FD_INDEX_MASK)
+                .checked_sub(1)
+                .ok_or(MapError::NotFound)?;
+            let slot = st.slots.get_mut(index as usize).ok_or(MapError::NotFound)?;
+            if slot.gen != fd >> FD_INDEX_BITS {
+                return Err(MapError::NotFound);
+            }
+            let map = slot.map.take().ok_or(MapError::NotFound)?;
+            slot.gen = slot.gen.wrapping_add(1) & (u32::MAX >> FD_INDEX_BITS);
+            st.free.push(index);
+            map
+        };
+        // Teardown happens outside the table lock: unmapping hash entries
+        // is O(live entries) and must not stall concurrent `get`s on the
+        // helper hot path.
+        map.teardown(mem)
     }
 
     /// Number of live maps.
     pub fn len(&self) -> usize {
-        self.state.lock().maps.len()
+        let st = self.state.lock();
+        st.slots.iter().filter(|s| s.map.is_some()).count()
     }
 
     /// Whether no maps exist.
     pub fn is_empty(&self) -> bool {
-        self.state.lock().maps.is_empty()
+        self.len() == 0
     }
 }
 
@@ -865,6 +998,92 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert!(reg.get(a).is_some());
         assert!(reg.get(999).is_none());
+    }
+
+    #[test]
+    fn first_generation_fds_stay_sequential() {
+        // Back-compat: until a slot is destroyed, fds are the same small
+        // sequential integers the pre-freelist table handed out, so fds
+        // baked into bytecode fixtures keep resolving.
+        let (kernel, reg) = kernel_and_registry();
+        for expect in 1..=4u32 {
+            let fd = reg.create(&kernel, MapDef::array("m", 4, 1)).unwrap();
+            assert_eq!(fd, expect);
+        }
+    }
+
+    #[test]
+    fn stale_fd_errors_out_instead_of_aliasing_reused_slot() {
+        let (kernel, reg) = kernel_and_registry();
+        let old = reg.create(&kernel, MapDef::array("victim", 8, 4)).unwrap();
+        let addr = reg
+            .get(old)
+            .unwrap()
+            .lookup(&0u32.to_le_bytes(), 0)
+            .unwrap()
+            .unwrap();
+        reg.destroy(&kernel.mem, old).unwrap();
+        // The slot is recycled for the next tenant's map...
+        let new = reg.create(&kernel, MapDef::array("next", 8, 4)).unwrap();
+        assert_eq!(old & FD_INDEX_MASK, new & FD_INDEX_MASK, "slot reused");
+        assert_ne!(old, new, "generation tag distinguishes the fds");
+        // ...but the stale fd resolves to nothing rather than to it.
+        assert!(reg.get(old).is_none());
+        assert!(reg.get(new).is_some());
+        // And the old map's backing memory is gone: stale pointers fault.
+        assert!(kernel.mem.read_u64(addr).is_err());
+        // Destroying through the stale fd again is an error, not a no-op
+        // (it must never tear down the slot's new occupant).
+        assert_eq!(reg.destroy(&kernel.mem, old), Err(MapError::NotFound));
+        assert!(reg.get(new).is_some());
+    }
+
+    #[test]
+    fn destroy_releases_hash_entries_and_ring_reservations() {
+        let (kernel, reg) = kernel_and_registry();
+        let hfd = reg.create(&kernel, MapDef::hash("h", 4, 8, 8)).unwrap();
+        let hmap = reg.get(hfd).unwrap();
+        hmap.update(&kernel.mem, &[1, 0, 0, 0], &7u64.to_le_bytes(), 0)
+            .unwrap();
+        let entry = hmap.lookup(&[1, 0, 0, 0], 0).unwrap().unwrap();
+        let rfd = reg.create(&kernel, MapDef::ringbuf("rb", 64)).unwrap();
+        let rmap = reg.get(rfd).unwrap();
+        let rec = rmap.ringbuf_reserve(&kernel.mem, 16).unwrap().unwrap();
+        reg.destroy(&kernel.mem, hfd).unwrap();
+        reg.destroy(&kernel.mem, rfd).unwrap();
+        assert!(kernel.mem.read_u64(entry).is_err());
+        assert!(kernel.mem.read_u64(rec).is_err());
+        assert_eq!(reg.len(), 0);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn domain_charged_maps_hit_quota_and_credit_on_destroy() {
+        let (kernel, reg) = kernel_and_registry();
+        let domain = 7u32;
+        kernel.mem.set_domain_quota(domain, 64);
+        // Create-time enforcement: an array bigger than the quota is
+        // rejected at load.
+        assert!(matches!(
+            reg.create_in_domain(&kernel, MapDef::array("big", 8, 16), domain),
+            Err(MapError::Fault(Fault::QuotaExceeded { .. }))
+        ));
+        // Runtime enforcement: hash entries allocated on update are
+        // charged to the same domain.
+        let fd = reg
+            .create_in_domain(&kernel, MapDef::hash("h", 4, 32, 8), domain)
+            .unwrap();
+        let map = reg.get(fd).unwrap();
+        map.update(&kernel.mem, &[1, 0, 0, 0], &[0; 32], 0).unwrap();
+        map.update(&kernel.mem, &[2, 0, 0, 0], &[0; 32], 0).unwrap();
+        assert!(matches!(
+            map.update(&kernel.mem, &[3, 0, 0, 0], &[0; 32], 0),
+            Err(MapError::Fault(Fault::QuotaExceeded { .. }))
+        ));
+        assert_eq!(kernel.mem.domain_bytes(domain), 64);
+        // Destroy credits the domain back in full.
+        reg.destroy(&kernel.mem, fd).unwrap();
+        assert_eq!(kernel.mem.domain_bytes(domain), 0);
     }
 
     #[test]

@@ -89,6 +89,18 @@ pub enum Fault {
         /// The requested allocation length in bytes.
         len: u64,
     },
+    /// Allocation refused because it would push an accounting domain
+    /// past its byte quota (see [`KernelMem::set_domain_quota`]). Like
+    /// [`Fault::AllocFailed`] this is a policy outcome, not a safety
+    /// violation: freeing domain memory makes the allocation viable.
+    QuotaExceeded {
+        /// The accounting domain that is over budget.
+        domain: u32,
+        /// The requested allocation length in bytes.
+        len: u64,
+        /// The domain's configured byte limit.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for Fault {
@@ -116,6 +128,12 @@ impl std::fmt::Display for Fault {
             ),
             Fault::AllocFailed { len } => {
                 write!(f, "transient allocation failure (len {len})")
+            }
+            Fault::QuotaExceeded { domain, len, limit } => {
+                write!(
+                    f,
+                    "domain {domain} quota exceeded (len {len}, limit {limit})"
+                )
             }
         }
     }
@@ -155,6 +173,9 @@ struct Region {
     base: Addr,
     perms: Perms,
     pkey: Pkey,
+    /// Accounting domain the region's bytes are charged to (0 = the
+    /// unaccounted kernel domain).
+    domain: u32,
     name: String,
     data: Vec<u8>,
 }
@@ -189,6 +210,11 @@ struct MemState {
     /// an allocation cache — fresh mappings still get fresh base
     /// addresses and zeroed contents.
     spare: Vec<Region>,
+    /// Bytes currently mapped per accounting domain (domain 0 is never
+    /// tracked here).
+    domain_used: BTreeMap<u32, u64>,
+    /// Byte quota per accounting domain; absent = unlimited.
+    domain_limits: BTreeMap<u32, u64>,
 }
 
 /// The simulated kernel address space.
@@ -232,6 +258,8 @@ impl KernelMem {
                 pkey_access_disable: 0,
                 pkey_write_disable: 0,
                 spare: Vec::new(),
+                domain_used: BTreeMap::new(),
+                domain_limits: BTreeMap::new(),
             }),
         }
     }
@@ -256,14 +284,31 @@ impl KernelMem {
         perms: Perms,
         pkey: Pkey,
     ) -> Result<Addr, Fault> {
-        self.map_inner(name, len, perms, pkey, None)
+        self.map_inner(name, len, perms, pkey, 0, None)
     }
 
     /// Maps a region pre-initialized with `data` — equivalent to
     /// [`KernelMem::map`] followed by a full-region write, in one
     /// address-space transaction.
     pub fn map_with_data(&self, name: &str, data: &[u8], perms: Perms) -> Result<Addr, Fault> {
-        self.map_inner(name, data.len() as u64, perms, 0, Some(data))
+        self.map_inner(name, data.len() as u64, perms, 0, 0, Some(data))
+    }
+
+    /// Maps a region whose bytes are charged to accounting `domain`.
+    ///
+    /// Domain 0 is the unaccounted kernel domain; any other domain may
+    /// carry a byte quota ([`KernelMem::set_domain_quota`]), in which
+    /// case an allocation that would exceed it fails with
+    /// [`Fault::QuotaExceeded`]. The charge is credited back when the
+    /// region is unmapped.
+    pub fn map_in_domain(
+        &self,
+        name: &str,
+        len: u64,
+        perms: Perms,
+        domain: u32,
+    ) -> Result<Addr, Fault> {
+        self.map_inner(name, len, perms, 0, domain, None)
     }
 
     fn map_inner(
@@ -272,6 +317,7 @@ impl KernelMem {
         len: u64,
         perms: Perms,
         pkey: Pkey,
+        domain: u32,
         init: Option<&[u8]>,
     ) -> Result<Addr, Fault> {
         if len == 0 {
@@ -289,6 +335,15 @@ impl KernelMem {
             }
         }
         let mut st = self.state.lock();
+        if domain != 0 {
+            let used = st.domain_used.get(&domain).copied().unwrap_or(0);
+            if let Some(&limit) = st.domain_limits.get(&domain) {
+                if used + len > limit {
+                    return Err(Fault::QuotaExceeded { domain, len, limit });
+                }
+            }
+            st.domain_used.insert(domain, used + len);
+        }
         let base = st.next_base;
         st.next_base = base + len + REGION_GUARD;
         st.bytes_mapped += len;
@@ -298,6 +353,7 @@ impl KernelMem {
                 r.base = base;
                 r.perms = perms;
                 r.pkey = pkey;
+                r.domain = domain;
                 r.name.clear();
                 r.name.push_str(name);
                 r.data.clear();
@@ -307,6 +363,7 @@ impl KernelMem {
                 base,
                 perms,
                 pkey,
+                domain,
                 name: name.to_string(),
                 data: Vec::new(),
             },
@@ -340,6 +397,11 @@ impl KernelMem {
         match st.regions.remove(&base) {
             Some(r) => {
                 st.bytes_mapped -= r.len();
+                if r.domain != 0 {
+                    if let Some(used) = st.domain_used.get_mut(&r.domain) {
+                        *used = used.saturating_sub(r.len());
+                    }
+                }
                 if st.spare.len() < SPARE_REGIONS {
                     st.spare.push(r);
                 }
@@ -347,6 +409,33 @@ impl KernelMem {
             }
             None => Err(Fault::Unmapped { addr: base, len: 0 }),
         }
+    }
+
+    /// Sets the byte quota for accounting `domain` (ignored for domain
+    /// 0, which is always unlimited). Lowering a quota below current
+    /// usage does not fail existing regions; it only refuses further
+    /// allocations until usage drops under the limit.
+    pub fn set_domain_quota(&self, domain: u32, limit: u64) {
+        if domain == 0 {
+            return;
+        }
+        self.state.lock().domain_limits.insert(domain, limit);
+    }
+
+    /// Removes the byte quota for `domain`, making it unlimited again.
+    pub fn clear_domain_quota(&self, domain: u32) {
+        self.state.lock().domain_limits.remove(&domain);
+    }
+
+    /// Bytes currently mapped in accounting `domain` (0 for domain 0:
+    /// the kernel domain is not tracked).
+    pub fn domain_bytes(&self, domain: u32) -> u64 {
+        self.state
+            .lock()
+            .domain_used
+            .get(&domain)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Returns the `(base, len, perms, name)` of the region containing
@@ -723,6 +812,57 @@ mod tests {
         assert_eq!(perms, Perms::ro());
         assert_eq!(name, "meta");
         assert!(mem.region_of(a + 40).is_none());
+    }
+
+    #[test]
+    fn domain_quota_enforced_and_credited() {
+        let mem = KernelMem::new();
+        mem.set_domain_quota(7, 100);
+        let a = mem.map_in_domain("a", 60, Perms::rw(), 7).unwrap();
+        assert_eq!(mem.domain_bytes(7), 60);
+        // 60 + 50 > 100: refused with the typed quota fault.
+        assert!(matches!(
+            mem.map_in_domain("b", 50, Perms::rw(), 7),
+            Err(Fault::QuotaExceeded {
+                domain: 7,
+                len: 50,
+                limit: 100
+            })
+        ));
+        // Freeing credits the domain, making the allocation viable.
+        mem.unmap(a).unwrap();
+        assert_eq!(mem.domain_bytes(7), 0);
+        let b = mem.map_in_domain("b", 50, Perms::rw(), 7).unwrap();
+        assert_eq!(mem.domain_bytes(7), 50);
+        mem.unmap(b).unwrap();
+    }
+
+    #[test]
+    fn domains_are_independent_and_zero_is_unlimited() {
+        let mem = KernelMem::new();
+        mem.set_domain_quota(1, 8);
+        // Domain 2 has no quota; domain 0 never has one.
+        mem.map_in_domain("two", 1000, Perms::rw(), 2).unwrap();
+        mem.map("zero", 1000, Perms::rw()).unwrap();
+        assert_eq!(mem.domain_bytes(2), 1000);
+        assert_eq!(mem.domain_bytes(0), 0);
+        assert!(mem.map_in_domain("one", 16, Perms::rw(), 1).is_err());
+        mem.clear_domain_quota(1);
+        assert!(mem.map_in_domain("one", 16, Perms::rw(), 1).is_ok());
+    }
+
+    #[test]
+    fn spare_region_reuse_does_not_leak_domain_charge() {
+        let mem = KernelMem::new();
+        // Unmap a domain-tagged region so its shell lands in the spare
+        // pool, then reuse the shell for a domain-0 mapping: the old
+        // domain must not be charged again.
+        let a = mem.map_in_domain("a", 32, Perms::rw(), 3).unwrap();
+        mem.unmap(a).unwrap();
+        let b = mem.map("plain", 32, Perms::rw()).unwrap();
+        assert_eq!(mem.domain_bytes(3), 0);
+        mem.unmap(b).unwrap();
+        assert_eq!(mem.domain_bytes(3), 0);
     }
 
     #[test]

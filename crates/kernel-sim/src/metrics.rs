@@ -144,6 +144,15 @@ pub struct Metrics {
     pub fault_injections: AtomicU64,
     /// Extensions quarantined by the runtime's circuit breaker.
     pub quarantine_trips: AtomicU64,
+    /// Tenant program loads through the tenancy control plane.
+    pub tenant_loads: AtomicU64,
+    /// Atomic hot upgrades (attachment-pointer swaps) performed.
+    pub tenant_swaps: AtomicU64,
+    /// Tenant program unloads (including the drained old version of a
+    /// hot upgrade).
+    pub tenant_unloads: AtomicU64,
+    /// Allocations or map creations refused by a tenant quota.
+    pub quota_rejections: AtomicU64,
     /// Per-run cost: instructions (interpreter) or fuel (safe-ext).
     pub run_cost: HistSketch,
 }
@@ -167,6 +176,10 @@ impl Metrics {
             helper_calls: self.helper_calls.load(Ordering::Relaxed),
             fault_injections: self.fault_injections.load(Ordering::Relaxed),
             quarantine_trips: self.quarantine_trips.load(Ordering::Relaxed),
+            tenant_loads: self.tenant_loads.load(Ordering::Relaxed),
+            tenant_swaps: self.tenant_swaps.load(Ordering::Relaxed),
+            tenant_unloads: self.tenant_unloads.load(Ordering::Relaxed),
+            quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
             run_cost: self.run_cost.snapshot(),
         }
     }
@@ -185,6 +198,14 @@ pub struct MetricsSnapshot {
     pub fault_injections: u64,
     /// See [`Metrics::quarantine_trips`].
     pub quarantine_trips: u64,
+    /// See [`Metrics::tenant_loads`].
+    pub tenant_loads: u64,
+    /// See [`Metrics::tenant_swaps`].
+    pub tenant_swaps: u64,
+    /// See [`Metrics::tenant_unloads`].
+    pub tenant_unloads: u64,
+    /// See [`Metrics::quota_rejections`].
+    pub quota_rejections: u64,
     /// See [`Metrics::run_cost`].
     pub run_cost: HistSnapshot,
 }
@@ -198,6 +219,10 @@ impl MetricsSnapshot {
         self.helper_calls += other.helper_calls;
         self.fault_injections += other.fault_injections;
         self.quarantine_trips += other.quarantine_trips;
+        self.tenant_loads += other.tenant_loads;
+        self.tenant_swaps += other.tenant_swaps;
+        self.tenant_unloads += other.tenant_unloads;
+        self.quota_rejections += other.quota_rejections;
         self.run_cost.merge(&other.run_cost);
     }
 }

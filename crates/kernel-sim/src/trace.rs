@@ -91,6 +91,10 @@ pub enum SpanKind {
     Cleanup,
     /// One dispatched packet, shard-side (`arg`: packet length).
     Dispatch,
+    /// One atomic hot upgrade in the tenancy control plane: load v2,
+    /// swap the attachment pointer, drain v1 under RCU, tear v1 down
+    /// (`arg`: tenant id).
+    HotSwap,
 }
 
 impl SpanKind {
@@ -110,6 +114,7 @@ impl SpanKind {
             SpanKind::CtLookup => "ct-lookup",
             SpanKind::Cleanup => "cleanup",
             SpanKind::Dispatch => "dispatch",
+            SpanKind::HotSwap => "hot-swap",
         }
     }
 }

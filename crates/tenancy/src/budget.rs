@@ -1,0 +1,50 @@
+//! Per-tenant resource budgets.
+
+/// Everything a tenant is allowed to consume.
+///
+/// The memory budget is enforced through a [`kernel_sim::mem::KernelMem`]
+/// accounting domain: the registry assigns each tenant a domain and sets
+/// `mem_bytes` as its quota, so both create-time map storage and runtime
+/// growth (hash entries, ring records) are charged to the tenant — an
+/// over-quota allocation fails with
+/// [`kernel_sim::mem::Fault::QuotaExceeded`] wherever it happens. Map
+/// count and per-map size are checked by the registry at creation time,
+/// before any memory is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantBudget {
+    /// Fuel budget per safe-ext run (the eBPF dialect's termination story
+    /// is the verifier, as in the baseline framework).
+    pub fuel: u64,
+    /// Total kernel-memory bytes the tenant's maps may occupy, including
+    /// entries allocated at runtime.
+    pub mem_bytes: u64,
+    /// Maximum maps the tenant may hold (owned plus shared references).
+    pub max_maps: u32,
+    /// Maximum create-time footprint of any single map, in bytes.
+    pub max_map_bytes: u64,
+}
+
+impl Default for TenantBudget {
+    fn default() -> Self {
+        TenantBudget {
+            fuel: 100_000,
+            mem_bytes: 1 << 20,
+            max_maps: 16,
+            max_map_bytes: 1 << 18,
+        }
+    }
+}
+
+impl TenantBudget {
+    /// A small budget for tests and dense churn benchmarks: enough for a
+    /// couple of counter maps per tenant, small enough that a thousand
+    /// tenants fit comfortably in one simulated kernel.
+    pub fn small() -> Self {
+        TenantBudget {
+            fuel: 50_000,
+            mem_bytes: 16 << 10,
+            max_maps: 4,
+            max_map_bytes: 8 << 10,
+        }
+    }
+}
