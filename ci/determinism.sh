@@ -9,7 +9,7 @@ source ci/lib.sh
 say "differential soak (200 seeds; full run uses 1000+)"
 cargo run --release -p bench --bin soak -- 200
 
-say "sharded-dispatch audit determinism (2 shards, small batch, x2)"
+say "sharded-dispatch audit determinism (all three backends, 2 shards, x2)"
 assert_same_hash "merged-audit" '^MERGED_AUDIT_SHA256' \
     cargo run --release -q -p bench --bin throughput -- --smoke
 
@@ -21,7 +21,7 @@ say "differential-fuzz determinism (500 programs, 2 shards, x2)"
 assert_same_hash "fuzz report" '^FUZZ_SHA256' \
     cargo run --release -q -p fuzz --bin fuzzstats -- --seeds 500 --shards 2 --smoke
 
-say "canonical trace determinism (both backends, 1 vs 2 shards, x2)"
+say "canonical trace determinism (all three backends, 1 vs 2 shards, x2)"
 # The smoke itself asserts shard invariance, interp-vs-JIT invariance,
 # and zero simulated-cost overhead; the double run pins the hash across
 # process boundaries.

@@ -19,6 +19,12 @@ cargo check --workspace --no-default-features
 say "feature matrix: cargo check -p ebpf --features bug-replicas"
 cargo check -p ebpf --features bug-replicas
 
+# Sandbox row: the SFI lane's structural invariants (mask closure,
+# inner windows inside the domain) re-validated on every check, with the
+# behavioural sandbox suite run under them.
+say "feature matrix: cargo test -p ebpf --features sandbox-strict --test sandbox"
+cargo test -q -p ebpf --features sandbox-strict --test sandbox
+
 # Ladder feature matrix: each verifier feature-growth rung (bpf2bpf,
 # tail calls, spin locks, ringbuf reservations) keeps its focused
 # suites green — generator strata and shrinker coverage, the ladder

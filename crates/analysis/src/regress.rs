@@ -39,6 +39,10 @@ pub const SIM_COST_FIELDS: &[&str] = &[
     "states_explored",
     "verify_sim_ns",
     "safe_ext_load_sim_ns",
+    "sandbox_load_sim_ns",
+    "sandbox_ok",
+    "sandbox_trapped",
+    "sandbox_aborted",
     "p50_cost_ns",
     "p99_cost_ns",
     "churn_events",

@@ -2,7 +2,7 @@
 //!
 //! Loads a fleet of 600 tenants (one map + one attached program each),
 //! drives a fixed packet batch through them over 1/2/4/8 tenant-steered
-//! shards for both backends, with the control plane hot-upgrading and
+//! shards for all three backends, with the control plane hot-upgrading and
 //! unload/reloading tenants at a fixed rate while packets flow — with and
 //! without the seeded quarantine storm. Results (tail-latency histogram
 //! percentiles, verdict tallies, control-plane counters) land in
@@ -16,7 +16,7 @@
 //! - the **merged audit fingerprint** must replay byte-identically when
 //!   the same configuration runs twice.
 //!
-//! `--smoke` runs a reduced fleet (2 shards, storm armed, both backends,
+//! `--smoke` runs a reduced fleet (2 shards, storm armed, all backends,
 //! two runs each plus a 1-shard reference), prints the `CHURN_SHA256` and
 //! `MERGED_AUDIT_SHA256` lines CI compares, and exits nonzero on any
 //! divergence.
@@ -100,7 +100,7 @@ fn full(out: &str) {
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
 
-    for backend in [Backend::Ebpf, Backend::SafeExt] {
+    for backend in Backend::ALL {
         for storm in [false, true] {
             let mut cell_sha: Option<String> = None;
             for shards in SHARD_COUNTS {
@@ -211,7 +211,7 @@ fn full(out: &str) {
 
 fn smoke() {
     let mut failed = false;
-    for backend in [Backend::Ebpf, Backend::SafeExt] {
+    for backend in Backend::ALL {
         let cfg = config(2, true, true);
         let a = run_churn(backend, &cfg).expect("churn run");
         let b = run_churn(backend, &cfg).expect("churn run");

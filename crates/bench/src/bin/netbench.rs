@@ -2,8 +2,8 @@
 //!
 //! Drives a deterministic traffic mix (elephant/mouse flows, a SYN
 //! flood, malformed frames) through the flow-steered net engine for both
-//! scenarios (SYN-flood filter, L4 load balancer), both backends (eBPF
-//! interpreter, safe-ext runtime), 1/2/4/8 shards, with and without a
+//! scenarios (SYN-flood filter, L4 load balancer), all three backends
+//! (eBPF interpreter, safe-ext runtime, SFI sandbox), 1/2/4/8 shards, with and without a
 //! fault plan armed — and writes the results to `BENCH_net.json` in the
 //! repository root.
 //!
@@ -13,7 +13,7 @@
 //! within each `(scenario, backend, fault)` cell — including the
 //! fault-armed cells. Either divergence exits nonzero.
 //!
-//! `--smoke` runs a reduced grid (1 vs 2 shards, both backends,
+//! `--smoke` runs a reduced grid (1 vs 2 shards, all backends,
 //! SYN-filter scenario, faults armed) for CI, printing the canonical and
 //! merged-audit hashes of each run.
 
@@ -111,7 +111,7 @@ fn full(out: &str) {
     let mut failed = false;
 
     for scenario in [NetScenario::SynFilter, NetScenario::LoadBalancer] {
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             for faults in [false, true] {
                 let mut cell_canonical: Option<(String, String)> = None;
                 let mut base_sim_pps = 0.0f64;
@@ -256,7 +256,7 @@ fn full(out: &str) {
 fn smoke() {
     let frames = generate(&TrafficConfig::smoke(), SEED);
     let mut failed = false;
-    for backend in [Backend::Ebpf, Backend::SafeExt] {
+    for backend in Backend::ALL {
         let mut canonicals = Vec::new();
         for shards in [1usize, 2] {
             let report = run_config(backend, NetScenario::SynFilter, shards, true, &frames);

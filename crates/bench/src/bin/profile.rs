@@ -1,8 +1,9 @@
 //! Span-trace profiling benchmark.
 //!
 //! Runs the deterministic packet batch through the sharded dispatch
-//! engine with tracing enabled for both backends (eBPF interpreter and
-//! safe-ext runtime) at 1/2/4/8 shards, folds the per-CPU span streams
+//! engine with tracing enabled for all three backends (eBPF
+//! interpreter, safe-ext runtime, and the SFI sandbox) at 1/2/4/8
+//! shards, folds the per-CPU span streams
 //! into per-stage self/total cost tables, and writes the comparison to
 //! `BENCH_profile.json` plus a flamegraph collapsed-stack export
 //! (`BENCH_profile_flame.txt`).
@@ -137,8 +138,9 @@ fn sweep(backend: Backend, shard_counts: &[usize], batch: &[Vec<u8>]) -> Vec<Row
         });
     }
     // Interpreter vs JIT: the identity transform must not move a single
-    // canonical trace line.
-    if matches!(backend, Backend::Ebpf) {
+    // canonical trace line. Both compiled lanes (verified eBPF and the
+    // sandboxed dialect) carry this contract.
+    if matches!(backend, Backend::Ebpf | Backend::Sandbox) {
         let jit = run_traced(backend, shard_counts[0], true, batch);
         let jit_hash = trace_sha256(&jit);
         if Some(&jit_hash) != canonical.as_ref() {
@@ -198,7 +200,7 @@ fn full(out: &str) {
     let batch = make_packets(FULL_BATCH);
     let started = Instant::now();
     let mut rows = Vec::new();
-    for backend in [Backend::Ebpf, Backend::SafeExt] {
+    for backend in Backend::ALL {
         let swept = sweep(backend, &FULL_SHARDS, &batch);
         println!(
             "== {} (1 shard, {} packets, {} trace events) ==\n{}",
@@ -225,7 +227,7 @@ fn full(out: &str) {
 
 fn smoke() {
     let batch = make_packets(SMOKE_BATCH);
-    for backend in [Backend::Ebpf, Backend::SafeExt] {
+    for backend in Backend::ALL {
         for r in sweep(backend, &SMOKE_SHARDS, &batch) {
             println!(
                 "TRACE_SHA256 backend={} shards={} {}",

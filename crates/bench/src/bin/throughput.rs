@@ -1,8 +1,8 @@
 //! Sharded-dispatch throughput benchmark.
 //!
 //! Drives a fixed deterministic packet batch through the sharded dispatch
-//! engine at 1/2/4/8 shards for both backends (eBPF interpreter and
-//! safe-ext runtime), verifies every configuration replays with a
+//! engine at 1/2/4/8 shards for all three backends (eBPF compiled lane,
+//! safe-ext runtime, SFI sandbox), verifies every configuration replays with a
 //! byte-identical merged audit stream, and writes the results to
 //! `BENCH_throughput.json` in the repository root.
 //!
@@ -20,7 +20,7 @@
 //! observationally identical to the interpreter, so the merged audit
 //! hashes must not move when toggling it.
 //!
-//! `--smoke` runs a reduced configuration (2 shards, small batch, both
+//! `--smoke` runs a reduced configuration (2 shards, small batch, all
 //! backends, two runs each) for CI: it prints the merged-audit SHA-256 of
 //! each run and exits nonzero if the two same-seed runs diverge.
 
@@ -62,8 +62,9 @@ fn run_config(backend: Backend, shards: usize, batch: &[Vec<u8>]) -> (DispatchRe
     let cfg = DispatchConfig {
         shards,
         seed: SEED,
-        // eBPF runs the compiled lane; audit bytes must not move.
-        jit: matches!(backend, Backend::Ebpf),
+        // eBPF and sandbox run the compiled lane; audit bytes must not
+        // move relative to their interpreters.
+        jit: matches!(backend, Backend::Ebpf | Backend::Sandbox),
         ..Default::default()
     };
     let first = run_batched(backend, &cfg, batch).expect("dispatch");
@@ -91,7 +92,7 @@ fn full(out: &str) {
     let started = Instant::now();
     let mut rows: Vec<Row> = Vec::new();
 
-    for backend in [Backend::Ebpf, Backend::SafeExt] {
+    for backend in Backend::ALL {
         let mut base_sim_pps = 0.0f64;
         for shards in SHARD_COUNTS {
             let (report, hash) = run_config(backend, shards, &batch);
@@ -185,7 +186,7 @@ fn full(out: &str) {
     // And host capacity must scale too: host_pps strictly increasing in
     // shard count within each backend. Thread-CPU time is stable enough
     // for this to hold whenever sharding genuinely divides the work.
-    for backend in ["ebpf", "safe-ext"] {
+    for backend in ["ebpf", "safe-ext", "sandbox"] {
         let pps: Vec<f64> = rows
             .iter()
             .filter(|r| r.backend == backend)
@@ -201,11 +202,11 @@ fn full(out: &str) {
 fn smoke() {
     let batch = make_packets(SMOKE_BATCH);
     let mut failed = false;
-    for backend in [Backend::Ebpf, Backend::SafeExt] {
+    for backend in Backend::ALL {
         let cfg = DispatchConfig {
             shards: 2,
             seed: SEED,
-            jit: matches!(backend, Backend::Ebpf),
+            jit: matches!(backend, Backend::Ebpf | Backend::Sandbox),
             ..Default::default()
         };
         let a = run_batched(backend, &cfg, &batch).expect("dispatch");
@@ -238,7 +239,7 @@ fn smoke() {
     if failed {
         std::process::exit(1);
     }
-    println!("throughput smoke OK ({SMOKE_BATCH} packets x 2 backends x 2 runs)");
+    println!("throughput smoke OK ({SMOKE_BATCH} packets x 3 backends x 2 runs)");
 }
 
 fn main() {

@@ -3,7 +3,9 @@
 //! One row per feature rung (base, bpf2bpf, tail_call, spin_lock,
 //! ringbuf) with the verifier's cumulative states-explored, reject rate,
 //! and simulated verification cost, against the simulated load cost of
-//! the safe-ext equivalent. All metrics are deterministic functions of
+//! the safe-ext equivalent and of the SFI sandbox lane (which loads
+//! every program — including the intentional violations — and confines
+//! them at runtime instead). All metrics are deterministic functions of
 //! the program families and artifact bytes, so the CI regress stage
 //! holds them to ±10%.
 
@@ -28,9 +30,10 @@ fn main() {
     let rows = run_ladder();
     for r in &rows {
         println!(
-            "{:>10} programs={:>2} states={:>5} reject_rate={:.2} verify_sim={:>7}ns ext_load_sim={:>4}ns",
+            "{:>10} programs={:>2} states={:>5} reject_rate={:.2} verify_sim={:>7}ns ext_load_sim={:>4}ns sandbox_load_sim={:>4}ns sandbox ok/trap/abort={}/{}/{}",
             r.feature, r.programs, r.states_explored, r.reject_rate, r.verify_sim_ns,
-            r.safe_ext_load_sim_ns,
+            r.safe_ext_load_sim_ns, r.sandbox_load_sim_ns, r.sandbox_ok, r.sandbox_trapped,
+            r.sandbox_aborted,
         );
     }
 
@@ -39,7 +42,7 @@ fn main() {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"feature\": \"{}\", \"programs\": {}, \"accepted\": {}, \"rejected\": {}, \"states_explored\": {}, \"insns_processed\": {}, \"reject_rate\": {:.4}, \"verify_sim_ns\": {}, \"safe_ext_load_sim_ns\": {}}}",
+            "    {{\"feature\": \"{}\", \"programs\": {}, \"accepted\": {}, \"rejected\": {}, \"states_explored\": {}, \"insns_processed\": {}, \"reject_rate\": {:.4}, \"verify_sim_ns\": {}, \"safe_ext_load_sim_ns\": {}, \"sandbox_load_sim_ns\": {}, \"sandbox_ok\": {}, \"sandbox_trapped\": {}, \"sandbox_aborted\": {}}}",
             r.feature,
             r.programs,
             r.accepted,
@@ -48,7 +51,11 @@ fn main() {
             r.insns_processed,
             r.reject_rate,
             r.verify_sim_ns,
-            r.safe_ext_load_sim_ns
+            r.safe_ext_load_sim_ns,
+            r.sandbox_load_sim_ns,
+            r.sandbox_ok,
+            r.sandbox_trapped,
+            r.sandbox_aborted
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

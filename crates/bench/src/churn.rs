@@ -235,6 +235,9 @@ fn spec_for(backend: Backend, tenant: TenantId, fd: MapFd, version: u32) -> Prog
     match backend {
         Backend::Ebpf => ProgramSpec::Ebpf(counter_prog(fd, version)),
         Backend::SafeExt => ProgramSpec::Safe(counter_ext(tenant, fd, version)),
+        // The same bytecode as the verified lane, loaded unverified into
+        // the tenant's SFI domain.
+        Backend::Sandbox => ProgramSpec::Sandbox(counter_prog(fd, version)),
     }
 }
 
@@ -553,7 +556,7 @@ mod tests {
 
     #[test]
     fn churn_sha_invariant_across_shard_counts() {
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             for storm in [false, true] {
                 let runs: Vec<ChurnReport> = [1usize, 2, 4, 8]
                     .iter()
@@ -586,7 +589,7 @@ mod tests {
 
     #[test]
     fn storm_kills_only_victims_and_they_recover() {
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let cfg = small(4, true);
             let storm = cfg.storm().unwrap();
             let report = run_churn(backend, &cfg).unwrap();

@@ -39,7 +39,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ebpf::helpers::HelperRegistry;
-use ebpf::interp::Vm;
+use ebpf::interp::{SandboxConfig, Vm};
 use ebpf::jit::JitConfig;
 use ebpf::maps::{MapDef, MapError, MapRegistry};
 use ebpf::program::ProgType;
@@ -64,14 +64,25 @@ pub enum Backend {
     Ebpf,
     /// The safe-Rust extension runtime.
     SafeExt,
+    /// The SFI sandbox lane: the same eBPF bytecode run *unverified*
+    /// inside a protection domain — masked bounds checks on every
+    /// access, domain-switch costs at entry/exit and helper boundaries,
+    /// traps (not oopses) on violations.
+    Sandbox,
 }
 
 impl Backend {
+    /// Every backend, in canonical report order. Differential tests and
+    /// the benchmark binaries iterate this so a new backend is picked up
+    /// everywhere at once.
+    pub const ALL: [Backend; 3] = [Backend::Ebpf, Backend::SafeExt, Backend::Sandbox];
+
     /// Short stable name used in reports and JSON.
     pub fn name(&self) -> &'static str {
         match self {
             Backend::Ebpf => "ebpf",
             Backend::SafeExt => "safe-ext",
+            Backend::Sandbox => "sandbox",
         }
     }
 }
@@ -549,6 +560,51 @@ fn run_shard_ebpf(
         .map_err(|err| DispatchError::Map { shard, err })
 }
 
+fn run_shard_sandbox(
+    cfg: &DispatchConfig,
+    shard: usize,
+    rx: spsc::Consumer<(u64, &[u8])>,
+) -> Result<ShardReport, DispatchError> {
+    let cpu_t0 = thread_cpu_ns();
+    let env = ShardEnv::boot(cfg, shard);
+    let helpers = HelperRegistry::standard();
+    let mut vm = Vm::new(&env.kernel, &env.maps, &helpers);
+    let prog = workloads::packet_filter(env.counts_fd);
+    // Unverified load into an SFI domain; the same workload bytecode as
+    // the eBPF lane, but every access is mask-checked at run time and
+    // each run (plus each helper call) pays its domain crossings.
+    let id = if cfg.jit {
+        vm.load_sandboxed_jit(prog, SandboxConfig::default(), JitConfig::default())
+            .expect("workload lowers")
+            .0
+    } else {
+        vm.load_sandboxed(prog, SandboxConfig::default())
+    };
+    let (mut packets, mut accepted, mut errors) = (0u64, 0u64, 0u64);
+    let mut trace_log: Vec<TraceEvent> = Vec::new();
+    for (index, payload) in rx {
+        packets += 1;
+        env.kernel.trace.begin_task(index);
+        let dispatch_span = env
+            .kernel
+            .trace
+            .span(SpanKind::Dispatch, payload.len() as u64);
+        let outcome = vm.run_packet(id, payload).result;
+        drop(dispatch_span);
+        env.kernel.trace.end_task();
+        if cfg.trace {
+            trace_log.extend(env.kernel.trace.take());
+        }
+        match outcome {
+            Ok(_) => accepted += 1,
+            Err(_) => errors += 1,
+        }
+    }
+    let host_cpu_ns = thread_cpu_ns().saturating_sub(cpu_t0);
+    env.finish(shard, packets, accepted, errors, trace_log, host_cpu_ns)
+        .map_err(|err| DispatchError::Map { shard, err })
+}
+
 fn run_shard_safe(
     cfg: &DispatchConfig,
     shard: usize,
@@ -615,9 +671,12 @@ pub fn run_batched(
         .iter()
         .enumerate()
         .map(|(i, pkt)| (shard_of(cfg.seed, i as u64, shards), (i as u64, &pkt[..])));
+    // Exhaustive on purpose: a new backend must fail to compile here
+    // rather than silently fall through to a default lane.
     let reports = run_sharded(shards, items, |shard, rx| match backend {
         Backend::Ebpf => run_shard_ebpf(cfg, shard, rx),
         Backend::SafeExt => run_shard_safe(cfg, shard, rx),
+        Backend::Sandbox => run_shard_sandbox(cfg, shard, rx),
     })?;
     let reports = reports.into_iter().collect::<Result<Vec<_>, _>>()?;
 
@@ -749,7 +808,7 @@ mod tests {
             ..Default::default()
         };
         let batch = make_packets(64);
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let report = run_batched(backend, &cfg, &batch).expect("dispatch");
             assert_eq!(report.packets(), 64, "{backend:?}");
             assert_eq!(report.errors(), 0, "{backend:?}");
@@ -764,7 +823,7 @@ mod tests {
     #[test]
     fn totals_invariant_across_shard_counts() {
         let batch = make_packets(96);
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let totals: Vec<_> = [1usize, 2, 4]
                 .iter()
                 .map(|&shards| {
@@ -785,7 +844,7 @@ mod tests {
     #[test]
     fn simulated_time_scales_with_shards() {
         let batch = make_packets(256);
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let sim_ns: Vec<u64> = [1usize, 4]
                 .iter()
                 .map(|&shards| {
@@ -813,7 +872,7 @@ mod tests {
     #[test]
     fn merged_fingerprint_replays_byte_identical() {
         let batch = make_packets(48);
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let cfg = DispatchConfig {
                 shards: 4,
                 seed: 11,

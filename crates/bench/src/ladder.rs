@@ -58,6 +58,33 @@ pub struct RungReport {
     pub verify_sim_ns: u64,
     /// Simulated load cost of the safe-ext equivalent.
     pub safe_ext_load_sim_ns: u64,
+    /// Simulated cost of loading the **whole** cumulative family —
+    /// accepted programs *and* intentional violations — into sandbox
+    /// domains. No verification happens, so everything loads and the
+    /// price is a flat per-instruction copy, whatever features the
+    /// programs use.
+    pub sandbox_load_sim_ns: u64,
+    /// Cumulative-family programs that ran to completion sandboxed.
+    pub sandbox_ok: usize,
+    /// Programs whose first violating access tripped an SFI domain trap.
+    pub sandbox_trapped: usize,
+    /// Programs aborted sandboxed for another runtime reason (call
+    /// depth, helper failure, deadlock...).
+    pub sandbox_aborted: usize,
+}
+
+/// How one program ended when loaded unverified into a sandbox domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SandboxOutcome {
+    /// Ran to completion (a verifier verdict is not a runtime verdict:
+    /// most statically-rejected programs never reach their bad state on
+    /// a given input).
+    Ok,
+    /// The SFI check trapped the first out-of-domain access.
+    Trapped,
+    /// Aborted for another runtime reason (call depth, helper failure,
+    /// deadlock).
+    Aborted,
 }
 
 /// Prices a verification run from its counters. Base exploration work
@@ -80,6 +107,47 @@ pub fn verify_sim_ns(s: &VerifStats) -> u64 {
 /// depends on what the extension *does* — that is the experiment.
 pub fn load_sim_ns(artifact_bytes: usize, requires: usize) -> u64 {
     200 + artifact_bytes as u64 * 3 + requires as u64 * 40
+}
+
+/// Prices one sandbox load: domain setup plus a per-instruction copy.
+/// Like the safe-ext loader — and unlike the verifier — no term depends
+/// on which features the program uses; the safety work is deferred to
+/// run time (mask checks and domain crossings).
+pub fn sandbox_load_sim_ns(insns: usize) -> u64 {
+    120 + insns as u64 * 2
+}
+
+/// Loads `prog` unverified into a fresh sandboxed world (same map
+/// layout as the ladder's) and runs it once on a small packet.
+pub fn sandbox_outcome(prog: &Program) -> SandboxOutcome {
+    use ebpf::interp::{ExecError, SandboxConfig, Vm};
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    // Recreate the ladder's map world so the programs' embedded fds
+    // resolve to maps of the kinds they expect.
+    maps.create(&kernel, MapDef::array("ladder-arr", 64, 4))
+        .expect("array map");
+    maps.create(&kernel, MapDef::prog_array("ladder-progs", 4))
+        .expect("prog array");
+    maps.create(&kernel, MapDef::ringbuf("ladder-rb", 4096))
+        .expect("ringbuf");
+    let helpers = HelperRegistry::standard();
+    let mut vm = Vm::new(&kernel, &maps, &helpers);
+    let id = vm.load_sandboxed(prog.clone(), SandboxConfig::default());
+    let outcome = match vm.run_packet(id, &[0u8; 32]).result {
+        Ok(_) => SandboxOutcome::Ok,
+        Err(ExecError::DomainTrap { .. }) => SandboxOutcome::Trapped,
+        Err(_) => SandboxOutcome::Aborted,
+    };
+    // Whatever the program did, it must not have oopsed the kernel:
+    // that is the sandbox contract the ladder rows report against.
+    assert_eq!(
+        kernel.health().oopses,
+        0,
+        "{}: sandboxed run oopsed the kernel",
+        prog.name
+    );
+    outcome
 }
 
 // ---- eBPF program families ----
@@ -637,6 +705,19 @@ pub fn run_ladder() -> Vec<RungReport> {
             .expect("safe source builds");
         loader.load(&signed, &registry).expect("artifact loads");
 
+        // The sandbox lane loads the whole family — violations included,
+        // since nothing is checked at load — and classifies each run.
+        let (mut sb_ok, mut sb_trap, mut sb_abort) = (0usize, 0usize, 0usize);
+        let mut sb_load = 0u64;
+        for prog in family_ok.iter().chain(family_bad.iter().map(|(p, _)| p)) {
+            sb_load += sandbox_load_sim_ns(prog.insns.len());
+            match sandbox_outcome(prog) {
+                SandboxOutcome::Ok => sb_ok += 1,
+                SandboxOutcome::Trapped => sb_trap += 1,
+                SandboxOutcome::Aborted => sb_abort += 1,
+            }
+        }
+
         let programs = family_ok.len() + family_bad.len();
         out.push(RungReport {
             feature: r.feature,
@@ -648,6 +729,10 @@ pub fn run_ladder() -> Vec<RungReport> {
             reject_rate: family_bad.len() as f64 / programs as f64,
             verify_sim_ns: verify_sim_ns(&stats_sum),
             safe_ext_load_sim_ns: load_sim_ns(signed.bytes.len(), r.ext_requires.len()),
+            sandbox_load_sim_ns: sb_load,
+            sandbox_ok: sb_ok,
+            sandbox_trapped: sb_trap,
+            sandbox_aborted: sb_abort,
         });
     }
     out
@@ -700,6 +785,30 @@ mod tests {
         let base = rows[0].verify_sim_ns;
         let top = rows.last().unwrap().verify_sim_ns;
         assert!(top > base * 5, "verifier cost barely grew: {base} -> {top}");
+    }
+
+    #[test]
+    fn sandbox_lane_loads_everything_and_confines_at_runtime() {
+        let rows = run_ladder();
+        let last = rows.last().unwrap();
+        // Everything loads (no verifier) and every run is classified.
+        assert_eq!(
+            last.sandbox_ok + last.sandbox_trapped + last.sandbox_aborted,
+            last.programs
+        );
+        // The statically-rejected wild deref is caught dynamically.
+        assert!(last.sandbox_trapped >= 1, "no violation trapped");
+        // Other violations abort for non-memory reasons (call depth,
+        // helper failure) rather than trapping.
+        assert!(last.sandbox_aborted >= 1, "no violation aborted");
+        // Load cost is flat per instruction: monotone in family size,
+        // with no feature surcharge anywhere.
+        for pair in rows.windows(2) {
+            assert!(pair[1].sandbox_load_sim_ns > pair[0].sandbox_load_sim_ns);
+        }
+        // A single program's sandbox load is priced like a copy: the
+        // 23-program family still loads cheaper than verifying it.
+        assert!(last.sandbox_load_sim_ns < last.verify_sim_ns);
     }
 
     #[test]

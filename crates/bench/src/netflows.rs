@@ -60,7 +60,7 @@ use std::time::Instant;
 use ebpf::asm::Asm;
 use ebpf::helpers::{self, HelperRegistry};
 use ebpf::insn::*;
-use ebpf::interp::{CtxInput, Vm};
+use ebpf::interp::{CtxInput, SandboxConfig, Vm};
 use ebpf::jit::JitConfig;
 use ebpf::maps::{MapDef, MapError, MapRegistry};
 use ebpf::program::{ProgType, Program};
@@ -784,6 +784,24 @@ fn run_net_shard(
                 runtime.run(&ext, ExtInput::Packet(bytes)).result.ok()
             })
         }
+        Backend::Sandbox => {
+            // The same scenario bytecode as the eBPF lane, loaded
+            // unverified into an SFI domain. Verdicts and flow logs must
+            // match the verified lane on well-behaved programs; only the
+            // simulated cost differs (domain crossings).
+            let helpers = HelperRegistry::standard();
+            let mut vm = Vm::new(&kernel, &maps, &helpers);
+            let (id, _stats) = vm
+                .load_sandboxed_jit(
+                    cfg.scenario.program(fd),
+                    SandboxConfig::default(),
+                    JitConfig::default(),
+                )
+                .expect("scenario program lowers");
+            drive_shard(&kernel, &maps, cfg, shard, fd, rx, cpu_t0, |bytes| {
+                vm.run(id, CtxInput::Packet(bytes)).result.ok()
+            })
+        }
     }
     .map_err(|err| DispatchError::Map { shard, err })
 }
@@ -908,7 +926,7 @@ mod tests {
     #[test]
     fn syn_filter_drops_flood_not_legit_traffic() {
         let frames = generate(&TrafficConfig::default(), 11);
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let cfg = NetConfig::new(NetScenario::SynFilter, 1, 11);
             let report = run_net_batched(backend, &cfg, &frames).expect("net dispatch");
             let cv = report.class_verdicts();
@@ -927,22 +945,26 @@ mod tests {
         let cfg = NetConfig::new(NetScenario::SynFilter, 1, 5);
         let ebpf = run_net_batched(Backend::Ebpf, &cfg, &frames).expect("net dispatch");
         let safe = run_net_batched(Backend::SafeExt, &cfg, &frames).expect("net dispatch");
-        // Cost differs (the frameworks charge time differently), but the
-        // verdict/ct stream and the flow transition log must match.
+        let sandbox = run_net_batched(Backend::Sandbox, &cfg, &frames).expect("net dispatch");
+        // Cost differs (the frameworks charge time differently, and the
+        // sandbox pays domain crossings), but the verdict/ct stream and
+        // the flow transition log must match three ways.
         let strip = |log: &str| {
             log.lines()
                 .map(|l| l.rsplitn(3, '|').nth(2).unwrap().to_string())
                 .collect::<Vec<_>>()
         };
         assert_eq!(strip(&ebpf.canonical_log), strip(&safe.canonical_log));
+        assert_eq!(strip(&ebpf.canonical_log), strip(&sandbox.canonical_log));
         assert_eq!(ebpf.sorted_flow_log, safe.sorted_flow_log);
+        assert_eq!(ebpf.sorted_flow_log, sandbox.sorted_flow_log);
     }
 
     #[test]
     fn canonical_log_invariant_across_shard_counts() {
         let frames = smoke_frames(7);
         for scenario in [NetScenario::SynFilter, NetScenario::LoadBalancer] {
-            for backend in [Backend::Ebpf, Backend::SafeExt] {
+            for backend in Backend::ALL {
                 let runs: Vec<_> = [1usize, 2, 4]
                     .iter()
                     .map(|&shards| {
@@ -965,7 +987,7 @@ mod tests {
     #[test]
     fn canonical_log_invariant_under_faults() {
         let frames = smoke_frames(13);
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let runs: Vec<_> = [1usize, 2, 4]
                 .iter()
                 .map(|&shards| {
@@ -994,7 +1016,7 @@ mod tests {
     #[test]
     fn merged_fingerprint_replays_byte_identical() {
         let frames = smoke_frames(17);
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let cfg = NetConfig {
                 shards: 4,
                 seed: 17,
@@ -1014,7 +1036,7 @@ mod tests {
     #[test]
     fn lb_balances_and_transmits() {
         let frames = smoke_frames(19);
-        for backend in [Backend::Ebpf, Backend::SafeExt] {
+        for backend in Backend::ALL {
             let cfg = NetConfig::new(NetScenario::LoadBalancer, 1, 19);
             let report = run_net_batched(backend, &cfg, &frames).expect("net dispatch");
             let rx = report.rx_totals();

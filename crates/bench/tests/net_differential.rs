@@ -1,29 +1,35 @@
-//! Three-way differential tests for the net path: every new net helper
+//! Differential tests for the net path: every new net helper
 //! (`xdp_load_bytes`, `xdp_store_bytes`, `ct_lookup`, `ct_observe`) and
 //! both net scenarios must behave identically through the interpreter,
-//! the JIT pipeline, and the safe-ext runtime.
+//! the JIT pipeline, the safe-ext runtime, and the unverified SFI
+//! sandbox lane.
 //!
 //! The equality bars differ by what each pair shares. Interpreter vs JIT
-//! share the virtual-clock cost model, so their *entire audit streams*
-//! must fingerprint identically. The safe-ext runtime charges different
-//! fuel costs, so audit timestamps legitimately differ there; its
-//! contract is the timestamp-free one — identical verdicts, identical
-//! conntrack flow logs, identical conntrack stats.
+//! *within a dialect* share the virtual-clock cost model, so their
+//! *entire audit streams* must fingerprint identically — this holds for
+//! the verified lane and for the sandbox lane separately. Across
+//! dialects the cost models differ (safe-ext charges fuel, the sandbox
+//! pays domain crossings), so audit timestamps legitimately diverge;
+//! the cross-dialect contract is the timestamp-free one — identical
+//! verdicts, identical conntrack flow logs, identical conntrack stats.
 
-use bench::netflows::NetScenario;
+use bench::dispatch::Backend;
+use bench::netflows::{run_net_batched, NetConfig, NetScenario};
 use ebpf::asm::Asm;
 use ebpf::helpers::{
     HelperRegistry, BPF_CT_LOOKUP, BPF_CT_OBSERVE, BPF_XDP_LOAD_BYTES, BPF_XDP_STORE_BYTES,
 };
 use ebpf::insn::*;
-use ebpf::interp::{CtxInput, Vm};
+use ebpf::interp::{CtxInput, SandboxConfig, Vm};
 use ebpf::jit::{jit_compile, JitConfig};
 use ebpf::maps::MapRegistry;
 use ebpf::program::{ProgType, Program};
 use kernel_sim::net::packet::{build_tcp_frame, FlowKey, IPPROTO_TCP, TCP_ACK, TCP_SYN};
 use kernel_sim::net::traffic::{generate, TrafficConfig};
+use kernel_sim::FaultPlanConfig;
 use kernel_sim::Kernel;
 use safe_ext::{ExtError, ExtInput, Extension, Runtime};
+use signing::sha256;
 
 fn key() -> FlowKey {
     FlowKey {
@@ -61,6 +67,38 @@ fn run_ebpf(scenario: NetScenario, frames: &[Vec<u8>], jit: bool) -> PathOutcome
     let helpers = HelperRegistry::standard();
     let mut vm = Vm::new(&kernel, &maps, &helpers);
     let id = vm.load(prog);
+    let verdicts = frames
+        .iter()
+        .map(|bytes| vm.run(id, CtxInput::Packet(bytes.clone())).result.ok())
+        .collect();
+    PathOutcome {
+        verdicts,
+        audit_fingerprint: kernel.audit.fingerprint(),
+        flow_log: kernel.net.conntrack.flow_log_fingerprint(),
+        ct_stats: kernel.net.conntrack.stats(),
+        pristine: kernel.health().pristine(),
+    }
+}
+
+/// Runs `frames` through the scenario program loaded unverified into an
+/// SFI sandbox domain on a fresh kernel.
+fn run_sandbox(scenario: NetScenario, frames: &[Vec<u8>], jit: bool) -> PathOutcome {
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    let fd = scenario.setup(&kernel, &maps);
+    let helpers = HelperRegistry::standard();
+    let mut vm = Vm::new(&kernel, &maps, &helpers);
+    let id = if jit {
+        vm.load_sandboxed_jit(
+            scenario.program(fd),
+            SandboxConfig::default(),
+            JitConfig::default(),
+        )
+        .expect("net programs lower")
+        .0
+    } else {
+        vm.load_sandboxed(scenario.program(fd), SandboxConfig::default())
+    };
     let verdicts = frames
         .iter()
         .map(|bytes| vm.run(id, CtxInput::Packet(bytes.clone())).result.ok())
@@ -112,12 +150,14 @@ fn traffic() -> Vec<Vec<u8>> {
 /// the complete audit fingerprint, and the safe-ext mirror must agree on
 /// every verdict, the flow log, and the conntrack counters.
 #[test]
-fn scenarios_agree_across_all_three_paths() {
+fn scenarios_agree_across_all_three_backends() {
     let frames = traffic();
     for scenario in [NetScenario::SynFilter, NetScenario::LoadBalancer] {
         let interp = run_ebpf(scenario, &frames, false);
         let jit = run_ebpf(scenario, &frames, true);
         let safe = run_safe(scenario, &frames);
+        let sandbox = run_sandbox(scenario, &frames, false);
+        let sandbox_jit = run_sandbox(scenario, &frames, true);
 
         assert_eq!(
             interp.audit_fingerprint,
@@ -125,25 +165,82 @@ fn scenarios_agree_across_all_three_paths() {
             "{}: interp/JIT audit streams diverged",
             scenario.name()
         );
+        // The sandbox dialect has its own cost model (domain crossings),
+        // but within the dialect interp vs JIT is byte-identical.
+        assert_eq!(
+            sandbox.audit_fingerprint,
+            sandbox_jit.audit_fingerprint,
+            "{}: sandbox interp/JIT audit streams diverged",
+            scenario.name()
+        );
         assert_eq!(interp.verdicts, jit.verdicts, "{}", scenario.name());
         assert_eq!(interp.verdicts, safe.verdicts, "{}", scenario.name());
+        assert_eq!(interp.verdicts, sandbox.verdicts, "{}", scenario.name());
         assert_eq!(interp.flow_log, jit.flow_log, "{}", scenario.name());
         assert_eq!(interp.flow_log, safe.flow_log, "{}", scenario.name());
+        assert_eq!(interp.flow_log, sandbox.flow_log, "{}", scenario.name());
         assert_eq!(interp.ct_stats, safe.ct_stats, "{}", scenario.name());
+        assert_eq!(interp.ct_stats, sandbox.ct_stats, "{}", scenario.name());
         assert!(interp.pristine && jit.pristine && safe.pristine);
+        assert!(sandbox.pristine && sandbox_jit.pristine);
+    }
+}
+
+/// The sharded sandbox lane is as deterministic as the verified one:
+/// for each scenario, fault storm armed or not, the canonical per-packet
+/// log hashes byte-identically at 1, 2, 4, and 8 shards — the SFI lane
+/// introduces no shard-count- or schedule-dependent behaviour.
+#[test]
+fn sandbox_canonical_sha_is_shard_invariant_with_and_without_faults() {
+    let frames = generate(&TrafficConfig::smoke(), 7);
+    for scenario in [NetScenario::SynFilter, NetScenario::LoadBalancer] {
+        for fault in [None, Some(FaultPlanConfig::default())] {
+            let mut canonical: Option<String> = None;
+            for shards in [1usize, 2, 4, 8] {
+                let report = run_net_batched(
+                    Backend::Sandbox,
+                    &NetConfig {
+                        shards,
+                        seed: 7,
+                        fault,
+                        scenario,
+                    },
+                    &frames,
+                )
+                .expect("dispatch");
+                let sha = sha256::to_hex(&sha256::digest(report.canonical_log.as_bytes()));
+                match &canonical {
+                    None => canonical = Some(sha),
+                    Some(expect) => assert_eq!(
+                        *expect,
+                        sha,
+                        "{}: sandbox canonical SHA varies with shard count (faults: {})",
+                        scenario.name(),
+                        fault.is_some()
+                    ),
+                }
+            }
+        }
     }
 }
 
 /// Runs one micro-program through interpreter and JIT on fresh kernels
-/// and asserts indistinguishability including the audit fingerprint;
+/// and asserts indistinguishability including the audit fingerprint,
+/// then repeats the pair in the sandbox dialect (unverified load, masked
+/// accesses, domain crossings) and asserts the same internal bar plus
+/// cross-dialect agreement on results, helper calls, and flow logs;
 /// returns the shared result.
 fn micro_differential(prog: Program, frame: &[u8]) -> (Option<u64>, String, String) {
-    let run = |prog: Program| {
+    let run = |prog: Program, sandbox: bool| {
         let kernel = Kernel::new();
         let maps = MapRegistry::default();
         let helpers = HelperRegistry::standard();
         let mut vm = Vm::new(&kernel, &maps, &helpers);
-        let id = vm.load(prog);
+        let id = if sandbox {
+            vm.load_sandboxed(prog, SandboxConfig::default())
+        } else {
+            vm.load(prog)
+        };
         let out = vm.run(id, CtxInput::Packet(frame.to_vec()));
         (
             out.result.ok(),
@@ -152,11 +249,11 @@ fn micro_differential(prog: Program, frame: &[u8]) -> (Option<u64>, String, Stri
             kernel.net.conntrack.flow_log_fingerprint(),
         )
     };
-    let (i_res, i_calls, i_audit, i_flow) = run(prog.clone());
+    let (i_res, i_calls, i_audit, i_flow) = run(prog.clone(), false);
     let jitted = jit_compile(&prog, JitConfig::default())
         .expect("micro programs validate")
         .0;
-    let (j_res, j_calls, j_audit, j_flow) = run(jitted);
+    let (j_res, j_calls, j_audit, j_flow) = run(jitted.clone(), false);
     assert_eq!(i_res, j_res, "{}: results diverged", prog.name);
     assert_eq!(
         i_calls, j_calls,
@@ -169,6 +266,23 @@ fn micro_differential(prog: Program, frame: &[u8]) -> (Option<u64>, String, Stri
         prog.name
     );
     assert_eq!(i_flow, j_flow, "{}: flow logs diverged", prog.name);
+
+    let (sb_res, sb_calls, sb_audit, sb_flow) = run(prog.clone(), true);
+    let (sj_res, _, sj_audit, _) = run(jitted, true);
+    assert_eq!(i_res, sb_res, "{}: sandbox result diverged", prog.name);
+    assert_eq!(
+        i_calls, sb_calls,
+        "{}: sandbox helper call counts diverged",
+        prog.name
+    );
+    assert_eq!(i_flow, sb_flow, "{}: sandbox flow log diverged", prog.name);
+    assert_eq!(sb_res, sj_res, "{}: sandbox interp/JIT diverged", prog.name);
+    assert_eq!(
+        sb_audit, sj_audit,
+        "{}: sandbox interp/JIT audit fingerprints diverged",
+        prog.name
+    );
+
     (i_res, i_audit, i_flow)
 }
 

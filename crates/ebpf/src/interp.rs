@@ -12,6 +12,8 @@
 //! the guarantee the paper's `bpf_loop` exploit voids.
 
 use kernel_sim::{
+    audit::EventKind,
+    domain::{DomainCosts, SandboxDomain},
     exec::{ExecCtx, ExecReport},
     mem::{Addr, Fault, Perms},
     metrics::Metrics,
@@ -178,6 +180,18 @@ pub enum ExecError {
         /// The dangling first slot.
         pc: usize,
     },
+    /// A sandboxed (unverified) program touched memory outside its
+    /// protection domain and its granted kernel windows. The access never
+    /// happened: the SFI check trapped it, the run aborts, and — unlike
+    /// [`ExecError::Fault`] — the kernel does *not* oops. This is the
+    /// defining divergence of the sandbox lane: isolation at run time
+    /// instead of rejection at load time.
+    DomainTrap {
+        /// Program counter at the trapped access.
+        pc: usize,
+        /// The escaping address.
+        addr: u64,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -199,6 +213,9 @@ impl std::fmt::Display for ExecError {
             ExecError::TailCallInSubprog { pc } => write!(f, "tail call in subprogram at pc {pc}"),
             ExecError::NoSuchProgram { id } => write!(f, "program {id} has not been loaded"),
             ExecError::TruncatedLddw { pc } => write!(f, "truncated LDDW at pc {pc}"),
+            ExecError::DomainTrap { pc, addr } => {
+                write!(f, "sandbox domain trap at pc {pc} (addr {addr:#x})")
+            }
         }
     }
 }
@@ -269,6 +286,9 @@ enum LoadedProg {
         /// Set when the text ends mid-LDDW: the run is rejected up front,
         /// mirroring the JIT lane's compile-time `TruncatedLddw`.
         truncated: Option<usize>,
+        /// Present when the program was loaded *unverified* into a
+        /// sandbox protection domain.
+        sandbox: Option<SandboxConfig>,
     },
     /// Lowered by [`jit_lower`], executed by the compiled lane.
     Jit(Box<JitLoaded>),
@@ -295,6 +315,175 @@ struct JitLoaded {
     /// Per-slot resolved helper: `Some((imp, ret))` for `LowOp::Call`
     /// slots whose id is registered, `None` otherwise.
     calls: Vec<Option<(HelperImpl, RetType)>>,
+    /// Present when the program was loaded unverified into a sandbox
+    /// protection domain (the ops then carry masked memory ops).
+    sandbox: Option<SandboxConfig>,
+}
+
+/// Size of each run's protection domain: the context structure at offset
+/// zero plus up to [`VmConfig::max_call_depth`] bump-allocated 512-byte
+/// stack frames, with room to spare. Power of two so the domain is
+/// expressible as a single SFI mask.
+pub const SANDBOX_DOMAIN_BYTES: u64 = 8192;
+
+/// How a program runs in the sandbox lane (SafeBPF-style: isolate
+/// unverified code in a protection domain instead of verifying it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SandboxConfig {
+    /// Virtual-nanosecond cost of each domain crossing.
+    pub costs: DomainCosts,
+    /// Which quota domain the per-run region is accounted against
+    /// (tenancy charges it to the owning tenant; 0 = unaccounted).
+    pub account_domain: u32,
+}
+
+/// Per-run sandbox state: the domain region, its bump allocator, and the
+/// two window sets the SFI check consults.
+///
+/// Addresses whose masked form is themselves (i.e. inside the domain)
+/// must hit a *live* inner window — the context or an active stack frame;
+/// everything else must hit a *granted* kernel window — the packet
+/// payload or a region returned by a `MapValueOrNull` helper. Anything
+/// else is a domain violation and traps.
+struct DomainRun {
+    dom: SandboxDomain,
+    costs: DomainCosts,
+    /// Next free offset for ctx/frame bump allocation.
+    bump: u64,
+    /// Live in-domain windows: the ctx plus one per active stack frame.
+    inner: Vec<(Addr, u64)>,
+    /// Kernel windows the program may legitimately touch.
+    granted: Vec<(Addr, u64)>,
+}
+
+impl DomainRun {
+    fn new(dom: SandboxDomain, costs: DomainCosts) -> Self {
+        Self {
+            dom,
+            costs,
+            bump: 0,
+            inner: Vec::new(),
+            granted: Vec::new(),
+        }
+    }
+
+    /// Bump-allocates `len` bytes inside the domain and opens an inner
+    /// window over them. `None` when the domain is exhausted.
+    fn alloc(&mut self, len: u64) -> Option<Addr> {
+        if self.bump + len > self.dom.size() {
+            return None;
+        }
+        let addr = self.dom.base() + self.bump;
+        self.bump += len;
+        self.inner.push((addr, len));
+        Some(addr)
+    }
+
+    /// Releases the most recent allocation (stack frames pop LIFO).
+    fn release(&mut self, addr: Addr, len: u64) {
+        if self.inner.last() == Some(&(addr, len)) {
+            self.inner.pop();
+            self.bump -= len;
+        }
+    }
+
+    /// Opens a kernel window (packet payload, helper-returned region).
+    fn grant(&mut self, base: Addr, len: u64) {
+        if !self.granted.iter().any(|&(b, l)| b == base && l == len) {
+            self.granted.push((base, len));
+        }
+    }
+
+    /// The SFI check: masked-in-domain addresses must sit in a live inner
+    /// window, everything else in a granted kernel window.
+    fn allows(&self, addr: Addr, len: u64) -> bool {
+        // Under `sandbox-strict`, re-validate the structural invariants
+        // the window bookkeeping relies on at every check: the mask is
+        // closed over the domain, and every live inner window sits
+        // wholly inside it (so mask-identity and window membership can
+        // never disagree). A failure here is a bug in the sandbox
+        // implementation, never in the program under test.
+        #[cfg(feature = "sandbox-strict")]
+        {
+            assert!(
+                self.dom.contains(self.dom.mask(addr), 1),
+                "sandbox-strict: mask escaped the domain for {addr:#x}"
+            );
+            for &(b, l) in &self.inner {
+                assert!(
+                    l == 0 || self.dom.contains(b, l),
+                    "sandbox-strict: inner window [{b:#x}; {l}) escapes the domain"
+                );
+            }
+        }
+        let Some(end) = addr.checked_add(len) else {
+            return false;
+        };
+        let windows = if self.dom.mask(addr) == addr {
+            &self.inner
+        } else {
+            &self.granted
+        };
+        windows.iter().any(|&(b, l)| addr >= b && end <= b + l)
+    }
+}
+
+/// Charges one domain crossing: virtual time, the entry/exit counter,
+/// and a trace instant (`arg` 0 = entering the sandbox, 1 = leaving).
+fn domain_cross(kernel: &Kernel, costs: DomainCosts, entering: bool) {
+    let metrics = &kernel.metrics;
+    if entering {
+        kernel.clock.advance(costs.entry_ns);
+        Metrics::bump(&metrics.domain_entries, 1);
+    } else {
+        kernel.clock.advance(costs.exit_ns);
+        Metrics::bump(&metrics.domain_exits, 1);
+    }
+    kernel
+        .trace
+        .instant(kernel_sim::trace::SpanKind::DomainSwitch, !entering as u64);
+}
+
+/// RAII guard for the run-level crossing: entry is charged on
+/// construction, exit on drop — so the books balance even when the run
+/// unwinds through a trap, a helper fault, or fuel exhaustion.
+struct DomainEntry<'k> {
+    kernel: &'k Kernel,
+    costs: DomainCosts,
+}
+
+impl<'k> DomainEntry<'k> {
+    fn enter(kernel: &'k Kernel, costs: DomainCosts) -> Self {
+        domain_cross(kernel, costs, true);
+        Self { kernel, costs }
+    }
+}
+
+impl Drop for DomainEntry<'_> {
+    fn drop(&mut self) {
+        domain_cross(self.kernel, self.costs, false);
+    }
+}
+
+/// The inverse guard for helper-call boundaries: calling a helper
+/// *leaves* the sandbox (exit charged on construction) and returning
+/// from it re-enters (entry charged on drop).
+struct DomainExit<'k> {
+    kernel: &'k Kernel,
+    costs: DomainCosts,
+}
+
+impl<'k> DomainExit<'k> {
+    fn leave(kernel: &'k Kernel, costs: DomainCosts) -> Self {
+        domain_cross(kernel, costs, false);
+        Self { kernel, costs }
+    }
+}
+
+impl Drop for DomainExit<'_> {
+    fn drop(&mut self) {
+        domain_cross(self.kernel, self.costs, true);
+    }
 }
 
 /// Detects a program whose linear text ends inside an LDDW pair,
@@ -329,6 +518,10 @@ struct St {
     run: RunState,
     exec: ExecCtx,
     skb: Option<SkBuff>,
+    /// Set for sandbox-lane runs; every program memory access (in either
+    /// execution form — tail calls may cross forms) is SFI-checked
+    /// against it.
+    dom: Option<DomainRun>,
 }
 
 impl<'a> Vm<'a> {
@@ -361,8 +554,29 @@ impl<'a> Vm<'a> {
     pub fn load(&mut self, prog: Program) -> u32 {
         let id = self.programs.len() as u32;
         let truncated = truncated_lddw(&prog.insns);
-        self.programs
-            .push(Some(LoadedProg::Interp { prog, truncated }));
+        self.programs.push(Some(LoadedProg::Interp {
+            prog,
+            truncated,
+            sandbox: None,
+        }));
+        id
+    }
+
+    /// Loads a program **unverified** into a sandbox protection domain
+    /// (the SafeBPF architecture): no verifier pass at load time; every
+    /// run executes with SFI-checked memory accesses inside a tagged
+    /// domain region, pays explicit domain-switch costs at program
+    /// entry/exit and helper boundaries, and a violating access traps —
+    /// aborting the run without an oops — instead of being rejected up
+    /// front.
+    pub fn load_sandboxed(&mut self, prog: Program, sandbox: SandboxConfig) -> u32 {
+        let id = self.programs.len() as u32;
+        let truncated = truncated_lddw(&prog.insns);
+        self.programs.push(Some(LoadedProg::Interp {
+            prog,
+            truncated,
+            sandbox: Some(sandbox),
+        }));
         id
     }
 
@@ -382,6 +596,38 @@ impl<'a> Vm<'a> {
         prog: Program,
         config: JitConfig,
     ) -> Result<(u32, JitStats), JitError> {
+        self.load_jit_inner(prog, config, None)
+    }
+
+    /// The compiled-lane counterpart of [`Vm::load_sandboxed`]: lowers
+    /// with [`JitConfig::sandbox`] forced on, so memory ops come out as
+    /// their masked SFI forms instead of relying on verifier range facts.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the validation failures of [`crate::jit::jit_compile`].
+    pub fn load_sandboxed_jit(
+        &mut self,
+        prog: Program,
+        sandbox: SandboxConfig,
+        config: JitConfig,
+    ) -> Result<(u32, JitStats), JitError> {
+        self.load_jit_inner(
+            prog,
+            JitConfig {
+                sandbox: true,
+                ..config
+            },
+            Some(sandbox),
+        )
+    }
+
+    fn load_jit_inner(
+        &mut self,
+        prog: Program,
+        config: JitConfig,
+        sandbox: Option<SandboxConfig>,
+    ) -> Result<(u32, JitStats), JitError> {
         let lowered = jit_lower(&prog, config)?;
         let calls = lowered
             .ops
@@ -397,6 +643,7 @@ impl<'a> Vm<'a> {
             ops: lowered.ops,
             chunk: lowered.chunk,
             calls,
+            sandbox,
         }))));
         Ok((id, lowered.stats))
     }
@@ -471,9 +718,20 @@ impl<'a> Vm<'a> {
             return Self::aborted(ExecError::TruncatedLddw { pc: *pc });
         }
         let prog = loaded.prog();
-        let (ctx_addr, ctx_region, skb) = match self.build_ctx(prog.prog_type, input) {
-            Ok(parts) => parts,
-            Err(fault) => return Self::aborted(ExecError::Fault { fault, pc: 0 }),
+        let sandbox = match loaded {
+            LoadedProg::Interp { sandbox, .. } => *sandbox,
+            LoadedProg::Jit(j) => j.sandbox,
+        };
+        let (ctx_addr, ctx_region, skb, dom) = if let Some(sb) = sandbox {
+            match self.build_sandbox_ctx(prog.prog_type, input, sb) {
+                Ok(parts) => parts,
+                Err(fault) => return Self::aborted(ExecError::Fault { fault, pc: 0 }),
+            }
+        } else {
+            match self.build_ctx(prog.prog_type, input) {
+                Ok((ctx, region, skb)) => (ctx, region, skb, None),
+                Err(fault) => return Self::aborted(ExecError::Fault { fault, pc: 0 }),
+            }
         };
 
         let mut st = St {
@@ -486,6 +744,7 @@ impl<'a> Vm<'a> {
             run: RunState::with_seed(self.config.seed),
             exec: ExecCtx::for_kernel(self.kernel),
             skb,
+            dom,
         };
         st.regs[1] = ctx_addr;
 
@@ -495,6 +754,13 @@ impl<'a> Vm<'a> {
             .span(kernel_sim::trace::SpanKind::ProgRun, prog_id as u64);
         // The whole run executes under the RCU read lock, as in the kernel.
         let rcu_guard = self.kernel.rcu.read_lock();
+        // Sandbox runs pay the kernel→domain crossing here and the
+        // domain→kernel crossing when the guard drops — on every exit
+        // path, so entries and exits balance even across aborted runs.
+        let entry_guard = st
+            .dom
+            .as_ref()
+            .map(|d| DomainEntry::enter(self.kernel, d.costs));
         let mut current = loaded;
         let result;
         loop {
@@ -536,7 +802,10 @@ impl<'a> Vm<'a> {
                 }
             }
         }
-        // Final stall poll before leaving the read-side section.
+        // Leave the sandbox (the exit crossing is charged now, so it is
+        // on the run's timeline), then the final stall poll before
+        // leaving the read-side section.
+        drop(entry_guard);
         self.kernel.rcu.check_stall(&self.kernel.audit);
         drop(rcu_guard);
 
@@ -609,6 +878,60 @@ impl<'a> Vm<'a> {
         Ok((ctx, ctx, skb))
     }
 
+    /// The sandbox lane's context build: maps the per-run protection
+    /// domain (accounted against the configured quota domain),
+    /// bump-allocates the context structure at its base — so the domain
+    /// region doubles as the ctx region for the common unmap path — and
+    /// grants the packet payload as a kernel window.
+    #[allow(clippy::type_complexity)]
+    fn build_sandbox_ctx(
+        &self,
+        prog_type: ProgType,
+        input: CtxRef<'_>,
+        sandbox: SandboxConfig,
+    ) -> Result<(Addr, Addr, Option<SkBuff>, Option<DomainRun>), Fault> {
+        let base = self.kernel.mem.map_aligned_in_domain(
+            "sandbox-domain",
+            SANDBOX_DOMAIN_BYTES,
+            Perms::rw(),
+            sandbox.account_domain,
+        )?;
+        let dom = SandboxDomain::new(base, SANDBOX_DOMAIN_BYTES)
+            .expect("aligned power-of-two domain geometry");
+        let mut run = DomainRun::new(dom, sandbox.costs);
+        let layout = prog_type.ctx_layout();
+        let ctx = run
+            .alloc(layout.size as u64)
+            .expect("ctx layout fits the domain");
+        let mut skb = None;
+        match input {
+            CtxRef::Packet(payload) => {
+                let sk_buff = self.kernel.objects.create_skb(&self.kernel.mem, payload)?;
+                let mut fields = [0u8; 24];
+                fields[..8].copy_from_slice(&sk_buff.data.to_le_bytes());
+                fields[8..16].copy_from_slice(&sk_buff.data_end().to_le_bytes());
+                fields[16..].copy_from_slice(&(sk_buff.len as u64).to_le_bytes());
+                self.kernel.mem.write_from(ctx, &fields)?;
+                if sk_buff.len > 0 {
+                    run.grant(sk_buff.data, sk_buff.len as u64);
+                }
+                skb = Some(sk_buff);
+            }
+            CtxRef::Kprobe(regs) => {
+                for (i, r) in regs.iter().enumerate() {
+                    self.kernel.mem.write_u64(ctx + i as u64 * 8, *r)?;
+                }
+            }
+            CtxRef::Tracepoint(fields) => {
+                for (i, v) in fields.iter().enumerate() {
+                    self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
+                }
+            }
+            CtxRef::None => {}
+        }
+        Ok((ctx, base, skb, Some(run)))
+    }
+
     fn charge(&self, st: &mut St, pc: usize) -> Result<(), ExecError> {
         st.insns += 1;
         self.kernel.clock.advance(self.config.time_per_insn_ns);
@@ -636,20 +959,52 @@ impl<'a> Vm<'a> {
         }
         st.depth += 1;
         st.max_depth = st.max_depth.max(st.depth);
-        let frame = self
-            .kernel
-            .mem
-            .map("bpf-stack", BPF_STACK_SIZE, Perms::rw())
-            .map_err(|fault| ExecError::Fault { fault, pc: entry })?;
+        let frame = self.alloc_frame(st, entry)?;
         let saved_r10 = st.regs[10];
         st.regs[10] = frame + BPF_STACK_SIZE;
 
         let out = self.exec_body(prog, st, entry, ctx_addr);
 
         st.regs[10] = saved_r10;
-        let _ = self.kernel.mem.unmap(frame);
+        self.release_frame(st, frame);
         st.depth -= 1;
         out
+    }
+
+    /// A fresh 512-byte stack frame: a mapped kernel region in the
+    /// baseline lanes, a zeroed bump allocation inside the protection
+    /// domain in the sandbox lane (a frame that would overflow the
+    /// domain is a trapped stack escape, not an allocation fault).
+    fn alloc_frame(&self, st: &mut St, entry: usize) -> Result<Addr, ExecError> {
+        match st.dom.as_mut() {
+            Some(dom) => {
+                let frame = dom.alloc(BPF_STACK_SIZE).ok_or(ExecError::DomainTrap {
+                    pc: entry,
+                    addr: dom.dom.base() + dom.dom.size(),
+                })?;
+                // Bump space recycles within a run; zero it so reads of
+                // never-written slots behave like fresh kernel frames.
+                self.kernel
+                    .mem
+                    .fill(frame, BPF_STACK_SIZE, 0)
+                    .map_err(|fault| ExecError::Fault { fault, pc: entry })?;
+                Ok(frame)
+            }
+            None => self
+                .kernel
+                .mem
+                .map("bpf-stack", BPF_STACK_SIZE, Perms::rw())
+                .map_err(|fault| ExecError::Fault { fault, pc: entry }),
+        }
+    }
+
+    fn release_frame(&self, st: &mut St, frame: Addr) {
+        match st.dom.as_mut() {
+            Some(dom) => dom.release(frame, BPF_STACK_SIZE),
+            None => {
+                let _ = self.kernel.mem.unmap(frame);
+            }
+        }
     }
 
     #[allow(clippy::too_many_lines)]
@@ -729,6 +1084,7 @@ impl<'a> Vm<'a> {
                         return Err(ExecError::BadInstruction { pc });
                     }
                     let addr = st.regs[insn.src as usize].wrapping_add(insn.off as i64 as u64);
+                    self.sandbox_check(st, addr, insn.access_size(), pc, prog)?;
                     let value = self
                         .kernel
                         .mem
@@ -746,6 +1102,7 @@ impl<'a> Vm<'a> {
                             } else {
                                 st.regs[insn.src as usize]
                             };
+                            self.sandbox_check(st, addr, insn.access_size(), pc, prog)?;
                             self.kernel
                                 .mem
                                 .write_sized(addr, insn.access_size(), value)
@@ -853,6 +1210,9 @@ impl<'a> Vm<'a> {
         if size != 4 && size != 8 {
             return Err(ExecError::BadInstruction { pc });
         }
+        // Both lanes' atomics funnel through here, so one check covers
+        // the interpreter's BPF_ATOMIC and the JIT's (masked) atomic op.
+        self.sandbox_check(st, addr, size, pc, prog)?;
         let mask = if size == 4 { 0xffff_ffff } else { u64::MAX };
         let src_val = st.regs[src as usize] & mask;
         let op = aop;
@@ -979,6 +1339,20 @@ impl<'a> Vm<'a> {
                 Ok(None)
             }
             _ => {
+                // A real helper call leaves the sandbox: the inverse
+                // guard charges the exit now and the re-entry on every
+                // return path (success, injected failure, helper fault).
+                // The tail-call and loop pseudo-helpers above are
+                // VM-inlined and never cross.
+                let _dom_guard = st
+                    .dom
+                    .as_ref()
+                    .map(|d| DomainExit::leave(self.kernel, d.costs));
+                let ret_type = if st.dom.is_some() {
+                    self.helpers.get(id).map(|h| h.spec.ret)
+                } else {
+                    None
+                };
                 // Fault plane: a transient helper failure is decided before
                 // dispatch and surfaces to the program as an error return
                 // (or NULL for pointer-returning helpers), exactly as a
@@ -1014,6 +1388,7 @@ impl<'a> Vm<'a> {
                         for r in 1..=5 {
                             st.regs[r] = 0;
                         }
+                        self.grant_helper_window(st, ret_type, v);
                         Ok(None)
                     }
                     Err(HelperError::Fault(fault)) => Err(self.oops(fault, pc, prog)),
@@ -1098,18 +1473,14 @@ impl<'a> Vm<'a> {
         }
         st.depth += 1;
         st.max_depth = st.max_depth.max(st.depth);
-        let frame = self
-            .kernel
-            .mem
-            .map("bpf-stack", BPF_STACK_SIZE, Perms::rw())
-            .map_err(|fault| ExecError::Fault { fault, pc: entry })?;
+        let frame = self.alloc_frame(st, entry)?;
         let saved_r10 = st.regs[10];
         st.regs[10] = frame + BPF_STACK_SIZE;
 
         let out = self.exec_body_jit(j, st, entry, ctx_addr);
 
         st.regs[10] = saved_r10;
-        let _ = self.kernel.mem.unmap(frame);
+        self.release_frame(st, frame);
         st.depth -= 1;
         out
     }
@@ -1178,13 +1549,24 @@ impl<'a> Vm<'a> {
                     st.regs[dst as usize] = value;
                     pc += 2;
                 }
+                // The masked forms are what sandbox lowering emits; the
+                // plain forms keep the (no-op outside a domain) check so
+                // a sandbox run that tail-calls into a non-sandbox
+                // compiled program stays confined.
                 LowOp::Load {
+                    dst,
+                    src,
+                    off,
+                    size,
+                }
+                | LowOp::MaskedLoad {
                     dst,
                     src,
                     off,
                     size,
                 } => {
                     let addr = st.regs[src as usize].wrapping_add(off as i64 as u64);
+                    self.sandbox_check(st, addr, size, pc, prog)?;
                     let value = self
                         .kernel
                         .mem
@@ -1198,12 +1580,19 @@ impl<'a> Vm<'a> {
                     src,
                     off,
                     size,
+                }
+                | LowOp::MaskedStore {
+                    dst,
+                    src,
+                    off,
+                    size,
                 } => {
                     let addr = st.regs[dst as usize].wrapping_add(off as i64 as u64);
                     let value = match src {
                         Src::Reg(r) => st.regs[r as usize],
                         Src::Imm(v) => v,
                     };
+                    self.sandbox_check(st, addr, size, pc, prog)?;
                     self.kernel
                         .mem
                         .write_sized(addr, size, value)
@@ -1211,6 +1600,13 @@ impl<'a> Vm<'a> {
                     pc += 1;
                 }
                 LowOp::Atomic {
+                    dst,
+                    src,
+                    off,
+                    size,
+                    aop,
+                }
+                | LowOp::MaskedAtomic {
                     dst,
                     src,
                     off,
@@ -1352,6 +1748,13 @@ impl<'a> Vm<'a> {
                 Ok(None)
             }
             _ => {
+                // Same sandbox crossing discipline as the interpreter's
+                // dispatcher: exit charged now, re-entry on every return
+                // path via the guard.
+                let _dom_guard = st
+                    .dom
+                    .as_ref()
+                    .map(|d| DomainExit::leave(self.kernel, d.costs));
                 let resolved = j.calls[pc];
                 if let Some(plane) = self.kernel.inject.get() {
                     if resolved.is_some() && plane.helper_should_fail(id) {
@@ -1385,6 +1788,7 @@ impl<'a> Vm<'a> {
                         for r in 1..=5 {
                             st.regs[r] = 0;
                         }
+                        self.grant_helper_window(st, resolved.map(|(_, ret)| ret), v);
                         Ok(None)
                     }
                     Err(HelperError::Fault(fault)) => Err(self.oops(fault, pc, &j.prog)),
@@ -1407,6 +1811,57 @@ impl<'a> Vm<'a> {
         self.kernel
             .oops(OopsReason::Fault(fault), format!("{}:pc{}", prog.name, pc));
         ExecError::Fault { fault, pc }
+    }
+
+    /// The per-access SFI check of the sandbox lane. A violating access
+    /// is *trapped*: it never reaches memory, the run aborts with
+    /// [`ExecError::DomainTrap`], and — the whole point of the
+    /// architecture — the kernel does not oops. No-op for runs without a
+    /// domain, so it sits harmlessly on the shared access paths (tail
+    /// calls may carry a sandbox run into a program loaded in either
+    /// execution form).
+    fn sandbox_check(
+        &self,
+        st: &St,
+        addr: Addr,
+        len: u8,
+        pc: usize,
+        prog: &Program,
+    ) -> Result<(), ExecError> {
+        let Some(dom) = &st.dom else {
+            return Ok(());
+        };
+        if dom.allows(addr, u64::from(len)) {
+            return Ok(());
+        }
+        Metrics::bump(&self.kernel.metrics.domain_traps, 1);
+        self.kernel.audit.record(
+            self.kernel.clock.now_ns(),
+            EventKind::DomainTrap,
+            format!(
+                "{}:pc{pc} sfi violation addr={addr:#x} len={len}",
+                prog.name
+            ),
+        );
+        Err(ExecError::DomainTrap { pc, addr })
+    }
+
+    /// After a successful helper return in a sandbox run: a non-NULL
+    /// `MapValueOrNull` result is a real kernel pointer the program is
+    /// now entitled to dereference, so the containing region becomes a
+    /// granted window. Tagged pointers (sockets, tasks) are not granted —
+    /// dereferencing them traps here exactly as it faults in the
+    /// verified lane, keeping the divergence contract's outcome classes
+    /// aligned.
+    fn grant_helper_window(&self, st: &mut St, ret: Option<RetType>, v: u64) {
+        if v == 0 || ret != Some(RetType::MapValueOrNull) {
+            return;
+        }
+        if let Some(dom) = st.dom.as_mut() {
+            if let Some((base, len, _, _)) = self.kernel.mem.region_of(v) {
+                dom.grant(base, len);
+            }
+        }
     }
 }
 

@@ -54,6 +54,11 @@ pub struct JitConfig {
     /// Enable the CVE-2021-29154 replica: miscompute large backward
     /// branch displacements by one instruction.
     pub branch_offset_bug: bool,
+    /// Sandbox (SFI) lowering: memory ops come out as their masked
+    /// forms ([`LowOp::MaskedLoad`] and friends), which bounds-check
+    /// every access against the run's protection domain instead of
+    /// relying on verifier range facts. Set by `Vm::load_sandboxed_jit`.
+    pub sandbox: bool,
 }
 
 /// Errors found while compiling.
@@ -184,6 +189,45 @@ pub(crate) enum LowOp {
     },
     /// Atomic read-modify-write.
     Atomic {
+        /// Address base register.
+        dst: u8,
+        /// Operand register.
+        src: u8,
+        /// Address displacement.
+        off: i16,
+        /// Access size in bytes.
+        size: u8,
+        /// The atomic op immediate (BPF_ATOMIC_* | BPF_FETCH | ...).
+        aop: i32,
+    },
+    /// Memory load with an SFI domain check (sandbox lowering). Same
+    /// operands and fuel as [`LowOp::Load`]; the executor masks the
+    /// address against the run's protection domain and traps — instead
+    /// of faulting the kernel — when it escapes.
+    MaskedLoad {
+        /// Destination register.
+        dst: u8,
+        /// Address base register.
+        src: u8,
+        /// Address displacement.
+        off: i16,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// Memory store with an SFI domain check (sandbox lowering).
+    MaskedStore {
+        /// Address base register.
+        dst: u8,
+        /// Stored value.
+        src: Src,
+        /// Address displacement.
+        off: i16,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// Atomic read-modify-write with an SFI domain check (sandbox
+    /// lowering).
+    MaskedAtomic {
         /// Address base register.
         dst: u8,
         /// Operand register.
@@ -337,7 +381,7 @@ pub fn jit_lower(prog: &Program, config: JitConfig) -> Result<Lowered, JitError>
 
     // Uniform per-slot lowering.
     let ops: Vec<LowOp> = (0..len)
-        .map(|pc| lower_one(insns, pc, eff_off[pc]))
+        .map(|pc| lower_one(insns, pc, eff_off[pc], config.sandbox))
         .collect();
 
     // Fuel chunks: suffix-sum of units over straight-line pure runs.
@@ -393,8 +437,9 @@ pub fn jit_lower(prog: &Program, config: JitConfig) -> Result<Lowered, JitError>
 }
 
 /// Lowers the single slot at `pc` exactly as the interpreter decodes it,
-/// with `off` as the (possibly bug-adjusted) branch displacement.
-fn lower_one(insns: &[Insn], pc: usize, off: i16) -> LowOp {
+/// with `off` as the (possibly bug-adjusted) branch displacement. With
+/// `sandbox` set, memory ops lower to their masked SFI forms.
+fn lower_one(insns: &[Insn], pc: usize, off: i16, sandbox: bool) -> LowOp {
     let len = insns.len();
     let insn = insns[pc];
     match insn.class() {
@@ -444,34 +489,71 @@ fn lower_one(insns: &[Insn], pc: usize, off: i16) -> LowOp {
         }
         BPF_LDX => {
             if insn.mode() == BPF_MEM {
-                LowOp::Load {
-                    dst: insn.dst,
-                    src: insn.src,
-                    off: insn.off,
-                    size: insn.access_size(),
+                let (dst, src, off, size) = (insn.dst, insn.src, insn.off, insn.access_size());
+                if sandbox {
+                    LowOp::MaskedLoad {
+                        dst,
+                        src,
+                        off,
+                        size,
+                    }
+                } else {
+                    LowOp::Load {
+                        dst,
+                        src,
+                        off,
+                        size,
+                    }
                 }
             } else {
                 LowOp::Bad
             }
         }
         BPF_ST | BPF_STX => match insn.mode() {
-            BPF_MEM => LowOp::Store {
-                dst: insn.dst,
-                src: if insn.class() == BPF_ST {
+            BPF_MEM => {
+                let src = if insn.class() == BPF_ST {
                     Src::Imm(insn.imm as i64 as u64)
                 } else {
                     Src::Reg(insn.src)
-                },
-                off: insn.off,
-                size: insn.access_size(),
-            },
-            BPF_ATOMIC if insn.class() == BPF_STX => LowOp::Atomic {
-                dst: insn.dst,
-                src: insn.src,
-                off: insn.off,
-                size: insn.access_size(),
-                aop: insn.imm,
-            },
+                };
+                let (dst, off, size) = (insn.dst, insn.off, insn.access_size());
+                if sandbox {
+                    LowOp::MaskedStore {
+                        dst,
+                        src,
+                        off,
+                        size,
+                    }
+                } else {
+                    LowOp::Store {
+                        dst,
+                        src,
+                        off,
+                        size,
+                    }
+                }
+            }
+            BPF_ATOMIC if insn.class() == BPF_STX => {
+                let (dst, src, off, size, aop) =
+                    (insn.dst, insn.src, insn.off, insn.access_size(), insn.imm);
+                if sandbox {
+                    LowOp::MaskedAtomic {
+                        dst,
+                        src,
+                        off,
+                        size,
+                        aop,
+                    }
+                } else {
+                    LowOp::Atomic {
+                        dst,
+                        src,
+                        off,
+                        size,
+                        aop,
+                    }
+                }
+            }
             _ => LowOp::Bad,
         },
         BPF_JMP | BPF_JMP32 => {
@@ -662,6 +744,7 @@ mod tests {
             &prog,
             JitConfig {
                 branch_offset_bug: true,
+                ..JitConfig::default()
             },
         )
         .unwrap();
@@ -684,6 +767,7 @@ mod tests {
             &prog,
             JitConfig {
                 branch_offset_bug: true,
+                ..JitConfig::default()
             },
         )
         .unwrap();
@@ -753,6 +837,7 @@ mod tests {
             &prog,
             JitConfig {
                 branch_offset_bug: true,
+                ..JitConfig::default()
             },
         )
         .unwrap();

@@ -236,7 +236,7 @@ proptest! {
     fn buggy_jit_never_hangs(groups in prop::collection::vec(insn_group(), 1..40)) {
         let insns = sanitize(groups);
         let prog = Program::new("diff-bug", ProgType::SocketFilter, insns);
-        if let Ok((jitted, _)) = jit_compile(&prog, JitConfig { branch_offset_bug: true }) {
+        if let Ok((jitted, _)) = jit_compile(&prog, JitConfig { branch_offset_bug: true, ..JitConfig::default() }) {
             // Must complete within the budget, one way or another.
             let _ = run_fresh(jitted);
         }

@@ -21,7 +21,7 @@
 
 use ebpf::helpers::HelperRegistry;
 use ebpf::insn::Insn;
-use ebpf::interp::{CtxInput, ExecError, RunResult, Vm, VmConfig};
+use ebpf::interp::{CtxInput, ExecError, RunResult, SandboxConfig, Vm, VmConfig};
 use ebpf::jit::{JitConfig, JitError};
 use ebpf::maps::{MapDef, MapRegistry};
 use ebpf::program::{ProgType, Program};
@@ -168,6 +168,18 @@ pub struct RuntimeProbe {
     /// Interpreter and JIT pipelines agreed on every input (results and
     /// audit fingerprints).
     pub jit_agrees: bool,
+    /// Merged classification of the third lane: the same program loaded
+    /// **unverified** into an SFI sandbox domain. Diagnostic only —
+    /// never feeds [`Bucket`]; the sandbox legitimately diverges from
+    /// the verified lane on misbehaving programs (it traps where the
+    /// baseline oopses, and pointer-typed return values differ because
+    /// ctx/stack live inside the domain region).
+    pub sandbox_class: RuntimeClass,
+    /// The sandbox lane kept its confinement promise on every input:
+    /// the kernel never oopsed and the domain-crossing ledger balanced
+    /// (entries == exits at rest). A `false` here is a sandbox bug, not
+    /// a property of the fuzzed program.
+    pub sandbox_confined: bool,
     /// Debug rendering of the first trap, if any.
     pub trap: Option<String>,
 }
@@ -275,6 +287,28 @@ impl Env {
         (result, self.kernel.audit.fingerprint())
     }
 
+    /// Same as [`Env::run`], but through the sandbox lane: the program
+    /// is loaded **unverified** into an SFI protection domain and every
+    /// memory access is mask-checked at run time. Returns the run plus
+    /// the audit cross-checks — whether the kernel oopsed and whether
+    /// the domain-crossing ledger balanced.
+    fn run_sandboxed(&self, prog: Program, input: CtxInput) -> (RunResult, bool) {
+        let mut vm = Vm::new(&self.kernel, &self.maps, &self.helpers).with_config(VmConfig {
+            max_insns: Some(FUEL),
+            ..VmConfig::default()
+        });
+        let id = vm.load_sandboxed(prog, SandboxConfig::default());
+        self.maps
+            .get(PROG_FD)
+            .expect("prog array exists")
+            .update(&self.kernel.mem, &0u32.to_le_bytes(), &id.to_le_bytes(), 0)
+            .expect("prog slot update");
+        let result = vm.run(id, input);
+        let m = self.kernel.metrics.snapshot();
+        let confined = self.kernel.health().oopses == 0 && m.domain_entries == m.domain_exits;
+        (result, confined)
+    }
+
     /// Same as [`Env::run`], but through the compiled lane: the program
     /// is lowered by [`Vm::load_jit`] and executed block-by-block.
     /// Returns the lowering error when the pass rejects the program.
@@ -368,10 +402,30 @@ impl Oracle {
     pub fn probe(&self, insns: &[Insn], prog_type: ProgType) -> RuntimeProbe {
         let mut class = RuntimeClass::Safe;
         let mut jit_agrees = true;
+        let mut sandbox_class = RuntimeClass::Safe;
+        let mut sandbox_confined = true;
         let mut trap = None;
         let make_prog = || Program::new("fuzz", prog_type, insns.to_vec());
         for input in inputs(prog_type) {
             let (base, base_fp) = Env::new().run(make_prog(), input.clone());
+            // Third lane: the same program, unverified, inside an SFI
+            // domain. Its class and confinement promise are recorded as
+            // diagnostics; they never feed the verdict bucket.
+            let (sb, confined) = Env::new().run_sandboxed(make_prog(), input.clone());
+            sandbox_confined &= confined;
+            let sb_this = match &sb.result {
+                Ok(_) if sb.leak_report.clean() => RuntimeClass::Safe,
+                Ok(_) => RuntimeClass::Trap,
+                Err(ExecError::InsnLimit { .. }) => RuntimeClass::Undecided,
+                Err(_) => RuntimeClass::Trap,
+            };
+            sandbox_class = match (sandbox_class, sb_this) {
+                (_, RuntimeClass::Trap) | (RuntimeClass::Trap, _) => RuntimeClass::Trap,
+                (_, RuntimeClass::Undecided) | (RuntimeClass::Undecided, _) => {
+                    RuntimeClass::Undecided
+                }
+                _ => RuntimeClass::Safe,
+            };
             let same = match Env::new().run_jit(make_prog(), input) {
                 Ok((jit, jit_fp)) => {
                     base.result == jit.result
@@ -416,6 +470,8 @@ impl Oracle {
         RuntimeProbe {
             class,
             jit_agrees,
+            sandbox_class,
+            sandbox_confined,
             trap,
         }
     }
@@ -461,6 +517,11 @@ mod tests {
         assert!(obs.accepted);
         assert_eq!(obs.bucket, Bucket::AcceptSafe);
         assert!(obs.jit_agrees);
+        // The third lane agrees on the well-behaved program and kept its
+        // confinement invariants.
+        let probe = oracle.probe(&insns, ProgType::SocketFilter);
+        assert_eq!(probe.sandbox_class, RuntimeClass::Safe);
+        assert!(probe.sandbox_confined);
     }
 
     #[test]
@@ -504,6 +565,12 @@ mod tests {
         let shipped = oracle.evaluate(&insns, ProgType::SocketFilter, Lane::Shipped);
         assert!(shipped.accepted, "shipped lane must accept");
         assert_eq!(shipped.bucket, Bucket::UnsoundnessCandidate);
+        // The CVE gadget that oopses the baseline is *confined* by the
+        // sandbox lane: it still misbehaves (traps), but the kernel never
+        // oopses and the domain ledger balances.
+        let probe = oracle.probe(&insns, ProgType::SocketFilter);
+        assert_eq!(probe.sandbox_class, RuntimeClass::Trap);
+        assert!(probe.sandbox_confined);
     }
 
     #[test]

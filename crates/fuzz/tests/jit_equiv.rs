@@ -160,7 +160,7 @@ proptest! {
     fn armed_branch_bug_matches_byte_lane(seed in any::<u64>()) {
         let fp = generate(seed);
         let insns = fp.emit().expect("generated programs assemble");
-        let bug = JitConfig { branch_offset_bug: true };
+        let bug = JitConfig { branch_offset_bug: true, ..JitConfig::default() };
         let prog = || Program::new("fuzz", fp.prog_type(), insns.clone());
         let bugged_text = match jit_compile(&prog(), bug) {
             Ok((mut p, _)) => {

@@ -41,6 +41,9 @@ pub enum EventKind {
     /// An extension crossed the quarantine threshold (or a quarantined
     /// extension was refused entry).
     Quarantined,
+    /// The sandbox lane trapped an SFI domain violation (the run aborts;
+    /// the kernel stays pristine).
+    DomainTrap,
     /// Free-form informational event.
     Info,
 }

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod audit;
+pub mod domain;
 pub mod exec;
 pub mod inject;
 pub mod kernel;
@@ -43,6 +44,7 @@ pub mod refcount;
 pub mod time;
 pub mod trace;
 
+pub use domain::{DomainCosts, SandboxDomain};
 pub use exec::{ExecCtx, ExecReport};
 pub use inject::{FaultPlan, FaultPlanConfig, FaultPlane, FaultSite};
 pub use kernel::{HealthReport, Kernel};

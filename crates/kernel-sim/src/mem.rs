@@ -284,14 +284,14 @@ impl KernelMem {
         perms: Perms,
         pkey: Pkey,
     ) -> Result<Addr, Fault> {
-        self.map_inner(name, len, perms, pkey, 0, None)
+        self.map_inner(name, len, perms, pkey, 0, None, 0)
     }
 
     /// Maps a region pre-initialized with `data` — equivalent to
     /// [`KernelMem::map`] followed by a full-region write, in one
     /// address-space transaction.
     pub fn map_with_data(&self, name: &str, data: &[u8], perms: Perms) -> Result<Addr, Fault> {
-        self.map_inner(name, data.len() as u64, perms, 0, 0, Some(data))
+        self.map_inner(name, data.len() as u64, perms, 0, 0, Some(data), 0)
     }
 
     /// Maps a region whose bytes are charged to accounting `domain`.
@@ -308,9 +308,30 @@ impl KernelMem {
         perms: Perms,
         domain: u32,
     ) -> Result<Addr, Fault> {
-        self.map_inner(name, len, perms, 0, domain, None)
+        self.map_inner(name, len, perms, 0, domain, None, 0)
     }
 
+    /// Maps a `len`-byte region at a `len`-aligned base address, charged
+    /// to accounting `domain`.
+    ///
+    /// `len` must be a nonzero power of two (else [`Fault::BadRange`]).
+    /// The alignment guarantee is what makes the region usable as an
+    /// SFI-maskable protection domain (see [`crate::domain::SandboxDomain`]):
+    /// `base | (addr & (len - 1))` cannot escape a size-aligned region.
+    pub fn map_aligned_in_domain(
+        &self,
+        name: &str,
+        len: u64,
+        perms: Perms,
+        domain: u32,
+    ) -> Result<Addr, Fault> {
+        if !len.is_power_of_two() {
+            return Err(Fault::BadRange { addr: 0, len });
+        }
+        self.map_inner(name, len, perms, 0, domain, None, len)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn map_inner(
         &self,
         name: &str,
@@ -319,6 +340,7 @@ impl KernelMem {
         pkey: Pkey,
         domain: u32,
         init: Option<&[u8]>,
+        align: u64,
     ) -> Result<Addr, Fault> {
         if len == 0 {
             return Err(Fault::BadRange { addr: 0, len });
@@ -344,7 +366,11 @@ impl KernelMem {
             }
             st.domain_used.insert(domain, used + len);
         }
-        let base = st.next_base;
+        let base = if align > 1 {
+            (st.next_base + align - 1) & !(align - 1)
+        } else {
+            st.next_base
+        };
         st.next_base = base + len + REGION_GUARD;
         st.bytes_mapped += len;
         st.peak_bytes_mapped = st.peak_bytes_mapped.max(st.bytes_mapped);

@@ -153,6 +153,15 @@ pub struct Metrics {
     pub tenant_unloads: AtomicU64,
     /// Allocations or map creations refused by a tenant quota.
     pub quota_rejections: AtomicU64,
+    /// Transitions into a sandbox protection domain (program entry and
+    /// each helper return).
+    pub domain_entries: AtomicU64,
+    /// Transitions out of a sandbox protection domain (program exit and
+    /// each helper call).
+    pub domain_exits: AtomicU64,
+    /// SFI violations trapped by the sandbox lane (each aborts one run
+    /// without an oops).
+    pub domain_traps: AtomicU64,
     /// Per-run cost: instructions (interpreter) or fuel (safe-ext).
     pub run_cost: HistSketch,
 }
@@ -180,6 +189,9 @@ impl Metrics {
             tenant_swaps: self.tenant_swaps.load(Ordering::Relaxed),
             tenant_unloads: self.tenant_unloads.load(Ordering::Relaxed),
             quota_rejections: self.quota_rejections.load(Ordering::Relaxed),
+            domain_entries: self.domain_entries.load(Ordering::Relaxed),
+            domain_exits: self.domain_exits.load(Ordering::Relaxed),
+            domain_traps: self.domain_traps.load(Ordering::Relaxed),
             run_cost: self.run_cost.snapshot(),
         }
     }
@@ -206,6 +218,12 @@ pub struct MetricsSnapshot {
     pub tenant_unloads: u64,
     /// See [`Metrics::quota_rejections`].
     pub quota_rejections: u64,
+    /// See [`Metrics::domain_entries`].
+    pub domain_entries: u64,
+    /// See [`Metrics::domain_exits`].
+    pub domain_exits: u64,
+    /// See [`Metrics::domain_traps`].
+    pub domain_traps: u64,
     /// See [`Metrics::run_cost`].
     pub run_cost: HistSnapshot,
 }
@@ -223,6 +241,9 @@ impl MetricsSnapshot {
         self.tenant_swaps += other.tenant_swaps;
         self.tenant_unloads += other.tenant_unloads;
         self.quota_rejections += other.quota_rejections;
+        self.domain_entries += other.domain_entries;
+        self.domain_exits += other.domain_exits;
+        self.domain_traps += other.domain_traps;
         self.run_cost.merge(&other.run_cost);
     }
 }

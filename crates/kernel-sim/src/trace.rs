@@ -95,6 +95,9 @@ pub enum SpanKind {
     /// swap the attachment pointer, drain v1 under RCU, tear v1 down
     /// (`arg`: tenant id).
     HotSwap,
+    /// A protection-domain crossing instant in the sandbox lane
+    /// (`arg`: 0 = entering the sandbox, 1 = leaving it).
+    DomainSwitch,
 }
 
 impl SpanKind {
@@ -115,6 +118,7 @@ impl SpanKind {
             SpanKind::Cleanup => "cleanup",
             SpanKind::Dispatch => "dispatch",
             SpanKind::HotSwap => "hot-swap",
+            SpanKind::DomainSwitch => "domain-switch",
         }
     }
 }

@@ -22,6 +22,12 @@ pub struct TenantBudget {
     pub max_maps: u32,
     /// Maximum create-time footprint of any single map, in bytes.
     pub max_map_bytes: u64,
+    /// Maximum sandbox protection domains the tenant may have attached
+    /// at once (one per attached [`ProgramSpec::Sandbox`] program). The
+    /// verified and safe dialects don't consume domains.
+    ///
+    /// [`ProgramSpec::Sandbox`]: crate::ProgramSpec::Sandbox
+    pub max_domains: u32,
 }
 
 impl Default for TenantBudget {
@@ -31,6 +37,7 @@ impl Default for TenantBudget {
             mem_bytes: 1 << 20,
             max_maps: 16,
             max_map_bytes: 1 << 18,
+            max_domains: 4,
         }
     }
 }
@@ -45,6 +52,7 @@ impl TenantBudget {
             mem_bytes: 16 << 10,
             max_maps: 4,
             max_map_bytes: 8 << 10,
+            max_domains: 2,
         }
     }
 }

@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use ebpf::helpers::HelperRegistry;
-use ebpf::interp::Vm;
+use ebpf::interp::{SandboxConfig, Vm};
 use ebpf::maps::{MapDef, MapError, MapFd, MapKind, MapRegistry};
 use ebpf::program::Program;
 use kernel_sim::audit::EventKind;
@@ -20,7 +20,7 @@ use crate::budget::TenantBudget;
 /// accounting domain is `id + 1` (domain 0 is the unaccounted default).
 pub type TenantId = u32;
 
-/// A program in one of the two dialects.
+/// A program in one of the three dialects.
 pub enum ProgramSpec {
     /// eBPF bytecode: verified at load (rejection is a load error, as in
     /// the baseline framework), then interpreted.
@@ -28,6 +28,12 @@ pub enum ProgramSpec {
     /// A safe-Rust extension: no verification, protected at runtime by
     /// the tenant's fuel budget and the termination engine.
     Safe(Extension),
+    /// eBPF bytecode loaded **unverified** into an SFI protection domain
+    /// charged to the tenant: masked bounds checks at run time, domain
+    /// crossings priced at entry/exit and helper boundaries, traps (not
+    /// oopses) on violations. Consumes one of the tenant's
+    /// [`TenantBudget::max_domains`].
+    Sandbox(Program),
 }
 
 /// Errors from the control plane.
@@ -43,6 +49,11 @@ pub enum TenancyError {
     PointOccupied(String),
     /// The tenant is at its map-count quota.
     MapCountQuota {
+        /// The configured limit.
+        limit: u32,
+    },
+    /// The tenant is at its sandbox-domain quota.
+    DomainQuota {
         /// The configured limit.
         limit: u32,
     },
@@ -78,6 +89,9 @@ impl std::fmt::Display for TenancyError {
             TenancyError::PointOccupied(p) => write!(f, "attachment point {p:?} occupied"),
             TenancyError::MapCountQuota { limit } => {
                 write!(f, "map-count quota exceeded (limit {limit})")
+            }
+            TenancyError::DomainQuota { limit } => {
+                write!(f, "sandbox-domain quota exceeded (limit {limit})")
             }
             TenancyError::MapSizeQuota { requested, limit } => {
                 write!(f, "map footprint {requested} exceeds per-map quota {limit}")
@@ -145,6 +159,8 @@ enum Attached {
     Ebpf(u32),
     /// A safe-Rust extension (invoked through a per-run [`Runtime`]).
     Safe(Extension),
+    /// A sandboxed (unverified, SFI-checked) program id in the [`Vm`].
+    Sandbox(u32),
 }
 
 struct Attachment {
@@ -409,7 +425,40 @@ impl<'k> TenantRegistry<'k> {
         self.shared.get(share_name).map(|s| s.refs).unwrap_or(0)
     }
 
-    fn load_spec(&mut self, spec: ProgramSpec) -> Result<Attached, TenancyError> {
+    /// Live sandbox domains a tenant holds (one per sandbox attachment).
+    fn sandbox_count(&self, id: TenantId) -> Result<usize, TenancyError> {
+        Ok(self
+            .tenant(id)?
+            .attachments
+            .values()
+            .filter(|a| matches!(a.current, Attached::Sandbox(_)))
+            .count())
+    }
+
+    /// Refuses a sandbox spec that would exceed the tenant's domain
+    /// quota. `replacing` is the attachment being upgraded over, if any:
+    /// swapping sandbox-for-sandbox does not consume a new domain.
+    fn check_domain_quota(
+        &self,
+        id: TenantId,
+        spec: &ProgramSpec,
+        replacing: Option<&Attached>,
+    ) -> Result<(), TenancyError> {
+        if !matches!(spec, ProgramSpec::Sandbox(_)) {
+            return Ok(());
+        }
+        let mut held = self.sandbox_count(id)?;
+        if matches!(replacing, Some(Attached::Sandbox(_))) {
+            held -= 1;
+        }
+        let limit = self.tenant(id)?.budget.max_domains;
+        if held as u32 >= limit {
+            return Err(TenancyError::DomainQuota { limit });
+        }
+        Ok(())
+    }
+
+    fn load_spec(&mut self, id: TenantId, spec: ProgramSpec) -> Result<Attached, TenancyError> {
         match spec {
             ProgramSpec::Ebpf(prog) => {
                 Verifier::new(self.maps, self.helpers)
@@ -418,11 +467,20 @@ impl<'k> TenantRegistry<'k> {
                 Ok(Attached::Ebpf(self.vm.load(prog)))
             }
             ProgramSpec::Safe(ext) => Ok(Attached::Safe(ext)),
+            // No verifier: the program is confined at run time by its
+            // SFI domain, whose memory is charged to the tenant.
+            ProgramSpec::Sandbox(prog) => Ok(Attached::Sandbox(self.vm.load_sandboxed(
+                prog,
+                SandboxConfig {
+                    account_domain: Self::domain(id),
+                    ..SandboxConfig::default()
+                },
+            ))),
         }
     }
 
     fn unload_attached(&mut self, attached: Attached) {
-        if let Attached::Ebpf(prog_id) = attached {
+        if let Attached::Ebpf(prog_id) | Attached::Sandbox(prog_id) = attached {
             self.vm.unload(prog_id);
         }
         Metrics::bump(&self.kernel.metrics.tenant_unloads, 1);
@@ -439,7 +497,8 @@ impl<'k> TenantRegistry<'k> {
         if self.tenant(id)?.attachments.contains_key(point) {
             return Err(TenancyError::PointOccupied(point.to_string()));
         }
-        let current = self.load_spec(spec)?;
+        self.check_domain_quota(id, &spec, None)?;
+        let current = self.load_spec(id, spec)?;
         let tenant = self.tenant_mut(id)?;
         tenant.attachments.insert(
             point.to_string(),
@@ -471,13 +530,15 @@ impl<'k> TenantRegistry<'k> {
         point: &str,
         spec: ProgramSpec,
     ) -> Result<(), TenancyError> {
-        self.tenant(id)?
+        let replacing = self
+            .tenant(id)?
             .attachments
             .get(point)
             .ok_or_else(|| TenancyError::UnknownPoint(point.to_string()))?;
+        self.check_domain_quota(id, &spec, Some(&replacing.current))?;
         // Load v_new first: a failed load (verifier rejection, bad spec)
         // leaves the old version attached and serving.
-        let fresh = self.load_spec(spec)?;
+        let fresh = self.load_spec(id, spec)?;
         Metrics::bump(&self.kernel.metrics.tenant_loads, 1);
         let swap_span = self.kernel.trace.span(SpanKind::HotSwap, id as u64);
         let tenant = self.tenant_mut(id)?;
@@ -594,24 +655,29 @@ impl<'k> TenantRegistry<'k> {
         let deadline_ns = RuntimeConfig::default().deadline_ns;
         let t0 = self.kernel.clock.now_ns();
         let verdict = match &att.current {
-            Attached::Ebpf(prog_id) => match self.vm.run_packet(*prog_id, payload).result {
-                // Verified code has no in-flight guard — the paper's point —
-                // so the eBPF lane's watchdog is retrospective: the control
-                // plane can't preempt the run, but a blown virtual-time
-                // deadline still counts as a kill for breaker purposes.
-                Ok(_) if self.kernel.clock.now_ns() - t0 > deadline_ns => {
-                    self.note_tripped(&key);
-                    RunVerdict::Killed
+            // The sandbox lane shares the eBPF lane's verdict collapse:
+            // a domain trap is an aborted execution, so it counts as a
+            // kill and feeds the breaker — trap-to-quarantine.
+            Attached::Ebpf(prog_id) | Attached::Sandbox(prog_id) => {
+                match self.vm.run_packet(*prog_id, payload).result {
+                    // Verified code has no in-flight guard — the paper's point —
+                    // so the eBPF lane's watchdog is retrospective: the control
+                    // plane can't preempt the run, but a blown virtual-time
+                    // deadline still counts as a kill for breaker purposes.
+                    Ok(_) if self.kernel.clock.now_ns() - t0 > deadline_ns => {
+                        self.note_tripped(&key);
+                        RunVerdict::Killed
+                    }
+                    Ok(v) => {
+                        self.quarantine.note_clean(&key);
+                        RunVerdict::Ok(v)
+                    }
+                    Err(_) => {
+                        self.note_tripped(&key);
+                        RunVerdict::Killed
+                    }
                 }
-                Ok(v) => {
-                    self.quarantine.note_clean(&key);
-                    RunVerdict::Ok(v)
-                }
-                Err(_) => {
-                    self.note_tripped(&key);
-                    RunVerdict::Killed
-                }
-            },
+            }
             Attached::Safe(ext) => {
                 let runtime = Runtime::new(self.kernel, self.maps).with_config(RuntimeConfig {
                     fuel: tenant.budget.fuel,

@@ -47,6 +47,7 @@ fn map_quotas_enforced_at_load_and_runtime() {
                 mem_bytes: 96,
                 max_maps: 2,
                 max_map_bytes: 128,
+                ..TenantBudget::default()
             },
         )
         .unwrap();
@@ -391,4 +392,100 @@ fn registry_scales_to_a_thousand_tenants() {
         reg.run_packet(501, "pkt", &[0u8; 8]).unwrap().verdict,
         RunVerdict::Ok(501)
     );
+}
+
+/// A program the verifier rejects (wild pointer deref), for the sandbox
+/// dialect: it loads fine unverified and traps at run time.
+fn wild_prog() -> Program {
+    let insns = Asm::new()
+        .lddw(Reg::R1, 0xdead_beef_0000)
+        .ldx(ebpf::insn::BPF_DW, Reg::R0, Reg::R1, 0)
+        .exit()
+        .build()
+        .unwrap();
+    Program::new("wild", ProgType::SocketFilter, insns)
+}
+
+#[test]
+fn sandbox_dialect_skips_the_verifier_and_traps_at_runtime() {
+    let (kernel, maps, helpers) = world();
+    let mut reg = TenantRegistry::new(&kernel, &maps, &helpers);
+    let id = reg.register("t0", TenantBudget::default()).unwrap();
+
+    // The verified dialect rejects this program at load...
+    assert!(matches!(
+        reg.attach(id, "xdp", ProgramSpec::Ebpf(wild_prog())),
+        Err(TenancyError::Verifier(_))
+    ));
+    // ...the sandbox dialect admits it and confines it at run time.
+    reg.attach(id, "xdp", ProgramSpec::Sandbox(wild_prog()))
+        .unwrap();
+    let outcome = reg.run_packet(id, "xdp", &[0u8; 8]).unwrap();
+    assert_eq!(outcome.verdict, RunVerdict::Killed);
+    // Trap, not oops: the tenant dies, the kernel stays pristine.
+    assert!(kernel.health().pristine());
+
+    // A well-behaved sandboxed program runs to completion.
+    let mut reg2 = TenantRegistry::new(&kernel, &maps, &helpers);
+    let id2 = reg2.register("t1", TenantBudget::default()).unwrap();
+    reg2.attach(id2, "xdp", ProgramSpec::Sandbox(const_prog(7)))
+        .unwrap();
+    assert_eq!(
+        reg2.run_packet(id2, "xdp", &[0u8; 8]).unwrap().verdict,
+        RunVerdict::Ok(7)
+    );
+}
+
+#[test]
+fn sandbox_traps_trip_the_tenant_breaker() {
+    let (kernel, maps, helpers) = world();
+    let mut reg = TenantRegistry::new(&kernel, &maps, &helpers);
+    let id = reg.register("t0", TenantBudget::default()).unwrap();
+    reg.attach(id, "xdp", ProgramSpec::Sandbox(wild_prog()))
+        .unwrap();
+    // Default breaker threshold is 3 consecutive kills.
+    for _ in 0..3 {
+        assert_eq!(
+            reg.run_packet(id, "xdp", &[0u8; 8]).unwrap().verdict,
+            RunVerdict::Killed
+        );
+    }
+    assert_eq!(
+        reg.run_packet(id, "xdp", &[0u8; 8]).unwrap().verdict,
+        RunVerdict::Refused
+    );
+    assert!(kernel.health().pristine());
+}
+
+#[test]
+fn sandbox_domain_quota_limits_attached_domains() {
+    let (kernel, maps, helpers) = world();
+    let mut reg = TenantRegistry::new(&kernel, &maps, &helpers);
+    let budget = TenantBudget {
+        max_domains: 1,
+        ..TenantBudget::default()
+    };
+    let id = reg.register("t0", budget).unwrap();
+    reg.attach(id, "a", ProgramSpec::Sandbox(const_prog(1)))
+        .unwrap();
+    // A second domain is over quota; the other dialects are not.
+    assert!(matches!(
+        reg.attach(id, "b", ProgramSpec::Sandbox(const_prog(2))),
+        Err(TenancyError::DomainQuota { limit: 1 })
+    ));
+    reg.attach(id, "b", ProgramSpec::Ebpf(const_prog(2)))
+        .unwrap();
+    reg.attach(id, "c", ProgramSpec::Safe(const_ext("c", 3)))
+        .unwrap();
+    // Sandbox-for-sandbox upgrade reuses the domain slot...
+    reg.upgrade(id, "a", ProgramSpec::Sandbox(const_prog(4)))
+        .unwrap();
+    assert_eq!(
+        reg.run_packet(id, "a", &[0u8; 8]).unwrap().verdict,
+        RunVerdict::Ok(4)
+    );
+    // ...and detaching frees it for someone else.
+    reg.detach(id, "a").unwrap();
+    reg.attach(id, "d", ProgramSpec::Sandbox(const_prog(5)))
+        .unwrap();
 }

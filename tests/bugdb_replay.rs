@@ -12,10 +12,13 @@
 use std::path::Path;
 
 use analysis::bugdb::{load_dir, StoredBug};
+use bench::ladder::{rungs, sandbox_outcome, SandboxOutcome};
+use ebpf::maps::{MapDef, MapRegistry};
 use ebpf::text::parse_program;
 use fuzz::bugdb::{feature_name, FEATURE_SHAPES};
-use fuzz::oracle::{Lane, Oracle};
+use fuzz::oracle::{Lane, Oracle, RuntimeClass};
 use fuzz::Shape;
+use kernel_sim::Kernel;
 
 fn bugdb_dir() -> &'static Path {
     Path::new(concat!(
@@ -70,6 +73,95 @@ fn every_stored_bug_replays_to_its_recorded_verdict() {
             bug.runtime,
             "{}: runtime class drifted from the recorded verdict",
             path.display()
+        );
+    }
+}
+
+#[test]
+fn every_stored_bug_is_confined_by_the_sandbox_lane() {
+    // Each reproducer also goes through the third backend: loaded
+    // unverified into an SFI domain. Whatever the program does, the
+    // sandbox must keep its confinement promise — no oops, balanced
+    // domain crossings. The sandbox runtime class is recorded as a
+    // diagnostic (it legitimately differs from the verified lane's:
+    // traps replace oopses).
+    let oracle = Oracle::new();
+    for (path, bug) in stored() {
+        let shape = Shape::from_name(&bug.shape).expect("shape name");
+        let insns = parse_program(&bug.program)
+            .unwrap_or_else(|e| panic!("{}: program does not parse: {e:?}", path.display()));
+        let probe = oracle.probe(&insns, shape.prog_type());
+        assert!(
+            probe.sandbox_confined,
+            "{}: sandbox lane broke confinement (oops or unbalanced crossings)",
+            path.display()
+        );
+        // A program the verified lane judged safe must also be safe
+        // sandboxed — the mask is the identity on well-behaved runs.
+        if probe.class == RuntimeClass::Safe {
+            assert_eq!(
+                probe.sandbox_class,
+                RuntimeClass::Safe,
+                "{}: safe program misbehaved under the sandbox",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn ladder_violations_have_pinned_sandbox_outcomes() {
+    // The ladder's 11 intentional violations are the repo's CVE-gadget
+    // corpus: every one is rejected by the verifier at load, and every
+    // one *loads* into the sandbox lane. This pins what each then does
+    // at run time, so a sandbox-check change that silently flips a
+    // confinement outcome fails here by name.
+    let kernel = Kernel::new();
+    let maps = MapRegistry::default();
+    let arr_fd = maps
+        .create(&kernel, MapDef::array("ladder-arr", 64, 4))
+        .unwrap();
+    let prog_fd = maps
+        .create(&kernel, MapDef::prog_array("ladder-progs", 4))
+        .unwrap();
+    let rb_fd = maps
+        .create(&kernel, MapDef::ringbuf("ladder-rb", 4096))
+        .unwrap();
+
+    let expected: &[(&str, SandboxOutcome)] = &[
+        ("uninit-read", SandboxOutcome::Ok),
+        ("wild-deref", SandboxOutcome::Trapped),
+        ("call-chain", SandboxOutcome::Aborted),
+        ("callee-leaks-fp", SandboxOutcome::Ok),
+        ("tail-wrong-map", SandboxOutcome::Ok),
+        ("tail-in-subprog", SandboxOutcome::Aborted),
+        ("lock-helper-inside", SandboxOutcome::Ok),
+        ("lock-no-unlock", SandboxOutcome::Ok),
+        ("lock-double", SandboxOutcome::Ok),
+        ("ringbuf-leak", SandboxOutcome::Ok),
+        ("ringbuf-submit-nonrecord", SandboxOutcome::Ok),
+    ];
+
+    let violations: Vec<_> = rungs(arr_fd, prog_fd, rb_fd)
+        .into_iter()
+        .flat_map(|r| r.violations)
+        .collect();
+    assert_eq!(
+        violations.len(),
+        expected.len(),
+        "violation corpus changed size; re-pin the sandbox outcomes"
+    );
+    for (prog, _check) in &violations {
+        let want = expected
+            .iter()
+            .find(|(name, _)| *name == prog.name)
+            .unwrap_or_else(|| panic!("no pinned sandbox outcome for violation {}", prog.name))
+            .1;
+        assert_eq!(
+            sandbox_outcome(prog),
+            want,
+            "{}: sandbox outcome drifted",
+            prog.name
         );
     }
 }

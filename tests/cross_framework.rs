@@ -1,11 +1,12 @@
-//! Cross-framework coherence: both frameworks run on ONE kernel, so
+//! Cross-framework coherence: all three execution lanes (verified eBPF,
+//! safe-ext, and the unverified SFI sandbox) run on ONE kernel, so
 //! kernel objects (maps, sockets, locks) have a single identity across
 //! them — which is what makes the paper's comparison apples-to-apples.
 
 use ebpf::asm::Asm;
 use ebpf::helpers;
 use ebpf::insn::*;
-use ebpf::interp::CtxInput;
+use ebpf::interp::{CtxInput, SandboxConfig};
 use ebpf::maps::MapDef;
 use ebpf::program::{ProgType, Program};
 use safe_ext::{ExtError, ExtInput, Extension};
@@ -48,6 +49,36 @@ fn both_frameworks_share_map_state() {
         a.get_u64(0, 0)
     });
     assert_eq!(bed.runtime().run(&ext, ExtInput::None).unwrap(), 42);
+
+    // The sandbox lane joins the chain with NO verifier pass: the same
+    // map value is granted into its protection domain, and its update is
+    // visible to everyone else.
+    let insns = Asm::new()
+        .st(BPF_W, Reg::R10, -4, 0)
+        .ld_map_fd(Reg::R1, fd)
+        .mov64_reg(Reg::R2, Reg::R10)
+        .alu64_imm(BPF_ADD, Reg::R2, -4)
+        .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32)
+        .jmp64_imm(BPF_JNE, Reg::R0, 0, "hit")
+        .exit()
+        .label("hit")
+        .ldx(BPF_DW, Reg::R1, Reg::R0, 0)
+        .alu64_imm(BPF_ADD, Reg::R1, 8)
+        .stx(BPF_DW, Reg::R0, 0, Reg::R1)
+        .mov64_reg(Reg::R0, Reg::R1)
+        .exit()
+        .build()
+        .unwrap();
+    let mut vm = bed.vm();
+    let id = vm.load_sandboxed(
+        Program::new("sandbox-adder", ProgType::Kprobe, insns),
+        SandboxConfig::default(),
+    );
+    assert_eq!(vm.run(id, CtxInput::None).unwrap(), 50);
+    let ext = Extension::new("reader", ProgType::Kprobe, move |ctx| {
+        ctx.array(fd)?.get_u64(0, 0)
+    });
+    assert_eq!(bed.runtime().run(&ext, ExtInput::None).unwrap(), 50);
 }
 
 #[test]
@@ -143,7 +174,16 @@ fn socket_refcounts_are_shared_kernel_state() {
     let prog = Program::new("toucher", ProgType::SocketFilter, insns);
     bed.verifier().verify(&prog).unwrap();
     let mut vm = bed.vm();
-    let id = vm.load(prog);
+    let id = vm.load(prog.clone());
     assert_eq!(vm.run(id, CtxInput::None).unwrap(), 1);
+    assert_eq!(bed.kernel.refs.count(sock.obj), Some(1));
+
+    // The sandbox lane, running the SAME bytecode unverified, acquires
+    // and releases the SAME refcount — three frameworks, one counter.
+    let sb = vm.load_sandboxed(
+        Program::new("sandbox-toucher", prog.prog_type, prog.insns.clone()),
+        SandboxConfig::default(),
+    );
+    assert_eq!(vm.run(sb, CtxInput::None).unwrap(), 1);
     assert_eq!(bed.kernel.refs.count(sock.obj), Some(1));
 }

@@ -351,6 +351,7 @@ fn attack(id: &str, buggy: bool) -> Violation {
                 &prog,
                 JitConfig {
                     branch_offset_bug: buggy,
+                    sandbox: false,
                 },
             )
             .unwrap();

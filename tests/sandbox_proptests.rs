@@ -1,0 +1,226 @@
+//! Property tests for the SFI sandbox lane.
+//!
+//! Three families of properties, matching the three promises the
+//! sandbox backend makes:
+//!
+//! 1. **The mask is closed** — for any well-formed domain geometry and
+//!    any address, `mask(addr)` lands inside the domain, is idempotent,
+//!    and is the identity for addresses already in bounds.
+//! 2. **In-bounds runs are transparent** — a well-behaved program
+//!    observes exactly the same values through masked accesses as the
+//!    verified lane does through unmasked ones.
+//! 3. **Cost accounting balances on every unwind** — whatever way a run
+//!    ends (clean exit, domain trap, instruction-budget exhaustion,
+//!    call-depth overflow), domain entries equal domain exits at rest
+//!    and the kernel never oopses.
+
+use proptest::prelude::*;
+
+use ebpf::asm::Asm;
+use ebpf::helpers::{self, HelperRegistry};
+use ebpf::insn::*;
+use ebpf::interp::{CtxInput, ExecError, SandboxConfig, Vm, VmConfig};
+use ebpf::maps::{MapDef, MapRegistry};
+use ebpf::program::{ProgType, Program};
+use kernel_sim::domain::SandboxDomain;
+use kernel_sim::Kernel;
+
+// ---------------------------------------------------------------------
+// 1. Mask arithmetic.
+// ---------------------------------------------------------------------
+
+/// A well-formed domain: power-of-two size, size-aligned base.
+fn domain() -> impl Strategy<Value = SandboxDomain> {
+    (3u32..24, 0u64..1024).prop_map(|(size_log, slot)| {
+        let size = 1u64 << size_log;
+        SandboxDomain::new(slot * size, size).expect("aligned power-of-two geometry")
+    })
+}
+
+proptest! {
+    /// `mask` can never produce an address outside the domain, no
+    /// matter the input — the property that makes an unverified load
+    /// safe to execute at all.
+    #[test]
+    fn mask_never_escapes_the_domain(dom in domain(), addr in any::<u64>()) {
+        let masked = dom.mask(addr);
+        prop_assert!(
+            dom.contains(masked, 1),
+            "mask escaped: {masked:#x} outside [{:#x}, {:#x})",
+            dom.base(),
+            dom.base() + dom.size()
+        );
+        // Masking is idempotent: a masked address re-masks to itself.
+        prop_assert_eq!(dom.mask(masked), masked);
+    }
+
+    /// For in-bounds addresses the mask is the identity — well-behaved
+    /// programs are untouched by the SFI layer.
+    #[test]
+    fn mask_is_identity_inside_the_domain(dom in domain(), off in any::<u64>()) {
+        let addr = dom.base() + (off % dom.size());
+        prop_assert_eq!(dom.mask(addr), addr);
+    }
+
+    /// Geometry that would break mask closure is refused outright.
+    #[test]
+    fn bad_geometry_is_rejected(base in any::<u64>(), size in any::<u64>()) {
+        let well_formed =
+            size != 0 && size.is_power_of_two() && base % size == 0;
+        prop_assert_eq!(SandboxDomain::new(base, size).is_some(), well_formed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. Transparency for well-behaved programs.
+// ---------------------------------------------------------------------
+
+/// Stores `value` at `r10 + off`, reads it back, returns it. Every
+/// access is in the live stack frame, so the sandbox mask must be the
+/// identity on all of them.
+fn stack_roundtrip_prog(off: i16, value: u64) -> Vec<Insn> {
+    Asm::new()
+        .lddw(Reg::R6, value)
+        .stx(BPF_DW, Reg::R10, off, Reg::R6)
+        .ldx(BPF_DW, Reg::R0, Reg::R10, off)
+        .exit()
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    /// The verified lane and the sandbox lane agree bit-for-bit on what
+    /// a well-behaved stack round trip observes.
+    #[test]
+    fn in_bounds_accesses_are_transparent(
+        slot in 1i16..=64,
+        value in any::<u64>(),
+    ) {
+        let off = -8 * slot; // aligned, within the 512-byte frame
+        let insns = stack_roundtrip_prog(off, value);
+
+        let kernel = Kernel::new();
+        let maps = MapRegistry::default();
+        let regs = HelperRegistry::standard();
+        let mut vm = Vm::new(&kernel, &maps, &regs);
+        let verified = vm.load(Program::new("rt", ProgType::Kprobe, insns.clone()));
+        let sandboxed = vm.load_sandboxed(
+            Program::new("rt-sb", ProgType::Kprobe, insns),
+            SandboxConfig::default(),
+        );
+        prop_assert_eq!(vm.run(verified, CtxInput::None).unwrap(), value);
+        prop_assert_eq!(vm.run(sandboxed, CtxInput::None).unwrap(), value);
+        prop_assert!(kernel.health().pristine());
+        prop_assert_eq!(kernel.metrics.snapshot().domain_traps, 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Accounting balance across unwinds.
+// ---------------------------------------------------------------------
+
+/// How a generated sandbox run is asked to end.
+#[derive(Debug, Clone, Copy)]
+enum Ending {
+    /// Return cleanly.
+    Clean,
+    /// Dereference a wild pointer (domain trap mid-run).
+    WildDeref,
+    /// Spin until the configured instruction budget kills the run.
+    BurnBudget,
+    /// Recurse through bpf2bpf frames until depth (or the domain's bump
+    /// allocator) gives out.
+    DeepCalls,
+}
+
+fn ending() -> impl Strategy<Value = Ending> {
+    prop_oneof![
+        Just(Ending::Clean),
+        Just(Ending::WildDeref),
+        Just(Ending::BurnBudget),
+        Just(Ending::DeepCalls),
+    ]
+}
+
+/// Performs `hcalls` map-lookup helper calls (each one a domain
+/// round-trip), then ends the run the requested way.
+fn unwind_prog(fd: u32, hcalls: usize, ending: Ending) -> Vec<Insn> {
+    let mut asm = Asm::new();
+    for _ in 0..hcalls {
+        asm = asm
+            .st(BPF_W, Reg::R10, -4, 0)
+            .ld_map_fd(Reg::R1, fd)
+            .mov64_reg(Reg::R2, Reg::R10)
+            .alu64_imm(BPF_ADD, Reg::R2, -4)
+            .call_helper(helpers::BPF_MAP_LOOKUP_ELEM as i32);
+    }
+    let asm = match ending {
+        Ending::Clean => asm.mov64_imm(Reg::R0, 0).exit(),
+        Ending::WildDeref => asm
+            .lddw(Reg::R1, 0xdead_beef_0000)
+            .ldx(BPF_DW, Reg::R0, Reg::R1, 0)
+            .exit(),
+        Ending::BurnBudget => asm.label("spin").ja("spin"),
+        Ending::DeepCalls => asm
+            .call_fn("recurse")
+            .exit()
+            .label("recurse")
+            .stx(BPF_DW, Reg::R10, -8, Reg::R10)
+            .call_fn("recurse")
+            .exit(),
+    };
+    asm.build().unwrap()
+}
+
+proptest! {
+    /// Whatever path a sandbox run unwinds through, the domain-crossing
+    /// ledger balances (entries == exits at rest), the entry count is
+    /// exactly `1 + helper calls made`, and the kernel never oopses.
+    #[test]
+    fn accounting_balances_across_unwinds(
+        hcalls in 0usize..5,
+        ending in ending(),
+        budget in 64u64..512,
+    ) {
+        let kernel = Kernel::new();
+        let maps = MapRegistry::default();
+        let fd = maps
+            .create(&kernel, MapDef::array("prop-arr", 8, 4))
+            .unwrap();
+        let regs = HelperRegistry::standard();
+        let mut vm = Vm::new(&kernel, &maps, &regs).with_config(VmConfig {
+            max_insns: Some(budget),
+            ..VmConfig::default()
+        });
+        let id = vm.load_sandboxed(
+            Program::new("unwind", ProgType::Kprobe, unwind_prog(fd, hcalls, ending)),
+            SandboxConfig::default(),
+        );
+        let out = vm.run(id, CtxInput::None);
+        match ending {
+            Ending::Clean => prop_assert!(out.result.is_ok()),
+            Ending::WildDeref => prop_assert!(
+                matches!(out.result, Err(ExecError::DomainTrap { .. })),
+                "wanted a trap, got {:?}",
+                out.result
+            ),
+            Ending::BurnBudget => prop_assert!(
+                matches!(out.result, Err(ExecError::InsnLimit { .. })),
+                "wanted budget exhaustion, got {:?}",
+                out.result
+            ),
+            // Depth gives out one way or another; the point here is the
+            // ledger below, not which limit fired first.
+            Ending::DeepCalls => prop_assert!(out.result.is_err()),
+        }
+
+        let m = kernel.metrics.snapshot();
+        prop_assert_eq!(m.domain_entries, m.domain_exits, "unbalanced crossings");
+        // A helper call only charges its round trip if the run reached
+        // it; every generated program front-loads all its helper calls
+        // before the ending, and the budget floor (64 insns) is deep
+        // enough to get through them.
+        prop_assert_eq!(m.domain_entries, 1 + hcalls as u64);
+        prop_assert_eq!(kernel.health().oopses, 0, "sandbox unwind oopsed");
+    }
+}

@@ -13,12 +13,10 @@ use bench::dispatch::{
 };
 use kernel_sim::FaultPlanConfig;
 
-const BOTH: [Backend; 2] = [Backend::Ebpf, Backend::SafeExt];
-
 #[test]
 fn same_seed_replays_byte_identical_at_four_shards() {
     let batch = make_packets(200);
-    for backend in BOTH {
+    for backend in Backend::ALL {
         let cfg = DispatchConfig {
             shards: 4,
             seed: 0xfeed,
@@ -37,7 +35,7 @@ fn same_seed_replays_byte_identical_at_four_shards() {
 #[test]
 fn replay_is_byte_identical_under_fault_injection() {
     let batch = make_packets(160);
-    for backend in BOTH {
+    for backend in Backend::ALL {
         let cfg = DispatchConfig {
             shards: 4,
             seed: 77,
@@ -58,7 +56,7 @@ fn replay_is_byte_identical_under_fault_injection() {
 #[test]
 fn totals_do_not_depend_on_shard_count() {
     let batch = make_packets(240);
-    for backend in BOTH {
+    for backend in Backend::ALL {
         let mut seen: Option<(u64, u64, [u64; PROTO_CLASSES])> = None;
         for shards in [1usize, 2, 4, 8] {
             let cfg = DispatchConfig {
@@ -82,7 +80,7 @@ fn totals_do_not_depend_on_shard_count() {
 #[test]
 fn every_packet_is_dispatched_and_counted() {
     let batch = make_packets(128);
-    for backend in BOTH {
+    for backend in Backend::ALL {
         let cfg = DispatchConfig {
             shards: 4,
             seed: 5,
@@ -136,9 +134,36 @@ fn safe_runtime_shards_survive_fault_plans_pristine() {
 }
 
 #[test]
+fn sandbox_shards_survive_fault_plans_without_an_oops() {
+    // The unverified lane under fire: injected faults may abort runs,
+    // but an abort is a domain-confined trap — the shard kernels must
+    // end with zero oopses, same as the verified lane.
+    let batch = make_packets(160);
+    let cfg = DispatchConfig {
+        shards: 4,
+        seed: 2026,
+        fault: Some(FaultPlanConfig::default()),
+        ..Default::default()
+    };
+    let r = run_batched(Backend::Sandbox, &cfg, &batch).expect("dispatch");
+    assert_eq!(r.packets(), 160);
+    assert!(
+        r.injected() > 0,
+        "fault plane never fired; the test is vacuous"
+    );
+    for shard in &r.shards {
+        assert!(
+            shard.pristine,
+            "sandbox shard {} not pristine under injected faults",
+            shard.shard
+        );
+    }
+}
+
+#[test]
 fn simulated_time_shrinks_as_shards_are_added() {
     let batch = make_packets(256);
-    for backend in BOTH {
+    for backend in Backend::ALL {
         let one = run_batched(
             backend,
             &DispatchConfig {
@@ -173,7 +198,7 @@ fn zero_packet_batch_is_a_clean_empty_run() {
     // The degenerate input: no packets at all. Every shard must still
     // spin up, merge, and report zeroed totals without dividing by the
     // empty simulated timeline.
-    for backend in BOTH {
+    for backend in Backend::ALL {
         for shards in [1usize, 4] {
             let cfg = DispatchConfig {
                 shards,
@@ -200,7 +225,7 @@ fn single_shard_matches_multi_shard_on_tiny_batches() {
     // Fewer packets than shards: some shards see no traffic at all, and
     // a 1-shard run over the same batch must agree on every total.
     let batch = make_packets(3);
-    for backend in BOTH {
+    for backend in Backend::ALL {
         let one = run_batched(
             backend,
             &DispatchConfig {
@@ -236,7 +261,7 @@ fn single_shard_run_is_deterministic_and_complete() {
     // shards == 1 exercises the non-concurrent path of the same engine:
     // one worker, no merge races, identical replay.
     let batch = make_packets(64);
-    for backend in BOTH {
+    for backend in Backend::ALL {
         let cfg = DispatchConfig {
             shards: 1,
             seed: 64,

@@ -135,9 +135,9 @@ proptest! {
         packets in 1usize..80,
         shards in 1usize..6,
         seed in any::<u64>(),
-        backend_ix in 0usize..2,
+        backend_ix in 0usize..3,
     ) {
-        let backend = [Backend::Ebpf, Backend::SafeExt][backend_ix];
+        let backend = Backend::ALL[backend_ix];
         let batch = make_packets(packets);
         let cfg = DispatchConfig { shards, seed, trace: true, ..Default::default() };
         let report = run_batched(backend, &cfg, &batch).expect("dispatch");
