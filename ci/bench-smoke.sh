@@ -19,3 +19,6 @@ cargo run --release -q -p bench --bin profile -- --smoke
 
 say "churn smoke (2 shards, storm armed)"
 cargo run --release -q -p bench --bin churn -- --smoke
+
+say "hooks smoke (3 scenarios, 2 shards, storm armed)"
+cargo run --release -q -p bench --bin hooks -- --smoke

@@ -34,3 +34,11 @@ say "churn-under-traffic determinism (2 shards, storm armed, x2)"
 # across process boundaries.
 assert_same_hash "churn log + merged audit" '^\(CHURN_SHA256\|MERGED_AUDIT_SHA256\)' \
     cargo run --release -q -p bench --bin churn -- --smoke
+
+say "hook-point determinism (3 scenarios x 3 backends, 1 vs 2 shards, storm armed, x2)"
+# The smoke itself asserts shard invariance per (scenario, backend)
+# cell, fault-free cross-backend and interp-vs-JIT log equality, and
+# replay determinism; the double run pins both hash families across
+# process boundaries.
+assert_same_hash "hooks log + merged audit" '^HOOKS_' \
+    cargo run --release -q -p bench --bin hooks -- --smoke

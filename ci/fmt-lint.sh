@@ -7,6 +7,18 @@ source ci/lib.sh
 say "cargo fmt --check"
 cargo fmt --check
 
+# Shell hygiene: every CI script must pass shellcheck. Hosted CI pins
+# shellcheck 0.10.0 (see .github/workflows/ci.yml); locally the check
+# runs with whatever version is installed and is skipped when the binary
+# is absent, so the stage stays runnable in minimal containers.
+say "shellcheck ci.sh ci/*.sh"
+if command -v shellcheck >/dev/null 2>&1; then
+    shellcheck --version | grep '^version:'
+    shellcheck -S style -x ci.sh ci/*.sh
+else
+    say "shellcheck not installed; skipping (hosted CI runs pinned 0.10.0)"
+fi
+
 say "cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,7 +1,19 @@
+# shellcheck shell=bash
 # Shared helpers for the staged CI pipeline. Sourced, not executed.
 
 say() {
     echo "==> $*"
+}
+
+# now_ms: wall-clock milliseconds, for the per-stage timing summary.
+now_ms() {
+    date +%s%3N
+}
+
+# fmt_ms <milliseconds>: human-readable seconds with one decimal.
+fmt_ms() {
+    local ms=$1
+    printf '%d.%01ds' $((ms / 1000)) $(((ms % 1000) / 100))
 }
 
 # assert_same_hash <label> <grep-pattern> <cmd...>

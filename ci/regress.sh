@@ -28,6 +28,7 @@ cargo run --release -q -p fuzz --bin fuzzstats -- --out "$FRESH/BENCH_fuzz.json"
 cargo run --release -q -p bench --bin profile -- --out "$FRESH/BENCH_profile.json"
 cargo run --release -q -p bench --bin verifier_ladder -- --out "$FRESH/BENCH_verifier.json"
 cargo run --release -q -p bench --bin churn -- --out "$FRESH/BENCH_churn.json"
+cargo run --release -q -p bench --bin hooks -- --out "$FRESH/BENCH_hooks.json"
 
 say "perf-regression gate (tolerance ${REGRESS_TOLERANCE:-0.10}, host ${REGRESS_HOST_TOLERANCE:-0.40})"
 cargo run --release -q -p analysis --bin regress -- --baseline . --fresh "$FRESH"

@@ -28,6 +28,7 @@ const DEFAULT_REPORTS: &[&str] = &[
     "BENCH_profile.json",
     "BENCH_verifier.json",
     "BENCH_churn.json",
+    "BENCH_hooks.json",
 ];
 
 struct Args {

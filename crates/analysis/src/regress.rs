@@ -46,6 +46,10 @@ pub const SIM_COST_FIELDS: &[&str] = &[
     "p50_cost_ns",
     "p99_cost_ns",
     "churn_events",
+    "probe_fires",
+    "policy_denies",
+    "sched_picks",
+    "sched_fallbacks",
 ];
 
 /// The numeric row fields treated as host-capacity metrics, gated with

@@ -8,6 +8,7 @@
 pub mod churn;
 pub mod dispatch;
 pub mod experiments;
+pub mod hooks;
 pub mod hostclock;
 pub mod ladder;
 pub mod netflows;

@@ -50,6 +50,11 @@ pub enum ExtInput {
     Kprobe([u64; 8]),
     /// Tracepoint record.
     Tracepoint([u64; 4]),
+    /// LSM policy-hook record: `{hook, subject, attr, cookie}`.
+    Lsm([u64; 4]),
+    /// Sched-ext pick-next-task record: `{cpu, nr_runnable, cand0_id,
+    /// cand0_vruntime, cand1_id, cand1_vruntime}`.
+    Sched([u64; 6]),
 }
 
 /// Fuel/deadline accounting shared with the runtime.
@@ -96,6 +101,8 @@ pub struct ExtCtx<'k> {
     pub(crate) skb: Option<SkBuff>,
     kprobe: Option<[u64; 8]>,
     tracepoint: Option<[u64; 4]>,
+    lsm: Option<[u64; 4]>,
+    sched: Option<[u64; 6]>,
     rng: Cell<u64>,
     printk: RefCell<Vec<String>>,
 }
@@ -113,10 +120,12 @@ impl<'k> ExtCtx<'k> {
         input: &ExtInput,
         seed: u64,
     ) -> Self {
-        let (kprobe, tracepoint) = match input {
-            ExtInput::Kprobe(regs) => (Some(*regs), None),
-            ExtInput::Tracepoint(f) => (None, Some(*f)),
-            _ => (None, None),
+        let (kprobe, tracepoint, lsm, sched) = match input {
+            ExtInput::Kprobe(regs) => (Some(*regs), None, None, None),
+            ExtInput::Tracepoint(f) => (None, Some(*f), None, None),
+            ExtInput::Lsm(f) => (None, None, Some(*f), None),
+            ExtInput::Sched(f) => (None, None, None, Some(*f)),
+            _ => (None, None, None, None),
         };
         ExtCtx {
             kernel,
@@ -130,6 +139,8 @@ impl<'k> ExtCtx<'k> {
             skb,
             kprobe,
             tracepoint,
+            lsm,
+            sched,
             rng: Cell::new(seed.max(1)),
             printk: RefCell::new(Vec::new()),
         }
@@ -338,6 +349,49 @@ impl<'k> ExtCtx<'k> {
             .as_ref()
             .and_then(|f| f.get(i).copied())
             .ok_or(ExtError::Invalid("no such tracepoint field"))
+    }
+
+    /// LSM policy-hook field `i` (`{hook, subject, attr, cookie}`).
+    pub fn lsm_field(&self, i: usize) -> Result<u64, ExtError> {
+        self.charge(1)?;
+        self.lsm
+            .as_ref()
+            .and_then(|f| f.get(i).copied())
+            .ok_or(ExtError::Invalid("no such lsm field"))
+    }
+
+    /// Sched pick-next-task field `i` (`{cpu, nr_runnable, cand0_id,
+    /// cand0_vruntime, cand1_id, cand1_vruntime}`).
+    pub fn sched_field(&self, i: usize) -> Result<u64, ExtError> {
+        self.charge(1)?;
+        self.sched
+            .as_ref()
+            .and_then(|f| f.get(i).copied())
+            .ok_or(ExtError::Invalid("no such sched field"))
+    }
+
+    // ---- Hook-layer histograms ----
+
+    /// Records `value` into the hook layer's per-CPU log2 histogram bank
+    /// `slot` (masked into range); returns the bucket index — a pure
+    /// function of `value`, mirroring the eBPF `bpf_hist_record` helper.
+    pub fn hist_record(&self, slot: u64, value: u64) -> Result<u64, ExtError> {
+        self.charge(2)?;
+        let cpu = self.kernel.cpus.current_cpu();
+        let slot = (slot as usize) % kernel_sim::hooks::HIST_SLOTS;
+        Ok(self.kernel.hooks.record(cpu, slot, value))
+    }
+
+    /// The current CPU's count in `bucket` of histogram bank `slot`;
+    /// shard-local, mirroring the eBPF `bpf_hist_read` helper.
+    pub fn hist_read(&self, slot: u64, bucket: u64) -> Result<u64, ExtError> {
+        self.charge(2)?;
+        if bucket as usize >= kernel_sim::metrics::HIST_BUCKETS {
+            return Err(ExtError::Invalid("histogram bucket out of range"));
+        }
+        let cpu = self.kernel.cpus.current_cpu();
+        let slot = (slot as usize) % kernel_sim::hooks::HIST_SLOTS;
+        Ok(self.kernel.hooks.read(cpu, slot, bucket as usize))
     }
 
     // ---- Maps ----

@@ -314,6 +314,8 @@ fn prog_type_code(pt: ProgType) -> u8 {
         ProgType::Xdp => 1,
         ProgType::Kprobe => 2,
         ProgType::Tracepoint => 3,
+        ProgType::Lsm => 4,
+        ProgType::SchedExt => 5,
     }
 }
 
@@ -323,6 +325,8 @@ fn prog_type_from_code(code: u8) -> Option<ProgType> {
         1 => ProgType::Xdp,
         2 => ProgType::Kprobe,
         3 => ProgType::Tracepoint,
+        4 => ProgType::Lsm,
+        5 => ProgType::SchedExt,
         _ => return None,
     })
 }

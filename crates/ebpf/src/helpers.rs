@@ -427,6 +427,16 @@ pub const BPF_CT_OBSERVE: u32 = 198;
 pub const BPF_KTIME_GET_TAI_NS: u32 = 208;
 /// `bpf_cgrp_storage_get`.
 pub const BPF_CGRP_STORAGE_GET: u32 = 210;
+/// Hook-layer histogram record (sim-local kfunc stand-in, like the
+/// conntrack pair at 197/198): `hist_record(slot, value)` folds `value`
+/// into the per-CPU log2 histogram bank `slot` and returns the bucket
+/// index — a pure function of `value`, so programs may fold it into
+/// deterministic return values.
+pub const BPF_HIST_RECORD: u32 = 212;
+/// Hook-layer histogram read-back: `hist_read(slot, bucket)` returns the
+/// current CPU's count in `bucket` of bank `slot`. Shard-local (each
+/// shard kernel is one CPU) — canonical logs must never embed it.
+pub const BPF_HIST_READ: u32 = 213;
 
 /// `bpf_sys_bpf` command: create a map.
 pub const SYS_BPF_MAP_CREATE: u64 = 0;
@@ -1090,6 +1100,30 @@ pub fn standard_helpers() -> Vec<Helper> {
             ),
             imp: h_ct_observe,
         },
+        Helper {
+            spec: spec(
+                BPF_HIST_RECORD,
+                "bpf_hist_record",
+                V::V6_1,
+                [A::Scalar, A::Scalar, A::None, A::None, A::None],
+                R::Integer,
+                18,
+                C::KernelInterface,
+            ),
+            imp: h_hist_record,
+        },
+        Helper {
+            spec: spec(
+                BPF_HIST_READ,
+                "bpf_hist_read",
+                V::V6_1,
+                [A::Scalar, A::Scalar, A::None, A::None, A::None],
+                R::Integer,
+                12,
+                C::KernelInterface,
+            ),
+            imp: h_hist_read,
+        },
     ];
     helpers.sort_by_key(|h| h.spec.id);
     helpers
@@ -1401,6 +1435,26 @@ fn h_ct_observe(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperEr
         (obs.packed() >> 8 != 0) as u64,
     );
     Ok(obs.packed())
+}
+
+/// `bpf_hist_record(slot, value)`: folds `value` into the hook layer's
+/// per-CPU log2 histogram bank `slot` (masked into range) and returns
+/// the bucket index.
+fn h_hist_record(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperError> {
+    let cpu = ctx.kernel.cpus.current_cpu();
+    let slot = (args[0] as usize) % kernel_sim::hooks::HIST_SLOTS;
+    Ok(ctx.kernel.hooks.record(cpu, slot, args[1]))
+}
+
+/// `bpf_hist_read(slot, bucket)`: the current CPU's count in `bucket` of
+/// histogram bank `slot`; `-EINVAL` for an out-of-range bucket.
+fn h_hist_read(ctx: &mut HelperCtx<'_>, args: [u64; 5]) -> Result<u64, HelperError> {
+    if args[1] as usize >= kernel_sim::metrics::HIST_BUCKETS {
+        return Ok(neg_errno(EINVAL));
+    }
+    let cpu = ctx.kernel.cpus.current_cpu();
+    let slot = (args[0] as usize) % kernel_sim::hooks::HIST_SLOTS;
+    Ok(ctx.kernel.hooks.read(cpu, slot, args[1] as usize))
 }
 
 fn h_get_stackid(ctx: &mut HelperCtx<'_>, _args: [u64; 5]) -> Result<u64, HelperError> {

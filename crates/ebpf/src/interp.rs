@@ -87,6 +87,11 @@ pub enum CtxInput {
     Kprobe([u64; 8]),
     /// A tracepoint record.
     Tracepoint([u64; 4]),
+    /// An LSM policy-hook record: `{hook, subject, attr, cookie}`.
+    Lsm([u64; 4]),
+    /// A sched-ext pick-next-task record: `{cpu, nr_runnable, cand0_id,
+    /// cand0_vruntime, cand1_id, cand1_vruntime}`.
+    Sched([u64; 6]),
 }
 
 impl CtxInput {
@@ -96,6 +101,8 @@ impl CtxInput {
             CtxInput::Packet(payload) => CtxRef::Packet(payload),
             CtxInput::Kprobe(regs) => CtxRef::Kprobe(regs),
             CtxInput::Tracepoint(fields) => CtxRef::Tracepoint(fields),
+            CtxInput::Lsm(fields) => CtxRef::Lsm(fields),
+            CtxInput::Sched(fields) => CtxRef::Sched(fields),
         }
     }
 }
@@ -109,6 +116,8 @@ enum CtxRef<'a> {
     Packet(&'a [u8]),
     Kprobe(&'a [u64; 8]),
     Tracepoint(&'a [u64; 4]),
+    Lsm(&'a [u64; 4]),
+    Sched(&'a [u64; 6]),
 }
 
 /// Why a run failed.
@@ -873,6 +882,16 @@ impl<'a> Vm<'a> {
                     self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
                 }
             }
+            CtxRef::Lsm(fields) => {
+                for (i, v) in fields.iter().enumerate() {
+                    self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
+                }
+            }
+            CtxRef::Sched(fields) => {
+                for (i, v) in fields.iter().enumerate() {
+                    self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
+                }
+            }
             CtxRef::None => {}
         }
         Ok((ctx, ctx, skb))
@@ -923,6 +942,16 @@ impl<'a> Vm<'a> {
                 }
             }
             CtxRef::Tracepoint(fields) => {
+                for (i, v) in fields.iter().enumerate() {
+                    self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
+                }
+            }
+            CtxRef::Lsm(fields) => {
+                for (i, v) in fields.iter().enumerate() {
+                    self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
+                }
+            }
+            CtxRef::Sched(fields) => {
                 for (i, v) in fields.iter().enumerate() {
                     self.kernel.mem.write_u64(ctx + i as u64 * 8, *v)?;
                 }

@@ -18,15 +18,23 @@ pub enum ProgType {
     Kprobe,
     /// Tracepoint: static tracing hook, raw record context.
     Tracepoint,
+    /// LSM-style policy hook: gates a simulated operation, returns
+    /// allow (0) or deny (1).
+    Lsm,
+    /// Sched-ext-style pick-next-task hook: picks one of two candidate
+    /// tasks (0/1) or defers to the default policy (2).
+    SchedExt,
 }
 
 impl ProgType {
     /// All supported program types.
-    pub const ALL: [ProgType; 4] = [
+    pub const ALL: [ProgType; 6] = [
         ProgType::SocketFilter,
         ProgType::Xdp,
         ProgType::Kprobe,
         ProgType::Tracepoint,
+        ProgType::Lsm,
+        ProgType::SchedExt,
     ];
 
     /// The context layout for this program type.
@@ -85,6 +93,42 @@ impl ProgType {
                     })
                     .collect(),
             },
+            // Policy-hook context: hook id, subject, attribute, cookie.
+            ProgType::Lsm => CtxLayout {
+                size: 32,
+                fields: [(0u16, "hook"), (8, "subject"), (16, "attr"), (24, "cookie")]
+                    .into_iter()
+                    .map(|(offset, name)| CtxField {
+                        offset,
+                        size: 8,
+                        kind: CtxFieldKind::Scalar,
+                        writable: false,
+                        name,
+                    })
+                    .collect(),
+            },
+            // Pick-next-task context: cpu, runnable count, and the two
+            // best candidates as (id, vruntime) pairs.
+            ProgType::SchedExt => CtxLayout {
+                size: 48,
+                fields: [
+                    (0u16, "cpu"),
+                    (8, "nr_runnable"),
+                    (16, "cand0_id"),
+                    (24, "cand0_vruntime"),
+                    (32, "cand1_id"),
+                    (40, "cand1_vruntime"),
+                ]
+                .into_iter()
+                .map(|(offset, name)| CtxField {
+                    offset,
+                    size: 8,
+                    kind: CtxFieldKind::Scalar,
+                    writable: false,
+                    name,
+                })
+                .collect(),
+            },
         }
     }
 }
@@ -96,6 +140,8 @@ impl std::fmt::Display for ProgType {
             ProgType::Xdp => "xdp",
             ProgType::Kprobe => "kprobe",
             ProgType::Tracepoint => "tracepoint",
+            ProgType::Lsm => "lsm",
+            ProgType::SchedExt => "sched_ext",
         };
         f.write_str(s)
     }

@@ -44,6 +44,9 @@ pub enum EventKind {
     /// The sandbox lane trapped an SFI domain violation (the run aborts;
     /// the kernel stays pristine).
     DomainTrap,
+    /// An LSM-style policy hook denied a gated operation (including
+    /// fail-closed denials when the policy program itself was killed).
+    PolicyDenied,
     /// Free-form informational event.
     Info,
 }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::{
     audit::{AuditLog, EventKind},
+    hooks::HookHists,
     inject::{FaultPlan, FaultPlane, InjectSlot},
     locks::{OwnerId, SpinTable},
     mem::KernelMem,
@@ -90,6 +91,9 @@ pub struct Kernel {
     /// CPU). Disabled by default; recording never advances the virtual
     /// clock, so traced and untraced runs are simulated-cost identical.
     pub trace: Arc<Tracer>,
+    /// Per-CPU log2 histogram banks probe programs aggregate into via the
+    /// `hist_record`/`hist_read` helpers.
+    pub hooks: HookHists,
     /// Per-kernel execution-id allocator; see [`Kernel::next_exec_id`].
     exec_ids: AtomicU64,
 }
@@ -115,6 +119,7 @@ impl Kernel {
         // draw injected jumps of their own) and is labelled with the CPU
         // this kernel is pinned to.
         let trace = Arc::new(Tracer::new(clock.bare_handle(), cpus.current_cpu()));
+        let hooks = HookHists::new(cpus.nr_cpus());
         let kernel = Self {
             rcu: Rcu::new(clock.clone()),
             clock,
@@ -129,11 +134,13 @@ impl Kernel {
             metrics: Arc::new(Metrics::new()),
             net: NetStack::default(),
             trace,
+            hooks,
             exec_ids: AtomicU64::new(1),
         };
         kernel.rcu.trace.arm(Arc::clone(&kernel.trace));
         kernel.locks.trace.arm(Arc::clone(&kernel.trace));
         kernel.refs.trace.arm(Arc::clone(&kernel.trace));
+        kernel.objects.trace.arm(Arc::clone(&kernel.trace));
         kernel
     }
 

@@ -30,6 +30,7 @@
 pub mod audit;
 pub mod domain;
 pub mod exec;
+pub mod hooks;
 pub mod inject;
 pub mod kernel;
 pub mod locks;
@@ -46,6 +47,7 @@ pub mod trace;
 
 pub use domain::{DomainCosts, SandboxDomain};
 pub use exec::{ExecCtx, ExecReport};
+pub use hooks::{HookHists, LsmHook, ProbePoint, SchedBoard, SchedCandidates, SchedChoice};
 pub use inject::{FaultPlan, FaultPlanConfig, FaultPlane, FaultSite};
 pub use kernel::{HealthReport, Kernel};
 pub use mem::{Addr, Fault};

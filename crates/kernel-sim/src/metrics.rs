@@ -41,7 +41,9 @@ impl Default for HistSketch {
     }
 }
 
-fn bucket_of(value: u64) -> usize {
+/// Bucket index (bit-length) of a sample: the hook layer's histogram
+/// helper returns this to programs, so it is part of the public contract.
+pub fn bucket_of(value: u64) -> usize {
     64 - value.leading_zeros() as usize
 }
 
@@ -162,6 +164,16 @@ pub struct Metrics {
     /// SFI violations trapped by the sandbox lane (each aborts one run
     /// without an oops).
     pub domain_traps: AtomicU64,
+    /// Probe-program invocations (kprobe/tracepoint hook fires).
+    pub probe_fires: AtomicU64,
+    /// Operations denied by an LSM-style policy hook (including
+    /// fail-closed denials when the policy program was killed).
+    pub policy_denies: AtomicU64,
+    /// Scheduler pick-next-task decisions taken from an extension.
+    pub sched_picks: AtomicU64,
+    /// Scheduler picks that fell back to the default policy because the
+    /// extension trapped, was killed, or returned an invalid choice.
+    pub sched_fallbacks: AtomicU64,
     /// Per-run cost: instructions (interpreter) or fuel (safe-ext).
     pub run_cost: HistSketch,
 }
@@ -192,6 +204,10 @@ impl Metrics {
             domain_entries: self.domain_entries.load(Ordering::Relaxed),
             domain_exits: self.domain_exits.load(Ordering::Relaxed),
             domain_traps: self.domain_traps.load(Ordering::Relaxed),
+            probe_fires: self.probe_fires.load(Ordering::Relaxed),
+            policy_denies: self.policy_denies.load(Ordering::Relaxed),
+            sched_picks: self.sched_picks.load(Ordering::Relaxed),
+            sched_fallbacks: self.sched_fallbacks.load(Ordering::Relaxed),
             run_cost: self.run_cost.snapshot(),
         }
     }
@@ -224,6 +240,14 @@ pub struct MetricsSnapshot {
     pub domain_exits: u64,
     /// See [`Metrics::domain_traps`].
     pub domain_traps: u64,
+    /// See [`Metrics::probe_fires`].
+    pub probe_fires: u64,
+    /// See [`Metrics::policy_denies`].
+    pub policy_denies: u64,
+    /// See [`Metrics::sched_picks`].
+    pub sched_picks: u64,
+    /// See [`Metrics::sched_fallbacks`].
+    pub sched_fallbacks: u64,
     /// See [`Metrics::run_cost`].
     pub run_cost: HistSnapshot,
 }
@@ -244,6 +268,10 @@ impl MetricsSnapshot {
         self.domain_entries += other.domain_entries;
         self.domain_exits += other.domain_exits;
         self.domain_traps += other.domain_traps;
+        self.probe_fires += other.probe_fires;
+        self.policy_denies += other.policy_denies;
+        self.sched_picks += other.sched_picks;
+        self.sched_fallbacks += other.sched_fallbacks;
         self.run_cost.merge(&other.run_cost);
     }
 }

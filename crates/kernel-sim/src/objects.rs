@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use crate::{
     mem::{Addr, Fault, KernelMem, Perms},
     refcount::{ObjId, ObjKind, RefTable},
+    trace::{SpanKind, TraceSlot},
 };
 
 /// Transport protocol of a socket.
@@ -115,6 +116,9 @@ struct ObjState {
 #[derive(Debug, Default)]
 pub struct ObjectTable {
     state: Mutex<ObjState>,
+    /// Armed at kernel boot; skb alloc/free emit [`SpanKind::SkbLife`]
+    /// instants so the hook layer can observe buffer lifetimes.
+    pub(crate) trace: TraceSlot,
 }
 
 impl ObjectTable {
@@ -199,6 +203,12 @@ impl ObjectTable {
             len: payload.len() as u32,
         };
         st.skbs.insert(skb.id, skb);
+        drop(st);
+        // The arg is the op code (0 = alloc), not the skb id: ids are
+        // per-kernel allocation order and would break shard invariance.
+        if let Some(tracer) = self.trace.get() {
+            tracer.instant(SpanKind::SkbLife, 0);
+        }
         Ok(skb)
     }
 
@@ -215,7 +225,11 @@ impl ObjectTable {
             .skbs
             .remove(&id)
             .ok_or(Fault::Unmapped { addr: 0, len: 0 })?;
-        mem.unmap(skb.data)
+        mem.unmap(skb.data)?;
+        if let Some(tracer) = self.trace.get() {
+            tracer.instant(SpanKind::SkbLife, 1);
+        }
+        Ok(())
     }
 }
 

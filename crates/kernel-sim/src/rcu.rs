@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use crate::{
     audit::{AuditLog, EventKind},
     time::{VirtualClock, NANOS_PER_SEC},
+    trace::SpanKind,
 };
 
 /// Linux's default `RCU_CPU_STALL_TIMEOUT` (21 s), in nanoseconds.
@@ -157,7 +158,14 @@ impl Rcu {
             );
             return Err(RcuError::SynchronizeInReader);
         }
-        Ok(self.state.gp_seq.fetch_add(1, Ordering::Relaxed) + 1)
+        let seq = self.state.gp_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        // Probe source for the hook layer: one instant per completed
+        // grace period. The arg stays 0 — the sequence number is
+        // per-kernel state and would break shard-count invariance.
+        if let Some(tracer) = self.trace.get() {
+            tracer.instant(SpanKind::RcuGrace, 0);
+        }
+        Ok(seq)
     }
 
     /// Grace-period sequence number (number of completed grace periods).

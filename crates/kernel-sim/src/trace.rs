@@ -98,6 +98,14 @@ pub enum SpanKind {
     /// A protection-domain crossing instant in the sandbox lane
     /// (`arg`: 0 = entering the sandbox, 1 = leaving it).
     DomainSwitch,
+    /// An RCU grace period completed (`synchronize_rcu` advanced the
+    /// grace-period sequence). `arg` is always 0: the sequence number is
+    /// per-kernel state and would break shard-count invariance.
+    RcuGrace,
+    /// An skb lifetime instant (`arg`: 0 = alloc, 1 = free). The skb id
+    /// is deliberately not recorded — ids are per-kernel allocation
+    /// order, the op code is the logical fact.
+    SkbLife,
 }
 
 impl SpanKind {
@@ -119,6 +127,8 @@ impl SpanKind {
             SpanKind::Dispatch => "dispatch",
             SpanKind::HotSwap => "hot-swap",
             SpanKind::DomainSwitch => "domain-switch",
+            SpanKind::RcuGrace => "rcu-grace",
+            SpanKind::SkbLife => "skb-life",
         }
     }
 }

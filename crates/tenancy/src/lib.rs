@@ -34,5 +34,7 @@ pub mod registry;
 pub mod storm;
 
 pub use budget::TenantBudget;
-pub use registry::{ProgramSpec, RunOutcome, RunVerdict, TenancyError, TenantId, TenantRegistry};
+pub use registry::{
+    HookInput, ProgramSpec, RunOutcome, RunVerdict, TenancyError, TenantId, TenantRegistry,
+};
 pub use storm::{storm_fault_config, Storm};

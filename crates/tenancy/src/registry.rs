@@ -4,7 +4,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use ebpf::helpers::HelperRegistry;
-use ebpf::interp::{SandboxConfig, Vm};
+use ebpf::interp::{CtxInput, SandboxConfig, Vm};
+use ebpf::jit::JitConfig;
 use ebpf::maps::{MapDef, MapError, MapFd, MapKind, MapRegistry};
 use ebpf::program::Program;
 use kernel_sim::audit::EventKind;
@@ -34,6 +35,29 @@ pub enum ProgramSpec {
     /// oopses) on violations. Consumes one of the tenant's
     /// [`TenantBudget::max_domains`].
     Sandbox(Program),
+    /// Like [`ProgramSpec::Ebpf`], but lowered through the JIT after
+    /// verification. Behaviorally identical to the interpreted lane —
+    /// the hooks bench asserts canonical-log equality between the two.
+    EbpfJit(Program),
+    /// Like [`ProgramSpec::Sandbox`], but lowered through the JIT with
+    /// masked memory ops. Same trap-to-quarantine contract.
+    SandboxJit(Program),
+}
+
+/// The input one attached-program run consumes: the packet payload for
+/// the classic path, or one of the hook-point contexts. Borrowed where
+/// the hot path runs straight off a shared buffer.
+#[derive(Debug, Clone, Copy)]
+pub enum HookInput<'a> {
+    /// A packet (XDP-style attachment points).
+    Packet(&'a [u8]),
+    /// A kprobe/tracepoint probe fire: register file.
+    Kprobe([u64; 8]),
+    /// An LSM policy decision: `{hook, subject, attr, cookie}`.
+    Lsm([u64; 4]),
+    /// A sched-ext pick: `{cpu, nr_runnable, c0_id, c0_vrun, c1_id,
+    /// c1_vrun}`.
+    Sched([u64; 6]),
 }
 
 /// Errors from the control plane.
@@ -444,7 +468,7 @@ impl<'k> TenantRegistry<'k> {
         spec: &ProgramSpec,
         replacing: Option<&Attached>,
     ) -> Result<(), TenancyError> {
-        if !matches!(spec, ProgramSpec::Sandbox(_)) {
+        if !matches!(spec, ProgramSpec::Sandbox(_) | ProgramSpec::SandboxJit(_)) {
             return Ok(());
         }
         let mut held = self.sandbox_count(id)?;
@@ -466,6 +490,16 @@ impl<'k> TenantRegistry<'k> {
                     .map_err(|e| TenancyError::Verifier(e.to_string()))?;
                 Ok(Attached::Ebpf(self.vm.load(prog)))
             }
+            ProgramSpec::EbpfJit(prog) => {
+                Verifier::new(self.maps, self.helpers)
+                    .verify(&prog)
+                    .map_err(|e| TenancyError::Verifier(e.to_string()))?;
+                let (prog_id, _) = self
+                    .vm
+                    .load_jit(prog, JitConfig::default())
+                    .map_err(|e| TenancyError::Verifier(format!("jit: {e:?}")))?;
+                Ok(Attached::Ebpf(prog_id))
+            }
             ProgramSpec::Safe(ext) => Ok(Attached::Safe(ext)),
             // No verifier: the program is confined at run time by its
             // SFI domain, whose memory is charged to the tenant.
@@ -476,6 +510,20 @@ impl<'k> TenantRegistry<'k> {
                     ..SandboxConfig::default()
                 },
             ))),
+            ProgramSpec::SandboxJit(prog) => {
+                let (prog_id, _) = self
+                    .vm
+                    .load_sandboxed_jit(
+                        prog,
+                        SandboxConfig {
+                            account_domain: Self::domain(id),
+                            ..SandboxConfig::default()
+                        },
+                        JitConfig::default(),
+                    )
+                    .map_err(|e| TenancyError::Verifier(format!("jit: {e:?}")))?;
+                Ok(Attached::Sandbox(prog_id))
+            }
         }
     }
 
@@ -634,6 +682,20 @@ impl<'k> TenantRegistry<'k> {
         point: &str,
         payload: &[u8],
     ) -> Result<RunOutcome, TenancyError> {
+        self.run_input(id, point, HookInput::Packet(payload))
+    }
+
+    /// Runs the program attached at `point` on any hook input, through
+    /// the same tenant-scoped breaker as [`Self::run_packet`]. This is
+    /// the entry point the hook scenarios use: probe fires, policy
+    /// decisions, and scheduler picks all share the admission, kill
+    /// accounting, and retrospective-deadline contract.
+    pub fn run_input(
+        &self,
+        id: TenantId,
+        point: &str,
+        input: HookInput<'_>,
+    ) -> Result<RunOutcome, TenancyError> {
         let tenant = self.tenant(id)?;
         let att = tenant
             .attachments
@@ -659,7 +721,15 @@ impl<'k> TenantRegistry<'k> {
             // a domain trap is an aborted execution, so it counts as a
             // kill and feeds the breaker — trap-to-quarantine.
             Attached::Ebpf(prog_id) | Attached::Sandbox(prog_id) => {
-                match self.vm.run_packet(*prog_id, payload).result {
+                let result = match input {
+                    HookInput::Packet(payload) => self.vm.run_packet(*prog_id, payload).result,
+                    HookInput::Kprobe(regs) => self.vm.run(*prog_id, CtxInput::Kprobe(regs)).result,
+                    HookInput::Lsm(fields) => self.vm.run(*prog_id, CtxInput::Lsm(fields)).result,
+                    HookInput::Sched(fields) => {
+                        self.vm.run(*prog_id, CtxInput::Sched(fields)).result
+                    }
+                };
+                match result {
                     // Verified code has no in-flight guard — the paper's point —
                     // so the eBPF lane's watchdog is retrospective: the control
                     // plane can't preempt the run, but a blown virtual-time
@@ -683,7 +753,13 @@ impl<'k> TenantRegistry<'k> {
                     fuel: tenant.budget.fuel,
                     ..RuntimeConfig::default()
                 });
-                match runtime.run(ext, ExtInput::Packet(payload.to_vec())).result {
+                let ext_input = match input {
+                    HookInput::Packet(payload) => ExtInput::Packet(payload.to_vec()),
+                    HookInput::Kprobe(regs) => ExtInput::Kprobe(regs),
+                    HookInput::Lsm(fields) => ExtInput::Lsm(fields),
+                    HookInput::Sched(fields) => ExtInput::Sched(fields),
+                };
+                match runtime.run(ext, ext_input).result {
                     Ok(v) => {
                         self.quarantine.note_clean(&key);
                         RunVerdict::Ok(v)

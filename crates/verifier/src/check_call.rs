@@ -111,6 +111,29 @@ fn check_return_range(prog_type: ProgType, pc: usize, ret: &Scalar) -> Result<()
             }
             Ok(())
         }
+        // Policy hooks return allow (0) or deny (1).
+        ProgType::Lsm => {
+            if ret.umax > 1 {
+                return Err(VerifyError::BadReturnValue {
+                    pc,
+                    reason: format!("LSM return value must be in [0, 1], got umax {}", ret.umax),
+                });
+            }
+            Ok(())
+        }
+        // Pick-next-task returns candidate 0, candidate 1, or defer (2).
+        ProgType::SchedExt => {
+            if ret.umax > 2 {
+                return Err(VerifyError::BadReturnValue {
+                    pc,
+                    reason: format!(
+                        "sched_ext return value must be in [0, 2], got umax {}",
+                        ret.umax
+                    ),
+                });
+            }
+            Ok(())
+        }
         _ => Ok(()),
     }
 }
